@@ -1,0 +1,399 @@
+//! Finite alphabets and dense symbol sets.
+//!
+//! Everything in the paper is relative to a fixed finite alphabet `Σ`:
+//! complements, `Σ*`, `Σ − p`, universality. An [`Alphabet`] is an immutable,
+//! cheaply cloneable (reference-counted) list of named symbols; a
+//! [`SymbolSet`] is a bitset over one alphabet used both as a regex character
+//! class and as the transition label domain.
+
+use crate::symbol::Symbol;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+#[derive(Debug)]
+struct AlphabetInner {
+    names: Vec<String>,
+    by_name: HashMap<String, u32>,
+}
+
+/// An immutable finite alphabet `Σ`.
+///
+/// Cloning is cheap (an `Arc` bump). Alphabet *identity* (pointer equality)
+/// is what higher layers check when combining languages; two structurally
+/// equal alphabets created separately are still compatible because
+/// compatibility is defined by [`Alphabet::compatible`] (same symbol names in
+/// the same order).
+#[derive(Clone)]
+pub struct Alphabet {
+    inner: Arc<AlphabetInner>,
+}
+
+impl Alphabet {
+    /// Build an alphabet from symbol names. Panics on duplicate names —
+    /// a duplicate is always a construction bug, never data-dependent.
+    pub fn new<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let names: Vec<String> = names.into_iter().map(Into::into).collect();
+        let mut by_name = HashMap::with_capacity(names.len());
+        for (i, n) in names.iter().enumerate() {
+            let prev = by_name.insert(n.clone(), i as u32);
+            assert!(prev.is_none(), "duplicate alphabet symbol {n:?}");
+        }
+        Alphabet {
+            inner: Arc::new(AlphabetInner { names, by_name }),
+        }
+    }
+
+    /// Number of symbols in `Σ`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.inner.names.len()
+    }
+
+    /// True if the alphabet has no symbols. (Degenerate but legal: the only
+    /// languages over it are `∅` and `{ε}`.)
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.inner.names.is_empty()
+    }
+
+    /// Look up a symbol by name, panicking if absent. Use in code where the
+    /// name is a literal the caller controls.
+    #[inline]
+    pub fn sym(&self, name: &str) -> Symbol {
+        self.try_sym(name)
+            .unwrap_or_else(|| panic!("symbol {name:?} not in alphabet"))
+    }
+
+    /// Look up a symbol by name.
+    #[inline]
+    pub fn try_sym(&self, name: &str) -> Option<Symbol> {
+        self.inner.by_name.get(name).map(|&i| Symbol(i))
+    }
+
+    /// The display name of a symbol.
+    #[inline]
+    pub fn name(&self, s: Symbol) -> &str {
+        &self.inner.names[s.index()]
+    }
+
+    /// Iterate over all symbols in index order.
+    pub fn symbols(&self) -> impl Iterator<Item = Symbol> + '_ {
+        (0..self.len()).map(Symbol::from_index)
+    }
+
+    /// Two alphabets are compatible iff they list the same names in the same
+    /// order. Pointer-equal alphabets short-circuit.
+    pub fn compatible(&self, other: &Alphabet) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner) || self.inner.names == other.inner.names
+    }
+
+    /// Parse a whitespace-separated string of symbol names into a symbol
+    /// sequence. Returns the offending name on failure.
+    pub fn str_to_syms(&self, s: &str) -> Result<Vec<Symbol>, String> {
+        s.split_whitespace()
+            .map(|w| self.try_sym(w).ok_or_else(|| w.to_string()))
+            .collect()
+    }
+
+    /// Render a symbol sequence as a whitespace-separated string.
+    pub fn syms_to_str(&self, syms: &[Symbol]) -> String {
+        syms.iter()
+            .map(|&s| self.name(s))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    /// The full set `Σ`.
+    pub fn full_set(&self) -> SymbolSet {
+        let mut s = SymbolSet::empty(self.len());
+        for i in 0..self.len() {
+            s.insert(Symbol::from_index(i));
+        }
+        s
+    }
+
+    /// The empty set over this alphabet.
+    pub fn empty_set(&self) -> SymbolSet {
+        SymbolSet::empty(self.len())
+    }
+
+    /// The singleton set `{sym}`.
+    pub fn singleton(&self, sym: Symbol) -> SymbolSet {
+        let mut s = SymbolSet::empty(self.len());
+        s.insert(sym);
+        s
+    }
+
+    /// The co-singleton set `Σ − {sym}` — the paper's ubiquitous `Σ − p`.
+    pub fn without(&self, sym: Symbol) -> SymbolSet {
+        let mut s = self.full_set();
+        s.remove(sym);
+        s
+    }
+}
+
+impl fmt::Debug for Alphabet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Alphabet{:?}", self.inner.names)
+    }
+}
+
+/// A dense bitset of symbols over a fixed alphabet size.
+///
+/// Used as regex character classes and DFA transition-label groups. All
+/// binary operations require operands of the same universe size.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SymbolSet {
+    /// Bit `i` of word `i / 64` is set iff symbol `i` is a member.
+    words: Vec<u64>,
+    /// Size of the universe (alphabet length), *not* the member count.
+    universe: usize,
+}
+
+impl SymbolSet {
+    /// The empty set over a universe of `universe` symbols.
+    pub fn empty(universe: usize) -> Self {
+        SymbolSet {
+            words: vec![0; universe.div_ceil(64)],
+            universe,
+        }
+    }
+
+    /// Universe size this set ranges over.
+    #[inline]
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Number of member symbols.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True if no symbol is a member.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// True if every universe symbol is a member.
+    pub fn is_full(&self) -> bool {
+        self.len() == self.universe
+    }
+
+    #[inline]
+    pub fn contains(&self, s: Symbol) -> bool {
+        let i = s.index();
+        debug_assert!(i < self.universe);
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    #[inline]
+    pub fn insert(&mut self, s: Symbol) {
+        let i = s.index();
+        assert!(i < self.universe, "symbol outside set universe");
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    #[inline]
+    pub fn remove(&mut self, s: Symbol) {
+        let i = s.index();
+        assert!(i < self.universe, "symbol outside set universe");
+        self.words[i / 64] &= !(1 << (i % 64));
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &SymbolSet) -> SymbolSet {
+        self.zip_words(other, |a, b| a | b)
+    }
+
+    /// Set intersection.
+    pub fn intersect(&self, other: &SymbolSet) -> SymbolSet {
+        self.zip_words(other, |a, b| a & b)
+    }
+
+    /// Set difference `self − other`.
+    pub fn difference(&self, other: &SymbolSet) -> SymbolSet {
+        self.zip_words(other, |a, b| a & !b)
+    }
+
+    /// Complement within the universe.
+    pub fn complement(&self) -> SymbolSet {
+        let mut out = self.clone();
+        for w in &mut out.words {
+            *w = !*w;
+        }
+        out.mask_tail();
+        out
+    }
+
+    /// True if `self ⊆ other`.
+    pub fn is_subset(&self, other: &SymbolSet) -> bool {
+        assert_eq!(self.universe, other.universe, "symbol-set universe mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(&a, &b)| a & !b == 0)
+    }
+
+    /// Iterate members in index order.
+    pub fn iter(&self) -> impl Iterator<Item = Symbol> + '_ {
+        (0..self.universe)
+            .map(Symbol::from_index)
+            .filter(move |&s| self.contains(s))
+    }
+
+    /// An arbitrary member, if any (the least-index one).
+    pub fn first(&self) -> Option<Symbol> {
+        for (wi, &w) in self.words.iter().enumerate() {
+            if w != 0 {
+                return Some(Symbol::from_index(wi * 64 + w.trailing_zeros() as usize));
+            }
+        }
+        None
+    }
+
+    fn zip_words(&self, other: &SymbolSet, f: impl Fn(u64, u64) -> u64) -> SymbolSet {
+        assert_eq!(self.universe, other.universe, "symbol-set universe mismatch");
+        let words = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        let mut out = SymbolSet {
+            words,
+            universe: self.universe,
+        };
+        out.mask_tail();
+        out
+    }
+
+    fn mask_tail(&mut self) {
+        let rem = self.universe % 64;
+        if rem != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+    }
+}
+
+impl fmt::Debug for SymbolSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, s) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{:?}", s)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn abc() -> Alphabet {
+        Alphabet::new(["a", "b", "c"])
+    }
+
+    #[test]
+    fn lookup_and_names() {
+        let ab = abc();
+        assert_eq!(ab.len(), 3);
+        let b = ab.sym("b");
+        assert_eq!(ab.name(b), "b");
+        assert_eq!(b.index(), 1);
+        assert!(ab.try_sym("z").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn rejects_duplicates() {
+        Alphabet::new(["a", "a"]);
+    }
+
+    #[test]
+    fn string_round_trip() {
+        let ab = abc();
+        let syms = ab.str_to_syms("a c b a").unwrap();
+        assert_eq!(ab.syms_to_str(&syms), "a c b a");
+        assert_eq!(ab.str_to_syms("a z"), Err("z".to_string()));
+        assert_eq!(ab.str_to_syms("").unwrap(), vec![]);
+    }
+
+    #[test]
+    fn compatibility() {
+        let a1 = abc();
+        let a2 = a1.clone();
+        let a3 = abc();
+        let a4 = Alphabet::new(["a", "b"]);
+        assert!(a1.compatible(&a2));
+        assert!(a1.compatible(&a3));
+        assert!(!a1.compatible(&a4));
+    }
+
+    #[test]
+    fn set_basic_ops() {
+        let ab = abc();
+        let mut s = ab.empty_set();
+        assert!(s.is_empty());
+        s.insert(ab.sym("a"));
+        s.insert(ab.sym("c"));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(ab.sym("a")));
+        assert!(!s.contains(ab.sym("b")));
+        s.remove(ab.sym("a"));
+        assert!(!s.contains(ab.sym("a")));
+    }
+
+    #[test]
+    fn set_algebra() {
+        let ab = abc();
+        let a = ab.singleton(ab.sym("a"));
+        let not_a = ab.without(ab.sym("a"));
+        assert!(a.intersect(&not_a).is_empty());
+        assert!(a.union(&not_a).is_full());
+        assert_eq!(not_a.complement(), a);
+        assert!(a.is_subset(&ab.full_set()));
+        assert!(!ab.full_set().is_subset(&a));
+        assert_eq!(ab.full_set().difference(&a), not_a);
+    }
+
+    #[test]
+    fn set_iteration_order() {
+        let ab = abc();
+        let s = ab.without(ab.sym("b"));
+        let names: Vec<&str> = s.iter().map(|x| ab.name(x)).collect();
+        assert_eq!(names, ["a", "c"]);
+        assert_eq!(s.first(), Some(ab.sym("a")));
+        assert_eq!(ab.empty_set().first(), None);
+    }
+
+    #[test]
+    fn large_universe_tail_masking() {
+        let names: Vec<String> = (0..130).map(|i| format!("t{i}")).collect();
+        let ab = Alphabet::new(names);
+        let full = ab.full_set();
+        assert_eq!(full.len(), 130);
+        assert!(full.is_full());
+        assert!(full.complement().is_empty());
+        let one = ab.singleton(Symbol::from_index(129));
+        assert_eq!(one.complement().len(), 129);
+        assert!(!one.complement().contains(Symbol::from_index(129)));
+    }
+
+    #[test]
+    fn empty_alphabet_is_legal() {
+        let ab = Alphabet::new(Vec::<String>::new());
+        assert!(ab.is_empty());
+        assert!(ab.full_set().is_empty());
+    }
+}

@@ -1,0 +1,448 @@
+//! Decision procedures and structural analyses on DFAs.
+//!
+//! * emptiness / universality (Lemma 5.9's `L = Σ*` test — PSPACE-complete
+//!   in the *regex*, linear in the *DFA*, which is where the exponential
+//!   hides),
+//! * inclusion and equivalence with shortest counterexample witnesses,
+//! * useful-state (trim) computation,
+//! * **bounded-marker analysis**: decides the Algorithm 6.2 precondition
+//!   "`E‖ⁿ_p = ∅` for some `n ≥ 0`" (Lemma 6.4(4)) and computes the least
+//!   such `n`.
+
+use super::{Dfa, StateId};
+use crate::symbol::Symbol;
+use std::collections::VecDeque;
+
+impl Dfa {
+    /// True iff the language is empty.
+    pub fn is_empty_lang(&self) -> bool {
+        self.shortest_member().is_none()
+    }
+
+    /// True iff the language is `Σ*` (every reachable state accepting, by
+    /// completeness).
+    pub fn is_universal(&self) -> bool {
+        let reach = self.reachable_states();
+        (0..self.num_states() as StateId)
+            .all(|q| !reach[q as usize] || self.is_accepting(q))
+    }
+
+    /// `L(self) ⊆ L(other)`.
+    pub fn is_subset_of(&self, other: &Dfa) -> bool {
+        self.difference(other).is_empty_lang()
+    }
+
+    /// `L(self) = L(other)`.
+    pub fn equivalent(&self, other: &Dfa) -> bool {
+        self.symmetric_difference(other).is_empty_lang()
+    }
+
+    /// A shortest accepted string, or `None` if the language is empty.
+    /// BFS with parent pointers; deterministic (symbols tried in index
+    /// order), so witnesses are stable across runs.
+    pub fn shortest_member(&self) -> Option<Vec<Symbol>> {
+        if self.is_accepting(self.start()) {
+            return Some(Vec::new());
+        }
+        let mut parent: Vec<Option<(StateId, Symbol)>> = vec![None; self.num_states()];
+        let mut seen = vec![false; self.num_states()];
+        let mut queue = VecDeque::new();
+        seen[self.start() as usize] = true;
+        queue.push_back(self.start());
+        while let Some(q) = queue.pop_front() {
+            for sym in self.alphabet().symbols() {
+                let t = self.next(q, sym);
+                if seen[t as usize] {
+                    continue;
+                }
+                seen[t as usize] = true;
+                parent[t as usize] = Some((q, sym));
+                if self.is_accepting(t) {
+                    // Reconstruct.
+                    let mut out = Vec::new();
+                    let mut cur = t;
+                    while let Some((p, s)) = parent[cur as usize] {
+                        out.push(s);
+                        cur = p;
+                    }
+                    out.reverse();
+                    return Some(out);
+                }
+                queue.push_back(t);
+            }
+        }
+        None
+    }
+
+    /// A shortest string on which `self` and `other` disagree, or `None`
+    /// if equivalent. Useful as a counterexample for diagnostics.
+    pub fn difference_witness(&self, other: &Dfa) -> Option<Vec<Symbol>> {
+        self.symmetric_difference(other).shortest_member()
+    }
+
+    /// Useful states: reachable from the start *and* co-reachable to an
+    /// accepting state.
+    pub fn useful_states(&self) -> Vec<bool> {
+        let reach = self.reachable_states();
+        // Co-reachability by reverse BFS from accepting states.
+        let n = self.num_states();
+        let mut rev: Vec<Vec<StateId>> = vec![Vec::new(); n];
+        for q in 0..n as StateId {
+            for sym in self.alphabet().symbols() {
+                rev[self.next(q, sym) as usize].push(q);
+            }
+        }
+        let mut co = vec![false; n];
+        let mut queue: VecDeque<StateId> = VecDeque::new();
+        for q in 0..n as StateId {
+            if self.is_accepting(q) {
+                co[q as usize] = true;
+                queue.push_back(q);
+            }
+        }
+        while let Some(q) = queue.pop_front() {
+            for &p in &rev[q as usize] {
+                if !co[p as usize] {
+                    co[p as usize] = true;
+                    queue.push_back(p);
+                }
+            }
+        }
+        reach
+            .iter()
+            .zip(&co)
+            .map(|(&r, &c)| r && c)
+            .collect()
+    }
+
+    /// Is the language finite? True iff the useful subgraph is acyclic
+    /// (a useful cycle pumps arbitrarily long members).
+    pub fn is_finite_lang(&self) -> bool {
+        let useful = self.useful_states();
+        // DFS cycle detection over useful states.
+        // color: 0 unvisited, 1 on stack, 2 done.
+        let n = self.num_states();
+        let mut color = vec![0u8; n];
+        for root in 0..n {
+            if !useful[root] || color[root] != 0 {
+                continue;
+            }
+            let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
+            color[root] = 1;
+            while let Some(&(v, ci)) = stack.last() {
+                let succs: Vec<usize> = self
+                    .alphabet()
+                    .symbols()
+                    .map(|s| self.next(v as StateId, s) as usize)
+                    .filter(|&t| useful[t])
+                    .collect();
+                if ci < succs.len() {
+                    stack.last_mut().expect("non-empty").1 += 1;
+                    let w = succs[ci];
+                    match color[w] {
+                        0 => {
+                            color[w] = 1;
+                            stack.push((w, 0));
+                        }
+                        1 => return false, // back edge: useful cycle
+                        _ => {}
+                    }
+                } else {
+                    color[v] = 2;
+                    stack.pop();
+                }
+            }
+        }
+        true
+    }
+
+    /// Number of members, or `None` when infinite. Counting is a DP over
+    /// the (acyclic) useful subgraph; saturates at `u64::MAX`.
+    pub fn count_members(&self) -> Option<u64> {
+        if !self.is_finite_lang() {
+            return None;
+        }
+        let useful = self.useful_states();
+        let n = self.num_states();
+        // memoized count of accepted strings from each useful state
+        let mut memo: Vec<Option<u64>> = vec![None; n];
+        // iterative post-order over the DAG
+        fn count(
+            dfa: &Dfa,
+            useful: &[bool],
+            memo: &mut Vec<Option<u64>>,
+            q: usize,
+        ) -> u64 {
+            if let Some(c) = memo[q] {
+                return c;
+            }
+            let mut total: u64 = u64::from(dfa.is_accepting(q as StateId));
+            for s in dfa.alphabet().symbols() {
+                let t = dfa.next(q as StateId, s) as usize;
+                if useful[t] {
+                    total = total.saturating_add(count(dfa, useful, memo, t));
+                }
+            }
+            memo[q] = Some(total);
+            total
+        }
+        if !useful[self.start() as usize] {
+            return Some(0);
+        }
+        Some(count(self, &useful, &mut memo, self.start() as usize))
+    }
+
+    /// The largest number of `marker` occurrences in any accepted string,
+    /// or `None` if unbounded.
+    ///
+    /// This decides the Algorithm 6.2 precondition: by Lemma 6.4(4–5),
+    /// `E‖ⁿ_p = ∅` for some `n` iff the `p`-count of members of `L(E)` is
+    /// bounded, and then the least such `n` is `max_count + 1`. An empty
+    /// language returns `Some(0)`.
+    ///
+    /// Method: restrict to useful states. If any `marker`-labeled edge lies
+    /// on a cycle of the useful subgraph, pumping that cycle makes the count
+    /// unbounded. Otherwise the count is the longest `marker`-weighted path
+    /// from the start to an accepting state, computed by DP over the
+    /// strongly-connected-component condensation (intra-SCC edges all have
+    /// weight 0 once the cycle check passes).
+    pub fn max_marker_count(&self, marker: Symbol) -> Option<usize> {
+        let useful = self.useful_states();
+        if !useful[self.start() as usize] {
+            return Some(0); // empty language
+        }
+        let n = self.num_states();
+
+        // Edges of the useful subgraph, weighted by marker occurrence.
+        let mut edges: Vec<Vec<(StateId, usize)>> = vec![Vec::new(); n];
+        for q in 0..n as StateId {
+            if !useful[q as usize] {
+                continue;
+            }
+            for sym in self.alphabet().symbols() {
+                let t = self.next(q, sym);
+                if useful[t as usize] {
+                    edges[q as usize].push((t, usize::from(sym == marker)));
+                }
+            }
+        }
+
+        let scc = tarjan_scc(n, &edges, &useful);
+
+        // A weighted edge inside an SCC is on a cycle ⇒ unbounded.
+        for q in 0..n {
+            for &(t, w) in &edges[q] {
+                if w > 0 && scc[q] == scc[t as usize] && scc[q] != usize::MAX {
+                    return None;
+                }
+            }
+        }
+
+        // DP over the condensation: best[c] = max marker-weight of a path
+        // from component c to an accepting state. Tarjan numbers components
+        // in reverse topological order (successors get smaller ids), so a
+        // forward scan over component ids processes successors first.
+        let num_comps = scc
+            .iter()
+            .filter(|&&c| c != usize::MAX)
+            .map(|&c| c + 1)
+            .max()
+            .unwrap_or(0);
+        let mut best: Vec<Option<usize>> = vec![None; num_comps];
+        // Seed: components containing an accepting useful state can end.
+        for q in 0..n {
+            if useful[q] && self.is_accepting(q as StateId) {
+                best[scc[q]] = Some(0);
+            }
+        }
+        // Process components in increasing id (reverse topological) order.
+        for c in 0..num_comps {
+            let mut acc = best[c];
+            for q in 0..n {
+                if scc[q] != c {
+                    continue;
+                }
+                for &(t, w) in &edges[q] {
+                    let tc = scc[t as usize];
+                    if tc == c {
+                        continue; // intra-SCC edges have w = 0 here
+                    }
+                    if let Some(b) = best[tc] {
+                        let cand = b + w;
+                        acc = Some(acc.map_or(cand, |a| a.max(cand)));
+                    }
+                }
+            }
+            best[c] = acc;
+        }
+        Some(best[scc[self.start() as usize]].unwrap_or(0))
+    }
+}
+
+/// Iterative Tarjan SCC over the useful subgraph. Returns component ids in
+/// reverse topological order (a component's successors have smaller ids);
+/// non-useful states get `usize::MAX`.
+fn tarjan_scc(n: usize, edges: &[Vec<(StateId, usize)>], useful: &[bool]) -> Vec<usize> {
+    const UNVISITED: usize = usize::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut comp = vec![usize::MAX; n];
+    let mut next_index = 0usize;
+    let mut next_comp = 0usize;
+
+    // Explicit DFS stack: (node, next child position). Nodes are
+    // "discovered" (index assigned, pushed on the Tarjan stack) at the
+    // moment they enter the DFS stack.
+    let mut discover = |v: usize,
+                        index: &mut Vec<usize>,
+                        low: &mut Vec<usize>,
+                        stack: &mut Vec<usize>,
+                        on_stack: &mut Vec<bool>| {
+        index[v] = next_index;
+        low[v] = next_index;
+        next_index += 1;
+        stack.push(v);
+        on_stack[v] = true;
+    };
+
+    for root in 0..n {
+        if !useful[root] || index[root] != UNVISITED {
+            continue;
+        }
+        discover(root, &mut index, &mut low, &mut stack, &mut on_stack);
+        let mut dfs: Vec<(usize, usize)> = vec![(root, 0)];
+        while let Some(&(v, ci)) = dfs.last() {
+            if ci < edges[v].len() {
+                dfs.last_mut().expect("non-empty").1 += 1;
+                let w = edges[v][ci].0 as usize;
+                if index[w] == UNVISITED {
+                    discover(w, &mut index, &mut low, &mut stack, &mut on_stack);
+                    dfs.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                if low[v] == index[v] {
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        comp[w] = next_comp;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    next_comp += 1;
+                }
+                dfs.pop();
+                if let Some(&(parent, _)) = dfs.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+            }
+        }
+    }
+    comp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+    use crate::regex::Regex;
+
+    fn ab() -> Alphabet {
+        Alphabet::new(["p", "q"])
+    }
+
+    fn d(s: &str) -> Dfa {
+        let a = ab();
+        Dfa::from_regex(&a, &Regex::parse(&a, s).unwrap())
+    }
+
+    #[test]
+    fn emptiness_and_universality() {
+        assert!(d("[]").is_empty_lang());
+        assert!(!d("~").is_empty_lang());
+        assert!(d(".*").is_universal());
+        assert!(d("~ | . .*").is_universal());
+        assert!(!d("p .*").is_universal());
+        assert!(d("p* & q+").is_empty_lang());
+    }
+
+    #[test]
+    fn inclusion_and_equivalence() {
+        assert!(d("(p q)+").is_subset_of(&d("(p q)*")));
+        assert!(!d("(p q)*").is_subset_of(&d("(p q)+")));
+        assert!(d("p p*").equivalent(&d("p+")));
+        assert!(!d("p*").equivalent(&d("p+")));
+    }
+
+    #[test]
+    fn shortest_member_is_shortest_and_deterministic() {
+        let a = ab();
+        assert_eq!(d("~").shortest_member(), Some(vec![]));
+        assert_eq!(d("[]").shortest_member(), None);
+        let w = d("(p q)+").shortest_member().unwrap();
+        assert_eq!(a.syms_to_str(&w), "p q");
+        // ties broken by symbol order: p before q
+        let w = d("p | q").shortest_member().unwrap();
+        assert_eq!(a.syms_to_str(&w), "p");
+    }
+
+    #[test]
+    fn difference_witness_finds_counterexample() {
+        let a = ab();
+        let w = d("p*").difference_witness(&d("p+")).unwrap();
+        assert_eq!(a.syms_to_str(&w), "");
+        assert!(d("p+").difference_witness(&d("p p*")).is_none());
+    }
+
+    #[test]
+    fn useful_states_exclude_dead_ends() {
+        // p q over {p,q}: states on the accept path are useful; the dead
+        // sink is not.
+        let dfa = d("p q");
+        let useful = dfa.useful_states();
+        let n_useful = useful.iter().filter(|&&u| u).count();
+        assert_eq!(n_useful, 3); // start, after-p, accept
+    }
+
+    #[test]
+    fn marker_bound_literal_and_star() {
+        let a = ab();
+        let p = a.sym("p");
+        assert_eq!(d("p q p").max_marker_count(p), Some(2));
+        assert_eq!(d("q*").max_marker_count(p), Some(0));
+        assert_eq!(d("[]").max_marker_count(p), Some(0));
+        assert_eq!(d("p*").max_marker_count(p), None);
+        assert_eq!(d("(q p)*").max_marker_count(p), None);
+        assert_eq!(d("q* p q*").max_marker_count(p), Some(1));
+        assert_eq!(d("(p | p p) q*").max_marker_count(p), Some(2));
+        // p under a star of q only — bounded even with cycles elsewhere.
+        assert_eq!(d("q* p q* p q*").max_marker_count(p), Some(2));
+    }
+
+    #[test]
+    fn marker_bound_ignores_useless_paths() {
+        let a = ab();
+        let p = a.sym("p");
+        // The p-cycle is not co-reachable to acceptance: (p p)* q & q = q.
+        assert_eq!(d("((p p)* q) & q").max_marker_count(p), Some(0));
+    }
+
+    #[test]
+    fn marker_bound_alternation_takes_max() {
+        let a = ab();
+        let p = a.sym("p");
+        assert_eq!(d("p p p | q p").max_marker_count(p), Some(3));
+        assert_eq!(d("q | p p p p").max_marker_count(p), Some(4));
+    }
+
+    #[test]
+    fn marker_bound_q_unbounded_p_bounded() {
+        let a = ab();
+        assert_eq!(d("q* p q*").max_marker_count(a.sym("q")), None);
+        assert_eq!(d("q* p q*").max_marker_count(a.sym("p")), Some(1));
+    }
+}

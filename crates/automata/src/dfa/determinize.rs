@@ -1,0 +1,163 @@
+//! Subset construction: NFA → complete DFA.
+//!
+//! Each DFA state is an ε-closed set of NFA states. The empty subset is
+//! materialized as an explicit dead state, so the result is always complete.
+
+use super::{Dfa, StateId};
+use crate::nfa::Nfa;
+use std::collections::HashMap;
+
+/// Determinize `nfa` into a complete (not yet minimized) DFA.
+pub fn determinize(nfa: &Nfa) -> Dfa {
+    let alphabet = nfa.alphabet().clone();
+    let sigma = alphabet.len();
+
+    // Subset keys are sorted state-id vectors (eps_closure returns sorted).
+    let mut index: HashMap<Vec<u32>, StateId> = HashMap::new();
+    let mut subsets: Vec<Vec<u32>> = Vec::new();
+    let mut table: Vec<StateId> = Vec::new();
+    let mut accepting: Vec<bool> = Vec::new();
+
+    let mut intern = |subset: Vec<u32>,
+                      subsets: &mut Vec<Vec<u32>>,
+                      accepting: &mut Vec<bool>,
+                      work: &mut Vec<StateId>| {
+        *index.entry(subset.clone()).or_insert_with(|| {
+            let id = subsets.len() as StateId;
+            accepting.push(subset.iter().any(|&s| nfa.is_accepting(s)));
+            subsets.push(subset);
+            work.push(id);
+            id
+        })
+    };
+
+    let mut work: Vec<StateId> = Vec::new();
+    let start_subset = nfa.eps_closure(nfa.starts());
+    let start = intern(start_subset, &mut subsets, &mut accepting, &mut work);
+
+    let mut cursor = 0;
+    while cursor < work.len() {
+        let q = work[cursor];
+        cursor += 1;
+        debug_assert_eq!(table.len(), q as usize * sigma);
+        // Targets per symbol for this subset.
+        let subset = subsets[q as usize].clone();
+        let mut row: Vec<Vec<u32>> = vec![Vec::new(); sigma];
+        for &s in &subset {
+            for (set, t) in nfa.transitions(s) {
+                for sym in set.iter() {
+                    let bucket = &mut row[sym.index()];
+                    if !bucket.contains(&t) {
+                        bucket.push(t);
+                    }
+                }
+            }
+        }
+        for bucket in row {
+            let closed = nfa.eps_closure(&bucket);
+            let target = intern(closed, &mut subsets, &mut accepting, &mut work);
+            table.push(target);
+        }
+    }
+
+    Dfa::from_parts(alphabet, table, accepting, start)
+}
+
+impl Dfa {
+    /// Convenience: determinize an NFA. Does **not** minimize; chain with
+    /// [`Dfa::minimized`] when canonical form matters.
+    pub fn from_nfa(nfa: &Nfa) -> Dfa {
+        determinize(nfa)
+    }
+}
+
+/// Exhaustively check (used by tests) that a DFA and an NFA agree on all
+/// strings up to `max_len`.
+#[cfg(test)]
+pub fn agree_up_to(dfa: &Dfa, nfa: &Nfa, max_len: usize) -> bool {
+    fn rec(dfa: &Dfa, nfa: &Nfa, prefix: &mut Vec<crate::symbol::Symbol>, remaining: usize) -> bool {
+        if dfa.accepts(prefix) != nfa.accepts(prefix) {
+            return false;
+        }
+        if remaining == 0 {
+            return true;
+        }
+        for sym in dfa.alphabet().symbols() {
+            prefix.push(sym);
+            if !rec(dfa, nfa, prefix, remaining - 1) {
+                return false;
+            }
+            prefix.pop();
+        }
+        true
+    }
+    rec(dfa, nfa, &mut Vec::new(), max_len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+    use crate::regex::Regex;
+
+    fn ab() -> Alphabet {
+        Alphabet::new(["p", "q"])
+    }
+
+    fn check(s: &str) {
+        let a = ab();
+        let nfa = Nfa::thompson(&a, &Regex::parse(&a, s).unwrap());
+        let dfa = determinize(&nfa);
+        assert!(agree_up_to(&dfa, &nfa, 7), "disagreement for {s}");
+    }
+
+    #[test]
+    fn agrees_with_nfa_on_paper_expressions() {
+        for s in [
+            "p q",
+            "~",
+            "[]",
+            "(p q)* p .*",
+            "(p | p p) p (p | p p)",
+            "[^p]* p .*",
+            "p* q",
+            "p+ q? p*",
+            "(p? q?)*",
+        ] {
+            check(s);
+        }
+    }
+
+    #[test]
+    fn result_is_complete() {
+        let a = ab();
+        let nfa = Nfa::thompson(&a, &Regex::parse(&a, "p q").unwrap());
+        let dfa = determinize(&nfa);
+        for q in 0..dfa.num_states() as StateId {
+            for sym in a.symbols() {
+                let t = dfa.next(q, sym);
+                assert!((t as usize) < dfa.num_states());
+            }
+        }
+    }
+
+    #[test]
+    fn multi_start_nfa_determinizes() {
+        // Reversal produces multi-start NFAs.
+        let a = ab();
+        let nfa = Nfa::thompson(&a, &Regex::parse(&a, "p q | q q").unwrap()).reversed();
+        let dfa = determinize(&nfa);
+        assert!(dfa.accepts(&a.str_to_syms("q p").unwrap()));
+        assert!(dfa.accepts(&a.str_to_syms("q q").unwrap()));
+        assert!(!dfa.accepts(&a.str_to_syms("p q").unwrap()));
+    }
+
+    #[test]
+    fn empty_language_is_one_dead_state_after_reach() {
+        let a = ab();
+        let nfa = Nfa::thompson(&a, &Regex::Empty);
+        let dfa = determinize(&nfa);
+        assert!(!dfa.accepts(&[]));
+        assert!(!dfa.accepts(&a.str_to_syms("p").unwrap()));
+    }
+}

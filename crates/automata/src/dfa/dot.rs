@@ -1,0 +1,80 @@
+//! Graphviz DOT export for DFAs.
+//!
+//! Debugging aid: `dot -Tpng <(your-program)` renders the automaton.
+//! Transitions to the same target are grouped into one edge labeled with
+//! a symbol-class; the dead sink (single non-accepting state with all
+//! self-loops, if present and non-start) is omitted by default to keep
+//! diagrams readable.
+
+use super::{Dfa, StateId};
+use std::fmt::Write as _;
+
+impl Dfa {
+    /// Render as a Graphviz `digraph`. `show_sink` includes dead states.
+    pub fn to_dot(&self, show_sink: bool) -> String {
+        let useful = self.useful_states();
+        let visible = |q: StateId| show_sink || useful[q as usize] || q == self.start();
+        let mut out = String::from("digraph dfa {\n  rankdir=LR;\n  node [shape=circle];\n");
+        let _ = writeln!(out, "  __start [shape=point];");
+        let _ = writeln!(out, "  __start -> s{};", self.start());
+        for q in 0..self.num_states() as StateId {
+            if !visible(q) {
+                continue;
+            }
+            let shape = if self.is_accepting(q) {
+                "doublecircle"
+            } else {
+                "circle"
+            };
+            let _ = writeln!(out, "  s{q} [shape={shape}];");
+            // Group outgoing edges by target.
+            let mut by_target: std::collections::BTreeMap<StateId, Vec<&str>> =
+                std::collections::BTreeMap::new();
+            for sym in self.alphabet().symbols() {
+                let t = self.next(q, sym);
+                if visible(t) {
+                    by_target.entry(t).or_default().push(self.alphabet().name(sym));
+                }
+            }
+            for (t, names) in by_target {
+                let label = if names.len() == self.alphabet().len() {
+                    "Σ".to_string()
+                } else {
+                    names.join(",")
+                };
+                let _ = writeln!(out, "  s{q} -> s{t} [label=\"{label}\"];");
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+    use crate::regex::Regex;
+
+    #[test]
+    fn dot_output_has_expected_structure() {
+        let a = Alphabet::new(["p", "q"]);
+        let d = Dfa::from_regex(&a, &Regex::parse(&a, "[^p]* p").unwrap());
+        let dot = d.to_dot(false);
+        assert!(dot.starts_with("digraph dfa {"));
+        assert!(dot.contains("__start ->"));
+        assert!(dot.contains("doublecircle"));
+        assert!(dot.ends_with("}\n"));
+        // Dead sink hidden by default, shown on request.
+        let with_sink = d.to_dot(true);
+        assert!(with_sink.len() >= dot.len());
+    }
+
+    #[test]
+    fn full_alphabet_edges_collapse_to_sigma() {
+        let a = Alphabet::new(["p", "q", "r"]);
+        let d = Dfa::universal(&a);
+        let dot = d.to_dot(true);
+        assert!(dot.contains("label=\"Σ\""), "{dot}");
+    }
+}

@@ -1,0 +1,398 @@
+//! Hopcroft minimization and canonical numbering.
+//!
+//! Minimization proceeds in three steps:
+//! 1. restrict to states reachable from the start,
+//! 2. Hopcroft partition refinement,
+//! 3. canonical renumbering by BFS from the start, visiting symbols in index
+//!    order.
+//!
+//! Step 3 makes the minimal DFA *structurally canonical*: two DFAs denote
+//! the same language iff their minimized forms are field-for-field equal.
+//! [`Lang`](crate::lang::Lang) relies on this for cheap equality.
+
+use super::{Dfa, StateId};
+use std::collections::{HashMap, VecDeque};
+
+impl Dfa {
+    /// The canonical minimal DFA for this automaton's language.
+    pub fn minimized(&self) -> Dfa {
+        let reachable = self.reachable_states();
+        let partition = hopcroft(self, &reachable);
+        canonicalize(self, &partition)
+    }
+
+    /// Bit-vector of states reachable from the start.
+    pub(crate) fn reachable_states(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.num_states()];
+        let mut stack = vec![self.start()];
+        seen[self.start() as usize] = true;
+        while let Some(q) = stack.pop() {
+            for sym in self.alphabet().symbols() {
+                let t = self.next(q, sym);
+                if !seen[t as usize] {
+                    seen[t as usize] = true;
+                    stack.push(t);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Structural equality of already-minimized automata. Only meaningful on
+    /// the output of [`Dfa::minimized`].
+    pub fn same_canonical(&self, other: &Dfa) -> bool {
+        self.alphabet().compatible(other.alphabet())
+            && self.start == other.start
+            && self.accepting == other.accepting
+            && self.table == other.table
+    }
+}
+
+/// Hopcroft's partition refinement over the reachable states, in the
+/// textbook O(n·σ·log n) formulation: the partition is kept as a
+/// permutation array with per-block `[start, end)` ranges so splits are
+/// in-place swaps, and the worklist applies the classic replace rule —
+/// if `(B, s)` is queued when `B` splits, both parts are queued (the
+/// stale entry stands for the shrunk `B`, the new part is added);
+/// otherwise only the *smaller* part is queued. `in_work[B·σ + s]` gives
+/// the O(1) membership test the rule needs.
+///
+/// Returns each state's block id; unreachable states get `u32::MAX` and
+/// are dropped by canonicalization.
+fn hopcroft(dfa: &Dfa, reachable: &[bool]) -> Vec<u32> {
+    let n = dfa.num_states();
+    let sigma = dfa.alphabet().len();
+
+    // Reverse transitions among reachable states, grouped by symbol:
+    // rev[s][t] = sources q with δ(q, s) = t.
+    let mut rev: Vec<Vec<Vec<StateId>>> = vec![vec![Vec::new(); n]; sigma];
+    for q in 0..n as StateId {
+        if !reachable[q as usize] {
+            continue;
+        }
+        for sym in dfa.alphabet().symbols() {
+            rev[sym.index()][dfa.next(q, sym) as usize].push(q);
+        }
+    }
+
+    // Partition as a permutation of the reachable states.
+    let mut elems: Vec<StateId> = Vec::new();
+    let mut block_of: Vec<u32> = vec![u32::MAX; n];
+    // Accepting first, then rejecting, so blocks are contiguous.
+    for pass in 0..2 {
+        for q in 0..n as StateId {
+            if reachable[q as usize] && (dfa.is_accepting(q) == (pass == 0)) {
+                block_of[q as usize] = pass;
+                elems.push(q);
+            }
+        }
+    }
+    let num_acc = elems
+        .iter()
+        .take_while(|&&q| dfa.is_accepting(q))
+        .count();
+    let mut loc: Vec<usize> = vec![usize::MAX; n];
+    for (i, &q) in elems.iter().enumerate() {
+        loc[q as usize] = i;
+    }
+    // Per-block ranges. Block 0 = accepting, block 1 = rejecting; either
+    // may be empty (then it simply never matches any state id).
+    let mut bstart: Vec<usize> = vec![0, num_acc];
+    let mut bend: Vec<usize> = vec![num_acc, elems.len()];
+    // Fix block ids when one side is empty: ids were assigned by `pass`.
+    // (Empty blocks are harmless: no state carries their id.)
+    let mut marked: Vec<usize> = vec![0, 0];
+    let mut touched: Vec<u32> = Vec::new();
+
+    // Worklist with O(1) membership.
+    let mut work: VecDeque<(u32, usize)> = VecDeque::new();
+    let mut in_work: Vec<bool> = Vec::new();
+    let push_work = |b: u32,
+                     s: usize,
+                     work: &mut VecDeque<(u32, usize)>,
+                     in_work: &mut Vec<bool>| {
+        let ix = b as usize * sigma + s;
+        if !in_work[ix] {
+            in_work[ix] = true;
+            work.push_back((b, s));
+        }
+    };
+    in_work.resize(2 * sigma, false);
+    // Seed with the smaller initial block (both when equal-sized works
+    // too, but smaller suffices for correctness).
+    let seed = if num_acc <= elems.len() - num_acc { 0 } else { 1 };
+    for s in 0..sigma {
+        push_work(seed, s, &mut work, &mut in_work);
+    }
+
+    while let Some((splitter, sym)) = work.pop_front() {
+        in_work[splitter as usize * sigma + sym] = false;
+        // Materialize X = δ⁻¹(splitter, sym) at pop time.
+        let mut x: Vec<StateId> = Vec::new();
+        for i in bstart[splitter as usize]..bend[splitter as usize] {
+            x.extend_from_slice(&rev[sym][elems[i] as usize]);
+        }
+
+        // Mark members of X by swapping them to the front of their block.
+        for &q in &x {
+            let b = block_of[q as usize];
+            debug_assert_ne!(b, u32::MAX);
+            let m = marked[b as usize];
+            let qpos = loc[q as usize];
+            let front = bstart[b as usize] + m;
+            if qpos < front {
+                continue; // already marked (duplicate in X is impossible,
+                          // but stale marks are cleared below anyway)
+            }
+            if m == 0 {
+                touched.push(b);
+            }
+            // Swap q with the element at `front`.
+            let other = elems[front];
+            elems[front] = q;
+            elems[qpos] = other;
+            loc[q as usize] = front;
+            loc[other as usize] = qpos;
+            marked[b as usize] = m + 1;
+        }
+
+        // Split every touched block whose mark is proper.
+        for &b in &touched {
+            let m = std::mem::take(&mut marked[b as usize]);
+            let size = bend[b as usize] - bstart[b as usize];
+            if m == size {
+                continue; // whole block marked: no split
+            }
+            // New block = the marked prefix.
+            let nb = bstart.len() as u32;
+            bstart.push(bstart[b as usize]);
+            bend.push(bstart[b as usize] + m);
+            bstart[b as usize] += m;
+            for i in bstart[nb as usize]..bend[nb as usize] {
+                block_of[elems[i] as usize] = nb;
+            }
+            marked.push(0);
+            in_work.extend(std::iter::repeat_n(false, sigma));
+            // Replace rule.
+            let nb_size = m;
+            let b_size = size - m;
+            for s in 0..sigma {
+                // If (b, s) is still queued, the stale entry now stands
+                // for the shrunk b, so the new part must also be queued;
+                // otherwise queue whichever part is smaller. Both cases
+                // queue `nb` when it is the smaller part, hence the
+                // combined condition.
+                if in_work[b as usize * sigma + s] || nb_size <= b_size {
+                    push_work(nb, s, &mut work, &mut in_work);
+                } else {
+                    push_work(b, s, &mut work, &mut in_work);
+                }
+            }
+        }
+        touched.clear();
+    }
+
+    block_of
+}
+
+/// Rebuild the quotient automaton and renumber blocks in BFS discovery
+/// order (symbols visited in index order) for canonical form.
+fn canonicalize(dfa: &Dfa, block_of: &[u32]) -> Dfa {
+    let sigma = dfa.alphabet().len();
+    let start_block = block_of[dfa.start() as usize];
+    debug_assert_ne!(start_block, u32::MAX);
+
+    // Pick one representative per block (any member works: blocks are
+    // transition-consistent).
+    let mut rep: HashMap<u32, StateId> = HashMap::new();
+    for (q, &b) in block_of.iter().enumerate() {
+        if b != u32::MAX {
+            rep.entry(b).or_insert(q as StateId);
+        }
+    }
+
+    let mut new_id: HashMap<u32, StateId> = HashMap::new();
+    let mut order: Vec<u32> = Vec::new();
+    let mut queue = VecDeque::new();
+    new_id.insert(start_block, 0);
+    order.push(start_block);
+    queue.push_back(start_block);
+    while let Some(b) = queue.pop_front() {
+        let r = rep[&b];
+        for sym in dfa.alphabet().symbols() {
+            let tb = block_of[dfa.next(r, sym) as usize];
+            if let std::collections::hash_map::Entry::Vacant(e) = new_id.entry(tb) {
+                e.insert(order.len() as StateId);
+                order.push(tb);
+                queue.push_back(tb);
+            }
+        }
+    }
+
+    let n = order.len();
+    let mut table = vec![0 as StateId; n * sigma];
+    let mut accepting = vec![false; n];
+    for (i, &b) in order.iter().enumerate() {
+        let r = rep[&b];
+        accepting[i] = dfa.is_accepting(r);
+        for sym in dfa.alphabet().symbols() {
+            let tb = block_of[dfa.next(r, sym) as usize];
+            table[i * sigma + sym.index()] = new_id[&tb];
+        }
+    }
+    Dfa::from_parts(dfa.alphabet().clone(), table, accepting, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+    use crate::regex::Regex;
+
+    fn ab() -> Alphabet {
+        Alphabet::new(["p", "q"])
+    }
+
+    fn min_dfa(s: &str) -> Dfa {
+        let a = ab();
+        Dfa::from_regex(&a, &Regex::parse(&a, s).unwrap())
+    }
+
+    #[test]
+    fn sizes_of_known_minimal_dfas() {
+        // Σ* : 1 state; ∅ : 1 state; "strings with even # of p" : 2 states.
+        assert_eq!(min_dfa(".*").num_states(), 1);
+        assert_eq!(min_dfa("[]").num_states(), 1);
+        assert_eq!(min_dfa("(q* p q* p)* q*").num_states(), 2);
+        // "ends in p": 2 states; "contains p": 2 states + nothing dead.
+        assert_eq!(min_dfa(".* p").num_states(), 2);
+        assert_eq!(min_dfa(".* p .*").num_states(), 2);
+    }
+
+    #[test]
+    fn canonical_forms_are_equal_for_equivalent_regexes() {
+        let pairs = [
+            ("(p | q)*", ".*"),
+            ("p p* ", "p+"),
+            ("(p q)* p", "p (q p)*"),
+            ("(p* q*)*", ".*"),
+            ("p? p?", "p? p?"),
+        ];
+        for (x, y) in pairs {
+            let dx = min_dfa(x);
+            let dy = min_dfa(y);
+            assert!(
+                dx.same_canonical(&dy),
+                "{x} and {y} should canonicalize identically"
+            );
+        }
+    }
+
+    #[test]
+    fn canonical_forms_differ_for_different_languages() {
+        let dx = min_dfa("p*");
+        let dy = min_dfa("p+");
+        assert!(!dx.same_canonical(&dy));
+    }
+
+    #[test]
+    fn minimization_preserves_language() {
+        let a = ab();
+        for s in ["(p q)* p .*", "(p | p p) p (p | p p)", "p* q p*"] {
+            let re = Regex::parse(&a, s).unwrap();
+            let raw = super::super::determinize::determinize(&crate::nfa::Nfa::thompson(&a, &re));
+            let min = raw.minimized();
+            assert!(min.num_states() <= raw.num_states());
+            // compare on all strings up to length 6
+            fn all(a: &Alphabet, len: usize) -> Vec<Vec<crate::symbol::Symbol>> {
+                let mut out = vec![vec![]];
+                let mut layer = vec![vec![]];
+                for _ in 0..len {
+                    let mut next = Vec::new();
+                    for w in &layer {
+                        for s in a.symbols() {
+                            let mut w2 = w.clone();
+                            w2.push(s);
+                            next.push(w2);
+                        }
+                    }
+                    out.extend(next.iter().cloned());
+                    layer = next;
+                }
+                out
+            }
+            for w in all(&a, 6) {
+                assert_eq!(raw.accepts(&w), min.accepts(&w), "mismatch for {s}");
+            }
+        }
+    }
+
+    /// Regression: the original worklist maintenance (enqueue only the
+    /// smaller split part) could miss refinements on wider alphabets,
+    /// producing a minimized DFA accepting a *different* language. Found
+    /// via the Section 7 pipeline: `(Σ−p)* − F₀` was wrongly accepting a
+    /// member of `F₀`.
+    #[test]
+    fn minimization_preserves_language_on_wide_alphabet_difference() {
+        let names = [
+            "P", "H1", "/H1", "FORM", "/FORM", "INPUT", "BR", "TABLE", "/TABLE", "TR", "/TR",
+            "TH", "/TH", "TD", "/TD", "IMG", "A", "/A",
+        ];
+        let a = Alphabet::new(names);
+        let header = "((P H1 /H1 P) | (TABLE TR TH IMG /TH /TR TR TD H1 /H1 /TD /TR TR TD A /A /TD /TR TR TD))";
+        let f0 = Dfa::from_regex(
+            &a,
+            &Regex::parse(&a, &format!("{header} FORM (TR TD)?")).unwrap(),
+        );
+        let not_p_star = Dfa::from_regex(&a, &Regex::parse(&a, "[^INPUT]*").unwrap());
+        let raw = not_p_star.difference(&f0);
+        let min = raw.minimized();
+        let w = a.str_to_syms("P H1 /H1 P FORM TR TD").unwrap();
+        assert!(!raw.accepts(&w));
+        assert!(!min.accepts(&w), "minimization changed the language");
+        // Full equivalence, not just the one witness.
+        assert!(raw.symmetric_difference(&min).shortest_member().is_none());
+    }
+
+    /// Randomized soundness: minimized DFA equivalent to its input (checked
+    /// via the product construction, which does not use Hopcroft).
+    #[test]
+    fn minimization_is_language_preserving_randomized() {
+        let names: Vec<String> = (0..6).map(|i| format!("s{i}")).collect();
+        let a = Alphabet::new(names);
+        let mut state = 0xDEADBEEFu64;
+        let mut next = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state.wrapping_mul(0x2545F4914F6CDD1D)
+        };
+        for _ in 0..30 {
+            // Random DFA: 12 states, random transitions/acceptance.
+            let n = 12usize;
+            let mut table = Vec::with_capacity(n * a.len());
+            for _ in 0..n * a.len() {
+                table.push((next() % n as u64) as u32);
+            }
+            let accepting: Vec<bool> = (0..n).map(|_| next() % 2 == 0).collect();
+            let d = Dfa::from_parts(a.clone(), table, accepting, 0);
+            let m = d.minimized();
+            assert!(
+                d.symmetric_difference(&m).shortest_member().is_none(),
+                "minimization changed a random DFA's language"
+            );
+        }
+    }
+
+    #[test]
+    fn unreachable_states_are_dropped() {
+        let a = ab();
+        // Hand-build a DFA with an unreachable accepting state.
+        // states: 0 start (rejecting), 1 unreachable accepting.
+        let table = vec![0, 0, 1, 1]; // 0 -p->0, 0 -q->0, 1 -> 1,1
+        let d = Dfa::from_parts(a.clone(), table, vec![false, true], 0);
+        let m = d.minimized();
+        assert_eq!(m.num_states(), 1);
+        assert!(!m.accepts(&[]));
+    }
+}

@@ -1,0 +1,252 @@
+//! Prefix and suffix factoring — Definition 5.1 of the paper.
+//!
+//! * **Suffix factorization** (right quotient)
+//!   `E1 / E2 = { α | ∃β ∈ L(E2), α·β ∈ L(E1) }`
+//! * **Prefix factorization** (left quotient)
+//!   `E2 \ E1 = { α | ∃β ∈ L(E2), β·α ∈ L(E1) }`
+//!
+//! Both are regular (the paper cites Conway) and computable in polynomial
+//! time (Lemma 5.2). We realize them with a single product-graph
+//! reachability pass each:
+//!
+//! * right quotient keeps the structure of `D1` and re-marks state `q` as
+//!   accepting iff, in the product `D1 × D2` started at `(q, start₂)`, some
+//!   jointly accepting pair is reachable;
+//! * left quotient collects the set `S = { δ₁(start₁, β) | β ∈ L(E2) }` via
+//!   forward product reachability and reinterprets `D1` as an NFA with start
+//!   set `S`.
+
+use super::{Dfa, StateId};
+use crate::nfa::Nfa;
+use std::collections::VecDeque;
+
+impl Dfa {
+    /// Right quotient `self / by` (the paper's suffix factorization
+    /// `E1 / E2`): strings `α` such that `α·β ∈ L(self)` for some
+    /// `β ∈ L(by)`. Result has the same state structure as `self`.
+    pub fn right_quotient(&self, by: &Dfa) -> Dfa {
+        assert!(
+            self.alphabet().compatible(by.alphabet()),
+            "quotient over incompatible alphabets"
+        );
+        let n1 = self.num_states();
+        let n2 = by.num_states();
+        let sigma = self.alphabet().len();
+        let pid = |q1: StateId, q2: StateId| q1 as usize * n2 + q2 as usize;
+
+        // Backward reachability to jointly accepting pairs over the FULL
+        // product graph (we must answer "can (q, start₂) reach accept?" for
+        // every q, not just pairs reachable from the joint start).
+        let mut rev: Vec<Vec<u32>> = vec![Vec::new(); n1 * n2];
+        let mut good = vec![false; n1 * n2];
+        let mut queue: VecDeque<u32> = VecDeque::new();
+        for q1 in 0..n1 as StateId {
+            for q2 in 0..n2 as StateId {
+                let from = pid(q1, q2);
+                for sym in self.alphabet().symbols() {
+                    let to = pid(self.next(q1, sym), by.next(q2, sym));
+                    rev[to].push(from as u32);
+                }
+                if self.is_accepting(q1) && by.is_accepting(q2) {
+                    good[from] = true;
+                    queue.push_back(from as u32);
+                }
+            }
+        }
+        // `sigma == 0` still works: no edges, only the ε case below matters.
+        let _ = sigma;
+        while let Some(s) = queue.pop_front() {
+            // Clone-free walk over predecessors.
+            let preds = std::mem::take(&mut rev[s as usize]);
+            for p in preds {
+                if !good[p as usize] {
+                    good[p as usize] = true;
+                    queue.push_back(p);
+                }
+            }
+        }
+
+        let accepting = (0..n1 as StateId)
+            .map(|q| good[pid(q, by.start())])
+            .collect();
+        self.with_accepting(accepting)
+    }
+
+    /// Left quotient `by \ self` (the paper's prefix factorization
+    /// `E2 \ E1` with `self = E1`, `by = E2`): strings `α` such that
+    /// `β·α ∈ L(self)` for some `β ∈ L(by)`.
+    pub fn left_quotient(&self, by: &Dfa) -> Dfa {
+        assert!(
+            self.alphabet().compatible(by.alphabet()),
+            "quotient over incompatible alphabets"
+        );
+        let n2 = by.num_states();
+        let pid = |q1: StateId, q2: StateId| q1 as usize * n2 + q2 as usize;
+
+        // Forward product reachability from the joint start.
+        let mut seen = vec![false; self.num_states() * n2];
+        let mut stack = vec![(self.start(), by.start())];
+        seen[pid(self.start(), by.start())] = true;
+        let mut starts: Vec<StateId> = Vec::new();
+        let mut start_marked = vec![false; self.num_states()];
+        while let Some((q1, q2)) = stack.pop() {
+            if by.is_accepting(q2) && !start_marked[q1 as usize] {
+                start_marked[q1 as usize] = true;
+                starts.push(q1);
+            }
+            for sym in self.alphabet().symbols() {
+                let t = (self.next(q1, sym), by.next(q2, sym));
+                if !seen[pid(t.0, t.1)] {
+                    seen[pid(t.0, t.1)] = true;
+                    stack.push(t);
+                }
+            }
+        }
+
+        if starts.is_empty() {
+            return Dfa::empty_lang(self.alphabet());
+        }
+        let nfa = Nfa::from_dfa(self).with_starts(starts);
+        super::determinize::determinize(&nfa)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+    use crate::regex::Regex;
+    use crate::symbol::Symbol;
+
+    fn ab() -> Alphabet {
+        Alphabet::new(["p", "q"])
+    }
+
+    fn d(s: &str) -> Dfa {
+        let a = ab();
+        Dfa::from_regex(&a, &Regex::parse(&a, s).unwrap())
+    }
+
+    fn all_strings(a: &Alphabet, max_len: usize) -> Vec<Vec<Symbol>> {
+        let mut out: Vec<Vec<Symbol>> = vec![vec![]];
+        let mut layer: Vec<Vec<Symbol>> = vec![vec![]];
+        for _ in 0..max_len {
+            let mut next = Vec::new();
+            for w in &layer {
+                for s in a.symbols() {
+                    let mut w2 = w.clone();
+                    w2.push(s);
+                    next.push(w2);
+                }
+            }
+            out.extend(next.iter().cloned());
+            layer = next;
+        }
+        out
+    }
+
+    /// Brute-force right quotient membership: α ∈ L1/L2 iff ∃β (|β| ≤ k):
+    /// α·β ∈ L1 ∧ β ∈ L2. Sound for our small test languages with k = 6.
+    fn brute_right(l1: &Dfa, l2: &Dfa, alpha: &[Symbol], k: usize) -> bool {
+        all_strings(l1.alphabet(), k).into_iter().any(|beta| {
+            if !l2.accepts(&beta) {
+                return false;
+            }
+            let mut w = alpha.to_vec();
+            w.extend_from_slice(&beta);
+            l1.accepts(&w)
+        })
+    }
+
+    fn brute_left(l1: &Dfa, l2: &Dfa, alpha: &[Symbol], k: usize) -> bool {
+        all_strings(l1.alphabet(), k).into_iter().any(|beta| {
+            if !l2.accepts(&beta) {
+                return false;
+            }
+            let mut w = beta.clone();
+            w.extend_from_slice(alpha);
+            l1.accepts(&w)
+        })
+    }
+
+    #[test]
+    fn right_quotient_matches_brute_force() {
+        let a = ab();
+        let cases = [
+            ("(p q)* p", "p"),
+            ("p* q p*", "p*"),
+            ("(p | p p) p", "p"),
+            ("[^p]* p .*", "p .*"),
+            ("p q p q", "q"),
+        ];
+        for (l1s, l2s) in cases {
+            let l1 = d(l1s);
+            let l2 = d(l2s);
+            let quot = l1.right_quotient(&l2);
+            for w in all_strings(&a, 5) {
+                assert_eq!(
+                    quot.accepts(&w),
+                    brute_right(&l1, &l2, &w, 6),
+                    "mismatch for ({l1s})/({l2s}) on {:?}",
+                    a.syms_to_str(&w)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn left_quotient_matches_brute_force() {
+        let a = ab();
+        let cases = [
+            ("(p q)* p", "p q"),
+            ("p* q p*", "p+"),
+            ("p q p q", "p q"),
+            ("[^p]* p .*", "[^p]*"),
+        ];
+        for (l1s, l2s) in cases {
+            let l1 = d(l1s);
+            let l2 = d(l2s);
+            let quot = l1.left_quotient(&l2);
+            for w in all_strings(&a, 5) {
+                assert_eq!(
+                    quot.accepts(&w),
+                    brute_left(&l1, &l2, &w, 6),
+                    "mismatch for ({l2s})\\({l1s}) on {:?}",
+                    a.syms_to_str(&w)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quotient_by_empty_language_is_empty() {
+        let l1 = d("(p q)*");
+        let empty = d("[]");
+        assert!(l1.right_quotient(&empty).minimized().same_canonical(&d("[]")));
+        assert!(l1.left_quotient(&empty).minimized().same_canonical(&d("[]")));
+    }
+
+    #[test]
+    fn quotient_by_epsilon_is_identity() {
+        let l1 = d("(p q)* p");
+        let eps = d("~");
+        assert!(l1.right_quotient(&eps).minimized().same_canonical(&l1.minimized()));
+        assert!(l1.left_quotient(&eps).minimized().same_canonical(&l1.minimized()));
+    }
+
+    #[test]
+    fn paper_example_prefixes_before_p() {
+        // For E = (q p)* and marker p: E / (p·Σ*) = prefixes of E-strings
+        // that are immediately followed by p = (q p)* q.
+        let a = ab();
+        let e = d("(q p)*");
+        let p_sigma = d("p .*");
+        let quot = e.right_quotient(&p_sigma).minimized();
+        let expect = d("(q p)* q").minimized();
+        assert!(
+            quot.same_canonical(&expect),
+            "got {}",
+            quot.to_regex().to_text(&a)
+        );
+    }
+}

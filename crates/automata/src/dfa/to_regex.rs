@@ -1,0 +1,180 @@
+//! DFA → regex conversion by state elimination (Brzozowski–McCluskey).
+//!
+//! The paper's synthesis algorithms (Section 6) operate on automata; this
+//! module converts results back to readable [`Regex`] form for display and
+//! for the `to_text` reporting used in examples and EXPERIMENTS.md. The
+//! produced regex can be exponentially larger than the DFA in the worst
+//! case; elimination order (fewest in×out edges first) plus
+//! [`Regex::simplified`] keeps practical outputs small.
+
+use super::{Dfa, StateId};
+use crate::regex::Regex;
+
+impl Dfa {
+    /// A regex denoting exactly this automaton's language.
+    pub fn to_regex(&self) -> Regex {
+        let useful = self.useful_states();
+        if !useful[self.start() as usize] {
+            return Regex::Empty;
+        }
+
+        // Generalized NFA over useful states + fresh init/final.
+        // Node ids: 0 = init, 1 = final, useful state q = map[q].
+        let n = self.num_states();
+        let mut map = vec![usize::MAX; n];
+        let mut nodes = 2usize;
+        for q in 0..n {
+            if useful[q] {
+                map[q] = nodes;
+                nodes += 1;
+            }
+        }
+
+        // Edge regexes, keyed (from, to); parallel edges join by union.
+        let mut edge: std::collections::HashMap<(usize, usize), Regex> =
+            std::collections::HashMap::new();
+        let add = |from: usize, to: usize, r: Regex, edge: &mut std::collections::HashMap<(usize, usize), Regex>| {
+            if r == Regex::Empty {
+                return;
+            }
+            edge.entry((from, to))
+                .and_modify(|e| *e = Regex::alt([e.clone(), r.clone()]))
+                .or_insert(r);
+        };
+
+        add(0, map[self.start() as usize], Regex::Epsilon, &mut edge);
+        for q in 0..n as StateId {
+            if !useful[q as usize] {
+                continue;
+            }
+            if self.is_accepting(q) {
+                add(map[q as usize], 1, Regex::Epsilon, &mut edge);
+            }
+            // Group symbols by useful target into classes.
+            let mut by_target: std::collections::HashMap<usize, crate::alphabet::SymbolSet> =
+                std::collections::HashMap::new();
+            for sym in self.alphabet().symbols() {
+                let t = self.next(q, sym);
+                if useful[t as usize] {
+                    by_target
+                        .entry(map[t as usize])
+                        .or_insert_with(|| self.alphabet().empty_set())
+                        .insert(sym);
+                }
+            }
+            for (t, set) in by_target {
+                add(map[q as usize], t, Regex::class(set), &mut edge);
+            }
+        }
+
+        // Eliminate internal nodes, cheapest (in-degree × out-degree) first.
+        let mut alive: Vec<usize> = (2..nodes).collect();
+        while !alive.is_empty() {
+            // Pick the node with fewest in×out edges among alive nodes.
+            let (pos, &v) = alive
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &v)| {
+                    let ins = edge.keys().filter(|&&(f, t)| t == v && f != v).count();
+                    let outs = edge.keys().filter(|&&(f, t)| f == v && t != v).count();
+                    ins * outs
+                })
+                .expect("alive non-empty");
+            alive.swap_remove(pos);
+
+            let self_loop = edge.remove(&(v, v));
+            let loop_star = match self_loop {
+                Some(r) => r.star(),
+                None => Regex::Epsilon,
+            };
+            let ins: Vec<(usize, Regex)> = edge
+                .iter()
+                .filter(|&(&(f, t), _)| t == v && f != v)
+                .map(|(&(f, _), r)| (f, r.clone()))
+                .collect();
+            let outs: Vec<(usize, Regex)> = edge
+                .iter()
+                .filter(|&(&(f, t), _)| f == v && t != v)
+                .map(|(&(_, t), r)| (t, r.clone()))
+                .collect();
+            edge.retain(|&(f, t), _| f != v && t != v);
+            for (f, rin) in &ins {
+                for (t, rout) in &outs {
+                    let r = Regex::concat([rin.clone(), loop_star.clone(), rout.clone()]);
+                    add(*f, *t, r, &mut edge);
+                }
+            }
+        }
+
+        let core = edge.get(&(0, 1)).cloned().unwrap_or(Regex::Empty);
+        // init/final are fresh, so any remaining self-loops on them are
+        // impossible; (0,1) is the whole language.
+        core.simplified()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+
+    fn ab() -> Alphabet {
+        Alphabet::new(["p", "q"])
+    }
+
+    fn round_trip(s: &str) {
+        let a = ab();
+        let re = Regex::parse(&a, s).unwrap();
+        let d = Dfa::from_regex(&a, &re);
+        let back = d.to_regex();
+        let d2 = Dfa::from_regex(&a, &back);
+        assert!(
+            d.minimized().same_canonical(&d2.minimized()),
+            "round trip changed language: {s} -> {}",
+            back.to_text(&a)
+        );
+    }
+
+    #[test]
+    fn round_trips_preserve_language() {
+        for s in [
+            "[]",
+            "~",
+            "p",
+            "p q",
+            "p*",
+            "(p q)* p",
+            "(p | p p) p (p | p p)",
+            "[^p]* p .*",
+            "p* q p* q p*",
+            "!(p* q)",
+            "(q p)* ([^p]* - (.* q)) p .*",
+        ] {
+            round_trip(s);
+        }
+    }
+
+    #[test]
+    fn empty_language_prints_empty() {
+        let a = ab();
+        let d = Dfa::empty_lang(&a);
+        assert_eq!(d.to_regex(), Regex::Empty);
+    }
+
+    #[test]
+    fn universal_language_prints_compactly() {
+        let a = ab();
+        let d = Dfa::universal(&a);
+        let r = d.to_regex();
+        // Should be Σ* = `.*` after simplification.
+        assert_eq!(r.to_text(&a), ".*");
+    }
+
+    #[test]
+    fn output_is_reasonably_small_for_simple_languages() {
+        let a = ab();
+        let d = Dfa::from_regex(&a, &Regex::parse(&a, "[^p]* p .*").unwrap());
+        let r = d.to_regex();
+        assert!(r.size() < 20, "oversized output: {}", r.to_text(&a));
+    }
+}

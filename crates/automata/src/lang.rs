@@ -1,0 +1,391 @@
+//! `Lang`: a regular language as a value.
+//!
+//! [`Lang`] pairs a **canonical minimal DFA** with its alphabet and exposes
+//! the whole algebra the paper uses — boolean operations, quotients,
+//! concatenation, star, reversal, decision procedures — with value
+//! semantics: `==` is language equality (cheap, by canonical-form
+//! comparison), results are always re-canonicalized.
+//!
+//! This is the type the extraction layer computes with; raw [`Dfa`]/[`Nfa`]
+//! stay internal to hot paths.
+
+use crate::alphabet::Alphabet;
+use crate::dfa::Dfa;
+use crate::nfa::Nfa;
+use crate::regex::Regex;
+use crate::symbol::Symbol;
+use std::fmt;
+
+/// A regular language over an explicit alphabet, in canonical minimal-DFA
+/// form. Cloning is O(DFA size); equality is O(DFA size) structural
+/// comparison of canonical forms.
+#[derive(Clone)]
+pub struct Lang {
+    alphabet: Alphabet,
+    dfa: Dfa,
+}
+
+impl Lang {
+    /// The empty language `∅`.
+    pub fn empty(alphabet: &Alphabet) -> Lang {
+        Lang::from_dfa(Dfa::empty_lang(alphabet))
+    }
+
+    /// The language `{ε}`.
+    pub fn epsilon(alphabet: &Alphabet) -> Lang {
+        Lang::from_regex(alphabet, &Regex::Epsilon)
+    }
+
+    /// `Σ*`.
+    pub fn universe(alphabet: &Alphabet) -> Lang {
+        Lang::from_dfa(Dfa::universal(alphabet))
+    }
+
+    /// The singleton language `{sym}`.
+    pub fn sym(alphabet: &Alphabet, sym: Symbol) -> Lang {
+        Lang::from_regex(alphabet, &Regex::sym(alphabet, sym))
+    }
+
+    /// The singleton language containing exactly `word`.
+    pub fn literal(alphabet: &Alphabet, word: &[Symbol]) -> Lang {
+        Lang::from_regex(alphabet, &Regex::literal(alphabet, word))
+    }
+
+    /// Compile a regex (extended operators included).
+    pub fn from_regex(alphabet: &Alphabet, regex: &Regex) -> Lang {
+        Lang::from_dfa(Dfa::from_regex(alphabet, regex))
+    }
+
+    /// Parse-and-compile (convenience for tests/examples).
+    pub fn parse(alphabet: &Alphabet, text: &str) -> Result<Lang, crate::regex::ParseError> {
+        Ok(Lang::from_regex(alphabet, &Regex::parse(alphabet, text)?))
+    }
+
+    /// Wrap a DFA, canonicalizing it.
+    pub fn from_dfa(dfa: Dfa) -> Lang {
+        let dfa = dfa.minimized();
+        Lang {
+            alphabet: dfa.alphabet().clone(),
+            dfa,
+        }
+    }
+
+    /// The alphabet.
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    /// The canonical minimal DFA.
+    pub fn dfa(&self) -> &Dfa {
+        &self.dfa
+    }
+
+    /// Number of states of the canonical DFA — the natural size measure for
+    /// reporting (benches plot against it).
+    pub fn num_states(&self) -> usize {
+        self.dfa.num_states()
+    }
+
+    /// Membership.
+    pub fn contains(&self, word: &[Symbol]) -> bool {
+        self.dfa.accepts(word)
+    }
+
+    // ----- boolean algebra -------------------------------------------------
+
+    /// `self ∪ other`.
+    pub fn union(&self, other: &Lang) -> Lang {
+        Lang::from_dfa(self.dfa.union(&other.dfa))
+    }
+
+    /// `self ∩ other`.
+    pub fn intersect(&self, other: &Lang) -> Lang {
+        Lang::from_dfa(self.dfa.intersect(&other.dfa))
+    }
+
+    /// `self − other`.
+    pub fn difference(&self, other: &Lang) -> Lang {
+        Lang::from_dfa(self.dfa.difference(&other.dfa))
+    }
+
+    /// `Σ* − self`.
+    pub fn complement(&self) -> Lang {
+        Lang::from_dfa(self.dfa.complement())
+    }
+
+    // ----- rational operations ---------------------------------------------
+
+    /// Concatenation `self · other`.
+    pub fn concat(&self, other: &Lang) -> Lang {
+        let n1 = Nfa::from_dfa(&self.dfa);
+        let n2 = Nfa::from_dfa(&other.dfa);
+        Lang::from_dfa(Dfa::from_nfa(&nfa_concat2(n1, n2)))
+    }
+
+    /// Kleene star `self*`.
+    pub fn star(&self) -> Lang {
+        Lang::from_dfa(Dfa::from_nfa(&nfa_star(Nfa::from_dfa(&self.dfa))))
+    }
+
+    /// Reversal `{ wᴿ | w ∈ self }`.
+    pub fn reversed(&self) -> Lang {
+        Lang::from_dfa(Dfa::from_nfa(&Nfa::from_dfa(&self.dfa).reversed()))
+    }
+
+    // ----- quotients (Definition 5.1) ---------------------------------------
+
+    /// Suffix factorization `self / by = { α | ∃β ∈ by, α·β ∈ self }`.
+    pub fn right_quotient(&self, by: &Lang) -> Lang {
+        Lang::from_dfa(self.dfa.right_quotient(&by.dfa))
+    }
+
+    /// Prefix factorization `by \ self = { α | ∃β ∈ by, β·α ∈ self }`.
+    pub fn left_quotient(&self, by: &Lang) -> Lang {
+        Lang::from_dfa(self.dfa.left_quotient(&by.dfa))
+    }
+
+    // ----- decision procedures ----------------------------------------------
+
+    /// Is the language empty?
+    pub fn is_empty(&self) -> bool {
+        self.dfa.is_empty_lang()
+    }
+
+    /// Is the language `Σ*`? (Lemma 5.9's test; exponential only through the
+    /// regex→DFA step, linear here.)
+    pub fn is_universal(&self) -> bool {
+        self.dfa.is_universal()
+    }
+
+    /// `self ⊆ other`.
+    pub fn is_subset_of(&self, other: &Lang) -> bool {
+        self.dfa.is_subset_of(&other.dfa)
+    }
+
+    /// Does ε belong to the language?
+    pub fn is_nullable(&self) -> bool {
+        self.dfa.accepts(&[])
+    }
+
+    /// A shortest member, or `None` when empty. Deterministic.
+    pub fn shortest_member(&self) -> Option<Vec<Symbol>> {
+        self.dfa.shortest_member()
+    }
+
+    /// A shortest string in the symmetric difference with `other`.
+    pub fn difference_witness(&self, other: &Lang) -> Option<Vec<Symbol>> {
+        self.dfa.difference_witness(&other.dfa)
+    }
+
+    /// Largest number of `marker` occurrences in any member; `None` if
+    /// unbounded. See [`Dfa::max_marker_count`].
+    pub fn max_marker_count(&self, marker: Symbol) -> Option<usize> {
+        self.dfa.max_marker_count(marker)
+    }
+
+    /// Is the language finite?
+    pub fn is_finite(&self) -> bool {
+        self.dfa.is_finite_lang()
+    }
+
+    /// Number of members, or `None` when infinite (saturating at
+    /// `u64::MAX`).
+    pub fn count_members(&self) -> Option<u64> {
+        self.dfa.count_members()
+    }
+
+    /// A regex denoting this language (state elimination + simplification).
+    pub fn to_regex(&self) -> Regex {
+        self.dfa.to_regex()
+    }
+
+    /// Render via [`Lang::to_regex`].
+    pub fn to_text(&self) -> String {
+        self.to_regex().to_text(&self.alphabet)
+    }
+}
+
+/// NFA concatenation of two single-part NFAs (helper for [`Lang::concat`]).
+fn nfa_concat2(n1: Nfa, n2: Nfa) -> Nfa {
+    // Reuse the regex-free composition path in `dfa`: express via assemble.
+    let alphabet = n1.alphabet().clone();
+    let off = n1.num_states() as u32;
+    let mut edges = Vec::new();
+    let mut eps = Vec::new();
+    let mut accepting = Vec::new();
+    for q in 0..n1.num_states() as u32 {
+        for (set, t) in n1.transitions(q) {
+            edges.push((q, set.clone(), t));
+        }
+        for t in n1.eps_transitions(q) {
+            eps.push((q, t));
+        }
+        if n1.is_accepting(q) {
+            for &s2 in n2.starts() {
+                eps.push((q, s2 + off));
+            }
+        }
+    }
+    for q in 0..n2.num_states() as u32 {
+        for (set, t) in n2.transitions(q) {
+            edges.push((q + off, set.clone(), t + off));
+        }
+        for t in n2.eps_transitions(q) {
+            eps.push((q + off, t + off));
+        }
+        if n2.is_accepting(q) {
+            accepting.push(q + off);
+        }
+    }
+    let starts = n1.starts().to_vec();
+    Nfa::assemble(
+        alphabet,
+        off + n2.num_states() as u32,
+        edges,
+        eps,
+        starts,
+        accepting,
+    )
+}
+
+/// NFA Kleene star: fresh accepting hub with ε to starts and from accepts.
+fn nfa_star(inner: Nfa) -> Nfa {
+    let alphabet = inner.alphabet().clone();
+    let hub = inner.num_states() as u32;
+    let mut edges = Vec::new();
+    let mut eps = Vec::new();
+    let mut accepting = vec![hub];
+    for q in 0..inner.num_states() as u32 {
+        for (set, t) in inner.transitions(q) {
+            edges.push((q, set.clone(), t));
+        }
+        for t in inner.eps_transitions(q) {
+            eps.push((q, t));
+        }
+        if inner.is_accepting(q) {
+            accepting.push(q);
+            eps.push((q, hub));
+        }
+    }
+    for &s in inner.starts() {
+        eps.push((hub, s));
+    }
+    Nfa::assemble(alphabet, hub + 1, edges, eps, vec![hub], accepting)
+}
+
+impl PartialEq for Lang {
+    fn eq(&self, other: &Self) -> bool {
+        self.dfa.same_canonical(&other.dfa)
+    }
+}
+
+impl Eq for Lang {}
+
+impl fmt::Debug for Lang {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Lang({})", self.to_text())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ab() -> Alphabet {
+        Alphabet::new(["p", "q"])
+    }
+
+    fn l(s: &str) -> Lang {
+        Lang::parse(&ab(), s).unwrap()
+    }
+
+    #[test]
+    fn equality_is_language_equality() {
+        assert_eq!(l("p p*"), l("p+"));
+        assert_eq!(l("(p | q)*"), l(".*"));
+        assert_ne!(l("p*"), l("p+"));
+    }
+
+    #[test]
+    fn algebra_laws() {
+        let x = l("(p q)* p?");
+        let y = l("q .*");
+        assert_eq!(x.union(&y), y.union(&x));
+        assert_eq!(x.intersect(&x), x);
+        assert_eq!(x.difference(&x), l("[]"));
+        assert_eq!(x.complement().complement(), x);
+        assert_eq!(x.union(&x.complement()), l(".*"));
+    }
+
+    #[test]
+    fn concat_and_star() {
+        assert_eq!(l("p").concat(&l("q")), l("p q"));
+        assert_eq!(l("p | ~").concat(&l("q*")), l("p? q*"));
+        assert_eq!(l("p q").star(), l("(p q)*"));
+        assert_eq!(l("[]").star(), l("~"));
+    }
+
+    #[test]
+    fn reversal() {
+        assert_eq!(l("p q q").reversed(), l("q q p"));
+        assert_eq!(l("(p q)*").reversed(), l("(q p)*"));
+        assert_eq!(l(".*").reversed(), l(".*"));
+    }
+
+    #[test]
+    fn quotients_via_lang() {
+        // (qp)* / (p·Σ*) = (qp)* q  (see quotient module tests)
+        let e = l("(q p)*");
+        assert_eq!(e.right_quotient(&l("p .*")), l("(q p)* q"));
+        // left quotient: (pq) \ (p q p q) = p q
+        assert_eq!(l("p q p q").left_quotient(&l("p q")), l("p q"));
+    }
+
+    #[test]
+    fn decision_procedures() {
+        assert!(l("[]").is_empty());
+        assert!(!l("~").is_empty());
+        assert!(l(".*").is_universal());
+        assert!(l("(p q)+").is_subset_of(&l("(p q)*")));
+        assert!(l("p*").is_nullable());
+        assert!(!l("p+").is_nullable());
+    }
+
+    #[test]
+    fn literal_and_membership() {
+        let a = ab();
+        let w = a.str_to_syms("p q p").unwrap();
+        let lit = Lang::literal(&a, &w);
+        assert!(lit.contains(&w));
+        assert!(!lit.contains(&a.str_to_syms("p q").unwrap()));
+        assert_eq!(lit.shortest_member(), Some(w));
+    }
+
+    #[test]
+    fn marker_count_passthrough() {
+        let a = ab();
+        assert_eq!(l("q* p q* p q*").max_marker_count(a.sym("p")), Some(2));
+        assert_eq!(l("(q p)*").max_marker_count(a.sym("p")), None);
+    }
+
+    #[test]
+    fn finiteness_and_cardinality() {
+        assert!(l("[]").is_finite());
+        assert_eq!(l("[]").count_members(), Some(0));
+        assert_eq!(l("~").count_members(), Some(1));
+        assert_eq!(l("p | q q | q p q").count_members(), Some(3));
+        assert_eq!(l("(p | q) (p | q)").count_members(), Some(4));
+        assert_eq!(l("p? q?").count_members(), Some(4));
+        assert!(!l("p*").is_finite());
+        assert_eq!(l("p*").count_members(), None);
+        // A cycle outside the useful subgraph does not make it infinite:
+        // (p p)* q & q has a p-cycle that never reaches acceptance.
+        assert_eq!(l("((p p)* q) & q").count_members(), Some(1));
+    }
+
+    #[test]
+    fn debug_shows_regex() {
+        let s = format!("{:?}", l("p q"));
+        assert!(s.starts_with("Lang("), "{s}");
+    }
+}

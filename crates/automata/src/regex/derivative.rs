@@ -1,0 +1,246 @@
+//! Brzozowski derivatives: a second, independent regex→DFA pipeline.
+//!
+//! The derivative of a language `L` by a symbol `a` is
+//! `a⁻¹L = { w | a·w ∈ L }`. Brzozowski showed derivatives of a regex are
+//! computable syntactically and that a regex has finitely many derivatives
+//! up to the ACI axioms (associativity/commutativity/idempotence of `|`),
+//! giving a direct DFA construction: states are derivative classes, the
+//! transition on `a` is "take the derivative".
+//!
+//! This crate's primary pipeline is Thompson → subset construction →
+//! Hopcroft ([`crate::dfa`]). The derivative path exists because
+//!
+//! 1. it handles the extended operators (`&`, `!`, `-`) *natively* —
+//!    derivatives distribute through them, no product constructions;
+//! 2. it is an **independent implementation** against which the primary
+//!    pipeline is cross-checked (tests here and in `tests/properties.rs`);
+//! 3. the `automata_ops` bench compares the two constructions.
+//!
+//! Normalization here applies the smart constructors (which realize ACI
+//! for `|` via flatten+dedupe) plus class-level merging; that keeps the
+//! state count finite, though not minimal — callers wanting canonical
+//! form chain [`Dfa::minimized`].
+
+use super::Regex;
+use crate::alphabet::Alphabet;
+use crate::dfa::Dfa;
+use crate::symbol::Symbol;
+use std::collections::HashMap;
+
+impl Regex {
+    /// Is ε in the language? Exact for **all** operators (unlike the
+    /// syntactic [`Regex::syntactic_nullable`]), because derivatives give
+    /// a direct recursion: complement flips, intersection conjoins.
+    pub fn nullable(&self) -> bool {
+        match self {
+            Regex::Empty => false,
+            Regex::Epsilon => true,
+            Regex::Class(_) => false,
+            Regex::Concat(v) => v.iter().all(Regex::nullable),
+            Regex::Alt(v) => v.iter().any(Regex::nullable),
+            Regex::Star(_) | Regex::Opt(_) => true,
+            Regex::Plus(r) => r.nullable(),
+            Regex::And(v) => v.iter().all(Regex::nullable),
+            Regex::Not(r) => !r.nullable(),
+            Regex::Diff(a, b) => a.nullable() && !b.nullable(),
+        }
+    }
+
+    /// The Brzozowski derivative `sym⁻¹ self`.
+    pub fn derivative(&self, alphabet: &Alphabet, sym: Symbol) -> Regex {
+        match self {
+            Regex::Empty | Regex::Epsilon => Regex::Empty,
+            Regex::Class(set) => {
+                if set.contains(sym) {
+                    Regex::Epsilon
+                } else {
+                    Regex::Empty
+                }
+            }
+            Regex::Concat(v) => {
+                // d(r₁·r₂…) = d(r₁)·rest  |  [r₁ nullable] d(rest)
+                let (head, rest) = v.split_first().expect("concat has ≥2 parts");
+                let rest_re = Regex::concat(rest.iter().cloned());
+                let first = Regex::concat([head.derivative(alphabet, sym), rest_re.clone()]);
+                if head.nullable() {
+                    Regex::alt([first, rest_re.derivative(alphabet, sym)])
+                } else {
+                    first
+                }
+            }
+            Regex::Alt(v) => Regex::alt(v.iter().map(|r| r.derivative(alphabet, sym))),
+            Regex::Star(r) => Regex::concat([r.derivative(alphabet, sym), self.clone()]),
+            Regex::Plus(r) => Regex::concat([
+                r.derivative(alphabet, sym),
+                r.clone().star(),
+            ]),
+            Regex::Opt(r) => r.derivative(alphabet, sym),
+            Regex::And(v) => Regex::and(v.iter().map(|r| r.derivative(alphabet, sym))),
+            Regex::Not(r) => r.derivative(alphabet, sym).not(),
+            Regex::Diff(a, b) => a
+                .derivative(alphabet, sym)
+                .diff(b.derivative(alphabet, sym)),
+        }
+    }
+
+    /// The derivative by a whole word.
+    pub fn word_derivative(&self, alphabet: &Alphabet, word: &[Symbol]) -> Regex {
+        let mut cur = self.clone();
+        for &s in word {
+            cur = cur.derivative(alphabet, s).simplified();
+        }
+        cur
+    }
+
+    /// Membership by iterated derivatives — O(|w|) derivative steps, no
+    /// automaton. Useful for one-off tests on huge alphabets; compiled
+    /// DFAs win for repeated matching.
+    pub fn matches(&self, alphabet: &Alphabet, word: &[Symbol]) -> bool {
+        self.word_derivative(alphabet, word).nullable()
+    }
+}
+
+/// Compile a regex to a complete DFA with Brzozowski's construction:
+/// states are (normalized) derivatives, discovered on the fly.
+///
+/// Normalization is `Regex::simplified` plus the constructors' ACI
+/// handling — sufficient for termination on every regex we generate, with
+/// a hard state cap as a safety net against pathological normalization
+/// misses.
+pub fn compile_derivative(alphabet: &Alphabet, regex: &Regex) -> Dfa {
+    const STATE_CAP: usize = 1 << 20;
+    let sigma = alphabet.len();
+    let start_re = regex.simplified();
+    let mut index: HashMap<Regex, u32> = HashMap::new();
+    let mut states: Vec<Regex> = Vec::new();
+    let mut table: Vec<u32> = Vec::new();
+    let mut accepting: Vec<bool> = Vec::new();
+
+    let mut intern = |re: Regex,
+                      states: &mut Vec<Regex>,
+                      accepting: &mut Vec<bool>|
+     -> u32 {
+        if let Some(&ix) = index.get(&re) {
+            return ix;
+        }
+        let ix = states.len() as u32;
+        assert!(states.len() < STATE_CAP, "derivative construction exploded");
+        accepting.push(re.nullable());
+        index.insert(re.clone(), ix);
+        states.push(re);
+        ix
+    };
+
+    let start = intern(start_re, &mut states, &mut accepting);
+    let mut cursor = 0usize;
+    while cursor < states.len() {
+        let re = states[cursor].clone();
+        debug_assert_eq!(table.len(), cursor * sigma);
+        for sym in alphabet.symbols() {
+            let d = re.derivative(alphabet, sym).simplified();
+            let ix = intern(d, &mut states, &mut accepting);
+            table.push(ix);
+        }
+        cursor += 1;
+    }
+    Dfa::from_parts(alphabet.clone(), table, accepting, start)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lang::Lang;
+
+    fn ab() -> Alphabet {
+        Alphabet::new(["p", "q"])
+    }
+
+    fn re(s: &str) -> Regex {
+        Regex::parse(&ab(), s).unwrap()
+    }
+
+    #[test]
+    fn nullable_is_exact_for_extended_ops() {
+        assert!(re("!p").nullable()); // ε ≠ "p"
+        assert!(!re("!(p*)").nullable());
+        assert!(re("p* & q*").nullable());
+        assert!(!re("p* - ~").nullable());
+        assert!(re(".* - p").nullable());
+    }
+
+    #[test]
+    fn single_derivatives() {
+        let a = ab();
+        let p = a.sym("p");
+        assert_eq!(re("p q").derivative(&a, p).simplified(), re("q"));
+        assert_eq!(re("q").derivative(&a, p), Regex::Empty);
+        assert_eq!(re("p*").derivative(&a, p).simplified(), re("p*"));
+        // d_p(p|pp) = ε|p = p?
+        assert_eq!(re("p | p p").derivative(&a, p).simplified(), re("p?"));
+    }
+
+    #[test]
+    fn matches_agrees_with_dfa_membership() {
+        let a = ab();
+        for s in [
+            "(p q)* p .*",
+            "[^p]* p .*",
+            "!(p* q) & .*",
+            "(q p)* - (q p q p)",
+            "p+ q? (p | q q)*",
+        ] {
+            let r = re(s);
+            let lang = Lang::from_regex(&a, &r);
+            for w in crate::sample::enumerate_upto(&Lang::universe(&a), 6) {
+                assert_eq!(
+                    r.matches(&a, &w),
+                    lang.contains(&w),
+                    "disagreement for {s} on {:?}",
+                    a.syms_to_str(&w)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn derivative_dfa_equals_thompson_dfa() {
+        let a = ab();
+        for s in [
+            "p q",
+            "(p q)* p",
+            "[^p]* p .*",
+            "(p | p p) p (p | p p)",
+            "!(p* q)",
+            "(.* - ~ - p - q)*",
+            "p* & (q | p p*)",
+        ] {
+            let r = re(s);
+            let via_derivative = compile_derivative(&a, &r).minimized();
+            let via_thompson = Dfa::from_regex(&a, &r);
+            assert!(
+                via_derivative.same_canonical(&via_thompson),
+                "pipelines disagree on {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn derivative_construction_terminates_on_stars_of_unions() {
+        // The classic ACI stress: without idempotent unions, (p|q)* blows
+        // up. Our constructors dedupe, so this stays tiny.
+        let a = ab();
+        let d = compile_derivative(&a, &re("(p | q)* p (p | q)*"));
+        assert!(d.num_states() <= 8, "got {} states", d.num_states());
+    }
+
+    #[test]
+    fn word_derivative_characterizes_suffix_language() {
+        // w⁻¹L = { v | w·v ∈ L }: check against the left quotient.
+        let a = ab();
+        let r = re("(p q)* p");
+        let w = a.str_to_syms("p q").unwrap();
+        let derived = Lang::from_regex(&a, &r.word_derivative(&a, &w));
+        let quotient = Lang::from_regex(&a, &r).left_quotient(&Lang::literal(&a, &w));
+        assert_eq!(derived, quotient);
+    }
+}

@@ -1,0 +1,219 @@
+//! Pretty-printing of regexes in the surface syntax of
+//! [`parser`](super::parser), with minimal parentheses.
+//!
+//! Printing needs an [`Alphabet`] for symbol names, so `Regex` does not
+//! implement `Display` directly; use [`Regex::display`] to obtain a
+//! displayable adapter. The printer round-trips through the parser:
+//! `parse(print(r))` always denotes the same language (and is structurally
+//! equal for constructor-normalized regexes).
+
+use super::Regex;
+use crate::alphabet::Alphabet;
+use std::fmt;
+
+/// Binding strength used to decide parenthesization. Mirrors the parser's
+/// precedence levels.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Level {
+    /// `|`
+    Alt,
+    /// `-`, `&`
+    DiffAnd,
+    /// juxtaposition
+    Concat,
+    /// `*`, `+`, `?`, `!`, atoms
+    Postfix,
+}
+
+/// Displayable regex adapter returned by [`Regex::display`].
+pub struct RegexDisplay<'a> {
+    regex: &'a Regex,
+    alphabet: &'a Alphabet,
+}
+
+impl Regex {
+    /// Adapter implementing `Display` using `alphabet` for symbol names.
+    pub fn display<'a>(&'a self, alphabet: &'a Alphabet) -> RegexDisplay<'a> {
+        RegexDisplay { regex: self, alphabet }
+    }
+
+    /// Shorthand: render to a `String`.
+    pub fn to_text(&self, alphabet: &Alphabet) -> String {
+        self.display(alphabet).to_string()
+    }
+}
+
+impl fmt::Display for RegexDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write(f, self.regex, self.alphabet, Level::Alt)
+    }
+}
+
+fn level_of(r: &Regex) -> Level {
+    match r {
+        Regex::Alt(_) => Level::Alt,
+        Regex::And(_) | Regex::Diff(_, _) => Level::DiffAnd,
+        Regex::Concat(_) => Level::Concat,
+        _ => Level::Postfix,
+    }
+}
+
+fn write(f: &mut fmt::Formatter<'_>, r: &Regex, ab: &Alphabet, min: Level) -> fmt::Result {
+    let needs_parens = level_of(r) < min;
+    if needs_parens {
+        write!(f, "(")?;
+    }
+    match r {
+        Regex::Empty => write!(f, "[]")?,
+        Regex::Epsilon => write!(f, "~")?,
+        Regex::Class(set) => {
+            if set.is_full() {
+                write!(f, ".")?;
+            } else if set.len() == 1 {
+                let s = set.first().expect("non-empty class");
+                write!(f, "{}", ab.name(s))?;
+            } else if set.len() * 2 > set.universe() {
+                // Complemented form is shorter: print [^ …].
+                write!(f, "[^")?;
+                for (i, s) in set.complement().iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "{}", ab.name(s))?;
+                }
+                write!(f, "]")?;
+            } else {
+                write!(f, "[")?;
+                for (i, s) in set.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "{}", ab.name(s))?;
+                }
+                write!(f, "]")?;
+            }
+        }
+        Regex::Concat(parts) => {
+            for (i, p) in parts.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " ")?;
+                }
+                write(f, p, ab, next_up(Level::Concat))?;
+            }
+        }
+        Regex::Alt(parts) => {
+            for (i, p) in parts.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " | ")?;
+                }
+                write(f, p, ab, Level::DiffAnd)?;
+            }
+        }
+        Regex::And(parts) => {
+            for (i, p) in parts.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " & ")?;
+                }
+                write(f, p, ab, Level::Concat)?;
+            }
+        }
+        Regex::Diff(a, b) => {
+            // Left-associative: left child may be another Diff/And at the
+            // same level, right child must bind tighter.
+            write(f, a, ab, Level::DiffAnd)?;
+            write!(f, " - ")?;
+            write(f, b, ab, Level::Concat)?;
+        }
+        Regex::Star(inner) => {
+            write(f, inner, ab, Level::Postfix)?;
+            write!(f, "*")?;
+        }
+        Regex::Plus(inner) => {
+            write(f, inner, ab, Level::Postfix)?;
+            write!(f, "+")?;
+        }
+        Regex::Opt(inner) => {
+            write(f, inner, ab, Level::Postfix)?;
+            write!(f, "?")?;
+        }
+        Regex::Not(inner) => {
+            write!(f, "!")?;
+            write(f, inner, ab, Level::Postfix)?;
+        }
+    }
+    if needs_parens {
+        write!(f, ")")?;
+    }
+    Ok(())
+}
+
+fn next_up(l: Level) -> Level {
+    match l {
+        Level::Alt => Level::DiffAnd,
+        Level::DiffAnd => Level::Concat,
+        Level::Concat | Level::Postfix => Level::Postfix,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+
+    fn ab() -> Alphabet {
+        Alphabet::new(["p", "q", "r"])
+    }
+
+    fn round_trip(s: &str) -> String {
+        let a = ab();
+        Regex::parse(&a, s).unwrap().to_text(&a)
+    }
+
+    #[test]
+    fn atoms_print() {
+        assert_eq!(round_trip("p"), "p");
+        assert_eq!(round_trip("~"), "~");
+        assert_eq!(round_trip("[]"), "[]");
+        assert_eq!(round_trip("."), ".");
+        // A class containing most of the universe prints complemented.
+        assert_eq!(round_trip("[p q]"), "[^r]");
+        assert_eq!(round_trip("[^p]"), "[^p]");
+        // A minority class prints positively (universe {p,q,r}: singleton).
+        assert_eq!(round_trip("[q]"), "q");
+    }
+
+    #[test]
+    fn parens_are_minimal() {
+        assert_eq!(round_trip("(p q)* p"), "(p q)* p");
+        assert_eq!(round_trip("p | q r"), "p | q r");
+        assert_eq!(round_trip("(p | q) r"), "(p | q) r");
+        assert_eq!(round_trip("p (q | r)"), "p (q | r)");
+        assert_eq!(round_trip("!p*"), "!(p*)".replace("(", "").replace(")", ""));
+    }
+
+    #[test]
+    fn extended_ops_print() {
+        assert_eq!(round_trip("p - q"), "p - q");
+        assert_eq!(round_trip("p & q"), "p & q");
+        assert_eq!(round_trip("(p - q) - r"), "p - q - r");
+        assert_eq!(round_trip("p - (q | r)"), "p - (q | r)");
+    }
+
+    #[test]
+    fn print_parse_round_trip_is_stable() {
+        let a = ab();
+        for s in [
+            "(p q)* p .*",
+            "(p | p p) p (p | p p)",
+            "[^p]* p .*",
+            "(q p)* ([^p]* - (.* q)) p .*",
+            "!(p | q)* & .* p",
+            "p+ q? (r | ~)",
+        ] {
+            let r1 = Regex::parse(&a, s).unwrap();
+            let text = r1.to_text(&a);
+            let r2 = Regex::parse(&a, &text).unwrap();
+            assert_eq!(r1, r2, "unstable round trip for {s} -> {text}");
+        }
+    }
+}

@@ -1,0 +1,319 @@
+//! Cheap structural properties of regexes: size, nullability, symbol usage,
+//! and literal detection.
+//!
+//! These are syntactic (no automata construction). `nullable` is exact for
+//! the Thompson fragment; for extended operators it is computed semantically
+//! by the [`Lang`](crate::lang::Lang) layer instead, so here it is
+//! conservative and documented as such.
+
+use super::Regex;
+use crate::alphabet::{Alphabet, SymbolSet};
+use crate::symbol::Symbol;
+
+impl Regex {
+    /// Number of AST nodes. The paper's complexity bounds (Theorem 5.6:
+    /// "quadratic in the size of `E1⟨p⟩E2`") are stated against this measure
+    /// plus alphabet size; benches report it.
+    pub fn size(&self) -> usize {
+        match self {
+            Regex::Empty | Regex::Epsilon | Regex::Class(_) => 1,
+            Regex::Concat(v) | Regex::Alt(v) | Regex::And(v) => {
+                1 + v.iter().map(Regex::size).sum::<usize>()
+            }
+            Regex::Star(r) | Regex::Plus(r) | Regex::Opt(r) | Regex::Not(r) => 1 + r.size(),
+            Regex::Diff(a, b) => 1 + a.size() + b.size(),
+        }
+    }
+
+    /// Syntactic nullability: `Some(true)`/`Some(false)` when decidable
+    /// without automata (the Thompson fragment), `None` when the answer
+    /// depends on an extended operator (`Not`, `Diff`, sometimes `And`).
+    pub fn syntactic_nullable(&self) -> Option<bool> {
+        match self {
+            Regex::Empty => Some(false),
+            Regex::Epsilon => Some(true),
+            Regex::Class(_) => Some(false),
+            Regex::Concat(v) => {
+                let mut all = true;
+                for r in v {
+                    match r.syntactic_nullable() {
+                        Some(true) => {}
+                        Some(false) => return Some(false),
+                        None => all = false,
+                    }
+                }
+                if all {
+                    Some(true)
+                } else {
+                    None
+                }
+            }
+            Regex::Alt(v) => {
+                let mut any_unknown = false;
+                for r in v {
+                    match r.syntactic_nullable() {
+                        Some(true) => return Some(true),
+                        Some(false) => {}
+                        None => any_unknown = true,
+                    }
+                }
+                if any_unknown {
+                    None
+                } else {
+                    Some(false)
+                }
+            }
+            Regex::Star(_) | Regex::Opt(_) => Some(true),
+            Regex::Plus(r) => r.syntactic_nullable(),
+            Regex::And(v) => {
+                // Nullable iff all are; false if any is definitely not.
+                let mut all_true = true;
+                for r in v {
+                    match r.syntactic_nullable() {
+                        Some(false) => return Some(false),
+                        Some(true) => {}
+                        None => all_true = false,
+                    }
+                }
+                if all_true {
+                    Some(true)
+                } else {
+                    None
+                }
+            }
+            Regex::Not(_) | Regex::Diff(_, _) => None,
+        }
+    }
+
+    /// The set of symbols that appear in some class of the regex. This
+    /// over-approximates the symbols that can occur in members of the
+    /// language for the Thompson fragment, and is purely syntactic for
+    /// extended operators.
+    pub fn used_symbols(&self, alphabet: &Alphabet) -> SymbolSet {
+        let mut set = alphabet.empty_set();
+        self.collect_symbols(&mut set);
+        set
+    }
+
+    fn collect_symbols(&self, out: &mut SymbolSet) {
+        match self {
+            Regex::Empty | Regex::Epsilon => {}
+            Regex::Class(s) => {
+                *out = out.union(s);
+            }
+            Regex::Concat(v) | Regex::Alt(v) | Regex::And(v) => {
+                for r in v {
+                    r.collect_symbols(out);
+                }
+            }
+            Regex::Star(r) | Regex::Plus(r) | Regex::Opt(r) | Regex::Not(r) => {
+                r.collect_symbols(out)
+            }
+            Regex::Diff(a, b) => {
+                a.collect_symbols(out);
+                b.collect_symbols(out);
+            }
+        }
+    }
+
+    /// If the regex denotes exactly one string (a literal), return it.
+    /// Recognizes concatenations of singleton classes and `ε`; returns
+    /// `None` for anything else (even if semantically a literal).
+    pub fn as_literal(&self) -> Option<Vec<Symbol>> {
+        let mut out = Vec::new();
+        if self.push_literal(&mut out) {
+            Some(out)
+        } else {
+            None
+        }
+    }
+
+    fn push_literal(&self, out: &mut Vec<Symbol>) -> bool {
+        match self {
+            Regex::Epsilon => true,
+            Regex::Class(s) if s.len() == 1 => {
+                out.push(s.first().expect("singleton"));
+                true
+            }
+            Regex::Concat(v) => v.iter().all(|r| r.push_literal(out)),
+            _ => false,
+        }
+    }
+
+    /// Re-express this regex over another alphabet, mapping symbols by
+    /// name. Every symbol used must exist (by name) in `to`; classes keep
+    /// their membership, so a complemented class like `[^p]` **changes
+    /// meaning** if `to` has extra symbols — which is exactly what the
+    /// fresh-marker construction of Proposition 5.5 requires (there the
+    /// *positive* classes must stay fixed while `Σ` grows). Callers that
+    /// need complement-stable remapping should rebuild from semantics
+    /// instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a used symbol has no namesake in `to`.
+    pub fn remap(&self, from: &Alphabet, to: &Alphabet) -> Regex {
+        let map_class = |set: &SymbolSet| -> SymbolSet {
+            let mut out = to.empty_set();
+            for s in set.iter() {
+                let name = from.name(s);
+                let t = to
+                    .try_sym(name)
+                    .unwrap_or_else(|| panic!("symbol {name:?} missing from target alphabet"));
+                out.insert(t);
+            }
+            out
+        };
+        self.map_classes(&map_class)
+    }
+
+    /// Widen every class containing `sym` by also admitting `extra` — the
+    /// simultaneous substitution `p → (p | c)` of Proposition 5.5 (on
+    /// class-normalized regexes every occurrence of a symbol is a class
+    /// membership).
+    pub fn widen_sym(&self, sym: Symbol, extra: Symbol) -> Regex {
+        self.map_classes(&|set: &SymbolSet| {
+            if set.contains(sym) {
+                let mut s = set.clone();
+                s.insert(extra);
+                s
+            } else {
+                set.clone()
+            }
+        })
+    }
+
+    /// Structure-preserving map over every `Class` leaf.
+    fn map_classes(&self, f: &impl Fn(&SymbolSet) -> SymbolSet) -> Regex {
+        match self {
+            Regex::Empty => Regex::Empty,
+            Regex::Epsilon => Regex::Epsilon,
+            Regex::Class(s) => Regex::class(f(s)),
+            Regex::Concat(v) => Regex::concat(v.iter().map(|r| r.map_classes(f))),
+            Regex::Alt(v) => Regex::alt(v.iter().map(|r| r.map_classes(f))),
+            Regex::And(v) => Regex::and(v.iter().map(|r| r.map_classes(f))),
+            Regex::Star(r) => r.map_classes(f).star(),
+            Regex::Plus(r) => r.map_classes(f).plus(),
+            Regex::Opt(r) => r.map_classes(f).opt(),
+            Regex::Not(r) => r.map_classes(f).not(),
+            Regex::Diff(a, b) => a.map_classes(f).diff(b.map_classes(f)),
+        }
+    }
+
+    /// Count occurrences of `sym` as a *syntactic* singleton-class leaf.
+    /// Used by heuristics that look for pivot occurrences.
+    pub fn count_sym_leaves(&self, sym: Symbol) -> usize {
+        match self {
+            Regex::Class(s) if s.len() == 1 && s.contains(sym) => 1,
+            Regex::Class(_) | Regex::Empty | Regex::Epsilon => 0,
+            Regex::Concat(v) | Regex::Alt(v) | Regex::And(v) => {
+                v.iter().map(|r| r.count_sym_leaves(sym)).sum()
+            }
+            Regex::Star(r) | Regex::Plus(r) | Regex::Opt(r) | Regex::Not(r) => {
+                r.count_sym_leaves(sym)
+            }
+            Regex::Diff(a, b) => a.count_sym_leaves(sym) + b.count_sym_leaves(sym),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+
+    fn ab() -> Alphabet {
+        Alphabet::new(["p", "q", "r"])
+    }
+
+    fn re(s: &str) -> Regex {
+        Regex::parse(&ab(), s).unwrap()
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        assert_eq!(re("p").size(), 1);
+        assert_eq!(re("p q").size(), 3);
+        assert_eq!(re("(p | q)*").size(), 4);
+    }
+
+    #[test]
+    fn syntactic_nullable_thompson_fragment() {
+        assert_eq!(re("~").syntactic_nullable(), Some(true));
+        assert_eq!(re("[]").syntactic_nullable(), Some(false));
+        assert_eq!(re("p*").syntactic_nullable(), Some(true));
+        assert_eq!(re("p+").syntactic_nullable(), Some(false));
+        assert_eq!(re("p?").syntactic_nullable(), Some(true));
+        assert_eq!(re("p q").syntactic_nullable(), Some(false));
+        assert_eq!(re("p* q*").syntactic_nullable(), Some(true));
+        assert_eq!(re("p | q*").syntactic_nullable(), Some(true));
+        assert_eq!(re("p | q").syntactic_nullable(), Some(false));
+    }
+
+    #[test]
+    fn syntactic_nullable_extended_is_conservative() {
+        assert_eq!(re("!p").syntactic_nullable(), None);
+        assert_eq!(re("p* - q").syntactic_nullable(), None);
+        // And with a definitely-non-nullable operand is decidable.
+        assert_eq!(re("p & !q").syntactic_nullable(), Some(false));
+    }
+
+    #[test]
+    fn used_symbols_collects_classes() {
+        let a = ab();
+        let s = re("p (q | [p r])*").used_symbols(&a);
+        assert!(s.contains(a.sym("p")));
+        assert!(s.contains(a.sym("q")));
+        assert!(s.contains(a.sym("r")));
+        let s2 = re("p p p").used_symbols(&a);
+        assert_eq!(s2.len(), 1);
+    }
+
+    #[test]
+    fn literal_detection() {
+        let a = ab();
+        assert_eq!(
+            re("p q p").as_literal(),
+            Some(a.str_to_syms("p q p").unwrap())
+        );
+        assert_eq!(re("~").as_literal(), Some(vec![]));
+        assert_eq!(re("p*").as_literal(), None);
+        assert_eq!(re("[p q]").as_literal(), None);
+    }
+
+    #[test]
+    fn remap_preserves_structure_by_name() {
+        let small = Alphabet::new(["p", "q"]);
+        let big = Alphabet::new(["x", "p", "q", "y"]);
+        let r = Regex::parse(&small, "(p q)* p").unwrap();
+        let m = r.remap(&small, &big);
+        assert_eq!(m.to_text(&big), "(p q)* p");
+    }
+
+    #[test]
+    #[should_panic(expected = "missing from target alphabet")]
+    fn remap_rejects_missing_symbols() {
+        let small = Alphabet::new(["p", "q"]);
+        let other = Alphabet::new(["p"]);
+        Regex::parse(&small, "p q").unwrap().remap(&small, &other);
+    }
+
+    #[test]
+    fn widen_sym_substitutes_in_classes() {
+        let a = Alphabet::new(["p", "q", "c"]);
+        let r = Regex::parse(&a, "q p [p q]").unwrap();
+        let w = r.widen_sym(a.sym("p"), a.sym("c"));
+        // p → [p c] (prints complemented as [^q]); [p q] → [p q c] = Σ = ".".
+        assert_eq!(w.to_text(&a), "q [^q] .");
+        // classes not containing p are untouched
+        let r2 = Regex::parse(&a, "q*").unwrap();
+        assert_eq!(r2.widen_sym(a.sym("p"), a.sym("c")), r2);
+    }
+
+    #[test]
+    fn sym_leaf_counting() {
+        let a = ab();
+        assert_eq!(re("p q p* (p | q)").count_sym_leaves(a.sym("p")), 3);
+        assert_eq!(re("[p q]").count_sym_leaves(a.sym("p")), 0);
+    }
+}

@@ -1,0 +1,196 @@
+//! Algebraic regex simplification.
+//!
+//! The left-filtering maximization algorithm and DFA→regex state elimination
+//! both produce syntactically bloated expressions. This module applies
+//! language-preserving rewrites bottom-up until a fixpoint. Rules are all
+//! purely syntactic — semantic minimization belongs to
+//! [`Lang`](crate::lang::Lang) (minimize the DFA, then re-extract a regex).
+//!
+//! Rules implemented (beyond what the smart constructors already do):
+//!
+//! * merging unions of single-symbol classes into one class:
+//!   `p | q | [r s] → [p q r s]`,
+//! * `ε | e → e?`,
+//! * `e e* → e+`, `e* e → e+`, `e* e* → e*`,
+//! * `(e | ε)` inside star/plus: `(e?)* → e*`,
+//! * `e? e* → e*`,
+//! * idempotent union collapse (done by `Regex::alt`),
+//! * star absorption: `(e*)? → e*` etc. (done by smart constructors).
+
+use super::Regex;
+
+impl Regex {
+    /// Simplify bottom-up to a fixpoint (bounded by a few passes; each pass
+    /// is size-non-increasing so termination is immediate in practice).
+    pub fn simplified(&self) -> Regex {
+        let mut cur = self.clone();
+        for _ in 0..8 {
+            let next = simplify_once(&cur);
+            if next == cur {
+                break;
+            }
+            cur = next;
+        }
+        cur
+    }
+}
+
+fn simplify_once(r: &Regex) -> Regex {
+    match r {
+        Regex::Empty | Regex::Epsilon | Regex::Class(_) => r.clone(),
+        Regex::Concat(parts) => {
+            let parts: Vec<Regex> = parts.iter().map(simplify_once).collect();
+            simplify_concat(parts)
+        }
+        Regex::Alt(parts) => {
+            let parts: Vec<Regex> = parts.iter().map(simplify_once).collect();
+            simplify_alt(parts)
+        }
+        Regex::Star(inner) => simplify_once(inner).star(),
+        Regex::Plus(inner) => simplify_once(inner).plus(),
+        Regex::Opt(inner) => simplify_once(inner).opt(),
+        Regex::And(parts) => Regex::and(parts.iter().map(simplify_once)),
+        Regex::Not(inner) => simplify_once(inner).not(),
+        Regex::Diff(a, b) => simplify_once(a).diff(simplify_once(b)),
+    }
+}
+
+/// Concatenation rewrites over an already-simplified part list.
+fn simplify_concat(parts: Vec<Regex>) -> Regex {
+    let mut out: Vec<Regex> = Vec::with_capacity(parts.len());
+    for part in parts {
+        if let Some(prev) = out.last() {
+            // e* e* -> e* ;  e? e* -> e* ;  e* e? -> e*
+            if let (Regex::Star(a), Regex::Star(b) | Regex::Opt(b)) = (prev, &part) {
+                if a == b {
+                    continue;
+                }
+            }
+            if let (Regex::Opt(a), Regex::Star(b)) = (prev, &part) {
+                if a == b {
+                    let replacement = part.clone();
+                    out.pop();
+                    out.push(replacement);
+                    continue;
+                }
+            }
+            // e e* -> e+ ;  e* e -> e+
+            if let Regex::Star(b) = &part {
+                if prev == b.as_ref() {
+                    out.pop();
+                    out.push(part_to_plus(b));
+                    continue;
+                }
+            }
+            if let Regex::Star(a) = prev {
+                if a.as_ref() == &part {
+                    let inner = a.clone();
+                    out.pop();
+                    out.push(part_to_plus(&inner));
+                    continue;
+                }
+            }
+        }
+        out.push(part);
+    }
+    Regex::concat(out)
+}
+
+fn part_to_plus(inner: &Regex) -> Regex {
+    inner.clone().plus()
+}
+
+/// Union rewrites over an already-simplified part list.
+fn simplify_alt(parts: Vec<Regex>) -> Regex {
+    // Merge all single-symbol-class alternatives into one class.
+    let mut class_acc: Option<crate::alphabet::SymbolSet> = None;
+    let mut has_epsilon = false;
+    let mut rest: Vec<Regex> = Vec::new();
+    for p in parts {
+        match p {
+            Regex::Class(s) => {
+                class_acc = Some(match class_acc {
+                    None => s,
+                    Some(acc) => acc.union(&s),
+                });
+            }
+            Regex::Epsilon => has_epsilon = true,
+            other => rest.push(other),
+        }
+    }
+    let mut out: Vec<Regex> = Vec::new();
+    if let Some(c) = class_acc {
+        out.push(Regex::class(c));
+    }
+    out.extend(rest);
+    if has_epsilon {
+        // ε | e  →  e?   when there is exactly one other branch; otherwise
+        // keep ε explicit only if no branch is already nullable.
+        if out.len() == 1 {
+            let only = out.pop().expect("len checked");
+            return only.opt();
+        }
+        let some_nullable = out
+            .iter()
+            .any(|r| r.syntactic_nullable() == Some(true));
+        if !some_nullable {
+            return Regex::alt(out).opt();
+        }
+    }
+    Regex::alt(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+
+    fn ab() -> Alphabet {
+        Alphabet::new(["p", "q", "r", "s"])
+    }
+
+    fn simp(s: &str) -> String {
+        let a = ab();
+        Regex::parse(&a, s).unwrap().simplified().to_text(&a)
+    }
+
+    #[test]
+    fn merges_symbol_unions_into_classes() {
+        assert_eq!(simp("p | q"), "[p q]");
+        assert_eq!(simp("p | q | r | s"), ".");
+        assert_eq!(simp("(p | q | r)*"), "[^s]*");
+    }
+
+    #[test]
+    fn epsilon_union_becomes_opt() {
+        assert_eq!(simp("~ | p"), "p?");
+        assert_eq!(simp("~ | p q"), "(p q)?");
+        // already-nullable branch keeps plain union shape
+        assert_eq!(simp("~ | p*"), "p*");
+    }
+
+    #[test]
+    fn star_concat_collapses() {
+        assert_eq!(simp("p* p*"), "p*");
+        assert_eq!(simp("p p*"), "p+");
+        assert_eq!(simp("p* p"), "p+");
+        assert_eq!(simp("p? p*"), "p*");
+        assert_eq!(simp("p* p?"), "p*");
+    }
+
+    #[test]
+    fn nested_simplification_reaches_fixpoint() {
+        assert_eq!(simp("(p | q) | (q | r)"), "[^s]");
+        assert_eq!(simp("((p?)*)?"), "p*");
+        assert_eq!(simp("(~ | p) (~ | p)*"), "p*");
+    }
+
+    #[test]
+    fn simplification_is_idempotent() {
+        let a = ab();
+        for s in ["p* p q | ~ | q", "(p | q)* (p | q)", "!(p - q)*"] {
+            let once = Regex::parse(&a, s).unwrap().simplified();
+            assert_eq!(once.simplified(), once);
+        }
+    }
+}

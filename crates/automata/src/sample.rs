@@ -1,0 +1,273 @@
+//! Enumeration and random sampling of language members.
+//!
+//! Tests use [`enumerate_upto`] as a brute-force oracle (definitional checks
+//! of ambiguity, maximality, quotients on small languages); benches and the
+//! resilience experiments use [`Sampler`] to draw random members of a
+//! language — e.g. random documents matched by an extraction expression.
+//!
+//! Sampling is a biased random walk on the DFA restricted to useful states:
+//! at each step we either stop (if accepting) or take a uniformly random
+//! useful transition, with the stop probability tuned by the target length.
+//! This is not uniform over the language; it is deterministic given the RNG
+//! seed, cheap, and produces the length spread the experiments need.
+
+use crate::dfa::{Dfa, StateId};
+use crate::lang::Lang;
+use crate::symbol::Symbol;
+
+/// Enumerate every member of `lang` with length ≤ `max_len`, in
+/// length-lexicographic order. Intended for small alphabets/lengths.
+pub fn enumerate_upto(lang: &Lang, max_len: usize) -> Vec<Vec<Symbol>> {
+    let dfa = lang.dfa();
+    let mut out = Vec::new();
+    let mut layer: Vec<(Vec<Symbol>, StateId)> = vec![(Vec::new(), dfa.start())];
+    if dfa.is_accepting(dfa.start()) {
+        out.push(Vec::new());
+    }
+    for _ in 0..max_len {
+        let mut next = Vec::new();
+        for (w, q) in &layer {
+            for sym in dfa.alphabet().symbols() {
+                let t = dfa.next(*q, sym);
+                let mut w2 = w.clone();
+                w2.push(sym);
+                if dfa.is_accepting(t) {
+                    out.push(w2.clone());
+                }
+                next.push((w2, t));
+            }
+        }
+        layer = next;
+    }
+    out
+}
+
+/// Count members of each length `0..=max_len` (dynamic programming over
+/// state occupancy — no enumeration, so long lengths are fine).
+pub fn count_by_length(lang: &Lang, max_len: usize) -> Vec<u64> {
+    let dfa = lang.dfa();
+    let n = dfa.num_states();
+    let mut occ = vec![0u64; n];
+    occ[dfa.start() as usize] = 1;
+    let mut out = Vec::with_capacity(max_len + 1);
+    for _ in 0..=max_len {
+        let accepted: u64 = (0..n)
+            .filter(|&q| dfa.is_accepting(q as StateId))
+            .map(|q| occ[q])
+            .sum();
+        out.push(accepted);
+        let mut next = vec![0u64; n];
+        for q in 0..n {
+            if occ[q] == 0 {
+                continue;
+            }
+            for sym in dfa.alphabet().symbols() {
+                let t = dfa.next(q as StateId, sym) as usize;
+                next[t] = next[t].saturating_add(occ[q]);
+            }
+        }
+        occ = next;
+    }
+    out
+}
+
+/// A deterministic pseudo-random member sampler for a language.
+///
+/// Carries its own small xorshift state so the crate needs no RNG
+/// dependency; seed it explicitly for reproducible experiments.
+pub struct Sampler {
+    dfa: Dfa,
+    useful: Vec<bool>,
+    state: u64,
+    /// Soft target length: stopping becomes increasingly likely past it.
+    pub target_len: usize,
+}
+
+impl Sampler {
+    /// Create a sampler for `lang` with RNG `seed` and soft `target_len`.
+    pub fn new(lang: &Lang, seed: u64, target_len: usize) -> Sampler {
+        let dfa = lang.dfa().clone();
+        let useful = dfa.useful_states();
+        Sampler {
+            dfa,
+            useful,
+            state: seed.max(1),
+            target_len,
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // xorshift64*
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.next_u64() % den < num
+    }
+
+    /// Draw one member, or `None` if the language is empty.
+    ///
+    /// The walk is over useful states only, so it can always finish; to
+    /// guarantee termination we force the shortest completion once the word
+    /// grows past `4 * target_len + 8`.
+    pub fn sample(&mut self) -> Option<Vec<Symbol>> {
+        if !self.useful[self.dfa.start() as usize] {
+            return None;
+        }
+        let hard_cap = 4 * self.target_len + 8;
+        let mut word = Vec::new();
+        let mut q = self.dfa.start();
+        loop {
+            let stop_ok = self.dfa.is_accepting(q);
+            if stop_ok {
+                // Stop with probability growing in word length.
+                let num = (word.len() as u64 + 1).min(self.target_len as u64 + 1);
+                let den = self.target_len as u64 + 2;
+                if word.len() >= hard_cap || self.chance(num, den) {
+                    return Some(word);
+                }
+            }
+            if word.len() >= hard_cap {
+                // Force shortest completion to an accepting state.
+                word.extend(self.shortest_completion(q));
+                return Some(word);
+            }
+            let choices: Vec<Symbol> = self
+                .dfa
+                .alphabet()
+                .symbols()
+                .filter(|&s| self.useful[self.dfa.next(q, s) as usize])
+                .collect();
+            if choices.is_empty() {
+                // Accepting (else not useful) with nowhere useful to go.
+                return Some(word);
+            }
+            let pick = choices[(self.next_u64() % choices.len() as u64) as usize];
+            word.push(pick);
+            q = self.dfa.next(q, pick);
+        }
+    }
+
+    /// BFS shortest path from `q` to an accepting state (exists: `q` is
+    /// useful).
+    fn shortest_completion(&self, q: StateId) -> Vec<Symbol> {
+        use std::collections::VecDeque;
+        if self.dfa.is_accepting(q) {
+            return Vec::new();
+        }
+        let n = self.dfa.num_states();
+        let mut parent: Vec<Option<(StateId, Symbol)>> = vec![None; n];
+        let mut seen = vec![false; n];
+        seen[q as usize] = true;
+        let mut queue = VecDeque::from([q]);
+        while let Some(cur) = queue.pop_front() {
+            for sym in self.dfa.alphabet().symbols() {
+                let t = self.dfa.next(cur, sym);
+                if seen[t as usize] {
+                    continue;
+                }
+                seen[t as usize] = true;
+                parent[t as usize] = Some((cur, sym));
+                if self.dfa.is_accepting(t) {
+                    let mut path = Vec::new();
+                    let mut at = t;
+                    while at != q {
+                        let (p, s) = parent[at as usize].expect("parent chain");
+                        path.push(s);
+                        at = p;
+                    }
+                    path.reverse();
+                    return path;
+                }
+                queue.push_back(t);
+            }
+        }
+        unreachable!("useful state must reach acceptance")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+
+    fn ab() -> Alphabet {
+        Alphabet::new(["p", "q"])
+    }
+
+    fn l(s: &str) -> Lang {
+        Lang::parse(&ab(), s).unwrap()
+    }
+
+    #[test]
+    fn enumerate_small_language() {
+        let a = ab();
+        let words = enumerate_upto(&l("(p q)*"), 4);
+        let strs: Vec<String> = words.iter().map(|w| a.syms_to_str(w)).collect();
+        assert_eq!(strs, ["", "p q", "p q p q"]);
+    }
+
+    #[test]
+    fn enumerate_respects_membership() {
+        let lang = l("(p | p p) p");
+        for w in enumerate_upto(&lang, 5) {
+            assert!(lang.contains(&w));
+        }
+        // And completeness: all members up to the bound appear.
+        assert_eq!(enumerate_upto(&lang, 5).len(), 2); // "p p", "p p p"
+    }
+
+    #[test]
+    fn counting_matches_enumeration() {
+        let lang = l("(p | q q)*");
+        let counts = count_by_length(&lang, 6);
+        let words = enumerate_upto(&lang, 6);
+        for len in 0..=6 {
+            let enumerated = words.iter().filter(|w| w.len() == len).count() as u64;
+            assert_eq!(counts[len], enumerated, "length {len}");
+        }
+    }
+
+    #[test]
+    fn sampler_produces_members() {
+        let lang = l("(p q)* p .*");
+        let mut s = Sampler::new(&lang, 42, 10);
+        for _ in 0..200 {
+            let w = s.sample().expect("non-empty language");
+            assert!(lang.contains(&w), "sampled non-member");
+        }
+    }
+
+    #[test]
+    fn sampler_handles_empty_language() {
+        let mut s = Sampler::new(&l("[]"), 7, 5);
+        assert_eq!(s.sample(), None);
+    }
+
+    #[test]
+    fn sampler_is_deterministic_per_seed() {
+        let lang = l("(p | q)* p");
+        let draw = |seed| {
+            let mut s = Sampler::new(&lang, seed, 8);
+            (0..20).map(|_| s.sample().unwrap()).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(5), draw(5));
+        assert_ne!(draw(5), draw(6));
+    }
+
+    #[test]
+    fn sampler_finite_language_terminates() {
+        let lang = l("p q | q p");
+        let mut s = Sampler::new(&lang, 9, 50);
+        for _ in 0..50 {
+            let w = s.sample().unwrap();
+            assert!(lang.contains(&w));
+            assert_eq!(w.len(), 2);
+        }
+    }
+}

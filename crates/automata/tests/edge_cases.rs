@@ -1,0 +1,152 @@
+//! Edge cases the unit tests' happy paths do not reach: degenerate
+//! alphabets, deeply nested extended operators, large alphabets, and
+//! adversarial compositions.
+
+use rextract_automata::sample::{count_by_length, enumerate_upto};
+use rextract_automata::{Alphabet, Dfa, Lang, Regex};
+
+#[test]
+fn single_symbol_alphabet() {
+    let a = Alphabet::new(["p"]);
+    let l = Lang::parse(&a, "p p*").unwrap();
+    assert!(l.contains(&a.str_to_syms("p p p").unwrap()));
+    assert!(!l.contains(&[]));
+    assert_eq!(l.complement(), Lang::epsilon(&a));
+    assert!(l.union(&Lang::epsilon(&a)).is_universal());
+    // Quotients over the unary alphabet.
+    assert_eq!(l.right_quotient(&l), Lang::parse(&a, "p*").unwrap());
+}
+
+#[test]
+fn empty_alphabet_has_two_languages() {
+    let a = Alphabet::new(Vec::<String>::new());
+    let empty = Lang::empty(&a);
+    let eps = Lang::epsilon(&a);
+    assert!(empty.is_empty());
+    assert!(!eps.is_empty());
+    assert!(eps.contains(&[]));
+    // Σ* = {ε} here, so ε-language is universal.
+    assert!(eps.is_universal());
+    assert!(!empty.is_universal());
+    assert_eq!(eps.complement(), empty);
+    assert_eq!(empty.complement(), eps);
+    assert_eq!(eps.concat(&eps), eps);
+    assert_eq!(eps.star(), eps);
+}
+
+#[test]
+fn deeply_nested_extended_operators() {
+    let a = Alphabet::new(["p", "q"]);
+    // !(!(p*) - (q & !(p))) — nonsense but legal; must compile and agree
+    // with manual evaluation on sampled strings.
+    let re = Regex::parse(&a, "!(!(p*) - (q & !p))").unwrap();
+    let l = Lang::from_regex(&a, &re);
+    for w in enumerate_upto(&Lang::universe(&a), 5) {
+        let in_p_star = w.iter().all(|&s| s == a.sym("p"));
+        let is_q = w.len() == 1 && w[0] == a.sym("q");
+        let inner = !in_p_star && !(is_q && true);
+        assert_eq!(l.contains(&w), !inner, "word {:?}", a.syms_to_str(&w));
+    }
+}
+
+#[test]
+fn large_alphabet_operations_stay_exact() {
+    let names: Vec<String> = (0..200).map(|i| format!("t{i}")).collect();
+    let a = Alphabet::new(names);
+    let t0 = a.sym("t0");
+    let t199 = a.sym("t199");
+    let l = Lang::from_regex(
+        &a,
+        &Regex::concat([
+            Regex::not_sym(&a, t0).star(),
+            Regex::sym(&a, t0),
+            Regex::any(&a).star(),
+        ]),
+    );
+    assert!(l.contains(&[t199, t0]));
+    assert!(!l.contains(&[t199]));
+    let c = l.complement();
+    assert!(c.contains(&[t199]));
+    assert!(!c.contains(&[t0]));
+    assert!(l.union(&c).is_universal());
+    assert_eq!(l.max_marker_count(t0), None);
+    assert_eq!(c.max_marker_count(t0), Some(0));
+}
+
+#[test]
+fn reversal_of_quotient_duality() {
+    // (L1 / L2)ᴿ = L2ᴿ \ L1ᴿ — right quotient reverses into left quotient.
+    let a = Alphabet::new(["p", "q"]);
+    let l1 = Lang::parse(&a, "(p q)* p q q").unwrap();
+    let l2 = Lang::parse(&a, "q q?").unwrap();
+    let lhs = l1.right_quotient(&l2).reversed();
+    let rhs = l1.reversed().left_quotient(&l2.reversed());
+    assert_eq!(lhs, rhs);
+}
+
+#[test]
+fn counting_matches_closed_form_for_sigma_star() {
+    let a = Alphabet::new(["p", "q", "r"]);
+    let counts = count_by_length(&Lang::universe(&a), 8);
+    for (len, &c) in counts.iter().enumerate() {
+        assert_eq!(c, 3u64.pow(len as u32));
+    }
+}
+
+#[test]
+fn dfa_from_parts_validation() {
+    let a = Alphabet::new(["p"]);
+    // wrong table size
+    let bad = std::panic::catch_unwind(|| {
+        Dfa::from_parts(a.clone(), vec![0, 0], vec![true], 0)
+    });
+    assert!(bad.is_err());
+    // out-of-range target
+    let bad = std::panic::catch_unwind(|| {
+        Dfa::from_parts(a.clone(), vec![7], vec![true], 0)
+    });
+    assert!(bad.is_err());
+    // out-of-range start
+    let bad = std::panic::catch_unwind(|| {
+        Dfa::from_parts(a.clone(), vec![0], vec![true], 3)
+    });
+    assert!(bad.is_err());
+}
+
+#[test]
+fn to_regex_on_larger_random_language_round_trips() {
+    let a = Alphabet::new(["p", "q", "r"]);
+    let l = Lang::parse(&a, "(p q | r r r)* (q | ~) (p | q q)*").unwrap();
+    let back = Lang::from_regex(&a, &l.to_regex());
+    assert_eq!(l, back);
+}
+
+#[test]
+fn star_of_complement_terminates_and_is_correct() {
+    let a = Alphabet::new(["p", "q"]);
+    // (!p)*: blocks are any string except "p". Every w ≠ "p" is a single
+    // block; "p" itself cannot be assembled (ε blocks don't help), so
+    // (!p)* = Σ* − {p}.
+    let l = Lang::parse(&a, "(!p)*").unwrap();
+    assert!(!l.is_universal());
+    assert_eq!(l, Lang::parse(&a, ".* - p").unwrap());
+    // (Σ* − ε − p − q)* = strings composable from blocks of length ≥ 2 —
+    // everything except length-1 strings.
+    let l = Lang::parse(&a, "(.* - ~ - p - q)*").unwrap();
+    assert!(l.contains(&[]));
+    assert!(!l.contains(&a.str_to_syms("p").unwrap()));
+    assert!(l.contains(&a.str_to_syms("p q").unwrap()));
+    assert!(l.contains(&a.str_to_syms("p q p").unwrap()));
+}
+
+#[test]
+fn shortest_member_ties_break_deterministically_by_symbol_order() {
+    let a = Alphabet::new(["z_first", "a_second"]);
+    // Both single symbols accepted; BFS must pick index order (z_first),
+    // not lexicographic.
+    let l = Lang::parse(&a, "z_first | a_second").unwrap();
+    assert_eq!(
+        l.shortest_member().map(|w| a.syms_to_str(&w)),
+        Some("z_first".to_string())
+    );
+}

@@ -1,0 +1,79 @@
+//! Experiment E1 — Theorem 5.6: ambiguity testing is polynomial
+//! (quadratic) in the size of the extraction expression.
+//!
+//! Sweeps expression size (number of anchored blocks) and alphabet size,
+//! timing the quotient-based test (Proposition 5.4) on unambiguous
+//! instances (worst case: the shift-language intersection must be fully
+//! built and proven empty) and, for comparison, the fresh-marker test
+//! (Proposition 5.5) on a fixed size.
+//!
+//! The table printed at startup reports compiled DFA sizes so the scaling
+//! series can be read against the paper's size measure.
+
+use bench::{alphabet_of, ambiguous_expr, anchored_expr, print_table};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_quotient_test(c: &mut Criterion) {
+    let mut rows = Vec::new();
+    let mut group = c.benchmark_group("ambiguity/quotient");
+    for &sigma in &[2usize, 8, 32] {
+        let alphabet = alphabet_of(sigma);
+        for &blocks in &[1usize, 2, 4, 8, 16, 32] {
+            let expr = anchored_expr(&alphabet, blocks);
+            rows.push(vec![
+                sigma.to_string(),
+                blocks.to_string(),
+                expr.left_regex().size().to_string(),
+                expr.state_size().to_string(),
+            ]);
+            group.bench_with_input(
+                BenchmarkId::new(format!("sigma{sigma}"), blocks),
+                &expr,
+                |b, e| b.iter(|| black_box(e.is_ambiguous())),
+            );
+        }
+    }
+    group.finish();
+    print_table(
+        "E1: instance sizes (unambiguous family)",
+        &["sigma", "blocks", "regex_size", "dfa_states"],
+        &rows,
+    );
+}
+
+fn bench_ambiguous_instances(c: &mut Criterion) {
+    // Ambiguous instances typically decide faster (non-emptiness can be
+    // certified by the first reachable accepting product state).
+    let alphabet = alphabet_of(8);
+    let mut group = c.benchmark_group("ambiguity/ambiguous-instances");
+    for &blocks in &[1usize, 4, 16] {
+        let expr = ambiguous_expr(&alphabet, blocks);
+        group.bench_with_input(BenchmarkId::from_parameter(blocks), &expr, |b, e| {
+            b.iter(|| black_box(e.is_ambiguous()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_marker_test_comparison(c: &mut Criterion) {
+    // Proposition 5.4 vs Proposition 5.5 on the same instance.
+    let alphabet = alphabet_of(8);
+    let expr = anchored_expr(&alphabet, 8);
+    let mut group = c.benchmark_group("ambiguity/5.4-vs-5.5");
+    group.bench_function("quotient(5.4)", |b| {
+        b.iter(|| black_box(expr.is_ambiguous()))
+    });
+    group.bench_function("fresh-marker(5.5)", |b| {
+        b.iter(|| black_box(expr.is_ambiguous_marker_test()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_quotient_test,
+    bench_ambiguous_instances,
+    bench_marker_test_comparison
+);
+criterion_main!(benches);

@@ -1,0 +1,128 @@
+//! Substrate microbenchmarks: the automata operations everything above is
+//! built from (Lemma 5.2: quotients are polynomial; Lemma 5.9: the
+//! expensive step is determinization, not the universality scan itself).
+//!
+//! Not tied to one experiment row; used to attribute costs when reading
+//! E1–E4 numbers.
+
+use bench::{alphabet_of, lang};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rextract_automata::{Lang, Regex};
+use std::hint::black_box;
+
+/// A language whose minimal DFA has about `n` states: counting t0's
+/// modulo n (`(t0 … t0)ⁿ` cycles padded with other symbols).
+fn sized_lang(alphabet: &rextract_automata::Alphabet, n: usize) -> Lang {
+    let t0 = Regex::sym(alphabet, alphabet.sym("t0"));
+    let other = Regex::not_sym(alphabet, alphabet.sym("t0")).star();
+    // ((other t0)ⁿ)* other  — number of t0's ≡ 0 mod n.
+    let block = Regex::concat([other.clone(), t0]);
+    let cycle = block.repeat(n).star();
+    Lang::from_regex(alphabet, &Regex::concat([cycle, other]))
+}
+
+fn bench_quotients(c: &mut Criterion) {
+    let alphabet = alphabet_of(4);
+    let by = lang(&alphabet, "p .*");
+    let mut group = c.benchmark_group("automata/quotients");
+    for &n in &[4usize, 16, 64, 256] {
+        let l = sized_lang(&alphabet, n);
+        group.bench_with_input(BenchmarkId::new("right", n), &l, |b, l| {
+            b.iter(|| black_box(l.right_quotient(&by)))
+        });
+        group.bench_with_input(BenchmarkId::new("left", n), &l, |b, l| {
+            b.iter(|| black_box(l.left_quotient(&by)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_boolean_ops(c: &mut Criterion) {
+    let alphabet = alphabet_of(4);
+    let mut group = c.benchmark_group("automata/boolean");
+    for &n in &[16usize, 64, 256] {
+        let x = sized_lang(&alphabet, n);
+        let y = sized_lang(&alphabet, n - 1);
+        group.bench_with_input(BenchmarkId::new("intersect", n), &(&x, &y), |b, (x, y)| {
+            b.iter(|| black_box(x.intersect(y)))
+        });
+        group.bench_with_input(BenchmarkId::new("difference", n), &(&x, &y), |b, (x, y)| {
+            b.iter(|| black_box(x.difference(y)))
+        });
+        group.bench_with_input(BenchmarkId::new("equality", n), &(&x, &y), |b, (x, y)| {
+            b.iter(|| black_box(*x == *y))
+        });
+    }
+    group.finish();
+}
+
+fn bench_compile_and_minimize(c: &mut Criterion) {
+    let alphabet = alphabet_of(4);
+    let mut group = c.benchmark_group("automata/compile");
+    // n is the exponent of the 2ⁿ⁺¹-state blowup — keep it small.
+    for &n in &[4usize, 8, 12] {
+        let t0 = Regex::sym(&alphabet, alphabet.sym("t0"));
+        let re = Regex::concat([
+            Regex::any(&alphabet).star(),
+            t0,
+            Regex::any(&alphabet).repeat(n),
+        ]);
+        group.bench_with_input(
+            BenchmarkId::new("nfa-to-min-dfa(2^k family)", n),
+            &re,
+            |b, re| b.iter(|| black_box(Lang::from_regex(&alphabet, re))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_thompson_vs_derivative(c: &mut Criterion) {
+    // Two independent regex→DFA pipelines (ablation): Thompson + subset
+    // construction + Hopcroft vs Brzozowski derivatives (+ Hopcroft for a
+    // fair canonical-output comparison).
+    let alphabet = alphabet_of(4);
+    let exprs = [
+        ("anchored", "[^p]* t0 [^p]* t1 [^p]* p .*"),
+        ("nested-star", "((t0 | t1 t2)* p)* t3*"),
+        ("extended", "(.* - (.* p p .*)) & (t0 | t1)* p .*"),
+    ];
+    let mut group = c.benchmark_group("automata/thompson-vs-derivative");
+    for (label, text) in exprs {
+        let re = Regex::parse(&alphabet, text).unwrap();
+        group.bench_with_input(BenchmarkId::new("thompson", label), &re, |b, re| {
+            b.iter(|| black_box(rextract_automata::Dfa::from_regex(&alphabet, re)))
+        });
+        group.bench_with_input(BenchmarkId::new("derivative", label), &re, |b, re| {
+            b.iter(|| {
+                black_box(
+                    rextract_automata::regex::derivative::compile_derivative(&alphabet, re)
+                        .minimized(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_universality(c: &mut Criterion) {
+    let alphabet = alphabet_of(4);
+    let mut group = c.benchmark_group("automata/universality");
+    for &n in &[16usize, 256] {
+        let l = sized_lang(&alphabet, n).union(&sized_lang(&alphabet, n).complement());
+        assert!(l.is_universal());
+        group.bench_with_input(BenchmarkId::from_parameter(n), &l, |b, l| {
+            b.iter(|| black_box(l.is_universal()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_quotients,
+    bench_boolean_ops,
+    bench_compile_and_minimize,
+    bench_thompson_vs_derivative,
+    bench_universality
+);
+criterion_main!(benches);

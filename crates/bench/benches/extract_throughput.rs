@@ -1,0 +1,94 @@
+//! Experiment E8 — extraction is linear time.
+//!
+//! The Section 4 operational reading ("try splits until one succeeds") is
+//! quadratic; the two-pass engine of `extraction::extract` is O(|doc|).
+//! We sweep document length 10²…10⁶ tokens and report throughput
+//! (Criterion's per-element mode), plus the cost of one-shot compilation
+//! so the compile-once/extract-many trade-off is visible.
+
+use bench::{alphabet_of, anchored_document, anchored_expr};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rextract_extraction::{Extractor, NaiveExtractor};
+use std::hint::black_box;
+
+fn bench_throughput(c: &mut Criterion) {
+    let alphabet = alphabet_of(16);
+    let expr = anchored_expr(&alphabet, 4);
+    let extractor = Extractor::compile(&expr);
+    let mut group = c.benchmark_group("extract/throughput");
+    for &len in &[100usize, 1_000, 10_000, 100_000, 1_000_000] {
+        // Scale noise so total length ≈ len: 4 gaps + tail + marker.
+        let noise = len / 6;
+        let doc = anchored_document(&alphabet, 4, noise, 42);
+        group.throughput(Throughput::Elements(doc.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(doc.len()), &doc, |b, d| {
+            b.iter(|| black_box(extractor.extract(d)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_linear_vs_naive_baseline(c: &mut Criterion) {
+    // Ablation: the paper's operational "try every split" reading is
+    // quadratic; the two-pass engine is linear. The crossover shape is
+    // the point (naive is fine at 100 tokens, hopeless at 100k).
+    let alphabet = alphabet_of(16);
+    let expr = anchored_expr(&alphabet, 4);
+    let fast = Extractor::compile(&expr);
+    let naive = NaiveExtractor::compile(&expr);
+    let mut group = c.benchmark_group("extract/linear-vs-naive");
+    for &len in &[100usize, 1_000, 10_000] {
+        let noise = len / 6;
+        let doc = anchored_document(&alphabet, 4, noise, 42);
+        group.throughput(Throughput::Elements(doc.len() as u64));
+        group.bench_with_input(BenchmarkId::new("two-pass", doc.len()), &doc, |b, d| {
+            b.iter(|| black_box(fast.extract(d)))
+        });
+        group.bench_with_input(BenchmarkId::new("naive", doc.len()), &doc, |b, d| {
+            b.iter(|| black_box(naive.extract(d)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_compile_vs_extract(c: &mut Criterion) {
+    let alphabet = alphabet_of(16);
+    let expr = anchored_expr(&alphabet, 8);
+    let doc = anchored_document(&alphabet, 8, 500, 7);
+    let mut group = c.benchmark_group("extract/compile-vs-run");
+    group.bench_function("compile", |b| {
+        b.iter(|| black_box(Extractor::compile(&expr)))
+    });
+    let compiled = Extractor::compile(&expr);
+    group.bench_function("run", |b| b.iter(|| black_box(compiled.extract(&doc))));
+    group.bench_function("one-shot(compile+run)", |b| {
+        b.iter(|| black_box(expr.extract(&doc)))
+    });
+    group.finish();
+}
+
+fn bench_alphabet_scaling(c: &mut Criterion) {
+    // Per-token cost is a table lookup; alphabet size should only affect
+    // compile time, not extraction throughput.
+    let mut group = c.benchmark_group("extract/alphabet-scaling");
+    for &sigma in &[4usize, 64, 256] {
+        let alphabet = alphabet_of(sigma);
+        let expr = anchored_expr(&alphabet, 4);
+        let extractor = Extractor::compile(&expr);
+        let doc = anchored_document(&alphabet, 4, 2_000, 11);
+        group.throughput(Throughput::Elements(doc.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(sigma), &doc, |b, d| {
+            b.iter(|| black_box(extractor.extract(d)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_throughput,
+    bench_linear_vs_naive_baseline,
+    bench_compile_vs_extract,
+    bench_alphabet_scaling
+);
+criterion_main!(benches);

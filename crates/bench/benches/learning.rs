@@ -1,0 +1,101 @@
+//! Learning-stage benchmarks: the cost of producing the *initial*
+//! extraction expression (the stage the paper defers to prior work,
+//! Sections 3 and 7) and of the perturbation machinery used by E5.
+//!
+//! Sweeps the merging heuristic over sample count and document length,
+//! measures the disambiguation ladder, and the perturbation engine's
+//! throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rextract_automata::Alphabet;
+use rextract_learn::disambiguate::learn_unambiguous;
+use rextract_learn::merge::merge_samples;
+use rextract_learn::perturb::Perturber;
+use rextract_learn::MarkedSeq;
+use rextract_wrapper::site::{SiteConfig, SiteGenerator};
+use std::hint::black_box;
+
+fn alphabet() -> Alphabet {
+    Alphabet::new([
+        "P", "H1", "/H1", "FORM", "/FORM", "INPUT", "TABLE", "/TABLE", "TR", "/TR", "TD", "/TD",
+        "A", "/A", "IMG", "BR",
+    ])
+}
+
+/// A synthetic marked sample: `len` filler rows, a form, the marked 2nd
+/// INPUT. `variant` perturbs the filler so samples differ.
+fn sample(len: usize, variant: usize) -> MarkedSeq {
+    let mut names: Vec<String> = Vec::with_capacity(3 * len + 4);
+    for i in 0..len {
+        match (i + variant) % 3 {
+            0 => names.extend(["TR".into(), "TD".into(), "/TD".into(), "/TR".into()]),
+            1 => names.extend(["TR".into(), "TD".into(), "A".into(), "/A".into(), "/TD".into(), "/TR".into()]),
+            _ => names.extend(["P".into(), "IMG".into()]),
+        }
+    }
+    names.push("FORM".into());
+    names.push("INPUT".into());
+    let target = names.len();
+    names.push("INPUT".into());
+    MarkedSeq::new(names, target)
+}
+
+fn bench_merge_scaling(c: &mut Criterion) {
+    let a = alphabet();
+    let mut group = c.benchmark_group("learning/merge");
+    group.sample_size(15);
+    // Sweep sample count at fixed length.
+    for &k in &[2usize, 4, 8] {
+        let samples: Vec<MarkedSeq> = (0..k).map(|v| sample(6, v)).collect();
+        group.bench_with_input(BenchmarkId::new("samples", k), &samples, |b, s| {
+            b.iter(|| black_box(merge_samples(&a, s).unwrap()))
+        });
+    }
+    // Sweep document length at fixed sample count.
+    for &len in &[4usize, 16, 48] {
+        let samples = vec![sample(len, 0), sample(len, 1)];
+        group.bench_with_input(BenchmarkId::new("length", len), &samples, |b, s| {
+            b.iter(|| black_box(merge_samples(&a, s).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_merge_plus_maximize(c: &mut Criterion) {
+    // The full synthesis path the wrapper runs at train time.
+    let a = alphabet();
+    let samples = vec![sample(6, 0), sample(6, 1)];
+    let mut group = c.benchmark_group("learning/end-to-end");
+    group.sample_size(15);
+    group.bench_function("merge+maximize", |b| {
+        b.iter(|| {
+            let pe = merge_samples(&a, &samples).unwrap();
+            black_box(pe.maximize().unwrap())
+        })
+    });
+    group.bench_function("disambiguation-ladder", |b| {
+        b.iter(|| black_box(learn_unambiguous(&a, &samples).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_perturbation(c: &mut Criterion) {
+    let mut g = SiteGenerator::new(SiteConfig::default());
+    let page = g.page();
+    let mut group = c.benchmark_group("learning/perturb");
+    for &edits in &[1usize, 4, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(edits), &edits, |b, &e| {
+            let mut p = Perturber::new(42);
+            b.iter(|| black_box(p.perturb(&page.tokens, page.target, e)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_merge_scaling,
+    bench_merge_plus_maximize,
+    bench_perturbation
+);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Experiment E3 — Algorithm 6.2 (left-filtering maximization).
+//!
+//! Proposition 6.5 says the algorithm terminates after `n` loop rounds,
+//! where `n` is the marker bound of the input. We sweep `n` (the
+//! `([^p]* p)ⁿ [^p]* q` family has bound exactly `n`) and the alphabet
+//! size, timing the full maximization, and print the output sizes — the
+//! measured growth of `E'` with `n` is part of the result.
+
+use bench::{alphabet_of, bounded_marker_expr, print_table};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rextract_extraction::left_filter::left_filter_maximize;
+use std::hint::black_box;
+
+fn bench_marker_bound_sweep(c: &mut Criterion) {
+    let mut rows = Vec::new();
+    let mut group = c.benchmark_group("left_filter/marker-bound");
+    group.sample_size(20);
+    for &sigma in &[2usize, 8] {
+        let alphabet = alphabet_of(sigma);
+        for &n in &[0usize, 1, 2, 4, 8, 12] {
+            let expr = bounded_marker_expr(&alphabet, n);
+            let out = left_filter_maximize(&expr).expect("precondition holds");
+            rows.push(vec![
+                sigma.to_string(),
+                n.to_string(),
+                expr.left().num_states().to_string(),
+                out.left().num_states().to_string(),
+                out.is_maximal().to_string(),
+            ]);
+            group.bench_with_input(
+                BenchmarkId::new(format!("sigma{sigma}"), n),
+                &expr,
+                |b, e| b.iter(|| black_box(left_filter_maximize(e).unwrap())),
+            );
+        }
+    }
+    group.finish();
+    print_table(
+        "E3: left-filtering input/output sizes",
+        &["sigma", "marker_bound", "in_states", "out_states", "maximal"],
+        &rows,
+    );
+}
+
+fn bench_verification_overhead(c: &mut Criterion) {
+    // Cost split: maximization itself vs verifying its output with the
+    // Corollary 5.8 test (the PSPACE test is the expensive part — running
+    // Algorithm 6.2 *avoids* it).
+    let alphabet = alphabet_of(4);
+    let expr = bounded_marker_expr(&alphabet, 4);
+    let out = left_filter_maximize(&expr).unwrap();
+    let mut group = c.benchmark_group("left_filter/vs-verification");
+    group.bench_function("maximize(Alg6.2)", |b| {
+        b.iter(|| black_box(left_filter_maximize(&expr).unwrap()))
+    });
+    group.bench_function("verify(Cor5.8)", |b| {
+        b.iter(|| black_box(out.is_maximal()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_marker_bound_sweep, bench_verification_overhead);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Experiment E2 — Theorem 5.12: maximality testing is PSPACE-complete.
+//!
+//! The hardness comes from universality (Lemma 5.9): by Proposition 5.11,
+//! `(Σ−p)*⟨p⟩E` is maximal iff `L(E) = Σ*`, so testing maximality embeds
+//! regex universality. We sweep the classic hard family
+//! `E_k = Σ* − (Σ*·p·Σᵏ)` ("no p exactly k+1 from the end"), whose
+//! minimal DFA has ~2ᵏ states — the measured time should grow
+//! exponentially in `k`, demonstrating *where* the PSPACE cost lives,
+//! while practical pivot-form instances (second group) stay cheap.
+
+use bench::{alphabet_of, maximality_instance, print_table};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rextract_extraction::ExtractionExpr;
+use std::hint::black_box;
+
+fn bench_hard_family(c: &mut Criterion) {
+    let alphabet = alphabet_of(1); // Σ = {t0, p}
+    let mut rows = Vec::new();
+    let mut group = c.benchmark_group("maximality/hard-family");
+    group.sample_size(10);
+    for &k in &[2usize, 4, 6, 8, 10, 12] {
+        // Time construction + test: the exponential determinization is
+        // part of the regex-level cost the theorem is about.
+        rows.push({
+            let e = maximality_instance(&alphabet, k, false);
+            vec![
+                k.to_string(),
+                e.right().num_states().to_string(),
+                e.is_maximal().to_string(),
+            ]
+        });
+        group.bench_with_input(BenchmarkId::new("nonuniversal", k), &k, |b, &k| {
+            b.iter(|| {
+                let e = maximality_instance(&alphabet, k, false);
+                black_box(e.is_maximal())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("universal", k), &k, |b, &k| {
+            b.iter(|| {
+                let e = maximality_instance(&alphabet, k, true);
+                black_box(e.is_maximal())
+            })
+        });
+    }
+    group.finish();
+    print_table(
+        "E2: hard-family instance sizes",
+        &["k", "right_dfa_states", "is_maximal"],
+        &rows,
+    );
+}
+
+fn bench_practical_instances(c: &mut Criterion) {
+    // The expressions a wrapper actually meets: Section 7-style pivot
+    // chains. These stay polynomial-fast.
+    let names = [
+        "P", "H1", "/H1", "FORM", "/FORM", "INPUT", "TABLE", "/TABLE", "TR", "/TR", "TD", "/TD",
+    ];
+    let alphabet = rextract_automata::Alphabet::new(names);
+    let cases = [
+        ("first-input", "[^INPUT]* <INPUT> .*"),
+        (
+            "section7-final",
+            "[^FORM]* FORM [^INPUT]* INPUT [^INPUT]* <INPUT> .*",
+        ),
+        (
+            "expression-10",
+            "(P H1 /H1 P | TABLE TR TD /TD /TR TR TD /TD /TR) FORM (TR TD)? INPUT (/TD TD)? <INPUT> .*",
+        ),
+    ];
+    let mut group = c.benchmark_group("maximality/practical");
+    for (label, text) in cases {
+        let expr = ExtractionExpr::parse(&alphabet, text).unwrap();
+        group.bench_function(label, |b| b.iter(|| black_box(expr.maximality())));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hard_family, bench_practical_instances);
+criterion_main!(benches);

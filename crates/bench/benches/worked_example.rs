@@ -1,0 +1,125 @@
+//! Experiment E6 — the Section 7 worked example, end to end.
+//!
+//! Replays the paper's pipeline on the exact Figure 1 documents:
+//! tokenize → tag sequences → merge (Expression (10)) → check
+//! unambiguous, non-maximal → pivot-maximize → the paper's final
+//! expression → extract the 2nd INPUT of the 1st FORM from both pages.
+//! The printed table records each stage's outcome; the timed sections
+//! measure the stages separately.
+
+use bench::print_table;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rextract_html::seq::SeqConfig;
+use rextract_html::tokenizer::tokenize;
+use rextract_learn::merge::merge_samples;
+use rextract_learn::MarkedSeq;
+use std::hint::black_box;
+
+/// Figure 1, top: the original page.
+pub const PAGE_1: &str = r#"<P>
+<H1>Virtual Supplier, Inc.</H1>
+<P>
+<form method="post" action="search.cgi">
+<input type="image" align="left" src="search.gif" />
+<input type="text" size="15" name="value" />
+<br />
+<input type="radio" name="attr" value="1" checked> Keywords<br />
+<input type="radio" name="attr" value="2"> Manufacturer Part#
+</form>
+</P>"#;
+
+/// Figure 1, bottom: the rearranged page.
+pub const PAGE_2: &str = r#"<table>
+<tr><th><img src="supplier.gif"></th></tr>
+<tr><td><h1>Virtual Supplier, Inc.</h1></td></tr>
+<tr><td><a href="cust.html">Customer Service</a></td></tr>
+<tr><td><form method="post" action="search.cgi">
+<input type="image" src="search.gif" />
+<input type="text" size="15" name="value" />
+<input type="radio" name="attr" value="1" checked> Keywords<br />
+<input type="radio" name="attr" value="2"> Manufacturer Part#
+</form></td></tr>
+</table>"#;
+
+/// Abstract a Figure 1 page and mark its 2nd INPUT of the 1st FORM.
+fn marked(page: &str) -> MarkedSeq {
+    let toks = tokenize(page);
+    let form_at = toks
+        .iter()
+        .position(|t| t.tag_name() == Some("FORM"))
+        .expect("page has a form");
+    let target = toks
+        .iter()
+        .enumerate()
+        .skip(form_at)
+        .filter(|(_, t)| t.tag_name() == Some("INPUT"))
+        .map(|(i, _)| i)
+        .nth(1)
+        .expect("form has a 2nd input");
+    MarkedSeq::from_tokens(&toks, target, &SeqConfig::tags_only()).expect("target representable")
+}
+
+fn worked_example(c: &mut Criterion) {
+    let doc1 = marked(PAGE_1);
+    let doc2 = marked(PAGE_2);
+    let mut vocab = rextract_html::seq::Vocabulary::new();
+    for s in [&doc1, &doc2] {
+        for n in &s.names {
+            vocab.observe_name(n);
+        }
+    }
+    let alphabet = vocab.alphabet();
+    let samples = [doc1.clone(), doc2.clone()];
+
+    // Stage outcomes table.
+    let merged = merge_samples(&alphabet, &samples).expect("merge succeeds");
+    let expr10 = merged.to_expr();
+    let maximal = merged.maximize().expect("pivot maximization applies");
+    let mut rows = vec![
+        vec!["merged (Expr 10) unambiguous".into(), expr10.is_unambiguous().to_string()],
+        vec!["merged (Expr 10) maximal".into(), expr10.is_maximal().to_string()],
+        vec!["maximized unambiguous".into(), maximal.is_unambiguous().to_string()],
+        vec!["maximized maximal".into(), maximal.is_maximal().to_string()],
+        vec![
+            "maximized generalizes merged".into(),
+            maximal.generalizes(&expr10).to_string(),
+        ],
+    ];
+    for (label, doc) in [("page1", &doc1), ("page2", &doc2)] {
+        let word: Vec<_> = doc.names.iter().map(|n| alphabet.sym(n)).collect();
+        let got = maximal.extract(&word).map(|e| e.position);
+        rows.push(vec![
+            format!("extract target on {label}"),
+            format!("{:?} (expected Ok({}))", got, doc.target),
+        ]);
+    }
+    rows.push(vec![
+        "final expression".into(),
+        maximal.to_text(),
+    ]);
+    print_table("E6: Section 7 pipeline outcomes", &["stage", "result"], &rows);
+
+    // Timed stages.
+    let mut group = c.benchmark_group("worked_example");
+    group.bench_function("tokenize+abstract", |b| {
+        b.iter(|| {
+            black_box(marked(PAGE_1));
+            black_box(marked(PAGE_2));
+        })
+    });
+    group.bench_function("merge(Section7 heuristic)", |b| {
+        b.iter(|| black_box(merge_samples(&alphabet, &samples).unwrap()))
+    });
+    group.bench_function("pivot-maximize", |b| {
+        b.iter(|| black_box(merged.maximize().unwrap()))
+    });
+    let word: Vec<_> = doc2.names.iter().map(|n| alphabet.sym(n)).collect();
+    let extractor = rextract_extraction::Extractor::compile(&maximal);
+    group.bench_function("extract(page2)", |b| {
+        b.iter(|| black_box(extractor.extract(&word)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, worked_example);
+criterion_main!(benches);

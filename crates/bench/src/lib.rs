@@ -1,0 +1,218 @@
+//! Shared workload generators for the benchmark harness.
+//!
+//! One generator per experiment family in DESIGN.md's experiment index.
+//! Everything is deterministic per seed so bench runs are comparable.
+
+use rextract_automata::{Alphabet, Lang, Regex, Symbol};
+use rextract_extraction::ExtractionExpr;
+
+/// An alphabet of `n` symbols `t0..t(n-1)` plus the marker `p`.
+pub fn alphabet_of(n: usize) -> Alphabet {
+    let names: Vec<String> = (0..n)
+        .map(|i| format!("t{i}"))
+        .chain(["p".to_string()])
+        .collect();
+    Alphabet::new(names)
+}
+
+/// E1 experiment family: unambiguous extraction expressions of growing
+/// syntactic size. Shape: `([^p]* t_i)^k [^p]* <p> .*` — `k` anchored
+/// blocks of p-free context before the marker.
+pub fn anchored_expr(alphabet: &Alphabet, blocks: usize) -> ExtractionExpr {
+    let p = alphabet.sym("p");
+    let free = Regex::not_sym(alphabet, p).star();
+    let non_marker: Vec<Symbol> = alphabet.symbols().filter(|&s| s != p).collect();
+    let mut parts: Vec<Regex> = Vec::with_capacity(2 * blocks + 1);
+    for i in 0..blocks {
+        parts.push(free.clone());
+        let anchor = non_marker[i % non_marker.len()];
+        parts.push(Regex::sym(alphabet, anchor));
+    }
+    parts.push(free.clone());
+    ExtractionExpr::new(
+        alphabet,
+        Regex::concat(parts),
+        p,
+        Regex::universe(alphabet),
+    )
+}
+
+/// Ambiguous sibling of [`anchored_expr`]: same shape but the blocks admit
+/// the marker (`.*` instead of `[^p]*`), so the marker can slide.
+pub fn ambiguous_expr(alphabet: &Alphabet, blocks: usize) -> ExtractionExpr {
+    let p = alphabet.sym("p");
+    let any = Regex::any(alphabet).star();
+    let non_marker: Vec<Symbol> = alphabet.symbols().filter(|&s| s != p).collect();
+    let mut parts: Vec<Regex> = Vec::with_capacity(2 * blocks + 1);
+    for i in 0..blocks {
+        parts.push(any.clone());
+        parts.push(Regex::sym(alphabet, non_marker[i % non_marker.len()]));
+    }
+    parts.push(any.clone());
+    ExtractionExpr::new(
+        alphabet,
+        Regex::concat(parts),
+        p,
+        Regex::universe(alphabet),
+    )
+}
+
+/// E2 experiment family: `(Σ−p)*⟨p⟩E_k` where `E_k` = "some symbol among
+/// the last k is p"… complement-free surface form whose DFA is small, and
+/// a *hard* variant `E_k = Σ* − (Σ^{k} p Σ*)`-style whose universality
+/// check forces exponential determinization. By Proposition 5.11 the
+/// expression is maximal iff `L(E_k) = Σ*`, so `is_maximal` is exactly a
+/// universality test.
+pub fn maximality_instance(alphabet: &Alphabet, k: usize, universal: bool) -> ExtractionExpr {
+    let p = alphabet.sym("p");
+    // E_k: strings that do NOT have p exactly k positions from the end,
+    // union strings shorter than k+1 — universal iff ... it is not: the
+    // string p·t0^k has p at position k from the end. For the universal
+    // control we use Σ* itself.
+    let right = if universal {
+        Regex::universe(alphabet)
+    } else {
+        // Σ* − (Σ* p Σ^k): drop strings whose (k+1)-th-from-last symbol is
+        // p. Classic hard-to-determinize family.
+        let sigma_k = Regex::any(alphabet).repeat(k);
+        Regex::universe(alphabet).diff(Regex::concat([
+            Regex::universe(alphabet),
+            Regex::sym(alphabet, p),
+            sigma_k,
+        ]))
+    };
+    ExtractionExpr::new(
+        alphabet,
+        Regex::not_sym(alphabet, p).star(),
+        p,
+        right,
+    )
+}
+
+/// E3 experiment family: left languages with an exact marker bound `n`:
+/// `([^p]* p)^n [^p]* q` (then `⟨p⟩Σ*`), which is unambiguous (the final
+/// `q ≠ p` seals the prefix) and has marker bound exactly `n`.
+pub fn bounded_marker_expr(alphabet: &Alphabet, n: usize) -> ExtractionExpr {
+    let p = alphabet.sym("p");
+    let q = alphabet
+        .symbols()
+        .find(|&s| s != p)
+        .expect("need a non-marker symbol");
+    let free = Regex::not_sym(alphabet, p).star();
+    let mut parts = Vec::with_capacity(2 * n + 2);
+    for _ in 0..n {
+        parts.push(free.clone());
+        parts.push(Regex::sym(alphabet, p));
+    }
+    parts.push(free.clone());
+    parts.push(Regex::sym(alphabet, q));
+    ExtractionExpr::new(
+        alphabet,
+        Regex::concat(parts),
+        p,
+        Regex::universe(alphabet),
+    )
+}
+
+/// A long random document guaranteed to be parsed by [`anchored_expr`]
+/// with the given number of blocks: anchors in order, p-free noise in
+/// between, then the marker and a noisy tail.
+pub fn anchored_document(
+    alphabet: &Alphabet,
+    blocks: usize,
+    noise_per_gap: usize,
+    seed: u64,
+) -> Vec<Symbol> {
+    let p = alphabet.sym("p");
+    let non_marker: Vec<Symbol> = alphabet.symbols().filter(|&s| s != p).collect();
+    let mut state = seed.max(1);
+    let mut next = move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state.wrapping_mul(0x2545F4914F6CDD1D)
+    };
+    let mut doc = Vec::new();
+    for i in 0..blocks {
+        for _ in 0..noise_per_gap {
+            doc.push(non_marker[(next() % non_marker.len() as u64) as usize]);
+        }
+        doc.push(non_marker[i % non_marker.len()]);
+    }
+    for _ in 0..noise_per_gap {
+        doc.push(non_marker[(next() % non_marker.len() as u64) as usize]);
+    }
+    doc.push(p);
+    for _ in 0..noise_per_gap {
+        let all: Vec<Symbol> = alphabet.symbols().collect();
+        doc.push(all[(next() % all.len() as u64) as usize]);
+    }
+    doc
+}
+
+/// Pretty-print a small results table to stderr (shown once per bench run,
+/// outside the timed section).
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    eprintln!("\n== {title} ==");
+    eprintln!("{}", header.join("\t"));
+    for r in rows {
+        eprintln!("{}", r.join("\t"));
+    }
+}
+
+/// Convenience: a `Lang` from regex text over the bench alphabet.
+pub fn lang(alphabet: &Alphabet, text: &str) -> Lang {
+    Lang::parse(alphabet, text).expect("bench regex parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchored_exprs_are_unambiguous_and_scale() {
+        let a = alphabet_of(4);
+        for blocks in [0, 1, 4, 8] {
+            let e = anchored_expr(&a, blocks);
+            assert!(e.is_unambiguous(), "blocks={blocks}");
+        }
+        assert!(
+            anchored_expr(&a, 8).left_regex().size() > anchored_expr(&a, 2).left_regex().size()
+        );
+    }
+
+    #[test]
+    fn ambiguous_exprs_are_ambiguous() {
+        let a = alphabet_of(4);
+        for blocks in [1, 3] {
+            assert!(ambiguous_expr(&a, blocks).is_ambiguous(), "blocks={blocks}");
+        }
+    }
+
+    #[test]
+    fn maximality_instances_classify_correctly() {
+        let a = alphabet_of(2);
+        assert!(maximality_instance(&a, 3, true).is_maximal());
+        assert!(!maximality_instance(&a, 3, false).is_maximal());
+    }
+
+    #[test]
+    fn bounded_marker_exprs_have_exact_bound() {
+        let a = alphabet_of(3);
+        let p = a.sym("p");
+        for n in [0, 1, 3, 5] {
+            let e = bounded_marker_expr(&a, n);
+            assert!(e.is_unambiguous(), "n={n}");
+            assert_eq!(e.left().max_marker_count(p), Some(n));
+        }
+    }
+
+    #[test]
+    fn anchored_documents_are_parsed_by_their_expression() {
+        let a = alphabet_of(4);
+        let e = anchored_expr(&a, 3);
+        let doc = anchored_document(&a, 3, 10, 42);
+        let hit = e.extract(&doc).expect("document must extract");
+        assert_eq!(doc[hit.position], a.sym("p"));
+    }
+}

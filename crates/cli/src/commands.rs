@@ -1,0 +1,324 @@
+//! Command implementations for the `rextract` binary.
+
+use rextract_automata::Alphabet;
+use rextract_extraction::maximality::MaximalityStatus;
+use rextract_extraction::right_filter::maximize_one_sided;
+use rextract_extraction::ExtractionExpr;
+use rextract_html::seq::{to_names, SeqConfig, Vocabulary};
+use rextract_html::tokenizer::tokenize as html_tokenize;
+use rextract_learn::merge::merge_samples;
+use rextract_learn::MarkedSeq;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+rextract — resilient data extraction (PODS 2000)
+
+USAGE:
+  rextract tokenize <file.html>
+      Print the tag-sequence abstraction of an HTML file.
+
+  rextract analyze <alphabet> <expression>
+      Classify an extraction expression: unambiguity (with witness),
+      maximality (with extension witness), marker bound.
+      <alphabet>   whitespace-separated symbol names, e.g. \"p q FORM\"
+      <expression> E1 <p> E2 syntax, e.g. \"(q p)* <p> .*\"
+
+  rextract maximize <alphabet> <expression>
+      Maximize a one-sided expression (E⟨p⟩Σ* or Σ*⟨p⟩E) via
+      Algorithm 6.2 / its mirror; prints the maximal expression.
+
+  rextract extract <alphabet> <expression> <document>
+      Locate the marked object in a document (whitespace-separated
+      symbol names). Prints the 0-based position.
+
+  rextract learn <sample>...
+      Merge two or more marked tag sequences (target in angle
+      brackets, e.g. \"P FORM INPUT <INPUT>\") into a pivot-form
+      expression, then maximize it. The alphabet is inferred.
+
+  rextract wrapper-train <out.wrapper> <sample.html>...
+      Train a resilient wrapper from HTML sample files and write it to
+      <out.wrapper> (a small auditable text artifact). Mark the target
+      element in each sample with a data-target attribute, e.g.
+      <input type=\"text\" data-target>.
+
+  rextract wrapper-extract <in.wrapper> <page.html>
+      Run a trained wrapper on a page; prints the token index and the
+      located tag.
+
+  rextract demo
+      Run the paper's Section 7 worked example end to end.
+";
+
+fn need<'a>(args: &'a [String], n: usize, what: &str) -> Result<&'a str, String> {
+    args.get(n)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing argument: {what}\n\n{USAGE}"))
+}
+
+/// `rextract tokenize <file.html>`
+pub fn tokenize(args: &[String]) -> Result<(), String> {
+    let path = need(args, 0, "<file.html>")?;
+    let html = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let entries = to_names(&html_tokenize(&html), &SeqConfig::tags_only());
+    let names: Vec<&str> = entries.iter().map(|e| e.name.as_str()).collect();
+    println!("{}", names.join(" "));
+    Ok(())
+}
+
+fn parse_expr(args: &[String]) -> Result<(Alphabet, ExtractionExpr), String> {
+    let alphabet_text = need(args, 0, "<alphabet>")?;
+    let expr_text = need(args, 1, "<expression>")?;
+    let sigma = Alphabet::new(alphabet_text.split_whitespace().map(String::from));
+    let expr = ExtractionExpr::parse(&sigma, expr_text).map_err(|e| e.to_string())?;
+    Ok((sigma, expr))
+}
+
+/// `rextract analyze <alphabet> <expression>`
+pub fn analyze(args: &[String]) -> Result<(), String> {
+    let (sigma, expr) = parse_expr(args)?;
+    println!("expression : {}", expr.to_text());
+    match expr.ambiguity_witness() {
+        Some(w) => {
+            println!("ambiguous  : yes");
+            println!(
+                "witness    : {:?} (marker at {} or {})",
+                sigma.syms_to_str(&w.word),
+                w.first_split,
+                w.second_split
+            );
+            return Ok(());
+        }
+        None => println!("ambiguous  : no"),
+    }
+    match expr.maximality() {
+        MaximalityStatus::Maximal => println!("maximal    : yes"),
+        MaximalityStatus::NonMaximal(w) => println!(
+            "maximal    : no ({:?} side can absorb {:?})",
+            w.side,
+            sigma.syms_to_str(&w.string)
+        ),
+        MaximalityStatus::Ambiguous => unreachable!("checked above"),
+    }
+    println!(
+        "marker bound (left side): {:?}",
+        expr.left().max_marker_count(expr.marker())
+    );
+    Ok(())
+}
+
+/// `rextract maximize <alphabet> <expression>`
+pub fn maximize(args: &[String]) -> Result<(), String> {
+    let (_sigma, expr) = parse_expr(args)?;
+    let out = maximize_one_sided(&expr).map_err(|e| e.to_string())?;
+    println!("{}", out.to_text());
+    Ok(())
+}
+
+/// `rextract extract <alphabet> <expression> <document>`
+pub fn extract(args: &[String]) -> Result<(), String> {
+    let (sigma, expr) = parse_expr(args)?;
+    let doc_text = need(args, 2, "<document>")?;
+    let doc = sigma
+        .str_to_syms(doc_text)
+        .map_err(|bad| format!("unknown document symbol {bad:?}"))?;
+    match expr.extract(&doc) {
+        Ok(hit) => {
+            println!("{}", hit.position);
+            Ok(())
+        }
+        Err(e) => Err(format!("{e:?}")),
+    }
+}
+
+/// `rextract learn <sample>...`
+pub fn learn(args: &[String]) -> Result<(), String> {
+    if args.is_empty() {
+        return Err(format!("need at least one sample\n\n{USAGE}"));
+    }
+    let samples: Vec<MarkedSeq> = args
+        .iter()
+        .map(|a| MarkedSeq::parse(a).ok_or_else(|| format!("bad sample (need exactly one <target>): {a:?}")))
+        .collect::<Result<_, _>>()?;
+    let mut vocab = Vocabulary::new();
+    for s in &samples {
+        for n in &s.names {
+            vocab.observe_name(n);
+        }
+    }
+    let sigma = vocab.alphabet();
+    let merged = merge_samples(&sigma, &samples).map_err(|e| e.to_string())?;
+    let expr = merged.to_expr();
+    println!("merged     : {}", expr.to_text());
+    println!("unambiguous: {}", expr.is_unambiguous());
+    match merged.maximize() {
+        Ok(maximal) => {
+            println!("maximized  : {}", maximal.to_text());
+            println!("maximal    : {}", maximal.is_maximal());
+        }
+        Err(e) => println!("maximized  : (failed: {e})"),
+    }
+    Ok(())
+}
+
+/// `rextract wrapper-train <out.wrapper> <sample.html>...`
+pub fn wrapper_train(args: &[String]) -> Result<(), String> {
+    use rextract_wrapper::wrapper::{TrainPage, Wrapper, WrapperConfig};
+    let out_path = need(args, 0, "<out.wrapper>")?;
+    let sample_paths = &args[1..];
+    if sample_paths.is_empty() {
+        return Err(format!("need at least one sample file\n\n{USAGE}"));
+    }
+    let mut pages = Vec::with_capacity(sample_paths.len());
+    for path in sample_paths {
+        let html =
+            std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let tokens = html_tokenize(&html);
+        let target = tokens
+            .iter()
+            .position(|t| t.attr("data-target").is_some())
+            .ok_or_else(|| format!("{path}: no element carries a data-target attribute"))?;
+        pages.push(TrainPage { tokens, target });
+    }
+    let wrapper = Wrapper::train(&pages, WrapperConfig::default())
+        .map_err(|e| format!("training failed: {e}"))?;
+    std::fs::write(out_path, wrapper.export())
+        .map_err(|e| format!("writing {out_path}: {e}"))?;
+    println!("trained on {} samples", pages.len());
+    println!("maximized : {}", wrapper.is_maximized());
+    println!("expression: {}", wrapper.expr().to_text());
+    println!("saved to  : {out_path}");
+    Ok(())
+}
+
+/// `rextract wrapper-extract <in.wrapper> <page.html>`
+pub fn wrapper_extract(args: &[String]) -> Result<(), String> {
+    use rextract_wrapper::wrapper::Wrapper;
+    let wrapper_path = need(args, 0, "<in.wrapper>")?;
+    let page_path = need(args, 1, "<page.html>")?;
+    let artifact = std::fs::read_to_string(wrapper_path)
+        .map_err(|e| format!("reading {wrapper_path}: {e}"))?;
+    let wrapper = Wrapper::import(&artifact).map_err(|e| e.to_string())?;
+    let html = std::fs::read_to_string(page_path)
+        .map_err(|e| format!("reading {page_path}: {e}"))?;
+    let tokens = html_tokenize(&html);
+    let idx = wrapper
+        .extract_target(&tokens)
+        .map_err(|e| format!("extraction failed: {e}"))?;
+    println!("token {idx}: {}", tokens[idx]);
+    Ok(())
+}
+
+/// `rextract demo`
+pub fn demo(_args: &[String]) -> Result<(), String> {
+    let page1 = "P H1 /H1 P FORM INPUT <INPUT> BR INPUT INPUT /FORM /P";
+    let page2 = "TABLE TR TH IMG /TH /TR TR TD H1 /H1 /TD /TR TR TD A /A /TD /TR \
+                 TR TD FORM INPUT <INPUT> INPUT BR INPUT /FORM /TD /TR /TABLE";
+    println!("Section 7 worked example (Figure 1 tag sequences)\n");
+    println!("page 1: {page1}");
+    println!("page 2: {page2}\n");
+    learn(&[page1.to_string(), page2.to_string()])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analyze_classifies() {
+        assert!(analyze(&["p q".into(), "(q p)* <p> .*".into()]).is_ok());
+        assert!(analyze(&["p q".into(), "p* <p> p* q".into()]).is_ok());
+        assert!(analyze(&["p q".into(), "<z>".into()]).is_err());
+        assert!(analyze(&["p q".into()]).is_err());
+    }
+
+    #[test]
+    fn maximize_handles_both_shapes() {
+        assert!(maximize(&["p q".into(), "q p <p> .*".into()]).is_ok());
+        assert!(maximize(&["p q".into(), ".* <p> q".into()]).is_ok());
+        assert!(maximize(&["p q".into(), "q <p> q".into()]).is_err());
+    }
+
+    #[test]
+    fn extract_prints_position_or_errors() {
+        assert!(extract(&["p q".into(), "[^p]* <p> .*".into(), "q q p q".into()]).is_ok());
+        assert!(extract(&["p q".into(), "[^p]* <p> .*".into(), "q q".into()]).is_err());
+        assert!(extract(&["p q".into(), "[^p]* <p> .*".into(), "q z".into()]).is_err());
+    }
+
+    #[test]
+    fn learn_merges_samples() {
+        assert!(learn(&[
+            "P FORM INPUT <INPUT>".into(),
+            "TD FORM TD INPUT <INPUT>".into()
+        ])
+        .is_ok());
+        assert!(learn(&[]).is_err());
+        assert!(learn(&["no target here".into()]).is_err());
+    }
+
+    #[test]
+    fn demo_runs() {
+        assert!(demo(&[]).is_ok());
+    }
+
+    #[test]
+    fn wrapper_train_and_extract_round_trip() {
+        let dir = std::env::temp_dir().join("rextract-cli-wrapper-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let s1 = dir.join("s1.html");
+        let s2 = dir.join("s2.html");
+        let out = dir.join("site.wrapper");
+        let page = dir.join("page.html");
+        std::fs::write(
+            &s1,
+            "<p><h1>Shop</h1><form><input type=\"image\">\
+             <input type=\"text\" data-target></form>",
+        )
+        .unwrap();
+        std::fs::write(
+            &s2,
+            "<table><tr><td><form><input type=\"image\">\
+             <input type=\"text\" data-target><input type=\"radio\"></form></td></tr></table>",
+        )
+        .unwrap();
+        // New layout, no data-target marking.
+        std::fs::write(
+            &page,
+            "<table><tr><td>ad</td></tr><tr><td><form><input type=\"image\">\
+             <input type=\"text\"><input type=\"radio\"></form></td></tr></table>",
+        )
+        .unwrap();
+        wrapper_train(&[
+            out.display().to_string(),
+            s1.display().to_string(),
+            s2.display().to_string(),
+        ])
+        .unwrap();
+        wrapper_extract(&[out.display().to_string(), page.display().to_string()]).unwrap();
+        // Error paths.
+        assert!(wrapper_train(&[out.display().to_string()]).is_err());
+        assert!(wrapper_extract(&[out.display().to_string()]).is_err());
+        assert!(
+            wrapper_extract(&["/nonexistent.wrapper".into(), page.display().to_string()])
+                .is_err()
+        );
+        // Sample without a data-target attribute is rejected.
+        let bad = dir.join("bad.html");
+        std::fs::write(&bad, "<p>no target</p>").unwrap();
+        let err = wrapper_train(&[out.display().to_string(), bad.display().to_string()])
+            .unwrap_err();
+        assert!(err.contains("data-target"));
+    }
+
+    #[test]
+    fn tokenize_reads_files() {
+        let dir = std::env::temp_dir().join("rextract-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("page.html");
+        std::fs::write(&path, "<p><form><input></form>").unwrap();
+        assert!(tokenize(&[path.display().to_string()]).is_ok());
+        assert!(tokenize(&["/nonexistent/file.html".into()]).is_err());
+        assert!(tokenize(&[]).is_err());
+    }
+}

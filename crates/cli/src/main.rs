@@ -1,0 +1,47 @@
+//! `rextract` — command-line front end.
+//!
+//! ```text
+//! rextract tokenize <file.html>                      tag sequence of a page
+//! rextract analyze  <alphabet> <expression>          classify an expression
+//! rextract maximize <alphabet> <expression>          Algorithm 6.2 / mirror
+//! rextract extract  <alphabet> <expression> <doc>    locate the marker
+//! rextract learn    <sample>...                      merge marked samples
+//! rextract demo                                      the Figure 1 pipeline
+//! ```
+//!
+//! See `rextract help` for argument details. The library does the work;
+//! this binary is arg parsing and printing only (std-only, no CLI deps).
+
+use std::process::ExitCode;
+
+mod commands;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = match args.split_first() {
+        Some((c, r)) => (c.as_str(), r),
+        None => ("help", &[][..]),
+    };
+    let result = match cmd {
+        "tokenize" => commands::tokenize(rest),
+        "analyze" => commands::analyze(rest),
+        "maximize" => commands::maximize(rest),
+        "extract" => commands::extract(rest),
+        "learn" => commands::learn(rest),
+        "wrapper-train" => commands::wrapper_train(rest),
+        "wrapper-extract" => commands::wrapper_extract(rest),
+        "demo" => commands::demo(rest),
+        "help" | "--help" | "-h" => {
+            print!("{}", commands::USAGE);
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}; try `rextract help`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Error types for the extraction layer.
+
+use std::fmt;
+
+/// Errors raised by extraction-expression construction and synthesis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExtractionError {
+    /// The textual form did not contain exactly one `<marker>` occurrence.
+    MarkerSyntax(String),
+    /// A side of the expression failed to parse as a regex.
+    Regex(String),
+    /// An algorithm that requires an unambiguous input was given an
+    /// ambiguous one. Carries a witness string with two valid splits, when
+    /// one could be constructed.
+    Ambiguous { witness: Option<String> },
+    /// Left-filtering maximization requires the left language to match a
+    /// bounded number of markers (`E‖ⁿ_p = ∅` for some `n`, Lemma 6.4(4));
+    /// this input matches unboundedly many.
+    UnboundedMarkers,
+    /// Pivot maximization was asked to run on a decomposition whose segment
+    /// violates its precondition; the index identifies the segment.
+    PivotSegment {
+        index: usize,
+        source: Box<ExtractionError>,
+    },
+    /// No pivot decomposition could be found for the expression.
+    NoPivotForm,
+}
+
+impl fmt::Display for ExtractionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExtractionError::MarkerSyntax(s) => {
+                write!(f, "expected exactly one <marker> in extraction expression: {s}")
+            }
+            ExtractionError::Regex(s) => write!(f, "regex error: {s}"),
+            ExtractionError::Ambiguous { witness } => match witness {
+                Some(w) => write!(f, "extraction expression is ambiguous; witness: {w}"),
+                None => write!(f, "extraction expression is ambiguous"),
+            },
+            ExtractionError::UnboundedMarkers => write!(
+                f,
+                "left language matches an unbounded number of markers; \
+                 left-filtering maximization (Algorithm 6.2) does not apply"
+            ),
+            ExtractionError::PivotSegment { index, source } => {
+                write!(f, "pivot segment {index}: {source}")
+            }
+            ExtractionError::NoPivotForm => {
+                write!(f, "expression admits no pivot decomposition")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExtractionError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = ExtractionError::Ambiguous {
+            witness: Some("p p q".into()),
+        };
+        assert!(e.to_string().contains("witness: p p q"));
+        let e = ExtractionError::PivotSegment {
+            index: 2,
+            source: Box::new(ExtractionError::UnboundedMarkers),
+        };
+        assert!(e.to_string().contains("segment 2"));
+        assert!(e.to_string().contains("unbounded"));
+    }
+}

@@ -1,0 +1,327 @@
+//! The extraction engine: locate the marked object in a document.
+//!
+//! Section 4 describes extraction operationally — "we try such splits until
+//! we either succeed on some split or fail on all candidates". A naive
+//! implementation is O(|ρ|²) membership tests. [`Extractor`] does it in
+//! **two linear passes**:
+//!
+//! 1. run the DFA of `E1` forward, recording for every boundary `i` whether
+//!    `ρ[..i] ∈ L(E1)`;
+//! 2. run the DFA of `reverse(E2)` backward, recording for every boundary
+//!    `i` whether `ρ[i..] ∈ L(E2)`;
+//!
+//! position `i` is a valid split iff `ρ[i] = p` and both flags hold. For an
+//! unambiguous expression at most one position survives; the engine
+//! returns *all* surviving positions so ambiguity is observable (and the
+//! unambiguity invariant testable).
+
+use crate::expr::ExtractionExpr;
+use rextract_automata::dfa::Dfa;
+use rextract_automata::nfa::Nfa;
+use rextract_automata::Symbol;
+
+/// A compiled, reusable extractor for one extraction expression.
+///
+/// Compilation cost is paid once (`E1` DFA + reversed-`E2` DFA); each
+/// [`Extractor::extract`] call is then O(|document|).
+///
+/// ```
+/// use rextract_automata::Alphabet;
+/// use rextract_extraction::{ExtractionExpr, Extractor};
+///
+/// let sigma = Alphabet::new(["p", "q"]);
+/// let expr = ExtractionExpr::parse(&sigma, "[^p]* <p> .*").unwrap();
+/// let extractor = Extractor::compile(&expr);
+/// let doc = sigma.str_to_syms("q q p q p").unwrap();
+/// assert_eq!(extractor.extract(&doc).unwrap().position, 2);
+/// ```
+pub struct Extractor {
+    fwd_left: Dfa,
+    bwd_right: Dfa,
+    marker: Symbol,
+}
+
+/// Result of a successful unambiguous extraction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Extraction {
+    /// Index of the extracted marker occurrence.
+    pub position: usize,
+}
+
+/// Failure modes of [`Extractor::extract`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExtractFailure {
+    /// No split works: the expression does not parse the document.
+    NoMatch,
+    /// More than one split works (the expression is ambiguous on this
+    /// document); all valid positions are reported.
+    AmbiguousMatch(Vec<usize>),
+}
+
+impl Extractor {
+    /// Compile `expr` for repeated extraction.
+    pub fn compile(expr: &ExtractionExpr) -> Extractor {
+        let fwd_left = expr.left().dfa().clone();
+        let bwd_right = Dfa::from_nfa(&Nfa::from_dfa(expr.right().dfa()).reversed());
+        Extractor {
+            fwd_left,
+            bwd_right,
+            marker: expr.marker(),
+        }
+    }
+
+    /// The marker this extractor locates.
+    pub fn marker(&self) -> Symbol {
+        self.marker
+    }
+
+    /// All valid split positions in `doc`, in increasing order. O(|doc|).
+    pub fn positions(&self, doc: &[Symbol]) -> Vec<usize> {
+        let n = doc.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        // prefix_ok[i] ⇔ doc[..i] ∈ L(E1), for i in 0..n (a split at i
+        // consumes doc[i], so i = n is never a split).
+        let mut prefix_ok = vec![false; n];
+        let mut q = self.fwd_left.start();
+        for i in 0..n {
+            prefix_ok[i] = self.fwd_left.is_accepting(q);
+            q = self.fwd_left.next(q, doc[i]);
+        }
+        // suffix_ok[i] ⇔ doc[i+1..] ∈ L(E2): run reversed-E2 from the end.
+        let mut out = Vec::new();
+        let mut r = self.bwd_right.start();
+        // Walk i from n-1 down to 0; before consuming doc[i], `r` has read
+        // doc[i+1..] reversed.
+        for i in (0..n).rev() {
+            if doc[i] == self.marker && prefix_ok[i] && self.bwd_right.is_accepting(r) {
+                out.push(i);
+            }
+            r = self.bwd_right.next(r, doc[i]);
+        }
+        out.reverse();
+        out
+    }
+
+    /// Extract the unique marked object, or explain why not.
+    pub fn extract(&self, doc: &[Symbol]) -> Result<Extraction, ExtractFailure> {
+        let pos = self.positions(doc);
+        match pos.len() {
+            0 => Err(ExtractFailure::NoMatch),
+            1 => Ok(Extraction { position: pos[0] }),
+            _ => Err(ExtractFailure::AmbiguousMatch(pos)),
+        }
+    }
+}
+
+impl ExtractionExpr {
+    /// One-shot extraction (compiles an [`Extractor`] per call; compile
+    /// once with [`Extractor::compile`] for loops).
+    pub fn extract(&self, doc: &[Symbol]) -> Result<Extraction, ExtractFailure> {
+        Extractor::compile(self).extract(doc)
+    }
+}
+
+/// The paper's *operational* extraction baseline — Section 4's "we try
+/// such splits until we either succeed on some split or fail on all
+/// candidates" — implemented literally: for every marker position, test
+/// prefix membership in `E1` and suffix membership in `E2` from scratch.
+///
+/// O(|doc|²) versus [`Extractor`]'s O(|doc|). Exists as the ablation
+/// baseline for the `extract_throughput` bench; both must always agree
+/// (property-tested).
+pub struct NaiveExtractor {
+    left: Dfa,
+    right: Dfa,
+    marker: Symbol,
+}
+
+impl NaiveExtractor {
+    /// Compile the baseline.
+    pub fn compile(expr: &ExtractionExpr) -> NaiveExtractor {
+        NaiveExtractor {
+            left: expr.left().dfa().clone(),
+            right: expr.right().dfa().clone(),
+            marker: expr.marker(),
+        }
+    }
+
+    /// All valid split positions (quadratic scan).
+    pub fn positions(&self, doc: &[Symbol]) -> Vec<usize> {
+        (0..doc.len())
+            .filter(|&i| {
+                doc[i] == self.marker
+                    && self.left.accepts(&doc[..i])
+                    && self.right.accepts(&doc[i + 1..])
+            })
+            .collect()
+    }
+
+    /// Extract the unique marked object, or explain why not.
+    pub fn extract(&self, doc: &[Symbol]) -> Result<Extraction, ExtractFailure> {
+        let pos = self.positions(doc);
+        match pos.len() {
+            0 => Err(ExtractFailure::NoMatch),
+            1 => Ok(Extraction { position: pos[0] }),
+            _ => Err(ExtractFailure::AmbiguousMatch(pos)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::brute_split_positions;
+    use rextract_automata::sample::{enumerate_upto, Sampler};
+    use rextract_automata::Alphabet;
+
+    fn ab() -> Alphabet {
+        Alphabet::new(["p", "q"])
+    }
+
+    fn e(s: &str) -> ExtractionExpr {
+        ExtractionExpr::parse(&ab(), s).unwrap()
+    }
+
+    #[test]
+    fn finds_the_unique_split() {
+        let a = ab();
+        let ex = e("[^p]* <p> .*");
+        let x = Extractor::compile(&ex);
+        let doc = a.str_to_syms("q q p q p").unwrap();
+        assert_eq!(x.extract(&doc), Ok(Extraction { position: 2 }));
+    }
+
+    #[test]
+    fn reports_no_match() {
+        let a = ab();
+        let ex = e("q <p> q");
+        let x = Extractor::compile(&ex);
+        assert_eq!(
+            x.extract(&a.str_to_syms("q q q").unwrap()),
+            Err(ExtractFailure::NoMatch)
+        );
+        assert_eq!(x.extract(&[]), Err(ExtractFailure::NoMatch));
+    }
+
+    #[test]
+    fn reports_ambiguity_with_all_positions() {
+        let a = ab();
+        // Section 4: p*⟨p⟩p*q on pppq — three valid positions.
+        let ex = e("p* <p> p* q");
+        let x = Extractor::compile(&ex);
+        assert_eq!(
+            x.extract(&a.str_to_syms("p p p q").unwrap()),
+            Err(ExtractFailure::AmbiguousMatch(vec![0, 1, 2]))
+        );
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_enumerated_members() {
+        let exprs = [
+            "[^p]* <p> .*",
+            "(q p)* <p> .*",
+            "p* <p> p* q",
+            "(p | p p) <p> (p | p p)",
+            "q* <p> q*",
+            "p <p> p p p",
+        ];
+        for s in exprs {
+            let ex = e(s);
+            let x = Extractor::compile(&ex);
+            for w in enumerate_upto(&ex.language(), 7) {
+                assert_eq!(
+                    x.positions(&w),
+                    brute_split_positions(&ex, &w),
+                    "mismatch for {s} on {:?}",
+                    ab().syms_to_str(&w)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_random_non_members_too() {
+        let a = ab();
+        let ex = e("(q p)* <p> q*");
+        let x = Extractor::compile(&ex);
+        let universe = rextract_automata::Lang::universe(&a);
+        let mut sampler = Sampler::new(&universe, 99, 12);
+        for _ in 0..300 {
+            let w = sampler.sample().unwrap();
+            assert_eq!(x.positions(&w), brute_split_positions(&ex, &w));
+        }
+    }
+
+    #[test]
+    fn unambiguous_expressions_never_report_ambiguity_on_members() {
+        let ex = e("(q p)* <p> .*");
+        assert!(ex.is_unambiguous());
+        let x = Extractor::compile(&ex);
+        for w in enumerate_upto(&ex.language(), 8) {
+            assert!(
+                x.extract(&w).is_ok(),
+                "member failed to extract uniquely"
+            );
+        }
+    }
+
+    #[test]
+    fn marker_at_document_edges() {
+        let a = ab();
+        let ex = e("<p> .*");
+        let x = Extractor::compile(&ex);
+        assert_eq!(
+            x.extract(&a.str_to_syms("p q q").unwrap()),
+            Ok(Extraction { position: 0 })
+        );
+        let ex = e(".* <p>");
+        let x = Extractor::compile(&ex);
+        assert_eq!(
+            x.extract(&a.str_to_syms("q q p").unwrap()),
+            Ok(Extraction { position: 2 })
+        );
+    }
+
+    #[test]
+    fn naive_baseline_agrees_with_linear_engine() {
+        let a = ab();
+        for s in [
+            "[^p]* <p> .*",
+            "(q p)* <p> q*",
+            "p* <p> p* q",
+            "(p | p p) <p> (p | p p)",
+        ] {
+            let ex = e(s);
+            let fast = Extractor::compile(&ex);
+            let naive = NaiveExtractor::compile(&ex);
+            for w in enumerate_upto(&rextract_automata::Lang::universe(&a), 7) {
+                assert_eq!(fast.positions(&w), naive.positions(&w), "{s}");
+            }
+        }
+    }
+
+    #[test]
+    fn naive_extract_reports_same_failures() {
+        let a = ab();
+        let ex = e("p* <p> p* q");
+        let naive = NaiveExtractor::compile(&ex);
+        assert_eq!(
+            naive.extract(&a.str_to_syms("p p p q").unwrap()),
+            Err(ExtractFailure::AmbiguousMatch(vec![0, 1, 2]))
+        );
+        assert_eq!(
+            naive.extract(&a.str_to_syms("q q").unwrap()),
+            Err(ExtractFailure::NoMatch)
+        );
+    }
+
+    #[test]
+    fn one_shot_convenience_matches_compiled_path() {
+        let a = ab();
+        let ex = e("[^p]* <p> .*");
+        let doc = a.str_to_syms("q p q").unwrap();
+        assert_eq!(ex.extract(&doc), Extractor::compile(&ex).extract(&doc));
+    }
+}

@@ -1,0 +1,150 @@
+//! The finite sequence filtering operator `E‖ⁿ_p` — Definition 6.1.
+//!
+//! `E‖ⁿ_p = E ∩ (Σ−p)* · (p · (Σ−p)*)ⁿ` — exactly those members of `L(E)`
+//! containing precisely `n` occurrences of `p`. Computable in polynomial
+//! time (intersection of DFAs); the "exactly n markers" language is built
+//! directly as an `(n+2)`-state counting DFA rather than through a regex.
+
+use rextract_automata::{Alphabet, Lang, Symbol};
+use rextract_automata::dfa::Dfa;
+
+/// The language of strings over `alphabet` containing exactly `n`
+/// occurrences of `marker`: `(Σ−p)* (p (Σ−p)*)ⁿ`.
+pub fn exactly_n_markers(alphabet: &Alphabet, marker: Symbol, n: usize) -> Lang {
+    // States 0..=n count markers seen; state n+1 is the dead "too many".
+    let sigma = alphabet.len();
+    let states = n + 2;
+    let mut table = vec![0u32; states * sigma];
+    let mut accepting = vec![false; states];
+    accepting[n] = true;
+    for q in 0..states {
+        for sym in alphabet.symbols() {
+            let t = if q == n + 1 {
+                n + 1
+            } else if sym == marker {
+                q + 1
+            } else {
+                q
+            };
+            table[q * sigma + sym.index()] = t as u32;
+        }
+    }
+    Lang::from_dfa(Dfa::from_parts(alphabet.clone(), table, accepting, 0))
+}
+
+/// The language of strings containing at most `n` occurrences of `marker`.
+pub fn at_most_n_markers(alphabet: &Alphabet, marker: Symbol, n: usize) -> Lang {
+    let sigma = alphabet.len();
+    let states = n + 2;
+    let mut table = vec![0u32; states * sigma];
+    let mut accepting = vec![true; states];
+    accepting[n + 1] = false;
+    for q in 0..states {
+        for sym in alphabet.symbols() {
+            let t = if q == n + 1 {
+                n + 1
+            } else if sym == marker {
+                q + 1
+            } else {
+                q
+            };
+            table[q * sigma + sym.index()] = t as u32;
+        }
+    }
+    Lang::from_dfa(Dfa::from_parts(alphabet.clone(), table, accepting, 0))
+}
+
+/// `E‖ⁿ_p` (Definition 6.1): members of `lang` with exactly `n` markers.
+pub fn filter_exact(lang: &Lang, marker: Symbol, n: usize) -> Lang {
+    lang.intersect(&exactly_n_markers(lang.alphabet(), marker, n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ab() -> Alphabet {
+        Alphabet::new(["p", "q"])
+    }
+
+    fn l(s: &str) -> Lang {
+        Lang::parse(&ab(), s).unwrap()
+    }
+
+    #[test]
+    fn exactly_n_matches_regex_form() {
+        let a = ab();
+        let p = a.sym("p");
+        assert_eq!(exactly_n_markers(&a, p, 0), l("[^p]*"));
+        assert_eq!(exactly_n_markers(&a, p, 1), l("[^p]* p [^p]*"));
+        assert_eq!(exactly_n_markers(&a, p, 2), l("[^p]* p [^p]* p [^p]*"));
+    }
+
+    #[test]
+    fn at_most_n_is_union_of_exacts() {
+        let a = ab();
+        let p = a.sym("p");
+        let direct = at_most_n_markers(&a, p, 2);
+        let unioned = exactly_n_markers(&a, p, 0)
+            .union(&exactly_n_markers(&a, p, 1))
+            .union(&exactly_n_markers(&a, p, 2));
+        assert_eq!(direct, unioned);
+    }
+
+    #[test]
+    fn filter_exact_selects_by_count() {
+        let a = ab();
+        let p = a.sym("p");
+        let e = l("(p | q)*");
+        assert_eq!(filter_exact(&e, p, 0), l("q*"));
+        assert_eq!(filter_exact(&e, p, 1), l("q* p q*"));
+        // Filtering a bounded language beyond its bound is empty
+        // (Lemma 6.4(4)).
+        let bounded = l("q* p q*");
+        assert!(filter_exact(&bounded, p, 2).is_empty());
+        assert!(filter_exact(&bounded, p, 0).is_empty());
+        assert_eq!(filter_exact(&bounded, p, 1), bounded);
+    }
+
+    #[test]
+    fn filters_partition_the_language() {
+        // For a language with marker bound n, the union of E‖⁰..E‖ⁿ is E.
+        let a = ab();
+        let p = a.sym("p");
+        let e = l("(p | p p) q* p");
+        let bound = e.max_marker_count(p).expect("bounded");
+        assert_eq!(bound, 3);
+        let mut acc = Lang::empty(&a);
+        for i in 0..=bound {
+            acc = acc.union(&filter_exact(&e, p, i));
+        }
+        assert_eq!(acc, e);
+        // And the pieces are pairwise disjoint.
+        for i in 0..=bound {
+            for j in 0..i {
+                assert!(filter_exact(&e, p, i)
+                    .intersect(&filter_exact(&e, p, j))
+                    .is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn lemma_6_4_parts_4_and_5() {
+        // If E‖ⁿ = ∅ then E‖ᵐ = ∅ for all m > n; if E‖ⁿ ≠ ∅ then E‖ᵐ ≠ ∅
+        // for all m ≤ n — for languages of the prefix-closed kind used in
+        // Algorithm 6.2 (prefixes-before-p sets). Check on F = E/(p·Σ*).
+        let a = ab();
+        let p = a.sym("p");
+        let e = l("(p | p p) q* p");
+        let f = e.right_quotient(&l("p .*"));
+        let mut seen_empty = false;
+        for n in 0..6 {
+            let empty = filter_exact(&f, p, n).is_empty();
+            if seen_empty {
+                assert!(empty, "E‖{n} non-empty after an empty level");
+            }
+            seen_empty = seen_empty || empty;
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Brute-force definitional checkers.
+//!
+//! These implement the paper's *definitions* directly by enumeration, with
+//! no cleverness, and exist to cross-validate the polynomial algorithms in
+//! [`crate::ambiguity`] and [`crate::maximality`] on small instances
+//! (unit, property and integration tests; EXPERIMENTS.md row E7).
+//! Complexity is exponential in `max_len` — keep alphabets and lengths
+//! small.
+
+use crate::expr::ExtractionExpr;
+use rextract_automata::sample::enumerate_upto;
+use rextract_automata::Symbol;
+
+/// Count the valid splits of `word` under `expr` per Definition 4.1: the
+/// number of positions `i` with `word[i] = p`, `word[..i] ∈ L(E1)` and
+/// `word[i+1..] ∈ L(E2)`.
+pub fn count_splits(expr: &ExtractionExpr, word: &[Symbol]) -> usize {
+    let p = expr.marker();
+    (0..word.len())
+        .filter(|&i| {
+            word[i] == p && expr.left().contains(&word[..i]) && expr.right().contains(&word[i + 1..])
+        })
+        .count()
+}
+
+/// Definition 4.2 by enumeration: ambiguous iff some parsed string of
+/// length ≤ `max_len` has two or more valid splits.
+///
+/// Sound but complete only up to the length bound; the quotient test is the
+/// ground truth for longer witnesses. (For cross-checks pick `max_len`
+/// comfortably above twice the DFA sizes involved.)
+pub fn brute_is_ambiguous(expr: &ExtractionExpr, max_len: usize) -> bool {
+    let lang = expr.language();
+    enumerate_upto(&lang, max_len)
+        .iter()
+        .any(|w| count_splits(expr, w) >= 2)
+}
+
+/// All valid split positions of `word` (brute force) — the reference
+/// implementation for [`crate::extract::Extractor`].
+pub fn brute_split_positions(expr: &ExtractionExpr, word: &[Symbol]) -> Vec<usize> {
+    let p = expr.marker();
+    (0..word.len())
+        .filter(|&i| {
+            word[i] == p && expr.left().contains(&word[..i]) && expr.right().contains(&word[i + 1..])
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rextract_automata::Alphabet;
+
+    fn ab() -> Alphabet {
+        Alphabet::new(["p", "q"])
+    }
+
+    fn e(s: &str) -> ExtractionExpr {
+        ExtractionExpr::parse(&ab(), s).unwrap()
+    }
+
+    #[test]
+    fn split_counting_on_paper_string() {
+        // Section 4: "p*⟨p⟩p*q … any one of three p's in pppq can be
+        // returned as the extracted object" (expression p*⟨p⟩p*q).
+        let a = ab();
+        let ex = e("p* <p> p* q");
+        let w = a.str_to_syms("p p p q").unwrap();
+        assert_eq!(count_splits(&ex, &w), 3);
+        assert_eq!(brute_split_positions(&ex, &w), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn unambiguous_strings_have_at_most_one_split() {
+        let a = ab();
+        let ex = e("[^p]* <p> .*");
+        for w in enumerate_upto(&ex.language(), 6) {
+            assert_eq!(count_splits(&ex, &w), 1, "{}", a.syms_to_str(&w));
+        }
+    }
+
+    #[test]
+    fn oracle_agrees_with_quotient_test() {
+        for s in [
+            "(p q)* <p> .*",
+            "(q p)* <p> .*",
+            "(p | p p) <p> (p | p p)",
+            "[^p]* <p> .*",
+            "p* <p> q",
+            "p* <p> p* q",
+            "q p <p> .*",
+            ".* <p> .*",
+            "<p>",
+            "p <p> p p p",
+        ] {
+            let ex = e(s);
+            assert_eq!(
+                brute_is_ambiguous(&ex, 8),
+                ex.is_ambiguous(),
+                "oracle mismatch on {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn non_members_have_zero_splits() {
+        let a = ab();
+        let ex = e("q* <p> q*");
+        assert_eq!(count_splits(&ex, &a.str_to_syms("q q").unwrap()), 0);
+        assert_eq!(count_splits(&ex, &a.str_to_syms("p p").unwrap()), 0);
+    }
+}

@@ -1,0 +1,106 @@
+//! The resilience partial order `≼` — Definition 4.4.
+//!
+//! `F1⟨p⟩F2 ≼ E1⟨p⟩E2` iff `L(F1) ⊆ L(E1)` and `L(F2) ⊆ L(E2)` (same
+//! marker). The larger an expression under `≼`, the more document variants
+//! it parses — the paper's formalization of *resilience*. Crucially
+//! (Section 4), `≼` implies language inclusion but **not** vice versa,
+//! because two expressions can parse the same language while extracting
+//! different objects.
+
+use crate::expr::ExtractionExpr;
+
+impl ExtractionExpr {
+    /// `other ≼ self`: does this expression generalize `other`?
+    /// Requires the same marker; returns `false` otherwise.
+    pub fn generalizes(&self, other: &ExtractionExpr) -> bool {
+        self.marker() == other.marker()
+            && other.left().is_subset_of(self.left())
+            && other.right().is_subset_of(self.right())
+    }
+
+    /// `other ≺ self`: generalizes with at least one side strictly larger.
+    pub fn strictly_generalizes(&self, other: &ExtractionExpr) -> bool {
+        self.generalizes(other) && !other.generalizes(self)
+    }
+
+    /// Are the two expressions `≼`-comparable in either direction?
+    pub fn comparable(&self, other: &ExtractionExpr) -> bool {
+        self.generalizes(other) || other.generalizes(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rextract_automata::Alphabet;
+
+    fn ab() -> Alphabet {
+        Alphabet::new(["p", "q"])
+    }
+
+    fn e(s: &str) -> ExtractionExpr {
+        ExtractionExpr::parse(&ab(), s).unwrap()
+    }
+
+    #[test]
+    fn order_is_reflexive() {
+        let x = e("(q p)* <p> .*");
+        assert!(x.generalizes(&x));
+        assert!(!x.strictly_generalizes(&x));
+    }
+
+    #[test]
+    fn order_is_antisymmetric_on_languages() {
+        let x = e("p p* <p> q");
+        let y = e("p+ <p> q");
+        assert!(x.generalizes(&y));
+        assert!(y.generalizes(&x));
+        assert!(x.same_extraction(&y));
+    }
+
+    #[test]
+    fn order_is_transitive() {
+        let small = e("q p <p> q");
+        let mid = e("(q p)+ <p> q*");
+        let big = e("(q p)+ <p> .*");
+        assert!(mid.generalizes(&small));
+        assert!(big.generalizes(&mid));
+        assert!(big.generalizes(&small));
+    }
+
+    #[test]
+    fn strict_generalization() {
+        let small = e("q p <p> .*");
+        let big = e("(q p)* <p> .*");
+        assert!(big.strictly_generalizes(&small));
+        assert!(!small.generalizes(&big));
+        assert!(big.comparable(&small));
+    }
+
+    #[test]
+    fn different_markers_are_incomparable() {
+        let x = e("q* <p> .*");
+        let y = e("q* <q> .*");
+        assert!(!x.generalizes(&y));
+        assert!(!y.generalizes(&x));
+        assert!(!x.comparable(&y));
+    }
+
+    #[test]
+    fn section_4_language_inclusion_does_not_imply_order() {
+        // p⟨p⟩ppp and pp⟨p⟩pp: equal languages, incomparable under ≼.
+        let x = e("p <p> p p p");
+        let y = e("p p <p> p p");
+        assert_eq!(x.language(), y.language());
+        assert!(!x.comparable(&y));
+    }
+
+    #[test]
+    fn incomparable_sides_crosswise() {
+        // left larger, right smaller — neither generalizes.
+        let x = e("(q p)* <p> q q");
+        let y = e("q p <p> q*");
+        assert!(!x.generalizes(&y));
+        assert!(!y.generalizes(&x));
+    }
+}

@@ -1,0 +1,291 @@
+//! Counterexample-driven disambiguation — the "disambiguation procedure"
+//! Section 8 sketches as future work.
+//!
+//! > "…we could feed this expression to a 'disambiguation procedure'
+//! > along with a number of counterexamples."
+//!
+//! A counterexample is a document together with the *intended* marker
+//! position. Given an (over-generalized, possibly ambiguous) expression
+//! and counterexamples, [`refine_with_counterexamples`] surgically removes
+//! the spurious splits: for each wrong split `ρ = α·p·β` it subtracts
+//! either `{α}` from `E1` or `{β}` from `E2`, choosing a side whose
+//! removal does not destroy any intended split. Each step removes at
+//! least one wrong (document, position) pair and never adds parses, so
+//! the loop terminates; the result resolves every counterexample to its
+//! intended position and parses no new strings.
+//!
+//! Note the output need not be *globally* unambiguous — it is unambiguous
+//! on the given counterexamples. Feed it back through
+//! [`ExtractionExpr::ambiguity_witness`] to harvest more counterexamples
+//! until global unambiguity is reached ([`disambiguate_fully`] automates
+//! that loop, with an iteration cap because shrinking by single strings
+//! may converge slowly for pathological inputs).
+
+use crate::expr::ExtractionExpr;
+use crate::extract::Extractor;
+use rextract_automata::{Lang, Symbol};
+use std::fmt;
+
+/// One labeled counterexample: a document and the intended position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counterexample {
+    /// The document.
+    pub word: Vec<Symbol>,
+    /// The index of the intended marker occurrence.
+    pub intended: usize,
+}
+
+impl Counterexample {
+    /// Construct, validating that the intended position is in range.
+    pub fn new(word: Vec<Symbol>, intended: usize) -> Counterexample {
+        assert!(intended < word.len(), "intended position out of range");
+        Counterexample { word, intended }
+    }
+}
+
+/// Errors from refinement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RefineError {
+    /// A counterexample's intended split is not a valid split of the
+    /// expression at all — refinement only removes parses, so the caller
+    /// must first generalize.
+    IntendedSplitNotParsed { example: usize },
+    /// Removing a wrong split would necessarily destroy an intended split
+    /// of another counterexample (the examples are jointly unsatisfiable
+    /// for this expression by subtraction alone).
+    Conflict { example: usize },
+    /// The full-disambiguation loop hit its iteration cap.
+    IterationCap,
+}
+
+impl fmt::Display for RefineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RefineError::IntendedSplitNotParsed { example } => {
+                write!(f, "counterexample {example}: intended split is not parsed")
+            }
+            RefineError::Conflict { example } => {
+                write!(f, "counterexample {example}: cannot remove wrong split without breaking an intended one")
+            }
+            RefineError::IterationCap => write!(f, "disambiguation did not converge"),
+        }
+    }
+}
+
+impl std::error::Error for RefineError {}
+
+/// Does removing `prefix` from `E1` (or `suffix` from `E2`) preserve every
+/// intended split? A removal of prefix `α` kills exactly the splits whose
+/// prefix is `α`; similarly for suffixes.
+fn removal_is_safe(
+    examples: &[Counterexample],
+    side_is_left: bool,
+    removed: &[Symbol],
+) -> bool {
+    examples.iter().all(|ex| {
+        let (alpha, beta) = (&ex.word[..ex.intended], &ex.word[ex.intended + 1..]);
+        if side_is_left {
+            alpha != removed
+        } else {
+            beta != removed
+        }
+    })
+}
+
+/// Refine `expr` until every counterexample resolves uniquely to its
+/// intended position. Returns the refined expression.
+pub fn refine_with_counterexamples(
+    expr: &ExtractionExpr,
+    examples: &[Counterexample],
+) -> Result<ExtractionExpr, RefineError> {
+    let sigma = expr.alphabet().clone();
+    let mut current = expr.clone();
+
+    // Sanity: every intended split must be parsed by the expression.
+    for (i, ex) in examples.iter().enumerate() {
+        let ok = ex.word[ex.intended] == current.marker()
+            && current.left().contains(&ex.word[..ex.intended])
+            && current.right().contains(&ex.word[ex.intended + 1..]);
+        if !ok {
+            return Err(RefineError::IntendedSplitNotParsed { example: i });
+        }
+    }
+
+    loop {
+        // Find a wrong split on some example.
+        let mut wrong: Option<(usize, usize)> = None;
+        {
+            let extractor = Extractor::compile(&current);
+            'outer: for (i, ex) in examples.iter().enumerate() {
+                for pos in extractor.positions(&ex.word) {
+                    if pos != ex.intended {
+                        wrong = Some((i, pos));
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        let Some((i, pos)) = wrong else {
+            return Ok(current);
+        };
+
+        let ex = &examples[i];
+        let alpha = &ex.word[..pos];
+        let beta = &ex.word[pos + 1..];
+
+        if removal_is_safe(examples, true, alpha) {
+            let lit = Lang::literal(&sigma, alpha);
+            current = ExtractionExpr::from_langs(
+                current.left().difference(&lit),
+                current.marker(),
+                current.right().clone(),
+            );
+        } else if removal_is_safe(examples, false, beta) {
+            let lit = Lang::literal(&sigma, beta);
+            current = ExtractionExpr::from_langs(
+                current.left().clone(),
+                current.marker(),
+                current.right().difference(&lit),
+            );
+        } else {
+            return Err(RefineError::Conflict { example: i });
+        }
+    }
+}
+
+/// Drive [`refine_with_counterexamples`] to *global* unambiguity: harvest
+/// ambiguity witnesses as fresh counterexamples (labeling them with their
+/// first split, i.e. "leftmost wins") until none remain or the cap hits.
+pub fn disambiguate_fully(
+    expr: &ExtractionExpr,
+    examples: &[Counterexample],
+    max_rounds: usize,
+) -> Result<ExtractionExpr, RefineError> {
+    let mut examples: Vec<Counterexample> = examples.to_vec();
+    let mut current = refine_with_counterexamples(expr, &examples)?;
+    for _ in 0..max_rounds {
+        match current.ambiguity_witness() {
+            None => return Ok(current),
+            Some(w) => {
+                examples.push(Counterexample::new(w.word, w.first_split));
+                current = refine_with_counterexamples(&current, &examples)?;
+            }
+        }
+    }
+    if current.is_unambiguous() {
+        Ok(current)
+    } else {
+        Err(RefineError::IterationCap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rextract_automata::Alphabet;
+
+    fn ab() -> Alphabet {
+        Alphabet::new(["p", "q"])
+    }
+
+    fn e(s: &str) -> ExtractionExpr {
+        ExtractionExpr::parse(&ab(), s).unwrap()
+    }
+
+    fn ce(word: &str, intended: usize) -> Counterexample {
+        Counterexample::new(ab().str_to_syms(word).unwrap(), intended)
+    }
+
+    #[test]
+    fn removes_a_spurious_split() {
+        // p*⟨p⟩p*q on "p p p q": intended = the first p (position 0).
+        let expr = e("p* <p> p* q");
+        let refined =
+            refine_with_counterexamples(&expr, &[ce("p p p q", 0)]).unwrap();
+        let doc = ab().str_to_syms("p p p q").unwrap();
+        assert_eq!(
+            refined.extract(&doc).map(|x| x.position),
+            Ok(0),
+            "refined: {}",
+            refined.to_text()
+        );
+        // Refinement never adds parses.
+        assert!(expr.generalizes(&refined));
+    }
+
+    #[test]
+    fn respects_intended_splits_across_examples() {
+        // Two documents; disambiguate both to their markers.
+        let expr = e("p* <p> p*");
+        let examples = [ce("p p", 0), ce("p p p", 1)];
+        let refined = refine_with_counterexamples(&expr, &examples).unwrap();
+        for ex in &examples {
+            assert_eq!(
+                refined.extract(&ex.word).map(|x| x.position),
+                Ok(ex.intended)
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_unparsed_intended_split() {
+        let expr = e("q <p> q");
+        let err = refine_with_counterexamples(&expr, &[ce("p q", 0)]).unwrap_err();
+        assert_eq!(err, RefineError::IntendedSplitNotParsed { example: 0 });
+        // Also rejects a position that does not carry the marker.
+        let err = refine_with_counterexamples(&expr, &[ce("q p q", 0)]).unwrap_err();
+        assert_eq!(err, RefineError::IntendedSplitNotParsed { example: 0 });
+    }
+
+    #[test]
+    fn already_consistent_expression_is_untouched() {
+        let expr = e("[^p]* <p> .*");
+        let refined =
+            refine_with_counterexamples(&expr, &[ce("q p q", 1)]).unwrap();
+        assert!(refined.same_extraction(&expr));
+    }
+
+    #[test]
+    fn full_disambiguation_reaches_unambiguity() {
+        let expr = e("(p | p p) <p> (p | p p)");
+        assert!(expr.is_ambiguous());
+        let out = disambiguate_fully(&expr, &[], 32).unwrap();
+        assert!(out.is_unambiguous());
+        // Refinement only removes parses.
+        assert!(out.language().is_subset_of(&expr.language()));
+    }
+
+    #[test]
+    fn full_disambiguation_keeps_labeled_examples() {
+        // Finite ambiguity family: (p|pp)⟨p⟩(p|pp) has finitely many
+        // ambiguous words, so witness harvesting converges.
+        let expr = e("(p | p p) <p> (p | p p)");
+        let examples = [ce("p p p p", 1)];
+        let out = disambiguate_fully(&expr, &examples, 16).unwrap();
+        assert!(out.is_unambiguous());
+        let doc = ab().str_to_syms("p p p p").unwrap();
+        assert_eq!(out.extract(&doc).map(|x| x.position), Ok(1));
+    }
+
+    #[test]
+    fn full_disambiguation_caps_on_infinite_ambiguity_families() {
+        // p*⟨p⟩p* has infinitely many ambiguous words; removing one string
+        // per round can never converge. The cap must fire rather than
+        // looping forever — this is the documented limitation that the
+        // specialization ladder in `learn::disambiguate` exists for.
+        let expr = e("p* <p> p*");
+        assert_eq!(
+            disambiguate_fully(&expr, &[], 5).unwrap_err(),
+            RefineError::IterationCap
+        );
+    }
+
+    #[test]
+    fn conflict_is_detected() {
+        // Same word labeled twice with different intents is unsatisfiable.
+        let expr = e("p* <p> p*");
+        let examples = [ce("p p", 0), ce("p p", 1)];
+        let err = refine_with_counterexamples(&expr, &examples).unwrap_err();
+        assert!(matches!(err, RefineError::Conflict { .. }));
+    }
+}

@@ -1,0 +1,186 @@
+//! Right-filtering maximization — the mirror of Algorithm 6.2.
+//!
+//! Section 6 notes the symmetric case in passing: "if `E2 \ (p·E2) = ∅`
+//! then we can generalize `E1⟨p⟩E2` to `Σ*⟨p⟩E2`", after which the right
+//! side needs the same treatment the left side gets from left-filtering.
+//! Reversal reduces one problem to the other exactly:
+//!
+//! * `ρ = α·p·β` splits under `Σ*⟨p⟩E` iff `ρᴿ = βᴿ·p·αᴿ` splits under
+//!   `Eᴿ⟨p⟩Σ*`,
+//! * hence `Σ*⟨p⟩E` is unambiguous/maximal iff `Eᴿ⟨p⟩Σ*` is, and
+//! * `Σ*⟨p⟩(maximizeᴿ(E))` with
+//!   `maximizeᴿ(E) = (Alg6.2(Eᴿ))ᴿ` is a maximal unambiguous
+//!   generalization of `Σ*⟨p⟩E` whenever `Eᴿ` satisfies Algorithm 6.2's
+//!   preconditions (equivalently: `E` has a bounded marker count, which is
+//!   reversal-invariant, and `Σ*⟨p⟩E` is unambiguous).
+//!
+//! A genuinely *two-sided* maximization (both `E1` and `E2` proper) is not
+//! provided: maximizing the sides independently is unsound — e.g.
+//! maximizing both sides of `⟨p⟩` against `Σ*` yields
+//! `(Σ−p)*⟨p⟩(Σ−p)*`, which is unambiguous but **not** maximal (it is
+//! strictly below `(Σ−p)*⟨p⟩Σ*`). Whether every two-sided unambiguous
+//! expression has a maximization is exactly the paper's open problem
+//! (Section 8). The [`two_sided_is_not_component_wise`] test documents the
+//! counterexample.
+//!
+//! [`two_sided_is_not_component_wise`]: #two-sided
+
+use crate::error::ExtractionError;
+use crate::expr::ExtractionExpr;
+use crate::left_filter::left_filter_maximize_lang;
+use rextract_automata::{Lang, Symbol};
+
+/// Maximize the right language `e` of `Σ*⟨p⟩e` (mirror of
+/// `left_filter_maximize_lang`).
+///
+/// Errors mirror the left case:
+/// * [`ExtractionError::Ambiguous`] if `Σ*⟨p⟩e` is ambiguous
+///   (equivalently `(p·e) \ e ≠ ∅`);
+/// * [`ExtractionError::UnboundedMarkers`] if `L(e)` has no marker bound.
+pub fn right_filter_maximize_lang(e: &Lang, p: Symbol) -> Result<Lang, ExtractionError> {
+    let reversed = e.reversed();
+    let maximized = left_filter_maximize_lang(&reversed, p).map_err(|err| match err {
+        // Witnesses come out reversed; re-reverse for the caller.
+        ExtractionError::Ambiguous { witness } => ExtractionError::Ambiguous {
+            witness: witness.map(|w| {
+                w.split_whitespace().rev().collect::<Vec<_>>().join(" ")
+            }),
+        },
+        other => other,
+    })?;
+    Ok(maximized.reversed())
+}
+
+/// Mirror of `left_filter_maximize`:
+/// requires the **left** side to be `Σ*` and maximizes the right side.
+pub fn right_filter_maximize(expr: &ExtractionExpr) -> Result<ExtractionExpr, ExtractionError> {
+    let univ = Lang::universe(expr.alphabet());
+    assert_eq!(
+        expr.left(),
+        &univ,
+        "right-filtering maximization applies to expressions of the form Σ*⟨p⟩E"
+    );
+    let e_prime = right_filter_maximize_lang(expr.right(), expr.marker())?;
+    Ok(ExtractionExpr::from_langs(univ, expr.marker(), e_prime))
+}
+
+/// One-sided maximization dispatch: applies left-filtering when the right
+/// side is `Σ*`, right-filtering when the left side is `Σ*`, and reports
+/// [`ExtractionError::NoPivotForm`] otherwise (two-sided maximization is
+/// the paper's open problem; use [`crate::pivot`] for structured inputs).
+pub fn maximize_one_sided(expr: &ExtractionExpr) -> Result<ExtractionExpr, ExtractionError> {
+    let univ = Lang::universe(expr.alphabet());
+    if expr.right() == &univ {
+        crate::left_filter::left_filter_maximize(expr)
+    } else if expr.left() == &univ {
+        right_filter_maximize(expr)
+    } else {
+        Err(ExtractionError::NoPivotForm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::maximality::MaximalityStatus;
+    use rextract_automata::Alphabet;
+
+    fn ab() -> Alphabet {
+        Alphabet::new(["p", "q"])
+    }
+
+    fn e(s: &str) -> ExtractionExpr {
+        ExtractionExpr::parse(&ab(), s).unwrap()
+    }
+
+    #[test]
+    fn mirror_of_proposition_6_5() {
+        for s in [
+            ".* <p> p q",
+            ".* <p> q",
+            ".* <p> ~",
+            ".* <p> q*",
+            ".* <p> q p q",
+            ".* <p> (q | q q)",
+            ".* <p> q* p q*",
+        ] {
+            let input = e(s);
+            let out = right_filter_maximize(&input).unwrap_or_else(|err| {
+                panic!("right maximization failed on {s}: {err}");
+            });
+            assert!(out.generalizes(&input), "output must generalize {s}");
+            assert!(out.is_unambiguous(), "output ambiguous for {s}");
+            assert_eq!(
+                out.maximality(),
+                MaximalityStatus::Maximal,
+                "output not maximal for {s}: {}",
+                out.to_text()
+            );
+        }
+    }
+
+    #[test]
+    fn last_p_expression_is_a_fixpoint() {
+        // Σ*⟨p⟩(Σ−p)* marks the last p; it is maximal already.
+        let input = e(".* <p> [^p]*");
+        let out = right_filter_maximize(&input).unwrap();
+        assert!(out.same_extraction(&input));
+    }
+
+    #[test]
+    fn rejects_ambiguous_and_unbounded_inputs() {
+        // Σ*⟨p⟩(p q)* is ambiguous (mirror of (q p)*⟨p⟩Σ* being
+        // unambiguous is Σ*⟨p⟩(p q)*... careful: reverse((q p)*) = (p q)*,
+        // and (q p)*⟨p⟩Σ* was UNambiguous, so Σ*⟨p⟩(p q)* is unambiguous
+        // but unbounded.
+        let err = right_filter_maximize(&e(".* <p> (p q)*")).unwrap_err();
+        assert_eq!(err, ExtractionError::UnboundedMarkers);
+        // Mirror of the ambiguous (p q)*⟨p⟩Σ*: Σ*⟨p⟩(q p)*.
+        let err = right_filter_maximize(&e(".* <p> (q p)*")).unwrap_err();
+        assert!(matches!(err, ExtractionError::Ambiguous { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "Σ*⟨p⟩E")]
+    fn non_universal_left_side_is_a_contract_violation() {
+        let _ = right_filter_maximize(&e("q <p> q*"));
+    }
+
+    #[test]
+    fn dispatch_picks_the_right_algorithm() {
+        let left_shaped = e("q p <p> .*");
+        let out = maximize_one_sided(&left_shaped).unwrap();
+        assert!(out.is_maximal());
+
+        let right_shaped = e(".* <p> p q");
+        let out = maximize_one_sided(&right_shaped).unwrap();
+        assert!(out.is_maximal());
+
+        let neither = e("q <p> q");
+        assert_eq!(
+            maximize_one_sided(&neither).unwrap_err(),
+            ExtractionError::NoPivotForm
+        );
+    }
+
+    /// <a name="two-sided"></a> Component-wise two-sided maximization is
+    /// unsound: both sides maximized against `Σ*` compose into a
+    /// non-maximal expression. This is why the crate only offers one-sided
+    /// and pivot maximization (the general two-sided question is the
+    /// paper's open problem).
+    #[test]
+    fn two_sided_is_not_component_wise() {
+        let a = ab();
+        let left = left_filter_maximize_lang(&Lang::epsilon(&a), a.sym("p")).unwrap();
+        let right = right_filter_maximize_lang(&Lang::epsilon(&a), a.sym("p")).unwrap();
+        // Each side alone is the "(Σ−p)*" context.
+        assert_eq!(left, Lang::parse(&a, "[^p]*").unwrap());
+        assert_eq!(right, Lang::parse(&a, "[^p]*").unwrap());
+        let composed = ExtractionExpr::from_langs(left, a.sym("p"), right);
+        assert!(composed.is_unambiguous());
+        assert!(
+            !composed.is_maximal(),
+            "component-wise composition must not be maximal"
+        );
+    }
+}

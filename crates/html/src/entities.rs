@@ -1,0 +1,126 @@
+//! Character-reference (entity) decoding.
+//!
+//! Supports the named entities that occur in real catalog pages plus
+//! decimal (`&#64;`) and hexadecimal (`&#x40;`) numeric references.
+//! Unknown or malformed references are passed through verbatim — the
+//! permissive behaviour a wrapper needs on wild HTML.
+
+/// Decode character references in `input`.
+pub fn decode(input: &str) -> String {
+    let mut out = String::with_capacity(input.len());
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] != b'&' {
+            // Advance over one UTF-8 scalar.
+            let ch_len = utf8_len(bytes[i]);
+            out.push_str(&input[i..i + ch_len]);
+            i += ch_len;
+            continue;
+        }
+        // Find terminating ';' within a reasonable window.
+        let end = input[i + 1..]
+            .char_indices()
+            .take(32)
+            .find(|&(_, c)| c == ';')
+            .map(|(off, _)| i + 1 + off);
+        match end {
+            Some(semi) => {
+                let body = &input[i + 1..semi];
+                match decode_one(body) {
+                    Some(decoded) => {
+                        out.push_str(&decoded);
+                        i = semi + 1;
+                    }
+                    None => {
+                        out.push('&');
+                        i += 1;
+                    }
+                }
+            }
+            None => {
+                out.push('&');
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+fn decode_one(body: &str) -> Option<String> {
+    let named = match body {
+        "amp" => Some('&'),
+        "lt" => Some('<'),
+        "gt" => Some('>'),
+        "quot" => Some('"'),
+        "apos" => Some('\''),
+        "nbsp" => Some('\u{a0}'),
+        "copy" => Some('©'),
+        "reg" => Some('®'),
+        "trade" => Some('™'),
+        "mdash" => Some('—'),
+        "ndash" => Some('–'),
+        "hellip" => Some('…'),
+        _ => None,
+    };
+    if let Some(c) = named {
+        return Some(c.to_string());
+    }
+    let stripped = body.strip_prefix('#')?;
+    let code = if let Some(hex) = stripped.strip_prefix(['x', 'X']) {
+        u32::from_str_radix(hex, 16).ok()?
+    } else {
+        stripped.parse::<u32>().ok()?
+    };
+    char::from_u32(code).map(|c| c.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_entities() {
+        assert_eq!(decode("a &amp; b"), "a & b");
+        assert_eq!(decode("&lt;p&gt;"), "<p>");
+        assert_eq!(decode("&quot;x&quot;"), "\"x\"");
+        assert_eq!(decode("&copy; 2000"), "© 2000");
+    }
+
+    #[test]
+    fn numeric_entities() {
+        assert_eq!(decode("&#64;"), "@");
+        assert_eq!(decode("&#x40;"), "@");
+        assert_eq!(decode("&#X41;"), "A");
+    }
+
+    #[test]
+    fn malformed_references_pass_through() {
+        assert_eq!(decode("&zzz;"), "&zzz;");
+        assert_eq!(decode("AT&T"), "AT&T");
+        assert_eq!(decode("a & b"), "a & b");
+        assert_eq!(decode("&#xZZ;"), "&#xZZ;");
+        assert_eq!(decode("&"), "&");
+        assert_eq!(decode("&#1114112;"), "&#1114112;"); // out of range
+    }
+
+    #[test]
+    fn multibyte_text_survives() {
+        assert_eq!(decode("prix — 10€ &amp; plus"), "prix — 10€ & plus");
+    }
+
+    #[test]
+    fn empty_and_plain_strings() {
+        assert_eq!(decode(""), "");
+        assert_eq!(decode("no entities here"), "no entities here");
+    }
+}

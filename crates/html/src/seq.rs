@@ -1,0 +1,261 @@
+//! The tag-sequence abstraction — Section 3 of the paper.
+//!
+//! Documents become strings over a token alphabet: start tags map to their
+//! uppercase name (`FORM`), end tags to a slash-prefixed name (`/FORM`),
+//! and — optionally — text runs to a `#text` pseudo-symbol and selected
+//! attributes to `NAME@attr=value` refinement symbols ("it is easy to
+//! enrich this model to take the tag attributes into account", Section 3).
+//!
+//! [`to_names`] produces the abstract sequence together with a back-map
+//! into the token stream, so a marked target token can be located in the
+//! symbol sequence and an extracted symbol mapped back to its token.
+//! [`Vocabulary`] accumulates the names seen across a corpus and builds the
+//! [`Alphabet`] the extraction layer needs.
+
+use crate::token::Token;
+use rextract_automata::{Alphabet, Symbol};
+use std::collections::BTreeSet;
+
+/// Configuration of the abstraction level.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeqConfig {
+    /// Emit a `#text` symbol for non-blank text runs.
+    pub include_text: bool,
+    /// Emit `/NAME` symbols for end tags.
+    pub include_end_tags: bool,
+    /// For each `(tag, attr)` listed here, refine the start-tag symbol to
+    /// `NAME@attr=value` when the attribute is present. Names are
+    /// normalized (tag upper, attr lower).
+    pub refine_attrs: Vec<(String, String)>,
+}
+
+impl SeqConfig {
+    /// The paper's plain representation: tags and end tags only.
+    pub fn tags_only() -> SeqConfig {
+        SeqConfig {
+            include_text: false,
+            include_end_tags: true,
+            refine_attrs: Vec::new(),
+        }
+    }
+
+    /// Tags plus `#text` markers.
+    pub fn with_text() -> SeqConfig {
+        SeqConfig {
+            include_text: true,
+            include_end_tags: true,
+            refine_attrs: Vec::new(),
+        }
+    }
+
+    /// Add an attribute refinement, builder style.
+    pub fn refine(mut self, tag: &str, attr: &str) -> SeqConfig {
+        self.refine_attrs
+            .push((tag.to_ascii_uppercase(), attr.to_ascii_lowercase()));
+        self
+    }
+}
+
+/// One element of the abstract sequence, with provenance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeqEntry {
+    /// The symbol name (e.g. `FORM`, `/TD`, `#text`, `INPUT@type=radio`).
+    pub name: String,
+    /// Index of the originating token in the token stream.
+    pub token_index: usize,
+}
+
+/// Abstract a token stream into symbol names under `cfg`.
+pub fn to_names(tokens: &[Token], cfg: &SeqConfig) -> Vec<SeqEntry> {
+    let mut out = Vec::with_capacity(tokens.len());
+    for (i, tok) in tokens.iter().enumerate() {
+        let name = match tok {
+            Token::StartTag { name, .. } => {
+                let refined = cfg
+                    .refine_attrs
+                    .iter()
+                    .find(|(t, a)| t == name && tok.attr(a).is_some())
+                    .map(|(t, a)| {
+                        let value = tok.attr(a).expect("checked present");
+                        // Sanitize so refined names stay valid regex
+                        // identifiers and whitespace-splittable alphabet
+                        // entries.
+                        let clean: String = value
+                            .chars()
+                            .map(|c| {
+                                if c.is_alphanumeric() || matches!(c, '_' | '/' | ':' | '#') {
+                                    c
+                                } else {
+                                    '_'
+                                }
+                            })
+                            .collect();
+                        format!("{t}@{a}={clean}")
+                    });
+                Some(refined.unwrap_or_else(|| name.clone()))
+            }
+            Token::EndTag { name } if cfg.include_end_tags => Some(format!("/{name}")),
+            Token::EndTag { .. } => None,
+            Token::Text(_) if cfg.include_text && !tok.is_blank_text() => {
+                Some("#text".to_string())
+            }
+            Token::Text(_) | Token::Comment(_) | Token::Doctype(_) => None,
+        };
+        if let Some(name) = name {
+            out.push(SeqEntry {
+                name,
+                token_index: i,
+            });
+        }
+    }
+    out
+}
+
+/// A growing set of symbol names across a corpus, from which an
+/// [`Alphabet`] is built. Deterministic (sorted) ordering, so equal corpora
+/// give identical alphabets.
+#[derive(Debug, Default, Clone)]
+pub struct Vocabulary {
+    names: BTreeSet<String>,
+}
+
+impl Vocabulary {
+    /// Empty vocabulary.
+    pub fn new() -> Vocabulary {
+        Vocabulary::default()
+    }
+
+    /// Record every name in an abstracted document.
+    pub fn observe(&mut self, entries: &[SeqEntry]) {
+        for e in entries {
+            self.names.insert(e.name.clone());
+        }
+    }
+
+    /// Record a raw name (useful for symbols known a priori).
+    pub fn observe_name(&mut self, name: &str) {
+        self.names.insert(name.to_string());
+    }
+
+    /// Number of distinct names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Is the vocabulary empty?
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Build the alphabet.
+    pub fn alphabet(&self) -> Alphabet {
+        Alphabet::new(self.names.iter().cloned())
+    }
+}
+
+/// Map an abstracted document to symbols of `alphabet`. Entries whose name
+/// is missing from the alphabet are reported by index in `Err`.
+pub fn entries_to_symbols(
+    entries: &[SeqEntry],
+    alphabet: &Alphabet,
+) -> Result<Vec<Symbol>, usize> {
+    entries
+        .iter()
+        .enumerate()
+        .map(|(i, e)| alphabet.try_sym(&e.name).ok_or(i))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenizer::tokenize;
+
+    #[test]
+    fn paper_section_3_representation() {
+        // "P H1 /H1 P FORM INPUT INPUT … /FORM"-style abstraction.
+        let html = "<p><h1>Virtual Supplier, Inc.</h1><p><form>\
+                    <input><input></form>";
+        let entries = to_names(&tokenize(html), &SeqConfig::tags_only());
+        let names: Vec<&str> = entries.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, ["P", "H1", "/H1", "P", "FORM", "INPUT", "INPUT", "/FORM"]);
+    }
+
+    #[test]
+    fn text_symbols_when_enabled() {
+        let html = "<td>Price</td><td> </td>";
+        let entries = to_names(&tokenize(html), &SeqConfig::with_text());
+        let names: Vec<&str> = entries.iter().map(|e| e.name.as_str()).collect();
+        // blank text run is dropped even with include_text
+        assert_eq!(names, ["TD", "#text", "/TD", "TD", "/TD"]);
+    }
+
+    #[test]
+    fn attribute_refinement() {
+        let html = r#"<input type="radio"><input type="text"><input>"#;
+        let cfg = SeqConfig::tags_only().refine("input", "TYPE");
+        let entries = to_names(&tokenize(html), &cfg);
+        let names: Vec<&str> = entries.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, ["INPUT@type=radio", "INPUT@type=text", "INPUT"]);
+    }
+
+    #[test]
+    fn token_back_map_is_correct() {
+        let html = "<!-- c --><p>hi</p>";
+        let toks = tokenize(html);
+        let entries = to_names(&toks, &SeqConfig::tags_only());
+        // comment and text are skipped, but indices still point into toks
+        for e in &entries {
+            assert!(toks[e.token_index].tag_name().is_some());
+        }
+        assert_eq!(entries[0].token_index, 1); // <p> after the comment
+    }
+
+    #[test]
+    fn vocabulary_builds_deterministic_alphabet() {
+        let mut v = Vocabulary::new();
+        let entries = to_names(
+            &tokenize("<table><tr><td></td></tr></table>"),
+            &SeqConfig::tags_only(),
+        );
+        v.observe(&entries);
+        v.observe_name("FORM");
+        let a1 = v.alphabet();
+        let a2 = v.alphabet();
+        assert!(a1.compatible(&a2));
+        assert!(a1.try_sym("TABLE").is_some());
+        assert!(a1.try_sym("/TD").is_some());
+        assert!(a1.try_sym("FORM").is_some());
+        assert_eq!(a1.len(), 7);
+        assert!(!v.is_empty());
+    }
+
+    #[test]
+    fn symbol_mapping_reports_unknown_names() {
+        let entries = to_names(&tokenize("<p><b>"), &SeqConfig::tags_only());
+        let mut v = Vocabulary::new();
+        v.observe(&entries[..1]); // only P
+        let alphabet = v.alphabet();
+        assert_eq!(entries_to_symbols(&entries, &alphabet), Err(1));
+        let full = {
+            let mut v = Vocabulary::new();
+            v.observe(&entries);
+            v.alphabet()
+        };
+        let syms = entries_to_symbols(&entries, &full).unwrap();
+        assert_eq!(syms.len(), 2);
+        assert_eq!(full.name(syms[0]), "P");
+    }
+
+    #[test]
+    fn end_tags_can_be_suppressed() {
+        let cfg = SeqConfig {
+            include_text: false,
+            include_end_tags: false,
+            refine_attrs: Vec::new(),
+        };
+        let entries = to_names(&tokenize("<p>x</p>"), &cfg);
+        let names: Vec<&str> = entries.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, ["P"]);
+    }
+}

@@ -1,0 +1,168 @@
+//! The HTML token model.
+//!
+//! Tokens are the unit the paper's tag-sequence abstraction consumes. Tag
+//! names are normalized to ASCII uppercase at construction (the paper
+//! writes `FORM`, `INPUT`, `/TD`); attribute names to lowercase, HTML
+//! style.
+
+use std::fmt;
+
+/// One `name[=value]` attribute of a start tag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    /// Lowercased attribute name.
+    pub name: String,
+    /// Decoded value; empty for boolean attributes like `checked`.
+    pub value: String,
+}
+
+impl Attribute {
+    /// Construct, normalizing the name to lowercase.
+    pub fn new(name: impl Into<String>, value: impl Into<String>) -> Attribute {
+        Attribute {
+            name: name.into().to_ascii_lowercase(),
+            value: value.into(),
+        }
+    }
+}
+
+/// An HTML token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// `<NAME attr=… >`; `self_closing` records a trailing `/`.
+    StartTag {
+        /// Uppercased tag name.
+        name: String,
+        /// Attributes in source order.
+        attrs: Vec<Attribute>,
+        /// `<input />`-style trailing slash.
+        self_closing: bool,
+    },
+    /// `</NAME>`.
+    EndTag {
+        /// Uppercased tag name.
+        name: String,
+    },
+    /// A run of character data (entity-decoded, whitespace preserved).
+    Text(String),
+    /// `<!-- … -->` contents.
+    Comment(String),
+    /// `<!DOCTYPE …>` contents.
+    Doctype(String),
+}
+
+impl Token {
+    /// A start tag with no attributes.
+    pub fn start(name: &str) -> Token {
+        Token::StartTag {
+            name: name.to_ascii_uppercase(),
+            attrs: Vec::new(),
+            self_closing: false,
+        }
+    }
+
+    /// A start tag with attributes.
+    pub fn start_with(name: &str, attrs: Vec<Attribute>) -> Token {
+        Token::StartTag {
+            name: name.to_ascii_uppercase(),
+            attrs,
+            self_closing: false,
+        }
+    }
+
+    /// An end tag.
+    pub fn end(name: &str) -> Token {
+        Token::EndTag {
+            name: name.to_ascii_uppercase(),
+        }
+    }
+
+    /// The tag name if this is a start or end tag.
+    pub fn tag_name(&self) -> Option<&str> {
+        match self {
+            Token::StartTag { name, .. } | Token::EndTag { name } => Some(name),
+            _ => None,
+        }
+    }
+
+    /// Look up an attribute value on a start tag.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        match self {
+            Token::StartTag { attrs, .. } => attrs
+                .iter()
+                .find(|a| a.name == name)
+                .map(|a| a.value.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Is this tag a *void element* (never has an end tag)?
+    pub fn is_void_element(&self) -> bool {
+        matches!(
+            self.tag_name(),
+            Some(
+                "AREA" | "BASE" | "BR" | "COL" | "EMBED" | "HR" | "IMG" | "INPUT" | "LINK"
+                    | "META" | "PARAM" | "SOURCE" | "TRACK" | "WBR"
+            )
+        )
+    }
+
+    /// Is this a whitespace-only text token?
+    pub fn is_blank_text(&self) -> bool {
+        matches!(self, Token::Text(t) if t.chars().all(char::is_whitespace))
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::StartTag { name, .. } => write!(f, "<{name}>"),
+            Token::EndTag { name } => write!(f, "</{name}>"),
+            Token::Text(t) => write!(f, "{t:?}"),
+            Token::Comment(_) => write!(f, "<!--…-->"),
+            Token::Doctype(_) => write!(f, "<!DOCTYPE>"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_normalized() {
+        assert_eq!(Token::start("form").tag_name(), Some("FORM"));
+        assert_eq!(Token::end("Form").tag_name(), Some("FORM"));
+        assert_eq!(Attribute::new("TYPE", "text").name, "type");
+    }
+
+    #[test]
+    fn attribute_lookup() {
+        let t = Token::start_with(
+            "input",
+            vec![
+                Attribute::new("type", "radio"),
+                Attribute::new("checked", ""),
+            ],
+        );
+        assert_eq!(t.attr("type"), Some("radio"));
+        assert_eq!(t.attr("checked"), Some(""));
+        assert_eq!(t.attr("name"), None);
+        assert_eq!(Token::Text("x".into()).attr("type"), None);
+    }
+
+    #[test]
+    fn void_elements() {
+        assert!(Token::start("input").is_void_element());
+        assert!(Token::start("br").is_void_element());
+        assert!(!Token::start("form").is_void_element());
+        assert!(!Token::Text("input".into()).is_void_element());
+    }
+
+    #[test]
+    fn blank_text_detection() {
+        assert!(Token::Text("  \n\t".into()).is_blank_text());
+        assert!(!Token::Text(" x ".into()).is_blank_text());
+        assert!(!Token::start("p").is_blank_text());
+    }
+}

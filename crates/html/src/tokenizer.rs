@@ -1,0 +1,381 @@
+//! A permissive streaming HTML tokenizer.
+//!
+//! Built for wrapper robustness, not spec conformance: real catalog pages
+//! (the paper's domain) contain unquoted attributes, stray `<`, unclosed
+//! comments and raw-text `<script>`/`<style>` bodies. The tokenizer never
+//! fails — every input produces *some* token stream, and malformed
+//! constructs degrade to text.
+
+use crate::entities::decode;
+use crate::token::{Attribute, Token};
+
+/// Tokenize an HTML document into a token stream.
+pub fn tokenize(input: &str) -> Vec<Token> {
+    Tokenizer {
+        input,
+        pos: 0,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Tokenizer<'a> {
+    input: &'a str,
+    pos: usize,
+    out: Vec<Token>,
+}
+
+impl<'a> Tokenizer<'a> {
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.input.len() {
+            if self.rest().starts_with('<') {
+                self.lex_angle();
+            } else {
+                self.lex_text();
+            }
+        }
+        self.out
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn lex_text(&mut self) {
+        let end = self.rest().find('<').map(|o| self.pos + o).unwrap_or(self.input.len());
+        let raw = &self.input[self.pos..end];
+        if !raw.is_empty() {
+            self.out.push(Token::Text(decode(raw)));
+        }
+        self.pos = end;
+    }
+
+    fn lex_angle(&mut self) {
+        let rest = self.rest();
+        if rest.starts_with("<!--") {
+            self.lex_comment();
+        } else if rest.len() >= 2 && rest[1..].starts_with(['!', '?']) {
+            self.lex_declaration();
+        } else if rest[1..].starts_with('/') {
+            self.lex_end_tag();
+        } else if rest[1..].starts_with(|c: char| c.is_ascii_alphabetic()) {
+            self.lex_start_tag();
+        } else {
+            // Stray '<': emit as text and move on.
+            self.out.push(Token::Text("<".to_string()));
+            self.pos += 1;
+        }
+    }
+
+    fn lex_comment(&mut self) {
+        let body_start = self.pos + 4;
+        match self.input[body_start..].find("-->") {
+            Some(off) => {
+                self.out
+                    .push(Token::Comment(self.input[body_start..body_start + off].to_string()));
+                self.pos = body_start + off + 3;
+            }
+            None => {
+                // Unclosed comment swallows the rest of the document.
+                self.out.push(Token::Comment(self.input[body_start..].to_string()));
+                self.pos = self.input.len();
+            }
+        }
+    }
+
+    fn lex_declaration(&mut self) {
+        // <!DOCTYPE …> or <?xml …?> — capture up to '>'.
+        match self.rest().find('>') {
+            Some(off) => {
+                let body = &self.input[self.pos + 2..self.pos + off];
+                self.out.push(Token::Doctype(body.trim().to_string()));
+                self.pos += off + 1;
+            }
+            None => {
+                self.out.push(Token::Text(self.rest().to_string()));
+                self.pos = self.input.len();
+            }
+        }
+    }
+
+    fn lex_end_tag(&mut self) {
+        let name_start = self.pos + 2;
+        let name_end = self.input[name_start..]
+            .find(|c: char| !is_tag_name_char(c))
+            .map(|o| name_start + o)
+            .unwrap_or(self.input.len());
+        let name = &self.input[name_start..name_end];
+        if name.is_empty() {
+            self.out.push(Token::Text("</".to_string()));
+            self.pos += 2;
+            return;
+        }
+        // Skip to '>' (ignoring junk in between, e.g. attributes on an
+        // end tag).
+        let close = self.input[name_end..].find('>').map(|o| name_end + o);
+        self.out.push(Token::end(name));
+        self.pos = close.map(|c| c + 1).unwrap_or(self.input.len());
+    }
+
+    fn lex_start_tag(&mut self) {
+        let name_start = self.pos + 1;
+        let name_end = self.input[name_start..]
+            .find(|c: char| !is_tag_name_char(c))
+            .map(|o| name_start + o)
+            .unwrap_or(self.input.len());
+        let name = self.input[name_start..name_end].to_string();
+        self.pos = name_end;
+        let (attrs, self_closing) = self.lex_attrs();
+        let name_upper = name.to_ascii_uppercase();
+        self.out.push(Token::StartTag {
+            name: name_upper.clone(),
+            attrs,
+            self_closing,
+        });
+        // Raw-text elements: consume body verbatim until the matching
+        // close tag.
+        if !self_closing && matches!(name_upper.as_str(), "SCRIPT" | "STYLE" | "TEXTAREA") {
+            self.lex_raw_text(&name_upper);
+        }
+    }
+
+    fn lex_raw_text(&mut self, name: &str) {
+        let lower = format!("</{}", name.to_ascii_lowercase());
+        let upper = format!("</{}", name);
+        let hay = self.rest();
+        let end = hay
+            .match_indices("</")
+            .find(|&(i, _)| {
+                hay[i..].len() >= lower.len()
+                    && (hay[i..].as_bytes()[2..lower.len()]
+                        .eq_ignore_ascii_case(&lower.as_bytes()[2..]))
+            })
+            .map(|(i, _)| self.pos + i);
+        let _ = upper;
+        match end {
+            Some(e) => {
+                if e > self.pos {
+                    self.out
+                        .push(Token::Text(self.input[self.pos..e].to_string()));
+                }
+                self.pos = e;
+                self.lex_end_tag();
+            }
+            None => {
+                if !self.rest().is_empty() {
+                    self.out.push(Token::Text(self.rest().to_string()));
+                }
+                self.pos = self.input.len();
+            }
+        }
+    }
+
+    /// Lex attributes up to and including the closing `>`. Returns the
+    /// attribute list and whether the tag was self-closing.
+    fn lex_attrs(&mut self) -> (Vec<Attribute>, bool) {
+        let mut attrs = Vec::new();
+        let mut self_closing = false;
+        loop {
+            self.skip_ws();
+            let rest = self.rest();
+            if rest.is_empty() {
+                break;
+            }
+            if let Some(r) = rest.strip_prefix("/>") {
+                let _ = r;
+                self_closing = true;
+                self.pos += 2;
+                break;
+            }
+            if rest.starts_with('>') {
+                self.pos += 1;
+                break;
+            }
+            if rest.starts_with('/') {
+                // lone '/', not '/>': skip it.
+                self.pos += 1;
+                continue;
+            }
+            // Attribute name.
+            let name_end = rest
+                .find(|c: char| c.is_whitespace() || matches!(c, '=' | '>' | '/'))
+                .unwrap_or(rest.len());
+            if name_end == 0 {
+                self.pos += 1; // junk byte
+                continue;
+            }
+            let name = &rest[..name_end];
+            self.pos += name_end;
+            self.skip_ws();
+            if self.rest().starts_with('=') {
+                self.pos += 1;
+                self.skip_ws();
+                let value = self.lex_attr_value();
+                attrs.push(Attribute::new(name, decode(&value)));
+            } else {
+                attrs.push(Attribute::new(name, ""));
+            }
+        }
+        (attrs, self_closing)
+    }
+
+    fn lex_attr_value(&mut self) -> String {
+        let rest = self.rest();
+        if let Some(q) = rest.chars().next().filter(|&c| c == '"' || c == '\'') {
+            let body_start = self.pos + 1;
+            match self.input[body_start..].find(q) {
+                Some(off) => {
+                    let v = self.input[body_start..body_start + off].to_string();
+                    self.pos = body_start + off + 1;
+                    v
+                }
+                None => {
+                    let v = self.input[body_start..].to_string();
+                    self.pos = self.input.len();
+                    v
+                }
+            }
+        } else {
+            let end = rest
+                .find(|c: char| c.is_whitespace() || c == '>')
+                .unwrap_or(rest.len());
+            let v = rest[..end].to_string();
+            self.pos += end;
+            v
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        let trimmed = self.rest().trim_start();
+        self.pos = self.input.len() - trimmed.len();
+    }
+}
+
+fn is_tag_name_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '-' || c == ':'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(input: &str) -> Vec<String> {
+        tokenize(input)
+            .iter()
+            .map(|t| match t {
+                Token::StartTag { name, .. } => name.clone(),
+                Token::EndTag { name } => format!("/{name}"),
+                Token::Text(t) => format!("'{t}'"),
+                Token::Comment(_) => "<!---->".to_string(),
+                Token::Doctype(_) => "<!DOCTYPE>".to_string(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn basic_structure() {
+        assert_eq!(
+            names("<p><h1>Shop</h1></p>"),
+            ["P", "H1", "'Shop'", "/H1", "/P"]
+        );
+    }
+
+    #[test]
+    fn figure_1_form_fragment() {
+        let html = r#"<form method="post" action="search.cgi">
+<input type="image" align="left" src="search.gif" />
+<input type="text" size="15" name="value" />
+</form>"#;
+        let toks: Vec<Token> = tokenize(html)
+            .into_iter()
+            .filter(|t| !t.is_blank_text())
+            .collect();
+        let tags: Vec<&str> = toks.iter().filter_map(|t| t.tag_name()).collect();
+        assert_eq!(tags, ["FORM", "INPUT", "INPUT", "FORM"]);
+        assert_eq!(toks[0].attr("action"), Some("search.cgi"));
+        assert_eq!(toks[1].attr("type"), Some("image"));
+        match &toks[1] {
+            Token::StartTag { self_closing, .. } => assert!(self_closing),
+            other => panic!("expected start tag, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unquoted_and_boolean_attributes() {
+        let toks = tokenize("<input type=radio name=attr value=1 checked>");
+        assert_eq!(toks[0].attr("type"), Some("radio"));
+        assert_eq!(toks[0].attr("value"), Some("1"));
+        assert_eq!(toks[0].attr("checked"), Some(""));
+    }
+
+    #[test]
+    fn single_quoted_attributes_and_entities() {
+        let toks = tokenize("<a href='x.html' title=\"a &amp; b\">link</a>");
+        assert_eq!(toks[0].attr("href"), Some("x.html"));
+        assert_eq!(toks[0].attr("title"), Some("a & b"));
+    }
+
+    #[test]
+    fn comments_and_doctype() {
+        assert_eq!(
+            names("<!DOCTYPE html><!-- hi --><p>"),
+            ["<!DOCTYPE>", "<!---->", "P"]
+        );
+        // unclosed comment swallows the rest
+        assert_eq!(names("<!-- oops <p>"), ["<!---->"]);
+    }
+
+    #[test]
+    fn script_body_is_raw_text() {
+        let toks = tokenize("<script>if (a<b) { x('</div>'.length) }</script><p>");
+        // body preserved as one text token; the inner </div>-in-string is
+        // unfortunately a real close candidate per HTML rules — our
+        // permissive scanner stops at the first `</`, which is the
+        // documented degradation.
+        let tags: Vec<&str> = toks.iter().filter_map(|t| t.tag_name()).collect();
+        assert!(tags.contains(&"SCRIPT"));
+        assert!(tags.contains(&"P"));
+    }
+
+    #[test]
+    fn script_without_close_tag() {
+        let toks = tokenize("<script>var x = 1;");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[1], Token::Text("var x = 1;".to_string()));
+    }
+
+    #[test]
+    fn stray_angle_brackets_degrade_to_text() {
+        assert_eq!(names("a < b"), ["'a '", "'<'", "' b'"]);
+        assert_eq!(names("</>"), ["'</'", "'>'"]);
+    }
+
+    #[test]
+    fn end_tag_with_junk_attributes() {
+        assert_eq!(names("</td align=left>"), ["/TD"]);
+    }
+
+    #[test]
+    fn case_normalization() {
+        assert_eq!(names("<TaBlE></tAbLe>"), ["TABLE", "/TABLE"]);
+    }
+
+    #[test]
+    fn text_entities_are_decoded() {
+        let toks = tokenize("<td>Black &amp; Decker</td>");
+        assert_eq!(toks[1], Token::Text("Black & Decker".to_string()));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(tokenize("").is_empty());
+    }
+
+    #[test]
+    fn truncated_tag_at_eof() {
+        // must not panic or loop
+        let toks = tokenize("<input type=");
+        assert_eq!(toks.len(), 1);
+        assert_eq!(toks[0].tag_name(), Some("INPUT"));
+    }
+}

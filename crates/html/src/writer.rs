@@ -1,0 +1,148 @@
+//! Token stream → HTML text.
+//!
+//! Used by the perturbation machinery: a document is tokenized, edited at
+//! the token level (rows inserted, elements wrapped — Section 3's change
+//! taxonomy), and re-rendered. Rendering is canonical (double-quoted
+//! attributes, entity-encoded text), so write∘tokenize∘write is a
+//! fixpoint.
+
+use crate::token::Token;
+
+/// Render a token stream as HTML text.
+///
+/// Text inside raw-text elements (`script`, `style`, `textarea`) is
+/// emitted verbatim, matching how the tokenizer consumed it; text
+/// elsewhere is entity-encoded. (Hand-built streams that place a literal
+/// `</script…` inside a script body will not round-trip — the tokenizer
+/// never produces such streams.)
+pub fn write(tokens: &[Token]) -> String {
+    let mut out = String::new();
+    let mut raw_ctx: Option<String> = None;
+    for t in tokens {
+        match t {
+            Token::StartTag {
+                name, self_closing, ..
+            } if raw_ctx.is_none()
+                && !self_closing
+                && matches!(name.as_str(), "SCRIPT" | "STYLE" | "TEXTAREA") =>
+            {
+                raw_ctx = Some(name.clone());
+                write_token(t, &mut out);
+            }
+            Token::EndTag { name } if raw_ctx.as_deref() == Some(name) => {
+                raw_ctx = None;
+                write_token(t, &mut out);
+            }
+            Token::Text(text) if raw_ctx.is_some() => out.push_str(text),
+            other => write_token(other, &mut out),
+        }
+    }
+    out
+}
+
+fn write_token(t: &Token, out: &mut String) {
+    match t {
+        Token::StartTag {
+            name,
+            attrs,
+            self_closing,
+        } => {
+            out.push('<');
+            out.push_str(&name.to_ascii_lowercase());
+            for a in attrs {
+                out.push(' ');
+                out.push_str(&a.name);
+                if !a.value.is_empty() {
+                    out.push_str("=\"");
+                    out.push_str(&encode_attr(&a.value));
+                    out.push('"');
+                }
+            }
+            if *self_closing {
+                out.push_str(" /");
+            }
+            out.push('>');
+        }
+        Token::EndTag { name } => {
+            out.push_str("</");
+            out.push_str(&name.to_ascii_lowercase());
+            out.push('>');
+        }
+        Token::Text(t) => out.push_str(&encode_text(t)),
+        Token::Comment(c) => {
+            out.push_str("<!--");
+            out.push_str(c);
+            out.push_str("-->");
+        }
+        Token::Doctype(d) => {
+            out.push_str("<!");
+            out.push_str(d);
+            out.push('>');
+        }
+    }
+}
+
+fn encode_text(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+fn encode_attr(s: &str) -> String {
+    encode_text(s).replace('"', "&quot;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::Attribute;
+    use crate::tokenizer::tokenize;
+
+    #[test]
+    fn renders_basic_structure() {
+        let toks = vec![
+            Token::start("p"),
+            Token::Text("a & b".into()),
+            Token::end("p"),
+        ];
+        assert_eq!(write(&toks), "<p>a &amp; b</p>");
+    }
+
+    #[test]
+    fn renders_attributes() {
+        let toks = vec![Token::StartTag {
+            name: "INPUT".into(),
+            attrs: vec![
+                Attribute::new("type", "text"),
+                Attribute::new("checked", ""),
+                Attribute::new("title", "say \"hi\""),
+            ],
+            self_closing: true,
+        }];
+        assert_eq!(
+            write(&toks),
+            "<input type=\"text\" checked title=\"say &quot;hi&quot;\" />"
+        );
+    }
+
+    #[test]
+    fn write_tokenize_write_is_fixpoint() {
+        let sources = [
+            "<p><h1>Virtual Supplier, Inc.</h1></p>",
+            r#"<form method="post" action="search.cgi"><input type="text" size="15" name="value" /></form>"#,
+            "<table><tr><td><a href=\"cust.html\">Customer Service</a></td></tr></table>",
+            "<!-- note --><p>x &amp; y</p>",
+        ];
+        for src in sources {
+            let once = write(&tokenize(src));
+            let twice = write(&tokenize(&once));
+            assert_eq!(once, twice, "not a fixpoint for {src}");
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_token_structure() {
+        let src = r#"<table><tr><td><form method="post"><input type="radio" checked> K</form></td></tr></table>"#;
+        let toks1 = tokenize(src);
+        let toks2 = tokenize(&write(&toks1));
+        assert_eq!(toks1, toks2);
+    }
+}

@@ -1,0 +1,63 @@
+//! Robustness: the tokenizer must accept *anything* without panicking
+//! (wrappers meet wild HTML), and canonical rendering must be a fixpoint.
+
+use proptest::prelude::*;
+use rextract_html::seq::{to_names, SeqConfig};
+use rextract_html::tokenizer::tokenize;
+use rextract_html::writer::write;
+
+/// Strings biased towards HTML-ish content.
+fn arb_htmlish() -> impl Strategy<Value = String> {
+    let piece = prop_oneof![
+        3 => "[a-z<>/&;=\"' !#-]{0,12}",
+        2 => Just("<input type=\"text\">".to_string()),
+        2 => Just("</td>".to_string()),
+        1 => Just("<!-- c ".to_string()),
+        1 => Just("&amp;&#64;&bogus;".to_string()),
+        1 => Just("<script>a<b</script>".to_string()),
+        1 => "\\PC{0,8}".prop_map(|s| s),
+    ];
+    proptest::collection::vec(piece, 0..8).prop_map(|v| v.concat())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Never panics, on anything.
+    #[test]
+    fn tokenize_total(input in arb_htmlish()) {
+        let toks = tokenize(&input);
+        // And abstraction + rendering are total too.
+        let _ = to_names(&toks, &SeqConfig::with_text());
+        let _ = write(&toks);
+    }
+
+    /// Canonical rendering is a fixpoint: write∘tokenize is idempotent
+    /// past the first application.
+    #[test]
+    fn canonical_render_fixpoint(input in arb_htmlish()) {
+        let once = write(&tokenize(&input));
+        let twice = write(&tokenize(&once));
+        prop_assert_eq!(&once, &twice, "render not canonical for {:?}", input);
+    }
+
+    /// Tag tokens survive the round trip exactly (text may re-chunk, tags
+    /// must not change).
+    #[test]
+    fn tags_survive_round_trip(input in arb_htmlish()) {
+        let toks1 = tokenize(&input);
+        let toks2 = tokenize(&write(&toks1));
+        let tags = |toks: &[rextract_html::token::Token]| {
+            toks.iter()
+                .filter_map(|t| t.tag_name().map(String::from))
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(tags(&toks1), tags(&toks2));
+    }
+
+    /// Completely arbitrary unicode never panics either.
+    #[test]
+    fn tokenize_arbitrary_unicode(input in "\\PC{0,64}") {
+        let _ = tokenize(&input);
+    }
+}

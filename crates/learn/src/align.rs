@@ -1,0 +1,118 @@
+//! Sequence alignment: common subsequences and leftmost embeddings.
+//!
+//! The merging heuristic anchors on a subsequence of tags common to all
+//! training prefixes. We compute it by folding pairwise LCS (each fold
+//! result is a subsequence of every sequence folded so far) and then embed
+//! it into each sample greedily from the left — the "left-to-right" in the
+//! paper's left-to-right merging heuristic.
+
+/// Longest common subsequence of two name slices (classic O(n·m) DP).
+pub fn lcs(a: &[String], b: &[String]) -> Vec<String> {
+    let n = a.len();
+    let m = b.len();
+    // dp[i][j] = LCS length of a[i..], b[j..]
+    let mut dp = vec![vec![0u32; m + 1]; n + 1];
+    for i in (0..n).rev() {
+        for j in (0..m).rev() {
+            dp[i][j] = if a[i] == b[j] {
+                dp[i + 1][j + 1] + 1
+            } else {
+                dp[i + 1][j].max(dp[i][j + 1])
+            };
+        }
+    }
+    let mut out = Vec::with_capacity(dp[0][0] as usize);
+    let (mut i, mut j) = (0, 0);
+    while i < n && j < m {
+        if a[i] == b[j] {
+            out.push(a[i].clone());
+            i += 1;
+            j += 1;
+        } else if dp[i + 1][j] >= dp[i][j + 1] {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    out
+}
+
+/// Common subsequence of many sequences, by LCS folding. Empty input gives
+/// an empty result.
+pub fn common_subsequence(seqs: &[&[String]]) -> Vec<String> {
+    let mut iter = seqs.iter();
+    let first = match iter.next() {
+        Some(f) => f.to_vec(),
+        None => return Vec::new(),
+    };
+    iter.fold(first, |acc, s| lcs(&acc, s))
+}
+
+/// Leftmost embedding of `needle` (a known subsequence) into `hay`:
+/// positions `p₀ < p₁ < …` with `hay[pᵢ] = needle[i]`, each chosen as
+/// early as possible. Returns `None` if `needle` is not a subsequence.
+pub fn leftmost_embedding(needle: &[String], hay: &[String]) -> Option<Vec<usize>> {
+    let mut out = Vec::with_capacity(needle.len());
+    let mut h = 0;
+    for n in needle {
+        let found = hay[h..].iter().position(|x| x == n)? + h;
+        out.push(found);
+        h = found + 1;
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn lcs_basics() {
+        assert_eq!(lcs(&v("A B C D"), &v("B D")), v("B D"));
+        assert_eq!(lcs(&v("A B C"), &v("X Y")), Vec::<String>::new());
+        assert_eq!(lcs(&v("A B C"), &v("A B C")), v("A B C"));
+        assert_eq!(lcs(&[], &v("A")), Vec::<String>::new());
+    }
+
+    #[test]
+    fn lcs_of_paper_prefixes() {
+        // Section 7: the prefixes of the two Figure 1 documents share
+        // FORM … INPUT … as the anchor backbone.
+        let doc1 = v("P H1 /H1 P FORM INPUT");
+        let doc2 = v("TABLE TR TD /TD /TR FORM TR TD INPUT");
+        let common = lcs(&doc1, &doc2);
+        assert!(common.ends_with(&v("FORM INPUT")[..]), "got {common:?}");
+    }
+
+    #[test]
+    fn common_subsequence_folds() {
+        let s1 = v("A X B Y C");
+        let s2 = v("A B Z C");
+        let s3 = v("Q A B C");
+        let seqs: Vec<&[String]> = vec![&s1, &s2, &s3];
+        assert_eq!(common_subsequence(&seqs), v("A B C"));
+        assert_eq!(common_subsequence(&[]), Vec::<String>::new());
+    }
+
+    #[test]
+    fn leftmost_embedding_positions() {
+        let hay = v("A B A C B");
+        assert_eq!(leftmost_embedding(&v("A B"), &hay), Some(vec![0, 1]));
+        assert_eq!(leftmost_embedding(&v("A C B"), &hay), Some(vec![0, 3, 4]));
+        assert_eq!(leftmost_embedding(&v("C A"), &hay), None);
+        assert_eq!(leftmost_embedding(&[], &hay), Some(vec![]));
+    }
+
+    #[test]
+    fn embedding_of_lcs_always_exists() {
+        let a = v("P H1 /H1 P FORM INPUT");
+        let b = v("TABLE TR FORM TR TD INPUT");
+        let c = lcs(&a, &b);
+        assert!(leftmost_embedding(&c, &a).is_some());
+        assert!(leftmost_embedding(&c, &b).is_some());
+    }
+}

@@ -1,0 +1,169 @@
+//! Disambiguation of over-generalized expressions.
+//!
+//! Section 8 leaves "developing such disambiguation techniques" as future
+//! work: an ambiguous learned expression plus counterexamples should be
+//! refined into an unambiguous one. This module implements a concrete,
+//! simple instantiation — a **specialization ladder**: starting from the
+//! merged pivot expression, progressively replace each segment union by
+//! less general languages until the assembled expression is unambiguous.
+//!
+//! Ladder rungs, most general first:
+//! 1. the merged expression as-is;
+//! 2. segments restricted to *bounded-repetition* unions (drop any segment
+//!    strings that embed the following pivot — defensive, usually a no-op
+//!    because merging already validates pivots);
+//! 3. segments narrowed to the gap literal of one designated sample (the
+//!    first), i.e. the rigid single-sample expression — always unambiguous
+//!    for a literal-plus-pivots chain ending in the marker.
+//!
+//! Every rung still parses the designated sample; rung 1 and 2 parse all
+//! samples.
+
+use crate::merge::merge_samples;
+use crate::sample::MarkedSeq;
+use crate::LearnError;
+use rextract_automata::{Alphabet, Lang};
+use rextract_extraction::{ExtractionExpr, PivotExpr};
+
+/// Outcome of [`learn_unambiguous`].
+#[derive(Debug)]
+pub struct Disambiguated {
+    /// The selected unambiguous expression.
+    pub expr: ExtractionExpr,
+    /// The pivot form it came from (for subsequent maximization), when the
+    /// selected rung still has one.
+    pub pivot: Option<PivotExpr>,
+    /// Which ladder rung was used (0 = merged expression unchanged).
+    pub rung: usize,
+}
+
+/// Learn an unambiguous pivot-form expression from samples, descending the
+/// specialization ladder as far as needed.
+pub fn learn_unambiguous(
+    alphabet: &Alphabet,
+    samples: &[MarkedSeq],
+) -> Result<Disambiguated, LearnError> {
+    let merged = merge_samples(alphabet, samples)?;
+    let expr = merged.to_expr();
+    if expr.is_unambiguous() {
+        return Ok(Disambiguated {
+            expr,
+            pivot: Some(merged),
+            rung: 0,
+        });
+    }
+
+    // Rung 2: rebuild segments, dropping alternative gap strings that
+    // contain the segment's own pivot symbol (those create slide room).
+    let filtered = filter_segments(alphabet, &merged);
+    let expr2 = filtered.to_expr();
+    if expr2.is_unambiguous() {
+        return Ok(Disambiguated {
+            expr: expr2,
+            pivot: Some(filtered),
+            rung: 2,
+        });
+    }
+
+    // Rung 3: rigid expression from the first sample only.
+    let rigid = merge_samples(alphabet, &samples[..1])?;
+    let expr3 = rigid.to_expr();
+    Ok(Disambiguated {
+        expr: expr3,
+        pivot: Some(rigid),
+        rung: 3,
+    })
+}
+
+/// Remove from each segment all strings containing that segment's pivot.
+fn filter_segments(alphabet: &Alphabet, pe: &PivotExpr) -> PivotExpr {
+    let segments = pe
+        .segments()
+        .iter()
+        .map(|(seg, q)| {
+            let no_pivot = Lang::from_regex(
+                alphabet,
+                &rextract_automata::Regex::not_sym(alphabet, *q).star(),
+            );
+            (seg.intersect(&no_pivot), *q)
+        })
+        .collect();
+    let marker = pe.marker();
+    let no_marker = Lang::from_regex(
+        alphabet,
+        &rextract_automata::Regex::not_sym(alphabet, marker).star(),
+    );
+    PivotExpr::new(alphabet, segments, pe.tail().intersect(&no_marker), marker)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alphabet() -> Alphabet {
+        Alphabet::new(["P", "FORM", "/FORM", "INPUT", "TR", "TD", "/TD"])
+    }
+
+    fn seq(s: &str) -> MarkedSeq {
+        MarkedSeq::parse(s).unwrap()
+    }
+
+    #[test]
+    fn clean_samples_stay_on_rung_zero() {
+        let a = alphabet();
+        let d = learn_unambiguous(
+            &a,
+            &[
+                seq("P FORM INPUT <INPUT>"),
+                seq("TR TD FORM TR INPUT <INPUT>"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(d.rung, 0);
+        assert!(d.expr.is_unambiguous());
+        assert!(d.pivot.is_some());
+    }
+
+    #[test]
+    fn result_always_parses_first_sample() {
+        let a = alphabet();
+        let samples = [
+            seq("P FORM <INPUT> TD"),
+            seq("P P FORM <INPUT>"),
+            seq("TR FORM <INPUT> /TD"),
+        ];
+        let d = learn_unambiguous(&a, &samples).unwrap();
+        let word: Vec<_> = samples[0].names.iter().map(|n| a.sym(n)).collect();
+        assert_eq!(
+            d.expr.extract(&word).map(|e| e.position),
+            Ok(samples[0].target)
+        );
+        assert!(d.expr.is_unambiguous());
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let a = alphabet();
+        assert!(matches!(
+            learn_unambiguous(&a, &[]),
+            Err(LearnError::NoSamples)
+        ));
+    }
+
+    #[test]
+    fn ladder_output_is_maximizable() {
+        let a = alphabet();
+        let d = learn_unambiguous(
+            &a,
+            &[
+                seq("P FORM INPUT <INPUT>"),
+                seq("TD FORM INPUT <INPUT> /TD"),
+            ],
+        )
+        .unwrap();
+        let pe = d.pivot.expect("pivot form available");
+        let maximal = pe.maximize().expect("maximization applies");
+        assert!(maximal.is_maximal());
+        assert!(maximal.generalizes(&d.expr));
+    }
+}

@@ -1,0 +1,34 @@
+//! # rextract-learn
+//!
+//! The learning stage of the paper's pipeline (Sections 3 and 7): from a
+//! handful of example documents with a marked target, synthesize an
+//! **initial unambiguous extraction expression** in pivot form, ready for
+//! the maximization algorithms of `rextract-extraction`.
+//!
+//! > "In the first stage, a small number of sample variants of the desired
+//! > document can be obtained … these expressions are generalized into a
+//! > single extraction expression that matches all the instances of our
+//! > document." — Section 3
+//!
+//! * [`sample`] — marked training sequences,
+//! * [`align`] — multi-sequence common-subsequence computation (anchors),
+//! * [`merge`] — the **left-to-right merging heuristic** of Section 7:
+//!   common tags become pivots, everything in between becomes a union,
+//! * [`perturb`] — structural document perturbations (Section 3's change
+//!   taxonomy: insertions, deletions, embeddings) used to *evaluate*
+//!   resilience,
+//! * [`disambiguate`] — a simple instantiation of the paper's future-work
+//!   "disambiguation procedure" for when merging over-generalizes.
+
+pub mod align;
+pub mod disambiguate;
+pub mod dtd;
+pub mod lr_baseline;
+pub mod merge;
+pub mod multi_merge;
+pub mod perturb;
+pub mod sample;
+
+pub use merge::{merge_samples, LearnError};
+pub use multi_merge::{merge_multi, MultiMarkedSeq};
+pub use sample::MarkedSeq;

@@ -1,0 +1,172 @@
+//! LR-wrapper baseline — the delimiter-based induction the paper cites as
+//! prior art (citation 18, Kushmerick et al.: wrappers locate a target by its
+//! immediate left/right delimiter strings).
+//!
+//! The LR learner keeps **no global context**: it extracts the longest
+//! token string common to the immediate left of the target across all
+//! samples (the left delimiter), the longest common to the immediate
+//! right (the right delimiter), and at extraction time returns the first
+//! position where both delimiters match. This is exactly the kind of
+//! technique Section 2 says "could supply us with initial extraction
+//! expressions" — and the resilience experiment uses it as the prior-art
+//! baseline against maximized extraction expressions.
+
+use crate::sample::MarkedSeq;
+
+/// A learned LR wrapper over abstract symbol names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LrWrapper {
+    /// Left delimiter (possibly empty): names required immediately before
+    /// the target.
+    pub left: Vec<String>,
+    /// Right delimiter (possibly empty): names required immediately after.
+    pub right: Vec<String>,
+    /// The target symbol name.
+    pub target: String,
+}
+
+impl LrWrapper {
+    /// Induce delimiters from marked samples. Returns `None` when the
+    /// samples disagree on the target symbol or there are none.
+    pub fn train(samples: &[MarkedSeq]) -> Option<LrWrapper> {
+        let first = samples.first()?;
+        let target = first.target_name().to_string();
+        if samples.iter().any(|s| s.target_name() != target) {
+            return None;
+        }
+        // Longest common suffix of the prefixes.
+        let mut left: Vec<String> = first.prefix().to_vec();
+        for s in &samples[1..] {
+            let p = s.prefix();
+            let common = left
+                .iter()
+                .rev()
+                .zip(p.iter().rev())
+                .take_while(|(a, b)| a == b)
+                .count();
+            left = left[left.len() - common..].to_vec();
+        }
+        // Longest common prefix of the suffixes.
+        let mut right: Vec<String> = first.suffix().to_vec();
+        for s in &samples[1..] {
+            let q = s.suffix();
+            let common = right
+                .iter()
+                .zip(q.iter())
+                .take_while(|(a, b)| a == b)
+                .count();
+            right.truncate(common);
+        }
+        Some(LrWrapper {
+            left,
+            right,
+            target,
+        })
+    }
+
+    /// First position whose context matches both delimiters, or `None`.
+    pub fn extract(&self, names: &[String]) -> Option<usize> {
+        'outer: for i in 0..names.len() {
+            if names[i] != self.target {
+                continue;
+            }
+            if i < self.left.len() {
+                continue;
+            }
+            for (j, l) in self.left.iter().enumerate() {
+                if &names[i - self.left.len() + j] != l {
+                    continue 'outer;
+                }
+            }
+            if i + 1 + self.right.len() > names.len() {
+                continue;
+            }
+            for (j, r) in self.right.iter().enumerate() {
+                if &names[i + 1 + j] != r {
+                    continue 'outer;
+                }
+            }
+            return Some(i);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(s: &str) -> MarkedSeq {
+        MarkedSeq::parse(s).unwrap()
+    }
+
+    fn names(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn learns_common_delimiters() {
+        let w = LrWrapper::train(&[
+            seq("P FORM INPUT <INPUT> BR /FORM"),
+            seq("TD FORM INPUT <INPUT> BR X"),
+        ])
+        .unwrap();
+        assert_eq!(w.left, names("FORM INPUT"));
+        assert_eq!(w.right, names("BR"));
+        assert_eq!(w.target, "INPUT");
+    }
+
+    #[test]
+    fn extracts_on_training_shaped_documents() {
+        let samples = [
+            seq("P FORM INPUT <INPUT> BR /FORM"),
+            seq("TD FORM INPUT <INPUT> BR X"),
+        ];
+        let w = LrWrapper::train(&samples).unwrap();
+        for s in &samples {
+            assert_eq!(w.extract(&s.names), Some(s.target));
+        }
+    }
+
+    #[test]
+    fn brittle_against_context_edits() {
+        // The defining weakness: insert one token inside the delimiter
+        // window and the LR wrapper loses the target (while a maximized
+        // extraction expression would absorb it — see the resilience
+        // bench).
+        let samples = [
+            seq("P FORM INPUT <INPUT> BR /FORM"),
+            seq("TD FORM INPUT <INPUT> BR X"),
+        ];
+        let w = LrWrapper::train(&samples).unwrap();
+        let edited = names("P FORM INPUT IMG INPUT BR /FORM");
+        assert_eq!(w.extract(&edited), None);
+    }
+
+    #[test]
+    fn empty_delimiters_degrade_to_first_occurrence() {
+        let w = LrWrapper::train(&[seq("A <X> B"), seq("C <X> D")]).unwrap();
+        assert!(w.left.is_empty() && w.right.is_empty());
+        assert_eq!(w.extract(&names("Q X R X")), Some(1));
+    }
+
+    #[test]
+    fn train_failures() {
+        assert_eq!(LrWrapper::train(&[]), None);
+        assert_eq!(
+            LrWrapper::train(&[seq("A <X>"), seq("A <Y>")]),
+            None
+        );
+    }
+
+    #[test]
+    fn boundary_targets() {
+        // Target at position 0 and at the end.
+        let w = LrWrapper::train(&[seq("<X> A"), seq("<X> A B")]).unwrap();
+        assert_eq!(w.left, Vec::<String>::new());
+        assert_eq!(w.extract(&names("X A")), Some(0));
+        let w = LrWrapper::train(&[seq("A <X>")]).unwrap();
+        assert_eq!(w.extract(&names("A X")), Some(1));
+        assert_eq!(w.extract(&names("X")), None);
+    }
+}

@@ -1,0 +1,138 @@
+//! Marked training sequences.
+//!
+//! A [`MarkedSeq`] is the learner's input unit: an abstract tag sequence
+//! (symbol names) with one marked target position — the formal counterpart
+//! of "enclosing the object of interest in angle brackets" (Section 3).
+
+use rextract_html::seq::{to_names, SeqConfig, SeqEntry};
+use rextract_html::token::Token;
+
+/// One training example: a name sequence and the index of the target.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MarkedSeq {
+    /// Abstract symbol names (see [`rextract_html::seq`]).
+    pub names: Vec<String>,
+    /// Index of the marked occurrence within `names`.
+    pub target: usize,
+}
+
+impl MarkedSeq {
+    /// Construct directly; validates the target index.
+    pub fn new(names: Vec<String>, target: usize) -> MarkedSeq {
+        assert!(target < names.len(), "target index out of range");
+        MarkedSeq { names, target }
+    }
+
+    /// Parse a whitespace-separated sequence with the target enclosed in
+    /// angle brackets, e.g. `"P H1 /H1 FORM INPUT <INPUT> /FORM"`.
+    pub fn parse(text: &str) -> Option<MarkedSeq> {
+        let mut names = Vec::new();
+        let mut target = None;
+        for word in text.split_whitespace() {
+            if let Some(inner) = word.strip_prefix('<').and_then(|w| w.strip_suffix('>')) {
+                if target.is_some() {
+                    return None; // two markers
+                }
+                target = Some(names.len());
+                names.push(inner.to_string());
+            } else {
+                names.push(word.to_string());
+            }
+        }
+        Some(MarkedSeq {
+            target: target?,
+            names,
+        })
+    }
+
+    /// Build from an HTML token stream and a *token* index of the target,
+    /// abstracting with `cfg`. Returns `None` if the target token is not
+    /// represented in the abstraction (e.g. a text target with
+    /// `include_text = false`).
+    pub fn from_tokens(tokens: &[Token], target_token: usize, cfg: &SeqConfig) -> Option<MarkedSeq> {
+        let entries: Vec<SeqEntry> = to_names(tokens, cfg);
+        let target = entries.iter().position(|e| e.token_index == target_token)?;
+        Some(MarkedSeq {
+            names: entries.into_iter().map(|e| e.name).collect(),
+            target,
+        })
+    }
+
+    /// The marked symbol name.
+    pub fn target_name(&self) -> &str {
+        &self.names[self.target]
+    }
+
+    /// Names strictly before the target.
+    pub fn prefix(&self) -> &[String] {
+        &self.names[..self.target]
+    }
+
+    /// Names strictly after the target.
+    pub fn suffix(&self) -> &[String] {
+        &self.names[self.target + 1..]
+    }
+
+    /// Render with the target re-bracketed (inverse of [`MarkedSeq::parse`]).
+    pub fn to_text(&self) -> String {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| {
+                if i == self.target {
+                    format!("<{n}>")
+                } else {
+                    n.clone()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rextract_html::tokenizer::tokenize;
+
+    #[test]
+    fn parse_and_render() {
+        let s = MarkedSeq::parse("P H1 /H1 FORM INPUT <INPUT> /FORM").unwrap();
+        assert_eq!(s.target, 5);
+        assert_eq!(s.target_name(), "INPUT");
+        assert_eq!(s.prefix().last().map(String::as_str), Some("INPUT"));
+        assert_eq!(s.suffix(), ["/FORM".to_string()]);
+        assert_eq!(s.to_text(), "P H1 /H1 FORM INPUT <INPUT> /FORM");
+    }
+
+    #[test]
+    fn parse_rejects_zero_or_two_markers() {
+        assert!(MarkedSeq::parse("P H1").is_none());
+        assert!(MarkedSeq::parse("<P> <H1>").is_none());
+    }
+
+    #[test]
+    fn from_tokens_locates_target() {
+        let toks = tokenize("<form><input><input></form>");
+        // target = second <input>, token index 2
+        let s = MarkedSeq::from_tokens(&toks, 2, &SeqConfig::tags_only()).unwrap();
+        assert_eq!(s.names, ["FORM", "INPUT", "INPUT", "/FORM"]);
+        assert_eq!(s.target, 2);
+    }
+
+    #[test]
+    fn from_tokens_fails_for_unrepresented_target() {
+        let toks = tokenize("<p>text</p>");
+        // target = the text token (index 1), which tags_only drops
+        assert!(MarkedSeq::from_tokens(&toks, 1, &SeqConfig::tags_only()).is_none());
+        // …but appears with with_text()
+        let s = MarkedSeq::from_tokens(&toks, 1, &SeqConfig::with_text()).unwrap();
+        assert_eq!(s.target_name(), "#text");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn new_validates_target() {
+        MarkedSeq::new(vec!["P".into()], 3);
+    }
+}

@@ -1,0 +1,34 @@
+//! # rextract-wrapper
+//!
+//! The end-to-end resilient wrapper the paper's "web-based information
+//! harvesting system" needed (Sections 1, 3 and 7), assembled from the
+//! other crates:
+//!
+//! ```text
+//! sample pages + marked target
+//!         │  (html: tokenize + abstract)
+//!         ▼
+//! marked tag sequences ──(learn: merge heuristic)──► pivot expression
+//!         │                                              │
+//!         │                        (extraction: pivot maximization)
+//!         ▼                                              ▼
+//!   initial wrapper                              resilient wrapper
+//! ```
+//!
+//! * [`wrapper`] — the [`wrapper::Wrapper`] train/extract API,
+//! * [`site`] — a synthetic catalog-site generator standing in for the
+//!   paper's live vendor pages (see DESIGN.md, substitutions),
+//! * [`report`] — the resilience experiment harness (paper's "preliminary
+//!   experiments" claim, experiment E5).
+
+pub mod locator;
+pub mod persist;
+pub mod report;
+pub mod site;
+pub mod tuple;
+pub mod wrapper;
+
+pub use locator::{LrLocator, TargetLocator};
+pub use site::{PageStyle, SiteConfig, SiteGenerator};
+pub use tuple::{MultiTrainPage, TupleWrapper};
+pub use wrapper::{TrainPage, Wrapper, WrapperConfig, WrapperError};

@@ -1,0 +1,123 @@
+//! The [`TargetLocator`] abstraction: anything that can point at the
+//! target token of a page. The resilience harness compares locators —
+//! maximized wrappers, unmaximized wrappers, and the prior-art LR
+//! baseline — through this one interface.
+
+use crate::wrapper::{TrainPage, Wrapper};
+use rextract_html::seq::{to_names, SeqConfig};
+use rextract_html::token::Token;
+use rextract_learn::lr_baseline::LrWrapper;
+use rextract_learn::MarkedSeq;
+
+/// A trained page-target locator.
+pub trait TargetLocator {
+    /// Token index of the located target, or `None` (no match, ambiguous
+    /// match, or any other failure).
+    fn locate(&self, tokens: &[Token]) -> Option<usize>;
+}
+
+impl TargetLocator for Wrapper {
+    fn locate(&self, tokens: &[Token]) -> Option<usize> {
+        self.extract_target(tokens).ok()
+    }
+}
+
+/// The LR-delimiter baseline ([`rextract_learn::lr_baseline`]) lifted to
+/// token streams.
+pub struct LrLocator {
+    inner: LrWrapper,
+    cfg: SeqConfig,
+}
+
+impl LrLocator {
+    /// Train on the same pages a [`Wrapper`] trains on. Returns `None`
+    /// when a target is not representable or samples disagree.
+    pub fn train(pages: &[TrainPage], cfg: SeqConfig) -> Option<LrLocator> {
+        let samples: Option<Vec<MarkedSeq>> = pages
+            .iter()
+            .map(|p| MarkedSeq::from_tokens(&p.tokens, p.target, &cfg))
+            .collect();
+        let inner = LrWrapper::train(&samples?)?;
+        Some(LrLocator { inner, cfg })
+    }
+
+    /// The learned delimiters.
+    pub fn wrapper(&self) -> &LrWrapper {
+        &self.inner
+    }
+}
+
+impl TargetLocator for LrLocator {
+    fn locate(&self, tokens: &[Token]) -> Option<usize> {
+        let entries = to_names(tokens, &self.cfg);
+        let names: Vec<String> = entries.iter().map(|e| e.name.clone()).collect();
+        let pos = self.inner.extract(&names)?;
+        Some(entries[pos].token_index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::site::{PageStyle, SiteConfig, SiteGenerator};
+    use crate::wrapper::WrapperConfig;
+
+    fn pages(seed: u64) -> Vec<TrainPage> {
+        let mut g = SiteGenerator::new(SiteConfig {
+            seed,
+            ..SiteConfig::default()
+        });
+        vec![
+            TrainPage::from(&g.page_with_style(PageStyle::Plain)),
+            TrainPage::from(&g.page_with_style(PageStyle::TableEmbedded)),
+        ]
+    }
+
+    #[test]
+    fn lr_locator_finds_training_targets() {
+        let ps = pages(3);
+        let lr = LrLocator::train(&ps, SeqConfig::tags_only()).unwrap();
+        for p in &ps {
+            assert_eq!(lr.locate(&p.tokens), Some(p.target));
+        }
+        assert_eq!(lr.wrapper().target, "INPUT");
+    }
+
+    #[test]
+    fn wrapper_implements_locator() {
+        let ps = pages(5);
+        let w = Wrapper::train(&ps, WrapperConfig::default()).unwrap();
+        let loc: &dyn TargetLocator = &w;
+        for p in &ps {
+            assert_eq!(loc.locate(&p.tokens), Some(p.target));
+        }
+    }
+
+    #[test]
+    fn lr_is_more_brittle_than_maximized_wrapper() {
+        use rextract_learn::perturb::Perturber;
+        let ps = pages(9);
+        let lr = LrLocator::train(&ps, SeqConfig::tags_only()).unwrap();
+        let w = Wrapper::train(&ps, WrapperConfig::default()).unwrap();
+        let mut g = SiteGenerator::new(SiteConfig {
+            seed: 77,
+            ..SiteConfig::default()
+        });
+        let mut perturber = Perturber::new(4);
+        let (mut lr_ok, mut w_ok) = (0, 0);
+        for _ in 0..40 {
+            let page = g.page();
+            let edited = perturber.perturb(&page.tokens, page.target, 2);
+            if lr.locate(&edited.tokens) == Some(edited.target) {
+                lr_ok += 1;
+            }
+            if w.locate(&edited.tokens) == Some(edited.target) {
+                w_ok += 1;
+            }
+        }
+        assert!(
+            w_ok > lr_ok,
+            "maximized wrapper ({w_ok}) should beat LR baseline ({lr_ok})"
+        );
+    }
+}

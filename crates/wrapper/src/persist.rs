@@ -1,0 +1,252 @@
+//! Wrapper persistence: export a trained wrapper as a small text artifact
+//! and re-import it later.
+//!
+//! Training is the expensive step (merging + maximization); a production
+//! shopbot trains once per site and ships the wrapper. The format is
+//! line-oriented and human-auditable — the expression is stored in the
+//! same `E1 <p> E2` syntax the rest of the toolkit reads, so an exported
+//! wrapper can be inspected with `rextract analyze`:
+//!
+//! ```text
+//! rextract-wrapper v1
+//! seq include_text=false include_end_tags=true
+//! alphabet #other /FORM /H1 FORM H1 INPUT P
+//! expr [^FORM]* FORM [^INPUT]* INPUT [^INPUT]* <INPUT> .*
+//! ```
+
+use crate::wrapper::{Wrapper, WrapperError};
+use rextract_automata::Alphabet;
+use rextract_extraction::extract::Extractor;
+use rextract_extraction::ExtractionExpr;
+use rextract_html::seq::SeqConfig;
+use std::fmt;
+
+/// Errors from [`Wrapper::import`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PersistError {
+    /// Missing or wrong header line.
+    BadHeader,
+    /// A required section is missing or malformed; carries the line tag.
+    BadSection(&'static str),
+    /// The stored expression failed to parse.
+    Expr(String),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::BadHeader => write!(f, "not a rextract-wrapper v1 artifact"),
+            PersistError::BadSection(s) => write!(f, "missing or malformed section {s:?}"),
+            PersistError::Expr(e) => write!(f, "stored expression invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl Wrapper {
+    /// Serialize to the v1 text format.
+    pub fn export(&self) -> String {
+        let mut out = String::from("rextract-wrapper v1\n");
+        let cfg = self.seq_config();
+        out.push_str(&format!(
+            "seq include_text={} include_end_tags={}\n",
+            cfg.include_text, cfg.include_end_tags
+        ));
+        for (tag, attr) in &cfg.refine_attrs {
+            out.push_str(&format!("refine {tag} {attr}\n"));
+        }
+        let names: Vec<&str> = self
+            .alphabet()
+            .symbols()
+            .map(|s| self.alphabet().name(s))
+            .collect();
+        out.push_str("alphabet ");
+        out.push_str(&names.join(" "));
+        out.push('\n');
+        out.push_str(&format!("maximized {}\n", self.is_maximized()));
+        out.push_str("expr ");
+        out.push_str(&self.expr().to_text());
+        out.push('\n');
+        out
+    }
+
+    /// Deserialize from the v1 text format. The resulting wrapper skips
+    /// retraining entirely (the stored expression is recompiled).
+    pub fn import(text: &str) -> Result<Wrapper, PersistError> {
+        let mut lines = text.lines();
+        if lines.next().map(str::trim) != Some("rextract-wrapper v1") {
+            return Err(PersistError::BadHeader);
+        }
+        let mut seq: Option<SeqConfig> = None;
+        let mut refines: Vec<(String, String)> = Vec::new();
+        let mut alphabet: Option<Alphabet> = None;
+        let mut expr_text: Option<String> = None;
+        let mut maximized = false;
+        for line in lines {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (tag, rest) = line.split_once(' ').unwrap_or((line, ""));
+            match tag {
+                "seq" => {
+                    let mut include_text = None;
+                    let mut include_end_tags = None;
+                    for kv in rest.split_whitespace() {
+                        match kv.split_once('=') {
+                            Some(("include_text", v)) => include_text = v.parse().ok(),
+                            Some(("include_end_tags", v)) => include_end_tags = v.parse().ok(),
+                            _ => return Err(PersistError::BadSection("seq")),
+                        }
+                    }
+                    seq = Some(SeqConfig {
+                        include_text: include_text.ok_or(PersistError::BadSection("seq"))?,
+                        include_end_tags: include_end_tags
+                            .ok_or(PersistError::BadSection("seq"))?,
+                        refine_attrs: Vec::new(),
+                    });
+                }
+                "refine" => {
+                    let mut it = rest.split_whitespace();
+                    match (it.next(), it.next()) {
+                        (Some(t), Some(a)) => refines.push((t.to_string(), a.to_string())),
+                        _ => return Err(PersistError::BadSection("refine")),
+                    }
+                }
+                "alphabet" => {
+                    alphabet = Some(Alphabet::new(rest.split_whitespace().map(String::from)));
+                }
+                "maximized" => {
+                    maximized = rest
+                        .trim()
+                        .parse()
+                        .map_err(|_| PersistError::BadSection("maximized"))?;
+                }
+                "expr" => expr_text = Some(rest.to_string()),
+                _ => return Err(PersistError::BadSection("unknown")),
+            }
+        }
+        let mut seq = seq.ok_or(PersistError::BadSection("seq"))?;
+        seq.refine_attrs = refines;
+        let alphabet = alphabet.ok_or(PersistError::BadSection("alphabet"))?;
+        let expr_text = expr_text.ok_or(PersistError::BadSection("expr"))?;
+        let expr = ExtractionExpr::parse(&alphabet, &expr_text)
+            .map_err(|e| PersistError::Expr(e.to_string()))?;
+        let extractor = Extractor::compile(&expr);
+        Ok(Wrapper::from_parts(alphabet, expr, extractor, seq, maximized))
+    }
+}
+
+/// Re-exported for error matching convenience.
+impl From<PersistError> for WrapperError {
+    fn from(e: PersistError) -> WrapperError {
+        WrapperError::Learn(rextract_learn::LearnError::UnknownSymbol(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::site::{PageStyle, SiteConfig, SiteGenerator};
+    use crate::wrapper::{TrainPage, WrapperConfig};
+
+    fn trained() -> (Wrapper, SiteGenerator) {
+        let mut g = SiteGenerator::new(SiteConfig {
+            seed: 12,
+            ..SiteConfig::default()
+        });
+        let pages = vec![
+            TrainPage::from(&g.page_with_style(PageStyle::Plain)),
+            TrainPage::from(&g.page_with_style(PageStyle::TableEmbedded)),
+        ];
+        (
+            Wrapper::train(&pages, WrapperConfig::default()).unwrap(),
+            g,
+        )
+    }
+
+    #[test]
+    fn export_import_round_trip_preserves_behaviour() {
+        let (w, mut g) = trained();
+        let artifact = w.export();
+        let w2 = Wrapper::import(&artifact).expect("import succeeds");
+        // Same expression, same extractions on fresh pages.
+        assert!(w.expr().same_extraction(w2.expr()));
+        for _ in 0..10 {
+            let p = g.page();
+            assert_eq!(
+                w.extract_target(&p.tokens).ok(),
+                w2.extract_target(&p.tokens).ok()
+            );
+        }
+    }
+
+    #[test]
+    fn artifact_is_human_readable() {
+        let (w, _) = trained();
+        let artifact = w.export();
+        assert!(artifact.starts_with("rextract-wrapper v1\n"));
+        assert!(artifact.contains("alphabet "));
+        assert!(artifact.contains("expr "));
+        assert!(artifact.contains("<INPUT>"), "{artifact}");
+    }
+
+    #[test]
+    fn maximized_flag_round_trips() {
+        let (w, _) = trained();
+        assert!(w.is_maximized());
+        let w2 = Wrapper::import(&w.export()).unwrap();
+        assert!(w2.is_maximized());
+    }
+
+    #[test]
+    fn import_error_cases() {
+        assert!(matches!(
+            Wrapper::import("nope"),
+            Err(PersistError::BadHeader)
+        ));
+        assert!(matches!(
+            Wrapper::import("rextract-wrapper v1\nexpr <p>"),
+            Err(PersistError::BadSection(_))
+        ));
+        assert!(matches!(
+            Wrapper::import(
+                "rextract-wrapper v1\nseq include_text=false include_end_tags=true\nalphabet p q\nexpr <zz>"
+            ),
+            Err(PersistError::Expr(_))
+        ));
+        assert!(matches!(
+            Wrapper::import(
+                "rextract-wrapper v1\nseq include_text=false include_end_tags=true\nalphabet p q\nbogus x"
+            ),
+            Err(PersistError::BadSection("unknown"))
+        ));
+    }
+
+    #[test]
+    fn refine_attrs_round_trip() {
+        // Build a wrapper with attribute refinement and check the config
+        // survives.
+        let mut g = SiteGenerator::new(SiteConfig {
+            seed: 31,
+            ..SiteConfig::default()
+        });
+        let pages = vec![
+            TrainPage::from(&g.page_with_style(PageStyle::Plain)),
+            TrainPage::from(&g.page_with_style(PageStyle::TableEmbedded)),
+        ];
+        let cfg = WrapperConfig {
+            seq: SeqConfig::tags_only().refine("input", "type"),
+            maximize: true,
+        };
+        let w = Wrapper::train(&pages, cfg).unwrap();
+        let w2 = Wrapper::import(&w.export()).unwrap();
+        assert_eq!(w.seq_config(), w2.seq_config());
+        let p = g.page();
+        assert_eq!(
+            w.extract_target(&p.tokens).ok(),
+            w2.extract_target(&p.tokens).ok()
+        );
+    }
+}

@@ -1,0 +1,196 @@
+//! The resilience experiment harness — experiment E5.
+//!
+//! The paper's evaluation evidence is the claim that its maximization
+//! algorithms "are sufficient to provide resilient extraction capabilities"
+//! for the authors' harvesting system. This module makes that claim
+//! measurable: train wrappers with and without maximization on the same
+//! sample pages, subject fresh pages to increasing numbers of structural
+//! edits, and count how often each wrapper still finds the target.
+//!
+//! Used by `examples/resilience_study.rs` and the `resilience` bench.
+
+use crate::locator::TargetLocator;
+use crate::site::SiteGenerator;
+use rextract_learn::perturb::Perturber;
+use std::fmt;
+
+/// One row of the resilience table: outcome counts at a fixed edit budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResilienceRow {
+    /// Number of structural edits applied to each test page.
+    pub edits: usize,
+    /// Number of test pages.
+    pub trials: usize,
+    /// Successful extractions per wrapper, in the order given to
+    /// [`resilience_table`].
+    pub successes: Vec<usize>,
+}
+
+impl ResilienceRow {
+    /// Success rate of wrapper `i`, in `[0, 1]`.
+    pub fn rate(&self, i: usize) -> f64 {
+        self.successes[i] as f64 / self.trials as f64
+    }
+}
+
+/// A full resilience table with named wrapper columns.
+#[derive(Debug, Clone)]
+pub struct ResilienceTable {
+    /// Column names (wrapper labels).
+    pub labels: Vec<String>,
+    /// One row per edit budget.
+    pub rows: Vec<ResilienceRow>,
+}
+
+impl fmt::Display for ResilienceTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:>6} {:>7}", "edits", "trials")?;
+        for l in &self.labels {
+            write!(f, " {l:>14}")?;
+        }
+        writeln!(f)?;
+        for r in &self.rows {
+            write!(f, "{:>6} {:>7}", r.edits, r.trials)?;
+            for i in 0..self.labels.len() {
+                write!(f, " {:>13.1}%", 100.0 * r.rate(i))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Run the resilience experiment: for each edit budget, generate `trials`
+/// pages, perturb each with that many edits, and test every locator
+/// (wrappers, baselines — anything implementing
+/// [`TargetLocator`]). Pages come from the
+/// default catalog scenario of `site`.
+pub fn resilience_table(
+    locators: &[(&str, &dyn TargetLocator)],
+    site: &mut SiteGenerator,
+    perturb_seed: u64,
+    edit_budgets: &[usize],
+    trials: usize,
+) -> ResilienceTable {
+    resilience_table_with(
+        locators,
+        &mut |g: &mut SiteGenerator| g.page(),
+        site,
+        perturb_seed,
+        edit_budgets,
+        trials,
+    )
+}
+
+/// [`resilience_table`] with a custom page scenario (e.g.
+/// [`SiteGenerator::listing_page`] for the results-table workload).
+pub fn resilience_table_with(
+    locators: &[(&str, &dyn TargetLocator)],
+    scenario: &mut dyn FnMut(&mut SiteGenerator) -> crate::site::Page,
+    site: &mut SiteGenerator,
+    perturb_seed: u64,
+    edit_budgets: &[usize],
+    trials: usize,
+) -> ResilienceTable {
+    let labels = locators.iter().map(|(l, _)| l.to_string()).collect();
+    let mut rows = Vec::with_capacity(edit_budgets.len());
+    for &edits in edit_budgets {
+        let mut perturber = Perturber::new(perturb_seed ^ (edits as u64 + 1));
+        let mut successes = vec![0usize; locators.len()];
+        for _ in 0..trials {
+            let page = scenario(site);
+            let edited = perturber.perturb(&page.tokens, page.target, edits);
+            for (i, (_, w)) in locators.iter().enumerate() {
+                if w.locate(&edited.tokens) == Some(edited.target) {
+                    successes[i] += 1;
+                }
+            }
+        }
+        rows.push(ResilienceRow {
+            edits,
+            trials,
+            successes,
+        });
+    }
+    ResilienceTable { labels, rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::site::{PageStyle, SiteConfig};
+    use crate::wrapper::{TrainPage, Wrapper, WrapperConfig};
+
+    fn trained(maximize: bool) -> Wrapper {
+        let mut g = SiteGenerator::new(SiteConfig {
+            seed: 4,
+            ..SiteConfig::default()
+        });
+        let pages = vec![
+            TrainPage::from(&g.page_with_style(PageStyle::Plain)),
+            TrainPage::from(&g.page_with_style(PageStyle::TableEmbedded)),
+        ];
+        Wrapper::train(
+            &pages,
+            WrapperConfig {
+                maximize,
+                ..WrapperConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn table_shape_and_rates() {
+        let maxed = trained(true);
+        let raw = trained(false);
+        let mut site = SiteGenerator::new(SiteConfig {
+            seed: 50,
+            ..SiteConfig::default()
+        });
+        let t = resilience_table(
+            &[("maximized", &maxed), ("initial", &raw)],
+            &mut site,
+            9,
+            &[0, 2],
+            15,
+        );
+        assert_eq!(t.labels, ["maximized", "initial"]);
+        assert_eq!(t.rows.len(), 2);
+        for r in &t.rows {
+            assert_eq!(r.trials, 15);
+            assert!(r.successes.iter().all(|&s| s <= 15));
+        }
+        // At zero edits the maximized wrapper must be near-perfect.
+        assert!(t.rows[0].rate(0) > 0.9, "{}", t);
+        // Display renders without panicking and contains the header.
+        let s = t.to_string();
+        assert!(s.contains("edits"));
+        assert!(s.contains("maximized"));
+    }
+
+    #[test]
+    fn maximized_dominates_initial_in_the_table() {
+        let maxed = trained(true);
+        let raw = trained(false);
+        let mut site = SiteGenerator::new(SiteConfig {
+            seed: 77,
+            ..SiteConfig::default()
+        });
+        let t = resilience_table(
+            &[("maximized", &maxed), ("initial", &raw)],
+            &mut site,
+            13,
+            &[1, 3],
+            20,
+        );
+        for r in &t.rows {
+            assert!(
+                r.successes[0] >= r.successes[1],
+                "initial beat maximized at {} edits:\n{}",
+                r.edits,
+                t
+            );
+        }
+    }
+}

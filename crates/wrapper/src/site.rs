@@ -1,0 +1,442 @@
+//! Synthetic catalog-site generator.
+//!
+//! Stands in for the paper's live 1999 vendor pages (Figure 1: "Virtual
+//! Supplier, Inc."). Pages are generated as token streams in several
+//! layout styles — the plain style of Figure 1 (top), the table-embedded
+//! style of Figure 1 (bottom), and richer variants with headers, ads and
+//! extra rows — with the extraction target always the **second INPUT of
+//! the first FORM** (the paper's running example: the text field next to
+//! the search button).
+//!
+//! Generation is deterministic per seed.
+
+use rextract_html::token::{Attribute, Token};
+use rextract_html::writer;
+
+/// Page layout family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageStyle {
+    /// Figure 1 (top): header + bare form.
+    Plain,
+    /// Figure 1 (bottom): everything embedded in a table.
+    TableEmbedded,
+    /// Table-embedded with extra navigation/ad rows.
+    Busy,
+}
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct SiteConfig {
+    /// RNG seed (0 is remapped to 1).
+    pub seed: u64,
+    /// Vendor name placed in headings.
+    pub vendor: String,
+}
+
+impl Default for SiteConfig {
+    fn default() -> Self {
+        SiteConfig {
+            seed: 1,
+            vendor: "Virtual Supplier, Inc.".to_string(),
+        }
+    }
+}
+
+/// One generated page.
+#[derive(Debug, Clone)]
+pub struct Page {
+    /// The token stream.
+    pub tokens: Vec<Token>,
+    /// Token index of the extraction target (2nd INPUT of the 1st FORM).
+    pub target: usize,
+    /// The layout family used.
+    pub style: PageStyle,
+}
+
+impl Page {
+    /// Render as HTML text.
+    pub fn html(&self) -> String {
+        writer::write(&self.tokens)
+    }
+}
+
+/// Deterministic page generator.
+#[derive(Debug, Clone)]
+pub struct SiteGenerator {
+    cfg: SiteConfig,
+    state: u64,
+}
+
+impl SiteGenerator {
+    /// Create from a config.
+    pub fn new(cfg: SiteConfig) -> SiteGenerator {
+        let state = cfg.seed.max(1);
+        SiteGenerator { cfg, state }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n.max(1) as u64) as usize
+    }
+
+    fn chance(&mut self, pct: usize) -> bool {
+        self.below(100) < pct
+    }
+
+    /// Generate a page in a random style.
+    pub fn page(&mut self) -> Page {
+        let style = match self.below(3) {
+            0 => PageStyle::Plain,
+            1 => PageStyle::TableEmbedded,
+            _ => PageStyle::Busy,
+        };
+        self.page_with_style(style)
+    }
+
+    /// Generate a page in a specific style.
+    pub fn page_with_style(&mut self, style: PageStyle) -> Page {
+        match style {
+            PageStyle::Plain => self.plain_page(),
+            PageStyle::TableEmbedded => self.table_page(false),
+            PageStyle::Busy => self.table_page(true),
+        }
+    }
+
+    /// Figure 1 (top): `<p><h1>…</h1><p><form>…</form>`.
+    fn plain_page(&mut self) -> Page {
+        let mut toks = vec![
+            Token::start("p"),
+            Token::start("h1"),
+            Token::Text(self.cfg.vendor.clone()),
+            Token::end("h1"),
+            Token::start("p"),
+        ];
+        if self.chance(40) {
+            toks.push(Token::start_with(
+                "img",
+                vec![Attribute::new("src", "logo.gif")],
+            ));
+        }
+        let (form, target_in_form) = self.search_form();
+        let target = toks.len() + target_in_form;
+        toks.extend(form);
+        toks.push(Token::end("p"));
+        Page {
+            tokens: toks,
+            target,
+            style: PageStyle::Plain,
+        }
+    }
+
+    /// Figure 1 (bottom): table rows with the form in a cell; `busy` adds
+    /// navigation and promo rows.
+    fn table_page(&mut self, busy: bool) -> Page {
+        let mut toks = vec![Token::start("table")];
+        // Header row with the supplier image.
+        toks.extend([
+            Token::start("tr"),
+            Token::start("th"),
+            Token::start_with("img", vec![Attribute::new("src", "supplier.gif")]),
+            Token::end("th"),
+            Token::end("tr"),
+        ]);
+        // Title row.
+        toks.extend([
+            Token::start("tr"),
+            Token::start("td"),
+            Token::start("h1"),
+            Token::Text(self.cfg.vendor.clone()),
+            Token::end("h1"),
+            Token::end("td"),
+            Token::end("tr"),
+        ]);
+        // Optional navigation / promo rows.
+        let extra_rows = if busy { 1 + self.below(4) } else { self.below(2) };
+        for _ in 0..extra_rows {
+            toks.extend(self.link_row());
+        }
+        // The form row.
+        toks.extend([Token::start("tr"), Token::start("td")]);
+        let (form, target_in_form) = self.search_form();
+        let target = toks.len() + target_in_form;
+        toks.extend(form);
+        toks.extend([Token::end("td"), Token::end("tr")]);
+        // Trailing rows after the form.
+        if busy {
+            for _ in 0..self.below(3) {
+                toks.extend(self.link_row());
+            }
+        }
+        toks.push(Token::end("table"));
+        Page {
+            tokens: toks,
+            target,
+            style: if busy {
+                PageStyle::Busy
+            } else {
+                PageStyle::TableEmbedded
+            },
+        }
+    }
+
+    /// A product-listing results page (the page a shopbot reaches *after*
+    /// submitting the search form): a table of product rows, each
+    /// `name | price`. The extraction target is the **price cell (second
+    /// TD) of the first product row** — the paper's "element in a table
+    /// generated by a form fill-out".
+    ///
+    /// Layout variation: optional title, optional header row (TH cells),
+    /// 1–6 product rows, optional promo rows after the listing.
+    pub fn listing_page(&mut self) -> Page {
+        let mut toks = Vec::new();
+        if self.chance(50) {
+            toks.extend([
+                Token::start("h1"),
+                Token::Text(format!("{} — results", self.cfg.vendor)),
+                Token::end("h1"),
+            ]);
+        }
+        toks.push(Token::start("table"));
+        if self.chance(60) {
+            toks.extend([
+                Token::start("tr"),
+                Token::start("th"),
+                Token::Text("Product".into()),
+                Token::end("th"),
+                Token::start("th"),
+                Token::Text("Price".into()),
+                Token::end("th"),
+                Token::end("tr"),
+            ]);
+        }
+        let products = 1 + self.below(6);
+        let mut target = usize::MAX;
+        for i in 0..products {
+            toks.extend([
+                Token::start("tr"),
+                Token::start("td"),
+                Token::Text(format!("Widget #{:03}", self.below(1000))),
+                Token::end("td"),
+            ]);
+            if i == 0 {
+                target = toks.len(); // the upcoming price <td>
+            }
+            toks.extend([
+                Token::start("td"),
+                Token::Text(format!("${}.{:02}", 1 + self.below(500), self.below(100))),
+                Token::end("td"),
+                Token::end("tr"),
+            ]);
+        }
+        for _ in 0..self.below(3) {
+            toks.extend(self.link_row());
+        }
+        toks.push(Token::end("table"));
+        assert_ne!(target, usize::MAX, "at least one product row");
+        Page {
+            tokens: toks,
+            target,
+            style: PageStyle::Busy,
+        }
+    }
+
+    /// `<tr><td><a href=…>…</a></td></tr>`.
+    fn link_row(&mut self) -> Vec<Token> {
+        let (href, label) = match self.below(4) {
+            0 => ("cust.html", "Customer Service"),
+            1 => ("order.html", "Order Status"),
+            2 => ("promo.html", "Weekly Specials"),
+            _ => ("contact.html", "Contact Us"),
+        };
+        vec![
+            Token::start("tr"),
+            Token::start("td"),
+            Token::start_with("a", vec![Attribute::new("href", href)]),
+            Token::Text(label.to_string()),
+            Token::end("a"),
+            Token::end("td"),
+            Token::end("tr"),
+        ]
+    }
+
+    /// The search form of Figure 1. Returns the tokens and the index of
+    /// the target (2nd INPUT) within them.
+    fn search_form(&mut self) -> (Vec<Token>, usize) {
+        let mut toks = vec![Token::start_with(
+            "form",
+            vec![
+                Attribute::new("method", "post"),
+                Attribute::new("action", "search.cgi"),
+            ],
+        )];
+        toks.push(Token::start_with(
+            "input",
+            vec![
+                Attribute::new("type", "image"),
+                Attribute::new("src", "search.gif"),
+            ],
+        ));
+        let target = toks.len();
+        toks.push(Token::start_with(
+            "input",
+            vec![
+                Attribute::new("type", "text"),
+                Attribute::new("size", "15"),
+                Attribute::new("name", "value"),
+            ],
+        ));
+        if self.chance(50) {
+            toks.push(Token::start("br"));
+        }
+        toks.extend([
+            Token::start_with(
+                "input",
+                vec![
+                    Attribute::new("type", "radio"),
+                    Attribute::new("name", "attr"),
+                    Attribute::new("value", "1"),
+                    Attribute::new("checked", ""),
+                ],
+            ),
+            Token::Text(" Keywords".to_string()),
+            Token::start("br"),
+            Token::start_with(
+                "input",
+                vec![
+                    Attribute::new("type", "radio"),
+                    Attribute::new("name", "attr"),
+                    Attribute::new("value", "2"),
+                ],
+            ),
+            Token::Text(" Manufacturer Part#".to_string()),
+            Token::end("form"),
+        ]);
+        (toks, target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn generator(seed: u64) -> SiteGenerator {
+        SiteGenerator::new(SiteConfig {
+            seed,
+            ..SiteConfig::default()
+        })
+    }
+
+    #[test]
+    fn target_is_second_input_of_first_form() {
+        for seed in 1..40 {
+            let mut g = generator(seed);
+            let page = g.page();
+            let t = &page.tokens[page.target];
+            assert_eq!(t.tag_name(), Some("INPUT"));
+            assert_eq!(t.attr("type"), Some("text"), "seed {seed}");
+            // It is the 2nd INPUT overall after the 1st FORM.
+            let form_at = page
+                .tokens
+                .iter()
+                .position(|t| t.tag_name() == Some("FORM"))
+                .unwrap();
+            let second_input = page
+                .tokens
+                .iter()
+                .enumerate()
+                .skip(form_at)
+                .filter(|(_, t)| t.tag_name() == Some("INPUT"))
+                .map(|(i, _)| i)
+                .nth(1)
+                .unwrap();
+            assert_eq!(page.target, second_input);
+        }
+    }
+
+    #[test]
+    fn styles_differ_structurally() {
+        let mut g = generator(5);
+        let plain = g.page_with_style(PageStyle::Plain);
+        let table = g.page_with_style(PageStyle::TableEmbedded);
+        assert!(plain.tokens.iter().all(|t| t.tag_name() != Some("TABLE")));
+        assert!(table.tokens.iter().any(|t| t.tag_name() == Some("TABLE")));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p1 = generator(9).page();
+        let p2 = generator(9).page();
+        assert_eq!(p1.tokens, p2.tokens);
+        assert_eq!(p1.target, p2.target);
+    }
+
+    #[test]
+    fn html_round_trips_through_tokenizer() {
+        let mut g = generator(3);
+        for _ in 0..10 {
+            let page = g.page();
+            let re = rextract_html::tokenizer::tokenize(&page.html());
+            assert_eq!(re, page.tokens);
+        }
+    }
+
+    #[test]
+    fn listing_page_targets_first_price_cell() {
+        for seed in 1..30 {
+            let mut g = generator(seed);
+            let page = g.listing_page();
+            let t = &page.tokens[page.target];
+            assert_eq!(t.tag_name(), Some("TD"), "seed {seed}");
+            // The next token must be the price text.
+            match &page.tokens[page.target + 1] {
+                Token::Text(s) => assert!(s.starts_with('$'), "seed {seed}: {s}"),
+                other => panic!("seed {seed}: expected price text, got {other:?}"),
+            }
+            // And it must be the second TD of its row.
+            let row_start = page.tokens[..page.target]
+                .iter()
+                .rposition(|t| t.tag_name() == Some("TR"))
+                .unwrap();
+            let tds_before: usize = page.tokens[row_start..page.target]
+                .iter()
+                .filter(|t| matches!(t, Token::StartTag { name, .. } if name == "TD"))
+                .count();
+            assert_eq!(tds_before, 1, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn listing_pages_round_trip_through_tokenizer() {
+        let mut g = generator(8);
+        for _ in 0..5 {
+            let page = g.listing_page();
+            assert_eq!(
+                rextract_html::tokenizer::tokenize(&page.html()),
+                page.tokens
+            );
+        }
+    }
+
+    #[test]
+    fn busy_pages_have_more_rows() {
+        let mut g = generator(17);
+        let count_rows = |p: &Page| {
+            p.tokens
+                .iter()
+                .filter(|t| matches!(t, Token::StartTag { name, .. } if name == "TR"))
+                .count()
+        };
+        // On average busy > plain-table; spot check a fixed seed pair.
+        let table = g.page_with_style(PageStyle::TableEmbedded);
+        let busy = g.page_with_style(PageStyle::Busy);
+        assert!(count_rows(&busy) >= count_rows(&table));
+    }
+}

@@ -1,0 +1,364 @@
+//! The trainable, resilient wrapper.
+//!
+//! [`Wrapper::train`] runs the full pipeline of Section 7:
+//! tokenize/abstract the sample pages, merge them into a pivot-form
+//! extraction expression (Section 7's heuristic), optionally maximize it
+//! (Algorithm 6.2 through the pivot framework), and compile a linear-time
+//! extractor. [`Wrapper::extract_target`] then locates the marked object
+//! on unseen page variants.
+//!
+//! Tags never seen in training map to a reserved `#other` symbol, so the
+//! wrapper's alphabet is closed under arbitrary new content — essential
+//! for resilience (a maximized `(Σ−p)*`-style context absorbs `#other`
+//! tokens for free).
+
+use crate::site::Page;
+use rextract_automata::{Alphabet, Symbol};
+use rextract_extraction::extract::{ExtractFailure, Extractor};
+use rextract_extraction::{ExtractionError, ExtractionExpr};
+use rextract_html::seq::{to_names, SeqConfig, Vocabulary};
+use rextract_html::token::Token;
+use rextract_learn::disambiguate::learn_unambiguous;
+use rextract_learn::{LearnError, MarkedSeq};
+use std::fmt;
+
+/// Reserved symbol name for tags unseen during training.
+pub const OTHER: &str = "#other";
+
+/// A training page: tokens plus the token index of the target.
+#[derive(Debug, Clone)]
+pub struct TrainPage {
+    /// Token stream of the page.
+    pub tokens: Vec<Token>,
+    /// Token index of the marked target.
+    pub target: usize,
+}
+
+impl From<&Page> for TrainPage {
+    fn from(p: &Page) -> TrainPage {
+        TrainPage {
+            tokens: p.tokens.clone(),
+            target: p.target,
+        }
+    }
+}
+
+/// Wrapper training configuration.
+#[derive(Debug, Clone)]
+pub struct WrapperConfig {
+    /// Abstraction level for the tag-sequence representation.
+    pub seq: SeqConfig,
+    /// Run pivot maximization after learning (the paper's resilience
+    /// step). With `false` the wrapper uses the raw merged expression —
+    /// the baseline the resilience experiments compare against.
+    pub maximize: bool,
+}
+
+impl Default for WrapperConfig {
+    fn default() -> Self {
+        WrapperConfig {
+            seq: SeqConfig::tags_only(),
+            maximize: true,
+        }
+    }
+}
+
+/// Errors from training or extraction.
+#[derive(Debug, PartialEq, Eq)]
+pub enum WrapperError {
+    /// The target token of a sample is not representable in the chosen
+    /// abstraction (e.g. a text node with `include_text = false`).
+    TargetNotRepresentable { sample: usize },
+    /// Learning failed.
+    Learn(LearnError),
+    /// Maximization failed and fallback was disabled.
+    Maximize(ExtractionError),
+    /// Extraction failed on a page.
+    Extract(ExtractFailure),
+}
+
+impl fmt::Display for WrapperError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WrapperError::TargetNotRepresentable { sample } => {
+                write!(f, "sample {sample}: target not representable in abstraction")
+            }
+            WrapperError::Learn(e) => write!(f, "learning failed: {e}"),
+            WrapperError::Maximize(e) => write!(f, "maximization failed: {e}"),
+            WrapperError::Extract(e) => write!(f, "extraction failed: {e:?}"),
+        }
+    }
+}
+
+impl std::error::Error for WrapperError {}
+
+/// A trained wrapper.
+pub struct Wrapper {
+    alphabet: Alphabet,
+    expr: ExtractionExpr,
+    extractor: Extractor,
+    seq_cfg: SeqConfig,
+    maximized: bool,
+}
+
+impl Wrapper {
+    /// Train on sample pages. See the [module docs](self) for the pipeline.
+    ///
+    /// When `cfg.maximize` is set and pivot maximization fails on the
+    /// learned expression (its preconditions are heuristic), training
+    /// falls back to the unmaximized expression rather than erroring —
+    /// a wrapper that works on the training layouts beats no wrapper.
+    pub fn train(pages: &[TrainPage], cfg: WrapperConfig) -> Result<Wrapper, WrapperError> {
+        // Abstract every page, collecting the vocabulary.
+        let mut vocab = Vocabulary::new();
+        vocab.observe_name(OTHER);
+        let mut samples = Vec::with_capacity(pages.len());
+        for (i, page) in pages.iter().enumerate() {
+            let seq = MarkedSeq::from_tokens(&page.tokens, page.target, &cfg.seq)
+                .ok_or(WrapperError::TargetNotRepresentable { sample: i })?;
+            samples.push(seq);
+        }
+        for s in &samples {
+            for n in &s.names {
+                vocab.observe_name(n);
+            }
+        }
+        let alphabet = vocab.alphabet();
+
+        // Learn an unambiguous pivot expression.
+        let learned = learn_unambiguous(&alphabet, &samples).map_err(WrapperError::Learn)?;
+
+        // Maximize (with graceful fallback).
+        let (expr, maximized) = if cfg.maximize {
+            match learned.pivot.as_ref().map(|p| p.maximize()) {
+                Some(Ok(maximal)) => (maximal, true),
+                _ => (learned.expr, false),
+            }
+        } else {
+            (learned.expr, false)
+        };
+
+        let extractor = Extractor::compile(&expr);
+        Ok(Wrapper {
+            alphabet,
+            expr,
+            extractor,
+            seq_cfg: cfg.seq,
+            maximized,
+        })
+    }
+
+    /// Assemble a wrapper from pre-built parts (the import path of
+    /// [`crate::persist`]; training is bypassed entirely).
+    pub(crate) fn from_parts(
+        alphabet: Alphabet,
+        expr: ExtractionExpr,
+        extractor: Extractor,
+        seq_cfg: SeqConfig,
+        maximized: bool,
+    ) -> Wrapper {
+        Wrapper {
+            alphabet,
+            expr,
+            extractor,
+            seq_cfg,
+            maximized,
+        }
+    }
+
+    /// The abstraction configuration this wrapper applies to pages.
+    pub fn seq_config(&self) -> &SeqConfig {
+        &self.seq_cfg
+    }
+
+    /// The learned extraction expression.
+    pub fn expr(&self) -> &ExtractionExpr {
+        &self.expr
+    }
+
+    /// The training alphabet (includes `#other`).
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    /// Whether the wrapper holds a maximized expression.
+    pub fn is_maximized(&self) -> bool {
+        self.maximized
+    }
+
+    /// Abstract a page and map its names to wrapper symbols (`#other` for
+    /// unknown names). Returns the symbol word and the token index of each
+    /// position.
+    fn abstract_page(&self, tokens: &[Token]) -> (Vec<Symbol>, Vec<usize>) {
+        abstract_page_with(&self.alphabet, &self.seq_cfg, tokens)
+    }
+
+    /// Locate the target on a page; returns its **token index**.
+    pub fn extract_target(&self, tokens: &[Token]) -> Result<usize, WrapperError> {
+        let (word, back) = self.abstract_page(tokens);
+        let hit = self
+            .extractor
+            .extract(&word)
+            .map_err(WrapperError::Extract)?;
+        Ok(back[hit.position])
+    }
+}
+
+/// Abstract a page under `cfg`, mapping names to `alphabet` symbols with
+/// `#other` for names unseen at training time. Returns the symbol word and
+/// each position's source token index. Shared by [`Wrapper`] and
+/// [`TupleWrapper`](crate::tuple::TupleWrapper).
+pub(crate) fn abstract_page_with(
+    alphabet: &Alphabet,
+    cfg: &SeqConfig,
+    tokens: &[Token],
+) -> (Vec<Symbol>, Vec<usize>) {
+    let other = alphabet.sym(OTHER);
+    let entries = to_names(tokens, cfg);
+    let mut word = Vec::with_capacity(entries.len());
+    let mut back = Vec::with_capacity(entries.len());
+    for e in entries {
+        word.push(alphabet.try_sym(&e.name).unwrap_or(other));
+        back.push(e.token_index);
+    }
+    (word, back)
+}
+
+impl fmt::Debug for Wrapper {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Wrapper(maximized={}, |Σ|={}, expr={})",
+            self.maximized,
+            self.alphabet.len(),
+            self.expr.to_text()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::site::{PageStyle, SiteConfig, SiteGenerator};
+    use rextract_learn::perturb::Perturber;
+
+    fn gen(seed: u64) -> SiteGenerator {
+        SiteGenerator::new(SiteConfig {
+            seed,
+            ..SiteConfig::default()
+        })
+    }
+
+    fn train_pages(seed: u64) -> Vec<TrainPage> {
+        let mut g = gen(seed);
+        vec![
+            TrainPage::from(&g.page_with_style(PageStyle::Plain)),
+            TrainPage::from(&g.page_with_style(PageStyle::TableEmbedded)),
+        ]
+    }
+
+    #[test]
+    fn trains_and_extracts_on_training_pages() {
+        let pages = train_pages(2);
+        let w = Wrapper::train(&pages, WrapperConfig::default()).unwrap();
+        for p in &pages {
+            assert_eq!(w.extract_target(&p.tokens).unwrap(), p.target);
+        }
+        assert!(w.expr().is_unambiguous());
+    }
+
+    #[test]
+    fn maximized_wrapper_is_maximal() {
+        let pages = train_pages(7);
+        let w = Wrapper::train(&pages, WrapperConfig::default()).unwrap();
+        assert!(w.is_maximized());
+        assert!(w.expr().is_maximal());
+    }
+
+    #[test]
+    fn unmaximized_config_skips_maximization() {
+        let pages = train_pages(7);
+        let w = Wrapper::train(
+            &pages,
+            WrapperConfig {
+                maximize: false,
+                ..WrapperConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(!w.is_maximized());
+    }
+
+    #[test]
+    fn extracts_on_unseen_styles() {
+        // Train on plain + table, extract on busy pages (new rows, links).
+        let pages = train_pages(11);
+        let w = Wrapper::train(&pages, WrapperConfig::default()).unwrap();
+        let mut g = gen(99);
+        let mut ok = 0;
+        let total = 20;
+        for _ in 0..total {
+            let p = g.page_with_style(PageStyle::Busy);
+            if w.extract_target(&p.tokens) == Ok(p.target) {
+                ok += 1;
+            }
+        }
+        assert!(ok >= total * 9 / 10, "only {ok}/{total} busy pages extracted");
+    }
+
+    #[test]
+    fn maximized_beats_unmaximized_under_perturbation() {
+        let pages = train_pages(5);
+        let maxed = Wrapper::train(&pages, WrapperConfig::default()).unwrap();
+        let raw = Wrapper::train(
+            &pages,
+            WrapperConfig {
+                maximize: false,
+                ..WrapperConfig::default()
+            },
+        )
+        .unwrap();
+        let mut g = gen(123);
+        let mut p = Perturber::new(77);
+        let (mut max_ok, mut raw_ok, mut trials) = (0, 0, 0);
+        for _ in 0..40 {
+            let page = g.page();
+            let edited = p.perturb(&page.tokens, page.target, 3);
+            trials += 1;
+            if maxed.extract_target(&edited.tokens) == Ok(edited.target) {
+                max_ok += 1;
+            }
+            if raw.extract_target(&edited.tokens) == Ok(edited.target) {
+                raw_ok += 1;
+            }
+        }
+        assert!(
+            max_ok >= raw_ok,
+            "maximized {max_ok}/{trials} < raw {raw_ok}/{trials}"
+        );
+        assert!(max_ok > trials / 2, "maximized too weak: {max_ok}/{trials}");
+    }
+
+    #[test]
+    fn unknown_tags_map_to_other() {
+        let pages = train_pages(3);
+        let w = Wrapper::train(&pages, WrapperConfig::default()).unwrap();
+        // Inject a tag never seen in training.
+        let mut tokens = pages[1].tokens.clone();
+        tokens.insert(0, Token::start("marquee"));
+        tokens.insert(1, Token::end("marquee"));
+        let got = w.extract_target(&tokens).unwrap();
+        assert_eq!(got, pages[1].target + 2);
+    }
+
+    #[test]
+    fn target_not_representable_error() {
+        let tokens = rextract_html::tokenizer::tokenize("<p>price</p>");
+        let page = TrainPage { tokens, target: 1 }; // the text node
+        let err = Wrapper::train(&[page], WrapperConfig::default()).unwrap_err();
+        assert!(matches!(
+            err,
+            WrapperError::TargetNotRepresentable { sample: 0 }
+        ));
+    }
+}

@@ -1,0 +1,101 @@
+//! Expression lab: classify and maximize expressions from the command
+//! line.
+//!
+//! ```text
+//! cargo run --example expression_lab -- "p q r" "(q p)* <p> .*"
+//! cargo run --example expression_lab -- "p q" "p* <p> p* q"
+//! ```
+//!
+//! First argument: the alphabet (whitespace-separated symbol names).
+//! Second: an extraction expression in `E1 <p> E2` syntax. The lab
+//! reports unambiguity (with a witness if ambiguous), maximality (with an
+//! extension witness if not), the marker bound, and — when Algorithm 6.2
+//! applies — the maximized expression. With no arguments it runs a tour
+//! of the paper's own examples.
+
+use rextract::automata::Alphabet;
+use rextract::extraction::left_filter::left_filter_maximize;
+use rextract::extraction::maximality::MaximalityStatus;
+use rextract::extraction::ExtractionExpr;
+
+fn analyze(sigma: &Alphabet, text: &str) {
+    println!("──────────────────────────────────────────");
+    println!("expression : {text}");
+    let expr = match ExtractionExpr::parse(sigma, text) {
+        Ok(e) => e,
+        Err(e) => {
+            println!("parse error: {e}");
+            return;
+        }
+    };
+
+    match expr.ambiguity_witness() {
+        Some(w) => {
+            println!("ambiguous  : yes");
+            println!(
+                "  witness  : {:?} (marker at {} or {})",
+                sigma.syms_to_str(&w.word),
+                w.first_split,
+                w.second_split
+            );
+            println!("  (maximality is undefined for ambiguous expressions)");
+            return;
+        }
+        None => println!("ambiguous  : no"),
+    }
+
+    match expr.maximality() {
+        MaximalityStatus::Maximal => println!("maximal    : yes"),
+        MaximalityStatus::NonMaximal(w) => {
+            println!(
+                "maximal    : no — side {:?} can absorb {:?}",
+                w.side,
+                sigma.syms_to_str(&w.string)
+            );
+        }
+        MaximalityStatus::Ambiguous => unreachable!("checked above"),
+    }
+
+    let bound = expr.left().max_marker_count(expr.marker());
+    println!("marker bound in E1: {bound:?}");
+
+    let universal_right = expr.right() == &rextract::automata::Lang::universe(sigma);
+    if universal_right && bound.is_some() {
+        match left_filter_maximize(&expr) {
+            Ok(maximal) => {
+                println!("Algorithm 6.2 output: {}", maximal.to_text());
+                println!("  maximal      : {}", maximal.is_maximal());
+                println!("  generalizes  : {}", maximal.generalizes(&expr));
+            }
+            Err(e) => println!("Algorithm 6.2 failed: {e}"),
+        }
+    } else if !universal_right {
+        println!("(Algorithm 6.2 needs E2 = Σ*; skipping maximization)");
+    } else {
+        println!("(unbounded markers in E1; plain left-filtering inapplicable — use pivots)");
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() == 2 {
+        let sigma = Alphabet::new(args[0].split_whitespace().map(String::from));
+        analyze(&sigma, &args[1]);
+        return;
+    }
+
+    // Default tour: the paper's own examples.
+    let sigma = Alphabet::new(["p", "q"]);
+    println!("(no arguments given — touring the paper's examples over {{p,q}})");
+    for text in [
+        "(p q)* <p> .*",          // Example 4.3, ambiguous
+        "(q p)* <p> .*",          // Example 4.3, unambiguous
+        "(p | p p) <p> (p | p p)", // Example 4.3, ambiguous
+        "[^p]* <p> .*",           // Example 4.6, maximal
+        "q p <p> .*",             // Example 4.7, maximizable two ways
+        "p* <p> q",               // Section 4, unambiguous
+        "p* <p> p* q",            // Section 4, ambiguous (3 splits on pppq)
+    ] {
+        analyze(&sigma, text);
+    }
+}

@@ -1,0 +1,89 @@
+//! Resilience study: quantify what maximization buys (experiment E5).
+//!
+//! Trains two wrappers on identical samples — one keeps the raw merged
+//! expression ("initial"), the other pivot-maximizes it ("maximized") —
+//! and measures extraction success on fresh pages under a sweep of
+//! structural edit budgets. Reproduces the paper's claim that the
+//! maximization algorithms "are sufficient to provide resilient
+//! extraction capabilities".
+//!
+//! Run with: `cargo run --release --example resilience_study`
+
+use rextract::html::seq::SeqConfig;
+use rextract::wrapper::locator::LrLocator;
+use rextract::wrapper::report::resilience_table;
+use rextract::wrapper::site::{PageStyle, SiteConfig, SiteGenerator};
+use rextract::wrapper::wrapper::{TrainPage, Wrapper, WrapperConfig};
+
+fn train(maximize: bool) -> Wrapper {
+    let mut g = SiteGenerator::new(SiteConfig {
+        seed: 42,
+        ..SiteConfig::default()
+    });
+    let pages = vec![
+        TrainPage::from(&g.page_with_style(PageStyle::Plain)),
+        TrainPage::from(&g.page_with_style(PageStyle::TableEmbedded)),
+    ];
+    Wrapper::train(
+        &pages,
+        WrapperConfig {
+            maximize,
+            ..WrapperConfig::default()
+        },
+    )
+    .expect("training succeeds")
+}
+
+fn main() {
+    let maximized = train(true);
+    let initial = train(false);
+    let lr = {
+        let mut g = SiteGenerator::new(SiteConfig {
+            seed: 42,
+            ..SiteConfig::default()
+        });
+        let pages = vec![
+            TrainPage::from(&g.page_with_style(PageStyle::Plain)),
+            TrainPage::from(&g.page_with_style(PageStyle::TableEmbedded)),
+        ];
+        LrLocator::train(&pages, SeqConfig::tags_only()).expect("LR trains")
+    };
+
+    println!("initial expression  : {}", initial.expr().to_text());
+    println!();
+    println!("maximized expression: {}", maximized.expr().to_text());
+    println!();
+    println!(
+        "LR baseline         : left={:?} target={:?} right={:?}",
+        lr.wrapper().left,
+        lr.wrapper().target,
+        lr.wrapper().right
+    );
+    println!();
+
+    let mut site = SiteGenerator::new(SiteConfig {
+        seed: 31_337,
+        ..SiteConfig::default()
+    });
+    let table = resilience_table(
+        &[
+            ("maximized", &maximized),
+            ("initial", &initial),
+            ("LR-baseline", &lr),
+        ],
+        &mut site,
+        7,
+        &[0, 1, 2, 3, 4, 6, 8, 12, 16],
+        500,
+    );
+    println!("{table}");
+
+    // Headline numbers.
+    let last = table.rows.last().expect("rows");
+    println!(
+        "at {} edits: maximized {:.1}% vs initial {:.1}%",
+        last.edits,
+        100.0 * last.rate(0),
+        100.0 * last.rate(1)
+    );
+}

@@ -1,0 +1,68 @@
+//! Shopbot: the paper's motivating scenario, end to end (Sections 1, 3, 7).
+//!
+//! A comparison-shopping robot must locate the search form's text field
+//! (the 2nd INPUT of the 1st FORM) on vendor pages that keep changing.
+//! This example:
+//!
+//! 1. generates two sample layouts of "Virtual Supplier, Inc." (Figure 1),
+//! 2. trains a wrapper: tokenize → tag sequences → merging heuristic →
+//!    pivot maximization,
+//! 3. turns the site upside down (new rows, ads, re-embedding) and shows
+//!    the wrapper still finds the field.
+//!
+//! Run with: `cargo run --example shopbot`
+
+use rextract::learn::perturb::Perturber;
+use rextract::wrapper::site::{PageStyle, SiteConfig, SiteGenerator};
+use rextract::wrapper::wrapper::{TrainPage, Wrapper, WrapperConfig};
+
+fn main() {
+    // 1. Two sample pages, as a site operator might produce them.
+    let mut site = SiteGenerator::new(SiteConfig::default());
+    let sample_a = site.page_with_style(PageStyle::Plain);
+    let sample_b = site.page_with_style(PageStyle::TableEmbedded);
+    println!("--- sample page A (plain layout) ---\n{}\n", sample_a.html());
+    println!("--- sample page B (table layout) ---\n{}\n", sample_b.html());
+
+    // 2. Train.
+    let wrapper = Wrapper::train(
+        &[TrainPage::from(&sample_a), TrainPage::from(&sample_b)],
+        WrapperConfig::default(),
+    )
+    .expect("training succeeds");
+    println!("trained wrapper : {wrapper:?}");
+    println!("maximized       : {}", wrapper.is_maximized());
+    println!("maximal         : {}", wrapper.expr().is_maximal());
+    println!();
+
+    // 3. The site redesigns itself. Busy pages add navigation rows, promo
+    //    links and banners the wrapper never saw.
+    let mut redesigned = SiteGenerator::new(SiteConfig {
+        seed: 2_001,
+        vendor: "Virtual Supplier, Inc.".into(),
+    });
+    let mut perturber = Perturber::new(9);
+    let mut found = 0;
+    let trials = 25;
+    for i in 0..trials {
+        let page = redesigned.page_with_style(PageStyle::Busy);
+        // …and on top of the new layout, random structural edits.
+        let edited = perturber.perturb(&page.tokens, page.target, 2);
+        match wrapper.extract_target(&edited.tokens) {
+            Ok(idx) if idx == edited.target => {
+                found += 1;
+                if i < 3 {
+                    let tok = &edited.tokens[idx];
+                    println!(
+                        "page {i:>2}: extracted {} (type={:?}) at token {idx}",
+                        tok,
+                        tok.attr("type")
+                    );
+                }
+            }
+            Ok(idx) => println!("page {i:>2}: WRONG token {idx} (wanted {})", edited.target),
+            Err(e) => println!("page {i:>2}: failed: {e}"),
+        }
+    }
+    println!("\nresilience: {found}/{trials} redesigned+edited pages extracted correctly");
+}

@@ -1,0 +1,70 @@
+//! Tuple extraction: locate the search FORM *and* its text INPUT in one
+//! shot (the multi-marker extension of the paper's model; see
+//! `rextract::extraction::multi`).
+//!
+//! A shopbot needs both: the form tells it where to POST, the field tells
+//! it what to fill. Run with: `cargo run --example tuple_extraction`
+
+use rextract::learn::perturb::Perturber;
+use rextract::wrapper::site::{PageStyle, SiteConfig, SiteGenerator};
+use rextract::wrapper::tuple::{MultiTrainPage, TupleWrapper};
+use rextract::wrapper::wrapper::WrapperConfig;
+
+fn main() {
+    let mut site = SiteGenerator::new(SiteConfig::default());
+
+    // Training pages, marking FORM + its 2nd INPUT.
+    let mark = |p: &rextract::wrapper::site::Page| {
+        let form = p
+            .tokens
+            .iter()
+            .position(|t| t.tag_name() == Some("FORM"))
+            .expect("form");
+        MultiTrainPage {
+            tokens: p.tokens.clone(),
+            targets: vec![form, p.target],
+        }
+    };
+    let pages = vec![
+        mark(&site.page_with_style(PageStyle::Plain)),
+        mark(&site.page_with_style(PageStyle::TableEmbedded)),
+    ];
+
+    let wrapper = TupleWrapper::train(&pages, WrapperConfig::default()).unwrap();
+    println!("trained: {wrapper:?}\n");
+
+    // Fresh, perturbed pages.
+    let mut fresh = SiteGenerator::new(SiteConfig {
+        seed: 555,
+        ..SiteConfig::default()
+    });
+    let mut perturber = Perturber::new(8);
+    let mut hits = 0;
+    let trials = 15;
+    for i in 0..trials {
+        let page = fresh.page();
+        let edited = perturber.perturb(&page.tokens, page.target, 2);
+        match wrapper.extract_targets(&edited.tokens) {
+            Ok(tuple) => {
+                let form = &edited.tokens[tuple[0]];
+                let field = &edited.tokens[tuple[1]];
+                let good = form.tag_name() == Some("FORM")
+                    && field.attr("type") == Some("text")
+                    && tuple[1] == edited.target;
+                if good {
+                    hits += 1;
+                }
+                println!(
+                    "page {i:>2}: form@{} action={:?}  field@{} name={:?}  {}",
+                    tuple[0],
+                    form.attr("action"),
+                    tuple[1],
+                    field.attr("name"),
+                    if good { "ok" } else { "MISLOCATED" }
+                );
+            }
+            Err(e) => println!("page {i:>2}: failed ({e})"),
+        }
+    }
+    println!("\ntuple resilience: {hits}/{trials}");
+}

@@ -1,0 +1,96 @@
+//! XML + DTD-guided extraction (Section 8's future-work direction).
+//!
+//! An XML product catalog ships with a DTD. The DTD tells the learner
+//! which elements can repeat (`item*`) — anchoring on those is fragile —
+//! and which cannot (`title`, `vendor?`). The DTD-guided merge therefore
+//! produces an expression that keeps finding the first item's price no
+//! matter how many items the catalog grows to.
+//!
+//! Run with: `cargo run --example xml_catalog`
+
+use rextract::automata::Alphabet;
+use rextract::html::seq::{to_names, SeqConfig};
+use rextract::html::xml::tokenize_xml;
+use rextract::learn::dtd::{merge_samples_with_dtd, Dtd};
+use rextract::learn::merge::merge_samples;
+use rextract::learn::MarkedSeq;
+
+const DTD: &str = r#"
+    <!ELEMENT catalog (title, vendor?, item*)>
+    <!ELEMENT item (name, price)>
+    <!ELEMENT title (#PCDATA)>
+    <!ELEMENT vendor (#PCDATA)>
+    <!ELEMENT name (#PCDATA)>
+    <!ELEMENT price (#PCDATA)>
+"#;
+
+const SAMPLE_1: &str = r#"<catalog>
+  <title>Spring Parts</title>
+  <item><name>Bolt M4</name><price>0.12</price></item>
+</catalog>"#;
+
+const SAMPLE_2: &str = r#"<catalog>
+  <title>Spring Parts</title>
+  <vendor>Virtual Supplier, Inc.</vendor>
+  <item><name>Nut M4</name><price>0.09</price></item>
+  <item><name>Washer</name><price>0.03</price></item>
+</catalog>"#;
+
+/// Grown catalog the wrapper never saw: many items, no vendor.
+const FRESH: &str = r#"<catalog>
+  <title>Summer Parts</title>
+  <item><name>Screw</name><price>0.21</price></item>
+  <item><name>Anchor</name><price>0.35</price></item>
+  <item><name>Rivet</name><price>0.07</price></item>
+</catalog>"#;
+
+/// Abstract an XML document and mark the first `price` start tag.
+fn marked(xml: &str) -> MarkedSeq {
+    let toks = tokenize_xml(xml);
+    let entries = to_names(&toks, &SeqConfig::tags_only());
+    let target = entries
+        .iter()
+        .position(|e| e.name == "price")
+        .expect("catalog has a price");
+    MarkedSeq::new(entries.into_iter().map(|e| e.name).collect(), target)
+}
+
+fn main() {
+    let dtd = Dtd::parse(DTD);
+    let samples = [marked(SAMPLE_1), marked(SAMPLE_2)];
+
+    let mut vocab = rextract::html::seq::Vocabulary::new();
+    for s in &samples {
+        for n in &s.names {
+            vocab.observe_name(n);
+        }
+    }
+    let sigma: Alphabet = vocab.alphabet();
+
+    // Plain merge (no guidance) vs DTD-guided merge.
+    let plain = merge_samples(&sigma, &samples).expect("plain merge");
+    let guided = merge_samples_with_dtd(&sigma, &samples, &dtd).expect("guided merge");
+
+    let plain_pivots: Vec<&str> = plain.segments().iter().map(|(_, q)| sigma.name(*q)).collect();
+    let guided_pivots: Vec<&str> = guided.segments().iter().map(|(_, q)| sigma.name(*q)).collect();
+    println!("plain pivots : {plain_pivots:?}");
+    println!("guided pivots: {guided_pivots:?} (repeatable `item` excluded)");
+
+    let plain_max = plain.maximize().expect("plain maximizes");
+    let guided_max = guided.maximize().expect("guided maximizes");
+    println!("\nplain expr : {}", plain_max.to_text());
+    println!("guided expr: {}", guided_max.to_text());
+
+    // Extraction on the grown catalog.
+    let fresh = marked(FRESH);
+    let word: Vec<_> = fresh.names.iter().map(|n| sigma.sym(n)).collect();
+    println!("\nfresh catalog target (first price) at position {}", fresh.target);
+    println!(
+        "plain  extracts: {:?}",
+        plain_max.extract(&word).map(|e| e.position)
+    );
+    println!(
+        "guided extracts: {:?}",
+        guided_max.extract(&word).map(|e| e.position)
+    );
+}

@@ -1,0 +1,17 @@
+//! # rextract — resilient data extraction from semistructured sources
+//!
+//! Facade crate re-exporting the full public API of the workspace. See the
+//! README for an overview and `DESIGN.md` for the paper-to-module map.
+//!
+//! * [`automata`] — regular languages over explicit finite alphabets
+//! * [`extraction`] — extraction expressions, ambiguity, maximality,
+//!   maximization (the paper's contribution)
+//! * [`html`] — HTML tokenization and tag-sequence abstraction
+//! * [`learn`] — merging heuristic, perturbations, disambiguation
+//! * [`wrapper`] — end-to-end train→maximize→extract pipeline
+
+pub use rextract_automata as automata;
+pub use rextract_extraction as extraction;
+pub use rextract_html as html;
+pub use rextract_learn as learn;
+pub use rextract_wrapper as wrapper;

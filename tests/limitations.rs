@@ -1,0 +1,112 @@
+//! Integration test: the framework's documented limitations (Section 8).
+//!
+//! "…we cannot learn or generalize extraction expressions that can be
+//! expressed only using context-free grammars. A typical example here is
+//! extracting the middle row from dynamically generated tables. … The
+//! desired pattern to learn here is TRⁿ⟨TR⟩TRⁿ, but the language
+//! recognized by this expression is not regular."
+//!
+//! We demonstrate the limitation *empirically*, the way a user would hit
+//! it: train on middle-row samples of sizes 1..=k, observe that the
+//! learned (regular!) expression cannot be simultaneously correct for the
+//! next size — while the same pipeline nails anchor-based targets of any
+//! size.
+
+use rextract::automata::Alphabet;
+use rextract::extraction::ExtractionExpr;
+use rextract::learn::merge::merge_samples;
+use rextract::learn::MarkedSeq;
+
+fn alphabet() -> Alphabet {
+    Alphabet::new(["TR", "TD", "TABLE", "/TABLE"])
+}
+
+/// The middle-row document of half-width `n`: `TRⁿ ⟨TR⟩ TRⁿ`.
+fn middle_row(n: usize) -> MarkedSeq {
+    let mut names = vec!["TR".to_string(); 2 * n + 1];
+    names.insert(0, "TABLE".into());
+    names.push("/TABLE".into());
+    let _ = &mut names;
+    MarkedSeq::new(names, n + 1)
+}
+
+#[test]
+fn middle_row_training_does_not_generalize_to_next_size() {
+    let sigma = alphabet();
+    // Train on half-widths 1..=3.
+    let samples: Vec<MarkedSeq> = (1..=3).map(middle_row).collect();
+    let merged = merge_samples(&sigma, &samples).expect("merging itself works");
+    let expr = merged.to_expr();
+
+    // The merged expression handles each *training* size…
+    for s in &samples {
+        let word: Vec<_> = s.names.iter().map(|n| sigma.sym(n)).collect();
+        let got = expr.extract(&word).map(|e| e.position);
+        // …either correctly or by refusing; but never a silent wrong row
+        // on training data.
+        if let Ok(pos) = got {
+            assert_eq!(pos, s.target, "wrong row on training size");
+        }
+    }
+
+    // …but must fail on the next size: a regular expression cannot count
+    // matching TRⁿ on both sides. Either it does not parse the document,
+    // reports ambiguity, or points at a non-middle row.
+    let next = middle_row(4);
+    let word: Vec<_> = next.names.iter().map(|n| sigma.sym(n)).collect();
+    let got = expr.extract(&word).map(|e| e.position);
+    assert_ne!(
+        got,
+        Ok(next.target),
+        "a regular expression cannot extract the middle row at unseen sizes \
+         (Section 8) — if this ever passes, something is wrong with the test"
+    );
+}
+
+#[test]
+fn even_maximal_expressions_cannot_mark_the_middle_row() {
+    // Stronger: *no* extraction expression over this alphabet can be
+    // right for all sizes. Take any candidate that is correct for
+    // half-widths up to 3 and show a direct counterexample by pumping —
+    // here we just exhibit the canonical failure for the natural
+    // candidate TR⟨TR⟩TR-with-context generalizations.
+    let sigma = alphabet();
+    // "the TR preceded by exactly one TR": right for n=1 only.
+    let e1 = ExtractionExpr::parse(&sigma, "TABLE TR <TR> TR* /TABLE").unwrap();
+    let doc = |n: usize| {
+        let s = middle_row(n);
+        s.names.iter().map(|m| sigma.sym(m)).collect::<Vec<_>>()
+    };
+    assert_eq!(e1.extract(&doc(1)).map(|e| e.position), Ok(2));
+    assert_ne!(e1.extract(&doc(2)).map(|e| e.position), Ok(3));
+}
+
+#[test]
+fn anchor_based_targets_generalize_across_sizes_fine() {
+    // Contrast: "the first TD after the TABLE" is regular, and the same
+    // pipeline learns it from two sizes and nails every other size.
+    let sigma = alphabet();
+    let make = |n: usize| {
+        let mut names = vec!["TABLE".to_string()];
+        names.extend(std::iter::repeat_n("TR".to_string(), n));
+        names.push("TD".into());
+        let target = names.len() - 1;
+        names.push("/TABLE".into());
+        MarkedSeq::new(names, target)
+    };
+    let merged = merge_samples(&sigma, &[make(1), make(3)]).unwrap();
+    let maximal = merged.maximize().expect("maximizable");
+    assert!(maximal.is_maximal());
+    // n ≥ 1: both training samples contained a TR, so the learner
+    // (correctly, given its evidence) anchors on one; sizes with ≥1 TR
+    // are the family the samples actually exhibit.
+    for n in 1..9 {
+        let s = make(n);
+        let word: Vec<_> = s.names.iter().map(|m| sigma.sym(m)).collect();
+        assert_eq!(
+            maximal.extract(&word).map(|e| e.position),
+            Ok(s.target),
+            "anchor target failed at size {n}"
+        );
+    }
+}

@@ -1,0 +1,163 @@
+//! Integration test: every concrete example stated inline in the paper,
+//! Sections 3–6, verified against our implementation. One test per paper
+//! location, so a failure names the claim it violates.
+
+use rextract::automata::{Alphabet, Lang};
+use rextract::extraction::left_filter::left_filter_maximize;
+use rextract::extraction::maximality::MaximalityStatus;
+use rextract::extraction::oracle::count_splits;
+use rextract::extraction::ExtractionExpr;
+
+fn ab() -> Alphabet {
+    Alphabet::new(["p", "q"])
+}
+
+fn e(s: &str) -> ExtractionExpr {
+    ExtractionExpr::parse(&ab(), s).unwrap()
+}
+
+fn syms(s: &str) -> Vec<rextract::automata::Symbol> {
+    ab().str_to_syms(s).unwrap()
+}
+
+/// Section 3: "We do not need to think hard to find such a generalization:
+/// Tags* ⟨INPUT⟩ Tags*" — the fully general expression is ambiguous.
+#[test]
+fn section_3_sigma_star_marker_sigma_star_is_ambiguous() {
+    assert!(e(".* <p> .*").is_ambiguous());
+}
+
+/// Section 4's distinction (illustrated in the Section 3 prose): an
+/// expression is unambiguous when the *split* is unique — "even though the
+/// prefix … can match the prefix of a string in more than one way".
+/// `(q | q q)*` matches `qqq` with several parse trees, yet the marked
+/// position never moves.
+#[test]
+fn section_3_prefix_nondeterminism_is_not_ambiguity() {
+    let expr = e("(q | q q)* <p> q*");
+    assert!(expr.is_unambiguous());
+    assert_eq!(count_splits(&expr, &syms("q q q p q")), 1);
+    // Contrast: move the nondeterminism across the marker and ambiguity
+    // appears.
+    let bad = e("(p | p p)* <p> p*");
+    assert!(bad.is_ambiguous());
+}
+
+/// Section 4: "p*⟨p⟩q parses ppq" and the split is unique; "any one of
+/// three p's in pppq can be returned" for p*⟨p⟩p*q.
+#[test]
+fn section_4_split_counting() {
+    assert_eq!(count_splits(&e("p* <p> q"), &syms("p p q")), 1);
+    assert_eq!(count_splits(&e("p* <p> p* q"), &syms("p p p q")), 3);
+}
+
+/// Example 4.3: the four classified expressions.
+#[test]
+fn example_4_3() {
+    assert!(e("(p q)* <p> .*").is_ambiguous());
+    assert!(e("(p | p p) <p> (p | p p)").is_ambiguous());
+    assert!(e("(q p)* <p> .*").is_unambiguous());
+    // The paper's fourth: (p|pp)⟨p⟩(~|p|pp)-style… its readable variant
+    // (p|pp)(p)(p|pp) already covered; the unambiguous pair it contrasts:
+    assert!(e("[^p]* <p> .*").is_unambiguous());
+    // "pppp can be parsed by (p|pp)⟨p⟩(p|pp) in two different ways":
+    assert_eq!(
+        count_splits(&e("(p | p p) <p> (p | p p)"), &syms("p p p p")),
+        2
+    );
+    // "pqpq can be parsed as ε·p·qpq and as pq·p·q" — the language of
+    // (pq)*⟨p⟩Σ* on pqpq:
+    assert_eq!(count_splits(&e("(p q)* <p> .*"), &syms("p q p q")), 2);
+}
+
+/// Definition 4.4 discussion: ≼ implies language inclusion but not
+/// conversely — p⟨p⟩ppp vs pp⟨p⟩pp.
+#[test]
+fn definition_4_4_language_vs_order() {
+    let x = e("p <p> p p p");
+    let y = e("p p <p> p p");
+    assert_eq!(x.language(), y.language());
+    assert!(!x.generalizes(&y) && !y.generalizes(&x));
+    // And they really extract different occurrences on the only member.
+    let w = syms("p p p p p");
+    assert_eq!(x.extract(&w).map(|h| h.position), Ok(1));
+    assert_eq!(y.extract(&w).map(|h| h.position), Ok(2));
+}
+
+/// Example 4.6: (Σ−p)*⟨p⟩Σ* is maximal.
+#[test]
+fn example_4_6() {
+    assert!(e("[^p]* <p> .*").is_maximal());
+}
+
+/// Example 4.7: qp⟨p⟩Σ* can be maximized to (Σ−p)*·p·(Σ−p)*⟨p⟩Σ* and to
+/// the Algorithm 6.2 output — two different maximal expressions above the
+/// same input ("even when maximization is known to exist then it might
+/// not be unique").
+#[test]
+fn example_4_7_two_distinct_maximizations() {
+    let input = e("q p <p> .*");
+    assert!(input.is_unambiguous());
+    assert!(
+        matches!(input.maximality(), MaximalityStatus::NonMaximal(_))
+    );
+
+    let m1 = e("[^p]* p [^p]* <p> .*");
+    let m2 = left_filter_maximize(&input).unwrap();
+    for m in [&m1, &m2] {
+        assert!(m.is_maximal());
+        assert!(m.generalizes(&input));
+    }
+    assert!(!m1.same_extraction(&m2));
+    // The two maxima disagree concretely: on "p p" (no q prefix),
+    // m1 marks the second p; m2 = (q·Σ·q*)?⟨p⟩Σ* marks the first.
+    let w = syms("p p");
+    assert_eq!(m1.extract(&w).map(|h| h.position), Ok(1));
+    assert_eq!(m2.extract(&w).map(|h| h.position), Ok(0));
+}
+
+/// Proposition 5.11: (Σ−p)*⟨p⟩E is maximal iff L(E) = Σ*, over several E.
+#[test]
+fn proposition_5_11_sweep() {
+    let cases = [
+        (".*", true),
+        ("q*", false),
+        ("~", false),
+        ("(p | q)*", true),
+        (".* - p", false),
+        ("~ | . .*", true),
+    ];
+    for (right, want) in cases {
+        let expr = e(&format!("[^p]* <p> {right}"));
+        assert!(expr.is_unambiguous(), "Lemma 5.10 for E = {right}");
+        assert_eq!(expr.is_maximal(), want, "Prop 5.11 for E = {right}");
+    }
+}
+
+/// Lemma 5.10: (Σ−p)*⟨p⟩E is unambiguous for ANY E — stress with
+/// adversarial right sides.
+#[test]
+fn lemma_5_10_any_right_side() {
+    for right in ["p*", "(p p)*", ".* p .*", "p | ~", "!(q*)"] {
+        assert!(
+            e(&format!("[^p]* <p> {right}")).is_unambiguous(),
+            "Lemma 5.10 failed for E = {right}"
+        );
+    }
+}
+
+/// Section 6 intro: "if (E1·p)\E1 = ∅, then … E1⟨p⟩E2 ≼ E1⟨p⟩Σ*" — the
+/// first generalization step of left-filtering.
+#[test]
+fn section_6_widening_the_right_side() {
+    let a = ab();
+    let narrow = e("q p <p> q q");
+    let wide = e("q p <p> .*");
+    assert!(narrow.is_unambiguous());
+    // (E1·p)\E1 = ∅ here:
+    let e1 = narrow.left();
+    let p = Lang::sym(&a, a.sym("p"));
+    assert!(e1.left_quotient(&e1.concat(&p)).is_empty());
+    assert!(wide.generalizes(&narrow));
+    assert!(wide.is_unambiguous());
+}

@@ -1,0 +1,157 @@
+//! Integration test: the wrapper pipeline end to end on the synthetic
+//! catalog site — training, extraction across layout families, resilience
+//! under perturbation, and failure-mode behaviour.
+
+use rextract::learn::perturb::Perturber;
+use rextract::wrapper::report::resilience_table;
+use rextract::wrapper::site::{PageStyle, SiteConfig, SiteGenerator};
+use rextract::wrapper::wrapper::{TrainPage, Wrapper, WrapperConfig, WrapperError};
+
+fn site(seed: u64) -> SiteGenerator {
+    SiteGenerator::new(SiteConfig {
+        seed,
+        ..SiteConfig::default()
+    })
+}
+
+fn train(maximize: bool, seed: u64) -> Wrapper {
+    let mut g = site(seed);
+    let pages = vec![
+        TrainPage::from(&g.page_with_style(PageStyle::Plain)),
+        TrainPage::from(&g.page_with_style(PageStyle::TableEmbedded)),
+    ];
+    Wrapper::train(
+        &pages,
+        WrapperConfig {
+            maximize,
+            ..WrapperConfig::default()
+        },
+    )
+    .expect("training succeeds")
+}
+
+#[test]
+fn wrapper_extracts_across_all_layout_families() {
+    let w = train(true, 8);
+    for style in [PageStyle::Plain, PageStyle::TableEmbedded, PageStyle::Busy] {
+        let mut g = site(404);
+        let mut ok = 0;
+        for _ in 0..25 {
+            let p = g.page_with_style(style);
+            if w.extract_target(&p.tokens) == Ok(p.target) {
+                ok += 1;
+            }
+        }
+        assert!(ok >= 23, "style {style:?}: only {ok}/25 extracted");
+    }
+}
+
+#[test]
+fn learned_expression_is_maximal_and_unambiguous() {
+    let w = train(true, 15);
+    assert!(w.is_maximized());
+    assert!(w.expr().is_unambiguous());
+    assert!(w.expr().is_maximal());
+}
+
+#[test]
+fn resilience_is_monotone_ish_and_dominates_initial() {
+    let maxed = train(true, 3);
+    let raw = train(false, 3);
+    let mut g = site(2_222);
+    let table = resilience_table(
+        &[("maximized", &maxed), ("initial", &raw)],
+        &mut g,
+        5,
+        &[0, 2, 6],
+        60,
+    );
+    // Maximized wrapper: perfect on unedited pages, dominant throughout.
+    assert_eq!(table.rows[0].successes[0], 60, "{table}");
+    for row in &table.rows {
+        assert!(
+            row.successes[0] >= row.successes[1],
+            "initial beat maximized at {} edits\n{table}",
+            row.edits
+        );
+    }
+    // And strictly better somewhere: maximization must buy something.
+    assert!(
+        table
+            .rows
+            .iter()
+            .any(|r| r.successes[0] > r.successes[1]),
+        "maximization bought nothing\n{table}"
+    );
+}
+
+#[test]
+fn wrapper_failure_is_reported_not_mislocated() {
+    // Feed a page with no form at all: the wrapper must error (NoMatch),
+    // never silently return a wrong token.
+    let w = train(true, 21);
+    let tokens = rextract::html::tokenizer::tokenize(
+        "<table><tr><td><a href=\"x.html\">nothing here</a></td></tr></table>",
+    );
+    match w.extract_target(&tokens) {
+        Err(WrapperError::Extract(_)) => {}
+        other => panic!("expected extraction failure, got {other:?}"),
+    }
+}
+
+#[test]
+fn heavy_perturbation_degrades_gracefully() {
+    let w = train(true, 33);
+    let mut g = site(777);
+    let mut perturber = Perturber::new(31);
+    let mut outcomes = [0usize; 3]; // correct, wrong, failed
+    for _ in 0..40 {
+        let p = g.page();
+        let edited = perturber.perturb(&p.tokens, p.target, 12);
+        match w.extract_target(&edited.tokens) {
+            Ok(i) if i == edited.target => outcomes[0] += 1,
+            Ok(_) => outcomes[1] += 1,
+            Err(_) => outcomes[2] += 1,
+        }
+    }
+    // Under 12 random structural edits some failures are expected, but
+    // wrong *silent* extractions must stay rare: unambiguity means the
+    // expression refuses rather than guesses. Allow a small number of
+    // honest mislocations (an edit can move another INPUT into the
+    // learned context).
+    assert!(
+        outcomes[1] <= 8,
+        "too many silent mislocations: {outcomes:?}"
+    );
+    assert!(outcomes[0] >= 10, "resilience collapsed: {outcomes:?}");
+}
+
+#[test]
+fn single_sample_training_works() {
+    let mut g = site(61);
+    let page = g.page_with_style(PageStyle::TableEmbedded);
+    let w = Wrapper::train(&[TrainPage::from(&page)], WrapperConfig::default()).unwrap();
+    assert_eq!(w.extract_target(&page.tokens), Ok(page.target));
+    // A maximized single-sample wrapper should still absorb benign edits.
+    let mut perturber = Perturber::new(5);
+    let edited = perturber.perturb(&page.tokens, page.target, 1);
+    let got = w.extract_target(&edited.tokens);
+    assert!(
+        got == Ok(edited.target) || got.is_err(),
+        "silent mislocation on single-sample wrapper: {got:?}"
+    );
+}
+
+#[test]
+fn wrappers_trained_on_different_seeds_agree_on_clean_pages() {
+    let w1 = train(true, 100);
+    let w2 = train(true, 200);
+    let mut g = site(300);
+    for _ in 0..10 {
+        let p = g.page();
+        assert_eq!(
+            w1.extract_target(&p.tokens).ok(),
+            w2.extract_target(&p.tokens).ok()
+        );
+    }
+}

@@ -1,0 +1,224 @@
+//! Integration test: the complete Section 7 worked example, cross-crate.
+//!
+//! Replays "Putting it All Together" on the exact Figure 1 documents and
+//! checks every claim the paper makes along the way.
+
+use rextract::automata::Lang;
+use rextract::extraction::left_filter::left_filter_maximize_lang;
+use rextract::extraction::ExtractionExpr;
+use rextract::html::seq::{SeqConfig, Vocabulary};
+use rextract::html::tokenizer::tokenize;
+use rextract::learn::merge::merge_samples;
+use rextract::learn::MarkedSeq;
+
+const PAGE_1: &str = r#"<P>
+<H1>Virtual Supplier, Inc.</H1>
+<P>
+<form method="post" action="search.cgi">
+<input type="image" align="left" src="search.gif" />
+<input type="text" size="15" name="value" />
+<br />
+<input type="radio" name="attr" value="1" checked> Keywords<br />
+<input type="radio" name="attr" value="2"> Manufacturer Part#
+</form>
+</P>"#;
+
+const PAGE_2: &str = r#"<table>
+<tr><th><img src="supplier.gif"></th></tr>
+<tr><td><h1>Virtual Supplier, Inc.</h1></td></tr>
+<tr><td><a href="cust.html">Customer Service</a></td></tr>
+<tr><td><form method="post" action="search.cgi">
+<input type="image" src="search.gif" />
+<input type="text" size="15" name="value" />
+<input type="radio" name="attr" value="1" checked> Keywords<br />
+<input type="radio" name="attr" value="2"> Manufacturer Part#
+</form></td></tr>
+</table>"#;
+
+/// Abstract a page, marking the 2nd INPUT of the 1st FORM.
+fn marked(page: &str) -> MarkedSeq {
+    let toks = tokenize(page);
+    let form = toks
+        .iter()
+        .position(|t| t.tag_name() == Some("FORM"))
+        .expect("page has a form");
+    let target = toks
+        .iter()
+        .enumerate()
+        .skip(form)
+        .filter(|(_, t)| t.tag_name() == Some("INPUT"))
+        .map(|(i, _)| i)
+        .nth(1)
+        .expect("2nd input exists");
+    MarkedSeq::from_tokens(&toks, target, &SeqConfig::tags_only()).expect("representable")
+}
+
+fn setup() -> (rextract::automata::Alphabet, MarkedSeq, MarkedSeq) {
+    let d1 = marked(PAGE_1);
+    let d2 = marked(PAGE_2);
+    let mut v = Vocabulary::new();
+    for s in [&d1, &d2] {
+        for n in &s.names {
+            v.observe_name(n);
+        }
+    }
+    (v.alphabet(), d1, d2)
+}
+
+#[test]
+fn tag_sequences_match_the_papers_representation() {
+    let d1 = marked(PAGE_1);
+    // Section 3: "P H1 /H1 P FORM INPUT ⟨INPUT⟩ BR INPUT INPUT /FORM /P"
+    // (we keep BR; the paper elides it in one rendering and keeps the
+    // spirit: tags only, target = 2nd INPUT).
+    assert_eq!(d1.names[..6], ["P", "H1", "/H1", "P", "FORM", "INPUT"]);
+    assert_eq!(d1.target_name(), "INPUT");
+    assert_eq!(d1.target, 6);
+
+    let d2 = marked(PAGE_2);
+    assert_eq!(d2.names[0], "TABLE");
+    assert!(d2.names.contains(&"FORM".to_string()));
+    assert_eq!(d2.target_name(), "INPUT");
+}
+
+/// The paper's Expression (10), as an explicit pivot form:
+///   ((P H1 /H1 P) | (TABLE TR … /TR)) FORM (TR TD)? INPUT (/TD TD)? ⟨INPUT⟩ Tags*
+fn expression_10(sigma: &rextract::automata::Alphabet) -> rextract::extraction::PivotExpr {
+    let header = Lang::parse(
+        sigma,
+        "(P H1 /H1 P) | (TABLE TR TH IMG /TH /TR TR TD H1 /H1 /TD /TR TR TD A /A /TD /TR TR TD)",
+    )
+    .unwrap();
+    let gap1 = Lang::parse(sigma, "(TR TD)?").unwrap();
+    let gap2 = Lang::parse(sigma, "(/TD TD)?").unwrap();
+    rextract::extraction::PivotExpr::new(
+        sigma,
+        vec![(header, sigma.sym("FORM")), (gap1, sigma.sym("INPUT"))],
+        gap2,
+        sigma.sym("INPUT"),
+    )
+}
+
+#[test]
+fn merged_expression_refines_expression_10_structure() {
+    let (sigma, d1, d2) = setup();
+    let pe = merge_samples(&sigma, &[d1.clone(), d2.clone()]).unwrap();
+
+    // The paper's Expression (10) anchors on FORM and INPUT; our
+    // left-to-right heuristic additionally anchors on the shared title
+    // tags H1 and /H1 — a refinement, not a divergence: FORM and INPUT
+    // must still be pivots, in that order, closest to the marker.
+    let pivots: Vec<&str> = pe.segments().iter().map(|(_, q)| sigma.name(*q)).collect();
+    assert!(pivots.len() >= 2);
+    assert_eq!(&pivots[pivots.len() - 2..], ["FORM", "INPUT"]);
+
+    // The merged expression is unambiguous (the paper: "By Proposition
+    // 5.4, this expression is unambiguous") but NOT maximal.
+    let expr = pe.to_expr();
+    assert!(expr.is_unambiguous());
+    assert!(!expr.is_maximal());
+    // And it parses both training documents at the right position.
+    for doc in [&d1, &d2] {
+        let word: Vec<_> = doc.names.iter().map(|n| sigma.sym(n)).collect();
+        assert_eq!(expr.extract(&word).map(|e| e.position), Ok(doc.target));
+    }
+}
+
+#[test]
+fn expression_10_is_unambiguous_but_not_maximal() {
+    let (sigma, d1, d2) = setup();
+    let expr10 = expression_10(&sigma).to_expr();
+    assert!(expr10.is_unambiguous(), "paper: Expression (10) is unambiguous");
+    assert!(!expr10.is_maximal(), "paper: Expression (10) is not maximal");
+    // It parses both Figure 1 documents at the right position.
+    for doc in [&d1, &d2] {
+        let word: Vec<_> = doc.names.iter().map(|n| sigma.sym(n)).collect();
+        assert_eq!(expr10.extract(&word).map(|e| e.position), Ok(doc.target));
+    }
+}
+
+#[test]
+fn pivot_maximization_yields_the_papers_final_expression() {
+    let (sigma, _, _) = setup();
+    let pe = expression_10(&sigma);
+    let maximal = pe.maximize().expect("conditions for pivot maximization are satisfied");
+
+    assert!(maximal.is_unambiguous());
+    assert!(maximal.is_maximal());
+    assert!(maximal.generalizes(&pe.to_expr()));
+
+    // The paper's final expression:
+    //   (Tags−FORM)* FORM (Tags−INPUT)* INPUT (Tags−INPUT)* ⟨INPUT⟩ Tags*
+    let paper_final = ExtractionExpr::parse(
+        &sigma,
+        "[^FORM]* FORM [^INPUT]* INPUT [^INPUT]* <INPUT> .*",
+    )
+    .unwrap();
+    assert!(
+        maximal.same_extraction(&paper_final),
+        "expected the paper's final expression, got {}",
+        maximal.to_text()
+    );
+}
+
+#[test]
+fn merged_then_maximized_is_maximal_and_covers_training() {
+    let (sigma, d1, d2) = setup();
+    let pe = merge_samples(&sigma, &[d1.clone(), d2.clone()]).unwrap();
+    let maximal = pe.maximize().expect("maximization applies");
+    assert!(maximal.is_maximal());
+    assert!(maximal.generalizes(&pe.to_expr()));
+    for doc in [&d1, &d2] {
+        let word: Vec<_> = doc.names.iter().map(|n| sigma.sym(n)).collect();
+        assert_eq!(maximal.extract(&word).map(|e| e.position), Ok(doc.target));
+    }
+}
+
+#[test]
+fn final_expression_extracts_on_both_figure_1_pages() {
+    let (sigma, d1, d2) = setup();
+    let pe = merge_samples(&sigma, &[d1.clone(), d2.clone()]).unwrap();
+    let maximal = pe.maximize().unwrap();
+    for doc in [&d1, &d2] {
+        let word: Vec<_> = doc.names.iter().map(|n| sigma.sym(n)).collect();
+        assert_eq!(
+            maximal.extract(&word).map(|e| e.position),
+            Ok(doc.target),
+            "extraction failed on {}",
+            doc.to_text()
+        );
+    }
+}
+
+#[test]
+fn semantics_second_input_in_first_form_not_second_on_page() {
+    // Section 7's closing point: the pivot-maximized expression finds the
+    // 2nd INPUT *of the 1st FORM*; a direct Algorithm 6.2 application
+    // finds the 2nd INPUT *on the page*. Build a page whose first two
+    // INPUTs precede the form to tell them apart.
+    let (sigma, _, _) = setup();
+    let pe = expression_10(&sigma);
+    let pivot_max = pe.maximize().unwrap();
+
+    let direct_left =
+        left_filter_maximize_lang(pe.to_expr().left(), pe.marker()).expect("bounded");
+    let direct_max = ExtractionExpr::from_langs(direct_left, pe.marker(), Lang::universe(&sigma));
+    assert!(direct_max.is_maximal());
+
+    // Both are maximal generalizations of the same input, but different.
+    assert!(!pivot_max.same_extraction(&direct_max));
+
+    // A page with two stray INPUTs before the form.
+    let page = "INPUT INPUT P FORM INPUT INPUT BR INPUT /FORM";
+    let word: Vec<_> = page.split_whitespace().map(|n| sigma.sym(n)).collect();
+    // pivot-maximized: anchors on the first FORM, then skips one INPUT —
+    // the 2nd INPUT *inside the form* = index 5.
+    assert_eq!(pivot_max.extract(&word).map(|e| e.position), Ok(5));
+    // direct: no FORM anchor survives — the generalized prefix accepts ε,
+    // so it grabs an INPUT with no regard for the form. The two maximal
+    // expressions resolve the same page to different objects, which is
+    // exactly Section 7's warning about direct maximization.
+    let direct_pos = direct_max.extract(&word).map(|e| e.position).unwrap();
+    assert_ne!(direct_pos, 5, "direct must disagree with pivot semantics");
+    assert_eq!(direct_pos, 0, "direct grabs the first page INPUT here");
+}

@@ -1,0 +1,97 @@
+//! Randomized end-to-end hardening: train/extract across many site and
+//! perturbation seeds, asserting the wrapper's safety contract everywhere
+//! — a wrapper may *refuse* but must never silently mislocate on an
+//! unedited page, and export/import must never change behaviour.
+
+use rextract::wrapper::site::{PageStyle, SiteConfig, SiteGenerator};
+use rextract::wrapper::wrapper::{TrainPage, Wrapper, WrapperConfig};
+
+fn train_on(seed: u64) -> Option<Wrapper> {
+    let mut g = SiteGenerator::new(SiteConfig {
+        seed,
+        ..SiteConfig::default()
+    });
+    let pages = vec![
+        TrainPage::from(&g.page_with_style(PageStyle::Plain)),
+        TrainPage::from(&g.page_with_style(PageStyle::TableEmbedded)),
+        TrainPage::from(&g.page_with_style(PageStyle::Busy)),
+    ];
+    Wrapper::train(&pages, WrapperConfig::default()).ok()
+}
+
+#[test]
+fn many_seeds_train_and_never_mislocate_clean_pages() {
+    let mut trained = 0;
+    let mut clean_hits = 0;
+    let mut clean_total = 0;
+    for seed in 1..25u64 {
+        let Some(w) = train_on(seed) else { continue };
+        trained += 1;
+        assert!(w.expr().is_unambiguous(), "seed {seed}");
+        let mut g = SiteGenerator::new(SiteConfig {
+            seed: seed * 1000 + 7,
+            ..SiteConfig::default()
+        });
+        for _ in 0..10 {
+            let p = g.page();
+            clean_total += 1;
+            match w.extract_target(&p.tokens) {
+                Ok(idx) => {
+                    assert_eq!(idx, p.target, "seed {seed}: silent mislocation");
+                    clean_hits += 1;
+                }
+                Err(_) => {} // refusal is acceptable, mislocation is not
+            }
+        }
+    }
+    assert!(trained >= 20, "training failed too often: {trained}/24");
+    assert!(
+        clean_hits * 10 >= clean_total * 9,
+        "too many refusals on clean pages: {clean_hits}/{clean_total}"
+    );
+}
+
+#[test]
+fn export_import_is_behaviour_preserving_across_seeds() {
+    for seed in 1..12u64 {
+        let Some(w) = train_on(seed) else { continue };
+        let w2 = Wrapper::import(&w.export()).expect("import");
+        let mut g = SiteGenerator::new(SiteConfig {
+            seed: seed + 500,
+            ..SiteConfig::default()
+        });
+        for _ in 0..5 {
+            let p = g.page();
+            assert_eq!(
+                w.extract_target(&p.tokens).ok(),
+                w2.extract_target(&p.tokens).ok(),
+                "seed {seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn listing_scenario_trains_across_seeds() {
+    for seed in 1..15u64 {
+        let mut g = SiteGenerator::new(SiteConfig {
+            seed,
+            ..SiteConfig::default()
+        });
+        let pages = vec![
+            TrainPage::from(&g.listing_page()),
+            TrainPage::from(&g.listing_page()),
+            TrainPage::from(&g.listing_page()),
+        ];
+        let Ok(w) = Wrapper::train(&pages, WrapperConfig::default()) else {
+            continue;
+        };
+        // No silent mislocation on fresh listing pages.
+        for _ in 0..8 {
+            let p = g.listing_page();
+            if let Ok(idx) = w.extract_target(&p.tokens) {
+                assert_eq!(idx, p.target, "seed {seed}: price cell mislocated");
+            }
+        }
+    }
+}
