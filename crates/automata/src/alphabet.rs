@@ -233,7 +233,10 @@ impl SymbolSet {
 
     /// True if `self ⊆ other`.
     pub fn is_subset(&self, other: &SymbolSet) -> bool {
-        assert_eq!(self.universe, other.universe, "symbol-set universe mismatch");
+        assert_eq!(
+            self.universe, other.universe,
+            "symbol-set universe mismatch"
+        );
         self.words
             .iter()
             .zip(&other.words)
@@ -258,7 +261,10 @@ impl SymbolSet {
     }
 
     fn zip_words(&self, other: &SymbolSet, f: impl Fn(u64, u64) -> u64) -> SymbolSet {
-        assert_eq!(self.universe, other.universe, "symbol-set universe mismatch");
+        assert_eq!(
+            self.universe, other.universe,
+            "symbol-set universe mismatch"
+        );
         let words = self
             .words
             .iter()

@@ -23,8 +23,7 @@ impl Dfa {
     /// completeness).
     pub fn is_universal(&self) -> bool {
         let reach = self.reachable_states();
-        (0..self.num_states() as StateId)
-            .all(|q| !reach[q as usize] || self.is_accepting(q))
+        (0..self.num_states() as StateId).all(|q| !reach[q as usize] || self.is_accepting(q))
     }
 
     /// `L(self) ⊆ L(other)`.
@@ -108,11 +107,7 @@ impl Dfa {
                 }
             }
         }
-        reach
-            .iter()
-            .zip(&co)
-            .map(|(&r, &c)| r && c)
-            .collect()
+        reach.iter().zip(&co).map(|(&r, &c)| r && c).collect()
     }
 
     /// Is the language finite? True iff the useful subgraph is acyclic
@@ -167,12 +162,7 @@ impl Dfa {
         // memoized count of accepted strings from each useful state
         let mut memo: Vec<Option<u64>> = vec![None; n];
         // iterative post-order over the DAG
-        fn count(
-            dfa: &Dfa,
-            useful: &[bool],
-            memo: &mut Vec<Option<u64>>,
-            q: usize,
-        ) -> u64 {
+        fn count(dfa: &Dfa, useful: &[bool], memo: &mut Vec<Option<u64>>, q: usize) -> u64 {
             if let Some(c) = memo[q] {
                 return c;
             }

@@ -75,7 +75,12 @@ impl Dfa {
 /// strings up to `max_len`.
 #[cfg(test)]
 pub fn agree_up_to(dfa: &Dfa, nfa: &Nfa, max_len: usize) -> bool {
-    fn rec(dfa: &Dfa, nfa: &Nfa, prefix: &mut Vec<crate::symbol::Symbol>, remaining: usize) -> bool {
+    fn rec(
+        dfa: &Dfa,
+        nfa: &Nfa,
+        prefix: &mut Vec<crate::symbol::Symbol>,
+        remaining: usize,
+    ) -> bool {
         if dfa.accepts(prefix) != nfa.accepts(prefix) {
             return false;
         }

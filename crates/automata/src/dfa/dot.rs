@@ -33,7 +33,10 @@ impl Dfa {
             for sym in self.alphabet().symbols() {
                 let t = self.next(q, sym);
                 if visible(t) {
-                    by_target.entry(t).or_default().push(self.alphabet().name(sym));
+                    by_target
+                        .entry(t)
+                        .or_default()
+                        .push(self.alphabet().name(sym));
                 }
             }
             for (t, names) in by_target {

@@ -46,6 +46,26 @@ impl Dfa {
             && self.accepting == other.accepting
             && self.table == other.table
     }
+
+    /// Structural hash of the canonical form: two minimized DFAs satisfy
+    /// `a.same_canonical(&b)` only if `a.canonical_hash() ==
+    /// b.canonical_hash()`. The hash covers exactly the fields
+    /// [`Dfa::same_canonical`] compares (alphabet names, start, accepting
+    /// set, transition table), so the interner can bucket by hash and
+    /// confirm with `same_canonical`. Only meaningful on the output of
+    /// [`Dfa::minimized`].
+    pub fn canonical_hash(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.alphabet().len().hash(&mut h);
+        for sym in self.alphabet().symbols() {
+            self.alphabet().name(sym).hash(&mut h);
+        }
+        self.start.hash(&mut h);
+        self.accepting.hash(&mut h);
+        self.table.hash(&mut h);
+        h.finish()
+    }
 }
 
 /// Hopcroft's partition refinement over the reachable states, in the
@@ -87,10 +107,7 @@ fn hopcroft(dfa: &Dfa, reachable: &[bool]) -> Vec<u32> {
             }
         }
     }
-    let num_acc = elems
-        .iter()
-        .take_while(|&&q| dfa.is_accepting(q))
-        .count();
+    let num_acc = elems.iter().take_while(|&&q| dfa.is_accepting(q)).count();
     let mut loc: Vec<usize> = vec![usize::MAX; n];
     for (i, &q) in elems.iter().enumerate() {
         loc[q as usize] = i;
@@ -107,20 +124,22 @@ fn hopcroft(dfa: &Dfa, reachable: &[bool]) -> Vec<u32> {
     // Worklist with O(1) membership.
     let mut work: VecDeque<(u32, usize)> = VecDeque::new();
     let mut in_work: Vec<bool> = Vec::new();
-    let push_work = |b: u32,
-                     s: usize,
-                     work: &mut VecDeque<(u32, usize)>,
-                     in_work: &mut Vec<bool>| {
-        let ix = b as usize * sigma + s;
-        if !in_work[ix] {
-            in_work[ix] = true;
-            work.push_back((b, s));
-        }
-    };
+    let push_work =
+        |b: u32, s: usize, work: &mut VecDeque<(u32, usize)>, in_work: &mut Vec<bool>| {
+            let ix = b as usize * sigma + s;
+            if !in_work[ix] {
+                in_work[ix] = true;
+                work.push_back((b, s));
+            }
+        };
     in_work.resize(2 * sigma, false);
     // Seed with the smaller initial block (both when equal-sized works
     // too, but smaller suffices for correctness).
-    let seed = if num_acc <= elems.len() - num_acc { 0 } else { 1 };
+    let seed = if num_acc <= elems.len() - num_acc {
+        0
+    } else {
+        1
+    };
     for s in 0..sigma {
         push_work(seed, s, &mut work, &mut in_work);
     }
@@ -335,8 +354,8 @@ mod tests {
     #[test]
     fn minimization_preserves_language_on_wide_alphabet_difference() {
         let names = [
-            "P", "H1", "/H1", "FORM", "/FORM", "INPUT", "BR", "TABLE", "/TABLE", "TR", "/TR",
-            "TH", "/TH", "TD", "/TD", "IMG", "A", "/A",
+            "P", "H1", "/H1", "FORM", "/FORM", "INPUT", "BR", "TABLE", "/TABLE", "TR", "/TR", "TH",
+            "/TH", "TD", "/TD", "IMG", "A", "/A",
         ];
         let a = Alphabet::new(names);
         let header = "((P H1 /H1 P) | (TABLE TR TH IMG /TH /TR TR TD H1 /H1 /TD /TR TR TD A /A /TD /TR TR TD))";

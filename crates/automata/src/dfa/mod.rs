@@ -53,7 +53,11 @@ impl Dfa {
     ) -> Dfa {
         let n = accepting.len();
         assert!(n > 0, "a complete DFA needs at least one state");
-        assert_eq!(table.len(), n * alphabet.len(), "transition table size mismatch");
+        assert_eq!(
+            table.len(),
+            n * alphabet.len(),
+            "transition table size mismatch"
+        );
         assert!((start as usize) < n, "start state out of range");
         assert!(
             table.iter().all(|&t| (t as usize) < n),
@@ -443,7 +447,11 @@ mod tests {
         // p | p p | p p p over {p,q}: minimal DFA has 5 states
         // (0,1,2,3 p's seen ≥... plus dead). Just sanity-check smallness.
         let d = dfa("p | p p | p p p");
-        assert!(d.num_states() <= 5, "not minimized: {} states", d.num_states());
+        assert!(
+            d.num_states() <= 5,
+            "not minimized: {} states",
+            d.num_states()
+        );
         // Σ* must be the one-state automaton.
         assert_eq!(dfa(".*").num_states(), 1);
         assert_eq!(dfa("[]").num_states(), 1);

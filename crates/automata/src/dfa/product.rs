@@ -55,7 +55,10 @@ impl Dfa {
             *index.entry(pair).or_insert_with(|| {
                 let id = pairs.len() as StateId;
                 pairs.push(pair);
-                accepting.push(accept(self.is_accepting(pair.0), other.is_accepting(pair.1)));
+                accepting.push(accept(
+                    self.is_accepting(pair.0),
+                    other.is_accepting(pair.1),
+                ));
                 id
             })
         };
@@ -144,7 +147,11 @@ mod tests {
     #[test]
     fn complement_is_involution() {
         let x = d("(p | q q)*");
-        assert!(x.complement().complement().minimized().same_canonical(&x.minimized()));
+        assert!(x
+            .complement()
+            .complement()
+            .minimized()
+            .same_canonical(&x.minimized()));
     }
 
     #[test]

@@ -222,16 +222,28 @@ mod tests {
     fn quotient_by_empty_language_is_empty() {
         let l1 = d("(p q)*");
         let empty = d("[]");
-        assert!(l1.right_quotient(&empty).minimized().same_canonical(&d("[]")));
-        assert!(l1.left_quotient(&empty).minimized().same_canonical(&d("[]")));
+        assert!(l1
+            .right_quotient(&empty)
+            .minimized()
+            .same_canonical(&d("[]")));
+        assert!(l1
+            .left_quotient(&empty)
+            .minimized()
+            .same_canonical(&d("[]")));
     }
 
     #[test]
     fn quotient_by_epsilon_is_identity() {
         let l1 = d("(p q)* p");
         let eps = d("~");
-        assert!(l1.right_quotient(&eps).minimized().same_canonical(&l1.minimized()));
-        assert!(l1.left_quotient(&eps).minimized().same_canonical(&l1.minimized()));
+        assert!(l1
+            .right_quotient(&eps)
+            .minimized()
+            .same_canonical(&l1.minimized()));
+        assert!(l1
+            .left_quotient(&eps)
+            .minimized()
+            .same_canonical(&l1.minimized()));
     }
 
     #[test]

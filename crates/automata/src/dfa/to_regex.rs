@@ -33,7 +33,10 @@ impl Dfa {
         // Edge regexes, keyed (from, to); parallel edges join by union.
         let mut edge: std::collections::HashMap<(usize, usize), Regex> =
             std::collections::HashMap::new();
-        let add = |from: usize, to: usize, r: Regex, edge: &mut std::collections::HashMap<(usize, usize), Regex>| {
+        let add = |from: usize,
+                   to: usize,
+                   r: Regex,
+                   edge: &mut std::collections::HashMap<(usize, usize), Regex>| {
             if r == Regex::Empty {
                 return;
             }

@@ -1,0 +1,82 @@
+//! Hash-consing of canonical minimal DFAs.
+//!
+//! Every [`Lang`](crate::lang::Lang) in the process is a handle into one
+//! [`Interner`]: canonical minimal DFAs are bucketed by
+//! [`Dfa::canonical_hash`], confirmed with [`Dfa::same_canonical`], and
+//! deduplicated behind [`Arc`]. Interning two different constructions of
+//! the same language yields the same [`LangId`], which is what makes
+//! language equality an O(1) id compare.
+//!
+//! Ids are never recycled: a [`LangId`] stays valid for the life of the
+//! process, so the interner only grows (the memoized *operation* cache in
+//! [`store`](crate::store) is the resettable part).
+
+use crate::dfa::Dfa;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Identity of an interned language. Equal ids ⟺ equal languages (over
+/// compatible alphabets).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct LangId(pub(crate) u32);
+
+impl LangId {
+    /// Dense index into the interner's DFA table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Deduplicating table of canonical minimal DFAs.
+pub(crate) struct Interner {
+    /// canonical hash → candidate ids (collisions resolved by
+    /// `same_canonical`).
+    by_hash: HashMap<u64, Vec<u32>>,
+    /// id → shared canonical DFA.
+    dfas: Vec<Arc<Dfa>>,
+    /// Intern calls answered by an already-present DFA.
+    dedup_hits: u64,
+}
+
+impl Interner {
+    pub(crate) fn new() -> Interner {
+        Interner {
+            by_hash: HashMap::new(),
+            dfas: Vec::new(),
+            dedup_hits: 0,
+        }
+    }
+
+    /// Intern a **canonical minimal** DFA (the caller minimizes first),
+    /// returning its id and the shared automaton.
+    pub(crate) fn intern(&mut self, dfa: Dfa) -> (LangId, Arc<Dfa>) {
+        let hash = dfa.canonical_hash();
+        let bucket = self.by_hash.entry(hash).or_default();
+        for &id in bucket.iter() {
+            let candidate = &self.dfas[id as usize];
+            if candidate.same_canonical(&dfa) {
+                self.dedup_hits += 1;
+                return (LangId(id), Arc::clone(candidate));
+            }
+        }
+        let id = u32::try_from(self.dfas.len()).expect("interner overflow");
+        let shared = Arc::new(dfa);
+        self.dfas.push(Arc::clone(&shared));
+        bucket.push(id);
+        (LangId(id), shared)
+    }
+
+    /// The shared DFA for an id minted by this interner.
+    pub(crate) fn get(&self, id: LangId) -> Arc<Dfa> {
+        Arc::clone(&self.dfas[id.index()])
+    }
+
+    /// Number of distinct languages interned so far.
+    pub(crate) fn len(&self) -> usize {
+        self.dfas.len()
+    }
+
+    pub(crate) fn dedup_hits(&self) -> u64 {
+        self.dedup_hits
+    }
+}

@@ -1,28 +1,37 @@
-//! `Lang`: a regular language as a value.
+//! `Lang`: a regular language as a cheap interned handle.
 //!
-//! [`Lang`] pairs a **canonical minimal DFA** with its alphabet and exposes
-//! the whole algebra the paper uses — boolean operations, quotients,
-//! concatenation, star, reversal, decision procedures — with value
-//! semantics: `==` is language equality (cheap, by canonical-form
-//! comparison), results are always re-canonicalized.
+//! [`Lang`] is a handle into the process-global [`Store`]: it carries the
+//! [`LangId`] of its hash-consed canonical minimal DFA plus a shared
+//! [`Arc`] to the automaton itself. The whole algebra the paper uses —
+//! boolean operations, quotients, concatenation, star, reversal, decision
+//! procedures — routes through the store's memoized operation cache, so
+//! repeated subexpressions are computed once per process.
 //!
-//! This is the type the extraction layer computes with; raw [`Dfa`]/[`Nfa`]
-//! stay internal to hot paths.
+//! Consequences of the handle representation:
+//! * **Clone is O(1)** (an `Arc` bump + id copy).
+//! * **`==` is an O(1) id compare** — hash-consing guarantees equal
+//!   languages over compatible alphabets intern to the same id.
+//! * `Lang` implements [`Hash`] (by id), so languages key hash maps.
+//!
+//! This is the type the extraction layer computes with; raw [`Dfa`]/
+//! [`Nfa`](crate::nfa::Nfa) stay internal to hot paths.
 
 use crate::alphabet::Alphabet;
 use crate::dfa::Dfa;
-use crate::nfa::Nfa;
+use crate::intern::LangId;
 use crate::regex::Regex;
+use crate::store::Store;
 use crate::symbol::Symbol;
 use std::fmt;
+use std::sync::Arc;
 
-/// A regular language over an explicit alphabet, in canonical minimal-DFA
-/// form. Cloning is O(DFA size); equality is O(DFA size) structural
-/// comparison of canonical forms.
+/// A regular language over an explicit alphabet: an interned handle to a
+/// canonical minimal DFA. Cloning is O(1); equality is an O(1) id
+/// compare.
 #[derive(Clone)]
 pub struct Lang {
-    alphabet: Alphabet,
-    dfa: Dfa,
+    id: LangId,
+    dfa: Arc<Dfa>,
 }
 
 impl Lang {
@@ -61,18 +70,26 @@ impl Lang {
         Ok(Lang::from_regex(alphabet, &Regex::parse(alphabet, text)?))
     }
 
-    /// Wrap a DFA, canonicalizing it.
+    /// Wrap a DFA: minimize, hash-cons, and return the canonical handle.
     pub fn from_dfa(dfa: Dfa) -> Lang {
-        let dfa = dfa.minimized();
-        Lang {
-            alphabet: dfa.alphabet().clone(),
-            dfa,
-        }
+        Store::intern_dfa(dfa)
+    }
+
+    /// Store-internal constructor: `dfa` is the interned automaton `id`
+    /// refers to.
+    pub(crate) fn from_store(id: LangId, dfa: Arc<Dfa>) -> Lang {
+        Lang { id, dfa }
+    }
+
+    /// The interned identity of this language. Equal ids ⟺ equal
+    /// languages.
+    pub fn id(&self) -> LangId {
+        self.id
     }
 
     /// The alphabet.
     pub fn alphabet(&self) -> &Alphabet {
-        &self.alphabet
+        self.dfa.alphabet()
     }
 
     /// The canonical minimal DFA.
@@ -91,81 +108,82 @@ impl Lang {
         self.dfa.accepts(word)
     }
 
-    // ----- boolean algebra -------------------------------------------------
+    // ----- boolean algebra (memoized) --------------------------------------
 
     /// `self ∪ other`.
     pub fn union(&self, other: &Lang) -> Lang {
-        Lang::from_dfa(self.dfa.union(&other.dfa))
+        Store::global().union(self, other)
     }
 
     /// `self ∩ other`.
     pub fn intersect(&self, other: &Lang) -> Lang {
-        Lang::from_dfa(self.dfa.intersect(&other.dfa))
+        Store::global().intersect(self, other)
     }
 
     /// `self − other`.
     pub fn difference(&self, other: &Lang) -> Lang {
-        Lang::from_dfa(self.dfa.difference(&other.dfa))
+        Store::global().difference(self, other)
     }
 
     /// `Σ* − self`.
     pub fn complement(&self) -> Lang {
-        Lang::from_dfa(self.dfa.complement())
+        Store::global().complement(self)
     }
 
-    // ----- rational operations ---------------------------------------------
+    // ----- rational operations (memoized) ----------------------------------
 
     /// Concatenation `self · other`.
     pub fn concat(&self, other: &Lang) -> Lang {
-        let n1 = Nfa::from_dfa(&self.dfa);
-        let n2 = Nfa::from_dfa(&other.dfa);
-        Lang::from_dfa(Dfa::from_nfa(&nfa_concat2(n1, n2)))
+        Store::global().concat(self, other)
     }
 
     /// Kleene star `self*`.
     pub fn star(&self) -> Lang {
-        Lang::from_dfa(Dfa::from_nfa(&nfa_star(Nfa::from_dfa(&self.dfa))))
+        Store::global().star(self)
     }
 
     /// Reversal `{ wᴿ | w ∈ self }`.
     pub fn reversed(&self) -> Lang {
-        Lang::from_dfa(Dfa::from_nfa(&Nfa::from_dfa(&self.dfa).reversed()))
+        Store::global().reversed(self)
     }
 
-    // ----- quotients (Definition 5.1) ---------------------------------------
+    // ----- quotients (Definition 5.1, memoized) -----------------------------
 
     /// Suffix factorization `self / by = { α | ∃β ∈ by, α·β ∈ self }`.
     pub fn right_quotient(&self, by: &Lang) -> Lang {
-        Lang::from_dfa(self.dfa.right_quotient(&by.dfa))
+        Store::global().right_quotient(self, by)
     }
 
     /// Prefix factorization `by \ self = { α | ∃β ∈ by, β·α ∈ self }`.
     pub fn left_quotient(&self, by: &Lang) -> Lang {
-        Lang::from_dfa(self.dfa.left_quotient(&by.dfa))
+        Store::global().left_quotient(self, by)
     }
 
-    // ----- decision procedures ----------------------------------------------
+    // ----- decision procedures (memoized) -----------------------------------
 
     /// Is the language empty?
     pub fn is_empty(&self) -> bool {
-        self.dfa.is_empty_lang()
+        Store::global().is_empty(self)
     }
 
     /// Is the language `Σ*`? (Lemma 5.9's test; exponential only through the
     /// regex→DFA step, linear here.)
     pub fn is_universal(&self) -> bool {
-        self.dfa.is_universal()
+        Store::global().is_universal(self)
     }
 
     /// `self ⊆ other`.
     pub fn is_subset_of(&self, other: &Lang) -> bool {
-        self.dfa.is_subset_of(&other.dfa)
+        Store::global().is_subset(self, other)
     }
 
-    /// Does ε belong to the language?
+    /// Does ε belong to the language? (O(1) on the canonical DFA — not
+    /// worth a cache entry.)
     pub fn is_nullable(&self) -> bool {
         self.dfa.accepts(&[])
     }
+
+    // ----- analyses on the shared DFA ---------------------------------------
 
     /// A shortest member, or `None` when empty. Deterministic.
     pub fn shortest_member(&self) -> Option<Vec<Symbol>> {
@@ -201,89 +219,28 @@ impl Lang {
 
     /// Render via [`Lang::to_regex`].
     pub fn to_text(&self) -> String {
-        self.to_regex().to_text(&self.alphabet)
+        self.to_regex().to_text(self.alphabet())
     }
-}
-
-/// NFA concatenation of two single-part NFAs (helper for [`Lang::concat`]).
-fn nfa_concat2(n1: Nfa, n2: Nfa) -> Nfa {
-    // Reuse the regex-free composition path in `dfa`: express via assemble.
-    let alphabet = n1.alphabet().clone();
-    let off = n1.num_states() as u32;
-    let mut edges = Vec::new();
-    let mut eps = Vec::new();
-    let mut accepting = Vec::new();
-    for q in 0..n1.num_states() as u32 {
-        for (set, t) in n1.transitions(q) {
-            edges.push((q, set.clone(), t));
-        }
-        for t in n1.eps_transitions(q) {
-            eps.push((q, t));
-        }
-        if n1.is_accepting(q) {
-            for &s2 in n2.starts() {
-                eps.push((q, s2 + off));
-            }
-        }
-    }
-    for q in 0..n2.num_states() as u32 {
-        for (set, t) in n2.transitions(q) {
-            edges.push((q + off, set.clone(), t + off));
-        }
-        for t in n2.eps_transitions(q) {
-            eps.push((q + off, t + off));
-        }
-        if n2.is_accepting(q) {
-            accepting.push(q + off);
-        }
-    }
-    let starts = n1.starts().to_vec();
-    Nfa::assemble(
-        alphabet,
-        off + n2.num_states() as u32,
-        edges,
-        eps,
-        starts,
-        accepting,
-    )
-}
-
-/// NFA Kleene star: fresh accepting hub with ε to starts and from accepts.
-fn nfa_star(inner: Nfa) -> Nfa {
-    let alphabet = inner.alphabet().clone();
-    let hub = inner.num_states() as u32;
-    let mut edges = Vec::new();
-    let mut eps = Vec::new();
-    let mut accepting = vec![hub];
-    for q in 0..inner.num_states() as u32 {
-        for (set, t) in inner.transitions(q) {
-            edges.push((q, set.clone(), t));
-        }
-        for t in inner.eps_transitions(q) {
-            eps.push((q, t));
-        }
-        if inner.is_accepting(q) {
-            accepting.push(q);
-            eps.push((q, hub));
-        }
-    }
-    for &s in inner.starts() {
-        eps.push((hub, s));
-    }
-    Nfa::assemble(alphabet, hub + 1, edges, eps, vec![hub], accepting)
 }
 
 impl PartialEq for Lang {
+    /// O(1): hash-consing guarantees equal languages share an id.
     fn eq(&self, other: &Self) -> bool {
-        self.dfa.same_canonical(&other.dfa)
+        self.id == other.id
     }
 }
 
 impl Eq for Lang {}
 
+impl std::hash::Hash for Lang {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.id.hash(state);
+    }
+}
+
 impl fmt::Debug for Lang {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Lang({})", self.to_text())
+        write!(f, "Lang#{}({})", self.id.index(), self.to_text())
     }
 }
 
@@ -304,6 +261,26 @@ mod tests {
         assert_eq!(l("p p*"), l("p+"));
         assert_eq!(l("(p | q)*"), l(".*"));
         assert_ne!(l("p*"), l("p+"));
+    }
+
+    #[test]
+    fn equal_languages_share_one_interned_id() {
+        let a = l("p p*");
+        let b = l("p+");
+        assert_eq!(a.id(), b.id());
+        assert!(
+            Arc::ptr_eq(&a.dfa, &b.dfa),
+            "hash-consing must share the DFA"
+        );
+        assert_ne!(l("p*").id(), l("p+").id());
+    }
+
+    #[test]
+    fn clone_shares_the_same_automaton() {
+        let x = l("(p q)* p?");
+        let y = x.clone();
+        assert_eq!(x.id(), y.id());
+        assert!(Arc::ptr_eq(&x.dfa, &y.dfa));
     }
 
     #[test]
@@ -352,6 +329,25 @@ mod tests {
     }
 
     #[test]
+    fn cached_ops_agree_with_uncached() {
+        let x = l("(p q)* p?");
+        let y = l("q .*");
+        let u = Store::uncached();
+        assert_eq!(x.union(&y), u.union(&x, &y));
+        assert_eq!(x.intersect(&y), u.intersect(&x, &y));
+        assert_eq!(x.difference(&y), u.difference(&x, &y));
+        assert_eq!(x.concat(&y), u.concat(&x, &y));
+        assert_eq!(x.complement(), u.complement(&x));
+        assert_eq!(x.star(), u.star(&x));
+        assert_eq!(x.reversed(), u.reversed(&x));
+        assert_eq!(x.right_quotient(&y), u.right_quotient(&x, &y));
+        assert_eq!(x.left_quotient(&y), u.left_quotient(&x, &y));
+        assert_eq!(x.is_empty(), u.is_empty(&x));
+        assert_eq!(x.is_universal(), u.is_universal(&x));
+        assert_eq!(x.is_subset_of(&y), u.is_subset(&x, &y));
+    }
+
+    #[test]
     fn literal_and_membership() {
         let a = ab();
         let w = a.str_to_syms("p q p").unwrap();
@@ -386,6 +382,6 @@ mod tests {
     #[test]
     fn debug_shows_regex() {
         let s = format!("{:?}", l("p q"));
-        assert!(s.starts_with("Lang("), "{s}");
+        assert!(s.starts_with("Lang#"), "{s}");
     }
 }

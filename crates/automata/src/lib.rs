@@ -26,8 +26,10 @@
 //! * complete deterministic automata with subset construction, Hopcroft
 //!   minimization, boolean products, reversal, quotients, decision
 //!   procedures, and DFA→regex state elimination ([`dfa`]),
-//! * a high-level [`lang::Lang`] facade tying a minimal DFA to its
-//!   alphabet with value semantics ([`lang`]),
+//! * an interned language store hash-consing canonical minimal DFAs with
+//!   a memoized operation cache ([`intern`], [`store`]),
+//! * a high-level [`lang::Lang`] facade — a cheap interned handle whose
+//!   algebra routes through the store ([`lang`]),
 //! * bounded enumeration and random sampling of language members
 //!   ([`sample`]).
 //!
@@ -52,25 +54,31 @@
 
 pub mod alphabet;
 pub mod dfa;
+pub mod intern;
 pub mod lang;
 pub mod nfa;
 pub mod regex;
 pub mod sample;
+pub mod store;
 pub mod symbol;
 
 /// Convenient glob-import of the most frequently used types.
 pub mod prelude {
     pub use crate::alphabet::{Alphabet, SymbolSet};
     pub use crate::dfa::Dfa;
+    pub use crate::intern::LangId;
     pub use crate::lang::Lang;
     pub use crate::nfa::Nfa;
     pub use crate::regex::Regex;
+    pub use crate::store::{Store, StoreStats};
     pub use crate::symbol::Symbol;
 }
 
 pub use alphabet::{Alphabet, SymbolSet};
 pub use dfa::Dfa;
+pub use intern::LangId;
 pub use lang::Lang;
 pub use nfa::Nfa;
 pub use regex::Regex;
+pub use store::{Store, StoreStats};
 pub use symbol::Symbol;

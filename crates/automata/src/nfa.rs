@@ -66,7 +66,10 @@ impl Nfa {
 
     /// Iterate the labeled transitions of `s`.
     pub fn transitions(&self, s: StateId) -> impl Iterator<Item = (&SymbolSet, StateId)> + '_ {
-        self.states[s as usize].trans.iter().map(|(set, t)| (set, *t))
+        self.states[s as usize]
+            .trans
+            .iter()
+            .map(|(set, t)| (set, *t))
     }
 
     /// Iterate the ε-transitions of `s`.
@@ -175,7 +178,7 @@ impl Nfa {
                 let entry_rep = self.build_fragment(inner, loop_hub);
                 self.add_eps(loop_hub, entry_rep);
                 self.add_eps(loop_hub, to);
-                
+
                 self.build_fragment(inner, loop_hub)
             }
             Regex::Opt(inner) => {

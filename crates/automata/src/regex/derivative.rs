@@ -47,6 +47,9 @@ impl Regex {
     }
 
     /// The Brzozowski derivative `sym⁻¹ self`.
+    // `alphabet` is part of the public signature for symmetry with the rest
+    // of the regex API even though the derivative itself never consults it.
+    #[allow(clippy::only_used_in_recursion)]
     pub fn derivative(&self, alphabet: &Alphabet, sym: Symbol) -> Regex {
         match self {
             Regex::Empty | Regex::Epsilon => Regex::Empty,
@@ -70,10 +73,7 @@ impl Regex {
             }
             Regex::Alt(v) => Regex::alt(v.iter().map(|r| r.derivative(alphabet, sym))),
             Regex::Star(r) => Regex::concat([r.derivative(alphabet, sym), self.clone()]),
-            Regex::Plus(r) => Regex::concat([
-                r.derivative(alphabet, sym),
-                r.clone().star(),
-            ]),
+            Regex::Plus(r) => Regex::concat([r.derivative(alphabet, sym), r.clone().star()]),
             Regex::Opt(r) => r.derivative(alphabet, sym),
             Regex::And(v) => Regex::and(v.iter().map(|r| r.derivative(alphabet, sym))),
             Regex::Not(r) => r.derivative(alphabet, sym).not(),
@@ -116,10 +116,7 @@ pub fn compile_derivative(alphabet: &Alphabet, regex: &Regex) -> Dfa {
     let mut table: Vec<u32> = Vec::new();
     let mut accepting: Vec<bool> = Vec::new();
 
-    let mut intern = |re: Regex,
-                      states: &mut Vec<Regex>,
-                      accepting: &mut Vec<bool>|
-     -> u32 {
+    let mut intern = |re: Regex, states: &mut Vec<Regex>, accepting: &mut Vec<bool>| -> u32 {
         if let Some(&ix) = index.get(&re) {
             return ix;
         }

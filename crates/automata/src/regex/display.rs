@@ -34,7 +34,10 @@ pub struct RegexDisplay<'a> {
 impl Regex {
     /// Adapter implementing `Display` using `alphabet` for symbol names.
     pub fn display<'a>(&'a self, alphabet: &'a Alphabet) -> RegexDisplay<'a> {
-        RegexDisplay { regex: self, alphabet }
+        RegexDisplay {
+            regex: self,
+            alphabet,
+        }
     }
 
     /// Shorthand: render to a `String`.

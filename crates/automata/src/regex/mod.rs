@@ -145,7 +145,9 @@ impl Regex {
             }
         }
         match out.len() {
-            0 => panic!("intersection of zero regexes is Σ*, which needs an alphabet; use Regex::universe"),
+            0 => panic!(
+                "intersection of zero regexes is Σ*, which needs an alphabet; use Regex::universe"
+            ),
             1 => out.pop().expect("len checked"),
             _ => Regex::And(out),
         }
@@ -327,7 +329,10 @@ mod tests {
         let p = Regex::sym(&a, a.sym("p"));
         assert_eq!(p.repeat(0), Regex::Epsilon);
         assert_eq!(p.repeat(1), p);
-        assert_eq!(p.repeat(3), Regex::Concat(vec![p.clone(), p.clone(), p.clone()]));
+        assert_eq!(
+            p.repeat(3),
+            Regex::Concat(vec![p.clone(), p.clone(), p.clone()])
+        );
     }
 
     #[test]

@@ -41,7 +41,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "regex parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "regex parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -246,13 +250,10 @@ impl<'a> Parser<'a> {
     fn parse_atom(&mut self) -> Result<Regex, ParseError> {
         match self.bump() {
             Some(Tok::Ident(name)) => {
-                let s = self
-                    .alphabet
-                    .try_sym(&name)
-                    .ok_or_else(|| ParseError {
-                        offset: self.toks[self.pos - 1].offset,
-                        message: format!("unknown symbol {name:?}"),
-                    })?;
+                let s = self.alphabet.try_sym(&name).ok_or_else(|| ParseError {
+                    offset: self.toks[self.pos - 1].offset,
+                    message: format!("unknown symbol {name:?}"),
+                })?;
                 Ok(Regex::sym(self.alphabet, s))
             }
             Some(Tok::Dot) => Ok(Regex::any(self.alphabet)),
@@ -321,12 +322,15 @@ mod tests {
         assert_eq!(p("~"), Regex::Epsilon);
         assert_eq!(p("[]"), Regex::Empty);
         assert_eq!(p("."), Regex::any(&a));
-        assert_eq!(p("[p q]"), Regex::class({
-            let mut s = a.empty_set();
-            s.insert(a.sym("p"));
-            s.insert(a.sym("q"));
-            s
-        }));
+        assert_eq!(
+            p("[p q]"),
+            Regex::class({
+                let mut s = a.empty_set();
+                s.insert(a.sym("p"));
+                s.insert(a.sym("q"));
+                s
+            })
+        );
         assert_eq!(p("[^p]"), Regex::not_sym(&a, a.sym("p")));
     }
 
@@ -337,7 +341,10 @@ mod tests {
         let sq = Regex::sym(&a, a.sym("q"));
         assert_eq!(p("p q"), Regex::concat([sp.clone(), sq.clone()]));
         assert_eq!(p("p*"), sp.clone().star());
-        assert_eq!(p("p+ q?"), Regex::concat([sp.clone().plus(), sq.clone().opt()]));
+        assert_eq!(
+            p("p+ q?"),
+            Regex::concat([sp.clone().plus(), sq.clone().opt()])
+        );
         assert_eq!(p("(p q)*"), Regex::concat([sp, sq]).star());
     }
 

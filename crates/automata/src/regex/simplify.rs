@@ -130,9 +130,7 @@ fn simplify_alt(parts: Vec<Regex>) -> Regex {
             let only = out.pop().expect("len checked");
             return only.opt();
         }
-        let some_nullable = out
-            .iter()
-            .any(|r| r.syntactic_nullable() == Some(true));
+        let some_nullable = out.iter().any(|r| r.syntactic_nullable() == Some(true));
         if !some_nullable {
             return Regex::alt(out).opt();
         }

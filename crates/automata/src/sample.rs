@@ -57,13 +57,13 @@ pub fn count_by_length(lang: &Lang, max_len: usize) -> Vec<u64> {
             .sum();
         out.push(accepted);
         let mut next = vec![0u64; n];
-        for q in 0..n {
-            if occ[q] == 0 {
+        for (q, &count) in occ.iter().enumerate() {
+            if count == 0 {
                 continue;
             }
             for sym in dfa.alphabet().symbols() {
                 let t = dfa.next(q as StateId, sym) as usize;
-                next[t] = next[t].saturating_add(occ[q]);
+                next[t] = next[t].saturating_add(count);
             }
         }
         occ = next;
@@ -227,9 +227,9 @@ mod tests {
         let lang = l("(p | q q)*");
         let counts = count_by_length(&lang, 6);
         let words = enumerate_upto(&lang, 6);
-        for len in 0..=6 {
+        for (len, &count) in counts.iter().enumerate() {
             let enumerated = words.iter().filter(|w| w.len() == len).count() as u64;
-            assert_eq!(counts[len], enumerated, "length {len}");
+            assert_eq!(count, enumerated, "length {len}");
         }
     }
 

@@ -1,0 +1,501 @@
+//! The interned language store: hash-consed DFAs + memoized operations.
+//!
+//! All [`Lang`] values are handles into one process-global store. The
+//! store has two layers:
+//!
+//! 1. an [`Interner`] of canonical minimal DFAs (never cleared — ids stay
+//!    valid for the life of the process), and
+//! 2. a **memoized operation cache** keyed by `(op, lhs_id, rhs_id)` for
+//!    binary operations (`rhs_id = u32::MAX` for unary ones), mapping to
+//!    either a result language id or a decision-procedure boolean.
+//!
+//! The paper's algorithms (Props. 5.4/5.5, Cor. 5.8, Alg. 6.2) apply the
+//! same small algebra to overlapping subexpressions over and over; with
+//! the cache, each distinct `(op, operands)` pair pays the automaton
+//! construction exactly once per process.
+//!
+//! [`Store`] itself is a copyable policy handle: [`Store::global`]
+//! consults the cache, [`Store::uncached`] recomputes every operation
+//! from the DFAs (still interning results, so cached and uncached results
+//! remain comparable by id — that is the cross-check tests' lever).
+//! Commutative operations (union, intersection) normalize their key so
+//! `a ∪ b` and `b ∪ a` share one entry.
+//!
+//! Hit/miss counters per operation are exposed through [`StoreStats`]
+//! snapshots; [`Store::reset_op_cache`] clears the cache and counters
+//! (but never the interner) so benches can measure cold vs warm runs.
+
+use crate::dfa::Dfa;
+use crate::intern::{Interner, LangId};
+use crate::lang::Lang;
+use crate::nfa::Nfa;
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+/// Operations the store memoizes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Op {
+    Union,
+    Intersect,
+    Difference,
+    Concat,
+    Complement,
+    Star,
+    Reverse,
+    RightQuotient,
+    LeftQuotient,
+    IsEmpty,
+    IsUniversal,
+    IsSubset,
+}
+
+const OP_COUNT: usize = 12;
+
+impl Op {
+    fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable lowercase name for stats rendering.
+    pub fn name(self) -> &'static str {
+        match self {
+            Op::Union => "union",
+            Op::Intersect => "intersect",
+            Op::Difference => "difference",
+            Op::Concat => "concat",
+            Op::Complement => "complement",
+            Op::Star => "star",
+            Op::Reverse => "reverse",
+            Op::RightQuotient => "right_quotient",
+            Op::LeftQuotient => "left_quotient",
+            Op::IsEmpty => "is_empty",
+            Op::IsUniversal => "is_universal",
+            Op::IsSubset => "is_subset",
+        }
+    }
+
+    fn all() -> [Op; OP_COUNT] {
+        [
+            Op::Union,
+            Op::Intersect,
+            Op::Difference,
+            Op::Concat,
+            Op::Complement,
+            Op::Star,
+            Op::Reverse,
+            Op::RightQuotient,
+            Op::LeftQuotient,
+            Op::IsEmpty,
+            Op::IsUniversal,
+            Op::IsSubset,
+        ]
+    }
+}
+
+/// Sentinel rhs for unary operations.
+const NO_RHS: u32 = u32::MAX;
+
+#[derive(Clone, Copy)]
+enum CacheEntry {
+    Lang(u32),
+    Bool(bool),
+}
+
+struct StoreInner {
+    interner: Interner,
+    op_cache: HashMap<(Op, u32, u32), CacheEntry>,
+    hits: [u64; OP_COUNT],
+    misses: [u64; OP_COUNT],
+}
+
+impl StoreInner {
+    fn new() -> StoreInner {
+        StoreInner {
+            interner: Interner::new(),
+            op_cache: HashMap::new(),
+            hits: [0; OP_COUNT],
+            misses: [0; OP_COUNT],
+        }
+    }
+}
+
+fn inner() -> &'static Mutex<StoreInner> {
+    static STORE: OnceLock<Mutex<StoreInner>> = OnceLock::new();
+    STORE.get_or_init(|| Mutex::new(StoreInner::new()))
+}
+
+fn lock() -> std::sync::MutexGuard<'static, StoreInner> {
+    // A panic mid-lock can only poison pure cache state; recover it.
+    inner().lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Copyable policy handle over the process-global language store.
+#[derive(Clone, Copy, Debug)]
+pub struct Store {
+    cached: bool,
+}
+
+impl Store {
+    /// The default handle: memoized operations.
+    pub fn global() -> Store {
+        Store { cached: true }
+    }
+
+    /// Escape hatch: recompute every operation from the DFAs, bypassing
+    /// the op cache (results are still interned, so they compare by id
+    /// against cached results). For tests and benchmarks.
+    pub fn uncached() -> Store {
+        Store { cached: false }
+    }
+
+    /// Whether this handle consults the op cache.
+    pub fn is_cached(&self) -> bool {
+        self.cached
+    }
+
+    /// Minimize and intern a DFA, yielding the canonical handle for its
+    /// language. This is the single entry point through which every
+    /// `Lang` comes into existence.
+    pub fn intern_dfa(dfa: Dfa) -> Lang {
+        let minimal = dfa.minimized();
+        let (id, shared) = lock().interner.intern(minimal);
+        Lang::from_store(id, shared)
+    }
+
+    /// Snapshot the store's counters. Counters are monotone between
+    /// [`Store::reset_op_cache`] calls.
+    pub fn stats() -> StoreStats {
+        let guard = lock();
+        let per_op = Op::all()
+            .iter()
+            .map(|&op| OpStats {
+                name: op.name(),
+                hits: guard.hits[op.index()],
+                misses: guard.misses[op.index()],
+            })
+            .collect();
+        StoreStats {
+            interned: guard.interner.len() as u64,
+            dedup_hits: guard.interner.dedup_hits(),
+            op_cache_size: guard.op_cache.len() as u64,
+            per_op,
+        }
+    }
+
+    /// Clear the memoized operation cache and its hit/miss counters. The
+    /// interner is deliberately untouched: live [`LangId`]s must stay
+    /// valid. Benches use this to compare cold and warm runs.
+    pub fn reset_op_cache() {
+        let mut guard = lock();
+        guard.op_cache.clear();
+        guard.hits = [0; OP_COUNT];
+        guard.misses = [0; OP_COUNT];
+    }
+
+    // ----- the memoized algebra --------------------------------------------
+
+    pub fn union(&self, a: &Lang, b: &Lang) -> Lang {
+        self.binary_commutative(Op::Union, a, b, |x, y| x.union(y))
+    }
+
+    pub fn intersect(&self, a: &Lang, b: &Lang) -> Lang {
+        self.binary_commutative(Op::Intersect, a, b, |x, y| x.intersect(y))
+    }
+
+    pub fn difference(&self, a: &Lang, b: &Lang) -> Lang {
+        self.binary(Op::Difference, a, b, |x, y| x.difference(y))
+    }
+
+    pub fn concat(&self, a: &Lang, b: &Lang) -> Lang {
+        self.binary(Op::Concat, a, b, |x, y| {
+            Dfa::from_nfa(&nfa_concat2(Nfa::from_dfa(x), Nfa::from_dfa(y)))
+        })
+    }
+
+    pub fn complement(&self, a: &Lang) -> Lang {
+        self.unary(Op::Complement, a, |x| x.complement())
+    }
+
+    pub fn star(&self, a: &Lang) -> Lang {
+        self.unary(Op::Star, a, |x| Dfa::from_nfa(&nfa_star(Nfa::from_dfa(x))))
+    }
+
+    pub fn reversed(&self, a: &Lang) -> Lang {
+        self.unary(Op::Reverse, a, |x| {
+            Dfa::from_nfa(&Nfa::from_dfa(x).reversed())
+        })
+    }
+
+    pub fn right_quotient(&self, a: &Lang, by: &Lang) -> Lang {
+        self.binary(Op::RightQuotient, a, by, |x, y| x.right_quotient(y))
+    }
+
+    pub fn left_quotient(&self, a: &Lang, by: &Lang) -> Lang {
+        self.binary(Op::LeftQuotient, a, by, |x, y| x.left_quotient(y))
+    }
+
+    // ----- memoized decision procedures ------------------------------------
+
+    pub fn is_empty(&self, a: &Lang) -> bool {
+        self.decide(Op::IsEmpty, a.id(), NO_RHS, || a.dfa().is_empty_lang())
+    }
+
+    pub fn is_universal(&self, a: &Lang) -> bool {
+        self.decide(Op::IsUniversal, a.id(), NO_RHS, || a.dfa().is_universal())
+    }
+
+    pub fn is_subset(&self, a: &Lang, b: &Lang) -> bool {
+        self.decide(Op::IsSubset, a.id(), b.id().0, || {
+            a.dfa().is_subset_of(b.dfa())
+        })
+    }
+
+    // ----- plumbing --------------------------------------------------------
+
+    fn binary_commutative(
+        &self,
+        op: Op,
+        a: &Lang,
+        b: &Lang,
+        compute: impl FnOnce(&Dfa, &Dfa) -> Dfa,
+    ) -> Lang {
+        // One cache entry serves both argument orders.
+        let (lo, hi) = if a.id() <= b.id() {
+            (a.id().0, b.id().0)
+        } else {
+            (b.id().0, a.id().0)
+        };
+        self.memoized_lang(op, lo, hi, || compute(a.dfa(), b.dfa()))
+    }
+
+    fn binary(&self, op: Op, a: &Lang, b: &Lang, compute: impl FnOnce(&Dfa, &Dfa) -> Dfa) -> Lang {
+        self.memoized_lang(op, a.id().0, b.id().0, || compute(a.dfa(), b.dfa()))
+    }
+
+    fn unary(&self, op: Op, a: &Lang, compute: impl FnOnce(&Dfa) -> Dfa) -> Lang {
+        self.memoized_lang(op, a.id().0, NO_RHS, || compute(a.dfa()))
+    }
+
+    /// Cache-or-compute for operations producing a language. The compute
+    /// closure runs *outside* the store lock; concurrent threads may
+    /// race-compute the same entry, which is benign (both intern to the
+    /// same id and the second insert overwrites with an equal value).
+    fn memoized_lang(&self, op: Op, lhs: u32, rhs: u32, compute: impl FnOnce() -> Dfa) -> Lang {
+        let key = (op, lhs, rhs);
+        if self.cached {
+            let mut guard = lock();
+            if let Some(&CacheEntry::Lang(id)) = guard.op_cache.get(&key) {
+                guard.hits[op.index()] += 1;
+                let id = LangId(id);
+                let shared = guard.interner.get(id);
+                return Lang::from_store(id, shared);
+            }
+            guard.misses[op.index()] += 1;
+        }
+        let minimal = compute().minimized();
+        let mut guard = lock();
+        let (id, shared) = guard.interner.intern(minimal);
+        if self.cached {
+            guard.op_cache.insert(key, CacheEntry::Lang(id.0));
+        }
+        drop(guard);
+        Lang::from_store(id, shared)
+    }
+
+    /// Cache-or-compute for decision procedures.
+    fn decide(&self, op: Op, lhs: LangId, rhs: u32, compute: impl FnOnce() -> bool) -> bool {
+        let key = (op, lhs.0, rhs);
+        if self.cached {
+            let mut guard = lock();
+            if let Some(&CacheEntry::Bool(v)) = guard.op_cache.get(&key) {
+                guard.hits[op.index()] += 1;
+                return v;
+            }
+            guard.misses[op.index()] += 1;
+        }
+        let value = compute();
+        if self.cached {
+            lock().op_cache.insert(key, CacheEntry::Bool(value));
+        }
+        value
+    }
+}
+
+// ----- statistics -----------------------------------------------------------
+
+/// Per-operation hit/miss counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OpStats {
+    pub name: &'static str,
+    pub hits: u64,
+    pub misses: u64,
+}
+
+/// A snapshot of the store's counters (see [`Store::stats`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Distinct languages interned since process start (never resets).
+    pub interned: u64,
+    /// Intern calls answered by an existing canonical DFA (never resets).
+    pub dedup_hits: u64,
+    /// Current number of memoized operation entries.
+    pub op_cache_size: u64,
+    /// Hit/miss counters per operation since the last
+    /// [`Store::reset_op_cache`].
+    pub per_op: Vec<OpStats>,
+}
+
+impl StoreStats {
+    /// Total op-cache hits across operations.
+    pub fn hits(&self) -> u64 {
+        self.per_op.iter().map(|o| o.hits).sum()
+    }
+
+    /// Total op-cache misses across operations.
+    pub fn misses(&self) -> u64 {
+        self.per_op.iter().map(|o| o.misses).sum()
+    }
+
+    /// Hits / (hits + misses), or 0 when no operations ran.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits() + self.misses();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits() as f64 / total as f64
+        }
+    }
+
+    /// Counter deltas relative to an `earlier` snapshot (counters are
+    /// monotone between resets, so deltas are well-defined; gauges like
+    /// `op_cache_size` are reported at `self`'s time).
+    pub fn since(&self, earlier: &StoreStats) -> StoreStats {
+        let per_op = self
+            .per_op
+            .iter()
+            .map(|o| {
+                let before = earlier
+                    .per_op
+                    .iter()
+                    .find(|e| e.name == o.name)
+                    .copied()
+                    .unwrap_or(OpStats {
+                        name: o.name,
+                        hits: 0,
+                        misses: 0,
+                    });
+                OpStats {
+                    name: o.name,
+                    hits: o.hits.saturating_sub(before.hits),
+                    misses: o.misses.saturating_sub(before.misses),
+                }
+            })
+            .collect();
+        StoreStats {
+            interned: self.interned.saturating_sub(earlier.interned),
+            dedup_hits: self.dedup_hits.saturating_sub(earlier.dedup_hits),
+            op_cache_size: self.op_cache_size,
+            per_op,
+        }
+    }
+
+    /// One-line summary, e.g. for bench tables.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} hits / {} misses ({:.1}% hit rate), {} langs interned ({} deduped), {} cache entries",
+            self.hits(),
+            self.misses(),
+            self.hit_rate() * 100.0,
+            self.interned,
+            self.dedup_hits,
+            self.op_cache_size
+        )
+    }
+
+    /// Multi-line per-operation breakdown (operations that never ran are
+    /// omitted).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("store: {}\n", self.summary()));
+        for o in &self.per_op {
+            if o.hits + o.misses == 0 {
+                continue;
+            }
+            let rate = o.hits as f64 / (o.hits + o.misses) as f64 * 100.0;
+            out.push_str(&format!(
+                "  {:<16} {:>8} hits {:>8} misses  ({:>5.1}%)\n",
+                o.name, o.hits, o.misses, rate
+            ));
+        }
+        out
+    }
+}
+
+// ----- raw NFA compositions used by concat/star ------------------------------
+
+/// NFA concatenation of two NFAs (helper for [`Store::concat`]).
+fn nfa_concat2(n1: Nfa, n2: Nfa) -> Nfa {
+    let alphabet = n1.alphabet().clone();
+    let off = n1.num_states() as u32;
+    let mut edges = Vec::new();
+    let mut eps = Vec::new();
+    let mut accepting = Vec::new();
+    for q in 0..n1.num_states() as u32 {
+        for (set, t) in n1.transitions(q) {
+            edges.push((q, set.clone(), t));
+        }
+        for t in n1.eps_transitions(q) {
+            eps.push((q, t));
+        }
+        if n1.is_accepting(q) {
+            for &s2 in n2.starts() {
+                eps.push((q, s2 + off));
+            }
+        }
+    }
+    for q in 0..n2.num_states() as u32 {
+        for (set, t) in n2.transitions(q) {
+            edges.push((q + off, set.clone(), t + off));
+        }
+        for t in n2.eps_transitions(q) {
+            eps.push((q + off, t + off));
+        }
+        if n2.is_accepting(q) {
+            accepting.push(q + off);
+        }
+    }
+    let starts = n1.starts().to_vec();
+    Nfa::assemble(
+        alphabet,
+        off + n2.num_states() as u32,
+        edges,
+        eps,
+        starts,
+        accepting,
+    )
+}
+
+/// NFA Kleene star: fresh accepting hub with ε to starts and from accepts.
+fn nfa_star(inner: Nfa) -> Nfa {
+    let alphabet = inner.alphabet().clone();
+    let hub = inner.num_states() as u32;
+    let mut edges = Vec::new();
+    let mut eps = Vec::new();
+    let mut accepting = vec![hub];
+    for q in 0..inner.num_states() as u32 {
+        for (set, t) in inner.transitions(q) {
+            edges.push((q, set.clone(), t));
+        }
+        for t in inner.eps_transitions(q) {
+            eps.push((q, t));
+        }
+        if inner.is_accepting(q) {
+            accepting.push(q);
+            eps.push((q, hub));
+        }
+    }
+    for &s in inner.starts() {
+        eps.push((hub, s));
+    }
+    Nfa::assemble(alphabet, hub + 1, edges, eps, vec![hub], accepting)
+}

@@ -44,7 +44,8 @@ fn deeply_nested_extended_operators() {
     for w in enumerate_upto(&Lang::universe(&a), 5) {
         let in_p_star = w.iter().all(|&s| s == a.sym("p"));
         let is_q = w.len() == 1 && w[0] == a.sym("q");
-        let inner = !in_p_star && !(is_q && true);
+        // (q & !p) = {q}: the one-symbol word q is trivially not the word p.
+        let inner = !in_p_star && !is_q;
         assert_eq!(l.contains(&w), !inner, "word {:?}", a.syms_to_str(&w));
     }
 }
@@ -97,19 +98,13 @@ fn counting_matches_closed_form_for_sigma_star() {
 fn dfa_from_parts_validation() {
     let a = Alphabet::new(["p"]);
     // wrong table size
-    let bad = std::panic::catch_unwind(|| {
-        Dfa::from_parts(a.clone(), vec![0, 0], vec![true], 0)
-    });
+    let bad = std::panic::catch_unwind(|| Dfa::from_parts(a.clone(), vec![0, 0], vec![true], 0));
     assert!(bad.is_err());
     // out-of-range target
-    let bad = std::panic::catch_unwind(|| {
-        Dfa::from_parts(a.clone(), vec![7], vec![true], 0)
-    });
+    let bad = std::panic::catch_unwind(|| Dfa::from_parts(a.clone(), vec![7], vec![true], 0));
     assert!(bad.is_err());
     // out-of-range start
-    let bad = std::panic::catch_unwind(|| {
-        Dfa::from_parts(a.clone(), vec![0], vec![true], 3)
-    });
+    let bad = std::panic::catch_unwind(|| Dfa::from_parts(a.clone(), vec![0], vec![true], 3));
     assert!(bad.is_err());
 }
 

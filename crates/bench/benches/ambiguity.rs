@@ -10,8 +10,11 @@
 //! The table printed at startup reports compiled DFA sizes so the scaling
 //! series can be read against the paper's size measure.
 
-use bench::{alphabet_of, ambiguous_expr, anchored_expr, print_table};
+use bench::{
+    alphabet_of, ambiguous_expr, anchored_expr, cache_before_after, print_table, CACHE_TABLE_HEADER,
+};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rextract_automata::Store;
 use std::hint::black_box;
 
 fn bench_quotient_test(c: &mut Criterion) {
@@ -70,10 +73,42 @@ fn bench_marker_test_comparison(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_cache_effect(c: &mut Criterion) {
+    // Repeated ambiguity tests over the same expressions are exactly the
+    // pattern the memoized op cache targets (analyze → maximize → verify
+    // pipelines re-derive the same quotients); compare cold vs warm.
+    let alphabet = alphabet_of(8);
+    let mut rows = Vec::new();
+    let mut group = c.benchmark_group("ambiguity/op-cache");
+    for &blocks in &[4usize, 8, 16] {
+        let expr = anchored_expr(&alphabet, blocks);
+        rows.push(cache_before_after(
+            &format!("is_ambiguous(blocks={blocks})"),
+            || expr.is_ambiguous(),
+        ));
+        group.bench_with_input(BenchmarkId::new("cold", blocks), &expr, |b, e| {
+            b.iter(|| {
+                Store::reset_op_cache();
+                black_box(e.is_ambiguous())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("warm", blocks), &expr, |b, e| {
+            b.iter(|| black_box(e.is_ambiguous()))
+        });
+    }
+    group.finish();
+    print_table(
+        "E1: ambiguity test with cold vs warm op cache",
+        CACHE_TABLE_HEADER,
+        &rows,
+    );
+}
+
 criterion_group!(
     benches,
     bench_quotient_test,
     bench_ambiguous_instances,
-    bench_marker_test_comparison
+    bench_marker_test_comparison,
+    bench_cache_effect
 );
 criterion_main!(benches);

@@ -29,7 +29,14 @@ fn sample(len: usize, variant: usize) -> MarkedSeq {
     for i in 0..len {
         match (i + variant) % 3 {
             0 => names.extend(["TR".into(), "TD".into(), "/TD".into(), "/TR".into()]),
-            1 => names.extend(["TR".into(), "TD".into(), "A".into(), "/A".into(), "/TD".into(), "/TR".into()]),
+            1 => names.extend([
+                "TR".into(),
+                "TD".into(),
+                "A".into(),
+                "/A".into(),
+                "/TD".into(),
+                "/TR".into(),
+            ]),
             _ => names.extend(["P".into(), "IMG".into()]),
         }
     }

@@ -6,8 +6,11 @@
 //! size, timing the full maximization, and print the output sizes — the
 //! measured growth of `E'` with `n` is part of the result.
 
-use bench::{alphabet_of, bounded_marker_expr, print_table};
+use bench::{
+    alphabet_of, bounded_marker_expr, cache_before_after, print_table, CACHE_TABLE_HEADER,
+};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rextract_automata::Store;
 use rextract_extraction::left_filter::left_filter_maximize;
 use std::hint::black_box;
 
@@ -37,7 +40,13 @@ fn bench_marker_bound_sweep(c: &mut Criterion) {
     group.finish();
     print_table(
         "E3: left-filtering input/output sizes",
-        &["sigma", "marker_bound", "in_states", "out_states", "maximal"],
+        &[
+            "sigma",
+            "marker_bound",
+            "in_states",
+            "out_states",
+            "maximal",
+        ],
         &rows,
     );
 }
@@ -53,11 +62,43 @@ fn bench_verification_overhead(c: &mut Criterion) {
     group.bench_function("maximize(Alg6.2)", |b| {
         b.iter(|| black_box(left_filter_maximize(&expr).unwrap()))
     });
-    group.bench_function("verify(Cor5.8)", |b| {
-        b.iter(|| black_box(out.is_maximal()))
-    });
+    group.bench_function("verify(Cor5.8)", |b| b.iter(|| black_box(out.is_maximal())));
     group.finish();
 }
 
-criterion_group!(benches, bench_marker_bound_sweep, bench_verification_overhead);
+fn bench_cache_effect(c: &mut Criterion) {
+    // The interned store's before/after story: the same maximization with
+    // the memoized op cache cleared each iteration vs left warm.
+    let alphabet = alphabet_of(4);
+    let mut rows = Vec::new();
+    let mut group = c.benchmark_group("left_filter/op-cache");
+    for &n in &[2usize, 4, 8] {
+        let expr = bounded_marker_expr(&alphabet, n);
+        rows.push(cache_before_after(&format!("maximize(n={n})"), || {
+            left_filter_maximize(&expr).unwrap()
+        }));
+        group.bench_with_input(BenchmarkId::new("cold", n), &expr, |b, e| {
+            b.iter(|| {
+                Store::reset_op_cache();
+                black_box(left_filter_maximize(e).unwrap())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("warm", n), &expr, |b, e| {
+            b.iter(|| black_box(left_filter_maximize(e).unwrap()))
+        });
+    }
+    group.finish();
+    print_table(
+        "E3: left-filtering with cold vs warm op cache",
+        CACHE_TABLE_HEADER,
+        &rows,
+    );
+}
+
+criterion_group!(
+    benches,
+    bench_marker_bound_sweep,
+    bench_verification_overhead,
+    bench_cache_effect
+);
 criterion_main!(benches);

@@ -8,8 +8,11 @@
 //! exponentially in `k`, demonstrating *where* the PSPACE cost lives,
 //! while practical pivot-form instances (second group) stay cheap.
 
-use bench::{alphabet_of, maximality_instance, print_table};
+use bench::{
+    alphabet_of, cache_before_after, maximality_instance, print_table, CACHE_TABLE_HEADER,
+};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rextract_automata::Store;
 use rextract_extraction::ExtractionExpr;
 use std::hint::black_box;
 
@@ -76,5 +79,40 @@ fn bench_practical_instances(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_hard_family, bench_practical_instances);
+fn bench_cache_effect(c: &mut Criterion) {
+    // is_maximal on a fixed expression re-derives the same two quotients
+    // each call — the warm cache turns the whole test into id lookups.
+    let alphabet = alphabet_of(1);
+    let mut rows = Vec::new();
+    let mut group = c.benchmark_group("maximality/op-cache");
+    group.sample_size(10);
+    for &k in &[4usize, 8] {
+        let expr = maximality_instance(&alphabet, k, false);
+        rows.push(cache_before_after(&format!("is_maximal(k={k})"), || {
+            expr.is_maximal()
+        }));
+        group.bench_with_input(BenchmarkId::new("cold", k), &expr, |b, e| {
+            b.iter(|| {
+                Store::reset_op_cache();
+                black_box(e.is_maximal())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("warm", k), &expr, |b, e| {
+            b.iter(|| black_box(e.is_maximal()))
+        });
+    }
+    group.finish();
+    print_table(
+        "E2: maximality test with cold vs warm op cache",
+        CACHE_TABLE_HEADER,
+        &rows,
+    );
+}
+
+criterion_group!(
+    benches,
+    bench_hard_family,
+    bench_practical_instances,
+    bench_cache_effect
+);
 criterion_main!(benches);

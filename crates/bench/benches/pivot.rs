@@ -11,9 +11,9 @@
 //! The printed table compares output automaton sizes and confirms the two
 //! results genuinely differ as expressions.
 
-use bench::print_table;
+use bench::{cache_before_after, print_table, CACHE_TABLE_HEADER};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rextract_automata::{Alphabet, Lang};
+use rextract_automata::{Alphabet, Lang, Store};
 use rextract_extraction::left_filter::left_filter_maximize_lang;
 use rextract_extraction::PivotExpr;
 use std::hint::black_box;
@@ -69,7 +69,12 @@ fn bench_pivot_vs_direct(c: &mut Criterion) {
     group.finish();
     print_table(
         "E4: pivot vs direct maximization outputs",
-        &["depth", "pivot_out_states", "direct_out_states", "results_differ"],
+        &[
+            "depth",
+            "pivot_out_states",
+            "direct_out_states",
+            "results_differ",
+        ],
         &rows,
     );
 }
@@ -79,18 +84,50 @@ fn bench_decomposition(c: &mut Criterion) {
     let alphabet = alphabet();
     let mut group = c.benchmark_group("pivot/decompose");
     for &len in &[4usize, 16, 64] {
-        let text: Vec<&str> = (0..len)
-            .map(|i| ["t0", "t1", "a", "t2"][i % 4])
-            .collect();
+        let text: Vec<&str> = (0..len).map(|i| ["t0", "t1", "a", "t2"][i % 4]).collect();
         let re = rextract_automata::Regex::parse(&alphabet, &text.join(" ")).unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(len), &re, |b, re| {
-            b.iter(|| {
-                black_box(PivotExpr::decompose(&alphabet, re, alphabet.sym("p")).unwrap())
-            })
+            b.iter(|| black_box(PivotExpr::decompose(&alphabet, re, alphabet.sym("p")).unwrap()))
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_pivot_vs_direct, bench_decomposition);
+fn bench_cache_effect(c: &mut Criterion) {
+    // Pivot chains reuse segment shapes (t_i* repeats every 3 segments),
+    // so even a cold run hits the cache; warm runs collapse entirely.
+    let alphabet = alphabet();
+    let mut rows = Vec::new();
+    let mut group = c.benchmark_group("pivot/op-cache");
+    group.sample_size(15);
+    for &d in &[2usize, 4, 6] {
+        let pe = chain(&alphabet, d);
+        rows.push(cache_before_after(
+            &format!("pivot_maximize(d={d})"),
+            || pe.maximize().unwrap(),
+        ));
+        group.bench_with_input(BenchmarkId::new("cold", d), &pe, |b, pe| {
+            b.iter(|| {
+                Store::reset_op_cache();
+                black_box(pe.maximize().unwrap())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("warm", d), &pe, |b, pe| {
+            b.iter(|| black_box(pe.maximize().unwrap()))
+        });
+    }
+    group.finish();
+    print_table(
+        "E4: pivot maximization with cold vs warm op cache",
+        CACHE_TABLE_HEADER,
+        &rows,
+    );
+}
+
+criterion_group!(
+    benches,
+    bench_pivot_vs_direct,
+    bench_decomposition,
+    bench_cache_effect
+);
 criterion_main!(benches);

@@ -76,9 +76,18 @@ fn worked_example(c: &mut Criterion) {
     let expr10 = merged.to_expr();
     let maximal = merged.maximize().expect("pivot maximization applies");
     let mut rows = vec![
-        vec!["merged (Expr 10) unambiguous".into(), expr10.is_unambiguous().to_string()],
-        vec!["merged (Expr 10) maximal".into(), expr10.is_maximal().to_string()],
-        vec!["maximized unambiguous".into(), maximal.is_unambiguous().to_string()],
+        vec![
+            "merged (Expr 10) unambiguous".into(),
+            expr10.is_unambiguous().to_string(),
+        ],
+        vec![
+            "merged (Expr 10) maximal".into(),
+            expr10.is_maximal().to_string(),
+        ],
+        vec![
+            "maximized unambiguous".into(),
+            maximal.is_unambiguous().to_string(),
+        ],
         vec!["maximized maximal".into(), maximal.is_maximal().to_string()],
         vec![
             "maximized generalizes merged".into(),
@@ -93,11 +102,12 @@ fn worked_example(c: &mut Criterion) {
             format!("{:?} (expected Ok({}))", got, doc.target),
         ]);
     }
-    rows.push(vec![
-        "final expression".into(),
-        maximal.to_text(),
-    ]);
-    print_table("E6: Section 7 pipeline outcomes", &["stage", "result"], &rows);
+    rows.push(vec!["final expression".into(), maximal.to_text()]);
+    print_table(
+        "E6: Section 7 pipeline outcomes",
+        &["stage", "result"],
+        &rows,
+    );
 
     // Timed stages.
     let mut group = c.benchmark_group("worked_example");

@@ -3,8 +3,9 @@
 //! One generator per experiment family in DESIGN.md's experiment index.
 //! Everything is deterministic per seed so bench runs are comparable.
 
-use rextract_automata::{Alphabet, Lang, Regex, Symbol};
+use rextract_automata::{Alphabet, Lang, Regex, Store, Symbol};
 use rextract_extraction::ExtractionExpr;
+use std::time::Instant;
 
 /// An alphabet of `n` symbols `t0..t(n-1)` plus the marker `p`.
 pub fn alphabet_of(n: usize) -> Alphabet {
@@ -29,12 +30,7 @@ pub fn anchored_expr(alphabet: &Alphabet, blocks: usize) -> ExtractionExpr {
         parts.push(Regex::sym(alphabet, anchor));
     }
     parts.push(free.clone());
-    ExtractionExpr::new(
-        alphabet,
-        Regex::concat(parts),
-        p,
-        Regex::universe(alphabet),
-    )
+    ExtractionExpr::new(alphabet, Regex::concat(parts), p, Regex::universe(alphabet))
 }
 
 /// Ambiguous sibling of [`anchored_expr`]: same shape but the blocks admit
@@ -49,12 +45,7 @@ pub fn ambiguous_expr(alphabet: &Alphabet, blocks: usize) -> ExtractionExpr {
         parts.push(Regex::sym(alphabet, non_marker[i % non_marker.len()]));
     }
     parts.push(any.clone());
-    ExtractionExpr::new(
-        alphabet,
-        Regex::concat(parts),
-        p,
-        Regex::universe(alphabet),
-    )
+    ExtractionExpr::new(alphabet, Regex::concat(parts), p, Regex::universe(alphabet))
 }
 
 /// E2 experiment family: `(Σ−p)*⟨p⟩E_k` where `E_k` = "some symbol among
@@ -81,12 +72,7 @@ pub fn maximality_instance(alphabet: &Alphabet, k: usize, universal: bool) -> Ex
             sigma_k,
         ]))
     };
-    ExtractionExpr::new(
-        alphabet,
-        Regex::not_sym(alphabet, p).star(),
-        p,
-        right,
-    )
+    ExtractionExpr::new(alphabet, Regex::not_sym(alphabet, p).star(), p, right)
 }
 
 /// E3 experiment family: left languages with an exact marker bound `n`:
@@ -106,12 +92,7 @@ pub fn bounded_marker_expr(alphabet: &Alphabet, n: usize) -> ExtractionExpr {
     }
     parts.push(free.clone());
     parts.push(Regex::sym(alphabet, q));
-    ExtractionExpr::new(
-        alphabet,
-        Regex::concat(parts),
-        p,
-        Regex::universe(alphabet),
-    )
+    ExtractionExpr::new(alphabet, Regex::concat(parts), p, Regex::universe(alphabet))
 }
 
 /// A long random document guaranteed to be parsed by [`anchored_expr`]
@@ -158,6 +139,36 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     for r in rows {
         eprintln!("{}", r.join("\t"));
     }
+}
+
+/// Header for [`cache_before_after`] rows.
+pub const CACHE_TABLE_HEADER: &[&str] = &[
+    "workload", "cold_ms", "warm_ms", "speedup", "cold_hit", "warm_hit",
+];
+
+/// Run `work` twice — once right after [`Store::reset_op_cache`] ("cold",
+/// though operations repeated *within* the run already hit) and once with
+/// the cache warm from the first pass — and report wall-clock plus the
+/// op-cache hit rate of each pass as a [`print_table`] row.
+pub fn cache_before_after<T>(label: &str, mut work: impl FnMut() -> T) -> Vec<String> {
+    Store::reset_op_cache();
+    let start = Store::stats();
+    let t0 = Instant::now();
+    let _ = work();
+    let cold = t0.elapsed().as_secs_f64();
+    let mid = Store::stats();
+    let t1 = Instant::now();
+    let _ = work();
+    let warm = t1.elapsed().as_secs_f64();
+    let end = Store::stats();
+    vec![
+        label.to_string(),
+        format!("{:.3}", cold * 1e3),
+        format!("{:.3}", warm * 1e3),
+        format!("{:.1}x", cold / warm.max(1e-9)),
+        format!("{:.1}%", mid.since(&start).hit_rate() * 100.0),
+        format!("{:.1}%", end.since(&mid).hit_rate() * 100.0),
+    ]
 }
 
 /// Convenience: a `Lang` from regex text over the bench alphabet.

@@ -48,6 +48,11 @@ USAGE:
 
   rextract demo
       Run the paper's Section 7 worked example end to end.
+
+OPTIONS:
+  --stats
+      After any command, print the interned language store's cache
+      counters (hits, misses, interned languages) to stderr.
 ";
 
 fn need<'a>(args: &'a [String], n: usize, what: &str) -> Result<&'a str, String> {
@@ -138,7 +143,10 @@ pub fn learn(args: &[String]) -> Result<(), String> {
     }
     let samples: Vec<MarkedSeq> = args
         .iter()
-        .map(|a| MarkedSeq::parse(a).ok_or_else(|| format!("bad sample (need exactly one <target>): {a:?}")))
+        .map(|a| {
+            MarkedSeq::parse(a)
+                .ok_or_else(|| format!("bad sample (need exactly one <target>): {a:?}"))
+        })
         .collect::<Result<_, _>>()?;
     let mut vocab = Vocabulary::new();
     for s in &samples {
@@ -171,8 +179,7 @@ pub fn wrapper_train(args: &[String]) -> Result<(), String> {
     }
     let mut pages = Vec::with_capacity(sample_paths.len());
     for path in sample_paths {
-        let html =
-            std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let html = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
         let tokens = html_tokenize(&html);
         let target = tokens
             .iter()
@@ -182,8 +189,7 @@ pub fn wrapper_train(args: &[String]) -> Result<(), String> {
     }
     let wrapper = Wrapper::train(&pages, WrapperConfig::default())
         .map_err(|e| format!("training failed: {e}"))?;
-    std::fs::write(out_path, wrapper.export())
-        .map_err(|e| format!("writing {out_path}: {e}"))?;
+    std::fs::write(out_path, wrapper.export()).map_err(|e| format!("writing {out_path}: {e}"))?;
     println!("trained on {} samples", pages.len());
     println!("maximized : {}", wrapper.is_maximized());
     println!("expression: {}", wrapper.expr().to_text());
@@ -199,8 +205,8 @@ pub fn wrapper_extract(args: &[String]) -> Result<(), String> {
     let artifact = std::fs::read_to_string(wrapper_path)
         .map_err(|e| format!("reading {wrapper_path}: {e}"))?;
     let wrapper = Wrapper::import(&artifact).map_err(|e| e.to_string())?;
-    let html = std::fs::read_to_string(page_path)
-        .map_err(|e| format!("reading {page_path}: {e}"))?;
+    let html =
+        std::fs::read_to_string(page_path).map_err(|e| format!("reading {page_path}: {e}"))?;
     let tokens = html_tokenize(&html);
     let idx = wrapper
         .extract_target(&tokens)
@@ -300,14 +306,13 @@ mod tests {
         assert!(wrapper_train(&[out.display().to_string()]).is_err());
         assert!(wrapper_extract(&[out.display().to_string()]).is_err());
         assert!(
-            wrapper_extract(&["/nonexistent.wrapper".into(), page.display().to_string()])
-                .is_err()
+            wrapper_extract(&["/nonexistent.wrapper".into(), page.display().to_string()]).is_err()
         );
         // Sample without a data-target attribute is rejected.
         let bad = dir.join("bad.html");
         std::fs::write(&bad, "<p>no target</p>").unwrap();
-        let err = wrapper_train(&[out.display().to_string(), bad.display().to_string()])
-            .unwrap_err();
+        let err =
+            wrapper_train(&[out.display().to_string(), bad.display().to_string()]).unwrap_err();
         assert!(err.contains("data-target"));
     }
 

@@ -9,6 +9,9 @@
 //! rextract demo                                      the Figure 1 pipeline
 //! ```
 //!
+//! Every command also accepts `--stats`, which prints the interned
+//! language store's cache counters to stderr on exit.
+//!
 //! See `rextract help` for argument details. The library does the work;
 //! this binary is arg parsing and printing only (std-only, no CLI deps).
 
@@ -17,7 +20,13 @@ use std::process::ExitCode;
 mod commands;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // `--stats` may appear anywhere; strip it before command dispatch.
+    let show_stats = {
+        let before = args.len();
+        args.retain(|a| a != "--stats");
+        args.len() != before
+    };
     let (cmd, rest) = match args.split_first() {
         Some((c, r)) => (c.as_str(), r),
         None => ("help", &[][..]),
@@ -37,6 +46,9 @@ fn main() -> ExitCode {
         }
         other => Err(format!("unknown command {other:?}; try `rextract help`")),
     };
+    if show_stats {
+        eprint!("{}", rextract_automata::Store::stats().render());
+    }
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {

@@ -31,7 +31,10 @@ impl fmt::Display for ExtractionError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ExtractionError::MarkerSyntax(s) => {
-                write!(f, "expected exactly one <marker> in extraction expression: {s}")
+                write!(
+                    f,
+                    "expected exactly one <marker> in extraction expression: {s}"
+                )
             }
             ExtractionError::Regex(s) => write!(f, "regex error: {s}"),
             ExtractionError::Ambiguous { witness } => match witness {

@@ -260,10 +260,7 @@ mod tests {
         assert!(ex.is_unambiguous());
         let x = Extractor::compile(&ex);
         for w in enumerate_upto(&ex.language(), 8) {
-            assert!(
-                x.extract(&w).is_ok(),
-                "member failed to extract uniquely"
-            );
+            assert!(x.extract(&w).is_ok(), "member failed to extract uniquely");
         }
     }
 

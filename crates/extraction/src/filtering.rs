@@ -5,8 +5,8 @@
 //! time (intersection of DFAs); the "exactly n markers" language is built
 //! directly as an `(n+2)`-state counting DFA rather than through a regex.
 
-use rextract_automata::{Alphabet, Lang, Symbol};
 use rextract_automata::dfa::Dfa;
+use rextract_automata::{Alphabet, Lang, Symbol};
 
 /// The language of strings over `alphabet` containing exactly `n`
 /// occurrences of `marker`: `(Σ−p)* (p (Σ−p)*)ⁿ`.

@@ -41,8 +41,9 @@ pub fn left_filter_maximize_lang(e: &Lang, p: Symbol) -> Result<Lang, Extraction
     // Preconditions.
     // Unambiguity of E⟨p⟩Σ* ⇔ E/(p·Σ*) ∩ E = ∅ (Lemma 6.4(1–2)).
     let f = e.right_quotient(&p_sigma);
-    if !f.intersect(e).is_empty() {
-        let witness = f.intersect(e).shortest_member();
+    let overlap = f.intersect(e);
+    if !overlap.is_empty() {
+        let witness = overlap.shortest_member();
         return Err(ExtractionError::Ambiguous {
             witness: witness.map(|w| sigma.syms_to_str(&w)),
         });
@@ -54,18 +55,16 @@ pub fn left_filter_maximize_lang(e: &Lang, p: Symbol) -> Result<Lang, Extraction
     let not_p_star = Lang::from_regex(sigma, &Regex::not_sym(sigma, p).star());
 
     // R₀ = (Σ−p)* − F₀ ;   Rᵢ₊₁ = Fᵢ·p·(Σ−p)* − Fᵢ₊₁.
-    let mut s = not_p_star.difference(&filter_exact(&f, p, 0));
+    // Each iteration needs Fₙ and Fₙ₊₁; carry Fₙ₊₁ into the next round
+    // instead of recomputing it as that round's Fₙ.
+    let mut f_n = filter_exact(&f, p, 0);
+    let mut s = not_p_star.difference(&f_n);
     let mut n = 0usize;
-    loop {
-        let f_n = filter_exact(&f, p, n);
-        if f_n.is_empty() {
-            break;
-        }
-        let r_next = f_n
-            .concat(&p_lang)
-            .concat(&not_p_star)
-            .difference(&filter_exact(&f, p, n + 1));
+    while !f_n.is_empty() {
+        let f_next = filter_exact(&f, p, n + 1);
+        let r_next = f_n.concat(&p_lang).concat(&not_p_star).difference(&f_next);
         s = s.union(&r_next);
+        f_n = f_next;
         n += 1;
     }
 

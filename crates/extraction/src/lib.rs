@@ -56,4 +56,5 @@ pub use error::ExtractionError;
 pub use expr::ExtractionExpr;
 pub use extract::{Extractor, NaiveExtractor};
 pub use multi::MultiExtractionExpr;
+pub use pivot::segment_ok;
 pub use pivot::PivotExpr;

@@ -65,10 +65,15 @@ impl ExtractionExpr {
         }
         let sigma = self.alphabet();
         let p = Lang::sym(sigma, self.marker());
-        let whole = self.left().concat(&p).concat(self.right());
+        // Both conditions factor through E1·p and p·E2 — the same
+        // subexpressions the ambiguity test's shift language uses — so
+        // build each once.
+        let e1_p = self.left().concat(&p);
+        let p_e2 = p.concat(self.right());
+        let whole = e1_p.concat(self.right());
 
         // Condition 1: (E1·p·E2) / (p·E2) = Σ*.
-        let cond1 = whole.right_quotient(&p.concat(self.right()));
+        let cond1 = whole.right_quotient(&p_e2);
         if !cond1.is_universal() {
             let string = cond1
                 .complement()
@@ -81,7 +86,7 @@ impl ExtractionExpr {
         }
 
         // Condition 2: (E1·p) \ (E1·p·E2) = Σ*.
-        let cond2 = whole.left_quotient(&self.left().concat(&p));
+        let cond2 = whole.left_quotient(&e1_p);
         if !cond2.is_universal() {
             let string = cond2
                 .complement()
@@ -147,7 +152,10 @@ impl ExtractionExpr {
             ),
         };
         debug_assert!(out.is_unambiguous(), "witness extension broke unambiguity");
-        debug_assert!(out.strictly_generalizes(self), "witness extension not strict");
+        debug_assert!(
+            out.strictly_generalizes(self),
+            "witness extension not strict"
+        );
         out
     }
 }

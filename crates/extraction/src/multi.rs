@@ -147,16 +147,51 @@ impl MultiExtractionExpr {
         ExtractionExpr::from_langs(left, self.markers[i], right)
     }
 
+    /// All `k` collapsed expressions at once, sharing the prefix/suffix
+    /// concatenations: `collapsed(i)` rebuilds both chains from scratch,
+    /// so calling it for every `i` costs O(k²) language operations; this
+    /// builds each chain incrementally for O(k) total.
+    pub fn collapsed_all(&self) -> Vec<ExtractionExpr> {
+        let k = self.arity();
+        let mut lefts = Vec::with_capacity(k);
+        let mut acc = self.segments[0].clone();
+        for j in 0..k {
+            lefts.push(acc.clone());
+            if j + 1 < k {
+                acc = acc
+                    .concat(&Lang::sym(&self.alphabet, self.markers[j]))
+                    .concat(&self.segments[j + 1]);
+            }
+        }
+        let mut rights = Vec::with_capacity(k);
+        let mut acc = self.segments[k].clone();
+        for i in (0..k).rev() {
+            rights.push(acc.clone());
+            if i > 0 {
+                acc = self.segments[i]
+                    .concat(&Lang::sym(&self.alphabet, self.markers[i]))
+                    .concat(&acc);
+            }
+        }
+        rights.reverse();
+        lefts
+            .into_iter()
+            .zip(rights)
+            .zip(&self.markers)
+            .map(|((l, r), &p)| ExtractionExpr::from_langs(l, p, r))
+            .collect()
+    }
+
     /// Unambiguity: every parsed string admits exactly one marker tuple.
     pub fn is_unambiguous(&self) -> bool {
-        (0..self.arity()).all(|i| self.collapsed(i).is_unambiguous())
+        self.collapsed_all().iter().all(|c| c.is_unambiguous())
     }
 
     /// Extract the unique marker tuple from `doc`.
     pub fn extract(&self, doc: &[Symbol]) -> Result<Vec<usize>, ExtractFailure> {
         let mut out = Vec::with_capacity(self.arity());
-        for i in 0..self.arity() {
-            let hit = Extractor::compile(&self.collapsed(i)).extract(doc)?;
+        for c in self.collapsed_all() {
+            let hit = Extractor::compile(&c).extract(doc)?;
             out.push(hit.position);
         }
         debug_assert!(out.windows(2).all(|w| w[0] < w[1]), "tuple must be ordered");
@@ -327,12 +362,12 @@ mod tests {
         assert!(out.generalizes(&input));
         // Each collapsed piece against Σ* must be maximal (componentwise
         // guarantee).
-        for (i, seg) in out.segments()[..out.segments().len() - 1].iter().enumerate() {
-            let piece = ExtractionExpr::from_langs(
-                seg.clone(),
-                out.markers()[i],
-                Lang::universe(&ab()),
-            );
+        for (i, seg) in out.segments()[..out.segments().len() - 1]
+            .iter()
+            .enumerate()
+        {
+            let piece =
+                ExtractionExpr::from_langs(seg.clone(), out.markers()[i], Lang::universe(&ab()));
             assert!(piece.is_maximal(), "segment {i} not maximal");
         }
     }
@@ -353,6 +388,19 @@ mod tests {
         assert_eq!(doc[got[1]], a.sym("q"));
         // The unmaximized expression fails on it.
         assert!(input.extract(&doc).is_err());
+    }
+
+    #[test]
+    fn collapsed_all_agrees_with_collapsed() {
+        let e = m("q* <p> r <q> [^r]* <r> .*");
+        let all = e.collapsed_all();
+        assert_eq!(all.len(), e.arity());
+        for (i, c) in all.iter().enumerate() {
+            let one = e.collapsed(i);
+            assert_eq!(c.left(), one.left(), "left mismatch at marker {i}");
+            assert_eq!(c.marker(), one.marker());
+            assert_eq!(c.right(), one.right(), "right mismatch at marker {i}");
+        }
     }
 
     #[test]

@@ -18,7 +18,9 @@ pub fn count_splits(expr: &ExtractionExpr, word: &[Symbol]) -> usize {
     let p = expr.marker();
     (0..word.len())
         .filter(|&i| {
-            word[i] == p && expr.left().contains(&word[..i]) && expr.right().contains(&word[i + 1..])
+            word[i] == p
+                && expr.left().contains(&word[..i])
+                && expr.right().contains(&word[i + 1..])
         })
         .count()
 }
@@ -42,7 +44,9 @@ pub fn brute_split_positions(expr: &ExtractionExpr, word: &[Symbol]) -> Vec<usiz
     let p = expr.marker();
     (0..word.len())
         .filter(|&i| {
-            word[i] == p && expr.left().contains(&word[..i]) && expr.right().contains(&word[i + 1..])
+            word[i] == p
+                && expr.left().contains(&word[..i])
+                && expr.right().contains(&word[i + 1..])
         })
         .collect()
 }

@@ -111,7 +111,10 @@ impl PivotExpr {
     /// Reassemble the (unmaximized) extraction expression
     /// `E1·q1·…·En·qn·E(n+1) ⟨p⟩ Σ*`.
     pub fn to_expr(&self) -> ExtractionExpr {
-        let left = self.concat_left(self.segments.iter().map(|(l, q)| (l.clone(), *q)), &self.tail);
+        let left = self.concat_left(
+            self.segments.iter().map(|(l, q)| (l.clone(), *q)),
+            &self.tail,
+        );
         ExtractionExpr::from_langs(left, self.marker, Lang::universe(&self.alphabet))
     }
 
@@ -138,12 +141,11 @@ impl PivotExpr {
     pub fn maximize(&self) -> Result<ExtractionExpr, ExtractionError> {
         let mut maxed: Vec<(Lang, Symbol)> = Vec::with_capacity(self.segments.len());
         for (i, (seg, q)) in self.segments.iter().enumerate() {
-            let m = left_filter_maximize_lang(seg, *q).map_err(|e| {
-                ExtractionError::PivotSegment {
+            let m =
+                left_filter_maximize_lang(seg, *q).map_err(|e| ExtractionError::PivotSegment {
                     index: i,
                     source: Box::new(e),
-                }
-            })?;
+                })?;
             maxed.push((m, *q));
         }
         let tail = left_filter_maximize_lang(&self.tail, self.marker).map_err(|e| {
@@ -193,8 +195,9 @@ fn singleton_symbol(r: &Regex) -> Option<Symbol> {
 }
 
 /// Precondition of Algorithm 6.2 for a segment: `seg⟨q⟩Σ*` unambiguous
-/// (i.e. `seg/(q·Σ*) ∩ seg = ∅`) and bounded `q`-count.
-fn segment_ok(seg: &Lang, q: Symbol) -> bool {
+/// (i.e. `seg/(q·Σ*) ∩ seg = ∅`) and bounded `q`-count. Shared with the
+/// learning layer, which validates candidate pivots the same way.
+pub fn segment_ok(seg: &Lang, q: Symbol) -> bool {
     let sigma = seg.alphabet();
     let q_sigma = Lang::sym(sigma, q).concat(&Lang::universe(sigma));
     seg.right_quotient(&q_sigma).intersect(seg).is_empty() && seg.max_marker_count(q).is_some()
@@ -226,8 +229,7 @@ mod tests {
             let e1x = ExtractionExpr::parse(&a, &format!("{e1} <{q}> .*")).unwrap();
             let e2x = ExtractionExpr::parse(&a, &format!("{e2} <{p}> .*")).unwrap();
             assert!(e1x.is_unambiguous() && e2x.is_unambiguous(), "bad case");
-            let composed =
-                ExtractionExpr::parse(&a, &format!("{e1} {q} {e2} <{p}> .*")).unwrap();
+            let composed = ExtractionExpr::parse(&a, &format!("{e1} {q} {e2} <{p}> .*")).unwrap();
             assert!(
                 composed.is_unambiguous(),
                 "composition broke unambiguity: {e1} {q} {e2} <{p}>"
@@ -250,12 +252,7 @@ mod tests {
     fn maximize_simple_two_pivot_expression() {
         let a = ab();
         // E = r · q · r ⟨p⟩ Σ* with pivot q: segments ("r", q), tail "r".
-        let pe = PivotExpr::new(
-            &a,
-            vec![(lang("r"), a.sym("q"))],
-            lang("r"),
-            a.sym("p"),
-        );
+        let pe = PivotExpr::new(&a, vec![(lang("r"), a.sym("q"))], lang("r"), a.sym("p"));
         let input = pe.to_expr();
         let out = pe.maximize().unwrap();
         assert!(out.generalizes(&input));
@@ -316,11 +313,7 @@ mod tests {
         let re = Regex::parse(&a, "r q r r q r").unwrap();
         let pe = PivotExpr::decompose(&a, &re, a.sym("p")).unwrap();
         assert_eq!(pe.segments().len(), 6);
-        let pivots: Vec<&str> = pe
-            .segments()
-            .iter()
-            .map(|(_, q)| a.name(*q))
-            .collect();
+        let pivots: Vec<&str> = pe.segments().iter().map(|(_, q)| a.name(*q)).collect();
         assert_eq!(pivots, ["r", "q", "r", "r", "q", "r"]);
         assert_eq!(pe.tail(), &lang("~"));
         let out = pe.maximize().unwrap();
@@ -349,12 +342,7 @@ mod tests {
     #[test]
     fn to_expr_round_trips_structure() {
         let a = ab();
-        let pe = PivotExpr::new(
-            &a,
-            vec![(lang("r*"), a.sym("q"))],
-            lang("~"),
-            a.sym("p"),
-        );
+        let pe = PivotExpr::new(&a, vec![(lang("r*"), a.sym("q"))], lang("~"), a.sym("p"));
         let ex = pe.to_expr();
         assert_eq!(ex.left(), &lang("r* q"));
         assert_eq!(ex.marker(), a.sym("p"));

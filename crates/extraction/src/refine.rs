@@ -77,11 +77,7 @@ impl std::error::Error for RefineError {}
 /// Does removing `prefix` from `E1` (or `suffix` from `E2`) preserve every
 /// intended split? A removal of prefix `α` kills exactly the splits whose
 /// prefix is `α`; similarly for suffixes.
-fn removal_is_safe(
-    examples: &[Counterexample],
-    side_is_left: bool,
-    removed: &[Symbol],
-) -> bool {
+fn removal_is_safe(examples: &[Counterexample], side_is_left: bool, removed: &[Symbol]) -> bool {
     examples.iter().all(|ex| {
         let (alpha, beta) = (&ex.word[..ex.intended], &ex.word[ex.intended + 1..]);
         if side_is_left {
@@ -200,8 +196,7 @@ mod tests {
     fn removes_a_spurious_split() {
         // p*⟨p⟩p*q on "p p p q": intended = the first p (position 0).
         let expr = e("p* <p> p* q");
-        let refined =
-            refine_with_counterexamples(&expr, &[ce("p p p q", 0)]).unwrap();
+        let refined = refine_with_counterexamples(&expr, &[ce("p p p q", 0)]).unwrap();
         let doc = ab().str_to_syms("p p p q").unwrap();
         assert_eq!(
             refined.extract(&doc).map(|x| x.position),
@@ -240,8 +235,7 @@ mod tests {
     #[test]
     fn already_consistent_expression_is_untouched() {
         let expr = e("[^p]* <p> .*");
-        let refined =
-            refine_with_counterexamples(&expr, &[ce("q p q", 1)]).unwrap();
+        let refined = refine_with_counterexamples(&expr, &[ce("q p q", 1)]).unwrap();
         assert!(refined.same_extraction(&expr));
     }
 

@@ -42,9 +42,7 @@ pub fn right_filter_maximize_lang(e: &Lang, p: Symbol) -> Result<Lang, Extractio
     let maximized = left_filter_maximize_lang(&reversed, p).map_err(|err| match err {
         // Witnesses come out reversed; re-reverse for the caller.
         ExtractionError::Ambiguous { witness } => ExtractionError::Ambiguous {
-            witness: witness.map(|w| {
-                w.split_whitespace().rev().collect::<Vec<_>>().join(" ")
-            }),
+            witness: witness.map(|w| w.split_whitespace().rev().collect::<Vec<_>>().join(" ")),
         },
         other => other,
     })?;

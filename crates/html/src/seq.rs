@@ -96,9 +96,7 @@ pub fn to_names(tokens: &[Token], cfg: &SeqConfig) -> Vec<SeqEntry> {
             }
             Token::EndTag { name } if cfg.include_end_tags => Some(format!("/{name}")),
             Token::EndTag { .. } => None,
-            Token::Text(_) if cfg.include_text && !tok.is_blank_text() => {
-                Some("#text".to_string())
-            }
+            Token::Text(_) if cfg.include_text && !tok.is_blank_text() => Some("#text".to_string()),
             Token::Text(_) | Token::Comment(_) | Token::Doctype(_) => None,
         };
         if let Some(name) = name {
@@ -155,10 +153,7 @@ impl Vocabulary {
 
 /// Map an abstracted document to symbols of `alphabet`. Entries whose name
 /// is missing from the alphabet are reported by index in `Err`.
-pub fn entries_to_symbols(
-    entries: &[SeqEntry],
-    alphabet: &Alphabet,
-) -> Result<Vec<Symbol>, usize> {
+pub fn entries_to_symbols(entries: &[SeqEntry], alphabet: &Alphabet) -> Result<Vec<Symbol>, usize> {
     entries
         .iter()
         .enumerate()
@@ -178,7 +173,10 @@ mod tests {
                     <input><input></form>";
         let entries = to_names(&tokenize(html), &SeqConfig::tags_only());
         let names: Vec<&str> = entries.iter().map(|e| e.name.as_str()).collect();
-        assert_eq!(names, ["P", "H1", "/H1", "P", "FORM", "INPUT", "INPUT", "/FORM"]);
+        assert_eq!(
+            names,
+            ["P", "H1", "/H1", "P", "FORM", "INPUT", "INPUT", "/FORM"]
+        );
     }
 
     #[test]

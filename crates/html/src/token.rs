@@ -101,8 +101,20 @@ impl Token {
         matches!(
             self.tag_name(),
             Some(
-                "AREA" | "BASE" | "BR" | "COL" | "EMBED" | "HR" | "IMG" | "INPUT" | "LINK"
-                    | "META" | "PARAM" | "SOURCE" | "TRACK" | "WBR"
+                "AREA"
+                    | "BASE"
+                    | "BR"
+                    | "COL"
+                    | "EMBED"
+                    | "HR"
+                    | "IMG"
+                    | "INPUT"
+                    | "LINK"
+                    | "META"
+                    | "PARAM"
+                    | "SOURCE"
+                    | "TRACK"
+                    | "WBR"
             )
         )
     }

@@ -42,7 +42,11 @@ impl<'a> Tokenizer<'a> {
     }
 
     fn lex_text(&mut self) {
-        let end = self.rest().find('<').map(|o| self.pos + o).unwrap_or(self.input.len());
+        let end = self
+            .rest()
+            .find('<')
+            .map(|o| self.pos + o)
+            .unwrap_or(self.input.len());
         let raw = &self.input[self.pos..end];
         if !raw.is_empty() {
             self.out.push(Token::Text(decode(raw)));
@@ -71,13 +75,15 @@ impl<'a> Tokenizer<'a> {
         let body_start = self.pos + 4;
         match self.input[body_start..].find("-->") {
             Some(off) => {
-                self.out
-                    .push(Token::Comment(self.input[body_start..body_start + off].to_string()));
+                self.out.push(Token::Comment(
+                    self.input[body_start..body_start + off].to_string(),
+                ));
                 self.pos = body_start + off + 3;
             }
             None => {
                 // Unclosed comment swallows the rest of the document.
-                self.out.push(Token::Comment(self.input[body_start..].to_string()));
+                self.out
+                    .push(Token::Comment(self.input[body_start..].to_string()));
                 self.pos = self.input.len();
             }
         }
@@ -147,7 +153,7 @@ impl<'a> Tokenizer<'a> {
             .match_indices("</")
             .find(|&(i, _)| {
                 hay[i..].len() >= lower.len()
-                    && (hay[i..].as_bytes()[2..lower.len()]
+                    && (hay.as_bytes()[i..][2..lower.len()]
                         .eq_ignore_ascii_case(&lower.as_bytes()[2..]))
             })
             .map(|(i, _)| self.pos + i);

@@ -83,7 +83,9 @@ fn write_token(t: &Token, out: &mut String) {
 }
 
 fn encode_text(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 fn encode_attr(s: &str) -> String {

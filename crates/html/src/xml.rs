@@ -78,12 +78,14 @@ impl<'a> XmlTokenizer<'a> {
             let body_start = self.pos + 4;
             match self.input[body_start..].find("-->") {
                 Some(off) => {
-                    self.out
-                        .push(Token::Comment(self.input[body_start..body_start + off].into()));
+                    self.out.push(Token::Comment(
+                        self.input[body_start..body_start + off].into(),
+                    ));
                     self.pos = body_start + off + 3;
                 }
                 None => {
-                    self.out.push(Token::Comment(self.input[body_start..].into()));
+                    self.out
+                        .push(Token::Comment(self.input[body_start..].into()));
                     self.pos = self.input.len();
                 }
             }
@@ -246,7 +248,9 @@ mod tests {
         // Case-sensitive attribute names.
         match &toks[0] {
             Token::StartTag {
-                attrs, self_closing, ..
+                attrs,
+                self_closing,
+                ..
             } => {
                 assert!(self_closing);
                 assert_eq!(attrs[1].name, "inStock");

@@ -213,8 +213,8 @@ mod tests {
 
     fn alphabet() -> Alphabet {
         Alphabet::new([
-            "catalog", "/catalog", "title", "/title", "vendor", "/vendor", "item", "/item",
-            "name", "/name", "price", "/price",
+            "catalog", "/catalog", "title", "/title", "vendor", "/vendor", "item", "/item", "name",
+            "/name", "price", "/price",
         ])
     }
 
@@ -229,7 +229,7 @@ mod tests {
         assert!(!dtd.is_repeatable("title"));
         assert!(!dtd.is_repeatable("vendor"));
         assert!(!dtd.is_repeatable("price")); // once within item
-        // Unknown elements are conservatively repeatable.
+                                              // Unknown elements are conservatively repeatable.
         assert!(dtd.is_repeatable("banner"));
         assert!(!dtd.is_repeatable("catalog")); // declared root
         assert!(dtd.declared().contains("catalog"));

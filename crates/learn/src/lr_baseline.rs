@@ -153,10 +153,7 @@ mod tests {
     #[test]
     fn train_failures() {
         assert_eq!(LrWrapper::train(&[]), None);
-        assert_eq!(
-            LrWrapper::train(&[seq("A <X>"), seq("A <Y>")]),
-            None
-        );
+        assert_eq!(LrWrapper::train(&[seq("A <X>"), seq("A <Y>")]), None);
     }
 
     #[test]

@@ -23,6 +23,7 @@
 use crate::align::{common_subsequence, leftmost_embedding};
 use crate::sample::MarkedSeq;
 use rextract_automata::{Alphabet, Lang, Symbol};
+use rextract_extraction::pivot::segment_ok;
 use rextract_extraction::PivotExpr;
 use std::fmt;
 
@@ -53,10 +54,7 @@ impl std::error::Error for LearnError {}
 
 /// Run the merging heuristic over `samples`, producing a pivot-form
 /// extraction expression over `alphabet`.
-pub fn merge_samples(
-    alphabet: &Alphabet,
-    samples: &[MarkedSeq],
-) -> Result<PivotExpr, LearnError> {
+pub fn merge_samples(alphabet: &Alphabet, samples: &[MarkedSeq]) -> Result<PivotExpr, LearnError> {
     let first = samples.first().ok_or(LearnError::NoSamples)?;
     let target_name = first.target_name().to_string();
     for s in samples {
@@ -128,14 +126,6 @@ fn names_to_lang(alphabet: &Alphabet, names: &[String]) -> Result<Lang, LearnErr
     Ok(Lang::literal(alphabet, &syms?))
 }
 
-/// Left-filtering precondition for a candidate segment: `seg⟨q⟩Σ*`
-/// unambiguous (`seg/(q·Σ*) ∩ seg = ∅`, Lemma 6.4) and bounded `q`-count.
-fn segment_ok(seg: &Lang, q: Symbol) -> bool {
-    let sigma = seg.alphabet();
-    let q_sigma = Lang::sym(sigma, q).concat(&Lang::universe(sigma));
-    seg.right_quotient(&q_sigma).intersect(seg).is_empty() && seg.max_marker_count(q).is_some()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -155,14 +145,11 @@ mod tests {
     fn single_sample_yields_literal_pivot_chain() {
         let a = alphabet();
         let s = seq("FORM INPUT <INPUT> /FORM");
-        let pe = merge_samples(&a, &[s.clone()]).unwrap();
+        let pe = merge_samples(&a, std::slice::from_ref(&s)).unwrap();
         let expr = pe.to_expr();
         // Must parse the sample with the right split.
         let word: Vec<_> = s.names.iter().map(|n| a.sym(n)).collect();
-        assert_eq!(
-            expr.extract(&word).map(|e| e.position),
-            Ok(s.target),
-        );
+        assert_eq!(expr.extract(&word).map(|e| e.position), Ok(s.target),);
     }
 
     #[test]
@@ -215,10 +202,7 @@ mod tests {
     #[test]
     fn error_cases() {
         let a = alphabet();
-        assert!(matches!(
-            merge_samples(&a, &[]),
-            Err(LearnError::NoSamples)
-        ));
+        assert!(matches!(merge_samples(&a, &[]), Err(LearnError::NoSamples)));
         let s1 = seq("FORM <INPUT>");
         let s2 = seq("FORM INPUT <TD>");
         match merge_samples(&a, &[s1, s2]) {

@@ -64,7 +64,10 @@ impl MultiMarkedSeq {
 
     /// The marked symbol names, in order.
     pub fn target_names(&self) -> Vec<&str> {
-        self.targets.iter().map(|&t| self.names[t].as_str()).collect()
+        self.targets
+            .iter()
+            .map(|&t| self.names[t].as_str())
+            .collect()
     }
 
     /// Region `r`: names strictly between target `r−1` and target `r`
@@ -84,13 +87,11 @@ pub fn merge_multi(
 ) -> Result<MultiExtractionExpr, LearnError> {
     let first = samples.first().ok_or(LearnError::NoSamples)?;
     let arity = first.targets.len();
-    let target_names: Vec<String> = first
-        .target_names()
-        .into_iter()
-        .map(String::from)
-        .collect();
+    let target_names: Vec<String> = first.target_names().into_iter().map(String::from).collect();
     for s in samples {
-        if s.targets.len() != arity || s.target_names() != target_names.iter().map(String::as_str).collect::<Vec<_>>() {
+        if s.targets.len() != arity
+            || s.target_names() != target_names.iter().map(String::as_str).collect::<Vec<_>>()
+        {
             return Err(LearnError::TargetMismatch(
                 target_names.join(","),
                 s.target_names().join(","),

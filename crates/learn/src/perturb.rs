@@ -47,9 +47,7 @@ pub struct Perturber {
 impl Perturber {
     /// Create with an RNG seed (seed 0 is remapped to 1).
     pub fn new(seed: u64) -> Perturber {
-        Perturber {
-            state: seed.max(1),
-        }
+        Perturber { state: seed.max(1) }
     }
 
     fn next_u64(&mut self) -> u64 {

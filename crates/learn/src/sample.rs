@@ -49,7 +49,11 @@ impl MarkedSeq {
     /// abstracting with `cfg`. Returns `None` if the target token is not
     /// represented in the abstraction (e.g. a text target with
     /// `include_text = false`).
-    pub fn from_tokens(tokens: &[Token], target_token: usize, cfg: &SeqConfig) -> Option<MarkedSeq> {
+    pub fn from_tokens(
+        tokens: &[Token],
+        target_token: usize,
+        cfg: &SeqConfig,
+    ) -> Option<MarkedSeq> {
         let entries: Vec<SeqEntry> = to_names(tokens, cfg);
         let target = entries.iter().position(|e| e.token_index == target_token)?;
         Some(MarkedSeq {

@@ -134,7 +134,9 @@ impl Wrapper {
         let expr = ExtractionExpr::parse(&alphabet, &expr_text)
             .map_err(|e| PersistError::Expr(e.to_string()))?;
         let extractor = Extractor::compile(&expr);
-        Ok(Wrapper::from_parts(alphabet, expr, extractor, seq, maximized))
+        Ok(Wrapper::from_parts(
+            alphabet, expr, extractor, seq, maximized,
+        ))
     }
 }
 
@@ -160,10 +162,7 @@ mod tests {
             TrainPage::from(&g.page_with_style(PageStyle::Plain)),
             TrainPage::from(&g.page_with_style(PageStyle::TableEmbedded)),
         ];
-        (
-            Wrapper::train(&pages, WrapperConfig::default()).unwrap(),
-            g,
-        )
+        (Wrapper::train(&pages, WrapperConfig::default()).unwrap(), g)
     }
 
     #[test]

@@ -11,6 +11,7 @@
 
 use crate::locator::TargetLocator;
 use crate::site::SiteGenerator;
+use rextract_automata::{Store, StoreStats};
 use rextract_learn::perturb::Perturber;
 use std::fmt;
 
@@ -40,6 +41,8 @@ pub struct ResilienceTable {
     pub labels: Vec<String>,
     /// One row per edit budget.
     pub rows: Vec<ResilienceRow>,
+    /// Language-store counter deltas over the whole experiment.
+    pub store_stats: StoreStats,
 }
 
 impl fmt::Display for ResilienceTable {
@@ -56,6 +59,7 @@ impl fmt::Display for ResilienceTable {
             }
             writeln!(f)?;
         }
+        writeln!(f, "store: {}", self.store_stats.summary())?;
         Ok(())
     }
 }
@@ -93,6 +97,7 @@ pub fn resilience_table_with(
     trials: usize,
 ) -> ResilienceTable {
     let labels = locators.iter().map(|(l, _)| l.to_string()).collect();
+    let stats_before = Store::stats();
     let mut rows = Vec::with_capacity(edit_budgets.len());
     for &edits in edit_budgets {
         let mut perturber = Perturber::new(perturb_seed ^ (edits as u64 + 1));
@@ -112,7 +117,11 @@ pub fn resilience_table_with(
             successes,
         });
     }
-    ResilienceTable { labels, rows }
+    ResilienceTable {
+        labels,
+        rows,
+        store_stats: Store::stats().since(&stats_before),
+    }
 }
 
 #[cfg(test)]

@@ -159,7 +159,11 @@ impl SiteGenerator {
             Token::end("tr"),
         ]);
         // Optional navigation / promo rows.
-        let extra_rows = if busy { 1 + self.below(4) } else { self.below(2) };
+        let extra_rows = if busy {
+            1 + self.below(4)
+        } else {
+            self.below(2)
+        };
         for _ in 0..extra_rows {
             toks.extend(self.link_row());
         }

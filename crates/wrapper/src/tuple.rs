@@ -62,8 +62,7 @@ impl TupleWrapper {
                 .iter()
                 .map(|&t| entries.iter().position(|e| e.token_index == t))
                 .collect();
-            let positions =
-                positions.ok_or(WrapperError::TargetNotRepresentable { sample: i })?;
+            let positions = positions.ok_or(WrapperError::TargetNotRepresentable { sample: i })?;
             let names: Vec<String> = entries.into_iter().map(|e| e.name).collect();
             for n in &names {
                 vocab.observe_name(n);
@@ -229,8 +228,7 @@ mod tests {
         let p1 = g.page_with_style(PageStyle::Plain);
         let p2 = g.page_with_style(PageStyle::TableEmbedded);
         let singles = [TrainPage::from(&p1), TrainPage::from(&p2)];
-        let multis: Vec<MultiTrainPage> =
-            singles.iter().map(MultiTrainPage::from_single).collect();
+        let multis: Vec<MultiTrainPage> = singles.iter().map(MultiTrainPage::from_single).collect();
         let tw = TupleWrapper::train(&multis, WrapperConfig::default()).unwrap();
         for p in [&p1, &p2] {
             assert_eq!(tw.extract_targets(&p.tokens).unwrap(), vec![p.target]);

@@ -13,7 +13,7 @@
 //! tokens for free).
 
 use crate::site::Page;
-use rextract_automata::{Alphabet, Symbol};
+use rextract_automata::{Alphabet, Store, StoreStats, Symbol};
 use rextract_extraction::extract::{ExtractFailure, Extractor};
 use rextract_extraction::{ExtractionError, ExtractionExpr};
 use rextract_html::seq::{to_names, SeqConfig, Vocabulary};
@@ -81,7 +81,10 @@ impl fmt::Display for WrapperError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             WrapperError::TargetNotRepresentable { sample } => {
-                write!(f, "sample {sample}: target not representable in abstraction")
+                write!(
+                    f,
+                    "sample {sample}: target not representable in abstraction"
+                )
             }
             WrapperError::Learn(e) => write!(f, "learning failed: {e}"),
             WrapperError::Maximize(e) => write!(f, "maximization failed: {e}"),
@@ -99,6 +102,7 @@ pub struct Wrapper {
     extractor: Extractor,
     seq_cfg: SeqConfig,
     maximized: bool,
+    train_stats: StoreStats,
 }
 
 impl Wrapper {
@@ -109,6 +113,7 @@ impl Wrapper {
     /// falls back to the unmaximized expression rather than erroring —
     /// a wrapper that works on the training layouts beats no wrapper.
     pub fn train(pages: &[TrainPage], cfg: WrapperConfig) -> Result<Wrapper, WrapperError> {
+        let stats_before = Store::stats();
         // Abstract every page, collecting the vocabulary.
         let mut vocab = Vocabulary::new();
         vocab.observe_name(OTHER);
@@ -145,6 +150,7 @@ impl Wrapper {
             extractor,
             seq_cfg: cfg.seq,
             maximized,
+            train_stats: Store::stats().since(&stats_before),
         })
     }
 
@@ -163,6 +169,7 @@ impl Wrapper {
             extractor,
             seq_cfg,
             maximized,
+            train_stats: StoreStats::default(),
         }
     }
 
@@ -184,6 +191,12 @@ impl Wrapper {
     /// Whether the wrapper holds a maximized expression.
     pub fn is_maximized(&self) -> bool {
         self.maximized
+    }
+
+    /// Language-store counter deltas accumulated while this wrapper was
+    /// trained (all zeros for wrappers loaded via [`crate::persist`]).
+    pub fn train_store_stats(&self) -> &StoreStats {
+        &self.train_stats
     }
 
     /// Abstract a page and map its names to wrapper symbols (`#other` for
@@ -268,6 +281,18 @@ mod tests {
     }
 
     #[test]
+    fn training_records_store_activity() {
+        let pages = train_pages(2);
+        let w = Wrapper::train(&pages, WrapperConfig::default()).unwrap();
+        let s = w.train_store_stats();
+        assert!(
+            s.hits() + s.misses() > 0,
+            "training must exercise the language store: {}",
+            s.summary()
+        );
+    }
+
+    #[test]
     fn maximized_wrapper_is_maximal() {
         let pages = train_pages(7);
         let w = Wrapper::train(&pages, WrapperConfig::default()).unwrap();
@@ -303,7 +328,10 @@ mod tests {
                 ok += 1;
             }
         }
-        assert!(ok >= total * 9 / 10, "only {ok}/{total} busy pages extracted");
+        assert!(
+            ok >= total * 9 / 10,
+            "only {ok}/{total} busy pages extracted"
+        );
     }
 
     #[test]

@@ -88,13 +88,13 @@ fn main() {
     let sigma = Alphabet::new(["p", "q"]);
     println!("(no arguments given — touring the paper's examples over {{p,q}})");
     for text in [
-        "(p q)* <p> .*",          // Example 4.3, ambiguous
-        "(q p)* <p> .*",          // Example 4.3, unambiguous
+        "(p q)* <p> .*",           // Example 4.3, ambiguous
+        "(q p)* <p> .*",           // Example 4.3, unambiguous
         "(p | p p) <p> (p | p p)", // Example 4.3, ambiguous
-        "[^p]* <p> .*",           // Example 4.6, maximal
-        "q p <p> .*",             // Example 4.7, maximizable two ways
-        "p* <p> q",               // Section 4, unambiguous
-        "p* <p> p* q",            // Section 4, ambiguous (3 splits on pppq)
+        "[^p]* <p> .*",            // Example 4.6, maximal
+        "q p <p> .*",              // Example 4.7, maximizable two ways
+        "p* <p> q",                // Section 4, unambiguous
+        "p* <p> p* q",             // Section 4, ambiguous (3 splits on pppq)
     ] {
         analyze(&sigma, text);
     }

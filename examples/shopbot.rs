@@ -21,8 +21,14 @@ fn main() {
     let mut site = SiteGenerator::new(SiteConfig::default());
     let sample_a = site.page_with_style(PageStyle::Plain);
     let sample_b = site.page_with_style(PageStyle::TableEmbedded);
-    println!("--- sample page A (plain layout) ---\n{}\n", sample_a.html());
-    println!("--- sample page B (table layout) ---\n{}\n", sample_b.html());
+    println!(
+        "--- sample page A (plain layout) ---\n{}\n",
+        sample_a.html()
+    );
+    println!(
+        "--- sample page B (table layout) ---\n{}\n",
+        sample_b.html()
+    );
 
     // 2. Train.
     let wrapper = Wrapper::train(

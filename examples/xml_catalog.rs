@@ -71,8 +71,16 @@ fn main() {
     let plain = merge_samples(&sigma, &samples).expect("plain merge");
     let guided = merge_samples_with_dtd(&sigma, &samples, &dtd).expect("guided merge");
 
-    let plain_pivots: Vec<&str> = plain.segments().iter().map(|(_, q)| sigma.name(*q)).collect();
-    let guided_pivots: Vec<&str> = guided.segments().iter().map(|(_, q)| sigma.name(*q)).collect();
+    let plain_pivots: Vec<&str> = plain
+        .segments()
+        .iter()
+        .map(|(_, q)| sigma.name(*q))
+        .collect();
+    let guided_pivots: Vec<&str> = guided
+        .segments()
+        .iter()
+        .map(|(_, q)| sigma.name(*q))
+        .collect();
     println!("plain pivots : {plain_pivots:?}");
     println!("guided pivots: {guided_pivots:?} (repeatable `item` excluded)");
 
@@ -84,7 +92,10 @@ fn main() {
     // Extraction on the grown catalog.
     let fresh = marked(FRESH);
     let word: Vec<_> = fresh.names.iter().map(|n| sigma.sym(n)).collect();
-    println!("\nfresh catalog target (first price) at position {}", fresh.target);
+    println!(
+        "\nfresh catalog target (first price) at position {}",
+        fresh.target
+    );
     println!(
         "plain  extracts: {:?}",
         plain_max.extract(&word).map(|e| e.position)

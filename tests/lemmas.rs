@@ -179,8 +179,5 @@ fn concat_distributes_over_union() {
     let x = Lang::parse(&a, "p | q q").unwrap();
     let y = Lang::parse(&a, "r*").unwrap();
     let z = Lang::parse(&a, "p q").unwrap();
-    assert_eq!(
-        x.union(&y).concat(&z),
-        x.concat(&z).union(&y.concat(&z))
-    );
+    assert_eq!(x.union(&y).concat(&z), x.concat(&z).union(&y.concat(&z)));
 }

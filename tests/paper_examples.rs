@@ -98,9 +98,10 @@ fn example_4_6() {
 fn example_4_7_two_distinct_maximizations() {
     let input = e("q p <p> .*");
     assert!(input.is_unambiguous());
-    assert!(
-        matches!(input.maximality(), MaximalityStatus::NonMaximal(_))
-    );
+    assert!(matches!(
+        input.maximality(),
+        MaximalityStatus::NonMaximal(_)
+    ));
 
     let m1 = e("[^p]* p [^p]* <p> .*");
     let m2 = left_filter_maximize(&input).unwrap();

@@ -77,10 +77,7 @@ fn resilience_is_monotone_ish_and_dominates_initial() {
     }
     // And strictly better somewhere: maximization must buy something.
     assert!(
-        table
-            .rows
-            .iter()
-            .any(|r| r.successes[0] > r.successes[1]),
+        table.rows.iter().any(|r| r.successes[0] > r.successes[1]),
         "maximization bought nothing\n{table}"
     );
 }

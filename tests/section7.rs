@@ -128,8 +128,14 @@ fn merged_expression_refines_expression_10_structure() {
 fn expression_10_is_unambiguous_but_not_maximal() {
     let (sigma, d1, d2) = setup();
     let expr10 = expression_10(&sigma).to_expr();
-    assert!(expr10.is_unambiguous(), "paper: Expression (10) is unambiguous");
-    assert!(!expr10.is_maximal(), "paper: Expression (10) is not maximal");
+    assert!(
+        expr10.is_unambiguous(),
+        "paper: Expression (10) is unambiguous"
+    );
+    assert!(
+        !expr10.is_maximal(),
+        "paper: Expression (10) is not maximal"
+    );
     // It parses both Figure 1 documents at the right position.
     for doc in [&d1, &d2] {
         let word: Vec<_> = doc.names.iter().map(|n| sigma.sym(n)).collect();
@@ -141,7 +147,9 @@ fn expression_10_is_unambiguous_but_not_maximal() {
 fn pivot_maximization_yields_the_papers_final_expression() {
     let (sigma, _, _) = setup();
     let pe = expression_10(&sigma);
-    let maximal = pe.maximize().expect("conditions for pivot maximization are satisfied");
+    let maximal = pe
+        .maximize()
+        .expect("conditions for pivot maximization are satisfied");
 
     assert!(maximal.is_unambiguous());
     assert!(maximal.is_maximal());
@@ -149,11 +157,9 @@ fn pivot_maximization_yields_the_papers_final_expression() {
 
     // The paper's final expression:
     //   (Tags−FORM)* FORM (Tags−INPUT)* INPUT (Tags−INPUT)* ⟨INPUT⟩ Tags*
-    let paper_final = ExtractionExpr::parse(
-        &sigma,
-        "[^FORM]* FORM [^INPUT]* INPUT [^INPUT]* <INPUT> .*",
-    )
-    .unwrap();
+    let paper_final =
+        ExtractionExpr::parse(&sigma, "[^FORM]* FORM [^INPUT]* INPUT [^INPUT]* <INPUT> .*")
+            .unwrap();
     assert!(
         maximal.same_extraction(&paper_final),
         "expected the paper's final expression, got {}",
@@ -200,8 +206,7 @@ fn semantics_second_input_in_first_form_not_second_on_page() {
     let pe = expression_10(&sigma);
     let pivot_max = pe.maximize().unwrap();
 
-    let direct_left =
-        left_filter_maximize_lang(pe.to_expr().left(), pe.marker()).expect("bounded");
+    let direct_left = left_filter_maximize_lang(pe.to_expr().left(), pe.marker()).expect("bounded");
     let direct_max = ExtractionExpr::from_langs(direct_left, pe.marker(), Lang::universe(&sigma));
     assert!(direct_max.is_maximal());
 

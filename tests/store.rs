@@ -1,0 +1,168 @@
+//! Tests for the interned language store: the memoized operation cache
+//! must be semantically invisible (cached and uncached paths agree on
+//! every operation), hash-consing must identify equal languages, and the
+//! statistics counters must behave sanely under real workloads.
+
+use proptest::prelude::*;
+use rextract::automata::{Alphabet, Lang, Regex, Store};
+use rextract::extraction::left_filter::left_filter_maximize;
+use rextract::extraction::ExtractionExpr;
+
+/// An alphabet of `n` symbols `t0..t(n-1)`.
+fn alphabet_of(n: usize) -> Alphabet {
+    Alphabet::new((0..n).map(|i| format!("t{i}")))
+}
+
+/// Random regex AST over an `n`-symbol alphabet (mirrors the generator in
+/// `properties.rs`, parameterized by alphabet size).
+fn arb_regex(n: usize) -> impl Strategy<Value = Regex> {
+    let names: Vec<String> = (0..n).map(|i| format!("t{i}")).collect();
+    let leaf = prop_oneof![
+        1 => Just(Regex::Epsilon),
+        6 => proptest::sample::subsequence(names, 1..=2).prop_map(move |picked| {
+            let a = alphabet_of(n);
+            let mut set = a.empty_set();
+            for name in picked {
+                set.insert(a.sym(&name));
+            }
+            Regex::class(set)
+        }),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            3 => (inner.clone(), inner.clone())
+                .prop_map(|(x, y)| Regex::concat([x, y])),
+            3 => (inner.clone(), inner.clone()).prop_map(|(x, y)| Regex::alt([x, y])),
+            2 => inner.clone().prop_map(Regex::star),
+            1 => (inner.clone(), inner.clone()).prop_map(|(x, y)| x.diff(y)),
+        ]
+    })
+}
+
+/// Cross-check every store operation: the memoized path (`Store::global`)
+/// and the cache-bypassing path (`Store::uncached`) must produce the same
+/// interned language — equality here is an O(1) id compare, so agreement
+/// means both paths landed on the *same* canonical DFA.
+fn check_ops_agree(a: &Alphabet, x: &Regex, y: &Regex) {
+    let cached = Store::global();
+    let uncached = Store::uncached();
+    let lx = Lang::from_regex(a, x);
+    let ly = Lang::from_regex(a, y);
+
+    assert_eq!(cached.union(&lx, &ly), uncached.union(&lx, &ly));
+    assert_eq!(cached.intersect(&lx, &ly), uncached.intersect(&lx, &ly));
+    assert_eq!(cached.difference(&lx, &ly), uncached.difference(&lx, &ly));
+    assert_eq!(cached.concat(&lx, &ly), uncached.concat(&lx, &ly));
+    assert_eq!(cached.complement(&lx), uncached.complement(&lx));
+    assert_eq!(cached.star(&lx), uncached.star(&lx));
+    assert_eq!(cached.reversed(&lx), uncached.reversed(&lx));
+    assert_eq!(
+        cached.right_quotient(&lx, &ly),
+        uncached.right_quotient(&lx, &ly)
+    );
+    assert_eq!(
+        cached.left_quotient(&lx, &ly),
+        uncached.left_quotient(&lx, &ly)
+    );
+    assert_eq!(cached.is_empty(&lx), uncached.is_empty(&lx));
+    assert_eq!(cached.is_universal(&lx), uncached.is_universal(&lx));
+    assert_eq!(cached.is_subset(&lx, &ly), uncached.is_subset(&lx, &ly));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Cached vs uncached agreement over a 2-symbol alphabet.
+    #[test]
+    fn cached_agrees_with_uncached_sigma2(x in arb_regex(2), y in arb_regex(2)) {
+        check_ops_agree(&alphabet_of(2), &x, &y);
+    }
+
+    /// Cached vs uncached agreement over an 8-symbol alphabet.
+    #[test]
+    fn cached_agrees_with_uncached_sigma8(x in arb_regex(8), y in arb_regex(8)) {
+        check_ops_agree(&alphabet_of(8), &x, &y);
+    }
+}
+
+/// Hash-consing: syntactically different regexes denoting the same
+/// language intern to the same id (and thus the same `Arc`'d DFA).
+#[test]
+fn equal_languages_intern_to_the_same_id() {
+    let a = alphabet_of(2);
+    let pairs = [
+        ("(t0 | t1)*", ".*"),
+        ("t0 t0*", "t0+"),
+        ("(t0* t1*)*", ".*"),
+        ("t0 | t1 t0", "(~ | t1) t0"),
+    ];
+    for (s1, s2) in pairs {
+        let l1 = Lang::parse(&a, s1).unwrap();
+        let l2 = Lang::parse(&a, s2).unwrap();
+        assert_eq!(
+            l1.id(),
+            l2.id(),
+            "{s1} and {s2} denote the same language but got distinct ids"
+        );
+    }
+}
+
+/// StoreStats across a left-filter maximization: counters are monotone,
+/// the first run does real work (misses), and an identical second run is
+/// answered from the cache (fresh hits).
+#[test]
+fn stats_are_monotone_and_plausible_across_a_left_filter_run() {
+    let a = Alphabet::new(["p", "q", "r"]);
+    let expr = ExtractionExpr::parse(&a, "q* p r <p> .*").unwrap();
+
+    let s0 = Store::stats();
+    let out1 = left_filter_maximize(&expr).unwrap();
+    let s1 = Store::stats();
+
+    // Monotone totals (other tests may run concurrently, so only ≥).
+    assert!(s1.hits() >= s0.hits());
+    assert!(s1.misses() >= s0.misses());
+    assert!(s1.interned >= s0.interned);
+
+    let first = s1.since(&s0);
+    assert!(
+        first.hits() + first.misses() > 0,
+        "maximization must go through the op cache: {}",
+        first.summary()
+    );
+
+    // The identical run again: every memoized operation now hits.
+    let out2 = left_filter_maximize(&expr).unwrap();
+    let second = Store::stats().since(&s1);
+    assert_eq!(
+        out1.left(),
+        out2.left(),
+        "maximization must be deterministic"
+    );
+    assert!(
+        second.hits() > 0,
+        "second identical run produced no cache hits: {}",
+        second.summary()
+    );
+    // Per-op breakdown stays internally consistent.
+    for op in &second.per_op {
+        assert!(
+            op.hits + op.misses >= op.hits,
+            "counter overflow for {}",
+            op.name
+        );
+    }
+}
+
+/// The uncached store handle is observable as such and still interns.
+#[test]
+fn uncached_store_bypasses_cache_but_still_interns() {
+    assert!(Store::global().is_cached());
+    assert!(!Store::uncached().is_cached());
+    let a = alphabet_of(2);
+    let x = Lang::parse(&a, "t0*").unwrap();
+    let u1 = Store::uncached().star(&x);
+    let u2 = Store::uncached().star(&x);
+    // Same canonical language → same interned id, even without the cache.
+    assert_eq!(u1.id(), u2.id());
+}

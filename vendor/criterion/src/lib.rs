@@ -1,0 +1,297 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The container building this workspace has no network access, so the
+//! real criterion crate cannot be fetched. This stub implements the exact
+//! API surface `crates/bench` uses — `criterion_group!`/`criterion_main!`,
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_with_input`],
+//! [`BenchmarkGroup::bench_function`], [`BenchmarkId`], [`Throughput`],
+//! [`black_box`] — backed by a simple adaptive wall-clock timer instead of
+//! criterion's statistical machinery.
+//!
+//! Measurement model: each benchmark is warmed up briefly, then timed over
+//! enough iterations to fill a short measurement window; the per-iteration
+//! mean and a min/median/max spread over the samples are printed to
+//! stdout in a stable, greppable one-line format:
+//!
+//! ```text
+//! bench: group/id ... 12_345 ns/iter (min 11_900, med 12_300, max 13_100, 20 samples)
+//! ```
+//!
+//! Environment knobs (both optional):
+//! * `BENCH_WARMUP_MS` — warm-up budget per benchmark (default 50).
+//! * `BENCH_MEASURE_MS` — measurement budget per benchmark (default 300).
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-run configuration (shared by every group of one `Criterion`).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    warmup: Duration,
+    measure: Duration,
+    sample_size: usize,
+}
+
+fn env_ms(var: &str, default_ms: u64) -> Duration {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(Duration::from_millis)
+        .unwrap_or(Duration::from_millis(default_ms))
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warmup: env_ms("BENCH_WARMUP_MS", 50),
+            measure: env_ms("BENCH_MEASURE_MS", 300),
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Mirror of criterion's CLI-config hook; the stub has no CLI.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Run a benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(
+            &format!("{id}"),
+            self.warmup,
+            self.measure,
+            self.sample_size,
+            &mut f,
+        );
+        self
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples to report per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Accepted for API compatibility; the stub reports ns/iter only.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmark a closure against one prepared input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl fmt::Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(
+            &label,
+            self.criterion.warmup,
+            self.criterion.measure,
+            self.sample_size.unwrap_or(self.criterion.sample_size),
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Benchmark a closure with no prepared input.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(
+            &label,
+            self.criterion.warmup,
+            self.criterion.measure,
+            self.sample_size.unwrap_or(self.criterion.sample_size),
+            &mut f,
+        );
+        self
+    }
+
+    /// End the group (printing happens eagerly; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Identifier combining a function name and a parameter, as in criterion.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{function}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{parameter}"),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Throughput annotation (accepted, not reported).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Handed to benchmark closures; `iter` does the timing.
+pub struct Bencher {
+    mode: BencherMode,
+    /// Total time spent inside the measured closure in measure mode.
+    elapsed: Duration,
+    /// Iterations the harness asks for in measure mode.
+    iters: u64,
+}
+
+enum BencherMode {
+    /// Run once per call, recording time (used to calibrate).
+    Calibrate,
+    /// Run `iters` times, accumulating elapsed.
+    Measure,
+}
+
+impl Bencher {
+    /// Time the closure. The harness calls the benchmark function several
+    /// times with different internal iteration counts.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        match self.mode {
+            BencherMode::Calibrate => {
+                let t = Instant::now();
+                black_box(f());
+                self.elapsed += t.elapsed();
+                self.iters = 1;
+            }
+            BencherMode::Measure => {
+                let t = Instant::now();
+                for _ in 0..self.iters {
+                    black_box(f());
+                }
+                self.elapsed += t.elapsed();
+            }
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    label: &str,
+    warmup: Duration,
+    measure: Duration,
+    samples: usize,
+    f: &mut F,
+) {
+    // Calibration: single iterations until the warm-up budget is spent.
+    let mut per_iter = Duration::ZERO;
+    let mut calibration_runs = 0u32;
+    let warm_start = Instant::now();
+    while warm_start.elapsed() < warmup || calibration_runs == 0 {
+        let mut b = Bencher {
+            mode: BencherMode::Calibrate,
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        per_iter += b.elapsed;
+        calibration_runs += 1;
+        if calibration_runs >= 1000 {
+            break;
+        }
+    }
+    let per_iter = per_iter / calibration_runs.max(1);
+
+    // Choose an iteration count so one sample is ~measure/samples.
+    let samples = samples.max(5);
+    let sample_budget = measure / samples as u32;
+    let iters = if per_iter.is_zero() {
+        1000
+    } else {
+        (sample_budget.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64
+    };
+
+    let mut times: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            mode: BencherMode::Measure,
+            elapsed: Duration::ZERO,
+            iters,
+        };
+        f(&mut b);
+        times.push(b.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let med = times[times.len() / 2];
+    let min = times[0];
+    let max = times[times.len() - 1];
+    println!(
+        "bench: {label} ... {} ns/iter (min {}, med {}, max {}, {} samples x {} iters)",
+        med as u64, min as u64, med as u64, max as u64, samples, iters
+    );
+}
+
+/// Build a benchmark-group function from benchmark functions, as in
+/// criterion. Only the plain `criterion_group!(name, fn, ...)` form the
+/// bench crate uses is supported.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

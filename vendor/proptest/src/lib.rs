@@ -1,0 +1,718 @@
+//! Offline stand-in for the `proptest` property-testing crate.
+//!
+//! The build environment has no network access, so the real proptest
+//! cannot be fetched. This stub re-implements the exact surface the
+//! workspace's tests use — the [`Strategy`] trait with `prop_map` /
+//! `prop_recursive` / `boxed`, [`Just`], tuple and `Range<usize>`
+//! strategies, `&str` regex-pattern strategies, `collection::vec`,
+//! `sample::subsequence`, `prop_oneof!`, and the `proptest!` /
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!` macros — on top of
+//! a deterministic xorshift generator.
+//!
+//! Differences from real proptest, deliberately accepted:
+//! * **No shrinking.** A failing case reports the case number and seed;
+//!   reproduce by re-running the (deterministic) test binary.
+//! * **Pattern strategies** support only the subset of regex syntax the
+//!   tests use: character classes with ranges, `\PC` (any non-control
+//!   char), literal chars, and `{m,n}` repetition.
+//! * Generation is seeded from the test name, so runs are reproducible
+//!   and independent of execution order.
+
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use std::rc::Rc;
+
+    /// A recipe for generating random values of one type.
+    pub trait Strategy {
+        type Value;
+
+        /// Produce one value. Stubs have no shrinking, so this is the
+        /// whole story.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+
+        /// Type-erase into a cloneable, shareable strategy handle.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+
+        /// Build recursive structures: `depth` levels of the `recurse`
+        /// combinator stacked over `self` as the leaf strategy. The
+        /// `_desired_size` / `_expected_branch_size` hints are accepted
+        /// for API compatibility; depth alone bounds recursion here.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let base = self.boxed();
+            let mut level = base.clone();
+            for _ in 0..depth {
+                let deeper = recurse(level.clone()).boxed();
+                // Mix leaves back in at every level so generated values
+                // span the whole size spectrum, not just maximal depth.
+                level = Union::new(vec![(1, base.clone()), (3, deeper)]).boxed();
+            }
+            level
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Strategy adapter produced by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    /// Object-safe mirror of [`Strategy`] for type erasure.
+    trait DynStrategy<T> {
+        fn dyn_generate(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// Cloneable type-erased strategy (`Rc`-shared; tests are
+    /// single-threaded per `#[test]`).
+    pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.dyn_generate(rng)
+        }
+    }
+
+    /// Weighted choice between strategies of one value type; the engine
+    /// behind `prop_oneof!`.
+    pub struct Union<T> {
+        options: Vec<(u32, BoxedStrategy<T>)>,
+        total: u64,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(options: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            let total = options.iter().map(|(w, _)| u64::from(*w)).sum();
+            assert!(total > 0, "prop_oneof! weights must not all be zero");
+            Union { options, total }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.below_u64(self.total);
+            for (w, s) in &self.options {
+                let w = u64::from(*w);
+                if pick < w {
+                    return s.generate(rng);
+                }
+                pick -= w;
+            }
+            unreachable!("weight arithmetic is exhaustive")
+        }
+    }
+
+    /// Uniform usize in `[start, end)`.
+    impl Strategy for std::ops::Range<usize> {
+        type Value = usize;
+        fn generate(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.below(self.end - self.start)
+        }
+    }
+
+    impl<A: Strategy> Strategy for (A,) {
+        type Value = (A::Value,);
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (self.0.generate(rng),)
+        }
+    }
+
+    impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+        type Value = (A::Value, B::Value);
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (self.0.generate(rng), self.1.generate(rng))
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+        type Value = (A::Value, B::Value, C::Value);
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (
+                self.0.generate(rng),
+                self.1.generate(rng),
+                self.2.generate(rng),
+            )
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+        type Value = (A::Value, B::Value, C::Value, D::Value);
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (
+                self.0.generate(rng),
+                self.1.generate(rng),
+                self.2.generate(rng),
+                self.3.generate(rng),
+            )
+        }
+    }
+
+    /// `&str` patterns act as string strategies, interpreting the small
+    /// regex subset the tests use (see the crate docs).
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            super::pattern::generate(self, rng)
+        }
+    }
+
+    /// Inclusive size bound for collection strategies.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        pub lo: usize,
+        pub hi_inclusive: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl SizeRange {
+        pub fn pick(&self, rng: &mut TestRng) -> usize {
+            self.lo + rng.below(self.hi_inclusive - self.lo + 1)
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::{SizeRange, Strategy};
+    use super::test_runner::TestRng;
+
+    /// Vectors of values from `element`, length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    use super::strategy::{SizeRange, Strategy};
+    use super::test_runner::TestRng;
+
+    /// Order-preserving random subsequences of `items` with size in
+    /// `size` (clamped to the number of items).
+    pub fn subsequence<T: Clone>(
+        items: Vec<T>,
+        size: impl Into<SizeRange>,
+    ) -> SubsequenceStrategy<T> {
+        SubsequenceStrategy {
+            items,
+            size: size.into(),
+        }
+    }
+
+    pub struct SubsequenceStrategy<T> {
+        items: Vec<T>,
+        size: SizeRange,
+    }
+
+    impl<T: Clone> Strategy for SubsequenceStrategy<T> {
+        type Value = Vec<T>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<T> {
+            let n = self.items.len();
+            let lo = self.size.lo.min(n);
+            let hi = self.size.hi_inclusive.min(n);
+            let k = lo + rng.below(hi - lo + 1);
+            // Partial Fisher–Yates over the index set, then sort to keep
+            // the original order.
+            let mut indices: Vec<usize> = (0..n).collect();
+            for i in 0..k {
+                let j = i + rng.below(n - i);
+                indices.swap(i, j);
+            }
+            let mut chosen = indices[..k].to_vec();
+            chosen.sort_unstable();
+            chosen.into_iter().map(|i| self.items[i].clone()).collect()
+        }
+    }
+}
+
+/// Generator for the `&str` pattern strategies. Supports literal chars,
+/// `[...]` classes (with `a-z` ranges and `\x` escapes), `\PC`, and an
+/// optional `{m,n}` / `{n}` repetition suffix per atom.
+mod pattern {
+    use super::test_runner::TestRng;
+
+    enum Atom {
+        Literal(char),
+        Class(Vec<char>),
+        NonControl,
+    }
+
+    struct Piece {
+        atom: Atom,
+        min: usize,
+        max: usize,
+    }
+
+    fn parse(pattern: &str) -> Vec<Piece> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut i = 0;
+        let mut pieces = Vec::new();
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '[' => {
+                    i += 1;
+                    let mut set = Vec::new();
+                    while i < chars.len() && chars[i] != ']' {
+                        let c = if chars[i] == '\\' && i + 1 < chars.len() {
+                            i += 1;
+                            chars[i]
+                        } else {
+                            chars[i]
+                        };
+                        // `a-z` range: a `-` between two class members.
+                        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                            let hi = chars[i + 2];
+                            let (lo, hi) = (c.min(hi), c.max(hi));
+                            for code in lo as u32..=hi as u32 {
+                                if let Some(ch) = char::from_u32(code) {
+                                    set.push(ch);
+                                }
+                            }
+                            i += 3;
+                        } else {
+                            set.push(c);
+                            i += 1;
+                        }
+                    }
+                    i += 1; // consume ']'
+                    assert!(!set.is_empty(), "empty character class in pattern");
+                    Atom::Class(set)
+                }
+                '\\' => {
+                    // Only `\PC` (any non-control char) is recognized as a
+                    // class; any other escape is the literal escaped char.
+                    if chars.get(i + 1) == Some(&'P') && chars.get(i + 2) == Some(&'C') {
+                        i += 3;
+                        Atom::NonControl
+                    } else {
+                        i += 1;
+                        let c = chars.get(i).copied().unwrap_or('\\');
+                        i += 1;
+                        Atom::Literal(c)
+                    }
+                }
+                c => {
+                    i += 1;
+                    Atom::Literal(c)
+                }
+            };
+            // Optional {m,n} or {n} repetition.
+            let (min, max) = if chars.get(i) == Some(&'{') {
+                i += 1;
+                let mut first = String::new();
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    first.push(chars[i]);
+                    i += 1;
+                }
+                let m: usize = first.parse().expect("repetition lower bound");
+                let n = if chars.get(i) == Some(&',') {
+                    i += 1;
+                    let mut second = String::new();
+                    while i < chars.len() && chars[i].is_ascii_digit() {
+                        second.push(chars[i]);
+                        i += 1;
+                    }
+                    second.parse().expect("repetition upper bound")
+                } else {
+                    m
+                };
+                assert_eq!(chars.get(i), Some(&'}'), "unterminated repetition");
+                i += 1;
+                (m, n)
+            } else {
+                (1, 1)
+            };
+            pieces.push(Piece { atom, min, max });
+        }
+        pieces
+    }
+
+    /// A small pool of non-ASCII, non-control chars so `\PC` exercises
+    /// multi-byte UTF-8 without needing full Unicode tables.
+    const WIDE: &[char] = &['é', 'ß', 'Ω', 'ж', '中', '日', '€', '→', '🦀', '𝔘'];
+
+    fn gen_non_control(rng: &mut TestRng) -> char {
+        if rng.below(8) == 0 {
+            WIDE[rng.below(WIDE.len())]
+        } else {
+            char::from_u32(0x20 + rng.below(0x7f - 0x20) as u32).unwrap()
+        }
+    }
+
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in parse(pattern) {
+            let count = piece.min + rng.below(piece.max - piece.min + 1);
+            for _ in 0..count {
+                match &piece.atom {
+                    Atom::Literal(c) => out.push(*c),
+                    Atom::Class(set) => out.push(set[rng.below(set.len())]),
+                    Atom::NonControl => out.push(gen_non_control(rng)),
+                }
+            }
+        }
+        out
+    }
+}
+
+pub mod test_runner {
+    /// Deterministic xorshift64* generator.
+    pub struct TestRng(u64);
+
+    impl TestRng {
+        pub fn from_seed(seed: u64) -> Self {
+            // splitmix64 scramble so nearby seeds diverge immediately.
+            let mut z = seed.wrapping_add(0x9e3779b97f4a7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            TestRng((z ^ (z >> 31)) | 1)
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x.wrapping_mul(0x2545f4914f6cdd1d)
+        }
+
+        /// Uniform in `[0, n)`; `n` must be positive.
+        pub fn below(&mut self, n: usize) -> usize {
+            self.below_u64(n as u64) as usize
+        }
+
+        pub fn below_u64(&mut self, n: u64) -> u64 {
+            debug_assert!(n > 0);
+            // Modulo bias is ~n/2^64 — irrelevant at test-size n.
+            self.next_u64() % n
+        }
+    }
+
+    /// Why a single test case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// Assertion failure: the property is violated.
+        Fail(String),
+        /// `prop_assume!` rejected the inputs; try other inputs.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// Runner configuration; only `cases` matters to this stub.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    pub struct TestRunner {
+        config: ProptestConfig,
+    }
+
+    impl TestRunner {
+        pub fn new(config: ProptestConfig) -> Self {
+            TestRunner { config }
+        }
+
+        /// Run `f` for `config.cases` accepted cases, seeding
+        /// deterministically from the test name. Panics (failing the
+        /// enclosing `#[test]`) on the first `Fail`.
+        pub fn run(
+            &mut self,
+            name: &str,
+            mut f: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+        ) {
+            let seed = name.bytes().fold(0xcbf29ce484222325u64, |h, b| {
+                (h ^ u64::from(b)).wrapping_mul(0x100000001b3)
+            });
+            let mut accepted = 0u32;
+            let mut rejected = 0u64;
+            let mut case = 0u64;
+            while accepted < self.config.cases {
+                let mut rng = TestRng::from_seed(seed ^ case);
+                case += 1;
+                match f(&mut rng) {
+                    Ok(()) => accepted += 1,
+                    Err(TestCaseError::Reject(_)) => {
+                        rejected += 1;
+                        if rejected > u64::from(self.config.cases) * 64 {
+                            panic!(
+                                "proptest [{name}]: too many prop_assume! rejections \
+                                 ({rejected}) for {} cases",
+                                self.config.cases
+                            );
+                        }
+                    }
+                    Err(TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest [{name}] failed at case {} (seed {:#x}):\n{msg}",
+                            case - 1,
+                            seed ^ (case - 1)
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Weighted choice macro: `prop_oneof![w1 => strat1, w2 => strat2, ...]`.
+/// Unweighted arms default to weight 1.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Property-test block: each `fn name(arg in strategy, ...) { body }`
+/// item becomes a `#[test]` running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            let __strategy = ($(($strat),)+);
+            let mut __runner = $crate::test_runner::TestRunner::new(__config);
+            __runner.run(stringify!($name), |__rng| {
+                let ($($arg,)+) =
+                    $crate::strategy::Strategy::generate(&__strategy, __rng);
+                let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                __result
+            });
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}
+
+/// Like `assert!`, but reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Like `assert_eq!`, but reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                    stringify!($left), stringify!($right), __l, __r
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "{}\nassertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                    format!($($fmt)+), stringify!($left), stringify!($right), __l, __r
+                ),
+            ));
+        }
+    }};
+}
+
+/// Like `assert_ne!`, but reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __l
+            )));
+        }
+    }};
+}
+
+/// Discard the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}

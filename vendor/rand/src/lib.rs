@@ -1,0 +1,7 @@
+//! Offline stand-in for `rand`.
+//!
+//! The workspace lists `rand` as a dev-dependency but no source file uses
+//! it; this empty crate lets dependency resolution succeed in the
+//! network-less build environment. If randomized helpers are ever needed,
+//! grow this into a small xorshift-based module (see
+//! `proptest::test_runner::TestRng` in the sibling stub for the idiom).
