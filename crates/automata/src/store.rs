@@ -24,12 +24,38 @@
 //! Hit/miss counters per operation are exposed through [`StoreStats`]
 //! snapshots; [`Store::reset_op_cache`] clears the cache and counters
 //! (but never the interner) so benches can measure cold vs warm runs.
+//!
+//! ## Eviction (long-running services)
+//!
+//! By default the op cache grows without bound — fine for CLI and bench
+//! lifetimes. A long-running daemon sets a capacity with
+//! [`Store::set_op_cache_capacity`], which switches the cache to a
+//! **generation-based** policy: every entry is stamped with the current
+//! generation on insert and on each hit; when an insert pushes the cache
+//! past its capacity, a *sweep* evicts every entry not touched in the
+//! current generation and then advances the generation. Entries in active
+//! use are re-stamped on every hit and survive sweeps indefinitely; cold
+//! entries survive at most one full generation. If a sweep cannot get
+//! below capacity (everything was touched recently), arbitrary surplus
+//! entries are dropped so the configured bound is a hard ceiling.
+//! Evictions, sweeps, and *re-misses* (a miss on a key that was
+//! previously evicted — the cost signal of an undersized cache) are
+//! reported in [`StoreStats`]. Eviction never touches the interner, so
+//! live [`Lang`] handles are unaffected and re-computed results re-intern
+//! to their original ids.
+//!
+//! ## Lock poisoning
+//!
+//! The store's mutex guards pure cache state (no invariants span a
+//! panic), so every acquisition recovers from poisoning: a worker thread
+//! that panics mid-operation must not wedge every subsequent extraction
+//! in a daemon that keeps serving.
 
 use crate::dfa::Dfa;
 use crate::intern::{Interner, LangId};
 use crate::lang::Lang;
 use crate::nfa::Nfa;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::{Mutex, OnceLock};
 
 /// Operations the store memoizes.
@@ -101,11 +127,31 @@ enum CacheEntry {
     Bool(bool),
 }
 
+type CacheKey = (Op, u32, u32);
+
+/// A cached result stamped with the generation of its last use.
+#[derive(Clone, Copy)]
+struct CacheSlot {
+    entry: CacheEntry,
+    stamp: u64,
+}
+
 struct StoreInner {
     interner: Interner,
-    op_cache: HashMap<(Op, u32, u32), CacheEntry>,
+    op_cache: HashMap<CacheKey, CacheSlot>,
     hits: [u64; OP_COUNT],
     misses: [u64; OP_COUNT],
+    /// `None` = unbounded (the CLI/bench default).
+    capacity: Option<usize>,
+    /// Current generation; advanced by every sweep.
+    generation: u64,
+    evictions: u64,
+    sweeps: u64,
+    re_misses: u64,
+    /// Keys evicted since the last reset, for re-miss attribution. Bounded:
+    /// drained wholesale when it outgrows the cache capacity several times
+    /// over, so re-miss counts are a (documented) lower bound, never a leak.
+    evicted_keys: HashSet<CacheKey>,
 }
 
 impl StoreInner {
@@ -115,6 +161,61 @@ impl StoreInner {
             op_cache: HashMap::new(),
             hits: [0; OP_COUNT],
             misses: [0; OP_COUNT],
+            capacity: None,
+            generation: 0,
+            evictions: 0,
+            sweeps: 0,
+            re_misses: 0,
+            evicted_keys: HashSet::new(),
+        }
+    }
+
+    /// Record a cache miss on `key`, attributing re-misses.
+    fn note_miss(&mut self, op: Op, key: &CacheKey) {
+        self.misses[op.index()] += 1;
+        if self.evicted_keys.remove(key) {
+            self.re_misses += 1;
+        }
+    }
+
+    /// Insert `slot` under `key`, sweeping if the bound is exceeded.
+    fn insert_bounded(&mut self, key: CacheKey, entry: CacheEntry) {
+        let stamp = self.generation;
+        self.op_cache.insert(key, CacheSlot { entry, stamp });
+        let Some(cap) = self.capacity else { return };
+        if self.op_cache.len() <= cap {
+            return;
+        }
+        // Sweep: drop everything not touched in the current generation.
+        self.sweeps += 1;
+        let gen = self.generation;
+        let before = self.op_cache.len();
+        let evicted: Vec<CacheKey> = self
+            .op_cache
+            .iter()
+            .filter(|(_, s)| s.stamp < gen)
+            .map(|(k, _)| *k)
+            .collect();
+        for k in &evicted {
+            self.op_cache.remove(k);
+            self.evicted_keys.insert(*k);
+        }
+        self.generation += 1;
+        // Hard ceiling: if the whole cache was hot, drop arbitrary surplus.
+        if self.op_cache.len() > cap {
+            let surplus: Vec<CacheKey> = {
+                let n = self.op_cache.len() - cap;
+                self.op_cache.keys().take(n).copied().collect()
+            };
+            for k in surplus {
+                self.op_cache.remove(&k);
+                self.evicted_keys.insert(k);
+            }
+        }
+        self.evictions += (before - self.op_cache.len()) as u64;
+        // Keep the re-miss ledger bounded relative to the cache itself.
+        if self.evicted_keys.len() > cap.saturating_mul(8).max(1024) {
+            self.evicted_keys.clear();
         }
     }
 }
@@ -178,18 +279,56 @@ impl Store {
             interned: guard.interner.len() as u64,
             dedup_hits: guard.interner.dedup_hits(),
             op_cache_size: guard.op_cache.len() as u64,
+            op_cache_capacity: guard.capacity.map(|c| c as u64),
+            evictions: guard.evictions,
+            sweeps: guard.sweeps,
+            re_misses: guard.re_misses,
             per_op,
         }
     }
 
-    /// Clear the memoized operation cache and its hit/miss counters. The
-    /// interner is deliberately untouched: live [`LangId`]s must stay
-    /// valid. Benches use this to compare cold and warm runs.
+    /// Bound the op cache to at most `capacity` entries (`None` restores
+    /// the unbounded default). See the [module docs](self) for the
+    /// generation-based sweep policy. A `capacity` of 0 is clamped to 1.
+    /// An over-full cache is swept down to the new bound immediately.
+    pub fn set_op_cache_capacity(capacity: Option<usize>) {
+        let mut guard = lock();
+        guard.capacity = capacity.map(|c| c.max(1));
+        if let Some(cap) = guard.capacity {
+            // Enforce the new bound now rather than on the next insert.
+            if guard.op_cache.len() > cap {
+                let surplus: Vec<CacheKey> = {
+                    let n = guard.op_cache.len() - cap;
+                    guard.op_cache.keys().take(n).copied().collect()
+                };
+                for k in surplus {
+                    guard.op_cache.remove(&k);
+                    guard.evicted_keys.insert(k);
+                    guard.evictions += 1;
+                }
+            }
+        }
+    }
+
+    /// The configured op-cache entry bound (`None` = unbounded).
+    pub fn op_cache_capacity() -> Option<usize> {
+        lock().capacity
+    }
+
+    /// Clear the memoized operation cache and its hit/miss/eviction
+    /// counters. The interner is deliberately untouched: live [`LangId`]s
+    /// must stay valid. The configured capacity also survives. Benches use
+    /// this to compare cold and warm runs.
     pub fn reset_op_cache() {
         let mut guard = lock();
         guard.op_cache.clear();
         guard.hits = [0; OP_COUNT];
         guard.misses = [0; OP_COUNT];
+        guard.generation = 0;
+        guard.evictions = 0;
+        guard.sweeps = 0;
+        guard.re_misses = 0;
+        guard.evicted_keys.clear();
     }
 
     // ----- the memoized algebra --------------------------------------------
@@ -284,19 +423,23 @@ impl Store {
         let key = (op, lhs, rhs);
         if self.cached {
             let mut guard = lock();
-            if let Some(&CacheEntry::Lang(id)) = guard.op_cache.get(&key) {
-                guard.hits[op.index()] += 1;
-                let id = LangId(id);
-                let shared = guard.interner.get(id);
-                return Lang::from_store(id, shared);
+            let gen = guard.generation;
+            if let Some(slot) = guard.op_cache.get_mut(&key) {
+                if let CacheEntry::Lang(id) = slot.entry {
+                    slot.stamp = gen; // keep hot entries across sweeps
+                    guard.hits[op.index()] += 1;
+                    let id = LangId(id);
+                    let shared = guard.interner.get(id);
+                    return Lang::from_store(id, shared);
+                }
             }
-            guard.misses[op.index()] += 1;
+            guard.note_miss(op, &key);
         }
         let minimal = compute().minimized();
         let mut guard = lock();
         let (id, shared) = guard.interner.intern(minimal);
         if self.cached {
-            guard.op_cache.insert(key, CacheEntry::Lang(id.0));
+            guard.insert_bounded(key, CacheEntry::Lang(id.0));
         }
         drop(guard);
         Lang::from_store(id, shared)
@@ -307,15 +450,19 @@ impl Store {
         let key = (op, lhs.0, rhs);
         if self.cached {
             let mut guard = lock();
-            if let Some(&CacheEntry::Bool(v)) = guard.op_cache.get(&key) {
-                guard.hits[op.index()] += 1;
-                return v;
+            let gen = guard.generation;
+            if let Some(slot) = guard.op_cache.get_mut(&key) {
+                if let CacheEntry::Bool(v) = slot.entry {
+                    slot.stamp = gen;
+                    guard.hits[op.index()] += 1;
+                    return v;
+                }
             }
-            guard.misses[op.index()] += 1;
+            guard.note_miss(op, &key);
         }
         let value = compute();
         if self.cached {
-            lock().op_cache.insert(key, CacheEntry::Bool(value));
+            lock().insert_bounded(key, CacheEntry::Bool(value));
         }
         value
     }
@@ -340,6 +487,16 @@ pub struct StoreStats {
     pub dedup_hits: u64,
     /// Current number of memoized operation entries.
     pub op_cache_size: u64,
+    /// Configured entry bound (`None` = unbounded).
+    pub op_cache_capacity: Option<u64>,
+    /// Entries evicted by the generation sweeper since the last reset.
+    pub evictions: u64,
+    /// Generation sweeps run since the last reset.
+    pub sweeps: u64,
+    /// Misses on previously-evicted keys since the last reset (a lower
+    /// bound — the evicted-key ledger is itself bounded). High re-miss
+    /// counts mean the configured capacity is too small for the workload.
+    pub re_misses: u64,
     /// Hit/miss counters per operation since the last
     /// [`Store::reset_op_cache`].
     pub per_op: Vec<OpStats>,
@@ -395,13 +552,17 @@ impl StoreStats {
             interned: self.interned.saturating_sub(earlier.interned),
             dedup_hits: self.dedup_hits.saturating_sub(earlier.dedup_hits),
             op_cache_size: self.op_cache_size,
+            op_cache_capacity: self.op_cache_capacity,
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+            sweeps: self.sweeps.saturating_sub(earlier.sweeps),
+            re_misses: self.re_misses.saturating_sub(earlier.re_misses),
             per_op,
         }
     }
 
     /// One-line summary, e.g. for bench tables.
     pub fn summary(&self) -> String {
-        format!(
+        let mut s = format!(
             "{} hits / {} misses ({:.1}% hit rate), {} langs interned ({} deduped), {} cache entries",
             self.hits(),
             self.misses(),
@@ -409,7 +570,14 @@ impl StoreStats {
             self.interned,
             self.dedup_hits,
             self.op_cache_size
-        )
+        );
+        if let Some(cap) = self.op_cache_capacity {
+            s.push_str(&format!(
+                " (cap {cap}, {} evicted in {} sweeps, {} re-misses)",
+                self.evictions, self.sweeps, self.re_misses
+            ));
+        }
+        s
     }
 
     /// Multi-line per-operation breakdown (operations that never ran are

@@ -1,0 +1,192 @@
+//! Experiment E9 — daemon throughput under concurrent load.
+//!
+//! A load generator, not a criterion microbenchmark: per worker count we
+//! boot a fresh `rextract-serve` daemon on an ephemeral port, hammer it
+//! from client threads doing connection-per-request `POST /extract`
+//! calls with perturbed site pages, and report requests/second plus
+//! p50/p99 client-observed latency. The run also checks the acceptance
+//! property that matters for long-lived deployments: the language
+//! store's op cache stays within its configured bound for the whole run.
+//!
+//! Knobs (environment):
+//!   SERVE_BENCH_CLIENTS     concurrent client threads   (default 16)
+//!   SERVE_BENCH_REQUESTS    requests per client         (default 200)
+//!   SERVE_BENCH_WORKERS     comma-separated sweep       (default 1,2,4,8)
+
+use rextract_automata::Store;
+use rextract_html::writer;
+use rextract_learn::perturb::Perturber;
+use rextract_serve::{serve, ServeConfig};
+use rextract_wrapper::site::{PageStyle, SiteConfig, SiteGenerator};
+use rextract_wrapper::wrapper::{TrainPage, Wrapper, WrapperConfig};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+const OP_CACHE_CAP: usize = 8_192;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn artifact() -> String {
+    let mut g = SiteGenerator::new(SiteConfig {
+        seed: 7,
+        ..SiteConfig::default()
+    });
+    let pages = vec![
+        TrainPage::from(&g.page_with_style(PageStyle::Plain)),
+        TrainPage::from(&g.page_with_style(PageStyle::TableEmbedded)),
+        TrainPage::from(&g.page_with_style(PageStyle::Busy)),
+    ];
+    Wrapper::train(&pages, WrapperConfig::default())
+        .unwrap()
+        .export()
+}
+
+/// Pre-rendered request bodies so client threads measure the daemon, not
+/// page generation.
+fn pages(n: usize, seed: u64) -> Vec<String> {
+    let mut g = SiteGenerator::new(SiteConfig {
+        seed,
+        ..SiteConfig::default()
+    });
+    let mut p = Perturber::new(seed);
+    (0..n)
+        .map(|_| {
+            let page = g.page();
+            let edited = p.perturb(&page.tokens, page.target, 2);
+            writer::write(&edited.tokens)
+        })
+        .collect()
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let msg = format!(
+        "POST {path} HTTP/1.1\r\nHost: bench\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(msg.as_bytes()).expect("send");
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("status");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("header");
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+            content_length = v.trim().parse().unwrap_or(0);
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).expect("body");
+    (status, String::from_utf8_lossy(&body).into_owned())
+}
+
+fn quantile(sorted_us: &[u64], q: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * q).round() as usize;
+    sorted_us[idx]
+}
+
+fn run_one(workers: usize, clients: usize, requests: usize, artifact: &str) {
+    let handle = serve(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers,
+        queue_capacity: 1024,
+        wrapper_dir: None,
+        op_cache_capacity: Some(OP_CACHE_CAP),
+        keepalive_timeout: Duration::from_secs(5),
+    })
+    .expect("boot daemon");
+    let addr = handle.addr();
+    let (status, _) = post(addr, "/wrappers/bench", artifact);
+    assert_eq!(status, 201, "wrapper install failed");
+
+    let started = Instant::now();
+    let threads: Vec<_> = (0..clients)
+        .map(|c| {
+            let bodies = pages(requests, 100 + c as u64);
+            std::thread::spawn(move || {
+                let mut latencies_us = Vec::with_capacity(bodies.len());
+                let mut failures = 0usize;
+                for body in &bodies {
+                    let t0 = Instant::now();
+                    let (status, _) = post(addr, "/extract?wrapper=bench", body);
+                    latencies_us.push(t0.elapsed().as_micros() as u64);
+                    // 422 = perturbation defeated the wrapper (fine);
+                    // anything else non-200 is a server failure.
+                    if status != 200 && status != 422 {
+                        failures += 1;
+                    }
+                }
+                (latencies_us, failures)
+            })
+        })
+        .collect();
+
+    let mut latencies_us = Vec::with_capacity(clients * requests);
+    let mut failures = 0usize;
+    for t in threads {
+        let (l, f) = t.join().expect("client thread");
+        latencies_us.extend(l);
+        failures += f;
+    }
+    let wall = started.elapsed();
+    latencies_us.sort_unstable();
+
+    let total = latencies_us.len();
+    let rps = total as f64 / wall.as_secs_f64();
+    let stats = Store::stats();
+    println!(
+        "workers {workers:>2} | clients {clients:>3} | {total:>6} reqs in {:>6.2}s | {rps:>8.0} req/s | p50 {:>6}us | p99 {:>6}us | failures {failures} | op-cache {}/{}",
+        wall.as_secs_f64(),
+        quantile(&latencies_us, 0.50),
+        quantile(&latencies_us, 0.99),
+        stats.op_cache_size,
+        OP_CACHE_CAP,
+    );
+    assert_eq!(failures, 0, "server errors under load");
+    assert!(
+        stats.op_cache_size <= OP_CACHE_CAP as u64,
+        "op cache exceeded its bound under load: {}",
+        stats.summary()
+    );
+
+    handle.shutdown();
+    handle.join();
+}
+
+fn main() {
+    let clients = env_usize("SERVE_BENCH_CLIENTS", 16);
+    let requests = env_usize("SERVE_BENCH_REQUESTS", 200);
+    let workers: Vec<usize> = std::env::var("SERVE_BENCH_WORKERS")
+        .unwrap_or_else(|_| "1,2,4,8".into())
+        .split(',')
+        .filter_map(|v| v.trim().parse().ok())
+        .collect();
+    let artifact = artifact();
+    println!("serve/throughput — connection-per-request POST /extract load");
+    for &w in &workers {
+        run_one(w, clients, requests, &artifact);
+    }
+    println!("store after sweep: {}", Store::stats().summary());
+}

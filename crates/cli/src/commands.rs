@@ -46,6 +46,15 @@ USAGE:
       Run a trained wrapper on a page; prints the token index and the
       located tag.
 
+  rextract serve [--addr HOST:PORT] [--workers N] [--queue N]
+                 [--wrapper-dir DIR] [--op-cache-cap N|none]
+                 [--keepalive-ms N]
+      Run the extraction daemon: POST /extract, POST /wrappers/{name},
+      GET /healthz, GET /metrics, POST /shutdown. Loads *.wrapper
+      artifacts from --wrapper-dir at boot and on POST /reload.
+      Defaults: 127.0.0.1:7878, workers = min(cores, 8), queue 128,
+      op cache bounded at 16384 entries, keep-alive 5000 ms.
+
   rextract demo
       Run the paper's Section 7 worked example end to end.
 
@@ -212,6 +221,59 @@ pub fn wrapper_extract(args: &[String]) -> Result<(), String> {
         .extract_target(&tokens)
         .map_err(|e| format!("extraction failed: {e}"))?;
     println!("token {idx}: {}", tokens[idx]);
+    Ok(())
+}
+
+/// `rextract serve [--addr HOST:PORT] [--workers N] [--queue N]
+/// [--wrapper-dir DIR] [--op-cache-cap N|none] [--keepalive-ms N]`
+pub fn serve(args: &[String]) -> Result<(), String> {
+    use rextract_serve::ServeConfig;
+    let mut config = ServeConfig::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |what: &str| {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{flag} needs a value ({what})"))
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = value("HOST:PORT")?.to_string(),
+            "--workers" => {
+                config.workers = value("thread count")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("--workers: {e}"))?
+                    .max(1)
+            }
+            "--queue" => {
+                config.queue_capacity = value("queue capacity")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("--queue: {e}"))?
+                    .max(1)
+            }
+            "--wrapper-dir" => config.wrapper_dir = Some(value("directory")?.into()),
+            "--op-cache-cap" => {
+                let v = value("entry count or `none`")?;
+                config.op_cache_capacity = if v == "none" {
+                    None
+                } else {
+                    Some(v.parse().map_err(|e| format!("--op-cache-cap: {e}"))?)
+                };
+            }
+            "--keepalive-ms" => {
+                config.keepalive_timeout = std::time::Duration::from_millis(
+                    value("milliseconds")?
+                        .parse()
+                        .map_err(|e| format!("--keepalive-ms: {e}"))?,
+                )
+            }
+            other => return Err(format!("unknown flag {other:?}; try `rextract help`")),
+        }
+    }
+    let handle = rextract_serve::serve(config).map_err(|e| format!("starting daemon: {e}"))?;
+    println!("listening on http://{}", handle.addr());
+    println!("POST /shutdown (or SIGKILL) to stop");
+    handle.join();
+    println!("drained; bye");
     Ok(())
 }
 

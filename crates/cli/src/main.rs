@@ -6,6 +6,7 @@
 //! rextract maximize <alphabet> <expression>          Algorithm 6.2 / mirror
 //! rextract extract  <alphabet> <expression> <doc>    locate the marker
 //! rextract learn    <sample>...                      merge marked samples
+//! rextract serve    [--addr HOST:PORT] [...]         extraction daemon
 //! rextract demo                                      the Figure 1 pipeline
 //! ```
 //!
@@ -39,6 +40,7 @@ fn main() -> ExitCode {
         "learn" => commands::learn(rest),
         "wrapper-train" => commands::wrapper_train(rest),
         "wrapper-extract" => commands::wrapper_extract(rest),
+        "serve" => commands::serve(rest),
         "demo" => commands::demo(rest),
         "help" | "--help" | "-h" => {
             print!("{}", commands::USAGE);

@@ -1,0 +1,348 @@
+//! Hand-rolled HTTP/1.1 message framing over `std::io`.
+//!
+//! The daemon deliberately avoids async runtimes and HTTP frameworks (the
+//! build environment has no network registry, and the workload — small
+//! requests, CPU-bound extraction — fits a thread-per-connection pool).
+//! This module implements exactly the subset the daemon speaks: request
+//! line + headers + `Content-Length` bodies in, status + headers + body
+//! out, with keep-alive per HTTP/1.1 defaults.
+
+use std::io::{self, BufRead, Write};
+
+/// Hard limits keeping a hostile or confused client from ballooning
+/// memory: total header block and body size caps.
+pub const MAX_HEADER_BYTES: usize = 16 * 1024;
+/// Maximum accepted request body (HTML pages and wrapper artifacts are
+/// well under this; anything bigger gets 413).
+pub const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+/// A parsed request.
+#[derive(Debug)]
+pub struct Request {
+    pub method: String,
+    /// Path component only (query string split off).
+    pub path: String,
+    /// Decoded `key=value` pairs from the query string, in order.
+    pub query: Vec<(String, String)>,
+    /// Header `(name, value)` pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+    /// True when the request was HTTP/1.0 or sent `Connection: close`.
+    close: bool,
+}
+
+impl Request {
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the connection must close after this exchange.
+    pub fn wants_close(&self) -> bool {
+        self.close
+    }
+
+    pub fn body_utf8(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum ReadError {
+    /// Clean EOF before any bytes: the peer closed an idle connection.
+    Closed,
+    /// The read timed out (idle keep-alive slot reclaimed).
+    Timeout,
+    /// Header block or body over the hard limits.
+    TooLarge,
+    /// Anything that does not parse as HTTP; carries a short reason.
+    Malformed(&'static str),
+    Io(io::Error),
+}
+
+/// Percent-decode a query component (`+` as space, `%XX` bytes).
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => out.push(b' '),
+            b'%' if i + 2 < bytes.len() => {
+                let hex = [bytes[i + 1], bytes[i + 2]];
+                match std::str::from_utf8(&hex)
+                    .ok()
+                    .and_then(|h| u8::from_str_radix(h, 16).ok())
+                {
+                    Some(v) => {
+                        out.push(v);
+                        i += 2;
+                    }
+                    None => out.push(b'%'),
+                }
+            }
+            b => out.push(b),
+        }
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn parse_query(q: &str) -> Vec<(String, String)> {
+    q.split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| {
+            let (k, v) = kv.split_once('=').unwrap_or((kv, ""));
+            (percent_decode(k), percent_decode(v))
+        })
+        .collect()
+}
+
+/// Read one line terminated by `\n` (tolerating `\r\n`), bounded by
+/// `budget` bytes; decrements the budget.
+fn read_line(r: &mut impl BufRead, budget: &mut usize) -> Result<String, ReadError> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        let n = r.read(&mut byte).map_err(map_io)?;
+        if n == 0 {
+            if line.is_empty() {
+                return Err(ReadError::Closed);
+            }
+            return Err(ReadError::Malformed("eof mid-line"));
+        }
+        if *budget == 0 {
+            return Err(ReadError::TooLarge);
+        }
+        *budget -= 1;
+        if byte[0] == b'\n' {
+            break;
+        }
+        line.push(byte[0]);
+    }
+    if line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    String::from_utf8(line).map_err(|_| ReadError::Malformed("non-utf8 header"))
+}
+
+fn map_io(e: io::Error) -> ReadError {
+    match e.kind() {
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => ReadError::Timeout,
+        io::ErrorKind::UnexpectedEof | io::ErrorKind::ConnectionReset => ReadError::Closed,
+        _ => ReadError::Io(e),
+    }
+}
+
+/// Read and parse one request from `r`.
+pub fn read_request(r: &mut impl BufRead) -> Result<Request, ReadError> {
+    let mut budget = MAX_HEADER_BYTES;
+    let request_line = read_line(r, &mut budget)?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or(ReadError::Malformed("empty request line"))?
+        .to_string();
+    let target = parts
+        .next()
+        .ok_or(ReadError::Malformed("missing request target"))?;
+    let version = parts.next().unwrap_or("HTTP/1.1");
+    if !version.starts_with("HTTP/1.") {
+        return Err(ReadError::Malformed("unsupported HTTP version"));
+    }
+    let http10 = version == "HTTP/1.0";
+    let (path, query_str) = target.split_once('?').unwrap_or((target, ""));
+
+    let mut headers = Vec::new();
+    loop {
+        let line = match read_line(r, &mut budget) {
+            Ok(l) => l,
+            Err(ReadError::Closed) => return Err(ReadError::Malformed("eof in headers")),
+            Err(e) => return Err(e),
+        };
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or(ReadError::Malformed("header without colon"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| ReadError::Malformed("bad content-length"))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > MAX_BODY_BYTES {
+        return Err(ReadError::TooLarge);
+    }
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        r.read_exact(&mut body).map_err(map_io)?;
+    }
+
+    let conn = headers
+        .iter()
+        .find(|(n, _)| n == "connection")
+        .map(|(_, v)| v.to_ascii_lowercase());
+    let close = match conn.as_deref() {
+        Some("close") => true,
+        Some("keep-alive") => false,
+        _ => http10,
+    };
+
+    Ok(Request {
+        method,
+        path: path.to_string(),
+        query: parse_query(query_str),
+        headers,
+        body,
+        close,
+    })
+}
+
+/// An outgoing response.
+#[derive(Debug)]
+pub struct Response {
+    pub status: u16,
+    pub content_type: &'static str,
+    pub body: String,
+    /// Force `Connection: close` on this exchange.
+    pub close: bool,
+}
+
+impl Response {
+    pub fn json(status: u16, body: String) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body,
+            close: false,
+        }
+    }
+
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into(),
+            close: false,
+        }
+    }
+
+    pub fn closing(mut self) -> Response {
+        self.close = true;
+        self
+    }
+
+    /// Serialize to `w`. `close` is the final connection decision (the
+    /// caller folds in request preferences and shutdown state).
+    pub fn write_to(&self, w: &mut impl Write, close: bool) -> io::Result<()> {
+        let conn = if close { "close" } else { "keep-alive" };
+        write!(
+            w,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+            self.status,
+            status_text(self.status),
+            self.content_type,
+            self.body.len(),
+            conn
+        )?;
+        w.write_all(self.body.as_bytes())?;
+        w.flush()
+    }
+}
+
+/// Reason phrases for the statuses the daemon emits.
+pub fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Request, ReadError> {
+        read_request(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_request_with_body_and_query() {
+        let req = parse(
+            "POST /extract?wrapper=demo&x=a%20b HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/extract");
+        assert_eq!(req.query_param("wrapper"), Some("demo"));
+        assert_eq!(req.query_param("x"), Some("a b"));
+        assert_eq!(req.body, b"hello");
+        assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn connection_close_and_http10() {
+        assert!(parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap()
+            .wants_close());
+        assert!(parse("GET / HTTP/1.0\r\n\r\n").unwrap().wants_close());
+        assert!(!parse("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+            .unwrap()
+            .wants_close());
+    }
+
+    #[test]
+    fn malformed_and_closed() {
+        assert!(matches!(parse(""), Err(ReadError::Closed)));
+        assert!(matches!(parse("GARBAGE"), Err(ReadError::Malformed(_))));
+        assert!(matches!(
+            parse("GET / HTTP/2\r\n\r\n"),
+            Err(ReadError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nContent-Length: 99999999999\r\n\r\n"),
+            Err(ReadError::Malformed(_)) | Err(ReadError::TooLarge)
+        ));
+    }
+
+    #[test]
+    fn response_serializes() {
+        let mut out = Vec::new();
+        Response::json(200, "{\"ok\":true}".into())
+            .write_to(&mut out, true)
+            .unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.starts_with("HTTP/1.1 200 OK\r\n"), "{s}");
+        assert!(s.contains("Content-Length: 11\r\n"));
+        assert!(s.contains("Connection: close"));
+        assert!(s.ends_with("{\"ok\":true}"));
+    }
+}

@@ -1,0 +1,142 @@
+//! Minimal JSON emission (std-only; the daemon's responses are small and
+//! flat, so a tiny escaping writer beats a serialization framework).
+
+use std::fmt::Write as _;
+
+/// Escape `s` as the *contents* of a JSON string (no surrounding quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Incremental `{...}` builder. Values passed to `raw` must themselves be
+/// valid JSON (nested objects, arrays, numbers).
+pub struct Obj {
+    buf: String,
+    first: bool,
+}
+
+impl Obj {
+    pub fn new() -> Obj {
+        Obj {
+            buf: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, name: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        let _ = write!(self.buf, "\"{}\":", escape(name));
+    }
+
+    pub fn str(mut self, name: &str, value: &str) -> Obj {
+        self.key(name);
+        let _ = write!(self.buf, "\"{}\"", escape(value));
+        self
+    }
+
+    pub fn num(mut self, name: &str, value: u64) -> Obj {
+        self.key(name);
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
+    pub fn float(mut self, name: &str, value: f64) -> Obj {
+        self.key(name);
+        let _ = write!(self.buf, "{value:.3}");
+        self
+    }
+
+    pub fn bool(mut self, name: &str, value: bool) -> Obj {
+        self.key(name);
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
+    pub fn raw(mut self, name: &str, value: &str) -> Obj {
+        self.key(name);
+        self.buf.push_str(value);
+        self
+    }
+
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+impl Default for Obj {
+    fn default() -> Self {
+        Obj::new()
+    }
+}
+
+/// Render an iterator of strings as a JSON array of strings.
+pub fn str_array<'a>(items: impl IntoIterator<Item = &'a str>) -> String {
+    let mut out = String::from("[");
+    for (i, s) in items.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\"", escape(s));
+    }
+    out.push(']');
+    out
+}
+
+/// Render an iterator of numbers as a JSON array.
+pub fn num_array(items: impl IntoIterator<Item = u64>) -> String {
+    let mut out = String::from("[");
+    for (i, n) in items.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{n}");
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn builds_objects() {
+        let s = Obj::new()
+            .str("name", "x\"y")
+            .num("n", 3)
+            .bool("ok", true)
+            .raw("arr", &num_array([1, 2]))
+            .finish();
+        assert_eq!(s, "{\"name\":\"x\\\"y\",\"n\":3,\"ok\":true,\"arr\":[1,2]}");
+    }
+
+    #[test]
+    fn arrays() {
+        assert_eq!(str_array(["a", "b"]), "[\"a\",\"b\"]");
+        assert_eq!(num_array([]), "[]");
+    }
+}

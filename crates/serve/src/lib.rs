@@ -1,0 +1,107 @@
+//! # rextract-serve — the extraction daemon
+//!
+//! A std-only (no async runtime, no HTTP framework — the build
+//! environment has no network registry) multi-threaded HTTP/1.1 daemon
+//! that serves trained wrappers at production lifetimes: the paper's
+//! shopbot keeps extracting from a stream of changing pages, so the
+//! wrapper-hosting runtime must bound its memory, expose its health, and
+//! survive misbehaving requests.
+//!
+//! * **Worker pool + bounded queue.** One acceptor thread feeds a
+//!   fixed-capacity [`pool::JobQueue`]; a full queue answers `503`
+//!   immediately (backpressure instead of unbounded buffering).
+//! * **Wrapper registry.** [`registry::Registry`] loads persisted
+//!   `wrapper::persist` artifacts from a directory at boot, installs
+//!   replacements via `POST /wrappers/{name}`, and rescans on
+//!   `POST /reload` — per-artifact validation (including the persist
+//!   format version) keeps one stale file from taking the daemon down.
+//! * **Bounded store.** [`ServeConfig::op_cache_capacity`] wires the
+//!   language store's generation-based eviction
+//!   ([`rextract_automata::Store::set_op_cache_capacity`]) so the op
+//!   cache cannot grow without bound over weeks of traffic.
+//! * **Live metrics.** `GET /metrics` reports per-endpoint request
+//!   counts, latency histograms with p50/p90/p99, queue depth, rejected
+//!   connections, and the full `StoreStats` (hits, misses, evictions).
+//! * **Graceful shutdown.** `POST /shutdown` (or
+//!   [`server::ServerHandle::shutdown`]) closes the accept gate, drains
+//!   admitted jobs, and lets in-flight requests finish.
+//!
+//! ## Endpoints
+//!
+//! | Method & path | Purpose |
+//! |---|---|
+//! | `POST /extract?wrapper=NAME` | HTML body → tag sequence → extraction; JSON result with positions and timing |
+//! | `POST /wrappers/{name}` | install/replace a wrapper from an artifact body |
+//! | `GET /wrappers` | list installed wrapper names |
+//! | `POST /reload` | rescan the wrapper directory |
+//! | `GET /healthz` | liveness + wrapper count |
+//! | `GET /metrics` | counters, histograms, queue depth, store stats |
+//! | `POST /shutdown` | graceful drain |
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use rextract_serve::{serve, ServeConfig};
+//!
+//! let handle = serve(ServeConfig {
+//!     addr: "127.0.0.1:0".into(), // ephemeral port; see handle.addr()
+//!     ..ServeConfig::default()
+//! }).unwrap();
+//! println!("listening on http://{}", handle.addr());
+//! handle.join(); // blocks until POST /shutdown
+//! ```
+
+pub mod http;
+pub mod json;
+pub mod metrics;
+pub mod pool;
+pub mod registry;
+pub mod server;
+
+pub use metrics::{Endpoint, Metrics};
+pub use registry::Registry;
+pub use server::ServerHandle;
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Daemon configuration. `Default` suits local runs; the CLI maps
+/// `rextract serve` flags onto these fields one-to-one.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port (see
+    /// [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Worker threads handling connections.
+    pub workers: usize,
+    /// Bounded job-queue capacity; connections beyond it get `503`.
+    pub queue_capacity: usize,
+    /// Directory of `*.wrapper` artifacts to load at boot and on
+    /// `POST /reload`; hot installs persist back here.
+    pub wrapper_dir: Option<PathBuf>,
+    /// Entry bound for the language store's op cache (`None` =
+    /// unbounded). The daemon default keeps long runs memory-safe.
+    pub op_cache_capacity: Option<usize>,
+    /// Idle keep-alive read timeout per connection.
+    pub keepalive_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7878".into(),
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get().min(8))
+                .unwrap_or(4),
+            queue_capacity: 128,
+            wrapper_dir: None,
+            op_cache_capacity: Some(16_384),
+            keepalive_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Boot a daemon. Alias for [`server::start`].
+pub fn serve(config: ServeConfig) -> std::io::Result<ServerHandle> {
+    server::start(config)
+}

@@ -1,0 +1,316 @@
+//! Live daemon metrics: per-endpoint request counts and latency
+//! histograms, queue depth, backpressure rejections, and the language
+//! store's counters — all lock-free atomics, snapshotted by `GET
+//! /metrics` without pausing workers.
+
+use crate::json::{num_array, Obj};
+use rextract_automata::StoreStats;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Upper bounds (µs) of the latency histogram buckets; one implicit
+/// overflow bucket above the last bound. Log-ish spacing spanning 50µs
+/// (cache-hot extraction) to 1s (pathological).
+pub const LATENCY_BOUNDS_US: [u64; 14] = [
+    50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+    1_000_000,
+];
+
+const BUCKETS: usize = LATENCY_BOUNDS_US.len() + 1;
+
+/// A fixed-bucket latency histogram (µs).
+#[derive(Default)]
+pub struct Histogram {
+    counts: [AtomicU64; BUCKETS],
+    sum_us: AtomicU64,
+}
+
+impl Histogram {
+    pub fn record(&self, elapsed_us: u64) {
+        let idx = LATENCY_BOUNDS_US
+            .iter()
+            .position(|&b| elapsed_us <= b)
+            .unwrap_or(BUCKETS - 1);
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(elapsed_us, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Upper-bound estimate of the `q`-quantile (0 < q ≤ 1): the bound of
+    /// the bucket containing the `⌈q·n⌉`-th observation. Returns 0 when
+    /// empty; the overflow bucket reports the last bound.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c.load(Ordering::Relaxed);
+            if seen >= rank {
+                return LATENCY_BOUNDS_US
+                    .get(i)
+                    .copied()
+                    .unwrap_or(LATENCY_BOUNDS_US[BUCKETS - 2]);
+            }
+        }
+        LATENCY_BOUNDS_US[BUCKETS - 2]
+    }
+
+    pub fn mean_us(&self) -> u64 {
+        self.sum_us
+            .load(Ordering::Relaxed)
+            .checked_div(self.count())
+            .unwrap_or(0)
+    }
+
+    fn to_json(&self) -> String {
+        Obj::new()
+            .num("count", self.count())
+            .num("mean_us", self.mean_us())
+            .num("p50_us", self.quantile_us(0.50))
+            .num("p90_us", self.quantile_us(0.90))
+            .num("p99_us", self.quantile_us(0.99))
+            .raw(
+                "buckets",
+                &num_array(self.counts.iter().map(|c| c.load(Ordering::Relaxed))),
+            )
+            .finish()
+    }
+}
+
+/// The daemon's request surfaces, as metric dimensions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Endpoint {
+    Extract,
+    InstallWrapper,
+    ListWrappers,
+    Healthz,
+    Metrics,
+    Reload,
+    Shutdown,
+    Other,
+}
+
+impl Endpoint {
+    pub fn name(self) -> &'static str {
+        match self {
+            Endpoint::Extract => "extract",
+            Endpoint::InstallWrapper => "install_wrapper",
+            Endpoint::ListWrappers => "list_wrappers",
+            Endpoint::Healthz => "healthz",
+            Endpoint::Metrics => "metrics",
+            Endpoint::Reload => "reload",
+            Endpoint::Shutdown => "shutdown",
+            Endpoint::Other => "other",
+        }
+    }
+
+    fn index(self) -> usize {
+        self as usize
+    }
+
+    pub fn all() -> [Endpoint; 8] {
+        [
+            Endpoint::Extract,
+            Endpoint::InstallWrapper,
+            Endpoint::ListWrappers,
+            Endpoint::Healthz,
+            Endpoint::Metrics,
+            Endpoint::Reload,
+            Endpoint::Shutdown,
+            Endpoint::Other,
+        ]
+    }
+}
+
+#[derive(Default)]
+struct EndpointMetrics {
+    requests: AtomicU64,
+    /// Responses with status ≥ 400.
+    errors: AtomicU64,
+    latency: Histogram,
+}
+
+/// Shared, lock-free metrics hub.
+pub struct Metrics {
+    started: Instant,
+    endpoints: [EndpointMetrics; 8],
+    /// Connections refused with 503 at the accept gate (queue full).
+    rejected: AtomicU64,
+    /// Connections currently waiting in the job queue.
+    queue_depth: AtomicUsize,
+    /// Connections a worker is actively serving.
+    in_flight: AtomicUsize,
+}
+
+impl Metrics {
+    pub fn new() -> Metrics {
+        Metrics {
+            started: Instant::now(),
+            endpoints: Default::default(),
+            rejected: AtomicU64::new(0),
+            queue_depth: AtomicUsize::new(0),
+            in_flight: AtomicUsize::new(0),
+        }
+    }
+
+    pub fn record(&self, endpoint: Endpoint, status: u16, elapsed_us: u64) {
+        let m = &self.endpoints[endpoint.index()];
+        m.requests.fetch_add(1, Ordering::Relaxed);
+        if status >= 400 {
+            m.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        m.latency.record(elapsed_us);
+    }
+
+    pub fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    pub fn set_queue_depth(&self, depth: usize) {
+        self.queue_depth.store(depth, Ordering::Relaxed);
+    }
+
+    pub fn enter_worker(&self) {
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn exit_worker(&self) {
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    pub fn requests(&self, endpoint: Endpoint) -> u64 {
+        self.endpoints[endpoint.index()]
+            .requests
+            .load(Ordering::Relaxed)
+    }
+
+    /// The full `/metrics` document.
+    pub fn render_json(&self, store: &StoreStats) -> String {
+        let mut endpoints = String::from("{");
+        for (i, e) in Endpoint::all().into_iter().enumerate() {
+            let m = &self.endpoints[e.index()];
+            if i > 0 {
+                endpoints.push(',');
+            }
+            let body = Obj::new()
+                .num("requests", m.requests.load(Ordering::Relaxed))
+                .num("errors", m.errors.load(Ordering::Relaxed))
+                .raw("latency", &m.latency.to_json())
+                .finish();
+            endpoints.push_str(&format!("\"{}\":{}", e.name(), body));
+        }
+        endpoints.push('}');
+        Obj::new()
+            .num("uptime_ms", self.started.elapsed().as_millis() as u64)
+            .num(
+                "queue_depth",
+                self.queue_depth.load(Ordering::Relaxed) as u64,
+            )
+            .num("in_flight", self.in_flight.load(Ordering::Relaxed) as u64)
+            .num("rejected_total", self.rejected.load(Ordering::Relaxed))
+            .raw(
+                "latency_bucket_bounds_us",
+                &num_array(LATENCY_BOUNDS_US.iter().copied()),
+            )
+            .raw("endpoints", &endpoints)
+            .raw("store", &store_stats_json(store))
+            .finish()
+    }
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics::new()
+    }
+}
+
+/// Language-store counters as JSON (the serve-side view of `StoreStats`;
+/// the automata crate stays presentation-free).
+pub fn store_stats_json(s: &StoreStats) -> String {
+    let mut per_op = String::from("{");
+    let mut first = true;
+    for o in &s.per_op {
+        if o.hits + o.misses == 0 {
+            continue;
+        }
+        if !first {
+            per_op.push(',');
+        }
+        first = false;
+        per_op.push_str(&format!(
+            "\"{}\":{}",
+            o.name,
+            Obj::new()
+                .num("hits", o.hits)
+                .num("misses", o.misses)
+                .finish()
+        ));
+    }
+    per_op.push('}');
+    let mut obj = Obj::new()
+        .num("interned", s.interned)
+        .num("dedup_hits", s.dedup_hits)
+        .num("op_cache_size", s.op_cache_size)
+        .num("hits", s.hits())
+        .num("misses", s.misses())
+        .float("hit_rate", s.hit_rate())
+        .num("evictions", s.evictions)
+        .num("sweeps", s.sweeps)
+        .num("re_misses", s.re_misses);
+    obj = match s.op_cache_capacity {
+        Some(cap) => obj.num("op_cache_capacity", cap),
+        None => obj.raw("op_cache_capacity", "null"),
+    };
+    obj.raw("per_op", &per_op).finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::default();
+        for us in [40, 60, 300, 2_000_000] {
+            h.record(us);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.quantile_us(0.25), 50); // 40 ≤ 50
+        assert!(h.quantile_us(0.99) >= 500_000); // overflow bucket
+        assert!(h.mean_us() > 0);
+        let json = h.to_json();
+        assert!(json.contains("\"count\":4"), "{json}");
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile_us(0.5), 0);
+        assert_eq!(h.mean_us(), 0);
+    }
+
+    #[test]
+    fn metrics_render() {
+        let m = Metrics::new();
+        m.record(Endpoint::Extract, 200, 120);
+        m.record(Endpoint::Extract, 422, 80);
+        m.record_rejected();
+        m.set_queue_depth(3);
+        let json = m.render_json(&StoreStats::default());
+        assert!(json.contains("\"queue_depth\":3"), "{json}");
+        assert!(json.contains("\"rejected_total\":1"));
+        assert!(json.contains("\"extract\":{\"requests\":2,\"errors\":1"));
+        assert!(json.contains("\"store\":{"));
+        assert_eq!(m.requests(Endpoint::Extract), 2);
+    }
+}

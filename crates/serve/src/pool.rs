@@ -1,0 +1,152 @@
+//! A bounded MPMC job queue for the worker pool.
+//!
+//! The acceptor pushes accepted connections with [`JobQueue::try_push`];
+//! a full queue is the backpressure signal (the acceptor answers 503
+//! without ever blocking). Workers block on [`JobQueue::pop`] and drain
+//! remaining jobs after [`JobQueue::close`] — that is the graceful-
+//! shutdown contract: close the gate, finish what was admitted.
+//!
+//! Lock acquisitions recover from poisoning: a panicking worker must not
+//! wedge the queue for the rest of the daemon's life (the queue state is
+//! a plain deque; no invariant spans a panic).
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+struct Inner<T> {
+    jobs: VecDeque<T>,
+    open: bool,
+}
+
+/// Fixed-capacity job queue (see module docs).
+pub struct JobQueue<T> {
+    inner: Mutex<Inner<T>>,
+    capacity: usize,
+    not_empty: Condvar,
+}
+
+impl<T> JobQueue<T> {
+    pub fn new(capacity: usize) -> JobQueue<T> {
+        JobQueue {
+            inner: Mutex::new(Inner {
+                jobs: VecDeque::with_capacity(capacity),
+                open: true,
+            }),
+            capacity: capacity.max(1),
+            not_empty: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner<T>> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Admit a job unless the queue is full or closed; returns the job
+    /// back on refusal so the caller can reject it explicitly.
+    pub fn try_push(&self, job: T) -> Result<usize, T> {
+        let mut guard = self.lock();
+        if !guard.open || guard.jobs.len() >= self.capacity {
+            return Err(job);
+        }
+        guard.jobs.push_back(job);
+        let depth = guard.jobs.len();
+        drop(guard);
+        self.not_empty.notify_one();
+        Ok(depth)
+    }
+
+    /// Block until a job is available or the queue is closed *and* empty.
+    pub fn pop(&self) -> Option<(T, usize)> {
+        let mut guard = self.lock();
+        loop {
+            if let Some(job) = guard.jobs.pop_front() {
+                let depth = guard.jobs.len();
+                return Some((job, depth));
+            }
+            if !guard.open {
+                return None;
+            }
+            guard = self
+                .not_empty
+                .wait(guard)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Stop admitting jobs; wake every blocked worker. Already-admitted
+    /// jobs will still be popped (drain semantics). Idempotent.
+    pub fn close(&self) {
+        self.lock().open = false;
+        self.not_empty.notify_all();
+    }
+
+    pub fn len(&self) -> usize {
+        self.lock().jobs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_pop_fifo() {
+        let q = JobQueue::new(4);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        assert_eq!(q.pop().map(|(j, _)| j), Some(1));
+        assert_eq!(q.pop().map(|(j, _)| j), Some(2));
+    }
+
+    #[test]
+    fn full_queue_refuses() {
+        let q = JobQueue::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        assert_eq!(q.try_push(3), Err(3));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = JobQueue::new(4);
+        q.try_push(7).unwrap();
+        q.close();
+        assert_eq!(q.try_push(8), Err(8), "closed queue admits nothing");
+        assert_eq!(q.pop().map(|(j, _)| j), Some(7), "admitted jobs drain");
+        assert!(q.pop().is_none(), "then the pool sees the end");
+    }
+
+    #[test]
+    fn close_wakes_blocked_workers() {
+        let q = Arc::new(JobQueue::<u32>::new(4));
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert!(h.join().unwrap().is_none());
+    }
+
+    #[test]
+    fn queue_survives_a_panicked_holder() {
+        let q = Arc::new(JobQueue::new(4));
+        let q2 = Arc::clone(&q);
+        // A worker that panics after touching the queue must not wedge it.
+        let _ = std::thread::spawn(move || {
+            q2.try_push(1).ok();
+            panic!("worker dies");
+        })
+        .join();
+        assert_eq!(q.pop().map(|(j, _)| j), Some(1));
+        assert!(q.try_push(2).is_ok());
+    }
+}

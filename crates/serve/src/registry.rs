@@ -1,0 +1,265 @@
+//! The concurrent wrapper registry.
+//!
+//! Wrappers are trained offline (`rextract wrapper-train`) and persisted
+//! as `wrapper::persist` artifacts; the daemon loads every `*.wrapper`
+//! file from its configured directory at boot, and supports two hot paths
+//! while serving:
+//!
+//! * `POST /wrappers/{name}` installs or replaces one wrapper from a
+//!   request body (and persists it back to the directory, so a restart
+//!   keeps it);
+//! * `POST /reload` rescans the directory, picking up artifacts written
+//!   by an external trainer.
+//!
+//! Both paths re-validate artifacts through [`Wrapper::import`], so a
+//! format-version mismatch or corrupt file is reported per-artifact
+//! instead of misparsing; extraction traffic keeps flowing against the
+//! previously installed wrapper throughout.
+//!
+//! Reads are `RwLock`-shared; lock acquisitions recover from poisoning so
+//! a panicking request thread cannot take the registry down with it.
+
+use rextract_wrapper::wrapper::Wrapper;
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, RwLock};
+
+/// Outcome of a directory scan.
+#[derive(Debug, Default)]
+pub struct LoadReport {
+    /// Names successfully (re)loaded.
+    pub loaded: Vec<String>,
+    /// `(file name, error)` for artifacts that failed to import.
+    pub errors: Vec<(String, String)>,
+}
+
+/// Concurrent name → wrapper map with optional backing directory.
+pub struct Registry {
+    wrappers: RwLock<HashMap<String, Arc<Wrapper>>>,
+    dir: Option<PathBuf>,
+}
+
+/// Valid wrapper names: non-empty, `[A-Za-z0-9._-]`, no leading dot — a
+/// deliberate whitelist, since names become file names under the
+/// registry directory.
+pub fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && !name.starts_with('.')
+        && name.len() <= 128
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'))
+}
+
+impl Registry {
+    pub fn new(dir: Option<PathBuf>) -> Registry {
+        Registry {
+            wrappers: RwLock::new(HashMap::new()),
+            dir,
+        }
+    }
+
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, HashMap<String, Arc<Wrapper>>> {
+        self.wrappers.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn write(&self) -> std::sync::RwLockWriteGuard<'_, HashMap<String, Arc<Wrapper>>> {
+        self.wrappers.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The backing directory, if configured.
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    /// Scan the backing directory for `*.wrapper` artifacts and install
+    /// every one that imports cleanly. Wrappers whose files failed keep
+    /// their previously installed version. No directory → empty report.
+    pub fn load_dir(&self) -> io::Result<LoadReport> {
+        let mut report = LoadReport::default();
+        let Some(dir) = &self.dir else {
+            return Ok(report);
+        };
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|e| e == "wrapper"))
+            .collect();
+        entries.sort();
+        for path in entries {
+            let file = path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            let name = path
+                .file_stem()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            if !valid_name(&name) {
+                report.errors.push((file, "invalid wrapper name".into()));
+                continue;
+            }
+            let text = match std::fs::read_to_string(&path) {
+                Ok(t) => t,
+                Err(e) => {
+                    report.errors.push((file, e.to_string()));
+                    continue;
+                }
+            };
+            match Wrapper::import(&text) {
+                Ok(w) => {
+                    self.write().insert(name.clone(), Arc::new(w));
+                    report.loaded.push(name);
+                }
+                Err(e) => report.errors.push((file, e.to_string())),
+            }
+        }
+        Ok(report)
+    }
+
+    /// Validate and install `artifact` under `name`, replacing any
+    /// previous version atomically (in-flight extractions finish on the
+    /// wrapper they already resolved). Persists to the backing directory
+    /// when one is configured.
+    pub fn install(&self, name: &str, artifact: &str) -> Result<Arc<Wrapper>, String> {
+        if !valid_name(name) {
+            return Err(format!(
+                "invalid wrapper name {name:?} (want [A-Za-z0-9._-]+, no leading dot)"
+            ));
+        }
+        let wrapper = Arc::new(Wrapper::import(artifact).map_err(|e| e.to_string())?);
+        if let Some(dir) = &self.dir {
+            let path = dir.join(format!("{name}.wrapper"));
+            std::fs::write(&path, artifact)
+                .map_err(|e| format!("persisting {}: {e}", path.display()))?;
+        }
+        self.write().insert(name.to_string(), Arc::clone(&wrapper));
+        Ok(wrapper)
+    }
+
+    /// Resolve a wrapper by name.
+    pub fn get(&self, name: &str) -> Option<Arc<Wrapper>> {
+        self.read().get(name).cloned()
+    }
+
+    /// When exactly one wrapper is installed, return it (lets `/extract`
+    /// omit the `wrapper` parameter in single-tenant deployments).
+    pub fn sole(&self) -> Option<(String, Arc<Wrapper>)> {
+        let guard = self.read();
+        if guard.len() == 1 {
+            guard.iter().next().map(|(n, w)| (n.clone(), Arc::clone(w)))
+        } else {
+            None
+        }
+    }
+
+    /// Installed wrapper names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    pub fn len(&self) -> usize {
+        self.read().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rextract_wrapper::site::{PageStyle, SiteConfig, SiteGenerator};
+    use rextract_wrapper::wrapper::{TrainPage, WrapperConfig};
+
+    fn artifact(seed: u64) -> String {
+        let mut g = SiteGenerator::new(SiteConfig {
+            seed,
+            ..SiteConfig::default()
+        });
+        let pages = vec![
+            TrainPage::from(&g.page_with_style(PageStyle::Plain)),
+            TrainPage::from(&g.page_with_style(PageStyle::TableEmbedded)),
+        ];
+        Wrapper::train(&pages, WrapperConfig::default())
+            .unwrap()
+            .export()
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("rextract-registry-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn name_validation() {
+        assert!(valid_name("demo"));
+        assert!(valid_name("site-1.v2_final"));
+        assert!(!valid_name(""));
+        assert!(!valid_name(".hidden"));
+        assert!(!valid_name("a/b"));
+        assert!(!valid_name("a b"));
+        assert!(!valid_name(&"x".repeat(200)));
+    }
+
+    #[test]
+    fn install_get_replace() {
+        let r = Registry::new(None);
+        assert!(r.is_empty());
+        r.install("demo", &artifact(3)).unwrap();
+        assert_eq!(r.len(), 1);
+        assert!(r.get("demo").is_some());
+        assert!(r.get("nope").is_none());
+        assert_eq!(r.sole().map(|(n, _)| n), Some("demo".into()));
+        r.install("demo", &artifact(4)).unwrap();
+        assert_eq!(r.len(), 1, "replace, not accumulate");
+        r.install("two", &artifact(5)).unwrap();
+        assert!(r.sole().is_none(), "sole() only for single-tenant");
+        assert_eq!(r.names(), vec!["demo".to_string(), "two".to_string()]);
+        assert!(r.install("bad name", &artifact(5)).is_err());
+        assert!(r.install("x", "garbage").is_err());
+    }
+
+    #[test]
+    fn load_dir_reports_good_and_bad() {
+        let dir = temp_dir("load");
+        std::fs::write(dir.join("good.wrapper"), artifact(8)).unwrap();
+        std::fs::write(dir.join("stale.wrapper"), "rextract-wrapper v99\n").unwrap();
+        std::fs::write(dir.join("junk.wrapper"), "not an artifact").unwrap();
+        std::fs::write(dir.join("ignored.txt"), "not scanned").unwrap();
+        let r = Registry::new(Some(dir.clone()));
+        let report = r.load_dir().unwrap();
+        assert_eq!(report.loaded, vec!["good".to_string()]);
+        assert_eq!(report.errors.len(), 2, "{:?}", report.errors);
+        let stale = report
+            .errors
+            .iter()
+            .find(|(f, _)| f == "stale.wrapper")
+            .unwrap();
+        assert!(
+            stale.1.contains("v99") && stale.1.contains("v1"),
+            "version mismatch must be loud: {}",
+            stale.1
+        );
+        assert_eq!(r.names(), vec!["good".to_string()]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn install_persists_to_dir_for_restart() {
+        let dir = temp_dir("persist");
+        let r = Registry::new(Some(dir.clone()));
+        r.install("hot", &artifact(9)).unwrap();
+        // A fresh registry (daemon restart) sees the hot-installed wrapper.
+        let r2 = Registry::new(Some(dir.clone()));
+        let report = r2.load_dir().unwrap();
+        assert_eq!(report.loaded, vec!["hot".to_string()]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

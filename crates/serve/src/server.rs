@@ -1,0 +1,479 @@
+//! The daemon: listener → bounded queue → worker pool → registry/store.
+//!
+//! ```text
+//!                    ┌─────────────┐ try_push ┌──────────────┐
+//!  TCP clients ───▶  │  acceptor   │ ───────▶ │ JobQueue     │
+//!                    │  (1 thread) │  full?   │ (bounded)    │
+//!                    └─────────────┘  503 ◀── └──────┬───────┘
+//!                                                    │ pop
+//!                                     ┌──────────────┴─────────────┐
+//!                                     │ worker 0 … worker N-1      │
+//!                                     │ parse HTTP → route:        │
+//!                                     │  /extract   → registry →   │
+//!                                     │    tag-seq → extractor     │
+//!                                     │  /wrappers  → registry     │
+//!                                     │  /metrics   → Metrics +    │
+//!                                     │    Store::stats()          │
+//!                                     └────────────────────────────┘
+//! ```
+//!
+//! Graceful shutdown (`POST /shutdown` or [`ServerHandle::shutdown`]):
+//! the accept gate closes (new connections are refused by the OS once
+//! the listener drops), the queue stops admitting and drains, workers
+//! finish in-flight requests with `Connection: close`, then exit.
+
+use crate::http::{read_request, ReadError, Request, Response};
+use crate::json::{str_array, Obj};
+use crate::metrics::{Endpoint, Metrics};
+use crate::pool::JobQueue;
+use crate::registry::Registry;
+use crate::ServeConfig;
+use rextract_automata::Store;
+use rextract_html::tokenizer::tokenize;
+use rextract_wrapper::wrapper::WrapperError;
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Shutdown coordination: a flag plus the listener address for the
+/// self-connect that unblocks `accept()`.
+struct Shutdown {
+    draining: AtomicBool,
+    addr: SocketAddr,
+}
+
+impl Shutdown {
+    fn trigger(&self) {
+        if !self.draining.swap(true, Ordering::SeqCst) {
+            // Poke the acceptor out of its blocking accept().
+            let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(250));
+        }
+    }
+
+    fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+}
+
+/// Everything a worker needs, shared and immutable.
+struct Ctx {
+    registry: Arc<Registry>,
+    metrics: Arc<Metrics>,
+    shutdown: Arc<Shutdown>,
+    keepalive: Duration,
+}
+
+/// A running daemon. Dropping the handle does **not** stop the server;
+/// call [`ServerHandle::shutdown`] then [`ServerHandle::join`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<Shutdown>,
+    registry: Arc<Registry>,
+    metrics: Arc<Metrics>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0 to the ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
+    /// Begin graceful shutdown: refuse new connections, drain the queue.
+    /// Idempotent; returns immediately.
+    pub fn shutdown(&self) {
+        self.shutdown.trigger();
+    }
+
+    /// Block until every worker has drained and exited.
+    pub fn join(mut self) {
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Boot a daemon per `config`. Binds, loads the wrapper directory,
+/// applies the op-cache bound, and spawns acceptor + workers.
+pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
+    Store::set_op_cache_capacity(config.op_cache_capacity);
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+
+    if let Some(dir) = &config.wrapper_dir {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| io::Error::new(e.kind(), format!("creating wrapper dir: {e}")))?;
+    }
+    let registry = Arc::new(Registry::new(config.wrapper_dir.clone()));
+    let boot_report = registry
+        .load_dir()
+        .map_err(|e| io::Error::new(e.kind(), format!("scanning wrapper dir: {e}")))?;
+    for (file, err) in &boot_report.errors {
+        eprintln!("rextract-serve: skipping {file}: {err}");
+    }
+
+    let metrics = Arc::new(Metrics::new());
+    let queue: Arc<JobQueue<TcpStream>> = Arc::new(JobQueue::new(config.queue_capacity));
+    let shutdown = Arc::new(Shutdown {
+        draining: AtomicBool::new(false),
+        addr,
+    });
+
+    let workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
+        .map(|i| {
+            let queue = Arc::clone(&queue);
+            let ctx = Ctx {
+                registry: Arc::clone(&registry),
+                metrics: Arc::clone(&metrics),
+                shutdown: Arc::clone(&shutdown),
+                keepalive: config.keepalive_timeout,
+            };
+            std::thread::Builder::new()
+                .name(format!("rextract-worker-{i}"))
+                .spawn(move || worker_loop(&queue, &ctx))
+                .expect("spawn worker thread")
+        })
+        .collect();
+
+    let acceptor = {
+        let queue = Arc::clone(&queue);
+        let metrics = Arc::clone(&metrics);
+        let shutdown = Arc::clone(&shutdown);
+        std::thread::Builder::new()
+            .name("rextract-acceptor".into())
+            .spawn(move || accept_loop(listener, &queue, &metrics, &shutdown))
+            .expect("spawn acceptor thread")
+    };
+
+    Ok(ServerHandle {
+        addr,
+        shutdown,
+        registry,
+        metrics,
+        acceptor: Some(acceptor),
+        workers,
+    })
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    queue: &JobQueue<TcpStream>,
+    metrics: &Metrics,
+    shutdown: &Shutdown,
+) {
+    for stream in listener.incoming() {
+        if shutdown.draining() {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        match queue.try_push(stream) {
+            Ok(depth) => metrics.set_queue_depth(depth),
+            Err(stream) => {
+                // Backpressure: answer 503 inline and move on. Short write
+                // timeout so a stalled client cannot stall accepting.
+                metrics.record_rejected();
+                let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+                let mut stream = stream;
+                let body = Obj::new()
+                    .str("error", "server overloaded, retry later")
+                    .num("queue_capacity", queue.capacity() as u64)
+                    .finish();
+                let _ = Response::json(503, body).write_to(&mut stream, true);
+            }
+        }
+    }
+    // Stop admitting; wake workers so they can drain and exit.
+    queue.close();
+}
+
+fn worker_loop(queue: &JobQueue<TcpStream>, ctx: &Ctx) {
+    while let Some((stream, depth)) = queue.pop() {
+        ctx.metrics.set_queue_depth(depth);
+        ctx.metrics.enter_worker();
+        // A panic while serving one connection must not kill the worker:
+        // the pool would silently shrink. The shared state (registry,
+        // store, metrics) recovers from lock poisoning by design.
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            serve_connection(stream, ctx);
+        }));
+        ctx.metrics.exit_worker();
+        if result.is_err() {
+            eprintln!("rextract-serve: worker recovered from a panicking request handler");
+        }
+    }
+}
+
+/// Serve one connection: keep-alive request loop until the peer closes,
+/// the idle timeout fires, or shutdown drains us.
+fn serve_connection(stream: TcpStream, ctx: &Ctx) {
+    let _ = stream.set_read_timeout(Some(ctx.keepalive));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        let req = match read_request(&mut reader) {
+            Ok(req) => req,
+            Err(ReadError::Closed) | Err(ReadError::Timeout) | Err(ReadError::Io(_)) => return,
+            Err(ReadError::TooLarge) => {
+                let body = Obj::new().str("error", "request too large").finish();
+                let _ = Response::json(413, body).write_to(&mut writer, true);
+                return;
+            }
+            Err(ReadError::Malformed(why)) => {
+                let body = Obj::new()
+                    .str("error", &format!("malformed request: {why}"))
+                    .finish();
+                let _ = Response::json(400, body).write_to(&mut writer, true);
+                return;
+            }
+        };
+        let started = Instant::now();
+        let (endpoint, response) = route(&req, ctx);
+        let elapsed_us = started.elapsed().as_micros() as u64;
+        ctx.metrics.record(endpoint, response.status, elapsed_us);
+        // Drain semantics: once shutting down, finish this exchange and
+        // close so keep-alive clients release the worker.
+        let close = response.close || req.wants_close() || ctx.shutdown.draining();
+        if response.write_to(&mut writer, close).is_err() {
+            return;
+        }
+        if endpoint == Endpoint::Shutdown {
+            ctx.shutdown.trigger();
+        }
+        if close {
+            return;
+        }
+    }
+}
+
+/// Dispatch a parsed request to its handler.
+fn route(req: &Request, ctx: &Ctx) -> (Endpoint, Response) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => (Endpoint::Healthz, handle_healthz(ctx)),
+        ("GET", "/metrics") => (
+            Endpoint::Metrics,
+            Response::json(200, ctx.metrics.render_json(&Store::stats())),
+        ),
+        ("POST", "/extract") => (Endpoint::Extract, handle_extract(req, ctx)),
+        ("GET", "/wrappers") => (
+            Endpoint::ListWrappers,
+            Response::json(
+                200,
+                Obj::new()
+                    .raw(
+                        "wrappers",
+                        &str_array(ctx.registry.names().iter().map(String::as_str)),
+                    )
+                    .finish(),
+            ),
+        ),
+        ("POST", path) if path.strip_prefix("/wrappers/").is_some() => {
+            let name = path.strip_prefix("/wrappers/").unwrap_or_default();
+            (Endpoint::InstallWrapper, handle_install(name, req, ctx))
+        }
+        ("POST", "/reload") => (Endpoint::Reload, handle_reload(ctx)),
+        ("POST", "/shutdown") => (
+            Endpoint::Shutdown,
+            Response::json(200, Obj::new().bool("draining", true).finish()).closing(),
+        ),
+        (_, "/healthz" | "/metrics" | "/extract" | "/wrappers" | "/reload" | "/shutdown") => (
+            Endpoint::Other,
+            Response::json(405, Obj::new().str("error", "method not allowed").finish()),
+        ),
+        _ => (
+            Endpoint::Other,
+            Response::json(
+                404,
+                Obj::new()
+                    .str("error", &format!("no such endpoint {}", req.path))
+                    .finish(),
+            ),
+        ),
+    }
+}
+
+fn handle_healthz(ctx: &Ctx) -> Response {
+    Response::json(
+        200,
+        Obj::new()
+            .str("status", "ok")
+            .num("wrappers", ctx.registry.len() as u64)
+            .bool("draining", ctx.shutdown.draining())
+            .finish(),
+    )
+}
+
+/// `POST /extract?wrapper=NAME`: HTML body → tag sequence → extraction.
+fn handle_extract(req: &Request, ctx: &Ctx) -> Response {
+    let (name, wrapper) = match req.query_param("wrapper") {
+        Some(name) => match ctx.registry.get(name) {
+            Some(w) => (name.to_string(), w),
+            None => {
+                let body = Obj::new()
+                    .str("error", &format!("unknown wrapper {name:?}"))
+                    .raw(
+                        "wrappers",
+                        &str_array(ctx.registry.names().iter().map(String::as_str)),
+                    )
+                    .finish();
+                return Response::json(404, body);
+            }
+        },
+        None => match ctx.registry.sole() {
+            Some((name, w)) => (name, w),
+            None => {
+                let body = Obj::new()
+                    .str(
+                        "error",
+                        "no wrapper selected: pass ?wrapper=NAME (required unless exactly one is installed)",
+                    )
+                    .raw(
+                        "wrappers",
+                        &str_array(ctx.registry.names().iter().map(String::as_str)),
+                    )
+                    .finish();
+                return Response::json(400, body);
+            }
+        },
+    };
+    if req.body.is_empty() {
+        return Response::json(
+            400,
+            Obj::new()
+                .str("error", "empty body: POST the HTML page")
+                .finish(),
+        );
+    }
+    let html = req.body_utf8();
+    let started = Instant::now();
+    let tokens = tokenize(&html);
+    let tokenize_us = started.elapsed().as_micros() as u64;
+    let extract_started = Instant::now();
+    let result = wrapper.extract_target(&tokens);
+    let extract_us = extract_started.elapsed().as_micros() as u64;
+    match result {
+        Ok(idx) => {
+            let tag = tokens[idx].tag_name().unwrap_or("#text").to_string();
+            let body = Obj::new()
+                .str("wrapper", &name)
+                .num("position", idx as u64)
+                .raw("positions", &crate::json::num_array([idx as u64]))
+                .str("tag", &tag)
+                .str("token", &tokens[idx].to_string())
+                .num("tokens", tokens.len() as u64)
+                .num("tokenize_us", tokenize_us)
+                .num("extract_us", extract_us)
+                .finish();
+            Response::json(200, body)
+        }
+        Err(WrapperError::Extract(failure)) => {
+            use rextract_extraction::extract::ExtractFailure;
+            let (why, positions) = match failure {
+                ExtractFailure::NoMatch => {
+                    ("no match: the wrapper does not parse this page", vec![])
+                }
+                ExtractFailure::AmbiguousMatch(p) => ("ambiguous: multiple positions match", p),
+            };
+            let body = Obj::new()
+                .str("wrapper", &name)
+                .str("error", why)
+                .raw(
+                    "positions",
+                    &crate::json::num_array(positions.iter().map(|&p| p as u64)),
+                )
+                .num("tokens", tokens.len() as u64)
+                .num("tokenize_us", tokenize_us)
+                .num("extract_us", extract_us)
+                .finish();
+            Response::json(422, body)
+        }
+        Err(e) => Response::json(
+            422,
+            Obj::new()
+                .str("wrapper", &name)
+                .str("error", &e.to_string())
+                .finish(),
+        ),
+    }
+}
+
+/// `POST /wrappers/{name}`: install or replace from an artifact body.
+fn handle_install(name: &str, req: &Request, ctx: &Ctx) -> Response {
+    let artifact = req.body_utf8();
+    if artifact.is_empty() {
+        return Response::json(
+            400,
+            Obj::new()
+                .str("error", "empty body: POST the wrapper artifact")
+                .finish(),
+        );
+    }
+    match ctx.registry.install(name, &artifact) {
+        Ok(wrapper) => Response::json(
+            201,
+            Obj::new()
+                .str("installed", name)
+                .bool("maximized", wrapper.is_maximized())
+                .str("expr", &wrapper.expr().to_text())
+                .num("wrappers", ctx.registry.len() as u64)
+                .finish(),
+        ),
+        Err(e) => Response::json(400, Obj::new().str("error", &e).finish()),
+    }
+}
+
+/// `POST /reload`: rescan the wrapper directory.
+fn handle_reload(ctx: &Ctx) -> Response {
+    if ctx.registry.dir().is_none() {
+        return Response::json(
+            400,
+            Obj::new()
+                .str("error", "no wrapper directory configured (--wrapper-dir)")
+                .finish(),
+        );
+    }
+    match ctx.registry.load_dir() {
+        Ok(report) => {
+            let mut errors = String::from("[");
+            for (i, (file, err)) in report.errors.iter().enumerate() {
+                if i > 0 {
+                    errors.push(',');
+                }
+                errors.push_str(&Obj::new().str("file", file).str("error", err).finish());
+            }
+            errors.push(']');
+            Response::json(
+                200,
+                Obj::new()
+                    .raw(
+                        "loaded",
+                        &str_array(report.loaded.iter().map(String::as_str)),
+                    )
+                    .raw("errors", &errors)
+                    .num("wrappers", ctx.registry.len() as u64)
+                    .finish(),
+            )
+        }
+        Err(e) => Response::json(400, Obj::new().str("error", &e.to_string()).finish()),
+    }
+}

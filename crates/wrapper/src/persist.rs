@@ -21,11 +21,24 @@ use rextract_extraction::ExtractionExpr;
 use rextract_html::seq::SeqConfig;
 use std::fmt;
 
+/// The artifact format version this build reads and writes. Bumped on any
+/// incompatible change to the serialization; [`Wrapper::import`] rejects
+/// other versions loudly (see [`PersistError::VersionMismatch`]) so a
+/// registry hot-reload over a directory of stale artifacts fails with a
+/// clear diagnosis instead of misparsing.
+pub const FORMAT_VERSION: u32 = 1;
+
 /// Errors from [`Wrapper::import`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PersistError {
-    /// Missing or wrong header line.
+    /// Missing or wrong header line (not a rextract-wrapper artifact at all).
     BadHeader,
+    /// A rextract-wrapper artifact, but in a format version this build
+    /// does not read.
+    VersionMismatch {
+        /// The version the artifact declares.
+        found: u32,
+    },
     /// A required section is missing or malformed; carries the line tag.
     BadSection(&'static str),
     /// The stored expression failed to parse.
@@ -35,7 +48,12 @@ pub enum PersistError {
 impl fmt::Display for PersistError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            PersistError::BadHeader => write!(f, "not a rextract-wrapper v1 artifact"),
+            PersistError::BadHeader => write!(f, "not a rextract-wrapper artifact"),
+            PersistError::VersionMismatch { found } => write!(
+                f,
+                "artifact is format v{found}, but this build reads v{FORMAT_VERSION}; \
+                 re-export the wrapper with a matching release"
+            ),
             PersistError::BadSection(s) => write!(f, "missing or malformed section {s:?}"),
             PersistError::Expr(e) => write!(f, "stored expression invalid: {e}"),
         }
@@ -45,9 +63,9 @@ impl fmt::Display for PersistError {
 impl std::error::Error for PersistError {}
 
 impl Wrapper {
-    /// Serialize to the v1 text format.
+    /// Serialize to the current text format (see [`FORMAT_VERSION`]).
     pub fn export(&self) -> String {
-        let mut out = String::from("rextract-wrapper v1\n");
+        let mut out = format!("rextract-wrapper v{FORMAT_VERSION}\n");
         let cfg = self.seq_config();
         out.push_str(&format!(
             "seq include_text={} include_end_tags={}\n",
@@ -75,8 +93,15 @@ impl Wrapper {
     /// retraining entirely (the stored expression is recompiled).
     pub fn import(text: &str) -> Result<Wrapper, PersistError> {
         let mut lines = text.lines();
-        if lines.next().map(str::trim) != Some("rextract-wrapper v1") {
-            return Err(PersistError::BadHeader);
+        let header = lines.next().map(str::trim).unwrap_or("");
+        match header.strip_prefix("rextract-wrapper v") {
+            Some(v) => {
+                let found: u32 = v.trim().parse().map_err(|_| PersistError::BadHeader)?;
+                if found != FORMAT_VERSION {
+                    return Err(PersistError::VersionMismatch { found });
+                }
+            }
+            None => return Err(PersistError::BadHeader),
         }
         let mut seq: Option<SeqConfig> = None;
         let mut refines: Vec<(String, String)> = Vec::new();
@@ -200,11 +225,28 @@ mod tests {
     }
 
     #[test]
+    fn version_mismatch_fails_loudly() {
+        let (w, _) = trained();
+        // Rewrite the header to a future version: same payload, wrong v.
+        let artifact = w.export().replacen("v1", "v2", 1);
+        let err = Wrapper::import(&artifact).unwrap_err();
+        assert_eq!(err, PersistError::VersionMismatch { found: 2 });
+        let msg = err.to_string();
+        assert!(msg.contains("v2") && msg.contains("v1"), "{msg}");
+        // A garbled version number is a bad header, not a panic.
+        assert!(matches!(
+            Wrapper::import("rextract-wrapper vX\n"),
+            Err(PersistError::BadHeader)
+        ));
+    }
+
+    #[test]
     fn import_error_cases() {
         assert!(matches!(
             Wrapper::import("nope"),
             Err(PersistError::BadHeader)
         ));
+        assert!(matches!(Wrapper::import(""), Err(PersistError::BadHeader)));
         assert!(matches!(
             Wrapper::import("rextract-wrapper v1\nexpr <p>"),
             Err(PersistError::BadSection(_))

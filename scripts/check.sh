@@ -16,4 +16,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo fmt --check =="
 cargo fmt --all -- --check
 
+echo "== daemon smoke test =="
+scripts/serve_smoke.sh
+
 echo "All checks passed."

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Daemon smoke test: boot `rextract serve` on an ephemeral port, check
+# /healthz, train + install a wrapper, run one extraction over HTTP, and
+# shut down gracefully. Uses bash's /dev/tcp so it needs no curl.
+# Usage: scripts/serve_smoke.sh [path-to-rextract-binary]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN="${1:-target/release/rextract}"
+[ -x "$BIN" ] || { echo "error: $BIN not built (run cargo build --release)"; exit 1; }
+
+WORK="$(mktemp -d)"
+OUT="$WORK/serve.log"
+trap 'kill "$SRV_PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+# Minimal HTTP client over /dev/tcp: http <METHOD> <PATH> [BODY-FILE].
+# Prints status line + body (headers stripped).
+http() {
+    local method="$1" path="$2" body="" len=0
+    if [ $# -ge 3 ]; then body="$(cat "$3")"; len=${#body}; fi
+    exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+    printf '%s %s HTTP/1.1\r\nHost: smoke\r\nConnection: close\r\nContent-Length: %d\r\n\r\n%s' \
+        "$method" "$path" "$len" "$body" >&3
+    tr -d '\r' <&3 | awk 'NR==1{print} body{print} /^$/{body=1}'
+    exec 3<&- 3>&-
+}
+
+echo "== serve smoke: boot =="
+"$BIN" serve --addr 127.0.0.1:0 --workers 2 --wrapper-dir "$WORK" >"$OUT" 2>&1 &
+SRV_PID=$!
+for _ in $(seq 1 50); do
+    grep -q 'listening on' "$OUT" 2>/dev/null && break
+    sleep 0.1
+done
+PORT="$(sed -n 's|.*listening on http://127\.0\.0\.1:\([0-9]*\).*|\1|p' "$OUT" | head -1)"
+[ -n "$PORT" ] && kill -0 "$SRV_PID" || { echo "daemon failed to boot"; cat "$OUT"; exit 1; }
+echo "daemon up on port $PORT"
+
+echo "== serve smoke: /healthz =="
+http GET /healthz | tee "$WORK/health.txt"
+grep -q '200 OK' "$WORK/health.txt"
+grep -q '"status":"ok"' "$WORK/health.txt"
+
+echo "== serve smoke: train + install a wrapper =="
+cat >"$WORK/sample1.html" <<'HTML'
+<p><h1>Shop</h1></p><form><input><input data-target><br><input></form>
+HTML
+cat >"$WORK/sample2.html" <<'HTML'
+<table><tr><td><h1>Shop</h1></td></tr><tr><td><form><input><input data-target><input></form></td></tr></table>
+HTML
+"$BIN" wrapper-train "$WORK/smoke.wrapper" "$WORK/sample1.html" "$WORK/sample2.html"
+http POST /wrappers/smoke "$WORK/smoke.wrapper" | tee "$WORK/install.txt"
+grep -q '201 Created' "$WORK/install.txt"
+
+echo "== serve smoke: one extraction =="
+cat >"$WORK/page.html" <<'HTML'
+<p><h1>Shop</h1></p><center><form><input><input><br><input></form></center>
+HTML
+http POST '/extract?wrapper=smoke' "$WORK/page.html" | tee "$WORK/extract.txt"
+grep -q '200 OK' "$WORK/extract.txt"
+grep -q '"position":' "$WORK/extract.txt"
+
+echo "== serve smoke: graceful shutdown =="
+http POST /shutdown | grep -q '"draining":true'
+for _ in $(seq 1 50); do
+    kill -0 "$SRV_PID" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "$SRV_PID" 2>/dev/null; then
+    echo "daemon did not exit after /shutdown"; exit 1
+fi
+wait "$SRV_PID"
+grep -q 'drained; bye' "$OUT"
+
+echo "serve smoke passed."

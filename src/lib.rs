@@ -9,9 +9,12 @@
 //! * [`html`] — HTML tokenization and tag-sequence abstraction
 //! * [`learn`] — merging heuristic, perturbations, disambiguation
 //! * [`wrapper`] — end-to-end train→maximize→extract pipeline
+//! * [`serve`] — multi-threaded extraction daemon (wrapper registry,
+//!   bounded store, live metrics)
 
 pub use rextract_automata as automata;
 pub use rextract_extraction as extraction;
 pub use rextract_html as html;
 pub use rextract_learn as learn;
+pub use rextract_serve as serve;
 pub use rextract_wrapper as wrapper;

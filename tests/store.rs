@@ -154,6 +154,46 @@ fn stats_are_monotone_and_plausible_across_a_left_filter_run() {
     }
 }
 
+/// A panicking worker thread must not wedge the global store: the daemon
+/// keeps serving after any request thread dies mid-extraction. (The store
+/// mutex recovers from poisoning — its state is a pure cache with no
+/// invariants spanning a panic.)
+#[test]
+fn store_survives_panicking_worker_threads() {
+    let a = alphabet_of(2);
+    // Several workers hammer the store; half of them panic mid-flight.
+    let handles: Vec<_> = (0..8)
+        .map(|i| {
+            let a = a.clone();
+            std::thread::spawn(move || {
+                let x = Lang::parse(&a, "t0* t1").unwrap();
+                let y = Lang::parse(&a, "(t1 t0)*").unwrap();
+                let s = Store::global();
+                let _ = s.union(&x, &y);
+                let _ = s.is_subset(&x, &y);
+                if i % 2 == 0 {
+                    panic!("simulated request-handler crash");
+                }
+            })
+        })
+        .collect();
+    let mut panics = 0;
+    for h in handles {
+        if h.join().is_err() {
+            panics += 1;
+        }
+    }
+    assert_eq!(panics, 4);
+    // The store still answers — both cached and uncached paths.
+    let x = Lang::parse(&a, "t0* t1").unwrap();
+    let y = Lang::parse(&a, "(t1 t0)*").unwrap();
+    assert_eq!(
+        Store::global().union(&x, &y),
+        Store::uncached().union(&x, &y)
+    );
+    assert!(Store::stats().hits() + Store::stats().misses() > 0);
+}
+
 /// The uncached store handle is observable as such and still interns.
 #[test]
 fn uncached_store_bypasses_cache_but_still_interns() {
