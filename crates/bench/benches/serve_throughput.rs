@@ -115,6 +115,7 @@ fn run_one(workers: usize, clients: usize, requests: usize, artifact: &str) {
         wrapper_dir: None,
         op_cache_capacity: Some(OP_CACHE_CAP),
         keepalive_timeout: Duration::from_secs(5),
+        ..ServeConfig::default()
     })
     .expect("boot daemon");
     let addr = handle.addr();

@@ -48,12 +48,16 @@ USAGE:
 
   rextract serve [--addr HOST:PORT] [--workers N] [--queue N]
                  [--wrapper-dir DIR] [--op-cache-cap N|none]
-                 [--keepalive-ms N]
+                 [--keepalive-ms N] [--deadline-ms N]
+                 [--drain-timeout-ms N] [--fault NAME=SPEC]...
       Run the extraction daemon: POST /extract, POST /wrappers/{name},
       GET /healthz, GET /metrics, POST /shutdown. Loads *.wrapper
       artifacts from --wrapper-dir at boot and on POST /reload.
       Defaults: 127.0.0.1:7878, workers = min(cores, 8), queue 128,
-      op cache bounded at 16384 entries, keep-alive 5000 ms.
+      op cache bounded at 16384 entries, keep-alive 5000 ms,
+      request deadline 10000 ms, drain timeout 5000 ms.
+      --fault arms a failpoint (e.g. 'extract.slow=prob(0.3,42):sleep(30)';
+      repeatable) and needs a binary built with --features failpoints.
 
   rextract demo
       Run the paper's Section 7 worked example end to end.
@@ -198,7 +202,8 @@ pub fn wrapper_train(args: &[String]) -> Result<(), String> {
     }
     let wrapper = Wrapper::train(&pages, WrapperConfig::default())
         .map_err(|e| format!("training failed: {e}"))?;
-    std::fs::write(out_path, wrapper.export()).map_err(|e| format!("writing {out_path}: {e}"))?;
+    rextract_wrapper::persist::save_artifact(std::path::Path::new(out_path), &wrapper.export())
+        .map_err(|e| format!("writing {out_path}: {e}"))?;
     println!("trained on {} samples", pages.len());
     println!("maximized : {}", wrapper.is_maximized());
     println!("expression: {}", wrapper.expr().to_text());
@@ -265,6 +270,31 @@ pub fn serve(args: &[String]) -> Result<(), String> {
                         .parse()
                         .map_err(|e| format!("--keepalive-ms: {e}"))?,
                 )
+            }
+            "--deadline-ms" => {
+                config.request_deadline = std::time::Duration::from_millis(
+                    value("milliseconds")?
+                        .parse()
+                        .map_err(|e| format!("--deadline-ms: {e}"))?,
+                )
+            }
+            "--drain-timeout-ms" => {
+                config.drain_timeout = std::time::Duration::from_millis(
+                    value("milliseconds")?
+                        .parse()
+                        .map_err(|e| format!("--drain-timeout-ms: {e}"))?,
+                )
+            }
+            "--fault" => {
+                let spec = value("NAME=TRIGGER:ACTION")?;
+                if !rextract_faults::ENABLED {
+                    return Err(format!(
+                        "--fault {spec:?}: this binary was built without fault injection; \
+                         rebuild with `cargo build -p rextract-cli --features failpoints`"
+                    ));
+                }
+                rextract_faults::configure_spec(spec).map_err(|e| format!("--fault: {e}"))?;
+                eprintln!("rextract: armed failpoint {spec}");
             }
             other => return Err(format!("unknown flag {other:?}; try `rextract help`")),
         }
@@ -376,6 +406,22 @@ mod tests {
         let err =
             wrapper_train(&[out.display().to_string(), bad.display().to_string()]).unwrap_err();
         assert!(err.contains("data-target"));
+    }
+
+    #[test]
+    fn serve_flag_errors_do_not_boot() {
+        // Flag parsing fails before any socket is bound.
+        assert!(serve(&["--workers".into()]).is_err());
+        assert!(serve(&["--deadline-ms".into(), "abc".into()]).is_err());
+        assert!(serve(&["--drain-timeout-ms".into()]).is_err());
+        // --fault: rejected outright without the feature, and a malformed
+        // spec is rejected with it — either way serve() returns early.
+        let err = serve(&["--fault".into(), "not-a-spec".into()]).unwrap_err();
+        if rextract_faults::ENABLED {
+            assert!(err.contains("--fault"), "{err}");
+        } else {
+            assert!(err.contains("failpoints"), "{err}");
+        }
     }
 
     #[test]

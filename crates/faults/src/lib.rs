@@ -1,0 +1,558 @@
+//! Named failpoints for fault injection, in the spirit of `fail-rs` (the
+//! discipline TiKV uses to prove its recovery paths), rebuilt std-only for
+//! this workspace.
+//!
+//! A **failpoint** is a named probe compiled into a fragile code path:
+//!
+//! ```ignore
+//! fail_point!("persist.write.partial", |a| Err(partial_io_error(a)));
+//! file.write_all(bytes)?;
+//! ```
+//!
+//! Without the `failpoints` cargo feature the macro expands to nothing —
+//! zero instructions, zero branches, no registry lookups — so release
+//! builds and benchmarks are untouched. With the feature, each evaluation
+//! consults a process-global registry: tests (or `rextract serve --fault`)
+//! arm a failpoint with a *trigger* (when to fire) and an *action* (what
+//! to do), then assert the recovery path actually recovers.
+//!
+//! | Trigger | Meaning |
+//! |---|---|
+//! | `always` | fire on every evaluation |
+//! | `once` | fire on the first evaluation only |
+//! | `times(n)` | fire on the first `n` evaluations |
+//! | `every(n)` | fire on every `n`-th evaluation |
+//! | `prob(p[,seed])` | fire with probability `p` (seeded xorshift PRNG from `vendor/rand`, reproducible) |
+//!
+//! | Action | Meaning |
+//! |---|---|
+//! | `return` | unit variant handed to the site's handler, which returns an error |
+//! | `partial(n)` | like `return`, but carries a byte budget — the site performs `n` bytes of real I/O first (torn write) |
+//! | `sleep(ms)` | block the evaluating thread, then continue normally |
+//! | `panic` | panic with a message naming the failpoint |
+//!
+//! `sleep` and `panic` are performed inside the macro; `return` and
+//! `partial` require the two-argument form, whose handler's value is
+//! `return`ed from the enclosing function.
+//!
+//! The registry records evaluation and fire counts per failpoint
+//! ([`snapshot`]) so a chaos test can check the served `/metrics` against
+//! injection ground truth.
+
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Whether this build can fire failpoints (the `failpoints` feature of
+/// *this* crate). Tooling uses it to reject `--fault` flags on a binary
+/// whose probes were compiled out.
+pub const ENABLED: bool = cfg!(feature = "failpoints");
+
+/// What a fired failpoint does. See the module table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Action {
+    /// Handed to the site handler, which returns an error.
+    ReturnErr,
+    /// Handed to the site handler with a byte budget: perform this many
+    /// bytes of real I/O, then fail — a torn write/read.
+    PartialIo(usize),
+    /// Sleep this many milliseconds, then continue normally.
+    Sleep(u64),
+    /// Panic with a message naming the failpoint.
+    Panic,
+}
+
+/// When an armed failpoint fires. See the module table.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Trigger {
+    Always,
+    Once,
+    Times(u64),
+    EveryN(u64),
+    /// Probability per evaluation, decided by a per-failpoint PRNG seeded
+    /// at configure time (default seed 0) — reruns are reproducible.
+    Prob {
+        p: f64,
+        seed: u64,
+    },
+}
+
+struct FailPoint {
+    trigger: Trigger,
+    action: Action,
+    evals: u64,
+    fires: u64,
+    rng: SmallRng,
+}
+
+/// One failpoint's counters, as reported by [`snapshot`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FailPointStats {
+    pub name: String,
+    pub evals: u64,
+    pub fires: u64,
+}
+
+/// Number of armed failpoints, kept outside the mutex so an unarmed
+/// process pays one relaxed atomic load per evaluation and never locks.
+static ARMED: AtomicUsize = AtomicUsize::new(0);
+
+static REGISTRY: OnceLock<Mutex<HashMap<String, FailPoint>>> = OnceLock::new();
+
+fn registry() -> MutexGuard<'static, HashMap<String, FailPoint>> {
+    REGISTRY
+        .get_or_init(|| Mutex::new(HashMap::new()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+/// Arm `name` with an explicit trigger and action, replacing any previous
+/// configuration (and resetting its counters).
+pub fn configure(name: &str, trigger: Trigger, action: Action) {
+    let seed = match &trigger {
+        Trigger::Prob { seed, .. } => *seed,
+        _ => 0,
+    };
+    let mut reg = registry();
+    if reg
+        .insert(
+            name.to_string(),
+            FailPoint {
+                trigger,
+                action,
+                evals: 0,
+                fires: 0,
+                rng: SmallRng::seed_from_u64(seed),
+            },
+        )
+        .is_none()
+    {
+        ARMED.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+/// Arm a failpoint from a `NAME=TRIGGER:ACTION` spec, e.g.
+/// `persist.write.partial=once:partial(20)` or
+/// `extract.slow=prob(0.2,42):sleep(40)`.
+pub fn configure_spec(spec: &str) -> Result<(), String> {
+    let (name, rest) = spec
+        .split_once('=')
+        .ok_or_else(|| format!("bad fault spec {spec:?}: want NAME=TRIGGER:ACTION"))?;
+    let name = name.trim();
+    if name.is_empty() {
+        return Err(format!("bad fault spec {spec:?}: empty failpoint name"));
+    }
+    let (trigger, action) = parse_behavior(rest.trim())?;
+    configure(name, trigger, action);
+    Ok(())
+}
+
+/// Parse the `TRIGGER:ACTION` half of a spec (exposed for tests/tools).
+pub fn parse_behavior(s: &str) -> Result<(Trigger, Action), String> {
+    // The trigger may itself contain ':'-free parens only, so the first
+    // ':' outside parentheses separates trigger from action.
+    let mut depth = 0usize;
+    let mut split = None;
+    for (i, c) in s.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => depth = depth.saturating_sub(1),
+            ':' if depth == 0 => {
+                split = Some(i);
+                break;
+            }
+            _ => {}
+        }
+    }
+    let at = split.ok_or_else(|| format!("bad behavior {s:?}: want TRIGGER:ACTION"))?;
+    Ok((parse_trigger(&s[..at])?, parse_action(&s[at + 1..])?))
+}
+
+/// Split `head(args)` into `("head", Some("args"))`, or `("head", None)`.
+fn call_form(s: &str) -> Result<(&str, Option<&str>), String> {
+    match s.find('(') {
+        None => Ok((s, None)),
+        Some(open) => {
+            let inner = s[open..]
+                .strip_prefix('(')
+                .and_then(|r| r.strip_suffix(')'))
+                .ok_or_else(|| format!("unbalanced parentheses in {s:?}"))?;
+            Ok((&s[..open], Some(inner)))
+        }
+    }
+}
+
+fn parse_trigger(s: &str) -> Result<Trigger, String> {
+    let (head, args) = call_form(s.trim())?;
+    let arg = |what: &str| args.ok_or_else(|| format!("trigger {head:?} needs ({what})"));
+    match head {
+        "always" => Ok(Trigger::Always),
+        "once" => Ok(Trigger::Once),
+        "times" => {
+            let n = arg("N")?
+                .trim()
+                .parse::<u64>()
+                .map_err(|e| format!("times(N): {e}"))?;
+            Ok(Trigger::Times(n))
+        }
+        "every" => {
+            let n = arg("N")?
+                .trim()
+                .parse::<u64>()
+                .map_err(|e| format!("every(N): {e}"))?;
+            if n == 0 {
+                return Err("every(N): N must be ≥ 1".into());
+            }
+            Ok(Trigger::EveryN(n))
+        }
+        "prob" => {
+            let inner = arg("P[,SEED]")?;
+            let mut it = inner.split(',');
+            let p = it
+                .next()
+                .unwrap_or("")
+                .trim()
+                .parse::<f64>()
+                .map_err(|e| format!("prob(P): {e}"))?;
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("prob(P): {p} not in [0,1]"));
+            }
+            let seed = match it.next() {
+                Some(v) => v
+                    .trim()
+                    .parse::<u64>()
+                    .map_err(|e| format!("prob(P,SEED): {e}"))?,
+                None => 0,
+            };
+            Ok(Trigger::Prob { p, seed })
+        }
+        other => Err(format!(
+            "unknown trigger {other:?} (want always|once|times(N)|every(N)|prob(P[,SEED]))"
+        )),
+    }
+}
+
+fn parse_action(s: &str) -> Result<Action, String> {
+    let (head, args) = call_form(s.trim())?;
+    match head {
+        "return" => Ok(Action::ReturnErr),
+        "panic" => Ok(Action::Panic),
+        "partial" => {
+            let n = args
+                .ok_or("partial needs (BYTES)")?
+                .trim()
+                .parse::<usize>()
+                .map_err(|e| format!("partial(BYTES): {e}"))?;
+            Ok(Action::PartialIo(n))
+        }
+        "sleep" => {
+            let ms = args
+                .ok_or("sleep needs (MS)")?
+                .trim()
+                .parse::<u64>()
+                .map_err(|e| format!("sleep(MS): {e}"))?;
+            Ok(Action::Sleep(ms))
+        }
+        other => Err(format!(
+            "unknown action {other:?} (want return|partial(BYTES)|sleep(MS)|panic)"
+        )),
+    }
+}
+
+/// Disarm one failpoint. Counters are discarded with it.
+pub fn clear(name: &str) {
+    if registry().remove(name).is_some() {
+        ARMED.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Disarm every failpoint (test teardown).
+pub fn clear_all() {
+    let mut reg = registry();
+    let n = reg.len();
+    reg.clear();
+    ARMED.fetch_sub(n, Ordering::SeqCst);
+}
+
+/// Times `name` fired (0 if never armed).
+pub fn fires(name: &str) -> u64 {
+    registry().get(name).map_or(0, |fp| fp.fires)
+}
+
+/// Times `name` was evaluated while armed (0 if never armed).
+pub fn evals(name: &str) -> u64 {
+    registry().get(name).map_or(0, |fp| fp.evals)
+}
+
+/// Counters for every armed failpoint, sorted by name.
+pub fn snapshot() -> Vec<FailPointStats> {
+    let reg = registry();
+    let mut out: Vec<FailPointStats> = reg
+        .iter()
+        .map(|(name, fp)| FailPointStats {
+            name: name.clone(),
+            evals: fp.evals,
+            fires: fp.fires,
+        })
+        .collect();
+    out.sort_by(|a, b| a.name.cmp(&b.name));
+    out
+}
+
+/// Evaluate the trigger for `name`: did it fire, and with what action?
+/// Pure registry logic — no sleeping or panicking (see [`eval_inline`]).
+#[doc(hidden)]
+pub fn eval(name: &str) -> Option<Action> {
+    if ARMED.load(Ordering::Relaxed) == 0 {
+        return None;
+    }
+    let mut reg = registry();
+    let fp = reg.get_mut(name)?;
+    fp.evals += 1;
+    let fired = match &fp.trigger {
+        Trigger::Always => true,
+        Trigger::Once => fp.evals == 1,
+        Trigger::Times(n) => fp.evals <= *n,
+        Trigger::EveryN(n) => fp.evals % n == 0,
+        Trigger::Prob { p, .. } => {
+            let p = *p;
+            fp.rng.gen_bool(p)
+        }
+    };
+    if fired {
+        fp.fires += 1;
+        Some(fp.action)
+    } else {
+        None
+    }
+}
+
+/// Macro entry point: evaluates `name`, performs `Sleep`/`Panic` in
+/// place, and hands `ReturnErr`/`PartialIo` back for the site handler.
+#[doc(hidden)]
+pub fn eval_inline(name: &str) -> Option<Action> {
+    match eval(name)? {
+        Action::Sleep(ms) => {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+            None
+        }
+        Action::Panic => panic!("failpoint {name}: injected panic"),
+        other => Some(other),
+    }
+}
+
+/// A named failpoint. Compiles to nothing unless the *expanding* crate
+/// enables its `failpoints` feature (which must forward to
+/// `rextract-faults/failpoints`).
+///
+/// * `fail_point!("name")` — performs `sleep`/`panic` actions in place;
+///   `return`/`partial` actions are ignored (there is no handler).
+/// * `fail_point!("name", |action| expr)` — additionally, when a
+///   `return`/`partial` action fires, `return`s the handler's value from
+///   the enclosing function.
+#[macro_export]
+macro_rules! fail_point {
+    ($name:expr) => {{
+        #[cfg(feature = "failpoints")]
+        {
+            let _ = $crate::eval_inline($name);
+        }
+    }};
+    ($name:expr, $handler:expr) => {{
+        #[cfg(feature = "failpoints")]
+        {
+            if let Some(__fp_action) = $crate::eval_inline($name) {
+                return ($handler)(__fp_action);
+            }
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex, MutexGuard, OnceLock};
+
+    /// The registry is process-global and `cargo test` runs tests in
+    /// parallel; serialize every test in this module through one lock
+    /// (poisoning recovered so a failing test doesn't cascade).
+    fn serial() -> MutexGuard<'static, ()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| Mutex::new(()))
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn unarmed_is_silent() {
+        let _g = serial();
+        clear_all();
+        assert_eq!(eval("nope"), None);
+        assert_eq!(fires("nope"), 0);
+    }
+
+    #[test]
+    fn triggers_fire_as_specified() {
+        let _g = serial();
+        clear_all();
+        configure("a", Trigger::Once, Action::ReturnErr);
+        assert_eq!(eval("a"), Some(Action::ReturnErr));
+        assert_eq!(eval("a"), None);
+        assert_eq!((evals("a"), fires("a")), (2, 1));
+
+        configure("a", Trigger::Times(3), Action::Panic);
+        let fired = (0..5).filter(|_| eval("a").is_some()).count();
+        assert_eq!(fired, 3);
+
+        configure("a", Trigger::EveryN(3), Action::Sleep(1));
+        let pattern: Vec<bool> = (0..9).map(|_| eval("a").is_some()).collect();
+        assert_eq!(
+            pattern,
+            [false, false, true, false, false, true, false, false, true]
+        );
+
+        configure("a", Trigger::Always, Action::PartialIo(7));
+        assert_eq!(eval("a"), Some(Action::PartialIo(7)));
+        clear_all();
+    }
+
+    #[test]
+    fn probabilistic_trigger_is_seeded_and_calibrated() {
+        let _g = serial();
+        clear_all();
+        let run = |seed| {
+            configure("p", Trigger::Prob { p: 0.3, seed }, Action::ReturnErr);
+            let fired: Vec<bool> = (0..64).map(|_| eval("p").is_some()).collect();
+            fired
+        };
+        let a = run(11);
+        let b = run(11);
+        let c = run(12);
+        assert_eq!(a, b, "same seed ⇒ same firing sequence");
+        assert_ne!(a, c, "different seed ⇒ different sequence");
+        configure("p", Trigger::Prob { p: 0.3, seed: 5 }, Action::ReturnErr);
+        let fired = (0..10_000).filter(|_| eval("p").is_some()).count();
+        assert!((2_400..3_600).contains(&fired), "fired {fired}");
+        clear_all();
+    }
+
+    #[test]
+    fn spec_parsing_round_trips() {
+        let _g = serial();
+        assert_eq!(
+            parse_behavior("once:partial(20)").unwrap(),
+            (Trigger::Once, Action::PartialIo(20))
+        );
+        assert_eq!(
+            parse_behavior("prob(0.25,42):sleep(40)").unwrap(),
+            (Trigger::Prob { p: 0.25, seed: 42 }, Action::Sleep(40))
+        );
+        assert_eq!(
+            parse_behavior("every(3):panic").unwrap(),
+            (Trigger::EveryN(3), Action::Panic)
+        );
+        assert_eq!(
+            parse_behavior("always:return").unwrap(),
+            (Trigger::Always, Action::ReturnErr)
+        );
+        for bad in [
+            "",
+            "always",
+            "sometimes:return",
+            "always:explode",
+            "prob(2):return",
+            "every(0):return",
+            "partial:always",
+            "times(x):return",
+            "always:partial",
+            "always:sleep",
+        ] {
+            assert!(parse_behavior(bad).is_err(), "{bad:?} should not parse");
+        }
+        assert!(configure_spec("x=once:return").is_ok());
+        assert!(configure_spec("no-equals").is_err());
+        assert!(configure_spec("=once:return").is_err());
+        clear_all();
+    }
+
+    #[test]
+    fn snapshot_reports_counters() {
+        let _g = serial();
+        clear_all();
+        configure("s.one", Trigger::Once, Action::ReturnErr);
+        configure("s.two", Trigger::Always, Action::ReturnErr);
+        eval("s.one");
+        eval("s.one");
+        eval("s.two");
+        let snap = snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].name, "s.one");
+        assert_eq!((snap[0].evals, snap[0].fires), (2, 1));
+        assert_eq!((snap[1].evals, snap[1].fires), (1, 1));
+        clear(&snap[0].name);
+        assert_eq!(snapshot().len(), 1);
+        clear_all();
+    }
+
+    // The macro's gating is exercised from downstream crates (it checks
+    // the *expanding* crate's feature); here we cover the inline
+    // semantics through `eval_inline` plus the macro under this crate's
+    // own `failpoints` feature.
+    #[test]
+    fn eval_inline_sleeps_and_hands_back_return_actions() {
+        let _g = serial();
+        clear_all();
+        configure("i.sleep", Trigger::Once, Action::Sleep(15));
+        let t0 = std::time::Instant::now();
+        assert_eq!(eval_inline("i.sleep"), None, "sleep is absorbed");
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(10));
+        configure("i.ret", Trigger::Always, Action::ReturnErr);
+        assert_eq!(eval_inline("i.ret"), Some(Action::ReturnErr));
+        clear_all();
+    }
+
+    #[test]
+    fn eval_inline_panics_on_panic_action() {
+        let _g = serial();
+        clear_all();
+        configure("i.panic", Trigger::Always, Action::Panic);
+        let err = std::panic::catch_unwind(|| eval_inline("i.panic")).unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("i.panic"), "panic names the failpoint: {msg}");
+        clear_all();
+    }
+
+    #[cfg(feature = "failpoints")]
+    mod macro_gated {
+        use super::super::*;
+        use super::serial;
+        use std::io;
+
+        fn guarded_op() -> io::Result<u32> {
+            fail_point!("m.ret", |_| Err(io::Error::other("injected")));
+            Ok(7)
+        }
+
+        #[test]
+        fn macro_returns_handler_value_when_fired() {
+            let _g = serial();
+            clear_all();
+            assert_eq!(guarded_op().unwrap(), 7, "unarmed: no effect");
+            configure("m.ret", Trigger::Once, Action::ReturnErr);
+            assert!(guarded_op().is_err(), "armed once: first call fails");
+            assert_eq!(guarded_op().unwrap(), 7, "then recovers");
+            clear_all();
+        }
+
+        #[test]
+        fn unit_macro_ignores_return_actions() {
+            let _g = serial();
+            clear_all();
+            configure("m.unit", Trigger::Always, Action::ReturnErr);
+            fail_point!("m.unit"); // no handler: must be a no-op
+            assert_eq!(fires("m.unit"), 1);
+            clear_all();
+        }
+    }
+}

@@ -280,6 +280,7 @@ pub fn status_text(status: u16) -> &'static str {
         408 => "Request Timeout",
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
         503 => "Service Unavailable",
         _ => "Unknown",
     }

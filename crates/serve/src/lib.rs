@@ -24,7 +24,20 @@
 //!   connections, and the full `StoreStats` (hits, misses, evictions).
 //! * **Graceful shutdown.** `POST /shutdown` (or
 //!   [`server::ServerHandle::shutdown`]) closes the accept gate, drains
-//!   admitted jobs, and lets in-flight requests finish.
+//!   admitted jobs, and lets in-flight requests finish — up to
+//!   [`ServeConfig::drain_timeout`], after which wedged connections are
+//!   abandoned (logged + counted) rather than wedging the shutdown.
+//! * **Self-healing worker pool.** A supervisor thread detects worker
+//!   deaths (a panic that escapes the per-connection guard), respawns
+//!   them, and surfaces the incident: `/healthz` reports `"degraded"`
+//!   while the pool is short-handed or within
+//!   [`ServeConfig::degraded_window`] of the last death, and `/metrics`
+//!   counts respawns.
+//! * **Fault injection.** Built with `--features failpoints`, the daemon
+//!   compiles in named failpoints (`worker.panic.escape`, `extract.slow`,
+//!   `registry.read.transient`, and the persistence layer's
+//!   `persist.write.*`) that tests and `rextract serve --fault` can arm;
+//!   without the feature they compile to nothing.
 //!
 //! ## Endpoints
 //!
@@ -84,6 +97,18 @@ pub struct ServeConfig {
     pub op_cache_capacity: Option<usize>,
     /// Idle keep-alive read timeout per connection.
     pub keepalive_timeout: Duration,
+    /// Per-request wall-clock budget for `/extract`; past it the handler
+    /// answers `503` at its next cooperative checkpoint (std threads
+    /// cannot be preempted, so enforcement is between pipeline stages).
+    pub request_deadline: Duration,
+    /// How long graceful shutdown waits for in-flight connections before
+    /// abandoning the wedged ones (logged + `abandoned_connections`
+    /// metric).
+    pub drain_timeout: Duration,
+    /// How long after a worker death `/healthz` keeps reporting
+    /// `"degraded"`. Respawn takes single-digit milliseconds; the window
+    /// keeps the incident observable to a poller.
+    pub degraded_window: Duration,
 }
 
 impl Default for ServeConfig {
@@ -97,6 +122,9 @@ impl Default for ServeConfig {
             wrapper_dir: None,
             op_cache_capacity: Some(16_384),
             keepalive_timeout: Duration::from_secs(5),
+            request_deadline: Duration::from_secs(10),
+            drain_timeout: Duration::from_millis(5000),
+            degraded_window: Duration::from_secs(1),
         }
     }
 }

@@ -136,6 +136,9 @@ struct EndpointMetrics {
     latency: Histogram,
 }
 
+/// Sentinel for [`Metrics::last_worker_death_ms`]: no worker has died.
+const NEVER: u64 = u64::MAX;
+
 /// Shared, lock-free metrics hub.
 pub struct Metrics {
     started: Instant,
@@ -146,6 +149,27 @@ pub struct Metrics {
     queue_depth: AtomicUsize,
     /// Connections a worker is actively serving.
     in_flight: AtomicUsize,
+    /// Worker pool size the daemon was booted with.
+    workers_configured: AtomicUsize,
+    /// Workers currently running (dips below configured between a death
+    /// and the supervisor's respawn).
+    workers_alive: AtomicUsize,
+    /// Workers the supervisor respawned after a death.
+    worker_respawns: AtomicU64,
+    /// Milliseconds since `started` of the most recent worker death;
+    /// [`NEVER`] if none has died.
+    last_worker_death_ms: AtomicU64,
+    /// Artifacts quarantined (renamed to `*.corrupt`) by directory scans.
+    corrupt_artifacts: AtomicU64,
+    /// Transient artifact reads that were retried.
+    io_retries: AtomicU64,
+    /// Requests answered 503 because the per-request deadline passed.
+    deadline_exceeded: AtomicU64,
+    /// Connections abandoned because the drain deadline passed first.
+    abandoned_connections: AtomicU64,
+    /// Sockets whose timeout/nodelay configuration failed (served
+    /// anyway, but without the usual stall protection).
+    sock_config_failures: AtomicU64,
 }
 
 impl Metrics {
@@ -156,6 +180,15 @@ impl Metrics {
             rejected: AtomicU64::new(0),
             queue_depth: AtomicUsize::new(0),
             in_flight: AtomicUsize::new(0),
+            workers_configured: AtomicUsize::new(0),
+            workers_alive: AtomicUsize::new(0),
+            worker_respawns: AtomicU64::new(0),
+            last_worker_death_ms: AtomicU64::new(NEVER),
+            corrupt_artifacts: AtomicU64::new(0),
+            io_retries: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
+            abandoned_connections: AtomicU64::new(0),
+            sock_config_failures: AtomicU64::new(0),
         }
     }
 
@@ -194,6 +227,87 @@ impl Metrics {
             .load(Ordering::Relaxed)
     }
 
+    pub fn set_workers_configured(&self, n: usize) {
+        self.workers_configured.store(n, Ordering::Relaxed);
+    }
+
+    pub fn workers_configured(&self) -> usize {
+        self.workers_configured.load(Ordering::Relaxed)
+    }
+
+    pub fn set_workers_alive(&self, n: usize) {
+        self.workers_alive.store(n, Ordering::Relaxed);
+    }
+
+    pub fn workers_alive(&self) -> usize {
+        self.workers_alive.load(Ordering::Relaxed)
+    }
+
+    /// A worker thread died (panic escaped the per-connection guard) and
+    /// the supervisor is replacing it.
+    pub fn record_worker_respawn(&self) {
+        self.worker_respawns.fetch_add(1, Ordering::Relaxed);
+        let now_ms = self.started.elapsed().as_millis() as u64;
+        self.last_worker_death_ms.store(now_ms, Ordering::Relaxed);
+    }
+
+    pub fn worker_respawns(&self) -> u64 {
+        self.worker_respawns.load(Ordering::Relaxed)
+    }
+
+    /// Time since the most recent worker death, or `None` if none ever
+    /// died. Drives the `/healthz` "degraded" window.
+    pub fn last_worker_death_age(&self) -> Option<std::time::Duration> {
+        let at_ms = self.last_worker_death_ms.load(Ordering::Relaxed);
+        if at_ms == NEVER {
+            return None;
+        }
+        let now_ms = self.started.elapsed().as_millis() as u64;
+        Some(std::time::Duration::from_millis(
+            now_ms.saturating_sub(at_ms),
+        ))
+    }
+
+    pub fn record_corrupt_artifacts(&self, n: u64) {
+        self.corrupt_artifacts.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn corrupt_artifacts(&self) -> u64 {
+        self.corrupt_artifacts.load(Ordering::Relaxed)
+    }
+
+    pub fn record_io_retries(&self, n: u64) {
+        self.io_retries.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn io_retries(&self) -> u64 {
+        self.io_retries.load(Ordering::Relaxed)
+    }
+
+    pub fn record_deadline_exceeded(&self) {
+        self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn deadline_exceeded(&self) -> u64 {
+        self.deadline_exceeded.load(Ordering::Relaxed)
+    }
+
+    pub fn record_abandoned_connections(&self, n: u64) {
+        self.abandoned_connections.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn abandoned_connections(&self) -> u64 {
+        self.abandoned_connections.load(Ordering::Relaxed)
+    }
+
+    pub fn record_sock_config_failure(&self) {
+        self.sock_config_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn sock_config_failures(&self) -> u64 {
+        self.sock_config_failures.load(Ordering::Relaxed)
+    }
+
     /// The full `/metrics` document.
     pub fn render_json(&self, store: &StoreStats) -> String {
         let mut endpoints = String::from("{");
@@ -210,7 +324,13 @@ impl Metrics {
             endpoints.push_str(&format!("\"{}\":{}", e.name(), body));
         }
         endpoints.push('}');
-        Obj::new()
+        let workers = Obj::new()
+            .num("configured", self.workers_configured() as u64)
+            .num("alive", self.workers_alive() as u64)
+            .num("respawns", self.worker_respawns())
+            .finish();
+        #[cfg_attr(not(feature = "failpoints"), allow(unused_mut))]
+        let mut obj = Obj::new()
             .num("uptime_ms", self.started.elapsed().as_millis() as u64)
             .num(
                 "queue_depth",
@@ -218,13 +338,37 @@ impl Metrics {
             )
             .num("in_flight", self.in_flight.load(Ordering::Relaxed) as u64)
             .num("rejected_total", self.rejected.load(Ordering::Relaxed))
+            .raw("workers", &workers)
+            .num("corrupt_artifacts", self.corrupt_artifacts())
+            .num("io_retries", self.io_retries())
+            .num("deadline_exceeded", self.deadline_exceeded())
+            .num("abandoned_connections", self.abandoned_connections())
+            .num("sock_config_failures", self.sock_config_failures())
             .raw(
                 "latency_bucket_bounds_us",
                 &num_array(LATENCY_BOUNDS_US.iter().copied()),
             )
             .raw("endpoints", &endpoints)
-            .raw("store", &store_stats_json(store))
-            .finish()
+            .raw("store", &store_stats_json(store));
+        #[cfg(feature = "failpoints")]
+        {
+            let mut arr = String::from("[");
+            for (i, fp) in rextract_faults::snapshot().iter().enumerate() {
+                if i > 0 {
+                    arr.push(',');
+                }
+                arr.push_str(
+                    &Obj::new()
+                        .str("name", &fp.name)
+                        .num("evals", fp.evals)
+                        .num("fires", fp.fires)
+                        .finish(),
+                );
+            }
+            arr.push(']');
+            obj = obj.raw("failpoints", &arr);
+        }
+        obj.finish()
     }
 }
 

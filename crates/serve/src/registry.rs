@@ -18,12 +18,25 @@
 //!
 //! Reads are `RwLock`-shared; lock acquisitions recover from poisoning so
 //! a panicking request thread cannot take the registry down with it.
+//!
+//! # Failure handling
+//!
+//! A directory scan treats every file independently: a torn or bit-rotted
+//! artifact (persist v2's checksum trailer catches both) is **quarantined**
+//! — renamed to `<file>.corrupt` so the next scan does not trip over it
+//! again — while any previously installed version keeps serving. Transient
+//! read errors (`Interrupted`/`WouldBlock`/`TimedOut`) are retried with a
+//! short backoff before being reported.
 
+use rextract_faults::fail_point;
+use rextract_wrapper::persist::PersistError;
 use rextract_wrapper::wrapper::Wrapper;
 use std::collections::HashMap;
+use std::fmt;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, RwLock};
+use std::time::Duration;
 
 /// Outcome of a directory scan.
 #[derive(Debug, Default)]
@@ -32,6 +45,78 @@ pub struct LoadReport {
     pub loaded: Vec<String>,
     /// `(file name, error)` for artifacts that failed to import.
     pub errors: Vec<(String, String)>,
+    /// Files quarantined (renamed to `<file>.corrupt`) because their
+    /// content was torn or corrupt.
+    pub quarantined: Vec<String>,
+    /// Transient read errors that were retried during this scan.
+    pub io_retries: u64,
+}
+
+/// Errors from [`Registry::install`], split by whose fault they are: an
+/// [`InstallError::Invalid`] artifact is the client's (HTTP 400), a
+/// persistence failure is the server's (HTTP 500) — the wrapper is *not*
+/// installed in either case, so memory and disk never disagree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InstallError {
+    /// Bad name or unimportable artifact.
+    Invalid(String),
+    /// The artifact imported, but persisting it to the backing directory
+    /// failed.
+    Io(String),
+}
+
+impl fmt::Display for InstallError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InstallError::Invalid(e) | InstallError::Io(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for InstallError {}
+
+/// Read attempts per artifact before a transient error becomes permanent.
+const READ_ATTEMPTS: u32 = 3;
+
+fn is_transient(kind: io::ErrorKind) -> bool {
+    matches!(
+        kind,
+        io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+fn read_artifact_once(path: &Path) -> io::Result<String> {
+    fail_point!("registry.read.transient", |_action| Err(io::Error::new(
+        io::ErrorKind::Interrupted,
+        "injected transient read error (failpoint registry.read.transient)"
+    )));
+    std::fs::read_to_string(path)
+}
+
+/// Read with bounded retry: transient kinds back off 2ms, 4ms, … and are
+/// counted in `retries`; anything else (or exhaustion) is returned.
+fn read_artifact(path: &Path, retries: &mut u64) -> io::Result<String> {
+    let mut backoff = Duration::from_millis(2);
+    for attempt in 1..=READ_ATTEMPTS {
+        match read_artifact_once(path) {
+            Ok(text) => return Ok(text),
+            Err(e) if attempt < READ_ATTEMPTS && is_transient(e.kind()) => {
+                *retries += 1;
+                std::thread::sleep(backoff);
+                backoff *= 2;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    unreachable!("loop returns on the last attempt")
+}
+
+/// Rename a torn/corrupt artifact to `<file>.corrupt` so the next scan
+/// skips it. Best effort: failure leaves the file to be re-reported.
+fn quarantine(path: &Path) -> bool {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".corrupt");
+    std::fs::rename(path, PathBuf::from(os)).is_ok()
 }
 
 /// Concurrent name → wrapper map with optional backing directory.
@@ -75,7 +160,8 @@ impl Registry {
 
     /// Scan the backing directory for `*.wrapper` artifacts and install
     /// every one that imports cleanly. Wrappers whose files failed keep
-    /// their previously installed version. No directory → empty report.
+    /// their previously installed version; torn/corrupt files are
+    /// quarantined to `<file>.corrupt`. No directory → empty report.
     pub fn load_dir(&self) -> io::Result<LoadReport> {
         let mut report = LoadReport::default();
         let Some(dir) = &self.dir else {
@@ -100,7 +186,7 @@ impl Registry {
                 report.errors.push((file, "invalid wrapper name".into()));
                 continue;
             }
-            let text = match std::fs::read_to_string(&path) {
+            let text = match read_artifact(&path, &mut report.io_retries) {
                 Ok(t) => t,
                 Err(e) => {
                     report.errors.push((file, e.to_string()));
@@ -112,6 +198,14 @@ impl Registry {
                     self.write().insert(name.clone(), Arc::new(w));
                     report.loaded.push(name);
                 }
+                Err(e @ (PersistError::Truncated | PersistError::Corrupt { .. })) => {
+                    // Torn or bit-rotted on disk: move it out of the scan
+                    // path so one bad write cannot fail every reload.
+                    if quarantine(&path) {
+                        report.quarantined.push(file.clone());
+                    }
+                    report.errors.push((file, e.to_string()));
+                }
                 Err(e) => report.errors.push((file, e.to_string())),
             }
         }
@@ -121,18 +215,21 @@ impl Registry {
     /// Validate and install `artifact` under `name`, replacing any
     /// previous version atomically (in-flight extractions finish on the
     /// wrapper they already resolved). Persists to the backing directory
-    /// when one is configured.
-    pub fn install(&self, name: &str, artifact: &str) -> Result<Arc<Wrapper>, String> {
+    /// when one is configured — via an atomic tmp+rename write, so a
+    /// crash mid-install can never leave a torn artifact at the scanned
+    /// path.
+    pub fn install(&self, name: &str, artifact: &str) -> Result<Arc<Wrapper>, InstallError> {
         if !valid_name(name) {
-            return Err(format!(
+            return Err(InstallError::Invalid(format!(
                 "invalid wrapper name {name:?} (want [A-Za-z0-9._-]+, no leading dot)"
-            ));
+            )));
         }
-        let wrapper = Arc::new(Wrapper::import(artifact).map_err(|e| e.to_string())?);
+        let wrapper =
+            Arc::new(Wrapper::import(artifact).map_err(|e| InstallError::Invalid(e.to_string()))?);
         if let Some(dir) = &self.dir {
             let path = dir.join(format!("{name}.wrapper"));
-            std::fs::write(&path, artifact)
-                .map_err(|e| format!("persisting {}: {e}", path.display()))?;
+            rextract_wrapper::persist::save_artifact(&path, artifact)
+                .map_err(|e| InstallError::Io(format!("persisting {}: {e}", path.display())))?;
         }
         self.write().insert(name.to_string(), Arc::clone(&wrapper));
         Ok(wrapper)
@@ -243,11 +340,73 @@ mod tests {
             .find(|(f, _)| f == "stale.wrapper")
             .unwrap();
         assert!(
-            stale.1.contains("v99") && stale.1.contains("v1"),
+            stale.1.contains("v99") && stale.1.contains("v2"),
             "version mismatch must be loud: {}",
             stale.1
         );
+        // Neither a stale version nor a bad header is quarantined: those
+        // files are intact, just not loadable by this build.
+        assert!(report.quarantined.is_empty(), "{:?}", report.quarantined);
         assert_eq!(r.names(), vec!["good".to_string()]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_artifact_is_quarantined_and_old_version_keeps_serving() {
+        let dir = temp_dir("quarantine");
+        let good = artifact(8);
+        std::fs::write(dir.join("site.wrapper"), &good).unwrap();
+        let r = Registry::new(Some(dir.clone()));
+        r.load_dir().unwrap();
+        let served = r.get("site").unwrap();
+
+        // A torn rewrite lands on disk (simulating a crash in a non-atomic
+        // external writer); the rescan must quarantine it and keep the
+        // in-memory wrapper.
+        std::fs::write(dir.join("site.wrapper"), &good[..good.len() / 2]).unwrap();
+        let report = r.load_dir().unwrap();
+        assert_eq!(report.quarantined, vec!["site.wrapper".to_string()]);
+        assert!(
+            report
+                .errors
+                .iter()
+                .any(|(f, e)| f == "site.wrapper" && e.contains("truncated")),
+            "{:?}",
+            report.errors
+        );
+        assert!(
+            Arc::ptr_eq(&r.get("site").unwrap(), &served),
+            "previously served wrapper must survive"
+        );
+        assert!(!dir.join("site.wrapper").exists());
+        assert!(dir.join("site.wrapper.corrupt").exists());
+
+        // The quarantined file is out of the scan path: a second reload is
+        // clean (and reports the wrapper as unloaded-from-disk, which is
+        // fine — it stays installed in memory).
+        let report2 = r.load_dir().unwrap();
+        assert!(report2.quarantined.is_empty());
+        assert!(report2.errors.is_empty(), "{:?}", report2.errors);
+        assert!(r.get("site").is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn install_uses_atomic_write() {
+        let dir = temp_dir("atomic-install");
+        let r = Registry::new(Some(dir.clone()));
+        r.install("hot", &artifact(9)).unwrap();
+        // No temp droppings; the installed file round-trips.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        assert!(matches!(
+            r.install("bad name", &artifact(9)),
+            Err(InstallError::Invalid(_))
+        ));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -20,15 +20,25 @@
 //! Graceful shutdown (`POST /shutdown` or [`ServerHandle::shutdown`]):
 //! the accept gate closes (new connections are refused by the OS once
 //! the listener drops), the queue stops admitting and drains, workers
-//! finish in-flight requests with `Connection: close`, then exit.
+//! finish in-flight requests with `Connection: close`, then exit. The
+//! supervisor waits [`ServeConfig::drain_timeout`] for them; connections
+//! still wedged after that are abandoned, logged, and counted.
+//!
+//! The worker pool is **self-healing**: workers are watched by a
+//! supervisor thread that reaps dead ones (a panic that escapes the
+//! per-connection `catch_unwind`, e.g. the `worker.panic.escape`
+//! failpoint) and respawns replacements, keeping the pool at configured
+//! strength. `/healthz` reports `"degraded"` while short-handed or
+//! shortly after a death.
 
 use crate::http::{read_request, ReadError, Request, Response};
 use crate::json::{str_array, Obj};
 use crate::metrics::{Endpoint, Metrics};
 use crate::pool::JobQueue;
-use crate::registry::Registry;
+use crate::registry::{InstallError, LoadReport, Registry};
 use crate::ServeConfig;
 use rextract_automata::Store;
+use rextract_faults::fail_point;
 use rextract_html::tokenizer::tokenize;
 use rextract_wrapper::wrapper::WrapperError;
 use std::io::{self, BufReader};
@@ -38,6 +48,10 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Supervisor sweep interval: how often dead workers are reaped and
+/// replaced. Small enough that a respawn beats any healthz poll.
+const SUPERVISE_EVERY: Duration = Duration::from_millis(5);
 
 /// Shutdown coordination: a flag plus the listener address for the
 /// self-connect that unblocks `accept()`.
@@ -65,6 +79,8 @@ struct Ctx {
     metrics: Arc<Metrics>,
     shutdown: Arc<Shutdown>,
     keepalive: Duration,
+    request_deadline: Duration,
+    degraded_window: Duration,
 }
 
 /// A running daemon. Dropping the handle does **not** stop the server;
@@ -75,7 +91,7 @@ pub struct ServerHandle {
     registry: Arc<Registry>,
     metrics: Arc<Metrics>,
     acceptor: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -98,12 +114,13 @@ impl ServerHandle {
         self.shutdown.trigger();
     }
 
-    /// Block until every worker has drained and exited.
+    /// Block until the pool has drained (or the drain timeout abandoned
+    /// the stragglers) and the acceptor has exited.
     pub fn join(mut self) {
         if let Some(h) = self.acceptor.take() {
             let _ = h.join();
         }
-        for h in self.workers.drain(..) {
+        if let Some(h) = self.supervisor.take() {
             let _ = h.join();
         }
     }
@@ -129,27 +146,37 @@ pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
     }
 
     let metrics = Arc::new(Metrics::new());
+    record_scan(&metrics, &boot_report);
     let queue: Arc<JobQueue<TcpStream>> = Arc::new(JobQueue::new(config.queue_capacity));
     let shutdown = Arc::new(Shutdown {
         draining: AtomicBool::new(false),
         addr,
     });
+    let ctx = Arc::new(Ctx {
+        registry: Arc::clone(&registry),
+        metrics: Arc::clone(&metrics),
+        shutdown: Arc::clone(&shutdown),
+        keepalive: config.keepalive_timeout,
+        request_deadline: config.request_deadline,
+        degraded_window: config.degraded_window,
+    });
 
-    let workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
-        .map(|i| {
-            let queue = Arc::clone(&queue);
-            let ctx = Ctx {
-                registry: Arc::clone(&registry),
-                metrics: Arc::clone(&metrics),
-                shutdown: Arc::clone(&shutdown),
-                keepalive: config.keepalive_timeout,
-            };
-            std::thread::Builder::new()
-                .name(format!("rextract-worker-{i}"))
-                .spawn(move || worker_loop(&queue, &ctx))
-                .expect("spawn worker thread")
-        })
+    let pool_size = config.workers.max(1);
+    metrics.set_workers_configured(pool_size);
+    let workers: Vec<JoinHandle<()>> = (0..pool_size)
+        .map(|i| spawn_worker(i, &queue, &ctx))
         .collect();
+    metrics.set_workers_alive(workers.len());
+
+    let supervisor = {
+        let queue = Arc::clone(&queue);
+        let ctx = Arc::clone(&ctx);
+        let drain_timeout = config.drain_timeout;
+        std::thread::Builder::new()
+            .name("rextract-supervisor".into())
+            .spawn(move || supervisor_loop(&queue, &ctx, workers, drain_timeout))
+            .expect("spawn supervisor thread")
+    };
 
     let acceptor = {
         let queue = Arc::clone(&queue);
@@ -167,8 +194,82 @@ pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
         registry,
         metrics,
         acceptor: Some(acceptor),
-        workers,
+        supervisor: Some(supervisor),
     })
+}
+
+/// Fold a directory-scan report into the metrics hub.
+fn record_scan(metrics: &Metrics, report: &LoadReport) {
+    metrics.record_corrupt_artifacts(report.quarantined.len() as u64);
+    metrics.record_io_retries(report.io_retries);
+}
+
+fn spawn_worker(id: usize, queue: &Arc<JobQueue<TcpStream>>, ctx: &Arc<Ctx>) -> JoinHandle<()> {
+    let queue = Arc::clone(queue);
+    let ctx = Arc::clone(ctx);
+    std::thread::Builder::new()
+        .name(format!("rextract-worker-{id}"))
+        .spawn(move || worker_loop(&queue, &ctx))
+        .expect("spawn worker thread")
+}
+
+/// Keep the pool at strength: reap dead workers (join to collect the
+/// panic), respawn replacements while serving, and enforce the drain
+/// deadline during shutdown.
+fn supervisor_loop(
+    queue: &Arc<JobQueue<TcpStream>>,
+    ctx: &Arc<Ctx>,
+    mut workers: Vec<JoinHandle<()>>,
+    drain_timeout: Duration,
+) {
+    let mut next_id = workers.len();
+    while !ctx.shutdown.draining() {
+        std::thread::sleep(SUPERVISE_EVERY);
+        let mut i = 0;
+        while i < workers.len() {
+            if !workers[i].is_finished() {
+                i += 1;
+                continue;
+            }
+            let dead = workers.swap_remove(i);
+            let _ = dead.join();
+            if ctx.shutdown.draining() {
+                continue; // normal exit: the queue is closing under it
+            }
+            ctx.metrics.set_workers_alive(workers.len());
+            ctx.metrics.record_worker_respawn();
+            eprintln!(
+                "rextract-serve: worker died (escaped panic); respawning (respawn #{})",
+                ctx.metrics.worker_respawns()
+            );
+            workers.push(spawn_worker(next_id, queue, ctx));
+            next_id += 1;
+            ctx.metrics.set_workers_alive(workers.len());
+        }
+    }
+    // Drain phase: give in-flight connections drain_timeout to finish,
+    // then abandon the wedged ones instead of wedging shutdown itself.
+    let deadline = Instant::now() + drain_timeout;
+    loop {
+        workers.retain(|w| !w.is_finished());
+        ctx.metrics.set_workers_alive(workers.len());
+        if workers.is_empty() {
+            return;
+        }
+        if Instant::now() >= deadline {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    ctx.metrics
+        .record_abandoned_connections(workers.len() as u64);
+    eprintln!(
+        "rextract-serve: drain deadline ({} ms) passed; abandoning {} wedged connection(s)",
+        drain_timeout.as_millis(),
+        workers.len()
+    );
+    // The threads are detached by dropping their handles; the process is
+    // exiting anyway once the caller's join() returns.
 }
 
 fn accept_loop(
@@ -188,7 +289,12 @@ fn accept_loop(
                 // Backpressure: answer 503 inline and move on. Short write
                 // timeout so a stalled client cannot stall accepting.
                 metrics.record_rejected();
-                let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+                if stream
+                    .set_write_timeout(Some(Duration::from_millis(250)))
+                    .is_err()
+                {
+                    metrics.record_sock_config_failure();
+                }
                 let mut stream = stream;
                 let body = Obj::new()
                     .str("error", "server overloaded, retry later")
@@ -204,6 +310,10 @@ fn accept_loop(
 
 fn worker_loop(queue: &JobQueue<TcpStream>, ctx: &Ctx) {
     while let Some((stream, depth)) = queue.pop() {
+        // Deliberately OUTSIDE the catch_unwind below: this simulates the
+        // class of panic the per-connection guard cannot catch, killing
+        // the whole worker thread so the supervisor has something to heal.
+        fail_point!("worker.panic.escape");
         ctx.metrics.set_queue_depth(depth);
         ctx.metrics.enter_worker();
         // A panic while serving one connection must not kill the worker:
@@ -222,9 +332,7 @@ fn worker_loop(queue: &JobQueue<TcpStream>, ctx: &Ctx) {
 /// Serve one connection: keep-alive request loop until the peer closes,
 /// the idle timeout fires, or shutdown drains us.
 fn serve_connection(stream: TcpStream, ctx: &Ctx) {
-    let _ = stream.set_read_timeout(Some(ctx.keepalive));
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
-    let _ = stream.set_nodelay(true);
+    configure_socket(&stream, ctx.keepalive, &ctx.metrics);
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
@@ -262,6 +370,27 @@ fn serve_connection(stream: TcpStream, ctx: &Ctx) {
         }
         if close {
             return;
+        }
+    }
+}
+
+/// Apply the per-connection socket options. A failure is survivable (the
+/// connection is served without stall protection) but must not be silent:
+/// it is counted in `sock_config_failures` and logged once per process.
+fn configure_socket(stream: &TcpStream, keepalive: Duration, metrics: &Metrics) {
+    let mut failed = stream.set_read_timeout(Some(keepalive)).is_err();
+    failed |= stream
+        .set_write_timeout(Some(Duration::from_secs(10)))
+        .is_err();
+    failed |= stream.set_nodelay(true).is_err();
+    if failed {
+        metrics.record_sock_config_failure();
+        static LOGGED: AtomicBool = AtomicBool::new(false);
+        if !LOGGED.swap(true, Ordering::Relaxed) {
+            eprintln!(
+                "rextract-serve: socket timeout/nodelay configuration failed \
+                 (logged once; see the sock_config_failures metric)"
+            );
         }
     }
 }
@@ -313,18 +442,60 @@ fn route(req: &Request, ctx: &Ctx) -> (Endpoint, Response) {
 }
 
 fn handle_healthz(ctx: &Ctx) -> Response {
+    let configured = ctx.metrics.workers_configured();
+    let alive = ctx.metrics.workers_alive();
+    let recent_death = ctx
+        .metrics
+        .last_worker_death_age()
+        .is_some_and(|age| age <= ctx.degraded_window);
+    let status = if alive < configured || recent_death {
+        "degraded"
+    } else {
+        "ok"
+    };
+    let workers = Obj::new()
+        .num("configured", configured as u64)
+        .num("alive", alive as u64)
+        .num("respawns", ctx.metrics.worker_respawns())
+        .finish();
     Response::json(
         200,
         Obj::new()
-            .str("status", "ok")
+            .str("status", status)
             .num("wrappers", ctx.registry.len() as u64)
             .bool("draining", ctx.shutdown.draining())
+            .raw("workers", &workers)
+            .finish(),
+    )
+}
+
+/// 503 for a request that outlived [`ServeConfig::request_deadline`].
+///
+/// [`ServeConfig::request_deadline`]: crate::ServeConfig::request_deadline
+fn deadline_response(ctx: &Ctx) -> Response {
+    ctx.metrics.record_deadline_exceeded();
+    Response::json(
+        503,
+        Obj::new()
+            .str("error", "deadline exceeded")
+            .num("deadline_ms", ctx.request_deadline.as_millis() as u64)
             .finish(),
     )
 }
 
 /// `POST /extract?wrapper=NAME`: HTML body → tag sequence → extraction.
+///
+/// Enforces the per-request deadline cooperatively: std threads cannot be
+/// preempted, so the wall clock is checked between pipeline stages and
+/// the request is abandoned with 503 once over budget.
 fn handle_extract(req: &Request, ctx: &Ctx) -> Response {
+    let arrived = Instant::now();
+    // Simulates a stall (slow upstream parse, scheduling delay, …) ahead
+    // of the first deadline checkpoint.
+    fail_point!("extract.slow");
+    if arrived.elapsed() >= ctx.request_deadline {
+        return deadline_response(ctx);
+    }
     let (name, wrapper) = match req.query_param("wrapper") {
         Some(name) => match ctx.registry.get(name) {
             Some(w) => (name.to_string(), w),
@@ -368,6 +539,9 @@ fn handle_extract(req: &Request, ctx: &Ctx) -> Response {
     let started = Instant::now();
     let tokens = tokenize(&html);
     let tokenize_us = started.elapsed().as_micros() as u64;
+    if arrived.elapsed() >= ctx.request_deadline {
+        return deadline_response(ctx);
+    }
     let extract_started = Instant::now();
     let result = wrapper.extract_target(&tokens);
     let extract_us = extract_started.elapsed().as_micros() as u64;
@@ -438,7 +612,10 @@ fn handle_install(name: &str, req: &Request, ctx: &Ctx) -> Response {
                 .num("wrappers", ctx.registry.len() as u64)
                 .finish(),
         ),
-        Err(e) => Response::json(400, Obj::new().str("error", &e).finish()),
+        // The client sent a bad artifact vs. the server failed to persist
+        // a good one: different status, different party to page.
+        Err(InstallError::Invalid(e)) => Response::json(400, Obj::new().str("error", &e).finish()),
+        Err(InstallError::Io(e)) => Response::json(500, Obj::new().str("error", &e).finish()),
     }
 }
 
@@ -454,6 +631,7 @@ fn handle_reload(ctx: &Ctx) -> Response {
     }
     match ctx.registry.load_dir() {
         Ok(report) => {
+            record_scan(&ctx.metrics, &report);
             let mut errors = String::from("[");
             for (i, (file, err)) in report.errors.iter().enumerate() {
                 if i > 0 {
@@ -470,6 +648,10 @@ fn handle_reload(ctx: &Ctx) -> Response {
                         &str_array(report.loaded.iter().map(String::as_str)),
                     )
                     .raw("errors", &errors)
+                    .raw(
+                        "quarantined",
+                        &str_array(report.quarantined.iter().map(String::as_str)),
+                    )
                     .num("wrappers", ctx.registry.len() as u64)
                     .finish(),
             )

@@ -1,0 +1,406 @@
+//! Chaos tests: boot the real daemon with failpoints armed and verify the
+//! resilience story end to end — torn installs never corrupt the served
+//! wrapper, a panic storm is healed by the supervisor, slow requests hit
+//! the deadline, transient reads are retried, and a wedged connection
+//! cannot wedge shutdown.
+//!
+//! The failpoint registry is process-global, so every test takes one
+//! mutex and clears the registry on entry and (via drop guard) on exit.
+#![cfg(feature = "failpoints")]
+
+use rextract_faults as faults;
+use rextract_html::tokenizer::tokenize;
+use rextract_serve::{serve, ServeConfig};
+use rextract_wrapper::site::{PageStyle, SiteConfig, SiteGenerator};
+use rextract_wrapper::wrapper::{TrainPage, Wrapper, WrapperConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::{Duration, Instant};
+
+// ----- serialization over the global failpoint registry ----------------------
+
+struct FaultGuard(#[allow(dead_code)] MutexGuard<'static, ()>);
+
+impl Drop for FaultGuard {
+    fn drop(&mut self) {
+        faults::clear_all();
+    }
+}
+
+fn arm_faults() -> FaultGuard {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    let guard = match LOCK.get_or_init(|| Mutex::new(())).lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    };
+    faults::clear_all();
+    FaultGuard(guard)
+}
+
+// ----- tolerant HTTP client --------------------------------------------------
+//
+// Under injected faults a connection may be killed mid-exchange; the
+// client must report that as None, not panic.
+
+fn try_request(addr: SocketAddr, method: &str, path: &str, body: &str) -> Option<(u16, String)> {
+    let mut stream = TcpStream::connect(addr).ok()?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .ok()?;
+    let msg = format!(
+        "{method} {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(msg.as_bytes()).ok()?;
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).ok()?;
+    let status: u16 = status_line.split_whitespace().nth(1)?.parse().ok()?;
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).ok()?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+            content_length = v.trim().parse().ok()?;
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    std::io::Read::read_exact(&mut reader, &mut body).ok()?;
+    Some((status, String::from_utf8_lossy(&body).into_owned()))
+}
+
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    try_request(addr, method, path, body).expect("request failed")
+}
+
+fn json_num(body: &str, field: &str) -> Option<u64> {
+    let key = format!("\"{field}\":");
+    let at = body.find(&key)? + key.len();
+    let rest = &body[at..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn poll_until(mut f: impl FnMut() -> bool, timeout: Duration) -> bool {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if f() {
+            return true;
+        }
+        if Instant::now() >= deadline {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+// ----- fixtures --------------------------------------------------------------
+
+fn trained_artifact(seed: u64) -> (String, SiteGenerator) {
+    let mut g = SiteGenerator::new(SiteConfig {
+        seed,
+        ..SiteConfig::default()
+    });
+    let pages = vec![
+        TrainPage::from(&g.page_with_style(PageStyle::Plain)),
+        TrainPage::from(&g.page_with_style(PageStyle::TableEmbedded)),
+        TrainPage::from(&g.page_with_style(PageStyle::Busy)),
+    ];
+    let w = Wrapper::train(&pages, WrapperConfig::default()).unwrap();
+    (w.export(), g)
+}
+
+/// A page the artifact's wrapper extracts cleanly, plus the expected
+/// position — the ground truth every post-fault extract is checked
+/// against.
+fn ground_truth(artifact: &str, gen: &mut SiteGenerator) -> (String, u64) {
+    let w = Wrapper::import(artifact).expect("fixture artifact imports");
+    for _ in 0..50 {
+        let p = gen.page();
+        let html = p.html();
+        if let Ok(idx) = w.extract_target(&tokenize(&html)) {
+            return (html, idx as u64);
+        }
+    }
+    panic!("no cleanly-extracting page in 50 draws");
+}
+
+fn chaos_config() -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        queue_capacity: 64,
+        wrapper_dir: None,
+        op_cache_capacity: Some(4096),
+        keepalive_timeout: Duration::from_millis(500),
+        ..ServeConfig::default()
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rextract-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+// ----- scenarios -------------------------------------------------------------
+
+/// A crash mid-install (torn write) must never reach the served wrapper
+/// or the scanned artifact: the old version keeps serving, the old file
+/// stays intact, and the torn residue is an unscanned temp file. A torn
+/// artifact planted by an external writer is quarantined on reload.
+#[test]
+fn torn_install_never_corrupts_served_wrapper() {
+    let _faults = arm_faults();
+    let dir = temp_dir("torn");
+    let mut cfg = chaos_config();
+    cfg.wrapper_dir = Some(dir.clone());
+    let handle = serve(cfg).unwrap();
+    let addr = handle.addr();
+
+    let (artifact_a, mut gen) = trained_artifact(100);
+    let (page, want) = ground_truth(&artifact_a, &mut gen);
+    let (status, _) = request(addr, "POST", "/wrappers/demo", &artifact_a);
+    assert_eq!(status, 201);
+    let (status, body) = request(addr, "POST", "/extract?wrapper=demo", &page);
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(json_num(&body, "position"), Some(want), "{body}");
+
+    // Crash 24 bytes into writing the replacement artifact.
+    faults::configure_spec("persist.write.partial=once:partial(24)").unwrap();
+    let (artifact_b, _) = trained_artifact(101);
+    let (status, body) = request(addr, "POST", "/wrappers/demo", &artifact_b);
+    assert_eq!(status, 500, "{body}");
+    assert!(body.contains("persisting"), "{body}");
+
+    // Served wrapper: still artifact A, same ground truth.
+    let (status, body) = request(addr, "POST", "/extract?wrapper=demo", &page);
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(json_num(&body, "position"), Some(want), "{body}");
+    // On disk: the scanned file still holds artifact A in full; the torn
+    // bytes live in an unscanned temp file.
+    assert_eq!(
+        std::fs::read_to_string(dir.join("demo.wrapper")).unwrap(),
+        artifact_a
+    );
+    let tmp_files = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+        .count();
+    assert_eq!(tmp_files, 1, "torn residue expected");
+    // A rescan is untroubled by the residue and keeps serving A.
+    let (status, body) = request(addr, "POST", "/reload", "");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"loaded\":[\"demo\"]"), "{body}");
+    assert!(body.contains("\"quarantined\":[]"), "{body}");
+
+    // An external trainer crashes mid-write (no atomic rename): its torn
+    // artifact is quarantined by the next reload, with the metric to match.
+    std::fs::write(
+        dir.join("planted.wrapper"),
+        &artifact_a[..artifact_a.len() / 2],
+    )
+    .unwrap();
+    let (status, body) = request(addr, "POST", "/reload", "");
+    assert_eq!(status, 200, "{body}");
+    assert!(
+        body.contains("\"quarantined\":[\"planted.wrapper\"]"),
+        "{body}"
+    );
+    assert!(!dir.join("planted.wrapper").exists());
+    assert!(dir.join("planted.wrapper.corrupt").exists());
+    let (_, metrics) = request(addr, "GET", "/metrics", "");
+    assert_eq!(
+        json_num(&metrics, "corrupt_artifacts"),
+        Some(1),
+        "{metrics}"
+    );
+    assert!(metrics.contains("\"failpoints\":["), "{metrics}");
+
+    request(addr, "POST", "/shutdown", "");
+    handle.join();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Eight consecutive worker-killing panics: the supervisor respawns every
+/// one, `/healthz` dips to "degraded" and recovers to "ok", and the
+/// daemon still serves the ground-truth extraction afterwards.
+#[test]
+fn panic_storm_is_healed_by_the_supervisor() {
+    let _faults = arm_faults();
+    let mut cfg = chaos_config();
+    cfg.degraded_window = Duration::from_millis(600);
+    let handle = serve(cfg).unwrap();
+    let addr = handle.addr();
+
+    let (artifact, mut gen) = trained_artifact(110);
+    let (page, want) = ground_truth(&artifact, &mut gen);
+    let (status, _) = request(addr, "POST", "/wrappers/demo", &artifact);
+    assert_eq!(status, 201);
+
+    faults::configure_spec("worker.panic.escape=times(8):panic").unwrap();
+    // Each of these connections is eaten by a dying worker; the client
+    // sees a reset, never a wrong answer.
+    for _ in 0..8 {
+        let _ = try_request(addr, "GET", "/healthz", "");
+    }
+    assert!(
+        poll_until(
+            || faults::fires("worker.panic.escape") == 8,
+            Duration::from_secs(5)
+        ),
+        "panic failpoint fired {} of 8 times",
+        faults::fires("worker.panic.escape")
+    );
+    // The incident is visible: healthz reports degraded within the
+    // post-death window…
+    assert!(
+        poll_until(
+            || try_request(addr, "GET", "/healthz", "")
+                .is_some_and(|(_, b)| b.contains("\"status\":\"degraded\"")),
+            Duration::from_secs(2)
+        ),
+        "healthz never reported degraded"
+    );
+    // …and heals: all workers respawned, status back to ok.
+    assert!(
+        poll_until(
+            || try_request(addr, "GET", "/healthz", "")
+                .is_some_and(|(_, b)| b.contains("\"status\":\"ok\"")),
+            Duration::from_secs(5)
+        ),
+        "healthz never recovered to ok"
+    );
+    let (_, health) = request(addr, "GET", "/healthz", "");
+    assert_eq!(json_num(&health, "configured"), Some(2), "{health}");
+    assert_eq!(json_num(&health, "alive"), Some(2), "{health}");
+    // Metrics agree with the injected ground truth: one respawn per fire.
+    let (_, metrics) = request(addr, "GET", "/metrics", "");
+    assert_eq!(
+        json_num(&metrics, "respawns"),
+        Some(faults::fires("worker.panic.escape")),
+        "{metrics}"
+    );
+    assert_eq!(json_num(&metrics, "respawns"), Some(8), "{metrics}");
+
+    let (status, body) = request(addr, "POST", "/extract?wrapper=demo", &page);
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(json_num(&body, "position"), Some(want), "{body}");
+
+    request(addr, "POST", "/shutdown", "");
+    handle.join();
+}
+
+/// A stalled extract crosses the per-request deadline and is answered
+/// 503; the next request is unaffected.
+#[test]
+fn slow_extract_hits_the_deadline() {
+    let _faults = arm_faults();
+    let mut cfg = chaos_config();
+    cfg.request_deadline = Duration::from_millis(50);
+    let handle = serve(cfg).unwrap();
+    let addr = handle.addr();
+
+    let (artifact, mut gen) = trained_artifact(120);
+    let (page, want) = ground_truth(&artifact, &mut gen);
+    let (status, _) = request(addr, "POST", "/wrappers/demo", &artifact);
+    assert_eq!(status, 201);
+
+    faults::configure_spec("extract.slow=once:sleep(120)").unwrap();
+    let (status, body) = request(addr, "POST", "/extract?wrapper=demo", &page);
+    assert_eq!(status, 503, "{body}");
+    assert!(body.contains("deadline exceeded"), "{body}");
+    let (_, metrics) = request(addr, "GET", "/metrics", "");
+    assert_eq!(
+        json_num(&metrics, "deadline_exceeded"),
+        Some(1),
+        "{metrics}"
+    );
+
+    // One fire only: the follow-up request is inside budget.
+    let (status, body) = request(addr, "POST", "/extract?wrapper=demo", &page);
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(json_num(&body, "position"), Some(want), "{body}");
+
+    request(addr, "POST", "/shutdown", "");
+    handle.join();
+}
+
+/// Transient read errors during a directory scan are retried with
+/// backoff, not surfaced as failures.
+#[test]
+fn transient_artifact_reads_are_retried() {
+    let _faults = arm_faults();
+    let dir = temp_dir("transient");
+    let (artifact, _) = trained_artifact(130);
+    std::fs::write(dir.join("good.wrapper"), &artifact).unwrap();
+    let mut cfg = chaos_config();
+    cfg.wrapper_dir = Some(dir.clone());
+    let handle = serve(cfg).unwrap();
+    let addr = handle.addr();
+
+    // First two reads of the rescan hit injected EINTR; the third lands.
+    faults::configure_spec("registry.read.transient=times(2):return").unwrap();
+    let (status, body) = request(addr, "POST", "/reload", "");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"loaded\":[\"good\"]"), "{body}");
+    assert!(body.contains("\"errors\":[]"), "{body}");
+    let (_, metrics) = request(addr, "GET", "/metrics", "");
+    assert_eq!(json_num(&metrics, "io_retries"), Some(2), "{metrics}");
+    assert_eq!(faults::fires("registry.read.transient"), 2);
+
+    request(addr, "POST", "/shutdown", "");
+    handle.join();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A connection wedged in a handler cannot wedge graceful shutdown: the
+/// drain deadline abandons it, logged and counted.
+#[test]
+fn drain_deadline_abandons_wedged_connections() {
+    let _faults = arm_faults();
+    let mut cfg = chaos_config();
+    cfg.drain_timeout = Duration::from_millis(200);
+    let handle = serve(cfg).unwrap();
+    let addr = handle.addr();
+
+    let (artifact, mut gen) = trained_artifact(140);
+    let (page, _) = ground_truth(&artifact, &mut gen);
+    let (status, _) = request(addr, "POST", "/wrappers/demo", &artifact);
+    assert_eq!(status, 201);
+
+    // Wedge one worker for far longer than the drain deadline.
+    faults::configure_spec("extract.slow=once:sleep(1500)").unwrap();
+    let wedged = std::thread::spawn(move || {
+        let _ = try_request(addr, "POST", "/extract?wrapper=demo", &page);
+    });
+    assert!(
+        poll_until(
+            || faults::fires("extract.slow") == 1,
+            Duration::from_secs(2)
+        ),
+        "wedge request never reached the handler"
+    );
+
+    let metrics = std::sync::Arc::clone(handle.metrics());
+    request(addr, "POST", "/shutdown", "");
+    let started = Instant::now();
+    handle.join();
+    let waited = started.elapsed();
+    assert!(
+        waited < Duration::from_millis(1200),
+        "join took {waited:?}; drain deadline did not bite"
+    );
+    assert_eq!(metrics.abandoned_connections(), 1);
+    wedged.join().unwrap();
+}

@@ -97,6 +97,7 @@ fn test_config() -> ServeConfig {
         wrapper_dir: None,
         op_cache_capacity: Some(4096),
         keepalive_timeout: Duration::from_millis(500),
+        ..ServeConfig::default()
     }
 }
 
@@ -124,10 +125,10 @@ fn install_extract_metrics_shutdown_end_to_end() {
     assert!(body.contains("\"installed\":\"demo\""), "{body}");
 
     // A stale-version artifact fails loudly with the version diagnosis.
-    let stale = artifact.replacen("v1", "v7", 1);
+    let stale = artifact.replacen("v2", "v7", 1);
     let (status, body) = request(addr, "POST", "/wrappers/stale", &stale);
     assert_eq!(status, 400, "{body}");
-    assert!(body.contains("v7") && body.contains("v1"), "{body}");
+    assert!(body.contains("v7") && body.contains("v2"), "{body}");
 
     // Extract from a perturbed page over the wire. Perturber seed chosen
     // so the page round-trips token-for-token through writer→tokenizer
@@ -387,7 +388,7 @@ fn hot_reload_from_directory() {
     let (artifact, mut gen) = trained_artifact(70);
     std::fs::write(dir.join("ext.wrapper"), &artifact).unwrap();
     // A stale artifact alongside must be reported, not fatal.
-    std::fs::write(dir.join("old.wrapper"), artifact.replacen("v1", "v9", 1)).unwrap();
+    std::fs::write(dir.join("old.wrapper"), artifact.replacen("v2", "v9", 1)).unwrap();
     let (status, body) = request(addr, "POST", "/reload", "");
     assert_eq!(status, 200, "{body}");
     assert!(body.contains("\"loaded\":[\"ext\"]"), "{body}");

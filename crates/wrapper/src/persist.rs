@@ -8,25 +8,42 @@
 //! wrapper can be inspected with `rextract analyze`:
 //!
 //! ```text
-//! rextract-wrapper v1
+//! rextract-wrapper v2
 //! seq include_text=false include_end_tags=true
 //! alphabet #other /FORM /H1 FORM H1 INPUT P
+//! maximized true
 //! expr [^FORM]* FORM [^INPUT]* INPUT [^INPUT]* <INPUT> .*
+//! checksum fnv1a 9c2f31a07b6d5e48
 //! ```
+//!
+//! # Crash safety
+//!
+//! The artifact ends in a fixed-width FNV-1a checksum trailer covering
+//! every byte before it. [`Wrapper::import`] verifies the trailer before
+//! parsing any section, so a torn write (power loss mid-`write`) is
+//! diagnosed as [`PersistError::Truncated`] and a bit-flip as
+//! [`PersistError::Corrupt`] — never misparsed into a silently-wrong
+//! wrapper. The writing side, [`save_artifact`], never exposes a partial
+//! file at the destination path: it writes a hidden temp file in the same
+//! directory, fsyncs it, and atomically renames it into place.
 
 use crate::wrapper::{Wrapper, WrapperError};
 use rextract_automata::Alphabet;
 use rextract_extraction::extract::Extractor;
 use rextract_extraction::ExtractionExpr;
+use rextract_faults::fail_point;
 use rextract_html::seq::SeqConfig;
 use std::fmt;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// The artifact format version this build reads and writes. Bumped on any
 /// incompatible change to the serialization; [`Wrapper::import`] rejects
 /// other versions loudly (see [`PersistError::VersionMismatch`]) so a
 /// registry hot-reload over a directory of stale artifacts fails with a
-/// clear diagnosis instead of misparsing.
-pub const FORMAT_VERSION: u32 = 1;
+/// clear diagnosis instead of misparsing. v2 added the checksum trailer.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Errors from [`Wrapper::import`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -38,6 +55,17 @@ pub enum PersistError {
     VersionMismatch {
         /// The version the artifact declares.
         found: u32,
+    },
+    /// The checksum trailer is missing or incomplete: the artifact was
+    /// cut short, classically by a torn (non-atomic) write.
+    Truncated,
+    /// The checksum trailer is present but does not match the content:
+    /// the artifact was altered after export.
+    Corrupt {
+        /// The checksum the trailer declares.
+        expected: u64,
+        /// The checksum computed over the artifact body.
+        found: u64,
     },
     /// A required section is missing or malformed; carries the line tag.
     BadSection(&'static str),
@@ -54,6 +82,14 @@ impl fmt::Display for PersistError {
                 "artifact is format v{found}, but this build reads v{FORMAT_VERSION}; \
                  re-export the wrapper with a matching release"
             ),
+            PersistError::Truncated => write!(
+                f,
+                "artifact truncated: checksum trailer missing or incomplete (torn write?)"
+            ),
+            PersistError::Corrupt { expected, found } => write!(
+                f,
+                "artifact corrupt: checksum mismatch (trailer {expected:016x}, content {found:016x})"
+            ),
             PersistError::BadSection(s) => write!(f, "missing or malformed section {s:?}"),
             PersistError::Expr(e) => write!(f, "stored expression invalid: {e}"),
         }
@@ -61,6 +97,72 @@ impl fmt::Display for PersistError {
 }
 
 impl std::error::Error for PersistError {}
+
+/// Errors from [`Wrapper::load`]: either the file could not be read or
+/// its contents failed to import.
+#[derive(Debug)]
+pub enum LoadError {
+    /// Reading the file failed.
+    Io(io::Error),
+    /// The file was read but is not a valid artifact.
+    Persist(PersistError),
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "reading artifact: {e}"),
+            LoadError::Persist(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+/// FNV-1a 64-bit hash — the artifact trailer's checksum function. Public
+/// so tests and tooling can craft or verify trailers by hand.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Split an artifact into (checksummed region, stored checksum).
+///
+/// The trailer is the first line whose tag is `checksum`; it must read
+/// `checksum fnv1a <16 hex digits>` and nothing but whitespace may follow
+/// it. A missing or half-written trailer is [`PersistError::Truncated`];
+/// content after the trailer (including a `checksum` tag inside the body)
+/// is `BadSection("checksum")`.
+fn split_checksum(text: &str) -> Result<(&str, u64), PersistError> {
+    let mut offset = 0;
+    for line in text.split_inclusive('\n') {
+        let start = offset;
+        offset += line.len();
+        let trimmed = line.trim();
+        let (tag, rest) = trimmed.split_once(' ').unwrap_or((trimmed, ""));
+        if tag != "checksum" {
+            continue;
+        }
+        let mut it = rest.split_whitespace();
+        let (algo, hex, extra) = (it.next(), it.next(), it.next());
+        let well_formed = algo == Some("fnv1a")
+            && extra.is_none()
+            && hex.is_some_and(|h| h.len() == 16 && h.bytes().all(|b| b.is_ascii_hexdigit()));
+        let Some(hex) = hex.filter(|_| well_formed) else {
+            return Err(PersistError::Truncated);
+        };
+        if !text[offset..].trim().is_empty() {
+            return Err(PersistError::BadSection("checksum"));
+        }
+        let stored = u64::from_str_radix(hex, 16).expect("validated hex");
+        return Ok((&text[..start], stored));
+    }
+    Err(PersistError::Truncated)
+}
 
 impl Wrapper {
     /// Serialize to the current text format (see [`FORMAT_VERSION`]).
@@ -86,14 +188,23 @@ impl Wrapper {
         out.push_str("expr ");
         out.push_str(&self.expr().to_text());
         out.push('\n');
+        let sum = fnv1a_64(out.as_bytes());
+        out.push_str(&format!("checksum fnv1a {sum:016x}\n"));
         out
     }
 
-    /// Deserialize from the v1 text format. The resulting wrapper skips
+    /// Deserialize from the v2 text format. The resulting wrapper skips
     /// retraining entirely (the stored expression is recompiled).
+    ///
+    /// The checksum trailer is verified before any section is parsed, so
+    /// an artifact cut short at *any* byte offset reports
+    /// [`PersistError::Truncated`] (or `BadHeader` if the cut falls inside
+    /// the first line) rather than importing a silently different wrapper.
     pub fn import(text: &str) -> Result<Wrapper, PersistError> {
-        let mut lines = text.lines();
-        let header = lines.next().map(str::trim).unwrap_or("");
+        // Header first: version diagnosis beats checksum diagnosis, so a
+        // stale v1 artifact reports VersionMismatch, not Truncated.
+        let header_end = text.find('\n').unwrap_or(text.len());
+        let header = text[..header_end].trim();
         match header.strip_prefix("rextract-wrapper v") {
             Some(v) => {
                 let found: u32 = v.trim().parse().map_err(|_| PersistError::BadHeader)?;
@@ -103,6 +214,16 @@ impl Wrapper {
             }
             None => return Err(PersistError::BadHeader),
         }
+        let (covered, stored) = split_checksum(text)?;
+        let found = fnv1a_64(covered.as_bytes());
+        if found != stored {
+            return Err(PersistError::Corrupt {
+                expected: stored,
+                found,
+            });
+        }
+        let mut lines = covered.lines();
+        lines.next(); // header, validated above
         let mut seq: Option<SeqConfig> = None;
         let mut refines: Vec<(String, String)> = Vec::new();
         let mut alphabet: Option<Alphabet> = None;
@@ -163,7 +284,111 @@ impl Wrapper {
             alphabet, expr, extractor, seq, maximized,
         ))
     }
+
+    /// Atomically persist the exported artifact at `path` via
+    /// [`save_artifact`].
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        save_artifact(path, &self.export())
+    }
+
+    /// Read and import an artifact from `path`.
+    pub fn load(path: &Path) -> Result<Wrapper, LoadError> {
+        let text = std::fs::read_to_string(path).map_err(LoadError::Io)?;
+        Wrapper::import(&text).map_err(LoadError::Persist)
+    }
 }
+
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Write `contents` to `path` so that `path` only ever holds either its
+/// previous content or the complete new content — never a torn prefix.
+///
+/// The sequence is: write a hidden `.{name}.{pid}.{seq}.tmp` file in the
+/// same directory, `sync_all` it, rename it over `path`, then (on unix)
+/// fsync the directory so the rename itself is durable. A crash at any
+/// point leaves at worst a stray temp file, which directory scans ignore.
+///
+/// Failpoints (live only with the `failpoints` feature):
+/// `persist.write.error`, `persist.write.partial` (leaves the torn temp
+/// file behind, simulating a crash mid-write), `persist.rename.error`.
+pub fn save_artifact(path: &Path, contents: &str) -> io::Result<()> {
+    let file_name = path.file_name().ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "save_artifact: path has no file name",
+        )
+    })?;
+    let dir: PathBuf = match path.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    let seq = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
+    let tmp = dir.join(format!(
+        ".{}.{}.{}.tmp",
+        file_name.to_string_lossy(),
+        std::process::id(),
+        seq
+    ));
+    if let Err((e, keep_tmp)) = write_tmp(&tmp, contents.as_bytes()) {
+        if !keep_tmp {
+            let _ = std::fs::remove_file(&tmp);
+        }
+        return Err(e);
+    }
+    if let Err(e) = rename_into_place(&tmp, path) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    sync_dir(&dir);
+    Ok(())
+}
+
+/// Create the temp file, write everything, and fsync. The error side
+/// carries `keep_tmp`: the torn-write failpoint leaves its partial temp
+/// file on disk (that is the crash it simulates), real errors clean up.
+fn write_tmp(tmp: &Path, bytes: &[u8]) -> Result<(), (io::Error, bool)> {
+    let mut f = std::fs::File::create(tmp).map_err(|e| (e, false))?;
+    fail_point!("persist.write.error", |_action| Err((
+        io::Error::other("injected write error (failpoint persist.write.error)"),
+        false,
+    )));
+    fail_point!("persist.write.partial", |action| {
+        let n = match action {
+            rextract_faults::Action::PartialIo(n) => n,
+            _ => 0,
+        };
+        let cut = n.min(bytes.len());
+        let res = f.write_all(&bytes[..cut]).and_then(|()| f.sync_all());
+        Err((
+            res.err().unwrap_or_else(|| {
+                io::Error::other("injected torn write (failpoint persist.write.partial)")
+            }),
+            true,
+        ))
+    });
+    f.write_all(bytes).map_err(|e| (e, false))?;
+    f.sync_all().map_err(|e| (e, false))?;
+    Ok(())
+}
+
+fn rename_into_place(tmp: &Path, path: &Path) -> io::Result<()> {
+    fail_point!("persist.rename.error", |_action| Err(io::Error::other(
+        "injected rename error (failpoint persist.rename.error)"
+    )));
+    std::fs::rename(tmp, path)
+}
+
+/// Best effort: a failure here cannot corrupt the artifact, only delay
+/// the rename's durability, so it is not propagated.
+#[cfg(unix)]
+fn sync_dir(dir: &Path) {
+    if let Ok(d) = std::fs::File::open(dir) {
+        let _ = d.sync_all();
+    }
+}
+
+#[cfg(not(unix))]
+fn sync_dir(_dir: &Path) {}
 
 /// Re-exported for error matching convenience.
 impl From<PersistError> for WrapperError {
@@ -190,6 +415,27 @@ mod tests {
         (Wrapper::train(&pages, WrapperConfig::default()).unwrap(), g)
     }
 
+    /// Append a valid trailer to a hand-written body.
+    fn with_checksum(body: &str) -> String {
+        let mut s = body.to_string();
+        if !s.ends_with('\n') {
+            s.push('\n');
+        }
+        let sum = fnv1a_64(s.as_bytes());
+        s.push_str(&format!("checksum fnv1a {sum:016x}\n"));
+        s
+    }
+
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "rextract-persist-{tag}-{}-{}",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
     #[test]
     fn export_import_round_trip_preserves_behaviour() {
         let (w, mut g) = trained();
@@ -210,10 +456,14 @@ mod tests {
     fn artifact_is_human_readable() {
         let (w, _) = trained();
         let artifact = w.export();
-        assert!(artifact.starts_with("rextract-wrapper v1\n"));
+        assert!(artifact.starts_with("rextract-wrapper v2\n"));
         assert!(artifact.contains("alphabet "));
         assert!(artifact.contains("expr "));
         assert!(artifact.contains("<INPUT>"), "{artifact}");
+        // Trailer is the last line, fixed width.
+        let last = artifact.lines().last().unwrap();
+        assert!(last.starts_with("checksum fnv1a "), "{last}");
+        assert_eq!(last.len(), "checksum fnv1a ".len() + 16, "{last}");
     }
 
     #[test]
@@ -228,16 +478,74 @@ mod tests {
     fn version_mismatch_fails_loudly() {
         let (w, _) = trained();
         // Rewrite the header to a future version: same payload, wrong v.
-        let artifact = w.export().replacen("v1", "v2", 1);
+        // The version diagnosis must win over the (now stale) checksum.
+        let artifact = w.export().replacen("v2", "v3", 1);
         let err = Wrapper::import(&artifact).unwrap_err();
-        assert_eq!(err, PersistError::VersionMismatch { found: 2 });
+        assert_eq!(err, PersistError::VersionMismatch { found: 3 });
         let msg = err.to_string();
-        assert!(msg.contains("v2") && msg.contains("v1"), "{msg}");
+        assert!(msg.contains("v3") && msg.contains("v2"), "{msg}");
         // A garbled version number is a bad header, not a panic.
         assert!(matches!(
             Wrapper::import("rextract-wrapper vX\n"),
             Err(PersistError::BadHeader)
         ));
+    }
+
+    #[test]
+    fn truncation_and_corruption_are_diagnosed() {
+        let (w, _) = trained();
+        let artifact = w.export();
+
+        // Checksum trailer missing entirely.
+        let body_only = artifact
+            .lines()
+            .filter(|l| !l.starts_with("checksum"))
+            .map(|l| format!("{l}\n"))
+            .collect::<String>();
+        assert_eq!(
+            Wrapper::import(&body_only).unwrap_err(),
+            PersistError::Truncated
+        );
+
+        // Trailer chopped mid-hex.
+        let chopped = &artifact[..artifact.len() - 5];
+        assert_eq!(
+            Wrapper::import(chopped).unwrap_err(),
+            PersistError::Truncated
+        );
+
+        // A flipped bit in the body is caught by the trailer.
+        let tampered = artifact.replacen("maximized true", "maximized talse", 1);
+        assert_ne!(tampered, artifact, "tamper target must exist");
+        assert!(matches!(
+            Wrapper::import(&tampered).unwrap_err(),
+            PersistError::Corrupt { .. }
+        ));
+
+        // A tampered trailer is equally corrupt.
+        let sum_start = artifact.rfind(' ').unwrap() + 1;
+        let mut bad_sum = artifact.clone();
+        let digit = if &artifact[sum_start..sum_start + 1] == "0" {
+            "1"
+        } else {
+            "0"
+        };
+        bad_sum.replace_range(sum_start..sum_start + 1, digit);
+        assert!(matches!(
+            Wrapper::import(&bad_sum).unwrap_err(),
+            PersistError::Corrupt { .. }
+        ));
+
+        // Content after the trailer is rejected, not silently ignored.
+        let appended = format!("{artifact}alphabet p q\n");
+        assert_eq!(
+            Wrapper::import(&appended).unwrap_err(),
+            PersistError::BadSection("checksum")
+        );
+
+        // Losing only the final newline changes nothing the trailer covers.
+        let no_newline = artifact.trim_end();
+        assert!(Wrapper::import(no_newline).is_ok());
     }
 
     #[test]
@@ -248,19 +556,19 @@ mod tests {
         ));
         assert!(matches!(Wrapper::import(""), Err(PersistError::BadHeader)));
         assert!(matches!(
-            Wrapper::import("rextract-wrapper v1\nexpr <p>"),
+            Wrapper::import(&with_checksum("rextract-wrapper v2\nexpr <p>")),
             Err(PersistError::BadSection(_))
         ));
         assert!(matches!(
-            Wrapper::import(
-                "rextract-wrapper v1\nseq include_text=false include_end_tags=true\nalphabet p q\nexpr <zz>"
-            ),
+            Wrapper::import(&with_checksum(
+                "rextract-wrapper v2\nseq include_text=false include_end_tags=true\nalphabet p q\nexpr <zz>"
+            )),
             Err(PersistError::Expr(_))
         ));
         assert!(matches!(
-            Wrapper::import(
-                "rextract-wrapper v1\nseq include_text=false include_end_tags=true\nalphabet p q\nbogus x"
-            ),
+            Wrapper::import(&with_checksum(
+                "rextract-wrapper v2\nseq include_text=false include_end_tags=true\nalphabet p q\nbogus x"
+            )),
             Err(PersistError::BadSection("unknown"))
         ));
     }
@@ -289,5 +597,116 @@ mod tests {
             w.extract_target(&p.tokens).ok(),
             w2.extract_target(&p.tokens).ok()
         );
+    }
+
+    #[test]
+    fn save_is_atomic_and_leaves_no_droppings() {
+        let dir = scratch_dir("atomic");
+        let (w, _) = trained();
+        let path = dir.join("site.wrapper");
+        w.save(&path).unwrap();
+        let w2 = Wrapper::load(&path).unwrap();
+        assert!(w.expr().same_extraction(w2.expr()));
+        // Overwrite in place works and no temp files remain.
+        w.save(&path).unwrap();
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_distinguishes_io_from_format_errors() {
+        let dir = scratch_dir("load");
+        match Wrapper::load(&dir.join("absent.wrapper")) {
+            Err(LoadError::Io(e)) => assert_eq!(e.kind(), io::ErrorKind::NotFound),
+            other => panic!("expected Io error, got {other:?}"),
+        }
+        std::fs::write(dir.join("junk.wrapper"), "not an artifact").unwrap();
+        assert!(matches!(
+            Wrapper::load(&dir.join("junk.wrapper")),
+            Err(LoadError::Persist(PersistError::BadHeader))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Failpoint-driven crash simulations. These share the process-global
+    /// failpoint registry, so they serialize on one mutex.
+    #[cfg(feature = "failpoints")]
+    mod crash {
+        use super::*;
+        use rextract_faults as faults;
+        use std::sync::{Mutex, MutexGuard, OnceLock};
+
+        fn serial() -> MutexGuard<'static, ()> {
+            static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+            match LOCK.get_or_init(|| Mutex::new(())).lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            }
+        }
+
+        #[test]
+        fn torn_write_never_reaches_the_destination() {
+            let _guard = serial();
+            faults::clear_all();
+            let dir = scratch_dir("torn");
+            let (w, _) = trained();
+            let path = dir.join("site.wrapper");
+            w.save(&path).unwrap();
+            let before = std::fs::read_to_string(&path).unwrap();
+
+            // Crash after 20 bytes of the rewrite: the destination must
+            // still hold the previous, fully-valid artifact.
+            faults::configure_spec("persist.write.partial=once:partial(20)").unwrap();
+            let err = w.save(&path).unwrap_err();
+            assert!(err.to_string().contains("torn write"), "{err}");
+            assert_eq!(std::fs::read_to_string(&path).unwrap(), before);
+            // The torn temp file is on disk (that is the simulated crash
+            // residue) and is itself unimportable.
+            let torn: Vec<_> = std::fs::read_dir(&dir)
+                .unwrap()
+                .filter_map(|e| e.ok())
+                .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+                .collect();
+            assert_eq!(torn.len(), 1, "{torn:?}");
+            let residue = std::fs::read_to_string(torn[0].path()).unwrap();
+            assert_eq!(residue.len(), 20);
+            assert!(Wrapper::import(&residue).is_err());
+
+            faults::clear_all();
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+
+        #[test]
+        fn write_and_rename_errors_preserve_the_old_artifact() {
+            let _guard = serial();
+            faults::clear_all();
+            let dir = scratch_dir("rename");
+            let (w, _) = trained();
+            let path = dir.join("site.wrapper");
+            w.save(&path).unwrap();
+            let before = std::fs::read_to_string(&path).unwrap();
+
+            faults::configure_spec("persist.write.error=once:return").unwrap();
+            assert!(w.save(&path).is_err());
+            faults::configure_spec("persist.rename.error=once:return").unwrap();
+            assert!(w.save(&path).is_err());
+
+            assert_eq!(std::fs::read_to_string(&path).unwrap(), before);
+            // Non-torn failures clean up their temp files.
+            let leftovers: Vec<_> = std::fs::read_dir(&dir)
+                .unwrap()
+                .filter_map(|e| e.ok())
+                .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+                .collect();
+            assert!(leftovers.is_empty(), "{leftovers:?}");
+
+            faults::clear_all();
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
     }
 }

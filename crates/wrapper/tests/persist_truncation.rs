@@ -1,0 +1,104 @@
+//! Torn-artifact robustness: an exported wrapper chopped at *every* byte
+//! offset must import as a clean error (or, for cuts that only shave the
+//! trailing newline, as a behaviourally identical wrapper) — never panic,
+//! never a silently different wrapper. Random byte flips must likewise be
+//! caught by the checksum trailer.
+
+use proptest::prelude::*;
+use rextract_wrapper::persist::PersistError;
+use rextract_wrapper::site::{PageStyle, SiteConfig, SiteGenerator};
+use rextract_wrapper::wrapper::{TrainPage, Wrapper, WrapperConfig};
+
+fn trained() -> Wrapper {
+    let mut g = SiteGenerator::new(SiteConfig {
+        seed: 5,
+        ..SiteConfig::default()
+    });
+    let pages = vec![
+        TrainPage::from(&g.page_with_style(PageStyle::Plain)),
+        TrainPage::from(&g.page_with_style(PageStyle::TableEmbedded)),
+    ];
+    Wrapper::train(&pages, WrapperConfig::default()).unwrap()
+}
+
+#[test]
+fn every_prefix_is_rejected_or_equivalent() {
+    let w = trained();
+    let artifact = w.export();
+    for cut in 0..artifact.len() {
+        let prefix = &artifact[..cut];
+        match Wrapper::import(prefix) {
+            // Only a cut past the full trailer (shaving the final
+            // newline) may still import — and then it must reproduce the
+            // original wrapper exactly.
+            Ok(w2) => {
+                assert!(
+                    cut >= artifact.trim_end().len(),
+                    "prefix of {cut}/{} bytes imported",
+                    artifact.len()
+                );
+                assert_eq!(w2.export(), artifact, "prefix at {cut} changed behaviour");
+            }
+            // A cut inside the first line is not recognizable as an
+            // artifact at all; every later cut removes or mangles the
+            // trailer and must say so.
+            Err(PersistError::BadHeader) => {
+                assert!(cut < "rextract-wrapper v2".len(), "BadHeader at {cut}")
+            }
+            Err(PersistError::Truncated) => {}
+            Err(e) => panic!("prefix at {cut} gave unexpected error {e:?}"),
+        }
+    }
+}
+
+#[test]
+fn every_suffix_amputation_of_two_bytes_is_rejected() {
+    // Removing an interior span (not just a suffix) must also be caught:
+    // the checksum no longer matches, or the trailer/header is gone.
+    let w = trained();
+    let artifact = w.export();
+    for start in 0..artifact.len() - 2 {
+        let mut cut = artifact.as_bytes().to_vec();
+        cut.drain(start..start + 2);
+        let Ok(text) = String::from_utf8(cut) else {
+            continue;
+        };
+        assert!(
+            Wrapper::import(&text).is_err(),
+            "dropping bytes {start}..{} went unnoticed",
+            start + 2
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Any single flipped byte is caught — as a checksum mismatch if it
+    /// falls in the covered region, as a header/trailer diagnosis
+    /// otherwise. (A flip can never import successfully: every byte of
+    /// the artifact is load-bearing.)
+    #[test]
+    fn single_byte_flip_is_caught(pos in 0usize..4096, bit in 0usize..8) {
+        let artifact = trained().export();
+        // Stay inside the trimmed artifact: flipping the final newline to
+        // other whitespace is (correctly) not an error.
+        let pos = pos % artifact.trim_end().len();
+        let mut bytes = artifact.as_bytes().to_vec();
+        bytes[pos] ^= 1 << bit;
+        if let Ok(text) = String::from_utf8(bytes) {
+            if text != artifact {
+                prop_assert!(
+                    Wrapper::import(&text).is_err(),
+                    "flip at byte {} bit {} went unnoticed", pos, bit
+                );
+            }
+        }
+    }
+
+    /// Arbitrary garbage never panics the importer.
+    #[test]
+    fn garbage_never_panics(input in "\\PC{0,128}") {
+        let _ = Wrapper::import(&input);
+    }
+}

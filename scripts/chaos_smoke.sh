@@ -1,0 +1,112 @@
+#!/usr/bin/env bash
+# Chaos smoke test: build the CLI with failpoints compiled in, boot the
+# daemon with worker panics and slow extractions armed from the command
+# line, hammer it, and confirm the supervisor heals the pool (healthz
+# returns to "ok", /metrics shows respawns) before a clean shutdown.
+# Uses bash's /dev/tcp so it needs no curl.
+# Usage: scripts/chaos_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+# Injected worker panics reset connections mid-request; without this the
+# resulting SIGPIPE on the /dev/tcp fd would kill the whole script.
+trap '' PIPE
+
+echo "== chaos smoke: build with failpoints =="
+cargo build --release -p rextract-cli --features failpoints
+BIN="target/release/rextract"
+
+WORK="$(mktemp -d)"
+OUT="$WORK/serve.log"
+trap 'kill "$SRV_PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+# Minimal HTTP client over /dev/tcp: http <METHOD> <PATH> [BODY-FILE].
+# Prints status line + body (headers stripped). Tolerates connections the
+# server kills mid-flight (a worker panic eats the in-flight request), so
+# failures print nothing instead of aborting the script.
+http() {
+    local method="$1" path="$2" body="" len=0
+    if [ $# -ge 3 ]; then body="$(cat "$3")"; len=${#body}; fi
+    if ! exec 3<>"/dev/tcp/127.0.0.1/$PORT"; then return 0; fi
+    printf '%s %s HTTP/1.1\r\nHost: chaos\r\nConnection: close\r\nContent-Length: %d\r\n\r\n%s' \
+        "$method" "$path" "$len" "$body" >&3 2>/dev/null || true
+    tr -d '\r' <&3 2>/dev/null | awk 'NR==1{print} body{print} /^$/{body=1}' || true
+    exec 3<&- 3>&- 2>/dev/null || true
+}
+
+echo "== chaos smoke: boot with armed failpoints =="
+"$BIN" serve --addr 127.0.0.1:0 --workers 2 --wrapper-dir "$WORK" \
+    --fault 'worker.panic.escape=times(4):panic' \
+    --fault 'extract.slow=prob(0.3,42):sleep(30)' >"$OUT" 2>&1 &
+SRV_PID=$!
+for _ in $(seq 1 50); do
+    grep -q 'listening on' "$OUT" 2>/dev/null && break
+    sleep 0.1
+done
+PORT="$(sed -n 's|.*listening on http://127\.0\.0\.1:\([0-9]*\).*|\1|p' "$OUT" | head -1)"
+[ -n "$PORT" ] && kill -0 "$SRV_PID" || { echo "daemon failed to boot"; cat "$OUT"; exit 1; }
+grep -q 'armed failpoint' "$OUT" || { echo "failpoints were not armed"; cat "$OUT"; exit 1; }
+echo "daemon up on port $PORT"
+
+echo "== chaos smoke: install a wrapper =="
+cat >"$WORK/sample1.html" <<'HTML'
+<p><h1>Shop</h1></p><form><input><input data-target><br><input></form>
+HTML
+cat >"$WORK/sample2.html" <<'HTML'
+<table><tr><td><h1>Shop</h1></td></tr><tr><td><form><input><input data-target><input></form></td></tr></table>
+HTML
+"$BIN" wrapper-train "$WORK/chaos.wrapper" "$WORK/sample1.html" "$WORK/sample2.html"
+# The armed panic failpoint eats whole connections (times(4), any endpoint),
+# so the install itself must be retried through the storm.
+INSTALLED=0
+for attempt in $(seq 1 10); do
+    http POST /wrappers/chaos "$WORK/chaos.wrapper" >"$WORK/install.txt" || true
+    if grep -q '201 Created' "$WORK/install.txt"; then
+        INSTALLED=1
+        echo "installed on attempt $attempt"
+        break
+    fi
+    sleep 0.1
+done
+[ "$INSTALLED" -eq 1 ] || { echo "install never survived the panic storm"; cat "$OUT"; exit 1; }
+
+echo "== chaos smoke: hammer through the panic storm =="
+cat >"$WORK/page.html" <<'HTML'
+<p><h1>Shop</h1></p><center><form><input><input><br><input></form></center>
+HTML
+OK=0
+for _ in $(seq 1 24); do
+    if http POST '/extract?wrapper=chaos' "$WORK/page.html" | grep -q '200 OK'; then
+        OK=$((OK + 1))
+    fi
+done
+echo "$OK/24 extractions succeeded despite injected panics and stalls"
+# times(4) panics at most: install retries plus the hammer can lose at
+# most 4 requests between them.
+[ "$OK" -ge 20 ] || { echo "too many extractions lost to the chaos"; cat "$OUT"; exit 1; }
+
+echo "== chaos smoke: supervisor heals the pool =="
+HEALED=0
+for _ in $(seq 1 50); do
+    if http GET /healthz | grep -q '"status":"ok"'; then HEALED=1; break; fi
+    sleep 0.1
+done
+[ "$HEALED" -eq 1 ] || { echo "pool never returned to ok"; http GET /healthz; cat "$OUT"; exit 1; }
+http GET /metrics >"$WORK/metrics.txt"
+RESPAWNS="$(sed -n 's|.*"respawns":\([0-9]*\).*|\1|p' "$WORK/metrics.txt" | head -1)"
+echo "worker respawns: ${RESPAWNS:-0}"
+[ -n "$RESPAWNS" ] && [ "$RESPAWNS" -ge 1 ] || { echo "expected >=1 respawn"; cat "$WORK/metrics.txt"; exit 1; }
+grep -q '"failpoints":\[' "$WORK/metrics.txt" || { echo "failpoint stats missing from /metrics"; exit 1; }
+
+echo "== chaos smoke: graceful shutdown =="
+http POST /shutdown | grep -q '"draining":true'
+for _ in $(seq 1 50); do
+    kill -0 "$SRV_PID" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "$SRV_PID" 2>/dev/null; then
+    echo "daemon did not exit after /shutdown"; exit 1
+fi
+wait "$SRV_PID"
+grep -q 'drained; bye' "$OUT"
+
+echo "chaos smoke passed."

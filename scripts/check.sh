@@ -10,13 +10,20 @@ cargo build --release
 echo "== cargo test (workspace) =="
 cargo test -q --workspace
 
+echo "== cargo test (workspace, failpoints) =="
+cargo test -q --workspace --features failpoints
+
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
+cargo clippy --workspace --all-targets --features failpoints -- -D warnings
 
 echo "== cargo fmt --check =="
 cargo fmt --all -- --check
 
 echo "== daemon smoke test =="
 scripts/serve_smoke.sh
+
+echo "== chaos smoke test =="
+scripts/chaos_smoke.sh
 
 echo "All checks passed."

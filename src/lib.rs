@@ -6,6 +6,8 @@
 //! * [`automata`] — regular languages over explicit finite alphabets
 //! * [`extraction`] — extraction expressions, ambiguity, maximality,
 //!   maximization (the paper's contribution)
+//! * [`faults`] — named failpoints for fault injection (live only with
+//!   the `failpoints` feature)
 //! * [`html`] — HTML tokenization and tag-sequence abstraction
 //! * [`learn`] — merging heuristic, perturbations, disambiguation
 //! * [`wrapper`] — end-to-end train→maximize→extract pipeline
@@ -14,6 +16,7 @@
 
 pub use rextract_automata as automata;
 pub use rextract_extraction as extraction;
+pub use rextract_faults as faults;
 pub use rextract_html as html;
 pub use rextract_learn as learn;
 pub use rextract_serve as serve;

@@ -1,7 +1,126 @@
 //! Offline stand-in for `rand`.
 //!
-//! The workspace lists `rand` as a dev-dependency but no source file uses
-//! it; this empty crate lets dependency resolution succeed in the
-//! network-less build environment. If randomized helpers are ever needed,
-//! grow this into a small xorshift-based module (see
-//! `proptest::test_runner::TestRng` in the sibling stub for the idiom).
+//! The build environment has no network registry, so the real `rand`
+//! cannot be fetched. This stub implements the small surface the
+//! workspace actually uses — a seedable xorshift64* generator behind the
+//! familiar `SeedableRng` / `RngCore` / `Rng` trait names — so callers
+//! read like idiomatic `rand` code and could switch to the real crate by
+//! flipping the dependency.
+//!
+//! The fault-injection framework (`crates/faults`) uses [`rngs::SmallRng`]
+//! for its probabilistic triggers: deterministic per seed, so a chaos run
+//! is reproducible.
+
+/// Low-level generator interface: a source of uniform `u64`s.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from a seed. Same seed ⇒ same stream, on every platform.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Convenience sampling methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        if p >= 1.0 {
+            return true;
+        }
+        if p <= 0.0 {
+            return false;
+        }
+        // 53 uniform mantissa bits → f64 in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+
+    /// Uniform draw from `[range.start, range.end)`; the range must be
+    /// non-empty. Modulo bias is negligible for the small ranges used
+    /// here (test workloads, jitter).
+    fn gen_range(&mut self, range: std::ops::Range<u64>) -> u64 {
+        assert!(range.start < range.end, "gen_range over an empty range");
+        range.start + self.next_u64() % (range.end - range.start)
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, non-cryptographic generator (xorshift64*), mirroring
+    /// `rand::rngs::SmallRng`'s role: speed and reproducibility, no
+    /// security claims.
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> SmallRng {
+            // One splitmix64 round spreads low-entropy seeds (0, 1, 2…)
+            // across the whole state space; xorshift requires state ≠ 0.
+            let mut z = seed.wrapping_add(0x9e3779b97f4a7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^= z >> 31;
+            SmallRng {
+                state: if z == 0 { 0x9e3779b97f4a7c15 } else { z },
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545f4914f6cdd1d)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        let mut c = SmallRng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, (0..8).map(|_| c.next_u64()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_seed_works() {
+        let mut r = SmallRng::seed_from_u64(0);
+        assert_ne!(r.next_u64(), r.next_u64());
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = SmallRng::seed_from_u64(7);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "hits {hits}");
+        assert!(!r.gen_bool(0.0));
+        assert!(r.gen_bool(1.0));
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(9);
+        for _ in 0..1_000 {
+            let v = r.gen_range(10..20);
+            assert!((10..20).contains(&v));
+        }
+    }
+}
