@@ -2,16 +2,22 @@
 //!
 //! A load generator, not a criterion microbenchmark: per worker count we
 //! boot a fresh `rextract-serve` daemon on an ephemeral port, hammer it
-//! from client threads doing connection-per-request `POST /extract`
-//! calls with perturbed site pages, and report requests/second plus
-//! p50/p99 client-observed latency. The run also checks the acceptance
-//! property that matters for long-lived deployments: the language
-//! store's op cache stays within its configured bound for the whole run.
+//! from client threads doing `POST /extract` calls with perturbed site
+//! pages, and report requests/second plus p50/p99 client-observed
+//! latency. The run also checks the acceptance property that matters for
+//! long-lived deployments: the language store's op cache stays within
+//! its configured bound for the whole run.
+//!
+//! Clients reuse one TCP connection per thread (HTTP/1.1 keep-alive) by
+//! default, so the measured cost is request handling rather than
+//! connect/close churn; a connection the server drops (drain, keep-alive
+//! timeout) is transparently replaced and counted.
 //!
 //! Knobs (environment):
 //!   SERVE_BENCH_CLIENTS     concurrent client threads   (default 16)
 //!   SERVE_BENCH_REQUESTS    requests per client         (default 200)
 //!   SERVE_BENCH_WORKERS     comma-separated sweep       (default 1,2,4,8)
+//!   SERVE_BENCH_KEEPALIVE   1 = reuse connections       (default 1)
 
 use rextract_automata::Store;
 use rextract_html::writer;
@@ -64,39 +70,102 @@ fn pages(n: usize, seed: u64) -> Vec<String> {
         .collect()
 }
 
-fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
-    let mut stream = TcpStream::connect(addr).expect("connect");
-    stream
-        .set_read_timeout(Some(Duration::from_secs(30)))
-        .unwrap();
-    let msg = format!(
-        "POST {path} HTTP/1.1\r\nHost: bench\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
-        body.len()
-    );
-    stream.write_all(msg.as_bytes()).expect("send");
-    let mut reader = BufReader::new(stream);
-    let mut status_line = String::new();
-    reader.read_line(&mut status_line).expect("status");
-    let status: u16 = status_line
-        .split_whitespace()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .expect("status code");
-    let mut content_length = 0usize;
-    loop {
-        let mut line = String::new();
-        reader.read_line(&mut line).expect("header");
-        let line = line.trim_end();
-        if line.is_empty() {
-            break;
-        }
-        if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
-            content_length = v.trim().parse().unwrap_or(0);
+/// A client that reuses its TCP connection across requests (HTTP/1.1
+/// keep-alive). A connection the server closed — keep-alive timeout,
+/// drain, mid-flight failure — is replaced and the request retried once,
+/// counted in `reconnects`.
+struct Client {
+    addr: SocketAddr,
+    conn: Option<BufReader<TcpStream>>,
+    keepalive: bool,
+    reconnects: u64,
+}
+
+impl Client {
+    fn new(addr: SocketAddr, keepalive: bool) -> Client {
+        Client {
+            addr,
+            conn: None,
+            keepalive,
+            reconnects: 0,
         }
     }
-    let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body).expect("body");
-    (status, String::from_utf8_lossy(&body).into_owned())
+
+    fn connect(addr: SocketAddr) -> BufReader<TcpStream> {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        stream.set_nodelay(true).ok();
+        BufReader::new(stream)
+    }
+
+    fn post(&mut self, path: &str, body: &str) -> (u16, String) {
+        let reused = self.conn.is_some();
+        match self.try_post(path, body) {
+            Some(r) => r,
+            None if reused => {
+                // The reused connection died between requests; one fresh
+                // connection must succeed.
+                self.conn = None;
+                self.reconnects += 1;
+                self.try_post(path, body)
+                    .expect("request failed even on a fresh connection")
+            }
+            None => panic!("request failed on a fresh connection"),
+        }
+    }
+
+    /// One exchange on the current connection; `None` means the
+    /// connection is unusable (the caller decides whether to retry).
+    fn try_post(&mut self, path: &str, body: &str) -> Option<(u16, String)> {
+        if self.conn.is_none() {
+            self.conn = Some(Self::connect(self.addr));
+        }
+        let reader = self.conn.as_mut().unwrap();
+        let connection = if self.keepalive {
+            "keep-alive"
+        } else {
+            "close"
+        };
+        let msg = format!(
+            "POST {path} HTTP/1.1\r\nHost: bench\r\nConnection: {connection}\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        reader.get_mut().write_all(msg.as_bytes()).ok()?;
+        let mut status_line = String::new();
+        if reader.read_line(&mut status_line).ok()? == 0 {
+            self.conn = None; // clean server close
+            return None;
+        }
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())?;
+        let mut content_length = 0usize;
+        let mut server_close = !self.keepalive;
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line).ok()?;
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            let lower = line.to_ascii_lowercase();
+            if let Some(v) = lower.strip_prefix("content-length:") {
+                content_length = v.trim().parse().unwrap_or(0);
+            }
+            if lower == "connection: close" {
+                server_close = true;
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body).ok()?;
+        if server_close {
+            self.conn = None;
+        }
+        Some((status, String::from_utf8_lossy(&body).into_owned()))
+    }
 }
 
 fn quantile(sorted_us: &[u64], q: f64) -> u64 {
@@ -107,7 +176,7 @@ fn quantile(sorted_us: &[u64], q: f64) -> u64 {
     sorted_us[idx]
 }
 
-fn run_one(workers: usize, clients: usize, requests: usize, artifact: &str) {
+fn run_one(workers: usize, clients: usize, requests: usize, keepalive: bool, artifact: &str) {
     let handle = serve(ServeConfig {
         addr: "127.0.0.1:0".into(),
         workers,
@@ -119,7 +188,7 @@ fn run_one(workers: usize, clients: usize, requests: usize, artifact: &str) {
     })
     .expect("boot daemon");
     let addr = handle.addr();
-    let (status, _) = post(addr, "/wrappers/bench", artifact);
+    let (status, _) = Client::new(addr, false).post("/wrappers/bench", artifact);
     assert_eq!(status, 201, "wrapper install failed");
 
     let started = Instant::now();
@@ -127,11 +196,12 @@ fn run_one(workers: usize, clients: usize, requests: usize, artifact: &str) {
         .map(|c| {
             let bodies = pages(requests, 100 + c as u64);
             std::thread::spawn(move || {
+                let mut client = Client::new(addr, keepalive);
                 let mut latencies_us = Vec::with_capacity(bodies.len());
                 let mut failures = 0usize;
                 for body in &bodies {
                     let t0 = Instant::now();
-                    let (status, _) = post(addr, "/extract?wrapper=bench", body);
+                    let (status, _) = client.post("/extract?wrapper=bench", body);
                     latencies_us.push(t0.elapsed().as_micros() as u64);
                     // 422 = perturbation defeated the wrapper (fine);
                     // anything else non-200 is a server failure.
@@ -139,17 +209,19 @@ fn run_one(workers: usize, clients: usize, requests: usize, artifact: &str) {
                         failures += 1;
                     }
                 }
-                (latencies_us, failures)
+                (latencies_us, failures, client.reconnects)
             })
         })
         .collect();
 
     let mut latencies_us = Vec::with_capacity(clients * requests);
     let mut failures = 0usize;
+    let mut reconnects = 0u64;
     for t in threads {
-        let (l, f) = t.join().expect("client thread");
+        let (l, f, r) = t.join().expect("client thread");
         latencies_us.extend(l);
         failures += f;
+        reconnects += r;
     }
     let wall = started.elapsed();
     latencies_us.sort_unstable();
@@ -158,7 +230,7 @@ fn run_one(workers: usize, clients: usize, requests: usize, artifact: &str) {
     let rps = total as f64 / wall.as_secs_f64();
     let stats = Store::stats();
     println!(
-        "workers {workers:>2} | clients {clients:>3} | {total:>6} reqs in {:>6.2}s | {rps:>8.0} req/s | p50 {:>6}us | p99 {:>6}us | failures {failures} | op-cache {}/{}",
+        "workers {workers:>2} | clients {clients:>3} | {total:>6} reqs in {:>6.2}s | {rps:>8.0} req/s | p50 {:>6}us | p99 {:>6}us | failures {failures} | reconnects {reconnects} | op-cache {}/{}",
         wall.as_secs_f64(),
         quantile(&latencies_us, 0.50),
         quantile(&latencies_us, 0.99),
@@ -179,15 +251,23 @@ fn run_one(workers: usize, clients: usize, requests: usize, artifact: &str) {
 fn main() {
     let clients = env_usize("SERVE_BENCH_CLIENTS", 16);
     let requests = env_usize("SERVE_BENCH_REQUESTS", 200);
+    let keepalive = env_usize("SERVE_BENCH_KEEPALIVE", 1) != 0;
     let workers: Vec<usize> = std::env::var("SERVE_BENCH_WORKERS")
         .unwrap_or_else(|_| "1,2,4,8".into())
         .split(',')
         .filter_map(|v| v.trim().parse().ok())
         .collect();
     let artifact = artifact();
-    println!("serve/throughput — connection-per-request POST /extract load");
+    println!(
+        "serve/throughput — {} POST /extract load",
+        if keepalive {
+            "keep-alive (one connection per client)"
+        } else {
+            "connection-per-request"
+        }
+    );
     for &w in &workers {
-        run_one(w, clients, requests, &artifact);
+        run_one(w, clients, requests, keepalive, &artifact);
     }
     println!("store after sweep: {}", Store::stats().summary());
 }

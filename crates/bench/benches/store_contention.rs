@@ -1,0 +1,340 @@
+//! E10: store contention under concurrent cache-hit-heavy traffic.
+//!
+//! Measures the interned language store's throughput when many worker
+//! threads replay the same memoized op mix — the daemon's steady state,
+//! where nearly every `Store` call is a cache hit. Two modes:
+//!
+//! * `sharded` — the store as built (post-refactor: sharded op cache,
+//!   read-mostly interner, atomic stats).
+//! * `one-mutex` — the same calls serialized through a single external
+//!   `Mutex`, reproducing the pre-refactor discipline where every hit on
+//!   every worker took one process-global lock.
+//!
+//! Every thread cross-checks each result against ground truth computed
+//! up front with `Store::uncached()`, so the bench doubles as a
+//! concurrency correctness smoke: any wrong `Lang` id or decision bit
+//! under contention fails the run.
+//!
+//! Env knobs:
+//! * `STORE_BENCH_FAST=1` — small iteration counts and a reduced thread
+//!   sweep; used by `scripts/check.sh` as the contention smoke (asserts
+//!   agreement, not speed).
+//! * `STORE_BENCH_THREADS=a,b,c` — override the thread sweep.
+//! * `STORE_BENCH_ITERS=n` — override passes per thread (noise control).
+//!
+//! Besides wall clock (noisy on small shared machines), each row reports
+//! the **blocked-acquisition rate**: the fraction of lock acquisitions
+//! that found the lock held and had to sleep. That is the scheduling-
+//! independent measure of serialization — a single mutex convoys at high
+//! thread counts no matter the host, while the sharded store's per-shard
+//! rate stays near zero.
+
+use bench::{alphabet_of, print_table};
+use rextract_automata::{Lang, Store};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier, Mutex, TryLockError};
+use std::time::Instant;
+
+/// Blocked acquisitions of the one-mutex mode's external lock.
+static BLOCKED: AtomicU64 = AtomicU64::new(0);
+
+/// Language-valued ops the bench replays (enum dispatch keeps the hot
+/// loop free of string matching, so the store's own cost dominates).
+#[derive(Clone, Copy)]
+enum LangOp {
+    Union,
+    Intersect,
+    Difference,
+    Complement,
+    Star,
+    Reverse,
+    LeftQuotient,
+}
+
+#[derive(Clone, Copy)]
+enum BoolOp {
+    Empty,
+    Universal,
+    Subset,
+}
+
+/// One memoized operation with its ground-truth result.
+enum Check {
+    Lang(LangOp, usize, usize, Lang),
+    Bool(BoolOp, usize, usize, bool),
+}
+
+#[inline]
+fn apply_lang(store: Store, op: LangOp, a: &Lang, b: &Lang) -> Lang {
+    match op {
+        LangOp::Union => store.union(a, b),
+        LangOp::Intersect => store.intersect(a, b),
+        LangOp::Difference => store.difference(a, b),
+        LangOp::Complement => store.complement(a),
+        LangOp::Star => store.star(a),
+        LangOp::Reverse => store.reversed(a),
+        LangOp::LeftQuotient => store.left_quotient(a, b),
+    }
+}
+
+#[inline]
+fn apply_bool(store: Store, op: BoolOp, a: &Lang, b: &Lang) -> bool {
+    match op {
+        BoolOp::Empty => store.is_empty(a),
+        BoolOp::Universal => store.is_universal(a),
+        BoolOp::Subset => store.is_subset(a, b),
+    }
+}
+
+/// A pool of distinct languages that keeps the op mix interesting
+/// (quotients that shrink, complements that flip, stars that saturate).
+fn lang_pool() -> Vec<Lang> {
+    let a = alphabet_of(4);
+    let texts = [
+        "t0*",
+        "t0+ t1",
+        "(t0 | t1)* p",
+        "t2 .* t3",
+        "(t1 t2)+",
+        ".* p .*",
+        "t3? (t0 t1)*",
+        "(t0 | t2 | p)+ t1*",
+        "t1 t1 t1",
+        "(. .)*",
+        "p* t0 p*",
+        "(t2 | t3)* t0?",
+    ];
+    texts
+        .iter()
+        .map(|t| Lang::parse(&a, t).expect("pool regex parses"))
+        .collect()
+}
+
+/// Build the op list over all pool pairs, with ground truth from the
+/// uncached store (interned ids are shared, so `Lang` equality compares
+/// cached against uncached results directly).
+fn build_checks(pool: &[Lang]) -> Vec<Check> {
+    let truth = Store::uncached();
+    let mut checks = Vec::new();
+    for i in 0..pool.len() {
+        for op in [LangOp::Complement, LangOp::Star, LangOp::Reverse] {
+            checks.push(Check::Lang(
+                op,
+                i,
+                i,
+                apply_lang(truth, op, &pool[i], &pool[i]),
+            ));
+        }
+        for op in [BoolOp::Empty, BoolOp::Universal] {
+            checks.push(Check::Bool(
+                op,
+                i,
+                i,
+                apply_bool(truth, op, &pool[i], &pool[i]),
+            ));
+        }
+        for j in (i + 1)..pool.len() {
+            for op in [
+                LangOp::Union,
+                LangOp::Intersect,
+                LangOp::Difference,
+                LangOp::LeftQuotient,
+            ] {
+                checks.push(Check::Lang(
+                    op,
+                    i,
+                    j,
+                    apply_lang(truth, op, &pool[i], &pool[j]),
+                ));
+            }
+            checks.push(Check::Bool(
+                BoolOp::Subset,
+                i,
+                j,
+                apply_bool(truth, BoolOp::Subset, &pool[i], &pool[j]),
+            ));
+        }
+    }
+    checks
+}
+
+/// Replay the full check list once through `store`, verifying every
+/// result. Returns the number of mismatches (must be zero).
+fn replay(store: Store, pool: &[Lang], checks: &[Check], serialize: Option<&Mutex<()>>) -> u64 {
+    let mut bad = 0;
+    for c in checks {
+        let _guard = serialize.map(|m| match m.try_lock() {
+            Ok(g) => g,
+            Err(TryLockError::Poisoned(e)) => e.into_inner(),
+            Err(TryLockError::WouldBlock) => {
+                BLOCKED.fetch_add(1, Ordering::Relaxed);
+                m.lock().unwrap_or_else(|e| e.into_inner())
+            }
+        });
+        let ok = match c {
+            Check::Lang(op, i, j, want) => apply_lang(store, *op, &pool[*i], &pool[*j]) == *want,
+            Check::Bool(op, i, j, want) => apply_bool(store, *op, &pool[*i], &pool[*j]) == *want,
+        };
+        if !ok {
+            bad += 1;
+        }
+    }
+    bad
+}
+
+struct RunResult {
+    ops: u64,
+    secs: f64,
+    mismatches: u64,
+    /// Lock acquisitions that had to block: the external mutex's in
+    /// one-mutex mode, the store's own shard locks in sharded mode.
+    blocked: u64,
+}
+
+/// `threads` workers each replay the check list `iters` times.
+fn run_mode(
+    threads: usize,
+    iters: usize,
+    pool: &Arc<Vec<Lang>>,
+    checks: &Arc<Vec<Check>>,
+    one_mutex: bool,
+) -> RunResult {
+    static GLOBAL: Mutex<()> = Mutex::new(());
+    let serialize: Option<&'static Mutex<()>> = one_mutex.then_some(&GLOBAL);
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let mismatches = Arc::new(AtomicU64::new(0));
+    let mut handles = Vec::with_capacity(threads);
+    for _ in 0..threads {
+        let pool = Arc::clone(pool);
+        let checks = Arc::clone(checks);
+        let barrier = Arc::clone(&barrier);
+        let mismatches = Arc::clone(&mismatches);
+        handles.push(std::thread::spawn(move || {
+            barrier.wait();
+            let mut bad = 0;
+            for _ in 0..iters {
+                bad += replay(Store::global(), &pool, &checks, serialize);
+            }
+            mismatches.fetch_add(bad, Ordering::Relaxed);
+        }));
+    }
+    let blocked_before = BLOCKED.load(Ordering::Relaxed);
+    let contended_before = Store::stats().contended();
+    barrier.wait();
+    let t0 = Instant::now();
+    for h in handles {
+        h.join().expect("bench worker must not panic");
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    let blocked = if one_mutex {
+        BLOCKED.load(Ordering::Relaxed) - blocked_before
+    } else {
+        Store::stats().contended() - contended_before
+    };
+    RunResult {
+        ops: (threads * iters * checks.len()) as u64,
+        secs,
+        mismatches: mismatches.load(Ordering::Relaxed),
+        blocked,
+    }
+}
+
+fn main() {
+    let fast = std::env::var("STORE_BENCH_FAST").is_ok_and(|v| v == "1");
+    let threads: Vec<usize> = std::env::var("STORE_BENCH_THREADS")
+        .ok()
+        .map(|s| s.split(',').filter_map(|t| t.trim().parse().ok()).collect())
+        .unwrap_or_else(|| if fast { vec![2, 8] } else { vec![1, 2, 4, 8] });
+    let iters = std::env::var("STORE_BENCH_ITERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(if fast { 40 } else { 400 });
+
+    let pool = Arc::new(lang_pool());
+    let checks = Arc::new(build_checks(&pool));
+    eprintln!(
+        "store_contention: {} langs, {} checked ops per pass, {} iters/thread{}",
+        pool.len(),
+        checks.len(),
+        iters,
+        if fast { " (fast profile)" } else { "" }
+    );
+
+    // Warm the cache once so the timed section is hit-heavy (the daemon's
+    // steady state), then verify single-threaded agreement up front.
+    Store::reset_op_cache();
+    assert_eq!(
+        replay(Store::global(), &pool, &checks, None),
+        0,
+        "warmup: cached results must agree with uncached ground truth"
+    );
+
+    let mut rows = Vec::new();
+    let mut rates: Vec<(bool, usize, f64)> = Vec::new();
+    for &mode_mutex in &[true, false] {
+        for &n in &threads {
+            let r = run_mode(n, iters, &pool, &checks, mode_mutex);
+            assert_eq!(
+                r.mismatches,
+                0,
+                "mode={} threads={n}: concurrent results diverged from ground truth",
+                if mode_mutex { "one-mutex" } else { "sharded" }
+            );
+            let rate = r.ops as f64 / r.secs.max(1e-9);
+            rates.push((mode_mutex, n, rate));
+            rows.push(vec![
+                if mode_mutex { "one-mutex" } else { "sharded" }.to_string(),
+                n.to_string(),
+                r.ops.to_string(),
+                format!("{:.1}", r.secs * 1e3),
+                format!("{:.2}", rate / 1e6),
+                format!("{:.3}%", r.blocked as f64 / r.ops as f64 * 100.0),
+            ]);
+        }
+    }
+    // Speedup column: sharded vs one-mutex at equal thread count.
+    for row in rows.iter_mut() {
+        let n: usize = row[1].parse().unwrap();
+        let base = rates
+            .iter()
+            .find(|(m, t, _)| *m && *t == n)
+            .map(|(_, _, r)| *r)
+            .unwrap_or(0.0);
+        let here = rates
+            .iter()
+            .find(|(m, t, _)| (*m == (row[0] == "one-mutex")) && *t == n)
+            .map(|(_, _, r)| *r)
+            .unwrap_or(0.0);
+        row.push(format!("{:.2}x", here / base.max(1e-9)));
+    }
+    print_table(
+        "store contention (cache-hit-heavy)",
+        &[
+            "mode",
+            "threads",
+            "ops",
+            "wall_ms",
+            "Mops/s",
+            "blocked",
+            "vs_one-mutex",
+        ],
+        &rows,
+    );
+
+    let stats = Store::stats();
+    eprintln!("store after run: {}", stats.summary());
+
+    let max_threads = threads.iter().copied().max().unwrap_or(1);
+    if let (Some((_, _, mutexed)), Some((_, _, sharded))) = (
+        rates.iter().find(|(m, t, _)| *m && *t == max_threads),
+        rates.iter().find(|(m, t, _)| !*m && *t == max_threads),
+    ) {
+        let speedup = sharded / mutexed.max(1e-9);
+        eprintln!("sharded vs one-mutex at {max_threads} threads: {speedup:.2}x");
+        if !fast && speedup < 2.0 {
+            eprintln!(
+                "WARNING: expected >=2x over the single-mutex baseline at {max_threads} threads"
+            );
+        }
+    }
+}

@@ -65,7 +65,9 @@ USAGE:
 OPTIONS:
   --stats
       After any command, print the interned language store's cache
-      counters (hits, misses, interned languages) to stderr.
+      counters (hits, misses, interned languages) to stderr, with
+      per-shard size and lock-contention columns for the sharded
+      op cache.
 ";
 
 fn need<'a>(args: &'a [String], n: usize, what: &str) -> Result<&'a str, String> {

@@ -163,6 +163,12 @@ pub struct Metrics {
     corrupt_artifacts: AtomicU64,
     /// Transient artifact reads that were retried.
     io_retries: AtomicU64,
+    /// Artifacts a rescan skipped because their on-disk signature was
+    /// unchanged since the last clean import.
+    reload_skipped_unchanged: AtomicU64,
+    /// Accepted connections the daemon could not admit (EMFILE-style
+    /// post-accept failures); the connection is dropped, accepting goes on.
+    accept_failures: AtomicU64,
     /// Requests answered 503 because the per-request deadline passed.
     deadline_exceeded: AtomicU64,
     /// Connections abandoned because the drain deadline passed first.
@@ -186,6 +192,8 @@ impl Metrics {
             last_worker_death_ms: AtomicU64::new(NEVER),
             corrupt_artifacts: AtomicU64::new(0),
             io_retries: AtomicU64::new(0),
+            reload_skipped_unchanged: AtomicU64::new(0),
+            accept_failures: AtomicU64::new(0),
             deadline_exceeded: AtomicU64::new(0),
             abandoned_connections: AtomicU64::new(0),
             sock_config_failures: AtomicU64::new(0),
@@ -284,6 +292,23 @@ impl Metrics {
         self.io_retries.load(Ordering::Relaxed)
     }
 
+    pub fn record_reload_skipped_unchanged(&self, n: u64) {
+        self.reload_skipped_unchanged
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn reload_skipped_unchanged(&self) -> u64 {
+        self.reload_skipped_unchanged.load(Ordering::Relaxed)
+    }
+
+    pub fn record_accept_failure(&self) {
+        self.accept_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn accept_failures(&self) -> u64 {
+        self.accept_failures.load(Ordering::Relaxed)
+    }
+
     pub fn record_deadline_exceeded(&self) {
         self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
     }
@@ -341,6 +366,8 @@ impl Metrics {
             .raw("workers", &workers)
             .num("corrupt_artifacts", self.corrupt_artifacts())
             .num("io_retries", self.io_retries())
+            .num("reload_skipped_unchanged", self.reload_skipped_unchanged())
+            .num("accept_failures", self.accept_failures())
             .num("deadline_exceeded", self.deadline_exceeded())
             .num("abandoned_connections", self.abandoned_connections())
             .num("sock_config_failures", self.sock_config_failures())
@@ -410,7 +437,10 @@ pub fn store_stats_json(s: &StoreStats) -> String {
         .float("hit_rate", s.hit_rate())
         .num("evictions", s.evictions)
         .num("sweeps", s.sweeps)
-        .num("re_misses", s.re_misses);
+        .num("re_misses", s.re_misses)
+        .num("shard_count", s.shards.len() as u64)
+        .num("shard_contended", s.contended())
+        .raw("shard_sizes", &num_array(s.shards.iter().map(|sh| sh.size)));
     obj = match s.op_cache_capacity {
         Some(cap) => obj.num("op_cache_capacity", cap),
         None => obj.raw("op_cache_capacity", "null"),
@@ -450,11 +480,15 @@ mod tests {
         m.record(Endpoint::Extract, 422, 80);
         m.record_rejected();
         m.set_queue_depth(3);
+        m.record_accept_failure();
+        m.record_reload_skipped_unchanged(4);
         let json = m.render_json(&StoreStats::default());
         assert!(json.contains("\"queue_depth\":3"), "{json}");
         assert!(json.contains("\"rejected_total\":1"));
         assert!(json.contains("\"extract\":{\"requests\":2,\"errors\":1"));
         assert!(json.contains("\"store\":{"));
+        assert!(json.contains("\"accept_failures\":1"), "{json}");
+        assert!(json.contains("\"reload_skipped_unchanged\":4"), "{json}");
         assert_eq!(m.requests(Endpoint::Extract), 2);
     }
 }

@@ -19,6 +19,17 @@
 //! Reads are `RwLock`-shared; lock acquisitions recover from poisoning so
 //! a panicking request thread cannot take the registry down with it.
 //!
+//! # Incremental reloads
+//!
+//! A rescan remembers each artifact's `(mtime, len)` signature from the
+//! last time it imported cleanly and skips files whose signature is
+//! unchanged (`LoadReport::skipped_unchanged`), so `POST /reload` against
+//! a directory of N wrappers re-reads and re-validates only what actually
+//! changed. The usual mtime caveat applies — a same-length rewrite inside
+//! the filesystem's timestamp granularity is invisible — which is
+//! acceptable here because artifacts are written atomically (tmp+rename
+//! bumps the inode) by every writer this project ships.
+//!
 //! # Failure handling
 //!
 //! A directory scan treats every file independently: a torn or bit-rotted
@@ -35,8 +46,8 @@ use std::collections::HashMap;
 use std::fmt;
 use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, RwLock};
-use std::time::Duration;
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, SystemTime};
 
 /// Outcome of a directory scan.
 #[derive(Debug, Default)]
@@ -50,6 +61,9 @@ pub struct LoadReport {
     pub quarantined: Vec<String>,
     /// Transient read errors that were retried during this scan.
     pub io_retries: u64,
+    /// Artifacts skipped because their `(mtime, len)` signature matched
+    /// the last clean import.
+    pub skipped_unchanged: u64,
 }
 
 /// Errors from [`Registry::install`], split by whose fault they are: an
@@ -119,10 +133,24 @@ fn quarantine(path: &Path) -> bool {
     std::fs::rename(path, PathBuf::from(os)).is_ok()
 }
 
+/// An artifact's change signature: modification time plus byte length.
+/// Matching both means a rescan can skip re-reading the file.
+type FileSig = (SystemTime, u64);
+
 /// Concurrent name → wrapper map with optional backing directory.
 pub struct Registry {
     wrappers: RwLock<HashMap<String, Arc<Wrapper>>>,
     dir: Option<PathBuf>,
+    /// path → signature at the last clean import; consulted by `load_dir`
+    /// to skip unchanged artifacts. Entries for vanished files are pruned
+    /// at the end of each scan.
+    seen: Mutex<HashMap<PathBuf, FileSig>>,
+}
+
+/// The `(mtime, len)` signature of `path`, if statable.
+fn file_sig(path: &Path) -> Option<FileSig> {
+    let meta = std::fs::metadata(path).ok()?;
+    Some((meta.modified().ok()?, meta.len()))
 }
 
 /// Valid wrapper names: non-empty, `[A-Za-z0-9._-]`, no leading dot — a
@@ -142,7 +170,12 @@ impl Registry {
         Registry {
             wrappers: RwLock::new(HashMap::new()),
             dir,
+            seen: Mutex::new(HashMap::new()),
         }
+    }
+
+    fn seen(&self) -> std::sync::MutexGuard<'_, HashMap<PathBuf, FileSig>> {
+        self.seen.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     fn read(&self) -> std::sync::RwLockReadGuard<'_, HashMap<String, Arc<Wrapper>>> {
@@ -159,8 +192,10 @@ impl Registry {
     }
 
     /// Scan the backing directory for `*.wrapper` artifacts and install
-    /// every one that imports cleanly. Wrappers whose files failed keep
-    /// their previously installed version; torn/corrupt files are
+    /// every one that imports cleanly. Artifacts whose `(mtime, len)`
+    /// signature matches their last clean import are skipped without a
+    /// read (counted in `skipped_unchanged`). Wrappers whose files failed
+    /// keep their previously installed version; torn/corrupt files are
     /// quarantined to `<file>.corrupt`. No directory → empty report.
     pub fn load_dir(&self) -> io::Result<LoadReport> {
         let mut report = LoadReport::default();
@@ -173,7 +208,7 @@ impl Registry {
             .filter(|p| p.extension().is_some_and(|e| e == "wrapper"))
             .collect();
         entries.sort();
-        for path in entries {
+        for path in &entries {
             let file = path
                 .file_name()
                 .map(|n| n.to_string_lossy().into_owned())
@@ -186,9 +221,21 @@ impl Registry {
                 report.errors.push((file, "invalid wrapper name".into()));
                 continue;
             }
-            let text = match read_artifact(&path, &mut report.io_retries) {
+            // Signature taken BEFORE the read: a write racing the read
+            // lands after this stat, so its newer signature forces a
+            // re-read on the next scan rather than being masked.
+            let sig = file_sig(path);
+            if let Some(sig) = sig {
+                let unchanged = self.seen().get(path) == Some(&sig);
+                if unchanged && self.read().contains_key(&name) {
+                    report.skipped_unchanged += 1;
+                    continue;
+                }
+            }
+            let text = match read_artifact(path, &mut report.io_retries) {
                 Ok(t) => t,
                 Err(e) => {
+                    self.seen().remove(path);
                     report.errors.push((file, e.to_string()));
                     continue;
                 }
@@ -196,19 +243,34 @@ impl Registry {
             match Wrapper::import(&text) {
                 Ok(w) => {
                     self.write().insert(name.clone(), Arc::new(w));
+                    match sig {
+                        Some(sig) => {
+                            self.seen().insert(path.clone(), sig);
+                        }
+                        None => {
+                            self.seen().remove(path);
+                        }
+                    }
                     report.loaded.push(name);
                 }
                 Err(e @ (PersistError::Truncated | PersistError::Corrupt { .. })) => {
                     // Torn or bit-rotted on disk: move it out of the scan
                     // path so one bad write cannot fail every reload.
-                    if quarantine(&path) {
+                    self.seen().remove(path);
+                    if quarantine(path) {
                         report.quarantined.push(file.clone());
                     }
                     report.errors.push((file, e.to_string()));
                 }
-                Err(e) => report.errors.push((file, e.to_string())),
+                Err(e) => {
+                    self.seen().remove(path);
+                    report.errors.push((file, e.to_string()));
+                }
             }
         }
+        // Prune signatures for files no longer in the directory, so the
+        // map stays bounded by the scanned set.
+        self.seen().retain(|p, _| entries.binary_search(p).is_ok());
         Ok(report)
     }
 
@@ -230,6 +292,16 @@ impl Registry {
             let path = dir.join(format!("{name}.wrapper"));
             rextract_wrapper::persist::save_artifact(&path, artifact)
                 .map_err(|e| InstallError::Io(format!("persisting {}: {e}", path.display())))?;
+            // What we just wrote is what is installed: record its
+            // signature so the next rescan skips it.
+            match file_sig(&path) {
+                Some(sig) => {
+                    self.seen().insert(path, sig);
+                }
+                None => {
+                    self.seen().remove(&path);
+                }
+            }
         }
         self.write().insert(name.to_string(), Arc::clone(&wrapper));
         Ok(wrapper)
@@ -388,6 +460,47 @@ mod tests {
         assert!(report2.quarantined.is_empty());
         assert!(report2.errors.is_empty(), "{:?}", report2.errors);
         assert!(r.get("site").is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reload_skips_unchanged_artifacts() {
+        let dir = temp_dir("mtime-skip");
+        std::fs::write(dir.join("a.wrapper"), artifact(8)).unwrap();
+        std::fs::write(dir.join("b.wrapper"), artifact(9)).unwrap();
+        let r = Registry::new(Some(dir.clone()));
+        let first = r.load_dir().unwrap();
+        assert_eq!(first.loaded.len(), 2, "{:?}", first.loaded);
+        assert_eq!(first.skipped_unchanged, 0);
+
+        // Nothing changed on disk: the rescan reads no artifact.
+        let second = r.load_dir().unwrap();
+        assert!(second.loaded.is_empty(), "{:?}", second.loaded);
+        assert_eq!(second.skipped_unchanged, 2);
+
+        // Rewrite one: only that one is re-imported.
+        std::fs::write(dir.join("a.wrapper"), artifact(10)).unwrap();
+        let third = r.load_dir().unwrap();
+        assert_eq!(third.loaded, vec!["a".to_string()]);
+        assert_eq!(third.skipped_unchanged, 1);
+
+        // Deleting a file prunes its signature but never uninstalls: the
+        // in-memory wrapper keeps serving.
+        std::fs::remove_file(dir.join("b.wrapper")).unwrap();
+        let fourth = r.load_dir().unwrap();
+        assert_eq!(fourth.skipped_unchanged, 1);
+        assert!(r.get("b").is_some(), "uninstall is not load_dir's job");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn install_signature_lets_reload_skip_the_persisted_artifact() {
+        let dir = temp_dir("install-sig");
+        let r = Registry::new(Some(dir.clone()));
+        r.install("hot", &artifact(9)).unwrap();
+        let report = r.load_dir().unwrap();
+        assert!(report.loaded.is_empty(), "{:?}", report.loaded);
+        assert_eq!(report.skipped_unchanged, 1);
         std::fs::remove_dir_all(&dir).ok();
     }
 

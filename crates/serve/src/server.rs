@@ -202,6 +202,7 @@ pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
 fn record_scan(metrics: &Metrics, report: &LoadReport) {
     metrics.record_corrupt_artifacts(report.quarantined.len() as u64);
     metrics.record_io_retries(report.io_retries);
+    metrics.record_reload_skipped_unchanged(report.skipped_unchanged);
 }
 
 fn spawn_worker(id: usize, queue: &Arc<JobQueue<TcpStream>>, ctx: &Arc<Ctx>) -> JoinHandle<()> {
@@ -272,6 +273,15 @@ fn supervisor_loop(
     // exiting anyway once the caller's join() returns.
 }
 
+/// Post-accept admission gate. `accept()` succeeding does not mean the
+/// daemon can take the connection further — duplicating the descriptor
+/// into worker-owned state can still fail under fd pressure (EMFILE and
+/// friends). The failpoint injects exactly that class of error.
+fn admit() -> Result<(), ()> {
+    fail_point!("serve.accept.emfile", |_action| Err(()));
+    Ok(())
+}
+
 fn accept_loop(
     listener: TcpListener,
     queue: &JobQueue<TcpStream>,
@@ -282,7 +292,17 @@ fn accept_loop(
         if shutdown.draining() {
             break;
         }
-        let Ok(stream) = stream else { continue };
+        // A failed accept (transient EMFILE/ECONNABORTED) must degrade —
+        // count it, keep accepting — never wedge the acceptor.
+        let Ok(stream) = stream else {
+            metrics.record_accept_failure();
+            continue;
+        };
+        if admit().is_err() {
+            metrics.record_accept_failure();
+            drop(stream);
+            continue;
+        }
         match queue.try_push(stream) {
             Ok(depth) => metrics.set_queue_depth(depth),
             Err(stream) => {
@@ -652,6 +672,7 @@ fn handle_reload(ctx: &Ctx) -> Response {
                         "quarantined",
                         &str_array(report.quarantined.iter().map(String::as_str)),
                     )
+                    .num("skipped_unchanged", report.skipped_unchanged)
                     .num("wrappers", ctx.registry.len() as u64)
                     .finish(),
             )

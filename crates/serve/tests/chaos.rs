@@ -198,10 +198,13 @@ fn torn_install_never_corrupts_served_wrapper() {
         .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
         .count();
     assert_eq!(tmp_files, 1, "torn residue expected");
-    // A rescan is untroubled by the residue and keeps serving A.
+    // A rescan is untroubled by the residue; demo.wrapper is unchanged on
+    // disk (the torn install never got far enough to record a new
+    // signature), so it is skipped rather than re-read.
     let (status, body) = request(addr, "POST", "/reload", "");
     assert_eq!(status, 200, "{body}");
-    assert!(body.contains("\"loaded\":[\"demo\"]"), "{body}");
+    assert!(body.contains("\"loaded\":[]"), "{body}");
+    assert!(body.contains("\"skipped_unchanged\":1"), "{body}");
     assert!(body.contains("\"quarantined\":[]"), "{body}");
 
     // An external trainer crashes mid-write (no atomic rename): its torn
@@ -349,6 +352,9 @@ fn transient_artifact_reads_are_retried() {
     let handle = serve(cfg).unwrap();
     let addr = handle.addr();
 
+    // Touch the artifact so the rescan actually re-reads it (an unchanged
+    // signature would be skipped without any I/O to inject into).
+    std::fs::write(dir.join("good.wrapper"), &artifact).unwrap();
     // First two reads of the rescan hit injected EINTR; the third lands.
     faults::configure_spec("registry.read.transient=times(2):return").unwrap();
     let (status, body) = request(addr, "POST", "/reload", "");
@@ -362,6 +368,112 @@ fn transient_artifact_reads_are_retried() {
     request(addr, "POST", "/shutdown", "");
     handle.join();
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Injected EMFILE-style post-accept failures: the acceptor drops the
+/// doomed connections, counts them, and keeps serving everyone else —
+/// fd-pressure at the accept gate degrades, never wedges.
+#[test]
+fn accept_failures_degrade_not_wedge() {
+    let _faults = arm_faults();
+    let handle = serve(chaos_config()).unwrap();
+    let addr = handle.addr();
+
+    let (artifact, mut gen) = trained_artifact(160);
+    let (page, want) = ground_truth(&artifact, &mut gen);
+    let (status, _) = request(addr, "POST", "/wrappers/demo", &artifact);
+    assert_eq!(status, 201);
+
+    faults::configure_spec("serve.accept.emfile=times(3):return").unwrap();
+    // Each doomed connection is closed without a byte: the client sees a
+    // dead socket, never a hang or a wrong answer.
+    for _ in 0..3 {
+        assert_eq!(try_request(addr, "GET", "/healthz", ""), None);
+    }
+    assert!(
+        poll_until(
+            || faults::fires("serve.accept.emfile") == 3,
+            Duration::from_secs(2)
+        ),
+        "accept failpoint fired {} of 3 times",
+        faults::fires("serve.accept.emfile")
+    );
+
+    // The acceptor survived: the very next connection is served, and the
+    // incident is visible in the metrics.
+    let (status, body) = request(addr, "POST", "/extract?wrapper=demo", &page);
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(json_num(&body, "position"), Some(want), "{body}");
+    let (_, metrics) = request(addr, "GET", "/metrics", "");
+    assert_eq!(json_num(&metrics, "accept_failures"), Some(3), "{metrics}");
+
+    request(addr, "POST", "/shutdown", "");
+    handle.join();
+}
+
+/// A panic injected into the store's eviction sweep poisons one shard of
+/// the process-global op cache. The daemon must degrade — the one
+/// computation dies with its thread — rather than wedge: `/metrics`
+/// (lock-free stats) keeps answering, extraction keeps returning ground
+/// truth, and later store traffic through the recovered shard is still
+/// correct.
+#[test]
+fn store_sweep_panic_degrades_not_wedges() {
+    use rextract_automata::{Alphabet, Lang, Store};
+    let _faults = arm_faults();
+    let mut cfg = chaos_config();
+    // A tiny bound leaves most shards with a zero share, so almost every
+    // cold insert runs an eviction sweep.
+    cfg.op_cache_capacity = Some(2);
+    let handle = serve(cfg).unwrap();
+    let addr = handle.addr();
+
+    let (artifact, mut gen) = trained_artifact(150);
+    let (page, want) = ground_truth(&artifact, &mut gen);
+    let (status, _) = request(addr, "POST", "/wrappers/demo", &artifact);
+    assert_eq!(status, 201);
+
+    // Ground truth for the store traffic, computed before any fault.
+    let a = Alphabet::new(["x".to_string(), "y".to_string()]);
+    let l1 = Lang::parse(&a, "x* y").unwrap();
+    let l2 = Lang::parse(&a, "(x | y)* x").unwrap();
+    let want_union = Store::uncached().union(&l1, &l2);
+    Store::reset_op_cache();
+
+    faults::configure_spec("store.evict.sweep=once:panic").unwrap();
+    // A worker-shaped thread eats the injected panic mid-sweep, leaving
+    // its shard mutex poisoned.
+    let (v1, v2) = (l1.clone(), l2.clone());
+    let victim = std::thread::spawn(move || {
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let s = Store::global();
+            let u = s.union(&v1, &v2);
+            let _ = s.intersect(&v1, &v2);
+            let _ = s.difference(&v2, &v1);
+            let _ = s.star(&u);
+            let _ = s.complement(&v1);
+        }));
+    });
+    victim.join().unwrap();
+    assert!(
+        faults::fires("store.evict.sweep") >= 1,
+        "sweep failpoint never fired"
+    );
+
+    // Lock-free stats: /metrics answers even with a poisoned shard.
+    let (status, metrics) = request(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert!(metrics.contains("\"shard_count\":"), "{metrics}");
+    // The poisoned shard recovers: the same op through the global store
+    // still agrees with uncached ground truth.
+    assert_eq!(Store::global().union(&l1, &l2), want_union);
+    // And the daemon keeps serving extractions.
+    let (status, body) = request(addr, "POST", "/extract?wrapper=demo", &page);
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(json_num(&body, "position"), Some(want), "{body}");
+
+    request(addr, "POST", "/shutdown", "");
+    handle.join();
 }
 
 /// A connection wedged in a handler cannot wedge graceful shutdown: the

@@ -20,6 +20,11 @@ cargo clippy --workspace --all-targets --features failpoints -- -D warnings
 echo "== cargo fmt --check =="
 cargo fmt --all -- --check
 
+echo "== store contention smoke (fast profile) =="
+# Asserts multi-threaded agreement with uncached ground truth; speed
+# numbers are informational in the fast profile.
+STORE_BENCH_FAST=1 cargo bench -q -p bench --bench store_contention
+
 echo "== daemon smoke test =="
 scripts/serve_smoke.sh
 

@@ -107,11 +107,19 @@ fn equal_languages_intern_to_the_same_id() {
     }
 }
 
+/// Serializes the tests that are sensitive to op-cache capacity: the
+/// concurrency hammer below flips the global bound mid-flight, which
+/// would evict the entries whose cache hits the stats test asserts on.
+static CACHE_CAPACITY_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 /// StoreStats across a left-filter maximization: counters are monotone,
 /// the first run does real work (misses), and an identical second run is
 /// answered from the cache (fresh hits).
 #[test]
 fn stats_are_monotone_and_plausible_across_a_left_filter_run() {
+    let _serial = CACHE_CAPACITY_LOCK
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
     let a = Alphabet::new(["p", "q", "r"]);
     let expr = ExtractionExpr::parse(&a, "q* p r <p> .*").unwrap();
 
@@ -152,6 +160,147 @@ fn stats_are_monotone_and_plausible_across_a_left_filter_run() {
             op.name
         );
     }
+}
+
+/// All twelve memoized ops on one pair, as `(lang results, bool results)`
+/// — the unit of cross-checking for the concurrency hammer below.
+fn op_results(store: Store, lx: &Lang, ly: &Lang) -> (Vec<Lang>, Vec<bool>) {
+    (
+        vec![
+            store.union(lx, ly),
+            store.intersect(lx, ly),
+            store.difference(lx, ly),
+            store.concat(lx, ly),
+            store.complement(lx),
+            store.star(lx),
+            store.reversed(lx),
+            store.right_quotient(lx, ly),
+            store.left_quotient(lx, ly),
+        ],
+        vec![
+            store.is_empty(lx),
+            store.is_universal(lx),
+            store.is_subset(lx, ly),
+        ],
+    )
+}
+
+/// A pair of operands plus the ground-truth results for every op on them.
+type WorkItem = (Lang, Lang, (Vec<Lang>, Vec<bool>));
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// The sharded store under real contention: 8 worker threads — half
+    /// replaying one shared op sequence (maximal shard sharing), half on
+    /// disjoint per-thread sequences (concurrent interner growth) — while
+    /// a control thread hammers the lock-free `Store::stats()` and flips
+    /// `set_op_cache_capacity` between a tiny bound, a moderate one, and
+    /// unbounded. Eviction racing the workers may cost recomputation,
+    /// never a wrong `Lang`: every result is checked against uncached
+    /// ground truth computed up front.
+    #[test]
+    fn concurrent_hammer_under_capacity_flips_agrees_with_uncached(
+        shared in proptest::collection::vec(arb_regex(3), 2),
+        disjoint in proptest::collection::vec(arb_regex(3), 4),
+    ) {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+
+        let _serial = CACHE_CAPACITY_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let a = alphabet_of(3);
+        let truth = Store::uncached();
+
+        // Pair i with i+1 (wrapping) so every thread exercises binary ops.
+        let pairs = |regexes: &[Regex]| -> Vec<WorkItem> {
+            (0..regexes.len())
+                .map(|i| {
+                    let lx = Lang::from_regex(&a, &regexes[i]);
+                    let ly = Lang::from_regex(&a, &regexes[(i + 1) % regexes.len()]);
+                    let want = op_results(truth, &lx, &ly);
+                    (lx, ly, want)
+                })
+                .collect()
+        };
+        let shared_work = Arc::new(pairs(&shared));
+        // Each disjoint worker gets its own pair, unshared with the rest.
+        let disjoint_work: Vec<_> = disjoint
+            .iter()
+            .map(|r| {
+                let lx = Lang::from_regex(&a, r);
+                let ly = Lang::from_regex(&a, &Regex::star(r.clone()));
+                let want = op_results(truth, &lx, &ly);
+                Arc::new(vec![(lx, ly, want)])
+            })
+            .collect();
+
+        let done = Arc::new(AtomicBool::new(false));
+        let control = {
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                let mut last = Store::stats();
+                let caps = [Some(8), Some(64), None];
+                for i in 0.. {
+                    if done.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    Store::set_op_cache_capacity(caps[i % caps.len()]);
+                    let now = Store::stats();
+                    // Lock-free snapshot invariants: totals only grow, and
+                    // the shard vector keeps its shape mid-flight.
+                    assert!(now.hits() >= last.hits(), "hits went backwards");
+                    assert!(now.misses() >= last.misses(), "misses went backwards");
+                    assert!(now.interned >= last.interned, "interner shrank");
+                    assert_eq!(
+                        now.shards.len(),
+                        rextract::automata::store::SHARD_COUNT,
+                        "stats must report every shard"
+                    );
+                    last = now;
+                }
+            })
+        };
+
+        let workers: Vec<_> = (0..8)
+            .map(|t| {
+                let work = if t < 4 {
+                    Arc::clone(&shared_work)
+                } else {
+                    Arc::clone(&disjoint_work[t - 4])
+                };
+                std::thread::spawn(move || {
+                    for _ in 0..12 {
+                        for (lx, ly, want) in work.iter() {
+                            assert_eq!(
+                                &op_results(Store::global(), lx, ly),
+                                want,
+                                "concurrent result diverged from uncached ground truth"
+                            );
+                        }
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().expect("hammer worker panicked");
+        }
+        done.store(true, Ordering::Relaxed);
+        control.join().expect("control thread panicked");
+
+        // Leave the store unbounded for the rest of the suite.
+        Store::set_op_cache_capacity(None);
+        prop_assert_eq!(
+            op_results(Store::global(), &shared_work[0].0, &shared_work[0].1),
+            truth_results_clone(&shared_work[0].2)
+        );
+    }
+}
+
+/// Clone helper: `(Vec<Lang>, Vec<bool>)` is not `Copy`.
+fn truth_results_clone(r: &(Vec<Lang>, Vec<bool>)) -> (Vec<Lang>, Vec<bool>) {
+    (r.0.clone(), r.1.clone())
 }
 
 /// A panicking worker thread must not wedge the global store: the daemon
