@@ -1,0 +1,457 @@
+//! Dense, class-compressed DFAs for the extraction hot path.
+//!
+//! A wrapper's alphabet has one entry per distinct tag name seen in
+//! training — typically 16–64 symbols — but the automata that matter at
+//! serve time distinguish far fewer *behaviours*: in `([^p]* t_i)^k [^p]*`
+//! every non-anchor, non-marker tag has an identical transition column.
+//! [`SymbolClasses`] computes that partition **jointly over a set of
+//! DFAs** (symbols collapse only when their columns agree in *every*
+//! automaton), and [`DenseDfa`] recompiles each DFA against the shared
+//! class table.
+//!
+//! Two further scan-loop tricks, both standard in production regex
+//! engines:
+//!
+//! * **Premultiplied state ids.** Table entries store `state × C` (for
+//!   `C` classes), so stepping is `table[(state + class)]` with no
+//!   multiply in the loop.
+//! * **Ordered state numbering.** States are renumbered so accepting
+//!   states come first and dead states (those from which no accepting
+//!   state is reachable) come last; `is_accepting` and `is_dead` are then
+//!   single integer comparisons instead of bitset probes.
+
+use crate::alphabet::Alphabet;
+use crate::dfa::{Dfa, StateId};
+use crate::symbol::Symbol;
+use std::collections::HashMap;
+
+/// A partition of an alphabet into transition-equivalence classes,
+/// computed jointly over a set of DFAs: two symbols share a class iff
+/// their transition columns agree in **every** DFA of the set.
+///
+/// Classes are numbered in order of first appearance by symbol index, so
+/// the partition is deterministic.
+#[derive(Debug, Clone)]
+pub struct SymbolClasses {
+    /// `map[sym.index()]` is the class of `sym`.
+    map: Vec<u32>,
+    num_classes: u32,
+}
+
+impl SymbolClasses {
+    /// The trivial partition: every symbol its own class.
+    pub fn identity(alphabet: &Alphabet) -> SymbolClasses {
+        SymbolClasses {
+            map: (0..alphabet.len() as u32).collect(),
+            num_classes: alphabet.len() as u32,
+        }
+    }
+
+    /// Compute the joint partition over `dfas` (all over compatible
+    /// alphabets; at least one DFA required).
+    pub fn compute(dfas: &[&Dfa]) -> SymbolClasses {
+        let first = dfas.first().expect("need at least one DFA");
+        let alphabet = first.alphabet();
+        for d in &dfas[1..] {
+            assert!(
+                alphabet.compatible(d.alphabet()),
+                "symbol classes require compatible alphabets"
+            );
+        }
+        let mut map = Vec::with_capacity(alphabet.len());
+        let mut seen: HashMap<Vec<StateId>, u32> = HashMap::new();
+        for sym in alphabet.symbols() {
+            // The symbol's signature: its transition column in every DFA,
+            // concatenated. Identical signatures ⇒ indistinguishable by
+            // any of the automata ⇒ same class.
+            let mut signature = Vec::new();
+            for d in dfas {
+                for q in 0..d.num_states() as StateId {
+                    signature.push(d.next(q, sym));
+                }
+            }
+            let next_class = seen.len() as u32;
+            map.push(*seen.entry(signature).or_insert(next_class));
+        }
+        let num_classes = seen.len() as u32;
+        SymbolClasses { map, num_classes }
+    }
+
+    /// Number of classes in the partition.
+    #[inline]
+    pub fn num_classes(&self) -> usize {
+        self.num_classes as usize
+    }
+
+    /// Number of symbols in the underlying alphabet.
+    #[inline]
+    pub fn num_symbols(&self) -> usize {
+        self.map.len()
+    }
+
+    /// The class of `sym`.
+    #[inline]
+    pub fn class_of(&self, sym: Symbol) -> u32 {
+        self.map[sym.index()]
+    }
+
+    /// Classify a document in one pass, reusing `out`'s capacity.
+    pub fn classify_into(&self, doc: &[Symbol], out: &mut Vec<u32>) {
+        out.clear();
+        out.extend(doc.iter().map(|&s| self.map[s.index()]));
+    }
+
+    /// Give `sym` a singleton class, appending a fresh class id if it
+    /// currently shares one. Refining a partition that was at least as
+    /// fine as every member DFA's column partition keeps it so, so
+    /// [`DenseDfa::compile`] remains correct; the extraction engine uses
+    /// this to make "is this position the marker?" a class-id compare.
+    pub fn isolate(&mut self, sym: Symbol) {
+        let class = self.map[sym.index()];
+        let shared = self
+            .map
+            .iter()
+            .enumerate()
+            .any(|(i, &c)| c == class && i != sym.index());
+        if shared {
+            self.map[sym.index()] = self.num_classes;
+            self.num_classes += 1;
+        }
+    }
+
+    /// A representative symbol per class, in class order.
+    fn representatives(&self) -> Vec<Symbol> {
+        let mut reps = vec![None; self.num_classes as usize];
+        for (i, &c) in self.map.iter().enumerate() {
+            reps[c as usize].get_or_insert(Symbol::from_index(i));
+        }
+        reps.into_iter()
+            .map(|r| r.expect("every class has a representative"))
+            .collect()
+    }
+}
+
+/// A [`Dfa`] recompiled for the scan loop: class-remapped, premultiplied,
+/// row-major `u32` transitions with comparison-only accepting/dead tests.
+///
+/// States are *premultiplied*: a state is represented as `index × C`
+/// where `C` is the class count, so [`DenseDfa::next`] is a single
+/// indexed load. The renumbering places accepting states first and dead
+/// states last:
+///
+/// ```text
+/// [ accepting | live non-accepting | dead ]
+///   s < accept_limit            s >= dead_limit
+/// ```
+#[derive(Debug, Clone)]
+pub struct DenseDfa {
+    /// `table[s + c]` for premultiplied state `s` and class `c`: the
+    /// premultiplied successor.
+    table: Vec<u32>,
+    /// Premultiplied start state.
+    start: u32,
+    /// `s < accept_limit` ⇔ accepting (premultiplied bound).
+    accept_limit: u32,
+    /// `s >= dead_limit` ⇔ dead: no accepting state reachable from `s`
+    /// (premultiplied bound).
+    dead_limit: u32,
+    num_states: u32,
+    num_classes: u32,
+}
+
+impl DenseDfa {
+    /// Compile `dfa` against a precomputed class partition. The partition
+    /// must be at least as fine as `dfa`'s own column partition — which
+    /// [`SymbolClasses::compute`] guarantees whenever `dfa` was in the
+    /// set it was computed over.
+    pub fn compile(dfa: &Dfa, classes: &SymbolClasses) -> DenseDfa {
+        assert_eq!(
+            classes.num_symbols(),
+            dfa.alphabet().len(),
+            "class table / alphabet size mismatch"
+        );
+        let n = dfa.num_states();
+        // An empty alphabet still needs C ≥ 1 so premultiplied state ids
+        // stay distinct (s × 0 would conflate every state).
+        let c = (classes.num_classes() as u32).max(1);
+
+        // Dead = not co-reachable: reverse BFS from the accepting states.
+        let mut rev: Vec<Vec<StateId>> = vec![Vec::new(); n];
+        for q in 0..n as StateId {
+            for sym in dfa.alphabet().symbols() {
+                rev[dfa.next(q, sym) as usize].push(q);
+            }
+        }
+        let mut alive = vec![false; n];
+        let mut queue: Vec<StateId> = Vec::new();
+        for q in 0..n as StateId {
+            if dfa.is_accepting(q) {
+                alive[q as usize] = true;
+                queue.push(q);
+            }
+        }
+        while let Some(q) = queue.pop() {
+            for &p in &rev[q as usize] {
+                if !alive[p as usize] {
+                    alive[p as usize] = true;
+                    queue.push(p);
+                }
+            }
+        }
+
+        // Renumber: accepting, then live non-accepting, then dead.
+        let mut order: Vec<StateId> = (0..n as StateId).collect();
+        let rank = |q: StateId| -> u8 {
+            if dfa.is_accepting(q) {
+                0
+            } else if alive[q as usize] {
+                1
+            } else {
+                2
+            }
+        };
+        order.sort_by_key(|&q| (rank(q), q));
+        let mut new_index = vec![0u32; n];
+        for (new, &old) in order.iter().enumerate() {
+            new_index[old as usize] = new as u32;
+        }
+        let accepting = (0..n as StateId).filter(|&q| dfa.is_accepting(q)).count() as u32;
+        let dead = (0..n).filter(|&q| !alive[q]).count() as u32;
+
+        let reps = classes.representatives();
+        let mut table = vec![0u32; n * c as usize];
+        for &old in &order {
+            let row = new_index[old as usize] * c;
+            for (ci, &rep) in reps.iter().enumerate() {
+                table[(row + ci as u32) as usize] = new_index[dfa.next(old, rep) as usize] * c;
+            }
+        }
+        DenseDfa {
+            table,
+            start: new_index[dfa.start() as usize] * c,
+            accept_limit: accepting * c,
+            dead_limit: (n as u32 - dead) * c,
+            num_states: n as u32,
+            num_classes: c,
+        }
+    }
+
+    /// The premultiplied start state.
+    #[inline]
+    pub fn start(&self) -> u32 {
+        self.start
+    }
+
+    /// Step from premultiplied state `s` on class `c`.
+    #[inline]
+    pub fn next(&self, s: u32, class: u32) -> u32 {
+        self.table[(s + class) as usize]
+    }
+
+    /// Whether premultiplied state `s` is accepting.
+    #[inline]
+    pub fn is_accepting(&self, s: u32) -> bool {
+        s < self.accept_limit
+    }
+
+    /// Whether premultiplied state `s` is dead — no accepting state is
+    /// reachable from it, so a scan can stop the moment it gets here.
+    #[inline]
+    pub fn is_dead(&self, s: u32) -> bool {
+        s >= self.dead_limit
+    }
+
+    /// Whether the automaton has any dead state at all.
+    #[inline]
+    pub fn has_dead_state(&self) -> bool {
+        self.dead_limit < self.num_states * self.num_classes
+    }
+
+    /// Number of states.
+    #[inline]
+    pub fn num_states(&self) -> usize {
+        self.num_states as usize
+    }
+
+    /// Number of symbol classes the table is indexed by.
+    #[inline]
+    pub fn num_classes(&self) -> usize {
+        self.num_classes as usize
+    }
+
+    /// Membership test over a *classified* word (test/debug aid; the
+    /// production scan loops live in `rextract-extraction`).
+    pub fn accepts_classes(&self, classes: &[u32]) -> bool {
+        let mut s = self.start;
+        for &c in classes {
+            s = self.next(s, c);
+        }
+        self.is_accepting(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regex::Regex;
+    use crate::sample::Sampler;
+    use crate::Lang;
+
+    fn dfa(alphabet: &Alphabet, text: &str) -> Dfa {
+        Dfa::from_regex(alphabet, &Regex::parse(alphabet, text).unwrap())
+    }
+
+    #[test]
+    fn universal_dfa_collapses_to_one_class() {
+        let a = Alphabet::new(["p", "q", "r", "s"]);
+        let d = dfa(&a, ".*");
+        let classes = SymbolClasses::compute(&[&d]);
+        assert_eq!(classes.num_classes(), 1);
+        for sym in a.symbols() {
+            assert_eq!(classes.class_of(sym), 0);
+        }
+    }
+
+    #[test]
+    fn distinct_columns_stay_distinct() {
+        // table[q][sym] = sym's own index: every column differs.
+        let a = Alphabet::new(["a", "b", "c"]);
+        let d = Dfa::from_parts(
+            a.clone(),
+            vec![0, 1, 2, 0, 1, 2, 0, 1, 2],
+            vec![true, false, false],
+            0,
+        );
+        let classes = SymbolClasses::compute(&[&d]);
+        assert_eq!(classes.num_classes(), 3);
+        let ids: Vec<u32> = a.symbols().map(|s| classes.class_of(s)).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn joint_computation_refines_the_partition() {
+        let a = Alphabet::new(["p", "q", "r"]);
+        // Alone, `[^p]*` only separates p from {q, r}…
+        let left = dfa(&a, "[^p]*");
+        assert_eq!(SymbolClasses::compute(&[&left]).num_classes(), 2);
+        // …but jointly with `q*` the q column must also split off.
+        let right = dfa(&a, "q*");
+        let joint = SymbolClasses::compute(&[&left, &right]);
+        assert_eq!(joint.num_classes(), 3);
+    }
+
+    #[test]
+    fn partial_collapse_on_anchored_language() {
+        // Over 6 symbols, `[^p]* t0 .*` distinguishes p, t0, and
+        // everything-else: exactly 3 classes.
+        let a = Alphabet::new(["p", "t0", "t1", "t2", "t3", "t4"]);
+        let d = dfa(&a, "[^p]* t0 .*");
+        let classes = SymbolClasses::compute(&[&d]);
+        assert_eq!(classes.num_classes(), 3);
+        assert_eq!(
+            classes.class_of(a.sym("t2")),
+            classes.class_of(a.sym("t4")),
+            "interchangeable noise symbols must share a class"
+        );
+        assert_ne!(classes.class_of(a.sym("p")), classes.class_of(a.sym("t0")));
+    }
+
+    #[test]
+    fn isolate_splits_shared_classes_only() {
+        let a = Alphabet::new(["p", "q", "r", "s"]);
+        let d = dfa(&a, ".*");
+        let mut classes = SymbolClasses::compute(&[&d]);
+        assert_eq!(classes.num_classes(), 1);
+        classes.isolate(a.sym("p"));
+        assert_eq!(classes.num_classes(), 2);
+        let p_class = classes.class_of(a.sym("p"));
+        for sym in a.symbols() {
+            assert_eq!(classes.class_of(sym) == p_class, sym == a.sym("p"));
+        }
+        // Already-singleton: a second isolate is a no-op.
+        classes.isolate(a.sym("p"));
+        assert_eq!(classes.num_classes(), 2);
+        // The compiled DFA still agrees with the source on random words.
+        let dense = DenseDfa::compile(&d, &classes);
+        let mut sampler = Sampler::new(&Lang::universe(&a), 5, 9);
+        let mut buf = Vec::new();
+        for _ in 0..100 {
+            let w = sampler.sample().unwrap();
+            classes.classify_into(&w, &mut buf);
+            assert_eq!(dense.accepts_classes(&buf), d.accepts(&w));
+        }
+    }
+
+    #[test]
+    fn dense_agrees_with_source_dfa_on_random_words() {
+        let a = Alphabet::new(["p", "q", "r"]);
+        for text in ["[^p]* p .*", "(q p)* | r", "q* - q q", "(p | q) r*"] {
+            let d = dfa(&a, text);
+            let classes = SymbolClasses::compute(&[&d]);
+            let dense = DenseDfa::compile(&d, &classes);
+            assert_eq!(dense.num_states(), d.num_states());
+            let mut sampler = Sampler::new(&Lang::universe(&a), 7, 10);
+            let mut buf = Vec::new();
+            for _ in 0..200 {
+                let w = sampler.sample().unwrap();
+                classes.classify_into(&w, &mut buf);
+                assert_eq!(
+                    dense.accepts_classes(&buf),
+                    d.accepts(&w),
+                    "mismatch for {text} on {:?}",
+                    a.syms_to_str(&w)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dead_state_is_identified_and_absorbing() {
+        let a = Alphabet::new(["p", "q"]);
+        // Finite language: the minimal DFA needs a dead sink.
+        let d = dfa(&a, "q p");
+        let classes = SymbolClasses::compute(&[&d]);
+        let dense = DenseDfa::compile(&d, &classes);
+        assert!(dense.has_dead_state());
+        // Drive it to death: "p" from start cannot be extended to "q p".
+        let s = dense.next(dense.start(), classes.class_of(a.sym("p")));
+        assert!(dense.is_dead(s));
+        // Dead is absorbing for every class.
+        for c in 0..dense.num_classes() as u32 {
+            assert!(dense.is_dead(dense.next(s, c)));
+        }
+        // The live prefix "q" is not dead, and "q p" accepts.
+        let q = dense.next(dense.start(), classes.class_of(a.sym("q")));
+        assert!(!dense.is_dead(q));
+        assert!(dense.is_accepting(dense.next(q, classes.class_of(a.sym("p")))));
+    }
+
+    #[test]
+    fn empty_and_universal_edge_cases() {
+        let a = Alphabet::new(["p", "q"]);
+        let empty = DenseDfa::compile(&Dfa::empty_lang(&a), &SymbolClasses::identity(&a));
+        assert!(empty.is_dead(empty.start()), "∅ is dead from the start");
+        assert!(!empty.is_accepting(empty.start()));
+        let univ_dfa = Dfa::universal(&a);
+        let univ = DenseDfa::compile(&univ_dfa, &SymbolClasses::compute(&[&univ_dfa]));
+        assert!(univ.is_accepting(univ.start()));
+        assert!(!univ.has_dead_state());
+        assert_eq!(univ.num_classes(), 1);
+    }
+
+    #[test]
+    fn accepting_first_ordering_survives_mixed_automata() {
+        let a = Alphabet::new(["p", "q"]);
+        // Multiple accepting and non-accepting states, plus a dead sink.
+        let d = dfa(&a, "q q* p p*");
+        let classes = SymbolClasses::compute(&[&d]);
+        let dense = DenseDfa::compile(&d, &classes);
+        let mut sampler = Sampler::new(&Lang::universe(&a), 3, 8);
+        let mut buf = Vec::new();
+        for _ in 0..100 {
+            let w = sampler.sample().unwrap();
+            classes.classify_into(&w, &mut buf);
+            assert_eq!(dense.accepts_classes(&buf), d.accepts(&w));
+        }
+    }
+}

@@ -15,9 +15,12 @@
 //! * [`quotient`] — prefix/suffix factoring (Definition 5.1),
 //! * [`analysis`] — emptiness, universality, inclusion, equivalence,
 //!   witnesses, trimming, bounded-marker analysis,
-//! * [`to_regex`] — state elimination back to a [`Regex`] for display.
+//! * [`to_regex`] — state elimination back to a [`Regex`] for display,
+//! * [`dense`] — class-compressed, premultiplied scan tables for the
+//!   extraction hot path.
 
 pub mod analysis;
+pub mod dense;
 pub mod determinize;
 pub mod dot;
 pub mod minimize;

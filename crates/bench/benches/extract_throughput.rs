@@ -1,48 +1,164 @@
-//! Experiment E8 — extraction is linear time.
+//! Experiment E8 — extraction is linear time, and the dense engine's
+//! constants.
 //!
 //! The Section 4 operational reading ("try splits until one succeeds") is
-//! quadratic; the two-pass engine of `extraction::extract` is O(|doc|).
-//! We sweep document length 10²…10⁶ tokens and report throughput
-//! (Criterion's per-element mode), plus the cost of one-shot compilation
-//! so the compile-once/extract-many trade-off is visible.
+//! quadratic; both linear engines are O(|doc|). We sweep document length
+//! 10²…10⁶ tokens comparing the **dense** engine (class-compressed
+//! premultiplied tables, u64 `prefix_ok` bitset, reusable scratch) against
+//! the previous-generation **two-pass** engine (per-call `Vec<bool>`,
+//! full-|Σ| rows), plus:
+//!
+//! * a class-collapse sweep (|Σ| ∈ {16, 64} with few distinct transition
+//!   columns — the wrapper-alphabet shape where compression pays),
+//! * a scratch-reuse row (reused [`ExtractScratch`] vs a fresh allocation
+//!   per call),
+//! * the one-shot compile cost, so compile-once/extract-many stays
+//!   visible.
+//!
+//! Every benched document is first cross-checked: dense and two-pass
+//! positions must agree (and match the quadratic naive engine on small
+//! documents). `EXTRACT_BENCH_FAST=1` trims the sweep to make that
+//! agreement check a cheap CI smoke (`scripts/check.sh`).
 
 use bench::{alphabet_of, anchored_document, anchored_expr};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use rextract_extraction::{Extractor, NaiveExtractor};
+use rextract_automata::Symbol;
+use rextract_extraction::{
+    ExtractScratch, ExtractionExpr, Extractor, NaiveExtractor, TwoPassExtractor,
+};
 use std::hint::black_box;
+
+fn fast_mode() -> bool {
+    std::env::var("EXTRACT_BENCH_FAST").is_ok_and(|v| v == "1")
+}
+
+/// Cross-check the engines on a bench document before timing it: the
+/// numbers below are meaningless if the engines disagree, and in fast
+/// mode this assertion IS the point of the run.
+fn assert_engines_agree(expr: &ExtractionExpr, dense: &Extractor, doc: &[Symbol]) {
+    let two_pass = TwoPassExtractor::compile(expr);
+    let want = two_pass.positions(doc);
+    assert_eq!(
+        dense.positions(doc),
+        want,
+        "dense and two-pass engines disagree on a {}-token bench document",
+        doc.len()
+    );
+    // The quadratic baseline only on small documents.
+    if doc.len() <= 1_500 {
+        assert_eq!(
+            NaiveExtractor::compile(expr).positions(doc),
+            want,
+            "naive engine disagrees on a {}-token bench document",
+            doc.len()
+        );
+    }
+}
 
 fn bench_throughput(c: &mut Criterion) {
     let alphabet = alphabet_of(16);
     let expr = anchored_expr(&alphabet, 4);
-    let extractor = Extractor::compile(&expr);
+    let dense = Extractor::compile(&expr);
+    let two_pass = TwoPassExtractor::compile(&expr);
+    let mut scratch = ExtractScratch::new();
+    let lens: &[usize] = if fast_mode() {
+        &[100, 10_000, 100_000]
+    } else {
+        &[100, 1_000, 10_000, 100_000, 1_000_000]
+    };
     let mut group = c.benchmark_group("extract/throughput");
-    for &len in &[100usize, 1_000, 10_000, 100_000, 1_000_000] {
+    for &len in lens {
         // Scale noise so total length ≈ len: 4 gaps + tail + marker.
         let noise = len / 6;
         let doc = anchored_document(&alphabet, 4, noise, 42);
+        assert_engines_agree(&expr, &dense, &doc);
         group.throughput(Throughput::Elements(doc.len() as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(doc.len()), &doc, |b, d| {
-            b.iter(|| black_box(extractor.extract(d)))
+        group.bench_with_input(BenchmarkId::new("dense", doc.len()), &doc, |b, d| {
+            b.iter(|| black_box(dense.extract_with(d, &mut scratch)))
+        });
+        group.bench_with_input(BenchmarkId::new("two-pass", doc.len()), &doc, |b, d| {
+            b.iter(|| black_box(two_pass.extract(d)))
         });
     }
     group.finish();
 }
 
+fn bench_class_collapse(c: &mut Criterion) {
+    // Wrapper-alphabet shape: |Σ| tag names, but only the 4 anchors and
+    // the marker have distinct transition columns, so the joint partition
+    // collapses to a handful of classes. The dense engine's row size (and
+    // cache footprint) follows the class count, not |Σ|.
+    let mut group = c.benchmark_group("extract/class-collapse");
+    let noise = if fast_mode() { 2_000 } else { 16_000 };
+    for &sigma in &[16usize, 64] {
+        let alphabet = alphabet_of(sigma);
+        let expr = anchored_expr(&alphabet, 4);
+        let dense = Extractor::compile(&expr);
+        let two_pass = TwoPassExtractor::compile(&expr);
+        let mut scratch = ExtractScratch::new();
+        let doc = anchored_document(&alphabet, 4, noise, 11);
+        assert_engines_agree(&expr, &dense, &doc);
+        eprintln!(
+            "extract/class-collapse: |Σ|={sigma} → {} classes",
+            dense.num_classes()
+        );
+        group.throughput(Throughput::Elements(doc.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new(format!("dense-sigma{sigma}"), doc.len()),
+            &doc,
+            |b, d| b.iter(|| black_box(dense.extract_with(d, &mut scratch))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("two-pass-sigma{sigma}"), doc.len()),
+            &doc,
+            |b, d| b.iter(|| black_box(two_pass.extract(d))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_scratch_reuse(c: &mut Criterion) {
+    // Same engine, same document: the only difference is whether the
+    // scan buffers are reused or re-allocated per call.
+    let alphabet = alphabet_of(16);
+    let expr = anchored_expr(&alphabet, 4);
+    let dense = Extractor::compile(&expr);
+    let len = if fast_mode() { 10_000 } else { 100_000 };
+    let doc = anchored_document(&alphabet, 4, len / 6, 42);
+    assert_engines_agree(&expr, &dense, &doc);
+    let mut group = c.benchmark_group("extract/scratch-reuse");
+    group.throughput(Throughput::Elements(doc.len() as u64));
+    let mut scratch = ExtractScratch::new();
+    group.bench_with_input(BenchmarkId::new("reused", doc.len()), &doc, |b, d| {
+        b.iter(|| black_box(dense.extract_with(d, &mut scratch)))
+    });
+    group.bench_with_input(BenchmarkId::new("fresh", doc.len()), &doc, |b, d| {
+        b.iter(|| black_box(dense.extract(d)))
+    });
+    group.finish();
+}
+
 fn bench_linear_vs_naive_baseline(c: &mut Criterion) {
     // Ablation: the paper's operational "try every split" reading is
-    // quadratic; the two-pass engine is linear. The crossover shape is
+    // quadratic; the two-pass engines are linear. The crossover shape is
     // the point (naive is fine at 100 tokens, hopeless at 100k).
     let alphabet = alphabet_of(16);
     let expr = anchored_expr(&alphabet, 4);
-    let fast = Extractor::compile(&expr);
+    let dense = Extractor::compile(&expr);
     let naive = NaiveExtractor::compile(&expr);
+    let mut scratch = ExtractScratch::new();
+    let lens: &[usize] = if fast_mode() {
+        &[100, 1_000]
+    } else {
+        &[100, 1_000, 10_000]
+    };
     let mut group = c.benchmark_group("extract/linear-vs-naive");
-    for &len in &[100usize, 1_000, 10_000] {
+    for &len in lens {
         let noise = len / 6;
         let doc = anchored_document(&alphabet, 4, noise, 42);
         group.throughput(Throughput::Elements(doc.len() as u64));
-        group.bench_with_input(BenchmarkId::new("two-pass", doc.len()), &doc, |b, d| {
-            b.iter(|| black_box(fast.extract(d)))
+        group.bench_with_input(BenchmarkId::new("dense", doc.len()), &doc, |b, d| {
+            b.iter(|| black_box(dense.extract_with(d, &mut scratch)))
         });
         group.bench_with_input(BenchmarkId::new("naive", doc.len()), &doc, |b, d| {
             b.iter(|| black_box(naive.extract(d)))
@@ -60,7 +176,10 @@ fn bench_compile_vs_extract(c: &mut Criterion) {
         b.iter(|| black_box(Extractor::compile(&expr)))
     });
     let compiled = Extractor::compile(&expr);
-    group.bench_function("run", |b| b.iter(|| black_box(compiled.extract(&doc))));
+    let mut scratch = ExtractScratch::new();
+    group.bench_function("run", |b| {
+        b.iter(|| black_box(compiled.extract_with(&doc, &mut scratch)))
+    });
     group.bench_function("one-shot(compile+run)", |b| {
         b.iter(|| black_box(expr.extract(&doc)))
     });
@@ -69,16 +188,19 @@ fn bench_compile_vs_extract(c: &mut Criterion) {
 
 fn bench_alphabet_scaling(c: &mut Criterion) {
     // Per-token cost is a table lookup; alphabet size should only affect
-    // compile time, not extraction throughput.
+    // compile time (and, post-compression, the class count), not
+    // extraction throughput.
     let mut group = c.benchmark_group("extract/alphabet-scaling");
-    for &sigma in &[4usize, 64, 256] {
+    let sigmas: &[usize] = if fast_mode() { &[4, 64] } else { &[4, 64, 256] };
+    for &sigma in sigmas {
         let alphabet = alphabet_of(sigma);
         let expr = anchored_expr(&alphabet, 4);
         let extractor = Extractor::compile(&expr);
+        let mut scratch = ExtractScratch::new();
         let doc = anchored_document(&alphabet, 4, 2_000, 11);
         group.throughput(Throughput::Elements(doc.len() as u64));
         group.bench_with_input(BenchmarkId::from_parameter(sigma), &doc, |b, d| {
-            b.iter(|| black_box(extractor.extract(d)))
+            b.iter(|| black_box(extractor.extract_with(d, &mut scratch)))
         });
     }
     group.finish();
@@ -87,6 +209,8 @@ fn bench_alphabet_scaling(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_throughput,
+    bench_class_collapse,
+    bench_scratch_reuse,
     bench_linear_vs_naive_baseline,
     bench_compile_vs_extract,
     bench_alphabet_scaling

@@ -3,7 +3,7 @@
 use rextract_automata::Alphabet;
 use rextract_extraction::maximality::MaximalityStatus;
 use rextract_extraction::right_filter::maximize_one_sided;
-use rextract_extraction::ExtractionExpr;
+use rextract_extraction::{ExtractScratch, ExtractionExpr, Extractor};
 use rextract_html::seq::{to_names, SeqConfig, Vocabulary};
 use rextract_html::tokenizer::tokenize as html_tokenize;
 use rextract_learn::merge::merge_samples;
@@ -142,7 +142,8 @@ pub fn extract(args: &[String]) -> Result<(), String> {
     let doc = sigma
         .str_to_syms(doc_text)
         .map_err(|bad| format!("unknown document symbol {bad:?}"))?;
-    match expr.extract(&doc) {
+    let extractor = Extractor::compile(&expr);
+    match extractor.extract_with(&doc, &mut ExtractScratch::new()) {
         Ok(hit) => {
             println!("{}", hit.position);
             Ok(())

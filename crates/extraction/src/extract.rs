@@ -2,7 +2,7 @@
 //!
 //! Section 4 describes extraction operationally — "we try such splits until
 //! we either succeed on some split or fail on all candidates". A naive
-//! implementation is O(|ρ|²) membership tests. [`Extractor`] does it in
+//! implementation is O(|ρ|²) membership tests. The engine here does it in
 //! **two linear passes**:
 //!
 //! 1. run the DFA of `E1` forward, recording for every boundary `i` whether
@@ -14,31 +14,89 @@
 //! unambiguous expression at most one position survives; the engine
 //! returns *all* surviving positions so ambiguity is observable (and the
 //! unambiguity invariant testable).
+//!
+//! [`Extractor`] is the production form of that algorithm, rebuilt on the
+//! dense tables of [`rextract_automata::dfa::dense`]:
+//!
+//! * both DFAs are compiled against one **joint symbol-class partition**,
+//!   so the document is classified once and each scan step is a single
+//!   premultiplied table load;
+//! * the reversed-`E2` DFA is **minimized** (subset construction alone
+//!   can leave it far larger than necessary);
+//! * `prefix_ok` is a `u64` bitset, and the forward pass short-circuits
+//!   to all-false the moment the left DFA hits its dead state (the
+//!   backward pass likewise stops once reversed-`E2` dies);
+//! * every buffer lives in a caller-owned [`ExtractScratch`], so
+//!   steady-state [`Extractor::extract_with`] performs **zero heap
+//!   allocations** (property-tested with a counting allocator in
+//!   `tests/zero_alloc.rs`).
+//!
+//! [`TwoPassExtractor`] preserves the previous generation of the engine
+//! (per-call `Vec<bool>` flags, raw subset-construction reversed DFA,
+//! generic `Dfa::next` stepping) as the ablation baseline for the
+//! `extract_throughput` bench and the minimization-equivalence tests.
 
 use crate::expr::ExtractionExpr;
+use rextract_automata::dfa::dense::{DenseDfa, SymbolClasses};
 use rextract_automata::dfa::Dfa;
 use rextract_automata::nfa::Nfa;
 use rextract_automata::Symbol;
 
+/// Reusable buffers for allocation-free extraction.
+///
+/// One scratch serves any number of [`Extractor`]s (each call re-sizes the
+/// buffers to its own document/alphabet); keep one per worker thread and
+/// steady-state extraction never touches the allocator.
+#[derive(Debug, Default)]
+pub struct ExtractScratch {
+    /// The classified document: `classes[i]` is the symbol class of
+    /// `doc[i]` under the extractor's joint partition (u16: partitions
+    /// are bounded by the alphabet, checked at compile).
+    classes: Vec<u16>,
+    /// `prefix_ok` bitset: bit `i` ⇔ `doc[..i] ∈ L(E1)`.
+    prefix_ok: Vec<u64>,
+    /// Candidate splits (marker position with its prefix bit set),
+    /// collected by the forward pass so the backward pass can stop at
+    /// the earliest one.
+    candidates: Vec<usize>,
+    /// Valid split positions, in increasing order after a scan.
+    positions: Vec<usize>,
+}
+
+impl ExtractScratch {
+    /// Fresh, empty scratch. Buffers grow on first use and are then
+    /// reused.
+    pub fn new() -> ExtractScratch {
+        ExtractScratch::default()
+    }
+}
+
 /// A compiled, reusable extractor for one extraction expression.
 ///
-/// Compilation cost is paid once (`E1` DFA + reversed-`E2` DFA); each
-/// [`Extractor::extract`] call is then O(|document|).
+/// Compilation cost is paid once (`E1` DFA + minimized reversed-`E2` DFA,
+/// jointly class-compressed); each extraction is then O(|document|) with
+/// no allocation when a scratch is reused.
 ///
 /// ```
 /// use rextract_automata::Alphabet;
-/// use rextract_extraction::{ExtractionExpr, Extractor};
+/// use rextract_extraction::{ExtractScratch, ExtractionExpr, Extractor};
 ///
 /// let sigma = Alphabet::new(["p", "q"]);
 /// let expr = ExtractionExpr::parse(&sigma, "[^p]* <p> .*").unwrap();
 /// let extractor = Extractor::compile(&expr);
+/// let mut scratch = ExtractScratch::new();
 /// let doc = sigma.str_to_syms("q q p q p").unwrap();
-/// assert_eq!(extractor.extract(&doc).unwrap().position, 2);
+/// assert_eq!(extractor.extract_with(&doc, &mut scratch).unwrap().position, 2);
 /// ```
 pub struct Extractor {
-    fwd_left: Dfa,
-    bwd_right: Dfa,
+    classes: SymbolClasses,
+    fwd_left: DenseDfa,
+    bwd_right: DenseDfa,
     marker: Symbol,
+    /// The marker's (singleton, see compile) class: lets the backward
+    /// pass test "is this position the marker?" against the already-hot
+    /// class buffer instead of re-streaming the document.
+    marker_class: u16,
 }
 
 /// Result of a successful unambiguous extraction.
@@ -58,15 +116,37 @@ pub enum ExtractFailure {
     AmbiguousMatch(Vec<usize>),
 }
 
+/// Build the reversed-`E2` DFA: subset construction over the reversed
+/// right NFA. Shared by the dense engine (which additionally minimizes
+/// it) and the [`TwoPassExtractor`] baseline (which ships it raw, as the
+/// engine historically did).
+fn raw_reversed_right(expr: &ExtractionExpr) -> Dfa {
+    Dfa::from_nfa(&Nfa::from_dfa(expr.right().dfa()).reversed())
+}
+
 impl Extractor {
     /// Compile `expr` for repeated extraction.
     pub fn compile(expr: &ExtractionExpr) -> Extractor {
-        let fwd_left = expr.left().dfa().clone();
-        let bwd_right = Dfa::from_nfa(&Nfa::from_dfa(expr.right().dfa()).reversed());
+        let fwd = expr.left().dfa().clone();
+        // Subset construction of the reversal can be exponentially larger
+        // than the minimal automaton; minimize before building tables
+        // (positions are unchanged — tested against the oracle corpus).
+        let bwd = raw_reversed_right(expr).minimized();
+        let marker = expr.marker();
+        let mut classes = SymbolClasses::compute(&[&fwd, &bwd]);
+        // A singleton marker class makes the backward pass's marker test
+        // a class-id compare against the (already-classified) document.
+        classes.isolate(marker);
+        assert!(
+            classes.num_classes() <= usize::from(u16::MAX) + 1,
+            "class partition exceeds the u16 scratch encoding"
+        );
         Extractor {
-            fwd_left,
-            bwd_right,
-            marker: expr.marker(),
+            fwd_left: DenseDfa::compile(&fwd, &classes),
+            bwd_right: DenseDfa::compile(&bwd, &classes),
+            marker_class: classes.class_of(marker) as u16,
+            classes,
+            marker,
         }
     }
 
@@ -75,25 +155,195 @@ impl Extractor {
         self.marker
     }
 
+    /// Number of symbol classes the document is compressed into (the
+    /// joint partition over both DFAs). Observability for the E8 bench.
+    pub fn num_classes(&self) -> usize {
+        self.classes.num_classes()
+    }
+
+    /// The fused two-pass scan. Fills `scratch.positions` (increasing
+    /// order); allocation-free once the scratch has warmed up.
+    ///
+    /// Pass 1 classifies the document through the shared class table
+    /// *while* running `E1` forward, filling the `prefix_ok` bitset one
+    /// whole `u64` at a time (`prefix_ok[i]` ⇔ `doc[..i] ∈ L(E1)`; a
+    /// split at `i` consumes `doc[i]`, so `i = n` is never a split).
+    /// Pass 2 runs reversed-`E2` over the recorded classes backward:
+    /// before consuming position `i` the state has read `doc[i+1..]`
+    /// reversed, so acceptance there ⇔ `doc[i+1..] ∈ L(E2)`. Neither
+    /// `resize` writes at steady state (same-length documents): every
+    /// entry a pass reads is written first, including on the early-exit
+    /// paths.
+    fn scan(&self, doc: &[Symbol], scratch: &mut ExtractScratch) {
+        scratch.positions.clear();
+        scratch.candidates.clear();
+        let n = doc.len();
+        if n == 0 {
+            return;
+        }
+        scratch.classes.resize(n, 0);
+        scratch.prefix_ok.resize(n.div_ceil(64), 0);
+
+        let fwd = &self.fwd_left;
+        let mut q = fwd.start();
+        // First index the forward pass never classified (dead early exit).
+        let mut unreached = n;
+        let chunks = doc
+            .chunks(64)
+            .zip(scratch.classes.chunks_mut(64))
+            .enumerate();
+        for (w, (doc_chunk, cls_chunk)) in chunks {
+            if fwd.is_dead(q) {
+                // E1 can never accept again: every later prefix bit is
+                // false. (Checked per word: within a chunk the dead state
+                // is absorbing and non-accepting, so extra steps are
+                // harmless.)
+                unreached = w * 64;
+                break;
+            }
+            let mut bits = 0u64;
+            for (bit, (&sym, cl_out)) in doc_chunk.iter().zip(cls_chunk.iter_mut()).enumerate() {
+                let accepting = fwd.is_accepting(q);
+                bits |= u64::from(accepting) << bit;
+                let class = self.classes.class_of(sym) as u16;
+                *cl_out = class;
+                if class == self.marker_class && accepting {
+                    // Candidate split: marker with its prefix bit set.
+                    scratch.candidates.push(w * 64 + bit);
+                }
+                q = fwd.next(q, u32::from(class));
+            }
+            scratch.prefix_ok[w] = bits;
+        }
+        let Some(&earliest) = scratch.candidates.first() else {
+            // Short-circuit: no split can survive, skip the backward pass.
+            return;
+        };
+        if unreached < n {
+            // The backward pass still walks the unclassified suffix:
+            // finish classifying it and clear its stale prefix words.
+            for word in &mut scratch.prefix_ok[unreached / 64..] {
+                *word = 0;
+            }
+            let tail = doc[unreached..]
+                .iter()
+                .zip(&mut scratch.classes[unreached..]);
+            for (&sym, cl_out) in tail {
+                *cl_out = self.classes.class_of(sym) as u16;
+            }
+        }
+
+        // The backward pass only needs reversed-E2's verdict at candidate
+        // positions, so it stops once it walks past the earliest one.
+        let bwd = &self.bwd_right;
+        let mut r = bwd.start();
+        for (off, &class) in scratch.classes[earliest..].iter().enumerate().rev() {
+            if bwd.is_dead(r) {
+                // E2 cannot match any longer suffix: no split at ≤ i.
+                break;
+            }
+            let i = earliest + off;
+            if class == self.marker_class
+                && bwd.is_accepting(r)
+                && scratch.prefix_ok[i / 64] >> (i % 64) & 1 == 1
+            {
+                scratch.positions.push(i);
+            }
+            r = bwd.next(r, u32::from(class));
+        }
+        scratch.positions.reverse();
+    }
+
+    /// All valid split positions in `doc`, in increasing order, written
+    /// into `scratch` and returned as a slice. O(|doc|), allocation-free
+    /// at steady state.
+    pub fn positions_into<'s>(
+        &self,
+        doc: &[Symbol],
+        scratch: &'s mut ExtractScratch,
+    ) -> &'s [usize] {
+        self.scan(doc, scratch);
+        &scratch.positions
+    }
+
+    /// Extract the unique marked object, or explain why not.
+    /// Allocation-free at steady state on the success and no-match paths
+    /// (the ambiguous error clones the offending positions).
+    pub fn extract_with(
+        &self,
+        doc: &[Symbol],
+        scratch: &mut ExtractScratch,
+    ) -> Result<Extraction, ExtractFailure> {
+        self.scan(doc, scratch);
+        match scratch.positions.as_slice() {
+            [] => Err(ExtractFailure::NoMatch),
+            [pos] => Ok(Extraction { position: *pos }),
+            many => Err(ExtractFailure::AmbiguousMatch(many.to_vec())),
+        }
+    }
+
+    /// All valid split positions in `doc`, in increasing order. O(|doc|).
+    /// Allocating convenience wrapper over [`Extractor::positions_into`].
+    pub fn positions(&self, doc: &[Symbol]) -> Vec<usize> {
+        let mut scratch = ExtractScratch::new();
+        self.scan(doc, &mut scratch);
+        scratch.positions
+    }
+
+    /// Extract the unique marked object, or explain why not. Allocating
+    /// convenience wrapper over [`Extractor::extract_with`].
+    pub fn extract(&self, doc: &[Symbol]) -> Result<Extraction, ExtractFailure> {
+        self.extract_with(doc, &mut ExtractScratch::new())
+    }
+}
+
+impl ExtractionExpr {
+    /// One-shot extraction: compiles an [`Extractor`] **per call**. For
+    /// anything repeated, compile once with [`Extractor::compile`] and
+    /// reuse an [`ExtractScratch`] through
+    /// [`Extractor::extract_with`] / [`Extractor::positions_into`] —
+    /// that path is O(|doc|) with zero steady-state allocations.
+    pub fn extract(&self, doc: &[Symbol]) -> Result<Extraction, ExtractFailure> {
+        Extractor::compile(self).extract(doc)
+    }
+}
+
+/// The previous generation of the linear engine, kept as the measured
+/// baseline: per-call `Vec<bool>` prefix flags and output allocations,
+/// full-|Σ| transition rows via generic [`Dfa::next`] stepping, raw
+/// (unminimized) subset-construction reversed-`E2`, and no dead-state
+/// early exit. Same contract and same results as [`Extractor`]
+/// (property-tested); only the constants differ.
+pub struct TwoPassExtractor {
+    fwd_left: Dfa,
+    bwd_right: Dfa,
+    marker: Symbol,
+}
+
+impl TwoPassExtractor {
+    /// Compile `expr` exactly as the pre-dense engine did.
+    pub fn compile(expr: &ExtractionExpr) -> TwoPassExtractor {
+        TwoPassExtractor {
+            fwd_left: expr.left().dfa().clone(),
+            bwd_right: raw_reversed_right(expr),
+            marker: expr.marker(),
+        }
+    }
+
     /// All valid split positions in `doc`, in increasing order. O(|doc|).
     pub fn positions(&self, doc: &[Symbol]) -> Vec<usize> {
         let n = doc.len();
         if n == 0 {
             return Vec::new();
         }
-        // prefix_ok[i] ⇔ doc[..i] ∈ L(E1), for i in 0..n (a split at i
-        // consumes doc[i], so i = n is never a split).
         let mut prefix_ok = vec![false; n];
         let mut q = self.fwd_left.start();
         for i in 0..n {
             prefix_ok[i] = self.fwd_left.is_accepting(q);
             q = self.fwd_left.next(q, doc[i]);
         }
-        // suffix_ok[i] ⇔ doc[i+1..] ∈ L(E2): run reversed-E2 from the end.
         let mut out = Vec::new();
         let mut r = self.bwd_right.start();
-        // Walk i from n-1 down to 0; before consuming doc[i], `r` has read
-        // doc[i+1..] reversed.
         for i in (0..n).rev() {
             if doc[i] == self.marker && prefix_ok[i] && self.bwd_right.is_accepting(r) {
                 out.push(i);
@@ -115,21 +365,13 @@ impl Extractor {
     }
 }
 
-impl ExtractionExpr {
-    /// One-shot extraction (compiles an [`Extractor`] per call; compile
-    /// once with [`Extractor::compile`] for loops).
-    pub fn extract(&self, doc: &[Symbol]) -> Result<Extraction, ExtractFailure> {
-        Extractor::compile(self).extract(doc)
-    }
-}
-
 /// The paper's *operational* extraction baseline — Section 4's "we try
 /// such splits until we either succeed on some split or fail on all
 /// candidates" — implemented literally: for every marker position, test
 /// prefix membership in `E1` and suffix membership in `E2` from scratch.
 ///
-/// O(|doc|²) versus [`Extractor`]'s O(|doc|). Exists as the ablation
-/// baseline for the `extract_throughput` bench; both must always agree
+/// O(|doc|²) versus the linear engines. Exists as the ablation baseline
+/// for the `extract_throughput` bench; all engines must always agree
 /// (property-tested).
 pub struct NaiveExtractor {
     left: Dfa,
@@ -282,6 +524,78 @@ mod tests {
     }
 
     #[test]
+    fn scratch_reuse_across_documents_and_extractors() {
+        let a = ab();
+        let mut scratch = ExtractScratch::new();
+        let x1 = Extractor::compile(&e("[^p]* <p> .*"));
+        let x2 = Extractor::compile(&e("p* <p> p* q"));
+        // Long then short then long again: stale buffer contents from a
+        // previous (longer) document must never leak into a later scan.
+        let docs = ["q q p q p", "p", "q q q q q q p q q", "p p p q"];
+        for d in docs {
+            let doc = a.str_to_syms(d).unwrap();
+            assert_eq!(x1.positions_into(&doc, &mut scratch), x1.positions(&doc));
+            assert_eq!(x2.positions_into(&doc, &mut scratch), x2.positions(&doc));
+        }
+    }
+
+    #[test]
+    fn dead_left_dfa_short_circuits_to_no_match() {
+        let a = ab();
+        // L(E1) = {q}: the left DFA dies on the second symbol of any
+        // document starting q q…, so the scan must bail out all-false.
+        let ex = e("q <p> .*");
+        let x = Extractor::compile(&ex);
+        let mut doc = a.str_to_syms("q q").unwrap();
+        doc.extend(a.str_to_syms("q p q p q p").unwrap());
+        assert_eq!(x.extract(&doc), Err(ExtractFailure::NoMatch));
+        // And the same engine still finds the split when E1 stays alive.
+        let doc = a.str_to_syms("q p q").unwrap();
+        assert_eq!(x.extract(&doc), Ok(Extraction { position: 1 }));
+    }
+
+    #[test]
+    fn dead_right_dfa_stops_the_backward_pass_correctly() {
+        let a = ab();
+        // L(E2) = {q}: reversed-E2 dies two tokens from the end; earlier
+        // markers must all be rejected.
+        let ex = e(".* <p> q");
+        let x = Extractor::compile(&ex);
+        let doc = a.str_to_syms("p q p p q p q").unwrap();
+        assert_eq!(x.positions(&doc), vec![5]);
+        assert_eq!(
+            x.positions(&doc),
+            brute_split_positions(&ex, &doc),
+            "dead-state exit changed the result"
+        );
+    }
+
+    #[test]
+    fn minimized_reversed_right_preserves_positions_on_oracle_corpus() {
+        // The dense engine minimizes reversed-E2; the baseline ships the
+        // raw subset construction. Both must agree with the definitional
+        // oracle on every enumerated word — members and non-members.
+        let a = ab();
+        let exprs = [
+            "[^p]* <p> .*",
+            "(q p)* <p> q*",
+            "p* <p> p* q",
+            ".* <p> (q q | p)*",
+            "q* <p> (p q)* q",
+        ];
+        for s in exprs {
+            let ex = e(s);
+            let dense = Extractor::compile(&ex);
+            let baseline = TwoPassExtractor::compile(&ex);
+            for w in enumerate_upto(&rextract_automata::Lang::universe(&a), 8) {
+                let oracle = brute_split_positions(&ex, &w);
+                assert_eq!(dense.positions(&w), oracle, "{s}");
+                assert_eq!(baseline.positions(&w), oracle, "{s}");
+            }
+        }
+    }
+
+    #[test]
     fn naive_baseline_agrees_with_linear_engine() {
         let a = ab();
         for s in [
@@ -292,9 +606,11 @@ mod tests {
         ] {
             let ex = e(s);
             let fast = Extractor::compile(&ex);
+            let two_pass = TwoPassExtractor::compile(&ex);
             let naive = NaiveExtractor::compile(&ex);
             for w in enumerate_upto(&rextract_automata::Lang::universe(&a), 7) {
                 assert_eq!(fast.positions(&w), naive.positions(&w), "{s}");
+                assert_eq!(two_pass.positions(&w), naive.positions(&w), "{s}");
             }
         }
     }

@@ -54,7 +54,7 @@ pub mod right_filter;
 
 pub use error::ExtractionError;
 pub use expr::ExtractionExpr;
-pub use extract::{Extractor, NaiveExtractor};
-pub use multi::MultiExtractionExpr;
+pub use extract::{ExtractScratch, Extractor, NaiveExtractor, TwoPassExtractor};
+pub use multi::{MultiExtractionExpr, MultiExtractor};
 pub use pivot::segment_ok;
 pub use pivot::PivotExpr;

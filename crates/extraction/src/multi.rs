@@ -29,7 +29,7 @@
 
 use crate::error::ExtractionError;
 use crate::expr::ExtractionExpr;
-use crate::extract::{ExtractFailure, Extractor};
+use crate::extract::{ExtractFailure, ExtractScratch, Extractor};
 use crate::left_filter::left_filter_maximize_lang;
 use rextract_automata::{Alphabet, Lang, Symbol};
 
@@ -187,15 +187,20 @@ impl MultiExtractionExpr {
         self.collapsed_all().iter().all(|c| c.is_unambiguous())
     }
 
+    /// Compile the `k` collapsed extractors for repeated extraction.
+    /// Equivalent to [`MultiExtractor::compile`].
+    pub fn compile(&self) -> MultiExtractor {
+        MultiExtractor::compile(self)
+    }
+
     /// Extract the unique marker tuple from `doc`.
+    ///
+    /// One-shot convenience: compiles all `k` extractors **per call**.
+    /// For repeated extraction compile once with
+    /// [`MultiExtractionExpr::compile`] and reuse a scratch through
+    /// [`MultiExtractor::extract_with`].
     pub fn extract(&self, doc: &[Symbol]) -> Result<Vec<usize>, ExtractFailure> {
-        let mut out = Vec::with_capacity(self.arity());
-        for c in self.collapsed_all() {
-            let hit = Extractor::compile(&c).extract(doc)?;
-            out.push(hit.position);
-        }
-        debug_assert!(out.windows(2).all(|w| w[0] < w[1]), "tuple must be ordered");
-        Ok(out)
+        self.compile().extract(doc)
     }
 
     /// Componentwise order: `other ≼ self` iff same markers and every
@@ -254,6 +259,72 @@ impl MultiExtractionExpr {
             }
         }
         out.trim_end().to_string()
+    }
+}
+
+/// The `k` collapsed single-marker [`Extractor`]s of a
+/// [`MultiExtractionExpr`], compiled once. Tuple extraction is then
+/// O(k·|doc|) and allocation-free at steady state when the caller reuses
+/// an [`ExtractScratch`] and an output buffer via
+/// [`MultiExtractor::extract_into`].
+pub struct MultiExtractor {
+    extractors: Vec<Extractor>,
+}
+
+impl MultiExtractor {
+    /// Compile all collapsed expressions (O(k) language operations via
+    /// [`MultiExtractionExpr::collapsed_all`]).
+    pub fn compile(expr: &MultiExtractionExpr) -> MultiExtractor {
+        MultiExtractor {
+            extractors: expr
+                .collapsed_all()
+                .iter()
+                .map(Extractor::compile)
+                .collect(),
+        }
+    }
+
+    /// Number of markers `k`.
+    pub fn arity(&self) -> usize {
+        self.extractors.len()
+    }
+
+    /// The compiled per-marker extractors, in marker order.
+    pub fn extractors(&self) -> &[Extractor] {
+        &self.extractors
+    }
+
+    /// Extract the tuple into `out` (cleared first), reusing `scratch`
+    /// for every per-marker scan. Allocation-free at steady state on the
+    /// success and no-match paths.
+    pub fn extract_into(
+        &self,
+        doc: &[Symbol],
+        scratch: &mut ExtractScratch,
+        out: &mut Vec<usize>,
+    ) -> Result<(), ExtractFailure> {
+        out.clear();
+        for x in &self.extractors {
+            out.push(x.extract_with(doc, scratch)?.position);
+        }
+        debug_assert!(out.windows(2).all(|w| w[0] < w[1]), "tuple must be ordered");
+        Ok(())
+    }
+
+    /// Extract the tuple, reusing `scratch` but allocating the output.
+    pub fn extract_with(
+        &self,
+        doc: &[Symbol],
+        scratch: &mut ExtractScratch,
+    ) -> Result<Vec<usize>, ExtractFailure> {
+        let mut out = Vec::with_capacity(self.arity());
+        self.extract_into(doc, scratch, &mut out)?;
+        Ok(out)
+    }
+
+    /// Allocating convenience wrapper over [`MultiExtractor::extract_with`].
+    pub fn extract(&self, doc: &[Symbol]) -> Result<Vec<usize>, ExtractFailure> {
+        self.extract_with(doc, &mut ExtractScratch::new())
     }
 }
 
@@ -418,5 +489,24 @@ mod tests {
     #[should_panic(expected = "final segment to be Σ*")]
     fn maximize_requires_universal_tail() {
         let _ = m("r <p> r <q> r").maximize();
+    }
+
+    #[test]
+    fn compiled_multi_extractor_matches_one_shot() {
+        let a = ab();
+        let e = m("[^p]* <p> [^q]* <q> .*");
+        let compiled = e.compile();
+        assert_eq!(compiled.arity(), 2);
+        let mut scratch = ExtractScratch::new();
+        let mut out = Vec::new();
+        for d in ["r r p r r q p q", "r p q", "r p r r", "p q"] {
+            let doc = a.str_to_syms(d).unwrap();
+            let one_shot = e.extract(&doc);
+            match compiled.extract_into(&doc, &mut scratch, &mut out) {
+                Ok(()) => assert_eq!(one_shot.as_deref(), Ok(out.as_slice()), "{d}"),
+                Err(err) => assert_eq!(one_shot, Err(err), "{d}"),
+            }
+            assert_eq!(compiled.extract(&doc), e.extract(&doc), "{d}");
+        }
     }
 }

@@ -1,0 +1,111 @@
+//! Four-way engine agreement under random expressions and documents.
+//!
+//! The dense engine ([`Extractor`]) must agree with the previous-generation
+//! two-pass engine ([`TwoPassExtractor`]), the paper's operational
+//! baseline ([`NaiveExtractor`]), and the definitional oracle
+//! (`brute_split_positions`) on every word — members and non-members alike
+//! — over both a tiny alphabet (Σ = {p, q}, maximal class collapse) and a
+//! wider one (|Σ| = 8, where class compression and the `#other`-style
+//! column sharing actually kick in).
+
+use proptest::prelude::*;
+use rextract_automata::{Alphabet, Lang, Regex, Symbol};
+use rextract_extraction::oracle::brute_split_positions;
+use rextract_extraction::{
+    ExtractScratch, ExtractionExpr, Extractor, NaiveExtractor, TwoPassExtractor,
+};
+
+const SIGMA2: &[&str] = &["p", "q"];
+const SIGMA8: &[&str] = &["p", "t0", "t1", "t2", "t3", "t4", "t5", "t6"];
+
+/// Random regex AST over `names`, mirroring the generator in
+/// `tests/properties.rs` (extended operators omitted: concat/alt/star
+/// already exercise every engine path, and each extra operator costs a
+/// determinization per case).
+fn arb_regex(names: &'static [&'static str]) -> impl Strategy<Value = Regex> {
+    let max_pick = names.len().min(3);
+    let leaf = prop_oneof![
+        1 => Just(Regex::Epsilon),
+        6 => proptest::sample::subsequence(names.to_vec(), 1..=max_pick).prop_map(
+            move |picked| {
+                let a = Alphabet::new(names.iter().copied());
+                let mut set = a.empty_set();
+                for n in picked {
+                    set.insert(a.sym(n));
+                }
+                Regex::class(set)
+            }
+        ),
+    ];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            3 => (inner.clone(), inner.clone()).prop_map(|(x, y)| Regex::concat([x, y])),
+            3 => (inner.clone(), inner.clone()).prop_map(|(x, y)| Regex::alt([x, y])),
+            2 => inner.clone().prop_map(Regex::star),
+            1 => inner.clone().prop_map(Regex::opt),
+        ]
+    })
+}
+
+/// A random word over an alphabet of `n` symbols.
+fn arb_word(n: usize, max_len: usize) -> impl Strategy<Value = Vec<Symbol>> {
+    proptest::collection::vec(0usize..n, 0..max_len)
+        .prop_map(|ixs| ixs.into_iter().map(Symbol::from_index).collect())
+}
+
+/// Assert all four engines agree on `w` (panics report through proptest).
+fn check_agreement(names: &'static [&'static str], left: &Regex, right: &Regex, w: &[Symbol]) {
+    let a = Alphabet::new(names.iter().copied());
+    let expr = ExtractionExpr::from_langs(
+        Lang::from_regex(&a, left),
+        a.sym("p"),
+        Lang::from_regex(&a, right),
+    );
+    let oracle = brute_split_positions(&expr, w);
+
+    let dense = Extractor::compile(&expr);
+    let two_pass = TwoPassExtractor::compile(&expr);
+    let naive = NaiveExtractor::compile(&expr);
+
+    let mut scratch = ExtractScratch::new();
+    assert_eq!(
+        dense.positions_into(w, &mut scratch),
+        oracle.as_slice(),
+        "dense engine disagrees with oracle"
+    );
+    assert_eq!(
+        dense.positions(w),
+        oracle,
+        "dense allocating path disagrees"
+    );
+    assert_eq!(two_pass.positions(w), oracle, "two-pass engine disagrees");
+    assert_eq!(naive.positions(w), oracle, "naive engine disagrees");
+    // The Result-typed APIs must map identically too.
+    assert_eq!(dense.extract_with(w, &mut scratch), two_pass.extract(w));
+    assert_eq!(two_pass.extract(w), naive.extract(w));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Σ = {p, q}: every symbol is load-bearing, classes rarely collapse.
+    #[test]
+    fn engines_agree_on_sigma_2(
+        left in arb_regex(SIGMA2),
+        right in arb_regex(SIGMA2),
+        w in arb_word(2, 13),
+    ) {
+        check_agreement(SIGMA2, &left, &right, &w);
+    }
+
+    /// |Σ| = 8: regexes mention ≤3 symbols per class leaf, so most columns
+    /// coincide and the joint partition genuinely compresses.
+    #[test]
+    fn engines_agree_on_sigma_8(
+        left in arb_regex(SIGMA8),
+        right in arb_regex(SIGMA8),
+        w in arb_word(8, 13),
+    ) {
+        check_agreement(SIGMA8, &left, &right, &w);
+    }
+}

@@ -1,0 +1,111 @@
+//! Proof of the dense engine's zero-allocation contract: once an
+//! [`ExtractScratch`]'s buffers have warmed up, steady-state
+//! `extract_with` / `positions_into` calls never touch the allocator.
+//!
+//! A counting `#[global_allocator]` shim tallies every `alloc` /
+//! `alloc_zeroed` / `realloc` made **on the test's own thread** while a
+//! gate flag is up. The gate is a const-initialized thread-local (reads
+//! never allocate, and the libtest harness's other threads — which do
+//! allocate, e.g. for progress output — are invisible to it).
+
+use rextract_automata::Alphabet;
+use rextract_extraction::{ExtractScratch, ExtractionExpr, Extractor};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+thread_local! {
+    static COUNTING: Cell<bool> = const { Cell::new(false) };
+}
+
+fn counting() -> bool {
+    // `try_with`: the allocator may run during TLS teardown.
+    COUNTING.try_with(Cell::get).unwrap_or(false)
+}
+
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if counting() {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if counting() {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if counting() {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_extraction_does_not_allocate() {
+    let a = Alphabet::new(["p", "q", "r"]);
+    let exprs = [
+        ExtractionExpr::parse(&a, "[^p]* <p> .*").unwrap(),
+        ExtractionExpr::parse(&a, "(q r)* <p> q*").unwrap(),
+    ];
+    let extractors: Vec<Extractor> = exprs.iter().map(Extractor::compile).collect();
+
+    // Documents exercising the success path, the dead-state early exit,
+    // and the plain no-match path — none of which may allocate. (The
+    // ambiguous-error path clones its positions and is exempt by design.)
+    let mut matching = a.str_to_syms("q r q r").unwrap();
+    matching.push(a.sym("p"));
+    matching.extend(a.str_to_syms("q q q").unwrap());
+    let mut long = Vec::new();
+    for _ in 0..200 {
+        long.extend(a.str_to_syms("q r").unwrap());
+    }
+    long.push(a.sym("p"));
+    for _ in 0..100 {
+        long.push(a.sym("q"));
+    }
+    let no_match = a.str_to_syms("r r r r r r").unwrap();
+    let docs = [matching, long, no_match];
+
+    let mut scratch = ExtractScratch::new();
+    // Warm-up: grow every scratch buffer to the largest document.
+    for x in &extractors {
+        for d in &docs {
+            let _ = x.extract_with(d, &mut scratch);
+            let _ = x.positions_into(d, &mut scratch);
+        }
+    }
+
+    ALLOCS.store(0, Ordering::SeqCst);
+    COUNTING.with(|c| c.set(true));
+    for _ in 0..50 {
+        for x in &extractors {
+            for d in &docs {
+                let _ = x.extract_with(d, &mut scratch);
+                let _ = x.positions_into(d, &mut scratch);
+            }
+        }
+    }
+    COUNTING.with(|c| c.set(false));
+    let allocs = ALLOCS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        allocs, 0,
+        "steady-state extract_with/positions_into performed {allocs} heap allocations"
+    );
+}

@@ -40,7 +40,7 @@ use crate::ServeConfig;
 use rextract_automata::Store;
 use rextract_faults::fail_point;
 use rextract_html::tokenizer::tokenize;
-use rextract_wrapper::wrapper::WrapperError;
+use rextract_wrapper::wrapper::{WrapperError, WrapperScratch};
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::AssertUnwindSafe;
@@ -329,6 +329,12 @@ fn accept_loop(
 }
 
 fn worker_loop(queue: &JobQueue<TcpStream>, ctx: &Ctx) {
+    // One long-lived extraction scratch per worker: every request this
+    // worker serves reuses the same abstraction/scan buffers, so the
+    // extract hot path stops allocating once the buffers have warmed up.
+    // Safe under the catch_unwind below — the buffers are cleared at the
+    // start of each extraction, so a panicked request leaves no residue.
+    let mut scratch = WrapperScratch::new();
     while let Some((stream, depth)) = queue.pop() {
         // Deliberately OUTSIDE the catch_unwind below: this simulates the
         // class of panic the per-connection guard cannot catch, killing
@@ -340,7 +346,7 @@ fn worker_loop(queue: &JobQueue<TcpStream>, ctx: &Ctx) {
         // the pool would silently shrink. The shared state (registry,
         // store, metrics) recovers from lock poisoning by design.
         let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
-            serve_connection(stream, ctx);
+            serve_connection(stream, ctx, &mut scratch);
         }));
         ctx.metrics.exit_worker();
         if result.is_err() {
@@ -351,7 +357,7 @@ fn worker_loop(queue: &JobQueue<TcpStream>, ctx: &Ctx) {
 
 /// Serve one connection: keep-alive request loop until the peer closes,
 /// the idle timeout fires, or shutdown drains us.
-fn serve_connection(stream: TcpStream, ctx: &Ctx) {
+fn serve_connection(stream: TcpStream, ctx: &Ctx, scratch: &mut WrapperScratch) {
     configure_socket(&stream, ctx.keepalive, &ctx.metrics);
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
@@ -376,7 +382,7 @@ fn serve_connection(stream: TcpStream, ctx: &Ctx) {
             }
         };
         let started = Instant::now();
-        let (endpoint, response) = route(&req, ctx);
+        let (endpoint, response) = route(&req, ctx, scratch);
         let elapsed_us = started.elapsed().as_micros() as u64;
         ctx.metrics.record(endpoint, response.status, elapsed_us);
         // Drain semantics: once shutting down, finish this exchange and
@@ -415,15 +421,16 @@ fn configure_socket(stream: &TcpStream, keepalive: Duration, metrics: &Metrics) 
     }
 }
 
-/// Dispatch a parsed request to its handler.
-fn route(req: &Request, ctx: &Ctx) -> (Endpoint, Response) {
+/// Dispatch a parsed request to its handler. `scratch` is the calling
+/// worker's long-lived extraction scratch.
+fn route(req: &Request, ctx: &Ctx, scratch: &mut WrapperScratch) -> (Endpoint, Response) {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => (Endpoint::Healthz, handle_healthz(ctx)),
         ("GET", "/metrics") => (
             Endpoint::Metrics,
             Response::json(200, ctx.metrics.render_json(&Store::stats())),
         ),
-        ("POST", "/extract") => (Endpoint::Extract, handle_extract(req, ctx)),
+        ("POST", "/extract") => (Endpoint::Extract, handle_extract(req, ctx, scratch)),
         ("GET", "/wrappers") => (
             Endpoint::ListWrappers,
             Response::json(
@@ -508,7 +515,7 @@ fn deadline_response(ctx: &Ctx) -> Response {
 /// Enforces the per-request deadline cooperatively: std threads cannot be
 /// preempted, so the wall clock is checked between pipeline stages and
 /// the request is abandoned with 503 once over budget.
-fn handle_extract(req: &Request, ctx: &Ctx) -> Response {
+fn handle_extract(req: &Request, ctx: &Ctx, scratch: &mut WrapperScratch) -> Response {
     let arrived = Instant::now();
     // Simulates a stall (slow upstream parse, scheduling delay, …) ahead
     // of the first deadline checkpoint.
@@ -563,7 +570,7 @@ fn handle_extract(req: &Request, ctx: &Ctx) -> Response {
         return deadline_response(ctx);
     }
     let extract_started = Instant::now();
-    let result = wrapper.extract_target(&tokens);
+    let result = wrapper.extract_target_with(&tokens, scratch);
     let extract_us = extract_started.elapsed().as_micros() as u64;
     match result {
         Ok(idx) => {

@@ -31,4 +31,4 @@ pub mod wrapper;
 pub use locator::{LrLocator, TargetLocator};
 pub use site::{PageStyle, SiteConfig, SiteGenerator};
 pub use tuple::{MultiTrainPage, TupleWrapper};
-pub use wrapper::{TrainPage, Wrapper, WrapperConfig, WrapperError};
+pub use wrapper::{TrainPage, Wrapper, WrapperConfig, WrapperError, WrapperScratch};

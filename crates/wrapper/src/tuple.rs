@@ -8,9 +8,11 @@
 //! merging of [`rextract_learn::multi_merge`] and componentwise
 //! maximization.
 
-use crate::wrapper::{abstract_page_with, TrainPage, WrapperConfig, WrapperError, OTHER};
+use crate::wrapper::{
+    abstract_page_into, TrainPage, WrapperConfig, WrapperError, WrapperScratch, OTHER,
+};
 use rextract_automata::Alphabet;
-use rextract_extraction::MultiExtractionExpr;
+use rextract_extraction::{MultiExtractionExpr, MultiExtractor};
 use rextract_html::seq::{to_names, SeqConfig, Vocabulary};
 use rextract_html::token::Token;
 use rextract_learn::multi_merge::{merge_multi, MultiMarkedSeq};
@@ -39,6 +41,7 @@ impl MultiTrainPage {
 pub struct TupleWrapper {
     alphabet: Alphabet,
     expr: MultiExtractionExpr,
+    extractor: MultiExtractor,
     seq_cfg: SeqConfig,
     maximized: bool,
 }
@@ -81,9 +84,11 @@ impl TupleWrapper {
             (merged, false)
         };
 
+        let extractor = expr.compile();
         Ok(TupleWrapper {
             alphabet,
             expr,
+            extractor,
             seq_cfg: cfg.seq,
             maximized,
         })
@@ -99,11 +104,29 @@ impl TupleWrapper {
         self.maximized
     }
 
+    /// Locate the target tuple, reusing `scratch` for the abstraction and
+    /// every per-marker scan; returns **token indices** in page order.
+    /// The only steady-state allocation is the small returned tuple.
+    pub fn extract_targets_with(
+        &self,
+        tokens: &[Token],
+        scratch: &mut WrapperScratch,
+    ) -> Result<Vec<usize>, WrapperError> {
+        abstract_page_into(&self.alphabet, &self.seq_cfg, tokens, scratch);
+        // Split the scratch so the word can be read while the scan
+        // buffers and tuple positions are written.
+        let (word, back, extract, positions) = scratch.tuple_parts();
+        self.extractor
+            .extract_into(word, extract, positions)
+            .map_err(WrapperError::Extract)?;
+        Ok(positions.iter().map(|&p| back[p]).collect())
+    }
+
     /// Locate the target tuple; returns **token indices** in page order.
+    /// Allocating convenience wrapper over
+    /// [`TupleWrapper::extract_targets_with`].
     pub fn extract_targets(&self, tokens: &[Token]) -> Result<Vec<usize>, WrapperError> {
-        let (word, back) = abstract_page_with(&self.alphabet, &self.seq_cfg, tokens);
-        let positions = self.expr.extract(&word).map_err(WrapperError::Extract)?;
-        Ok(positions.into_iter().map(|p| back[p]).collect())
+        self.extract_targets_with(tokens, &mut WrapperScratch::new())
     }
 }
 

@@ -14,9 +14,9 @@
 
 use crate::site::Page;
 use rextract_automata::{Alphabet, Store, StoreStats, Symbol};
-use rextract_extraction::extract::{ExtractFailure, Extractor};
+use rextract_extraction::extract::{ExtractFailure, ExtractScratch, Extractor};
 use rextract_extraction::{ExtractionError, ExtractionExpr};
-use rextract_html::seq::{to_names, SeqConfig, Vocabulary};
+use rextract_html::seq::{SeqConfig, Vocabulary};
 use rextract_html::token::Token;
 use rextract_learn::disambiguate::learn_unambiguous;
 use rextract_learn::{LearnError, MarkedSeq};
@@ -199,42 +199,186 @@ impl Wrapper {
         &self.train_stats
     }
 
-    /// Abstract a page and map its names to wrapper symbols (`#other` for
-    /// unknown names). Returns the symbol word and the token index of each
-    /// position.
-    fn abstract_page(&self, tokens: &[Token]) -> (Vec<Symbol>, Vec<usize>) {
-        abstract_page_with(&self.alphabet, &self.seq_cfg, tokens)
+    /// Locate the target on a page, reusing `scratch` for the abstracted
+    /// word, back-map, tag memo, and the extractor's scan buffers; returns
+    /// the target's **token index**. This is the serve hot path: at steady
+    /// state the only allocations are the per-page memo entries for tag
+    /// names not yet seen on *this* page.
+    pub fn extract_target_with(
+        &self,
+        tokens: &[Token],
+        scratch: &mut WrapperScratch,
+    ) -> Result<usize, WrapperError> {
+        abstract_page_into(&self.alphabet, &self.seq_cfg, tokens, scratch);
+        let hit = self
+            .extractor
+            .extract_with(&scratch.word, &mut scratch.extract)
+            .map_err(WrapperError::Extract)?;
+        Ok(scratch.back[hit.position])
     }
 
     /// Locate the target on a page; returns its **token index**.
+    /// Allocating convenience wrapper over
+    /// [`Wrapper::extract_target_with`].
     pub fn extract_target(&self, tokens: &[Token]) -> Result<usize, WrapperError> {
-        let (word, back) = self.abstract_page(tokens);
-        let hit = self
-            .extractor
-            .extract(&word)
-            .map_err(WrapperError::Extract)?;
-        Ok(back[hit.position])
+        self.extract_target_with(tokens, &mut WrapperScratch::new())
     }
 }
 
-/// Abstract a page under `cfg`, mapping names to `alphabet` symbols with
-/// `#other` for names unseen at training time. Returns the symbol word and
-/// each position's source token index. Shared by [`Wrapper`] and
+/// Per-page memo entries beyond this count fall back to direct alphabet
+/// lookups; real pages have far fewer distinct tag names.
+const MEMO_CAP: usize = 64;
+
+/// Reusable buffers for the wrapper hot path: the abstracted symbol word,
+/// its token back-map, a per-page tag-name memo, and the extraction
+/// engine's [`ExtractScratch`]. Keep one per worker thread.
+#[derive(Debug, Default)]
+pub struct WrapperScratch {
+    /// The abstracted page as wrapper symbols.
+    word: Vec<Symbol>,
+    /// `back[i]` = source token index of `word[i]`.
+    back: Vec<usize>,
+    /// Per-page memo: `(is_end_tag, tag_name) → symbol`, so repeated tags
+    /// resolve with a short linear probe instead of a hash lookup (and,
+    /// for end tags, without re-building the `/NAME` string).
+    memo: Vec<(bool, String, Symbol)>,
+    /// Scan buffers for the extraction engine.
+    extract: ExtractScratch,
+    /// Tuple positions for [`TupleWrapper`](crate::tuple::TupleWrapper).
+    pub(crate) positions: Vec<usize>,
+}
+
+impl WrapperScratch {
+    /// Fresh, empty scratch. Buffers grow on first use and are then
+    /// reused.
+    pub fn new() -> WrapperScratch {
+        WrapperScratch::default()
+    }
+
+    /// The abstracted word of the most recent page (testing/observability).
+    pub fn word(&self) -> &[Symbol] {
+        &self.word
+    }
+
+    /// The token back-map of the most recent page.
+    pub fn back(&self) -> &[usize] {
+        &self.back
+    }
+
+    /// Disjoint borrows for tuple extraction: read the abstracted word
+    /// and back-map while writing the scan buffers and tuple positions.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn tuple_parts(
+        &mut self,
+    ) -> (&[Symbol], &[usize], &mut ExtractScratch, &mut Vec<usize>) {
+        (
+            &self.word,
+            &self.back,
+            &mut self.extract,
+            &mut self.positions,
+        )
+    }
+}
+
+/// Resolve one tag name through the per-page memo, falling back to (and
+/// memoizing) an alphabet hash lookup on miss.
+fn memo_resolve(
+    alphabet: &Alphabet,
+    memo: &mut Vec<(bool, String, Symbol)>,
+    is_end: bool,
+    name: &str,
+    other: Symbol,
+) -> Symbol {
+    if let Some((_, _, sym)) = memo.iter().find(|(end, n, _)| *end == is_end && n == name) {
+        return *sym;
+    }
+    let sym = if is_end {
+        alphabet.try_sym(&format!("/{name}")).unwrap_or(other)
+    } else {
+        alphabet.try_sym(name).unwrap_or(other)
+    };
+    if memo.len() < MEMO_CAP {
+        memo.push((is_end, name.to_string(), sym));
+    }
+    sym
+}
+
+/// Abstract a page under `cfg` directly into `scratch` (word + back-map),
+/// mapping names to `alphabet` symbols with `#other` for names unseen at
+/// training time. Produces exactly the output of
+/// [`to_names`](rextract_html::seq::to_names) followed by per-entry symbol
+/// lookup (equivalence-tested), but resolves repeated tag names through a
+/// per-page memo and builds no intermediate name strings on the memo-hit
+/// path. Shared by [`Wrapper`] and
 /// [`TupleWrapper`](crate::tuple::TupleWrapper).
+pub(crate) fn abstract_page_into(
+    alphabet: &Alphabet,
+    cfg: &SeqConfig,
+    tokens: &[Token],
+    scratch: &mut WrapperScratch,
+) {
+    let other = alphabet.sym(OTHER);
+    // `#text` resolves once per page, not once per text run.
+    let text_sym = if cfg.include_text {
+        alphabet.try_sym("#text").unwrap_or(other)
+    } else {
+        other
+    };
+    scratch.word.clear();
+    scratch.back.clear();
+    scratch.memo.clear();
+    for (i, tok) in tokens.iter().enumerate() {
+        let sym = match tok {
+            Token::StartTag { name, .. } => {
+                let refined = cfg
+                    .refine_attrs
+                    .iter()
+                    .find(|(t, a)| t == name && tok.attr(a).is_some());
+                match refined {
+                    // Rare refined path: build the `NAME@attr=value` name
+                    // exactly as `to_names` does and resolve it directly
+                    // (values vary too much to be worth memoizing).
+                    Some((t, a)) => {
+                        let value = tok.attr(a).expect("checked present");
+                        let clean: String = value
+                            .chars()
+                            .map(|c| {
+                                if c.is_alphanumeric() || matches!(c, '_' | '/' | ':' | '#') {
+                                    c
+                                } else {
+                                    '_'
+                                }
+                            })
+                            .collect();
+                        let refined_name = format!("{t}@{a}={clean}");
+                        alphabet.try_sym(&refined_name).unwrap_or(other)
+                    }
+                    None => memo_resolve(alphabet, &mut scratch.memo, false, name, other),
+                }
+            }
+            Token::EndTag { name } if cfg.include_end_tags => {
+                memo_resolve(alphabet, &mut scratch.memo, true, name, other)
+            }
+            Token::Text(_) if cfg.include_text && !tok.is_blank_text() => text_sym,
+            Token::EndTag { .. } | Token::Text(_) | Token::Comment(_) | Token::Doctype(_) => {
+                continue
+            }
+        };
+        scratch.word.push(sym);
+        scratch.back.push(i);
+    }
+}
+
+/// Allocating convenience wrapper over [`abstract_page_into`].
+#[cfg(test)]
 pub(crate) fn abstract_page_with(
     alphabet: &Alphabet,
     cfg: &SeqConfig,
     tokens: &[Token],
 ) -> (Vec<Symbol>, Vec<usize>) {
-    let other = alphabet.sym(OTHER);
-    let entries = to_names(tokens, cfg);
-    let mut word = Vec::with_capacity(entries.len());
-    let mut back = Vec::with_capacity(entries.len());
-    for e in entries {
-        word.push(alphabet.try_sym(&e.name).unwrap_or(other));
-        back.push(e.token_index);
-    }
-    (word, back)
+    let mut scratch = WrapperScratch::new();
+    abstract_page_into(alphabet, cfg, tokens, &mut scratch);
+    (scratch.word, scratch.back)
 }
 
 impl fmt::Debug for Wrapper {
@@ -377,6 +521,83 @@ mod tests {
         tokens.insert(1, Token::end("marquee"));
         let got = w.extract_target(&tokens).unwrap();
         assert_eq!(got, pages[1].target + 2);
+    }
+
+    /// The definitional abstraction: `to_names` followed by per-entry
+    /// alphabet lookup — exactly what `abstract_page_with` did before the
+    /// memoized rewrite. The memo path must match it entry for entry.
+    fn abstract_via_to_names(
+        alphabet: &Alphabet,
+        cfg: &SeqConfig,
+        tokens: &[Token],
+    ) -> (Vec<Symbol>, Vec<usize>) {
+        let other = alphabet.sym(OTHER);
+        let entries = rextract_html::seq::to_names(tokens, cfg);
+        let mut word = Vec::with_capacity(entries.len());
+        let mut back = Vec::with_capacity(entries.len());
+        for e in entries {
+            word.push(alphabet.try_sym(&e.name).unwrap_or(other));
+            back.push(e.token_index);
+        }
+        (word, back)
+    }
+
+    #[test]
+    fn memoized_abstraction_matches_to_names_path() {
+        use rextract_html::tokenizer::tokenize;
+        let html = r#"<!DOCTYPE html><!-- c --><p>Price: $4</p><table>
+            <tr><td><input type="radio"><input type="text"><input></td></tr>
+            <tr><td>  </td><td><marquee>new</marquee></td></tr>
+            </table><p>again</p>"#;
+        let tokens = tokenize(html);
+        // Vocabulary that misses MARQUEE (→ #other) and one input
+        // refinement, under every abstraction level.
+        let mut vocab = Vocabulary::new();
+        vocab.observe_name(OTHER);
+        for n in [
+            "P",
+            "/P",
+            "TABLE",
+            "/TABLE",
+            "TR",
+            "/TR",
+            "TD",
+            "/TD",
+            "INPUT",
+            "#text",
+            "INPUT@type=radio",
+        ] {
+            vocab.observe_name(n);
+        }
+        let alphabet = vocab.alphabet();
+        let configs = [
+            SeqConfig::tags_only(),
+            SeqConfig::with_text(),
+            SeqConfig::with_text().refine("input", "type"),
+        ];
+        let mut scratch = WrapperScratch::new();
+        for cfg in &configs {
+            let want = abstract_via_to_names(&alphabet, cfg, &tokens);
+            // Scratch reuse across configs must not leak stale state.
+            abstract_page_into(&alphabet, cfg, &tokens, &mut scratch);
+            assert_eq!((scratch.word.clone(), scratch.back.clone()), want);
+            assert_eq!(abstract_page_with(&alphabet, cfg, &tokens), want);
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_extraction() {
+        let pages = train_pages(13);
+        let w = Wrapper::train(&pages, WrapperConfig::default()).unwrap();
+        let mut g = gen(31);
+        let mut scratch = WrapperScratch::new();
+        for _ in 0..10 {
+            let p = g.page_with_style(PageStyle::Busy);
+            assert_eq!(
+                w.extract_target_with(&p.tokens, &mut scratch),
+                w.extract_target(&p.tokens)
+            );
+        }
     }
 
     #[test]

@@ -25,6 +25,12 @@ echo "== store contention smoke (fast profile) =="
 # numbers are informational in the fast profile.
 STORE_BENCH_FAST=1 cargo bench -q -p bench --bench store_contention
 
+echo "== extraction engine smoke (fast profile) =="
+# Asserts the dense and two-pass engines (and naive, on small documents)
+# agree on every bench corpus document; timings are informational here.
+EXTRACT_BENCH_FAST=1 BENCH_WARMUP_MS=5 BENCH_MEASURE_MS=40 \
+  cargo bench -q -p bench --bench extract_throughput
+
 echo "== daemon smoke test =="
 scripts/serve_smoke.sh
 
