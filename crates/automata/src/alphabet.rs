@@ -9,10 +9,17 @@
 use crate::symbol::Symbol;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Source of [`Alphabet::uid`] values: every constructed alphabet gets a
+/// process-unique id, never reused (unlike a pointer address), so caches
+/// keyed by it can outlive the alphabet without ABA hazards.
+static NEXT_UID: AtomicU64 = AtomicU64::new(0);
 
 #[derive(Debug)]
 struct AlphabetInner {
+    uid: u64,
     names: Vec<String>,
     by_name: HashMap<String, u32>,
 }
@@ -44,8 +51,21 @@ impl Alphabet {
             assert!(prev.is_none(), "duplicate alphabet symbol {n:?}");
         }
         Alphabet {
-            inner: Arc::new(AlphabetInner { names, by_name }),
+            inner: Arc::new(AlphabetInner {
+                uid: NEXT_UID.fetch_add(1, Ordering::Relaxed),
+                names,
+                by_name,
+            }),
         }
+    }
+
+    /// A process-unique id for this alphabet (shared by clones, distinct
+    /// across separate constructions — even structurally equal ones).
+    /// Lets per-alphabet caches (e.g. a tag-name → symbol memo) validate
+    /// themselves cheaply without holding the alphabet alive.
+    #[inline]
+    pub fn uid(&self) -> u64 {
+        self.inner.uid
     }
 
     /// Number of symbols in `Σ`.

@@ -13,11 +13,23 @@
 //! connect/close churn; a connection the server drops (drain, keep-alive
 //! timeout) is transparently replaced and counted.
 //!
+//! With `SERVE_BENCH_PIPELINE=k` (k > 1) each client writes k requests
+//! in one segment and then reads k responses — the HTTP/1.1 pipelining
+//! mode the epoll core batches on. The pipelined sweep runs twice per
+//! worker count: **same-wrapper** (every request names one wrapper, so
+//! the event loop coalesces each burst into one batch and the workers
+//! amortize a single `WrapperScratch` per batch) and **mixed** (requests
+//! alternate between two wrappers, defeating coalescing — the control
+//! column). Latency quantiles in pipelined mode are per *burst* of k,
+//! not per request; the server-side batch-size histogram is printed
+//! from `/metrics` after each run.
+//!
 //! Knobs (environment):
 //!   SERVE_BENCH_CLIENTS     concurrent client threads   (default 16)
 //!   SERVE_BENCH_REQUESTS    requests per client         (default 200)
 //!   SERVE_BENCH_WORKERS     comma-separated sweep       (default 1,2,4,8)
 //!   SERVE_BENCH_KEEPALIVE   1 = reuse connections       (default 1)
+//!   SERVE_BENCH_PIPELINE    requests per burst          (default 8; 1 = off)
 
 use rextract_automata::Store;
 use rextract_html::writer;
@@ -38,9 +50,9 @@ fn env_usize(key: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
-fn artifact() -> String {
+fn artifact(seed: u64) -> String {
     let mut g = SiteGenerator::new(SiteConfig {
-        seed: 7,
+        seed,
         ..SiteConfig::default()
     });
     let pages = vec![
@@ -101,15 +113,23 @@ impl Client {
     }
 
     fn post(&mut self, path: &str, body: &str) -> (u16, String) {
+        self.exchange("POST", path, body)
+    }
+
+    fn get(&mut self, path: &str) -> (u16, String) {
+        self.exchange("GET", path, "")
+    }
+
+    fn exchange(&mut self, method: &str, path: &str, body: &str) -> (u16, String) {
         let reused = self.conn.is_some();
-        match self.try_post(path, body) {
+        match self.try_exchange(method, path, body) {
             Some(r) => r,
             None if reused => {
                 // The reused connection died between requests; one fresh
                 // connection must succeed.
                 self.conn = None;
                 self.reconnects += 1;
-                self.try_post(path, body)
+                self.try_exchange(method, path, body)
                     .expect("request failed even on a fresh connection")
             }
             None => panic!("request failed on a fresh connection"),
@@ -118,32 +138,88 @@ impl Client {
 
     /// One exchange on the current connection; `None` means the
     /// connection is unusable (the caller decides whether to retry).
-    fn try_post(&mut self, path: &str, body: &str) -> Option<(u16, String)> {
+    fn try_exchange(&mut self, method: &str, path: &str, body: &str) -> Option<(u16, String)> {
         if self.conn.is_none() {
             self.conn = Some(Self::connect(self.addr));
         }
-        let reader = self.conn.as_mut().unwrap();
         let connection = if self.keepalive {
             "keep-alive"
         } else {
             "close"
         };
         let msg = format!(
-            "POST {path} HTTP/1.1\r\nHost: bench\r\nConnection: {connection}\r\nContent-Length: {}\r\n\r\n{body}",
+            "{method} {path} HTTP/1.1\r\nHost: bench\r\nConnection: {connection}\r\nContent-Length: {}\r\n\r\n{body}",
             body.len()
         );
+        let reader = self.conn.as_mut().unwrap();
         reader.get_mut().write_all(msg.as_bytes()).ok()?;
+        let (status, body, server_close) = Self::read_response(reader, !self.keepalive)?;
+        if server_close {
+            self.conn = None;
+        }
+        Some((status, body))
+    }
+
+    /// A pipelined burst: every request written in one segment, then all
+    /// responses read back in order. `None` means the connection died
+    /// mid-burst (the whole burst is retried on a fresh connection).
+    fn post_burst(&mut self, paths: &[&str], bodies: &[&str]) -> Vec<u16> {
+        let reused = self.conn.is_some();
+        match self.try_burst(paths, bodies) {
+            Some(s) => s,
+            None if reused => {
+                self.conn = None;
+                self.reconnects += 1;
+                self.try_burst(paths, bodies)
+                    .expect("burst failed even on a fresh connection")
+            }
+            None => panic!("burst failed on a fresh connection"),
+        }
+    }
+
+    fn try_burst(&mut self, paths: &[&str], bodies: &[&str]) -> Option<Vec<u16>> {
+        if self.conn.is_none() {
+            self.conn = Some(Self::connect(self.addr));
+        }
+        let mut msg = String::new();
+        for (path, body) in paths.iter().zip(bodies) {
+            msg.push_str(&format!(
+                "POST {path} HTTP/1.1\r\nHost: bench\r\nConnection: keep-alive\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            ));
+        }
+        let reader = self.conn.as_mut().unwrap();
+        reader.get_mut().write_all(msg.as_bytes()).ok()?;
+        let mut statuses = Vec::with_capacity(paths.len());
+        let mut server_close = false;
+        for _ in 0..paths.len() {
+            if server_close {
+                return None; // fewer responses than requests: burst torn
+            }
+            let (status, _, close) = Self::read_response(reader, false)?;
+            server_close = close;
+            statuses.push(status);
+        }
+        if server_close {
+            self.conn = None;
+        }
+        Some(statuses)
+    }
+
+    fn read_response(
+        reader: &mut BufReader<TcpStream>,
+        assume_close: bool,
+    ) -> Option<(u16, String, bool)> {
         let mut status_line = String::new();
         if reader.read_line(&mut status_line).ok()? == 0 {
-            self.conn = None; // clean server close
-            return None;
+            return None; // clean server close
         }
         let status: u16 = status_line
             .split_whitespace()
             .nth(1)
             .and_then(|s| s.parse().ok())?;
         let mut content_length = 0usize;
-        let mut server_close = !self.keepalive;
+        let mut server_close = assume_close;
         loop {
             let mut line = String::new();
             reader.read_line(&mut line).ok()?;
@@ -161,10 +237,11 @@ impl Client {
         }
         let mut body = vec![0u8; content_length];
         reader.read_exact(&mut body).ok()?;
-        if server_close {
-            self.conn = None;
-        }
-        Some((status, String::from_utf8_lossy(&body).into_owned()))
+        Some((
+            status,
+            String::from_utf8_lossy(&body).into_owned(),
+            server_close,
+        ))
     }
 }
 
@@ -176,7 +253,47 @@ fn quantile(sorted_us: &[u64], q: f64) -> u64 {
     sorted_us[idx]
 }
 
-fn run_one(workers: usize, clients: usize, requests: usize, keepalive: bool, artifact: &str) {
+/// Extract `"field":value` (number) from a flat JSON body, optionally
+/// scoped to the object following `"scope":`.
+fn json_num(body: &str, scope: Option<&str>, field: &str) -> Option<u64> {
+    let hay = match scope {
+        Some(s) => {
+            let key = format!("\"{s}\":");
+            &body[body.find(&key)? + key.len()..]
+        }
+        None => body,
+    };
+    let key = format!("\"{field}\":");
+    let at = hay.find(&key)? + key.len();
+    let rest = &hay[at..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    /// One request per exchange (the pre-pipelining protocol).
+    Serial,
+    /// Bursts of `k` pipelined requests, all naming one wrapper.
+    PipelinedSame(usize),
+    /// Bursts of `k` pipelined requests alternating between two
+    /// wrappers — the anti-batching control.
+    PipelinedMixed(usize),
+}
+
+impl Mode {
+    fn label(self) -> String {
+        match self {
+            Mode::Serial => "serial      ".into(),
+            Mode::PipelinedSame(k) => format!("pipe {k:>2} same"),
+            Mode::PipelinedMixed(k) => format!("pipe {k:>2} mix "),
+        }
+    }
+}
+
+fn run_one(workers: usize, clients: usize, requests: usize, keepalive: bool, mode: Mode) {
     let handle = serve(ServeConfig {
         addr: "127.0.0.1:0".into(),
         workers,
@@ -188,8 +305,11 @@ fn run_one(workers: usize, clients: usize, requests: usize, keepalive: bool, art
     })
     .expect("boot daemon");
     let addr = handle.addr();
-    let (status, _) = Client::new(addr, false).post("/wrappers/bench", artifact);
+    let mut admin = Client::new(addr, true);
+    let (status, _) = admin.post("/wrappers/bench", &artifact(7));
     assert_eq!(status, 201, "wrapper install failed");
+    let (status, _) = admin.post("/wrappers/bench2", &artifact(8));
+    assert_eq!(status, 201, "second wrapper install failed");
 
     let started = Instant::now();
     let threads: Vec<_> = (0..clients)
@@ -199,14 +319,42 @@ fn run_one(workers: usize, clients: usize, requests: usize, keepalive: bool, art
                 let mut client = Client::new(addr, keepalive);
                 let mut latencies_us = Vec::with_capacity(bodies.len());
                 let mut failures = 0usize;
-                for body in &bodies {
-                    let t0 = Instant::now();
-                    let (status, _) = client.post("/extract?wrapper=bench", body);
-                    latencies_us.push(t0.elapsed().as_micros() as u64);
+                let check = |status: u16, failures: &mut usize| {
                     // 422 = perturbation defeated the wrapper (fine);
                     // anything else non-200 is a server failure.
                     if status != 200 && status != 422 {
-                        failures += 1;
+                        *failures += 1;
+                    }
+                };
+                match mode {
+                    Mode::Serial => {
+                        for body in &bodies {
+                            let t0 = Instant::now();
+                            let (status, _) = client.post("/extract?wrapper=bench", body);
+                            latencies_us.push(t0.elapsed().as_micros() as u64);
+                            check(status, &mut failures);
+                        }
+                    }
+                    Mode::PipelinedSame(k) | Mode::PipelinedMixed(k) => {
+                        let mixed = matches!(mode, Mode::PipelinedMixed(_));
+                        for burst in bodies.chunks(k) {
+                            let paths: Vec<&str> = (0..burst.len())
+                                .map(|i| {
+                                    if mixed && i % 2 == 1 {
+                                        "/extract?wrapper=bench2"
+                                    } else {
+                                        "/extract?wrapper=bench"
+                                    }
+                                })
+                                .collect();
+                            let refs: Vec<&str> = burst.iter().map(String::as_str).collect();
+                            let t0 = Instant::now();
+                            let statuses = client.post_burst(&paths, &refs);
+                            latencies_us.push(t0.elapsed().as_micros() as u64);
+                            for s in statuses {
+                                check(s, &mut failures);
+                            }
+                        }
                     }
                 }
                 (latencies_us, failures, client.reconnects)
@@ -226,11 +374,23 @@ fn run_one(workers: usize, clients: usize, requests: usize, keepalive: bool, art
     let wall = started.elapsed();
     latencies_us.sort_unstable();
 
-    let total = latencies_us.len();
+    // Server-side batching truth, from the same daemon before it drains.
+    let (_, metrics) = admin.get("/metrics");
+    let batches = json_num(&metrics, None, "batches_dispatched").unwrap_or(0);
+    let batched_reqs = json_num(&metrics, Some("batch_size"), "sum").unwrap_or(0);
+    let avg_batch = if batches > 0 {
+        batched_reqs as f64 / batches as f64
+    } else {
+        0.0
+    };
+
+    let total = clients * requests;
     let rps = total as f64 / wall.as_secs_f64();
+    let unit = if mode == Mode::Serial { "req" } else { "burst" };
     let stats = Store::stats();
     println!(
-        "workers {workers:>2} | clients {clients:>3} | {total:>6} reqs in {:>6.2}s | {rps:>8.0} req/s | p50 {:>6}us | p99 {:>6}us | failures {failures} | reconnects {reconnects} | op-cache {}/{}",
+        "workers {workers:>2} | {} | {total:>6} reqs in {:>6.2}s | {rps:>8.0} req/s | p50/{unit} {:>6}us | p99/{unit} {:>6}us | avg batch {avg_batch:>4.1} | failures {failures} | reconnects {reconnects} | op-cache {}/{}",
+        mode.label(),
         wall.as_secs_f64(),
         quantile(&latencies_us, 0.50),
         quantile(&latencies_us, 0.99),
@@ -252,12 +412,12 @@ fn main() {
     let clients = env_usize("SERVE_BENCH_CLIENTS", 16);
     let requests = env_usize("SERVE_BENCH_REQUESTS", 200);
     let keepalive = env_usize("SERVE_BENCH_KEEPALIVE", 1) != 0;
+    let pipeline = env_usize("SERVE_BENCH_PIPELINE", 8).max(1);
     let workers: Vec<usize> = std::env::var("SERVE_BENCH_WORKERS")
         .unwrap_or_else(|_| "1,2,4,8".into())
         .split(',')
         .filter_map(|v| v.trim().parse().ok())
         .collect();
-    let artifact = artifact();
     println!(
         "serve/throughput — {} POST /extract load",
         if keepalive {
@@ -267,7 +427,14 @@ fn main() {
         }
     );
     for &w in &workers {
-        run_one(w, clients, requests, keepalive, &artifact);
+        run_one(w, clients, requests, keepalive, Mode::Serial);
+    }
+    if pipeline > 1 {
+        println!("serve/throughput — pipelined bursts of {pipeline} (same-wrapper batches vs mixed control)");
+        for &w in &workers {
+            run_one(w, clients, requests, true, Mode::PipelinedSame(pipeline));
+            run_one(w, clients, requests, true, Mode::PipelinedMixed(pipeline));
+        }
     }
     println!("store after sweep: {}", Store::stats().summary());
 }

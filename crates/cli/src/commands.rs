@@ -47,15 +47,18 @@ USAGE:
       located tag.
 
   rextract serve [--addr HOST:PORT] [--workers N] [--queue N]
-                 [--wrapper-dir DIR] [--op-cache-cap N|none]
+                 [--batch-max N] [--wrapper-dir DIR] [--op-cache-cap N|none]
                  [--keepalive-ms N] [--deadline-ms N]
                  [--drain-timeout-ms N] [--fault NAME=SPEC]...
       Run the extraction daemon: POST /extract, POST /wrappers/{name},
       GET /healthz, GET /metrics, POST /shutdown. Loads *.wrapper
       artifacts from --wrapper-dir at boot and on POST /reload.
+      The core is an epoll readiness loop: pipelined HTTP/1.1 requests
+      are parsed together and same-wrapper /extract requests coalesce
+      into batches of up to --batch-max documents per worker trip.
       Defaults: 127.0.0.1:7878, workers = min(cores, 8), queue 128,
-      op cache bounded at 16384 entries, keep-alive 5000 ms,
-      request deadline 10000 ms, drain timeout 5000 ms.
+      batch max 32, op cache bounded at 16384 entries, keep-alive
+      5000 ms, request deadline 10000 ms, drain timeout 5000 ms.
       --fault arms a failpoint (e.g. 'extract.slow=prob(0.3,42):sleep(30)';
       repeatable) and needs a binary built with --features failpoints.
 
@@ -256,6 +259,12 @@ pub fn serve(args: &[String]) -> Result<(), String> {
                 config.queue_capacity = value("queue capacity")?
                     .parse::<usize>()
                     .map_err(|e| format!("--queue: {e}"))?
+                    .max(1)
+            }
+            "--batch-max" => {
+                config.batch_max = value("documents per batch")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("--batch-max: {e}"))?
                     .max(1)
             }
             "--wrapper-dir" => config.wrapper_dir = Some(value("directory")?.into()),

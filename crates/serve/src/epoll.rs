@@ -1,0 +1,282 @@
+//! A thin, std-only shim over the Linux readiness syscalls.
+//!
+//! The daemon deliberately avoids async runtimes and event-loop crates
+//! (the build environment has no network registry), so this module binds
+//! exactly the four primitives the serve core needs — `epoll_create1`,
+//! `epoll_ctl`, `epoll_wait`, and nonblocking `fcntl` — straight against
+//! the C library that std already links, in the same hand-rolled spirit
+//! as the HTTP parser in [`crate::http`]. A `pipe2`-backed [`Waker`]
+//! rides along so other threads (workers posting completions, shutdown
+//! triggers) can interrupt a blocked `epoll_wait`.
+//!
+//! Everything here is level-triggered: the serve core re-arms interest
+//! explicitly (`EPOLLOUT` only while a write buffer is non-empty), which
+//! keeps the state machine free of edge-trigger starvation hazards.
+
+use std::io;
+use std::os::fd::{AsRawFd, RawFd};
+use std::os::raw::{c_int, c_void};
+
+// Values from the Linux UAPI headers (asm-generic/fcntl.h, sys/epoll.h).
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+pub const EPOLLIN: u32 = 0x001;
+pub const EPOLLOUT: u32 = 0x004;
+pub const EPOLLERR: u32 = 0x008;
+pub const EPOLLHUP: u32 = 0x010;
+pub const EPOLLRDHUP: u32 = 0x2000;
+const F_GETFL: c_int = 3;
+const F_SETFL: c_int = 4;
+const O_NONBLOCK: c_int = 0o4000;
+const O_CLOEXEC: c_int = 0o2000000;
+
+/// One readiness record. The kernel's `struct epoll_event` is packed on
+/// x86-64 (a 32-bit mask directly followed by a 64-bit cookie); `repr(C,
+/// packed)` reproduces that layout so the array passed to `epoll_wait`
+/// is filled in place.
+#[repr(C, packed)]
+#[derive(Clone, Copy, Default)]
+pub struct Event {
+    events: u32,
+    data: u64,
+}
+
+impl Event {
+    /// The interest/readiness mask (`EPOLLIN | …`).
+    pub fn mask(&self) -> u32 {
+        // A packed field must be copied out, not referenced.
+        self.events
+    }
+
+    /// The caller-chosen cookie registered with the fd.
+    pub fn token(&self) -> u64 {
+        self.data
+    }
+}
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut Event) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut Event, maxevents: c_int, timeout: c_int) -> c_int;
+    fn fcntl(fd: c_int, cmd: c_int, arg: c_int) -> c_int;
+    fn pipe2(fds: *mut c_int, flags: c_int) -> c_int;
+    fn close(fd: c_int) -> c_int;
+    fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+}
+
+fn cvt(ret: c_int) -> io::Result<c_int> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// Put `fd` into nonblocking mode (`fcntl` `O_NONBLOCK`), preserving the
+/// other status flags.
+pub fn set_nonblocking(fd: RawFd) -> io::Result<()> {
+    // Safety: plain fcntl on a caller-owned fd; no memory is exchanged.
+    unsafe {
+        let flags = cvt(fcntl(fd, F_GETFL, 0))?;
+        cvt(fcntl(fd, F_SETFL, flags | O_NONBLOCK))?;
+    }
+    Ok(())
+}
+
+/// An owned epoll instance.
+pub struct Epoll {
+    fd: RawFd,
+}
+
+impl Epoll {
+    pub fn new() -> io::Result<Epoll> {
+        // Safety: epoll_create1 takes no pointers.
+        let fd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+        Ok(Epoll { fd })
+    }
+
+    fn ctl(&self, op: c_int, fd: RawFd, mask: u32, token: u64) -> io::Result<()> {
+        let mut ev = Event {
+            events: mask,
+            data: token,
+        };
+        // Safety: `ev` outlives the call; the kernel copies it out.
+        cvt(unsafe { epoll_ctl(self.fd, op, fd, &mut ev) })?;
+        Ok(())
+    }
+
+    /// Register `fd` with interest `mask`, delivering `token` on readiness.
+    pub fn add(&self, fd: &impl AsRawFd, mask: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd.as_raw_fd(), mask, token)
+    }
+
+    /// Change the interest mask of an already-registered `fd`.
+    pub fn modify(&self, fd: &impl AsRawFd, mask: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd.as_raw_fd(), mask, token)
+    }
+
+    /// Deregister `fd`. Harmless to call on an fd about to be closed; the
+    /// explicit delete keeps the interest list in step with the conn table.
+    pub fn delete(&self, fd: &impl AsRawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd.as_raw_fd(), 0, 0)
+    }
+
+    /// Block up to `timeout` for readiness; fills `events` and returns how
+    /// many records are valid. `EINTR` is reported as 0 events rather than
+    /// an error (the loop's timeout bookkeeping handles spurious wakes).
+    pub fn wait(&self, events: &mut [Event], timeout: std::time::Duration) -> io::Result<usize> {
+        let ms = timeout.as_millis().min(c_int::MAX as u128) as c_int;
+        // Safety: `events` is a caller-owned slice; the kernel writes at
+        // most `events.len()` records into it.
+        let n = unsafe {
+            epoll_wait(
+                self.fd,
+                events.as_mut_ptr(),
+                events.len().min(c_int::MAX as usize) as c_int,
+                ms,
+            )
+        };
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                return Ok(0);
+            }
+            return Err(err);
+        }
+        Ok(n as usize)
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        // Safety: fd is owned by this instance and closed exactly once.
+        unsafe { close(self.fd) };
+    }
+}
+
+/// Cross-thread wakeup for a blocked `epoll_wait`: a nonblocking pipe
+/// whose read end is registered in the epoll set. [`Waker::wake`] is
+/// cheap, idempotent under pressure (a full pipe already guarantees a
+/// pending wakeup), and safe from any thread.
+pub struct Waker {
+    read_fd: RawFd,
+    write_fd: RawFd,
+}
+
+// The fds are plain integers; both ends are used concurrently by design
+// (write from workers, read from the event loop).
+unsafe impl Send for Waker {}
+unsafe impl Sync for Waker {}
+
+impl Waker {
+    pub fn new() -> io::Result<Waker> {
+        let mut fds = [0 as c_int; 2];
+        // Safety: pipe2 fills the two-element array.
+        cvt(unsafe { pipe2(fds.as_mut_ptr(), O_NONBLOCK | O_CLOEXEC) })?;
+        Ok(Waker {
+            read_fd: fds[0],
+            write_fd: fds[1],
+        })
+    }
+
+    /// Interrupt the event loop. A `WouldBlock` (pipe already full) means
+    /// a wakeup is pending anyway, so failures are deliberately ignored.
+    pub fn wake(&self) {
+        let byte = 1u8;
+        // Safety: one byte from a live stack slot into an owned fd.
+        unsafe { write(self.write_fd, (&byte as *const u8).cast(), 1) };
+    }
+
+    /// Consume queued wakeups so level-triggered readiness clears.
+    pub fn drain(&self) {
+        let mut buf = [0u8; 64];
+        // Safety: reads into a caller-owned buffer; loop ends on EAGAIN.
+        while unsafe { read(self.read_fd, buf.as_mut_ptr().cast(), buf.len()) } > 0 {}
+    }
+}
+
+impl AsRawFd for Waker {
+    fn as_raw_fd(&self) -> RawFd {
+        self.read_fd
+    }
+}
+
+impl Drop for Waker {
+    fn drop(&mut self) {
+        // Safety: both fds are owned by this instance.
+        unsafe {
+            close(self.read_fd);
+            close(self.write_fd);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+    use std::net::{TcpListener, TcpStream};
+    use std::time::Duration;
+
+    #[test]
+    fn waker_wakes_a_blocked_wait() {
+        let ep = Epoll::new().unwrap();
+        let waker = std::sync::Arc::new(Waker::new().unwrap());
+        ep.add(&*waker, EPOLLIN, 7).unwrap();
+
+        let mut events = [Event::default(); 4];
+        // No wake yet: the wait times out empty.
+        assert_eq!(ep.wait(&mut events, Duration::from_millis(10)).unwrap(), 0);
+
+        let w = std::sync::Arc::clone(&waker);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            w.wake();
+        });
+        let n = ep.wait(&mut events, Duration::from_secs(5)).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token(), 7);
+        assert!(events[0].mask() & EPOLLIN != 0);
+        t.join().unwrap();
+
+        // Drained, the pipe goes quiet again.
+        waker.drain();
+        assert_eq!(ep.wait(&mut events, Duration::from_millis(5)).unwrap(), 0);
+    }
+
+    #[test]
+    fn socket_readiness_and_interest_changes() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        set_nonblocking(listener.as_raw_fd()).unwrap();
+
+        let ep = Epoll::new().unwrap();
+        ep.add(&listener, EPOLLIN, 1).unwrap();
+
+        let mut client = TcpStream::connect(addr).unwrap();
+        let mut events = [Event::default(); 4];
+        let n = ep.wait(&mut events, Duration::from_secs(5)).unwrap();
+        assert!(n >= 1 && events[..n].iter().any(|e| e.token() == 1));
+
+        let (accepted, _) = listener.accept().unwrap();
+        set_nonblocking(accepted.as_raw_fd()).unwrap();
+        ep.add(&accepted, EPOLLIN | EPOLLRDHUP, 2).unwrap();
+        client.write_all(b"x").unwrap();
+        let n = ep.wait(&mut events, Duration::from_secs(5)).unwrap();
+        assert!(events[..n].iter().any(|e| e.token() == 2));
+
+        // MOD to write interest: a fresh socket is immediately writable.
+        ep.modify(&accepted, EPOLLOUT, 2).unwrap();
+        let n = ep.wait(&mut events, Duration::from_secs(5)).unwrap();
+        assert!(events[..n]
+            .iter()
+            .any(|e| e.token() == 2 && e.mask() & EPOLLOUT != 0));
+
+        ep.delete(&accepted).unwrap();
+        drop(client);
+        assert_eq!(ep.wait(&mut events, Duration::from_millis(20)).unwrap(), 0);
+    }
+}

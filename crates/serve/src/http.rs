@@ -1,11 +1,27 @@
-//! Hand-rolled HTTP/1.1 message framing over `std::io`.
+//! Hand-rolled HTTP/1.1 message framing.
 //!
 //! The daemon deliberately avoids async runtimes and HTTP frameworks (the
 //! build environment has no network registry, and the workload — small
-//! requests, CPU-bound extraction — fits a thread-per-connection pool).
-//! This module implements exactly the subset the daemon speaks: request
-//! line + headers + `Content-Length` bodies in, status + headers + body
-//! out, with keep-alive per HTTP/1.1 defaults.
+//! requests, CPU-bound extraction — fits an event loop plus a CPU worker
+//! pool). This module implements exactly the subset the daemon speaks:
+//! request line + headers + `Content-Length` bodies in, status + headers
+//! + body out, with keep-alive per HTTP/1.1 defaults.
+//!
+//! The core is [`parse_request`], an **incremental** parser over a byte
+//! buffer: it either yields a complete request plus the number of bytes
+//! it consumed, asks for more bytes, or rejects the prefix. Incremental
+//! parsing is what makes the epoll serve core work — a request may arrive
+//! split across arbitrary read boundaries, and a pipelining client may
+//! put several requests into one segment; the caller just accumulates
+//! bytes and parses in a loop. [`read_request`] wraps the same parser for
+//! blocking `BufRead` callers (tests, simple clients) and never consumes
+//! bytes beyond the request it returns, so pipelined requests survive on
+//! the reader.
+//!
+//! Hard limits are explicit and enforced during parsing, before any
+//! allocation proportional to the claimed size: total header block bytes,
+//! header count, body bytes, and exactly one `Content-Length` (duplicates
+//! are smuggling vectors and are rejected outright).
 
 use std::io::{self, BufRead, Write};
 
@@ -15,9 +31,11 @@ pub const MAX_HEADER_BYTES: usize = 16 * 1024;
 /// Maximum accepted request body (HTML pages and wrapper artifacts are
 /// well under this; anything bigger gets 413).
 pub const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+/// Maximum number of header lines in one request; more is 413.
+pub const MAX_HEADERS: usize = 64;
 
 /// A parsed request.
-#[derive(Debug)]
+#[derive(Debug, PartialEq, Eq)]
 pub struct Request {
     pub method: String,
     /// Path component only (query string split off).
@@ -57,7 +75,27 @@ impl Request {
     }
 }
 
-/// Why a request could not be read.
+/// Why a buffered prefix cannot become a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseError {
+    /// Header block, header count, or claimed body over the hard limits.
+    TooLarge,
+    /// Anything that does not parse as HTTP; carries a short reason.
+    Malformed(&'static str),
+}
+
+/// Outcome of [`parse_request`] over a byte buffer.
+#[derive(Debug)]
+pub enum Parse {
+    /// A complete request occupying the first `usize` bytes of the buffer.
+    Complete(Request, usize),
+    /// The buffer holds a valid proper prefix; feed more bytes.
+    Partial,
+    /// The prefix can never become a valid request.
+    Error(ParseError),
+}
+
+/// Why a request could not be read from a blocking reader.
 #[derive(Debug)]
 pub enum ReadError {
     /// Clean EOF before any bytes: the peer closed an idle connection.
@@ -109,32 +147,147 @@ fn parse_query(q: &str) -> Vec<(String, String)> {
         .collect()
 }
 
-/// Read one line terminated by `\n` (tolerating `\r\n`), bounded by
-/// `budget` bytes; decrements the budget.
-fn read_line(r: &mut impl BufRead, budget: &mut usize) -> Result<String, ReadError> {
-    let mut line = Vec::new();
-    loop {
-        let mut byte = [0u8; 1];
-        let n = r.read(&mut byte).map_err(map_io)?;
-        if n == 0 {
-            if line.is_empty() {
-                return Err(ReadError::Closed);
+/// Split the next `\n`-terminated line off `buf` (tolerating `\r\n`),
+/// returning the line content and the remainder. `None` = no newline yet.
+fn next_line(buf: &[u8]) -> Option<(&[u8], &[u8])> {
+    let nl = buf.iter().position(|&b| b == b'\n')?;
+    let line = if nl > 0 && buf[nl - 1] == b'\r' {
+        &buf[..nl - 1]
+    } else {
+        &buf[..nl]
+    };
+    Some((line, &buf[nl + 1..]))
+}
+
+/// Strict `Content-Length` value: ASCII digits only, bounded magnitude.
+/// Anything fancier (signs, whitespace padding beyond the header trim,
+/// thousands of leading zeros) is rejected — a framing field is not a
+/// place for leniency.
+fn parse_content_length(v: &str) -> Result<usize, ParseError> {
+    if v.is_empty() || !v.bytes().all(|b| b.is_ascii_digit()) {
+        return Err(ParseError::Malformed("bad content-length"));
+    }
+    // 12 digits cap the value below 10^12 without u64 overflow games;
+    // anything that long is far over MAX_BODY_BYTES anyway.
+    if v.len() > 12 {
+        return Err(ParseError::TooLarge);
+    }
+    let n: u64 = v
+        .parse()
+        .map_err(|_| ParseError::Malformed("bad content-length"))?;
+    if n > MAX_BODY_BYTES as u64 {
+        return Err(ParseError::TooLarge);
+    }
+    Ok(n as usize)
+}
+
+/// Incrementally parse one request from the front of `buf`.
+///
+/// Returns [`Parse::Complete`] with the request and the number of bytes
+/// it occupies (request line + headers + body) — the caller drops exactly
+/// that many and may parse again for a pipelined successor — or
+/// [`Parse::Partial`] when more bytes are needed, or [`Parse::Error`]
+/// when the prefix is hopeless.
+pub fn parse_request(buf: &[u8]) -> Parse {
+    // ---- request line --------------------------------------------------
+    let Some((line, mut rest)) = next_line(buf) else {
+        return if buf.len() > MAX_HEADER_BYTES {
+            Parse::Error(ParseError::TooLarge)
+        } else {
+            Parse::Partial
+        };
+    };
+    if line.len() > MAX_HEADER_BYTES {
+        return Parse::Error(ParseError::TooLarge);
+    }
+    let Ok(line) = std::str::from_utf8(line) else {
+        return Parse::Error(ParseError::Malformed("non-utf8 request line"));
+    };
+    let mut parts = line.split_whitespace();
+    let Some(method) = parts.next() else {
+        return Parse::Error(ParseError::Malformed("empty request line"));
+    };
+    let Some(target) = parts.next() else {
+        return Parse::Error(ParseError::Malformed("missing request target"));
+    };
+    let version = parts.next().unwrap_or("HTTP/1.1");
+    if !version.starts_with("HTTP/1.") {
+        return Parse::Error(ParseError::Malformed("unsupported HTTP version"));
+    }
+    let http10 = version == "HTTP/1.0";
+    let (path, query_str) = target.split_once('?').unwrap_or((target, ""));
+
+    // ---- headers -------------------------------------------------------
+    let mut headers: Vec<(String, String)> = Vec::new();
+    let mut content_length: Option<usize> = None;
+    let mut close: Option<bool> = None;
+    let body_start = loop {
+        let consumed_so_far = buf.len() - rest.len();
+        let Some((line, tail)) = next_line(rest) else {
+            return if consumed_so_far + rest.len() > MAX_HEADER_BYTES {
+                Parse::Error(ParseError::TooLarge)
+            } else {
+                Parse::Partial
+            };
+        };
+        if consumed_so_far + line.len() > MAX_HEADER_BYTES {
+            return Parse::Error(ParseError::TooLarge);
+        }
+        rest = tail;
+        if line.is_empty() {
+            break buf.len() - rest.len();
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Parse::Error(ParseError::TooLarge);
+        }
+        let Ok(line) = std::str::from_utf8(line) else {
+            return Parse::Error(ParseError::Malformed("non-utf8 header"));
+        };
+        let Some((name, value)) = line.split_once(':') else {
+            return Parse::Error(ParseError::Malformed("header without colon"));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim().to_string();
+        match name.as_str() {
+            // Two Content-Lengths are a request-smuggling classic; even a
+            // repeated identical value is rejected rather than reconciled.
+            "content-length" if content_length.is_some() => {
+                return Parse::Error(ParseError::Malformed("duplicate content-length"));
             }
-            return Err(ReadError::Malformed("eof mid-line"));
+            "content-length" => match parse_content_length(&value) {
+                Ok(n) => content_length = Some(n),
+                Err(e) => return Parse::Error(e),
+            },
+            "connection" => {
+                close = match value.to_ascii_lowercase().as_str() {
+                    "close" => Some(true),
+                    "keep-alive" => Some(false),
+                    _ => close,
+                };
+            }
+            _ => {}
         }
-        if *budget == 0 {
-            return Err(ReadError::TooLarge);
-        }
-        *budget -= 1;
-        if byte[0] == b'\n' {
-            break;
-        }
-        line.push(byte[0]);
+        headers.push((name, value));
+    };
+
+    // ---- body ----------------------------------------------------------
+    let content_length = content_length.unwrap_or(0);
+    if buf.len() - body_start < content_length {
+        return Parse::Partial;
     }
-    if line.last() == Some(&b'\r') {
-        line.pop();
-    }
-    String::from_utf8(line).map_err(|_| ReadError::Malformed("non-utf8 header"))
+    let body = buf[body_start..body_start + content_length].to_vec();
+
+    Parse::Complete(
+        Request {
+            method: method.to_string(),
+            path: path.to_string(),
+            query: parse_query(query_str),
+            headers,
+            body,
+            close: close.unwrap_or(http10),
+        },
+        body_start + content_length,
+    )
 }
 
 fn map_io(e: io::Error) -> ReadError {
@@ -145,76 +298,46 @@ fn map_io(e: io::Error) -> ReadError {
     }
 }
 
-/// Read and parse one request from `r`.
+/// Read and parse one request from a blocking reader. Consumes from `r`
+/// exactly the bytes of the returned request — a pipelined successor
+/// stays buffered for the next call.
 pub fn read_request(r: &mut impl BufRead) -> Result<Request, ReadError> {
-    let mut budget = MAX_HEADER_BYTES;
-    let request_line = read_line(r, &mut budget)?;
-    let mut parts = request_line.split_whitespace();
-    let method = parts
-        .next()
-        .ok_or(ReadError::Malformed("empty request line"))?
-        .to_string();
-    let target = parts
-        .next()
-        .ok_or(ReadError::Malformed("missing request target"))?;
-    let version = parts.next().unwrap_or("HTTP/1.1");
-    if !version.starts_with("HTTP/1.") {
-        return Err(ReadError::Malformed("unsupported HTTP version"));
-    }
-    let http10 = version == "HTTP/1.0";
-    let (path, query_str) = target.split_once('?').unwrap_or((target, ""));
-
-    let mut headers = Vec::new();
+    let mut pending: Vec<u8> = Vec::new();
     loop {
-        let line = match read_line(r, &mut budget) {
-            Ok(l) => l,
-            Err(ReadError::Closed) => return Err(ReadError::Malformed("eof in headers")),
-            Err(e) => return Err(e),
+        let chunk_len = {
+            let chunk = match r.fill_buf() {
+                Ok(c) => c,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(map_io(e)),
+            };
+            if chunk.is_empty() {
+                return Err(if pending.is_empty() {
+                    ReadError::Closed
+                } else {
+                    ReadError::Malformed("eof mid-request")
+                });
+            }
+            pending.extend_from_slice(chunk);
+            chunk.len()
         };
-        if line.is_empty() {
-            break;
+        match parse_request(&pending) {
+            Parse::Complete(req, used) => {
+                // `pending[..len - chunk_len]` was already consumed from
+                // `r` on earlier iterations; a completed request always
+                // extends past it (the earlier prefix alone was Partial).
+                r.consume(used - (pending.len() - chunk_len));
+                return Ok(req);
+            }
+            Parse::Partial => r.consume(chunk_len),
+            Parse::Error(e) => {
+                r.consume(chunk_len);
+                return Err(match e {
+                    ParseError::TooLarge => ReadError::TooLarge,
+                    ParseError::Malformed(m) => ReadError::Malformed(m),
+                });
+            }
         }
-        let (name, value) = line
-            .split_once(':')
-            .ok_or(ReadError::Malformed("header without colon"))?;
-        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
     }
-
-    let content_length = headers
-        .iter()
-        .find(|(n, _)| n == "content-length")
-        .map(|(_, v)| {
-            v.parse::<usize>()
-                .map_err(|_| ReadError::Malformed("bad content-length"))
-        })
-        .transpose()?
-        .unwrap_or(0);
-    if content_length > MAX_BODY_BYTES {
-        return Err(ReadError::TooLarge);
-    }
-    let mut body = vec![0u8; content_length];
-    if content_length > 0 {
-        r.read_exact(&mut body).map_err(map_io)?;
-    }
-
-    let conn = headers
-        .iter()
-        .find(|(n, _)| n == "connection")
-        .map(|(_, v)| v.to_ascii_lowercase());
-    let close = match conn.as_deref() {
-        Some("close") => true,
-        Some("keep-alive") => false,
-        _ => http10,
-    };
-
-    Ok(Request {
-        method,
-        path: path.to_string(),
-        query: parse_query(query_str),
-        headers,
-        body,
-        close,
-    })
 }
 
 /// An outgoing response.
@@ -251,20 +374,33 @@ impl Response {
         self
     }
 
-    /// Serialize to `w`. `close` is the final connection decision (the
-    /// caller folds in request preferences and shutdown state).
-    pub fn write_to(&self, w: &mut impl Write, close: bool) -> io::Result<()> {
+    /// Append the serialized exchange to `out`. `close` is the final
+    /// connection decision (the caller folds in request preferences and
+    /// shutdown state). This is the event loop's path: responses are
+    /// staged into a connection's write buffer and drained as the socket
+    /// accepts them.
+    pub fn write_bytes(&self, out: &mut Vec<u8>, close: bool) {
         let conn = if close { "close" } else { "keep-alive" };
-        write!(
-            w,
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
-            self.status,
-            status_text(self.status),
-            self.content_type,
-            self.body.len(),
-            conn
-        )?;
-        w.write_all(self.body.as_bytes())?;
+        out.extend_from_slice(
+            format!(
+                "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+                self.status,
+                status_text(self.status),
+                self.content_type,
+                self.body.len(),
+                conn
+            )
+            .as_bytes(),
+        );
+        out.extend_from_slice(self.body.as_bytes());
+    }
+
+    /// Serialize to `w` directly (blocking callers: the accept-gate 503,
+    /// tests).
+    pub fn write_to(&self, w: &mut impl Write, close: bool) -> io::Result<()> {
+        let mut out = Vec::with_capacity(self.body.len() + 128);
+        self.write_bytes(&mut out, close);
+        w.write_all(&out)?;
         w.flush()
     }
 }
@@ -332,6 +468,91 @@ mod tests {
             parse("GET / HTTP/1.1\r\nContent-Length: 99999999999\r\n\r\n"),
             Err(ReadError::Malformed(_)) | Err(ReadError::TooLarge)
         ));
+    }
+
+    #[test]
+    fn duplicate_and_bogus_content_length_rejected() {
+        for raw in [
+            "GET / HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 3\r\n\r\nabc",
+            "GET / HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 7\r\n\r\nabc",
+            "GET / HTTP/1.1\r\nContent-Length: +3\r\n\r\nabc",
+            "GET / HTTP/1.1\r\nContent-Length: 3x\r\n\r\nabc",
+            "GET / HTTP/1.1\r\nContent-Length: -1\r\n\r\n",
+            "GET / HTTP/1.1\r\nContent-Length:\r\n\r\n",
+        ] {
+            assert!(
+                matches!(parse(raw), Err(ReadError::Malformed(_))),
+                "accepted {raw:?}"
+            );
+        }
+        // Overlong values are a size violation, not a syntax one.
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nContent-Length: 999999999999999999\r\n\r\n"),
+            Err(ReadError::TooLarge)
+        ));
+    }
+
+    #[test]
+    fn header_bounds_enforced() {
+        let mut many = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..MAX_HEADERS + 1 {
+            many.push_str(&format!("X-H{i}: v\r\n"));
+        }
+        many.push_str("\r\n");
+        assert!(matches!(parse(&many), Err(ReadError::TooLarge)));
+
+        let long = format!(
+            "GET / HTTP/1.1\r\nX-Big: {}\r\n\r\n",
+            "a".repeat(MAX_HEADER_BYTES)
+        );
+        assert!(matches!(parse(&long), Err(ReadError::TooLarge)));
+
+        // An unterminated header block over the cap is rejected even
+        // before its newline arrives.
+        let torrent = "a".repeat(MAX_HEADER_BYTES + 2);
+        assert!(matches!(
+            parse_request(torrent.as_bytes()),
+            Parse::Error(ParseError::TooLarge)
+        ));
+    }
+
+    #[test]
+    fn incremental_parse_completes_only_at_the_end() {
+        let raw = b"POST /x?a=1 HTTP/1.1\r\nHost: h\r\nContent-Length: 4\r\n\r\nwxyz";
+        for cut in 0..raw.len() {
+            assert!(
+                matches!(parse_request(&raw[..cut]), Parse::Partial),
+                "prefix of {cut} bytes should be partial"
+            );
+        }
+        match parse_request(raw) {
+            Parse::Complete(req, used) => {
+                assert_eq!(used, raw.len());
+                assert_eq!(req.body, b"wxyz");
+            }
+            other => panic!("expected complete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pipelined_requests_parse_back_to_back() {
+        let raw = b"GET /a HTTP/1.1\r\n\r\nPOST /b HTTP/1.1\r\nContent-Length: 2\r\n\r\nok";
+        let Parse::Complete(first, used) = parse_request(raw) else {
+            panic!("first request incomplete");
+        };
+        assert_eq!(first.path, "/a");
+        let Parse::Complete(second, used2) = parse_request(&raw[used..]) else {
+            panic!("second request incomplete");
+        };
+        assert_eq!(second.path, "/b");
+        assert_eq!(second.body, b"ok");
+        assert_eq!(used + used2, raw.len());
+
+        // The blocking reader leaves the second request for the next call.
+        let mut r = BufReader::new(&raw[..]);
+        assert_eq!(read_request(&mut r).unwrap().path, "/a");
+        assert_eq!(read_request(&mut r).unwrap().path, "/b");
+        assert!(matches!(read_request(&mut r), Err(ReadError::Closed)));
     }
 
     #[test]

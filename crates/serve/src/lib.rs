@@ -7,9 +7,18 @@
 //! wrapper-hosting runtime must bound its memory, expose its health, and
 //! survive misbehaving requests.
 //!
-//! * **Worker pool + bounded queue.** One acceptor thread feeds a
-//!   fixed-capacity [`pool::JobQueue`]; a full queue answers `503`
-//!   immediately (backpressure instead of unbounded buffering).
+//! * **Event-driven core.** One readiness loop ([`epoll`], a std-only
+//!   syscall shim) owns every nonblocking socket: it accepts, reads,
+//!   parses **all** complete requests in a connection's buffer (HTTP/1.1
+//!   pipelining) and answers strictly in order, handling partial reads
+//!   and writes without dedicating a thread per connection.
+//! * **Batched extraction + bounded queue.** Parsed requests are grouped
+//!   into [`pool::Batch`]es — same-wrapper `/extract`s coalesce (up to
+//!   [`ServeConfig::batch_max`]) so a worker resolves the wrapper once
+//!   and amortizes one `WrapperScratch` across the whole batch — and
+//!   flow through a fixed-capacity [`pool::JobQueue`]; a full queue
+//!   answers `503` immediately (backpressure instead of unbounded
+//!   buffering).
 //! * **Wrapper registry.** [`registry::Registry`] loads persisted
 //!   `wrapper::persist` artifacts from a directory at boot, installs
 //!   replacements via `POST /wrappers/{name}`, and rescans on
@@ -21,7 +30,8 @@
 //!   cache cannot grow without bound over weeks of traffic.
 //! * **Live metrics.** `GET /metrics` reports per-endpoint request
 //!   counts, latency histograms with p50/p90/p99, queue depth, rejected
-//!   connections, and the full `StoreStats` (hits, misses, evictions).
+//!   connections, epoll wakeups, pipelined requests, the batch-size
+//!   histogram, and the full `StoreStats` (hits, misses, evictions).
 //! * **Graceful shutdown.** `POST /shutdown` (or
 //!   [`server::ServerHandle::shutdown`]) closes the accept gate, drains
 //!   admitted jobs, and lets in-flight requests finish — up to
@@ -64,6 +74,7 @@
 //! handle.join(); // blocks until POST /shutdown
 //! ```
 
+pub mod epoll;
 pub mod http;
 pub mod json;
 pub mod metrics;
@@ -89,6 +100,10 @@ pub struct ServeConfig {
     pub workers: usize,
     /// Bounded job-queue capacity; connections beyond it get `503`.
     pub queue_capacity: usize,
+    /// Most `/extract` requests coalesced into one batch. Larger batches
+    /// amortize wrapper resolution and scratch reuse further but raise
+    /// tail latency for the last document in a batch.
+    pub batch_max: usize,
     /// Directory of `*.wrapper` artifacts to load at boot and on
     /// `POST /reload`; hot installs persist back here.
     pub wrapper_dir: Option<PathBuf>,
@@ -119,6 +134,7 @@ impl Default for ServeConfig {
                 .map(|n| n.get().min(8))
                 .unwrap_or(4),
             queue_capacity: 128,
+            batch_max: 32,
             wrapper_dir: None,
             op_cache_capacity: Some(16_384),
             keepalive_timeout: Duration::from_secs(5),

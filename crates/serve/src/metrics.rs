@@ -83,6 +83,57 @@ impl Histogram {
     }
 }
 
+/// Upper bounds of the batch-size histogram buckets; one implicit
+/// overflow bucket above the last bound. Power-of-two spacing from
+/// singleton batches up past the default `batch_max`.
+pub const BATCH_BOUNDS: [u64; 8] = [1, 2, 4, 8, 16, 32, 64, 128];
+
+/// A fixed-bucket size histogram (batch sizes, not latencies): counts,
+/// running sum (for the mean), and the max ever seen.
+#[derive(Default)]
+pub struct SizeHistogram {
+    counts: [AtomicU64; BATCH_BOUNDS.len() + 1],
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl SizeHistogram {
+    pub fn record(&self, size: u64) {
+        let idx = BATCH_BOUNDS
+            .iter()
+            .position(|&b| size <= b)
+            .unwrap_or(BATCH_BOUNDS.len());
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(size, Ordering::Relaxed);
+        self.max.fetch_max(size, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    fn to_json(&self) -> String {
+        Obj::new()
+            .num("count", self.count())
+            .num("sum", self.sum())
+            .num("max", self.max())
+            .raw("bounds", &num_array(BATCH_BOUNDS.iter().copied()))
+            .raw(
+                "buckets",
+                &num_array(self.counts.iter().map(|c| c.load(Ordering::Relaxed))),
+            )
+            .finish()
+    }
+}
+
 /// The daemon's request surfaces, as metric dimensions.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Endpoint {
@@ -176,6 +227,16 @@ pub struct Metrics {
     /// Sockets whose timeout/nodelay configuration failed (served
     /// anyway, but without the usual stall protection).
     sock_config_failures: AtomicU64,
+    /// `epoll_wait` returns that delivered at least one event. The ratio
+    /// of requests to wakeups is the loop's amortization factor.
+    epoll_wakeups: AtomicU64,
+    /// Requests parsed while an earlier request on the same connection
+    /// was still unanswered — the HTTP/1.1 pipelining win.
+    pipelined_requests: AtomicU64,
+    /// Batches handed to the worker pool.
+    batches_dispatched: AtomicU64,
+    /// Distribution of dispatched batch sizes.
+    batch_size: SizeHistogram,
 }
 
 impl Metrics {
@@ -197,6 +258,10 @@ impl Metrics {
             deadline_exceeded: AtomicU64::new(0),
             abandoned_connections: AtomicU64::new(0),
             sock_config_failures: AtomicU64::new(0),
+            epoll_wakeups: AtomicU64::new(0),
+            pipelined_requests: AtomicU64::new(0),
+            batches_dispatched: AtomicU64::new(0),
+            batch_size: SizeHistogram::default(),
         }
     }
 
@@ -333,6 +398,36 @@ impl Metrics {
         self.sock_config_failures.load(Ordering::Relaxed)
     }
 
+    pub fn record_epoll_wakeup(&self) {
+        self.epoll_wakeups.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn epoll_wakeups(&self) -> u64 {
+        self.epoll_wakeups.load(Ordering::Relaxed)
+    }
+
+    pub fn record_pipelined_request(&self) {
+        self.pipelined_requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn pipelined_requests(&self) -> u64 {
+        self.pipelined_requests.load(Ordering::Relaxed)
+    }
+
+    /// One batch of `size` items was admitted to the worker queue.
+    pub fn record_batch(&self, size: u64) {
+        self.batches_dispatched.fetch_add(1, Ordering::Relaxed);
+        self.batch_size.record(size);
+    }
+
+    pub fn batches_dispatched(&self) -> u64 {
+        self.batches_dispatched.load(Ordering::Relaxed)
+    }
+
+    pub fn batch_size(&self) -> &SizeHistogram {
+        &self.batch_size
+    }
+
     /// The full `/metrics` document.
     pub fn render_json(&self, store: &StoreStats) -> String {
         let mut endpoints = String::from("{");
@@ -371,6 +466,10 @@ impl Metrics {
             .num("deadline_exceeded", self.deadline_exceeded())
             .num("abandoned_connections", self.abandoned_connections())
             .num("sock_config_failures", self.sock_config_failures())
+            .num("epoll_wakeups", self.epoll_wakeups())
+            .num("pipelined_requests", self.pipelined_requests())
+            .num("batches_dispatched", self.batches_dispatched())
+            .raw("batch_size", &self.batch_size.to_json())
             .raw(
                 "latency_bucket_bounds_us",
                 &num_array(LATENCY_BOUNDS_US.iter().copied()),
@@ -482,6 +581,10 @@ mod tests {
         m.set_queue_depth(3);
         m.record_accept_failure();
         m.record_reload_skipped_unchanged(4);
+        m.record_epoll_wakeup();
+        m.record_pipelined_request();
+        m.record_batch(1);
+        m.record_batch(7);
         let json = m.render_json(&StoreStats::default());
         assert!(json.contains("\"queue_depth\":3"), "{json}");
         assert!(json.contains("\"rejected_total\":1"));
@@ -489,6 +592,27 @@ mod tests {
         assert!(json.contains("\"store\":{"));
         assert!(json.contains("\"accept_failures\":1"), "{json}");
         assert!(json.contains("\"reload_skipped_unchanged\":4"), "{json}");
+        assert!(json.contains("\"epoll_wakeups\":1"), "{json}");
+        assert!(json.contains("\"pipelined_requests\":1"), "{json}");
+        assert!(json.contains("\"batches_dispatched\":2"), "{json}");
+        assert!(
+            json.contains("\"batch_size\":{\"count\":2,\"sum\":8,\"max\":7"),
+            "{json}"
+        );
         assert_eq!(m.requests(Endpoint::Extract), 2);
+    }
+
+    #[test]
+    fn batch_size_histogram_buckets() {
+        let h = SizeHistogram::default();
+        for size in [1, 1, 2, 32, 500] {
+            h.record(size);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 536);
+        assert_eq!(h.max(), 500);
+        let json = h.to_json();
+        // Two singletons in the first bucket, the oversize one overflows.
+        assert!(json.contains("\"buckets\":[2,1,0,0,0,1,0,0,1]"), "{json}");
     }
 }

@@ -40,8 +40,9 @@
 //! short backoff before being reported.
 
 use rextract_faults::fail_point;
+use rextract_html::token::Token;
 use rextract_wrapper::persist::PersistError;
-use rextract_wrapper::wrapper::Wrapper;
+use rextract_wrapper::wrapper::{Wrapper, WrapperError, WrapperScratch};
 use std::collections::HashMap;
 use std::fmt;
 use std::io;
@@ -88,6 +89,36 @@ impl fmt::Display for InstallError {
 }
 
 impl std::error::Error for InstallError {}
+
+/// Why an extract request's wrapper selection failed — split so the
+/// daemon can page the right party (404 for a bad name, 400 for a
+/// missing one in a multi-tenant deployment).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResolveError {
+    /// The named wrapper is not installed.
+    Unknown(String),
+    /// No name given and the registry is not single-tenant, so there is
+    /// no sole wrapper to default to.
+    NoSelection,
+}
+
+/// Batch-extract entry point: run `wrapper` over every tokenized page in
+/// `pages`, reusing one `scratch` across the whole batch, collecting
+/// per-page verdicts into `out` (cleared first). With warmed buffers
+/// this path performs **zero allocations** per page — the point of
+/// coalescing same-wrapper requests into batches — which
+/// `tests/batch_alloc.rs` asserts via a counting global allocator.
+pub fn extract_batch_into(
+    wrapper: &Wrapper,
+    pages: &[&[Token]],
+    scratch: &mut WrapperScratch,
+    out: &mut Vec<Result<usize, WrapperError>>,
+) {
+    out.clear();
+    for page in pages {
+        out.push(wrapper.extract_target_with(page, scratch));
+    }
+}
 
 /// Read attempts per artifact before a transient error becomes permanent.
 const READ_ATTEMPTS: u32 = 3;
@@ -312,6 +343,19 @@ impl Registry {
         self.read().get(name).cloned()
     }
 
+    /// Resolve an extract request's wrapper selection: an explicit name
+    /// must exist; omitting the name is allowed only when exactly one
+    /// wrapper is installed ([`Registry::sole`]).
+    pub fn resolve(&self, name: Option<&str>) -> Result<(String, Arc<Wrapper>), ResolveError> {
+        match name {
+            Some(n) => self
+                .get(n)
+                .map(|w| (n.to_string(), w))
+                .ok_or_else(|| ResolveError::Unknown(n.to_string())),
+            None => self.sole().ok_or(ResolveError::NoSelection),
+        }
+    }
+
     /// When exactly one wrapper is installed, return it (lets `/extract`
     /// omit the `wrapper` parameter in single-tenant deployments).
     pub fn sole(&self) -> Option<(String, Arc<Wrapper>)> {
@@ -393,6 +437,52 @@ mod tests {
         assert_eq!(r.names(), vec!["demo".to_string(), "two".to_string()]);
         assert!(r.install("bad name", &artifact(5)).is_err());
         assert!(r.install("x", "garbage").is_err());
+    }
+
+    #[test]
+    fn resolve_explicit_sole_and_failures() {
+        let r = Registry::new(None);
+        assert_eq!(r.resolve(None).err(), Some(ResolveError::NoSelection));
+        r.install("demo", &artifact(3)).unwrap();
+        assert_eq!(r.resolve(Some("demo")).unwrap().0, "demo");
+        assert_eq!(r.resolve(None).unwrap().0, "demo", "single-tenant default");
+        assert_eq!(
+            r.resolve(Some("nope")).err(),
+            Some(ResolveError::Unknown("nope".into()))
+        );
+        r.install("two", &artifact(4)).unwrap();
+        assert_eq!(
+            r.resolve(None).err(),
+            Some(ResolveError::NoSelection),
+            "two tenants, no default"
+        );
+    }
+
+    #[test]
+    fn extract_batch_reuses_one_scratch() {
+        let mut g = SiteGenerator::new(SiteConfig {
+            seed: 8,
+            ..SiteConfig::default()
+        });
+        let train = vec![
+            TrainPage::from(&g.page_with_style(PageStyle::Plain)),
+            TrainPage::from(&g.page_with_style(PageStyle::TableEmbedded)),
+        ];
+        let wrapper = Wrapper::train(&train, WrapperConfig::default()).unwrap();
+        let batch: Vec<_> = (0..4)
+            .map(|_| g.page_with_style(PageStyle::Plain))
+            .collect();
+        let pages: Vec<&[Token]> = batch.iter().map(|p| p.tokens.as_slice()).collect();
+        let mut scratch = WrapperScratch::new();
+        let mut out = Vec::new();
+        extract_batch_into(&wrapper, &pages, &mut scratch, &mut out);
+        assert_eq!(out.len(), 4);
+        for (page, verdict) in batch.iter().zip(&out) {
+            assert!(matches!(verdict, Ok(t) if *t == page.target));
+        }
+        // `out` is cleared, not appended, on reuse.
+        extract_batch_into(&wrapper, &pages[..2], &mut scratch, &mut out);
+        assert_eq!(out.len(), 2);
     }
 
     #[test]

@@ -1,49 +1,63 @@
-//! The daemon: listener → bounded queue → worker pool → registry/store.
+//! The daemon: epoll readiness loop → batched queue → worker pool.
 //!
 //! ```text
-//!                    ┌─────────────┐ try_push ┌──────────────┐
-//!  TCP clients ───▶  │  acceptor   │ ───────▶ │ JobQueue     │
-//!                    │  (1 thread) │  full?   │ (bounded)    │
-//!                    └─────────────┘  503 ◀── └──────┬───────┘
-//!                                                    │ pop
-//!                                     ┌──────────────┴─────────────┐
-//!                                     │ worker 0 … worker N-1      │
-//!                                     │ parse HTTP → route:        │
-//!                                     │  /extract   → registry →   │
-//!                                     │    tag-seq → extractor     │
-//!                                     │  /wrappers  → registry     │
-//!                                     │  /metrics   → Metrics +    │
-//!                                     │    Store::stats()          │
-//!                                     └────────────────────────────┘
+//!                 ┌────────────────────────────────────────────┐
+//!  TCP clients ─▶ │ event loop (1 thread, epoll, nonblocking)  │
+//!                 │  accept → read-accumulate → parse *all*    │
+//!                 │  complete requests (HTTP/1.1 pipelining)   │
+//!                 │  → stage → coalesce same-wrapper /extract  │
+//!                 │  into batches → respond in seq order →     │
+//!                 │  write-drain (partial writes, EPOLLOUT)    │
+//!                 └──────┬──────────────────────▲──────────────┘
+//!                try_push│ full? 503            │ completions
+//!                 ┌──────▼───────┐              │ (pipe waker)
+//!                 │ JobQueue     │       ┌──────┴─────────────┐
+//!                 │ <Batch>      │ pop   │ worker 0 … N-1     │
+//!                 │ (bounded)    │ ────▶ │ one WrapperScratch │
+//!                 └──────────────┘       │ per worker; one    │
+//!                                        │ wrapper resolve    │
+//!                                        │ per batch          │
+//!                                        └────────────────────┘
 //! ```
 //!
+//! The event loop owns every socket: connections are nonblocking, read
+//! into a per-connection buffer, and parsed incrementally — every
+//! complete request in the buffer is staged at once, so a pipelining
+//! client gets its requests batched into the same queue trip. Responses
+//! are serialized strictly in request order per connection (`seq`
+//! numbers), whatever order batches complete in.
+//!
 //! Graceful shutdown (`POST /shutdown` or [`ServerHandle::shutdown`]):
-//! the accept gate closes (new connections are refused by the OS once
-//! the listener drops), the queue stops admitting and drains, workers
-//! finish in-flight requests with `Connection: close`, then exit. The
-//! supervisor waits [`ServeConfig::drain_timeout`] for them; connections
-//! still wedged after that are abandoned, logged, and counted.
+//! the listener drops immediately (new connections are refused by the
+//! OS), staged work is dispatched, the queue stops admitting, in-flight
+//! responses are flushed with `Connection: close`, and the loop exits
+//! once nothing is pending — or at [`ServeConfig::drain_timeout`], after
+//! which wedged connections are abandoned, logged, and counted.
 //!
 //! The worker pool is **self-healing**: workers are watched by a
 //! supervisor thread that reaps dead ones (a panic that escapes the
-//! per-connection `catch_unwind`, e.g. the `worker.panic.escape`
-//! failpoint) and respawns replacements, keeping the pool at configured
-//! strength. `/healthz` reports `"degraded"` while short-handed or
-//! shortly after a death.
+//! per-item `catch_unwind`, e.g. the `worker.panic.escape` failpoint)
+//! and respawns replacements, keeping the pool at configured strength.
+//! A dying worker's unprocessed batch items surface as
+//! [`Completion::Abort`]s — the loop closes those connections, so no
+//! request is ever silently dropped. `/healthz` reports `"degraded"`
+//! while short-handed or shortly after a death.
 
-use crate::http::{read_request, ReadError, Request, Response};
+use crate::epoll::{self, Epoll, Waker, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
+use crate::http::{parse_request, Parse, ParseError, Request, Response};
 use crate::json::{str_array, Obj};
 use crate::metrics::{Endpoint, Metrics};
-use crate::pool::JobQueue;
-use crate::registry::{InstallError, LoadReport, Registry};
+use crate::pool::{Batch, Completion, CompletionQueue, JobQueue, WorkItem};
+use crate::registry::{InstallError, LoadReport, Registry, ResolveError};
 use crate::ServeConfig;
 use rextract_automata::Store;
 use rextract_faults::fail_point;
 use rextract_html::tokenizer::tokenize;
-use rextract_wrapper::wrapper::{WrapperError, WrapperScratch};
-use std::io::{self, BufReader};
+use rextract_wrapper::wrapper::{Wrapper, WrapperError, WrapperScratch};
+use std::collections::{BTreeMap, HashMap};
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::panic::AssertUnwindSafe;
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -53,18 +67,32 @@ use std::time::{Duration, Instant};
 /// replaced. Small enough that a respawn beats any healthz poll.
 const SUPERVISE_EVERY: Duration = Duration::from_millis(5);
 
-/// Shutdown coordination: a flag plus the listener address for the
-/// self-connect that unblocks `accept()`.
+/// Epoll cookie for the listening socket.
+const LISTENER_TOKEN: u64 = u64::MAX;
+/// Epoll cookie for the completion/shutdown waker pipe.
+const WAKER_TOKEN: u64 = u64::MAX - 1;
+
+/// Cap on unanswered pipelined requests per connection. Past it the loop
+/// stops reading the connection (interest-level backpressure: the
+/// client's TCP window fills) until completions free slots.
+const MAX_PIPELINE: usize = 64;
+
+/// A connection with unflushed response bytes idle longer than this is a
+/// stalled writer and gets dropped (the blocking core's write timeout,
+/// restated for the readiness loop).
+const WRITE_STALL: Duration = Duration::from_secs(10);
+
+/// Shutdown coordination: a flag plus the event-loop waker that kicks
+/// `epoll_wait` so the drain starts immediately.
 struct Shutdown {
     draining: AtomicBool,
-    addr: SocketAddr,
+    waker: Arc<Waker>,
 }
 
 impl Shutdown {
     fn trigger(&self) {
         if !self.draining.swap(true, Ordering::SeqCst) {
-            // Poke the acceptor out of its blocking accept().
-            let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(250));
+            self.waker.wake();
         }
     }
 
@@ -90,7 +118,7 @@ pub struct ServerHandle {
     shutdown: Arc<Shutdown>,
     registry: Arc<Registry>,
     metrics: Arc<Metrics>,
-    acceptor: Option<JoinHandle<()>>,
+    event_loop: Option<JoinHandle<()>>,
     supervisor: Option<JoinHandle<()>>,
 }
 
@@ -114,10 +142,10 @@ impl ServerHandle {
         self.shutdown.trigger();
     }
 
-    /// Block until the pool has drained (or the drain timeout abandoned
-    /// the stragglers) and the acceptor has exited.
+    /// Block until the event loop has drained (or the drain timeout
+    /// abandoned the stragglers) and the supervisor has exited.
     pub fn join(mut self) {
-        if let Some(h) = self.acceptor.take() {
+        if let Some(h) = self.event_loop.take() {
             let _ = h.join();
         }
         if let Some(h) = self.supervisor.take() {
@@ -127,11 +155,12 @@ impl ServerHandle {
 }
 
 /// Boot a daemon per `config`. Binds, loads the wrapper directory,
-/// applies the op-cache bound, and spawns acceptor + workers.
+/// applies the op-cache bound, and spawns event loop + workers.
 pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
     Store::set_op_cache_capacity(config.op_cache_capacity);
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
 
     if let Some(dir) = &config.wrapper_dir {
         std::fs::create_dir_all(dir)
@@ -147,10 +176,17 @@ pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
 
     let metrics = Arc::new(Metrics::new());
     record_scan(&metrics, &boot_report);
-    let queue: Arc<JobQueue<TcpStream>> = Arc::new(JobQueue::new(config.queue_capacity));
+
+    let epoll = Epoll::new()?;
+    let waker = Arc::new(Waker::new()?);
+    epoll.add(&*waker, EPOLLIN, WAKER_TOKEN)?;
+    epoll.add(&listener, EPOLLIN, LISTENER_TOKEN)?;
+
+    let completions = Arc::new(CompletionQueue::new(Arc::clone(&waker)));
+    let queue: Arc<JobQueue<Batch>> = Arc::new(JobQueue::new(config.queue_capacity));
     let shutdown = Arc::new(Shutdown {
         draining: AtomicBool::new(false),
-        addr,
+        waker: Arc::clone(&waker),
     });
     let ctx = Arc::new(Ctx {
         registry: Arc::clone(&registry),
@@ -178,14 +214,26 @@ pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
             .expect("spawn supervisor thread")
     };
 
-    let acceptor = {
-        let queue = Arc::clone(&queue);
-        let metrics = Arc::clone(&metrics);
-        let shutdown = Arc::clone(&shutdown);
+    let event_loop = {
+        let el = EventLoop {
+            epoll,
+            listener: Some(listener),
+            waker,
+            completions,
+            queue,
+            conns: HashMap::new(),
+            next_token: 0,
+            staged: Vec::new(),
+            drain_deadline: None,
+            ctx: Arc::clone(&ctx),
+            max_conns: config.queue_capacity + pool_size,
+            batch_max: config.batch_max.max(1),
+            drain_timeout: config.drain_timeout,
+        };
         std::thread::Builder::new()
-            .name("rextract-acceptor".into())
-            .spawn(move || accept_loop(listener, &queue, &metrics, &shutdown))
-            .expect("spawn acceptor thread")
+            .name("rextract-eventloop".into())
+            .spawn(move || el.run())
+            .expect("spawn event-loop thread")
     };
 
     Ok(ServerHandle {
@@ -193,7 +241,7 @@ pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
         shutdown,
         registry,
         metrics,
-        acceptor: Some(acceptor),
+        event_loop: Some(event_loop),
         supervisor: Some(supervisor),
     })
 }
@@ -205,7 +253,7 @@ fn record_scan(metrics: &Metrics, report: &LoadReport) {
     metrics.record_reload_skipped_unchanged(report.skipped_unchanged);
 }
 
-fn spawn_worker(id: usize, queue: &Arc<JobQueue<TcpStream>>, ctx: &Arc<Ctx>) -> JoinHandle<()> {
+fn spawn_worker(id: usize, queue: &Arc<JobQueue<Batch>>, ctx: &Arc<Ctx>) -> JoinHandle<()> {
     let queue = Arc::clone(queue);
     let ctx = Arc::clone(ctx);
     std::thread::Builder::new()
@@ -218,7 +266,7 @@ fn spawn_worker(id: usize, queue: &Arc<JobQueue<TcpStream>>, ctx: &Arc<Ctx>) -> 
 /// panic), respawn replacements while serving, and enforce the drain
 /// deadline during shutdown.
 fn supervisor_loop(
-    queue: &Arc<JobQueue<TcpStream>>,
+    queue: &Arc<JobQueue<Batch>>,
     ctx: &Arc<Ctx>,
     mut workers: Vec<JoinHandle<()>>,
     drain_timeout: Duration,
@@ -248,8 +296,8 @@ fn supervisor_loop(
             ctx.metrics.set_workers_alive(workers.len());
         }
     }
-    // Drain phase: give in-flight connections drain_timeout to finish,
-    // then abandon the wedged ones instead of wedging shutdown itself.
+    // Drain phase: give in-flight batches drain_timeout to finish, then
+    // abandon the wedged workers instead of wedging shutdown itself.
     let deadline = Instant::now() + drain_timeout;
     loop {
         workers.retain(|w| !w.is_finished());
@@ -275,162 +323,667 @@ fn supervisor_loop(
 
 /// Post-accept admission gate. `accept()` succeeding does not mean the
 /// daemon can take the connection further — duplicating the descriptor
-/// into worker-owned state can still fail under fd pressure (EMFILE and
-/// friends). The failpoint injects exactly that class of error.
+/// into per-connection state can still fail under fd pressure (EMFILE
+/// and friends). The failpoint injects exactly that class of error.
 fn admit() -> Result<(), ()> {
     fail_point!("serve.accept.emfile", |_action| Err(()));
     Ok(())
 }
 
-fn accept_loop(
-    listener: TcpListener,
-    queue: &JobQueue<TcpStream>,
-    metrics: &Metrics,
-    shutdown: &Shutdown,
-) {
-    for stream in listener.incoming() {
-        if shutdown.draining() {
-            break;
+/// Where a parsed response sits in a connection's pipeline slot.
+enum SeqState {
+    /// Dispatched to the worker pool; response not back yet.
+    InFlight { wants_close: bool },
+    /// Answered; waiting for every earlier `seq` to serialize first.
+    Ready { resp: Response, wants_close: bool },
+    /// The worker died before answering: close the connection.
+    Aborted,
+}
+
+/// One nonblocking connection's state machine:
+/// read-accumulate → parse → dispatch → respond-in-order → write-drain.
+struct Conn {
+    stream: TcpStream,
+    /// Unparsed request bytes (grows by reads, shrinks by parses).
+    rbuf: Vec<u8>,
+    /// Serialized-but-unflushed response bytes; `wpos` is the write
+    /// cursor (partial writes leave `wpos < wbuf.len()`).
+    wbuf: Vec<u8>,
+    wpos: usize,
+    /// Next request's pipeline position.
+    next_seq: u64,
+    /// Next position to serialize — responses go out strictly in order.
+    next_write: u64,
+    answers: BTreeMap<u64, SeqState>,
+    /// No more requests will be read (peer EOF, `Connection: close`, or
+    /// a parse error poisoned the byte stream).
+    read_closed: bool,
+    /// Close once `wbuf` is flushed (a serialized `Connection: close`).
+    close_after_flush: bool,
+    /// A worker died holding this connection's request: hard-close.
+    aborted: bool,
+    /// Unrecoverable socket error; reap at the next pump.
+    dead: bool,
+    last_active: Instant,
+    /// Interest mask currently registered, to elide redundant MODs.
+    cur_mask: u32,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            rbuf: Vec::new(),
+            wbuf: Vec::new(),
+            wpos: 0,
+            next_seq: 0,
+            next_write: 0,
+            answers: BTreeMap::new(),
+            read_closed: false,
+            close_after_flush: false,
+            aborted: false,
+            dead: false,
+            last_active: Instant::now(),
+            cur_mask: EPOLLIN | EPOLLRDHUP,
         }
-        // A failed accept (transient EMFILE/ECONNABORTED) must degrade —
-        // count it, keep accepting — never wedge the acceptor.
-        let Ok(stream) = stream else {
-            metrics.record_accept_failure();
-            continue;
-        };
-        if admit().is_err() {
-            metrics.record_accept_failure();
-            drop(stream);
-            continue;
-        }
-        match queue.try_push(stream) {
-            Ok(depth) => metrics.set_queue_depth(depth),
-            Err(stream) => {
-                // Backpressure: answer 503 inline and move on. Short write
-                // timeout so a stalled client cannot stall accepting.
-                metrics.record_rejected();
-                if stream
-                    .set_write_timeout(Some(Duration::from_millis(250)))
-                    .is_err()
-                {
-                    metrics.record_sock_config_failure();
+    }
+
+    /// Pull whatever the socket has into `rbuf` (bounded per tick so one
+    /// flooding client cannot monopolize the loop).
+    fn read_some(&mut self) {
+        let mut tmp = [0u8; 16 * 1024];
+        for _ in 0..16 {
+            match self.stream.read(&mut tmp) {
+                Ok(0) => {
+                    self.read_closed = true;
+                    return;
                 }
-                let mut stream = stream;
-                let body = Obj::new()
-                    .str("error", "server overloaded, retry later")
-                    .num("queue_capacity", queue.capacity() as u64)
-                    .finish();
-                let _ = Response::json(503, body).write_to(&mut stream, true);
+                Ok(n) => {
+                    self.rbuf.extend_from_slice(&tmp[..n]);
+                    self.last_active = Instant::now();
+                    if n < tmp.len() {
+                        return;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    return;
+                }
             }
         }
     }
-    // Stop admitting; wake workers so they can drain and exit.
-    queue.close();
+
+    /// Serialize every answer that is next in pipeline order. Stops at
+    /// the first gap (in-flight seq), an abort, or a closing response.
+    fn serialize_ready(&mut self, draining: bool) {
+        loop {
+            match self.answers.get(&self.next_write) {
+                Some(SeqState::Ready { .. }) => {}
+                Some(SeqState::Aborted) => {
+                    self.aborted = true;
+                    return;
+                }
+                _ => return,
+            }
+            let Some(SeqState::Ready { resp, wants_close }) = self.answers.remove(&self.next_write)
+            else {
+                unreachable!("checked above");
+            };
+            self.next_write += 1;
+            let close = resp.close || wants_close || draining;
+            resp.write_bytes(&mut self.wbuf, close);
+            self.last_active = Instant::now();
+            if close {
+                // Later pipelined requests are moot once we promise to
+                // close: discard their slots (their completions, if any,
+                // arrive for a seq we no longer track and are ignored).
+                self.close_after_flush = true;
+                self.read_closed = true;
+                self.answers.clear();
+                return;
+            }
+        }
+    }
+
+    /// Push `wbuf` out until the socket pushes back.
+    fn flush(&mut self) {
+        while self.wpos < self.wbuf.len() {
+            match self.stream.write(&self.wbuf[self.wpos..]) {
+                Ok(0) => {
+                    self.dead = true;
+                    return;
+                }
+                Ok(n) => {
+                    self.wpos += n;
+                    self.last_active = Instant::now();
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    return;
+                }
+            }
+        }
+        self.wbuf.clear();
+        self.wpos = 0;
+    }
+
+    fn flushed(&self) -> bool {
+        self.wpos >= self.wbuf.len()
+    }
+
+    /// Work outstanding: a request awaiting its response, or response
+    /// bytes awaiting the socket.
+    fn has_pending(&self) -> bool {
+        !self.answers.is_empty() || self.wpos < self.wbuf.len()
+    }
+
+    fn wants_read(&self) -> bool {
+        !self.read_closed && self.answers.len() < MAX_PIPELINE
+    }
 }
 
-fn worker_loop(queue: &JobQueue<TcpStream>, ctx: &Ctx) {
-    // One long-lived extraction scratch per worker: every request this
-    // worker serves reuses the same abstraction/scan buffers, so the
-    // extract hot path stops allocating once the buffers have warmed up.
-    // Safe under the catch_unwind below — the buffers are cleared at the
-    // start of each extraction, so a panicked request leaves no residue.
+/// The readiness loop: owns the listener, the epoll set, and every
+/// connection; single-threaded, so connection state needs no locks.
+struct EventLoop {
+    epoll: Epoll,
+    /// Dropped at the start of drain so the OS refuses new connections.
+    listener: Option<TcpListener>,
+    waker: Arc<Waker>,
+    completions: Arc<CompletionQueue>,
+    queue: Arc<JobQueue<Batch>>,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+    /// Requests parsed this tick, awaiting batch grouping: the batching
+    /// key (`Some(wrapper)` for coalescible `/extract`s) and the item.
+    staged: Vec<(Option<String>, WorkItem)>,
+    drain_deadline: Option<Instant>,
+    ctx: Arc<Ctx>,
+    /// Accept gate: beyond this many open connections, new ones get an
+    /// immediate overload 503 — the readiness-loop restatement of the
+    /// blocking core's queue-full rejection.
+    max_conns: usize,
+    batch_max: usize,
+    drain_timeout: Duration,
+}
+
+impl EventLoop {
+    fn run(mut self) {
+        let mut events = [epoll::Event::default(); 64];
+        loop {
+            let timeout = if self.drain_deadline.is_some() {
+                Duration::from_millis(5)
+            } else {
+                Duration::from_millis(250)
+            };
+            let n = match self.epoll.wait(&mut events, timeout) {
+                Ok(n) => n,
+                Err(e) => {
+                    eprintln!("rextract-serve: epoll_wait failed: {e}");
+                    std::thread::sleep(Duration::from_millis(5));
+                    0
+                }
+            };
+            if n > 0 {
+                self.ctx.metrics.record_epoll_wakeup();
+            }
+            for ev in &events[..n] {
+                let (tok, mask) = (ev.token(), ev.mask());
+                match tok {
+                    LISTENER_TOKEN => self.accept_ready(),
+                    WAKER_TOKEN => self.waker.drain(),
+                    _ => self.conn_event(tok, mask),
+                }
+            }
+            self.apply_completions();
+            if self.ctx.shutdown.draining() && self.drain_deadline.is_none() {
+                self.begin_drain();
+            }
+            self.dispatch_staged();
+            if let Some(deadline) = self.drain_deadline {
+                let all_done = self.conns.values().all(|c| !c.has_pending());
+                if all_done || Instant::now() >= deadline {
+                    return;
+                }
+            }
+            self.reap_stalled();
+        }
+    }
+
+    /// Accept until the listener runs dry. Over-capacity connections get
+    /// the overload 503 inline (blocking write, short timeout) so the
+    /// backpressure signal is explicit, not a SYN-queue stall.
+    fn accept_ready(&mut self) {
+        loop {
+            let Some(listener) = &self.listener else {
+                return;
+            };
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if admit().is_err() {
+                        self.ctx.metrics.record_accept_failure();
+                        drop(stream);
+                        continue;
+                    }
+                    if self.conns.len() >= self.max_conns {
+                        reject_overloaded(stream, &self.ctx, self.queue.capacity());
+                        continue;
+                    }
+                    if epoll::set_nonblocking(stream.as_raw_fd()).is_err() {
+                        // A blocking socket would wedge the whole loop on
+                        // its first read; refuse rather than risk it.
+                        self.ctx.metrics.record_sock_config_failure();
+                        continue;
+                    }
+                    if stream.set_nodelay(true).is_err() {
+                        self.ctx.metrics.record_sock_config_failure();
+                    }
+                    let tok = self.next_token;
+                    self.next_token += 1;
+                    if self.epoll.add(&stream, EPOLLIN | EPOLLRDHUP, tok).is_err() {
+                        self.ctx.metrics.record_accept_failure();
+                        continue;
+                    }
+                    self.conns.insert(tok, Conn::new(stream));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    // Transient EMFILE/ECONNABORTED must degrade — count
+                    // it, return to the loop — never wedge accepting.
+                    self.ctx.metrics.record_accept_failure();
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Readiness on one connection: drain the socket in the indicated
+    /// direction, then run its state machine.
+    fn conn_event(&mut self, tok: u64, mask: u32) {
+        {
+            let Some(conn) = self.conns.get_mut(&tok) else {
+                return;
+            };
+            if mask & EPOLLERR != 0 {
+                conn.dead = true;
+            } else {
+                if mask & EPOLLOUT != 0 {
+                    conn.flush();
+                }
+                if mask & (EPOLLIN | EPOLLRDHUP | EPOLLHUP) != 0 && !conn.read_closed {
+                    conn.read_some();
+                }
+            }
+        }
+        self.pump(tok);
+    }
+
+    /// Advance one connection: parse newly-read requests, serialize and
+    /// flush in-order answers, then retire or re-arm the connection.
+    fn pump(&mut self, tok: u64) {
+        self.parse_conn(tok);
+        let draining = self.ctx.shutdown.draining();
+        let Some(conn) = self.conns.get_mut(&tok) else {
+            return;
+        };
+        if !conn.dead {
+            conn.serialize_ready(draining);
+            conn.flush();
+        }
+        let retire = conn.dead
+            || conn.aborted
+            || (conn.close_after_flush && conn.flushed())
+            || (conn.read_closed && conn.answers.is_empty() && conn.flushed());
+        if retire {
+            if let Some(conn) = self.conns.remove(&tok) {
+                let _ = self.epoll.delete(&conn.stream);
+            }
+        } else {
+            self.update_interest(tok);
+        }
+    }
+
+    /// Parse every complete request sitting in `rbuf` (the pipelining
+    /// core): each one is staged for dispatch with its pipeline `seq`.
+    /// A malformed request answers in-slot and poisons further reads,
+    /// matching the blocking core's close-on-bad-request.
+    fn parse_conn(&mut self, tok: u64) {
+        if self.ctx.shutdown.draining() {
+            return;
+        }
+        let Some(conn) = self.conns.get_mut(&tok) else {
+            return;
+        };
+        if conn.dead || conn.aborted {
+            return;
+        }
+        while !conn.close_after_flush && conn.answers.len() < MAX_PIPELINE && !conn.rbuf.is_empty()
+        {
+            match parse_request(&conn.rbuf) {
+                Parse::Complete(req, used) => {
+                    conn.rbuf.drain(..used);
+                    if !conn.answers.is_empty() {
+                        self.ctx.metrics.record_pipelined_request();
+                    }
+                    let seq = conn.next_seq;
+                    conn.next_seq += 1;
+                    let wants_close = req.wants_close();
+                    conn.answers.insert(seq, SeqState::InFlight { wants_close });
+                    let key = batch_key(&req);
+                    self.staged.push((
+                        key,
+                        WorkItem {
+                            conn: tok,
+                            seq,
+                            req,
+                            arrived: Instant::now(),
+                        },
+                    ));
+                    if wants_close {
+                        conn.read_closed = true;
+                        break;
+                    }
+                }
+                Parse::Partial => break,
+                Parse::Error(e) => {
+                    let resp = match e {
+                        ParseError::TooLarge => Response::json(
+                            413,
+                            Obj::new().str("error", "request too large").finish(),
+                        ),
+                        ParseError::Malformed(why) => Response::json(
+                            400,
+                            Obj::new()
+                                .str("error", &format!("malformed request: {why}"))
+                                .finish(),
+                        ),
+                    };
+                    let seq = conn.next_seq;
+                    conn.next_seq += 1;
+                    conn.answers.insert(
+                        seq,
+                        SeqState::Ready {
+                            resp,
+                            wants_close: true,
+                        },
+                    );
+                    conn.read_closed = true;
+                    conn.rbuf.clear();
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Route worker verdicts back into their pipeline slots, then pump
+    /// every touched connection. Completions for connections (or seqs)
+    /// that no longer exist are dropped — the client already left.
+    fn apply_completions(&mut self) {
+        let completions = self.completions.drain();
+        if completions.is_empty() {
+            return;
+        }
+        let mut touched: Vec<u64> = Vec::with_capacity(completions.len());
+        for c in completions {
+            let tok = c.conn();
+            let Some(conn) = self.conns.get_mut(&tok) else {
+                continue;
+            };
+            match c {
+                Completion::Response { seq, resp, .. } => {
+                    if let Some(slot) = conn.answers.get_mut(&seq) {
+                        if let SeqState::InFlight { wants_close } = *slot {
+                            *slot = SeqState::Ready { resp, wants_close };
+                            touched.push(tok);
+                        }
+                    }
+                }
+                Completion::Abort { seq, .. } => {
+                    if let Some(slot) = conn.answers.get_mut(&seq) {
+                        if matches!(slot, SeqState::InFlight { .. }) {
+                            *slot = SeqState::Aborted;
+                            touched.push(tok);
+                        }
+                    }
+                }
+            }
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        for tok in touched {
+            self.pump(tok);
+        }
+    }
+
+    /// Group staged requests into batches and dispatch: `/extract`s
+    /// naming the same wrapper coalesce (up to `batch_max` per batch);
+    /// everything else rides alone. A full queue fails the whole batch
+    /// with the overload 503 — answered, never silently dropped.
+    fn dispatch_staged(&mut self) {
+        if self.staged.is_empty() {
+            return;
+        }
+        let staged = std::mem::take(&mut self.staged);
+        let mut batches: Vec<Batch> = Vec::new();
+        let mut named: HashMap<String, usize> = HashMap::new();
+        for (key, item) in staged {
+            match key {
+                Some(name) => {
+                    let idx = match named.get(&name) {
+                        Some(&i) => i,
+                        None => {
+                            batches.push(Batch::new(
+                                Some(name.clone()),
+                                Arc::clone(&self.completions),
+                            ));
+                            let i = batches.len() - 1;
+                            named.insert(name.clone(), i);
+                            i
+                        }
+                    };
+                    batches[idx].push(item);
+                    if batches[idx].len() >= self.batch_max {
+                        named.remove(&name);
+                    }
+                }
+                None => {
+                    let mut b = Batch::new(None, Arc::clone(&self.completions));
+                    b.push(item);
+                    batches.push(b);
+                }
+            }
+        }
+        for batch in batches {
+            let size = batch.len();
+            match self.queue.try_push(batch) {
+                Ok(depth) => {
+                    self.ctx.metrics.record_batch(size as u64);
+                    self.ctx.metrics.set_queue_depth(depth);
+                }
+                Err(batch) => {
+                    for _ in 0..batch.len() {
+                        self.ctx.metrics.record_rejected();
+                    }
+                    let cap = self.queue.capacity();
+                    batch.fail_all(|_| overload_response(cap).closing());
+                }
+            }
+        }
+    }
+
+    /// Enter drain: stop listening immediately, dispatch what's parsed,
+    /// stop the queue admitting, and force-close every flushing response.
+    fn begin_drain(&mut self) {
+        self.drain_deadline = Some(Instant::now() + self.drain_timeout);
+        if let Some(listener) = self.listener.take() {
+            let _ = self.epoll.delete(&listener);
+        }
+        self.dispatch_staged();
+        self.queue.close();
+        let toks: Vec<u64> = self.conns.keys().copied().collect();
+        for tok in toks {
+            self.pump(tok);
+        }
+    }
+
+    /// Re-register the interest mask the connection's state wants:
+    /// `EPOLLIN` while it may read (not closed, pipeline not full),
+    /// `EPOLLOUT` only while response bytes are unflushed.
+    fn update_interest(&mut self, tok: u64) {
+        let draining = self.ctx.shutdown.draining();
+        let Some(conn) = self.conns.get_mut(&tok) else {
+            return;
+        };
+        let mut mask = 0;
+        if conn.wants_read() && !draining {
+            mask |= EPOLLIN | EPOLLRDHUP;
+        }
+        if conn.wpos < conn.wbuf.len() {
+            mask |= EPOLLOUT;
+        }
+        if mask != conn.cur_mask {
+            if self.epoll.modify(&conn.stream, mask, tok).is_err() {
+                conn.dead = true;
+            } else {
+                conn.cur_mask = mask;
+            }
+        }
+    }
+
+    /// Periodic reaping: dead sockets, idle keep-alive connections past
+    /// the keepalive timeout, and stalled writers past [`WRITE_STALL`] —
+    /// the readiness-loop restatement of the blocking core's socket
+    /// timeouts.
+    fn reap_stalled(&mut self) {
+        let now = Instant::now();
+        let keepalive = self.ctx.keepalive;
+        let doomed: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| {
+                let idle = now.duration_since(c.last_active);
+                c.dead
+                    || (!c.flushed() && idle > WRITE_STALL)
+                    || (!c.has_pending() && idle > keepalive)
+            })
+            .map(|(&tok, _)| tok)
+            .collect();
+        for tok in doomed {
+            if let Some(conn) = self.conns.remove(&tok) {
+                let _ = self.epoll.delete(&conn.stream);
+            }
+        }
+    }
+}
+
+/// The batching key for a parsed request: `Some(wrapper)` for `/extract`
+/// requests that name their wrapper (coalescible), `None` for everything
+/// else (singleton batch; `/extract` without a name resolves via
+/// [`Registry::sole`] inside [`route`]).
+fn batch_key(req: &Request) -> Option<String> {
+    if req.method == "POST" && req.path == "/extract" {
+        req.query_param("wrapper").map(str::to_string)
+    } else {
+        None
+    }
+}
+
+/// The backpressure 503, shared by the accept gate and queue-full
+/// batch rejection.
+fn overload_response(queue_capacity: usize) -> Response {
+    Response::json(
+        503,
+        Obj::new()
+            .str("error", "server overloaded, retry later")
+            .num("queue_capacity", queue_capacity as u64)
+            .finish(),
+    )
+}
+
+/// Refuse an over-capacity connection with the overload 503. The stream
+/// is still blocking (accepted sockets do not inherit the listener's
+/// nonblocking flag on Linux); a short write timeout keeps a stalled
+/// client from stalling the accept sweep.
+fn reject_overloaded(stream: TcpStream, ctx: &Ctx, queue_capacity: usize) {
+    ctx.metrics.record_rejected();
+    if stream
+        .set_write_timeout(Some(Duration::from_millis(250)))
+        .is_err()
+    {
+        ctx.metrics.record_sock_config_failure();
+    }
+    let mut stream = stream;
+    let _ = overload_response(queue_capacity).write_to(&mut stream, true);
+}
+
+/// Pop batches until the queue closes. One long-lived extraction scratch
+/// per worker: every batch this worker serves reuses the same
+/// abstraction/scan buffers, and a batch resolves its wrapper once —
+/// that is the amortization batching buys. Safe under the per-item
+/// `catch_unwind` in [`Batch::run`] — the buffers are cleared at the
+/// start of each extraction, so a panicked item leaves no residue.
+fn worker_loop(queue: &JobQueue<Batch>, ctx: &Ctx) {
     let mut scratch = WrapperScratch::new();
-    while let Some((stream, depth)) = queue.pop() {
-        // Deliberately OUTSIDE the catch_unwind below: this simulates the
-        // class of panic the per-connection guard cannot catch, killing
-        // the whole worker thread so the supervisor has something to heal.
+    while let Some((batch, depth)) = queue.pop() {
+        // Deliberately OUTSIDE Batch::run's per-item guard: this
+        // simulates the class of panic that kills the whole worker
+        // thread so the supervisor has something to heal. The unwinding
+        // batch aborts its items (connections close, nothing hangs).
         fail_point!("worker.panic.escape");
         ctx.metrics.set_queue_depth(depth);
         ctx.metrics.enter_worker();
-        // A panic while serving one connection must not kill the worker:
-        // the pool would silently shrink. The shared state (registry,
-        // store, metrics) recovers from lock poisoning by design.
-        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
-            serve_connection(stream, ctx, &mut scratch);
-        }));
+        let resolved = batch.wrapper().map(|name| ctx.registry.resolve(Some(name)));
+        batch.run(|item| {
+            let started = Instant::now();
+            let (endpoint, resp) = match &resolved {
+                Some(Ok((name, wrapper))) => (
+                    Endpoint::Extract,
+                    handle_extract_resolved(
+                        &item.req,
+                        item.arrived,
+                        name,
+                        wrapper,
+                        ctx,
+                        &mut scratch,
+                    ),
+                ),
+                Some(Err(e)) => (Endpoint::Extract, resolve_error_response(e, ctx)),
+                None => route(&item.req, item.arrived, ctx, &mut scratch),
+            };
+            let elapsed_us = started.elapsed().as_micros() as u64;
+            ctx.metrics.record(endpoint, resp.status, elapsed_us);
+            if endpoint == Endpoint::Shutdown && resp.status == 200 {
+                ctx.shutdown.trigger();
+            }
+            resp
+        });
         ctx.metrics.exit_worker();
-        if result.is_err() {
-            eprintln!("rextract-serve: worker recovered from a panicking request handler");
-        }
-    }
-}
-
-/// Serve one connection: keep-alive request loop until the peer closes,
-/// the idle timeout fires, or shutdown drains us.
-fn serve_connection(stream: TcpStream, ctx: &Ctx, scratch: &mut WrapperScratch) {
-    configure_socket(&stream, ctx.keepalive, &ctx.metrics);
-    let mut writer = match stream.try_clone() {
-        Ok(w) => w,
-        Err(_) => return,
-    };
-    let mut reader = BufReader::new(stream);
-    loop {
-        let req = match read_request(&mut reader) {
-            Ok(req) => req,
-            Err(ReadError::Closed) | Err(ReadError::Timeout) | Err(ReadError::Io(_)) => return,
-            Err(ReadError::TooLarge) => {
-                let body = Obj::new().str("error", "request too large").finish();
-                let _ = Response::json(413, body).write_to(&mut writer, true);
-                return;
-            }
-            Err(ReadError::Malformed(why)) => {
-                let body = Obj::new()
-                    .str("error", &format!("malformed request: {why}"))
-                    .finish();
-                let _ = Response::json(400, body).write_to(&mut writer, true);
-                return;
-            }
-        };
-        let started = Instant::now();
-        let (endpoint, response) = route(&req, ctx, scratch);
-        let elapsed_us = started.elapsed().as_micros() as u64;
-        ctx.metrics.record(endpoint, response.status, elapsed_us);
-        // Drain semantics: once shutting down, finish this exchange and
-        // close so keep-alive clients release the worker.
-        let close = response.close || req.wants_close() || ctx.shutdown.draining();
-        if response.write_to(&mut writer, close).is_err() {
-            return;
-        }
-        if endpoint == Endpoint::Shutdown {
-            ctx.shutdown.trigger();
-        }
-        if close {
-            return;
-        }
-    }
-}
-
-/// Apply the per-connection socket options. A failure is survivable (the
-/// connection is served without stall protection) but must not be silent:
-/// it is counted in `sock_config_failures` and logged once per process.
-fn configure_socket(stream: &TcpStream, keepalive: Duration, metrics: &Metrics) {
-    let mut failed = stream.set_read_timeout(Some(keepalive)).is_err();
-    failed |= stream
-        .set_write_timeout(Some(Duration::from_secs(10)))
-        .is_err();
-    failed |= stream.set_nodelay(true).is_err();
-    if failed {
-        metrics.record_sock_config_failure();
-        static LOGGED: AtomicBool = AtomicBool::new(false);
-        if !LOGGED.swap(true, Ordering::Relaxed) {
-            eprintln!(
-                "rextract-serve: socket timeout/nodelay configuration failed \
-                 (logged once; see the sock_config_failures metric)"
-            );
-        }
     }
 }
 
 /// Dispatch a parsed request to its handler. `scratch` is the calling
-/// worker's long-lived extraction scratch.
-fn route(req: &Request, ctx: &Ctx, scratch: &mut WrapperScratch) -> (Endpoint, Response) {
+/// worker's long-lived extraction scratch; `arrived` is when the request
+/// finished parsing (the deadline runs from there, so queue time counts).
+fn route(
+    req: &Request,
+    arrived: Instant,
+    ctx: &Ctx,
+    scratch: &mut WrapperScratch,
+) -> (Endpoint, Response) {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => (Endpoint::Healthz, handle_healthz(ctx)),
         ("GET", "/metrics") => (
             Endpoint::Metrics,
             Response::json(200, ctx.metrics.render_json(&Store::stats())),
         ),
-        ("POST", "/extract") => (Endpoint::Extract, handle_extract(req, ctx, scratch)),
+        ("POST", "/extract") => (
+            Endpoint::Extract,
+            handle_extract(req, arrived, ctx, scratch),
+        ),
         ("GET", "/wrappers") => (
             Endpoint::ListWrappers,
             Response::json(
@@ -510,50 +1063,66 @@ fn deadline_response(ctx: &Ctx) -> Response {
     )
 }
 
-/// `POST /extract?wrapper=NAME`: HTML body → tag sequence → extraction.
+/// The error body for a failed wrapper selection (unknown name, or no
+/// name outside single-tenant deployments).
+fn resolve_error_response(err: &ResolveError, ctx: &Ctx) -> Response {
+    let wrappers = str_array(ctx.registry.names().iter().map(String::as_str));
+    match err {
+        ResolveError::Unknown(name) => Response::json(
+            404,
+            Obj::new()
+                .str("error", &format!("unknown wrapper {name:?}"))
+                .raw("wrappers", &wrappers)
+                .finish(),
+        ),
+        ResolveError::NoSelection => Response::json(
+            400,
+            Obj::new()
+                .str(
+                    "error",
+                    "no wrapper selected: pass ?wrapper=NAME (required unless exactly one is installed)",
+                )
+                .raw("wrappers", &wrappers)
+                .finish(),
+        ),
+    }
+}
+
+/// `POST /extract?wrapper=NAME` outside a coalesced batch: resolve the
+/// wrapper here, then share the resolved path.
+fn handle_extract(
+    req: &Request,
+    arrived: Instant,
+    ctx: &Ctx,
+    scratch: &mut WrapperScratch,
+) -> Response {
+    match ctx.registry.resolve(req.query_param("wrapper")) {
+        Ok((name, wrapper)) => handle_extract_resolved(req, arrived, &name, &wrapper, ctx, scratch),
+        Err(e) => resolve_error_response(&e, ctx),
+    }
+}
+
+/// HTML body → tag sequence → extraction, against an already-resolved
+/// wrapper (batches resolve once for the whole batch).
 ///
-/// Enforces the per-request deadline cooperatively: std threads cannot be
-/// preempted, so the wall clock is checked between pipeline stages and
-/// the request is abandoned with 503 once over budget.
-fn handle_extract(req: &Request, ctx: &Ctx, scratch: &mut WrapperScratch) -> Response {
-    let arrived = Instant::now();
+/// Enforces the per-request deadline cooperatively: std threads cannot
+/// be preempted, so the wall clock is checked between pipeline stages
+/// and the request is abandoned with 503 once over budget. `arrived` is
+/// parse time, so time spent queued counts against the budget.
+fn handle_extract_resolved(
+    req: &Request,
+    arrived: Instant,
+    name: &str,
+    wrapper: &Wrapper,
+    ctx: &Ctx,
+    scratch: &mut WrapperScratch,
+) -> Response {
     // Simulates a stall (slow upstream parse, scheduling delay, …) ahead
     // of the first deadline checkpoint.
     fail_point!("extract.slow");
     if arrived.elapsed() >= ctx.request_deadline {
         return deadline_response(ctx);
     }
-    let (name, wrapper) = match req.query_param("wrapper") {
-        Some(name) => match ctx.registry.get(name) {
-            Some(w) => (name.to_string(), w),
-            None => {
-                let body = Obj::new()
-                    .str("error", &format!("unknown wrapper {name:?}"))
-                    .raw(
-                        "wrappers",
-                        &str_array(ctx.registry.names().iter().map(String::as_str)),
-                    )
-                    .finish();
-                return Response::json(404, body);
-            }
-        },
-        None => match ctx.registry.sole() {
-            Some((name, w)) => (name, w),
-            None => {
-                let body = Obj::new()
-                    .str(
-                        "error",
-                        "no wrapper selected: pass ?wrapper=NAME (required unless exactly one is installed)",
-                    )
-                    .raw(
-                        "wrappers",
-                        &str_array(ctx.registry.names().iter().map(String::as_str)),
-                    )
-                    .finish();
-                return Response::json(400, body);
-            }
-        },
-    };
     if req.body.is_empty() {
         return Response::json(
             400,
@@ -576,7 +1145,7 @@ fn handle_extract(req: &Request, ctx: &Ctx, scratch: &mut WrapperScratch) -> Res
         Ok(idx) => {
             let tag = tokens[idx].tag_name().unwrap_or("#text").to_string();
             let body = Obj::new()
-                .str("wrapper", &name)
+                .str("wrapper", name)
                 .num("position", idx as u64)
                 .raw("positions", &crate::json::num_array([idx as u64]))
                 .str("tag", &tag)
@@ -596,7 +1165,7 @@ fn handle_extract(req: &Request, ctx: &Ctx, scratch: &mut WrapperScratch) -> Res
                 ExtractFailure::AmbiguousMatch(p) => ("ambiguous: multiple positions match", p),
             };
             let body = Obj::new()
-                .str("wrapper", &name)
+                .str("wrapper", name)
                 .str("error", why)
                 .raw(
                     "positions",
@@ -611,7 +1180,7 @@ fn handle_extract(req: &Request, ctx: &Ctx, scratch: &mut WrapperScratch) -> Res
         Err(e) => Response::json(
             422,
             Obj::new()
-                .str("wrapper", &name)
+                .str("wrapper", name)
                 .str("error", &e.to_string())
                 .finish(),
         ),

@@ -1,0 +1,110 @@
+//! Proof of the batched-extraction contract: one `WrapperScratch`
+//! amortized across a batch means a steady-state batch of K same-wrapper
+//! documents performs **zero** extraction-path heap allocations.
+//!
+//! Same counting-`#[global_allocator]` idiom as the extraction crate's
+//! `zero_alloc` test: a const-initialized thread-local gate makes the
+//! tally blind to every other thread, and the batch entry point
+//! ([`rextract_serve::registry::extract_batch_into`]) is driven exactly
+//! the way a worker drives it — resolve once, tokenize once (both
+//! outside the counted window, as in the daemon, where tokenization is
+//! per-request but extraction reuses the shared scratch), then extract
+//! every document against the shared scratch.
+
+use rextract_serve::registry::extract_batch_into;
+use rextract_wrapper::site::{PageStyle, SiteConfig, SiteGenerator};
+use rextract_wrapper::wrapper::{TrainPage, Wrapper, WrapperConfig, WrapperScratch};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+thread_local! {
+    static COUNTING: Cell<bool> = const { Cell::new(false) };
+}
+
+fn counting() -> bool {
+    // `try_with`: the allocator may run during TLS teardown.
+    COUNTING.try_with(Cell::get).unwrap_or(false)
+}
+
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if counting() {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if counting() {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if counting() {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_batch_does_not_allocate() {
+    let mut g = SiteGenerator::new(SiteConfig {
+        seed: 11,
+        ..SiteConfig::default()
+    });
+    let train = vec![
+        TrainPage::from(&g.page_with_style(PageStyle::Plain)),
+        TrainPage::from(&g.page_with_style(PageStyle::TableEmbedded)),
+    ];
+    let wrapper = Wrapper::train(&train, WrapperConfig::default()).unwrap();
+
+    // A batch of K documents, as the event loop would coalesce them.
+    let docs: Vec<_> = (0..8)
+        .map(|i| {
+            g.page_with_style(if i % 2 == 0 {
+                PageStyle::Plain
+            } else {
+                PageStyle::TableEmbedded
+            })
+        })
+        .collect();
+    let pages: Vec<&[rextract_html::token::Token]> =
+        docs.iter().map(|p| p.tokens.as_slice()).collect();
+
+    let mut scratch = WrapperScratch::new();
+    let mut out = Vec::new();
+    // Warm-up batch: grow the shared scratch (and `out`) to the largest
+    // document — exactly what serving the first batch does.
+    extract_batch_into(&wrapper, &pages, &mut scratch, &mut out);
+    for (doc, verdict) in docs.iter().zip(&out) {
+        assert!(matches!(verdict, Ok(t) if *t == doc.target));
+    }
+
+    ALLOCS.store(0, Ordering::SeqCst);
+    COUNTING.with(|c| c.set(true));
+    for _ in 0..50 {
+        extract_batch_into(&wrapper, &pages, &mut scratch, &mut out);
+    }
+    COUNTING.with(|c| c.set(false));
+    let allocs = ALLOCS.load(Ordering::SeqCst);
+
+    assert_eq!(out.len(), pages.len());
+    assert_eq!(
+        allocs, 0,
+        "steady-state same-wrapper batch performed {allocs} heap allocations"
+    );
+}

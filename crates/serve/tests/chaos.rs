@@ -304,6 +304,93 @@ fn panic_storm_is_healed_by_the_supervisor() {
     handle.join();
 }
 
+/// Read one HTTP response off an already-open reader (pipelined
+/// connections carry several back to back).
+fn read_response(reader: &mut BufReader<TcpStream>) -> Option<(u16, String)> {
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).ok()?;
+    let status: u16 = status_line.split_whitespace().nth(1)?.parse().ok()?;
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).ok()?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+            content_length = v.trim().parse().ok()?;
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    std::io::Read::read_exact(reader, &mut body).ok()?;
+    Some((status, String::from_utf8_lossy(&body).into_owned()))
+}
+
+/// A worker panic mid-batch costs exactly the in-flight document: that
+/// one is answered 503, every other document in the batch is still
+/// extracted, and nothing is silently dropped — the client gets one
+/// response per request, in order.
+#[test]
+fn batch_panic_costs_only_the_in_flight_document() {
+    let _faults = arm_faults();
+    let handle = serve(chaos_config()).unwrap();
+    let addr = handle.addr();
+
+    let (artifact, mut gen) = trained_artifact(140);
+    let (page, want) = ground_truth(&artifact, &mut gen);
+    let (status, _) = request(addr, "POST", "/wrappers/demo", &artifact);
+    assert_eq!(status, 201);
+
+    faults::configure_spec("serve.batch.panic=once:panic").unwrap();
+
+    // Pipeline N same-wrapper extracts in ONE write on one connection so
+    // the event loop coalesces them into a batch.
+    const N: usize = 6;
+    let mut msg = String::new();
+    for _ in 0..N {
+        msg.push_str(&format!(
+            "POST /extract?wrapper=demo HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{page}",
+            page.len()
+        ));
+    }
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream.write_all(msg.as_bytes()).unwrap();
+    let mut reader = BufReader::new(stream);
+
+    // Every request gets exactly one response (a drop would hang the
+    // read and fail the expect), and only the panicked item pays.
+    let mut panicked = 0;
+    for i in 0..N {
+        let (status, body) =
+            read_response(&mut reader).unwrap_or_else(|| panic!("response {i} dropped"));
+        if status == 503 {
+            assert!(body.contains("worker panicked"), "{body}");
+            panicked += 1;
+        } else {
+            assert_eq!(status, 200, "{body}");
+            assert_eq!(json_num(&body, "position"), Some(want), "{body}");
+        }
+    }
+    assert_eq!(panicked, 1, "exactly one document pays for the panic");
+    assert_eq!(faults::fires("serve.batch.panic"), 1);
+
+    // The worker survived (per-item catch_unwind, not a worker death):
+    // no respawns, and batching is visible in the metrics.
+    let (_, metrics) = request(addr, "GET", "/metrics", "");
+    assert_eq!(json_num(&metrics, "respawns"), Some(0), "{metrics}");
+    assert!(
+        json_num(&metrics, "batches_dispatched").is_some_and(|n| n >= 1),
+        "{metrics}"
+    );
+
+    request(addr, "POST", "/shutdown", "");
+    handle.join();
+}
+
 /// A stalled extract crosses the per-request deadline and is answered
 /// 503; the next request is unaffected.
 #[test]

@@ -405,3 +405,64 @@ fn hot_reload_from_directory() {
     handle.join();
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// HTTP/1.1 pipelining: several requests written in one segment on one
+/// connection come back as exactly one response each, in request order,
+/// and the daemon's pipelining counter sees them.
+#[test]
+fn pipelined_requests_answered_in_order() {
+    let handle = boot(test_config());
+    let addr = handle.addr();
+
+    let (artifact, mut gen) = trained_artifact(77);
+    let (status, _) = request(addr, "POST", "/wrappers/demo", &artifact);
+    assert_eq!(status, 201);
+    let w = Wrapper::import(&artifact).unwrap();
+    let (page, want) = (0..50)
+        .find_map(|_| {
+            let p = gen.page();
+            w.extract_target(&p.tokens)
+                .ok()
+                .map(|idx| (p.html(), idx as u64))
+        })
+        .expect("no cleanly-extracting page in 50 draws");
+
+    // Distinguishable endpoints prove ordering: the responses can only
+    // line up if the daemon answers in request order.
+    let mut msg = String::new();
+    msg.push_str("GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+    msg.push_str(&format!(
+        "POST /extract?wrapper=demo HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{page}",
+        page.len()
+    ));
+    msg.push_str("GET /nope HTTP/1.1\r\nHost: t\r\n\r\n");
+    msg.push_str("GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream.write_all(msg.as_bytes()).expect("pipelined write");
+    let mut reader = BufReader::new(stream);
+
+    let (s1, b1) = read_response(&mut reader);
+    assert_eq!(s1, 200, "{b1}");
+    assert!(b1.contains("\"status\""), "{b1}");
+
+    let (s2, b2) = read_response(&mut reader);
+    assert_eq!(s2, 200, "{b2}");
+    assert_eq!(json_num(&b2, "position"), Some(want), "{b2}");
+
+    let (s3, b3) = read_response(&mut reader);
+    assert_eq!(s3, 404, "{b3}");
+
+    let (s4, b4) = read_response(&mut reader);
+    assert_eq!(s4, 200, "{b4}");
+    assert!(
+        json_num(&b4, "pipelined_requests").is_some_and(|n| n >= 1),
+        "pipelining not counted: {b4}"
+    );
+
+    handle.shutdown();
+    handle.join();
+}

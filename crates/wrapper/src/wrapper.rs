@@ -201,9 +201,11 @@ impl Wrapper {
 
     /// Locate the target on a page, reusing `scratch` for the abstracted
     /// word, back-map, tag memo, and the extractor's scan buffers; returns
-    /// the target's **token index**. This is the serve hot path: at steady
-    /// state the only allocations are the per-page memo entries for tag
-    /// names not yet seen on *this* page.
+    /// the target's **token index**. This is the serve hot path: the tag
+    /// memo persists across pages of the same wrapper (validated by
+    /// [`Alphabet::uid`]), so at steady state — e.g. a batch of documents
+    /// for one wrapper — extraction performs **zero** heap allocations;
+    /// only a tag name never seen under this alphabet adds a memo entry.
     pub fn extract_target_with(
         &self,
         tokens: &[Token],
@@ -225,12 +227,12 @@ impl Wrapper {
     }
 }
 
-/// Per-page memo entries beyond this count fall back to direct alphabet
-/// lookups; real pages have far fewer distinct tag names.
+/// Memo entries beyond this count fall back to direct alphabet lookups;
+/// real sites have far fewer distinct tag names.
 const MEMO_CAP: usize = 64;
 
 /// Reusable buffers for the wrapper hot path: the abstracted symbol word,
-/// its token back-map, a per-page tag-name memo, and the extraction
+/// its token back-map, a per-alphabet tag-name memo, and the extraction
 /// engine's [`ExtractScratch`]. Keep one per worker thread.
 #[derive(Debug, Default)]
 pub struct WrapperScratch {
@@ -238,10 +240,15 @@ pub struct WrapperScratch {
     word: Vec<Symbol>,
     /// `back[i]` = source token index of `word[i]`.
     back: Vec<usize>,
-    /// Per-page memo: `(is_end_tag, tag_name) → symbol`, so repeated tags
+    /// Tag-name memo: `(is_end_tag, tag_name) → symbol`, so repeated tags
     /// resolve with a short linear probe instead of a hash lookup (and,
-    /// for end tags, without re-building the `/NAME` string).
+    /// for end tags, without re-building the `/NAME` string). Valid for
+    /// the alphabet identified by `memo_uid` and kept across pages — the
+    /// reason a warmed same-wrapper batch extracts without allocating.
     memo: Vec<(bool, String, Symbol)>,
+    /// [`Alphabet::uid`] the memo was built against; a different alphabet
+    /// (another wrapper on the same worker) invalidates it wholesale.
+    memo_uid: Option<u64>,
     /// Scan buffers for the extraction engine.
     extract: ExtractScratch,
     /// Tuple positions for [`TupleWrapper`](crate::tuple::TupleWrapper).
@@ -326,7 +333,13 @@ pub(crate) fn abstract_page_into(
     };
     scratch.word.clear();
     scratch.back.clear();
-    scratch.memo.clear();
+    // The memo survives page-to-page as long as the alphabet does:
+    // consecutive pages for one wrapper (the batched serve path) resolve
+    // every repeated tag allocation-free.
+    if scratch.memo_uid != Some(alphabet.uid()) {
+        scratch.memo.clear();
+        scratch.memo_uid = Some(alphabet.uid());
+    }
     for (i, tok) in tokens.iter().enumerate() {
         let sym = match tok {
             Token::StartTag { name, .. } => {

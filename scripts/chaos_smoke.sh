@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Chaos smoke test: build the CLI with failpoints compiled in, boot the
-# daemon with worker panics and slow extractions armed from the command
-# line, hammer it, and confirm the supervisor heals the pool (healthz
-# returns to "ok", /metrics shows respawns) before a clean shutdown.
+# daemon with worker panics, a mid-batch panic, and slow extractions
+# armed from the command line, hammer it, and confirm the supervisor
+# heals the pool (healthz returns to "ok", /metrics shows respawns and
+# the absorbed batch panic) before a clean shutdown.
 # Uses bash's /dev/tcp so it needs no curl.
 # Usage: scripts/chaos_smoke.sh
 set -euo pipefail
@@ -36,6 +37,7 @@ http() {
 echo "== chaos smoke: boot with armed failpoints =="
 "$BIN" serve --addr 127.0.0.1:0 --workers 2 --wrapper-dir "$WORK" \
     --fault 'worker.panic.escape=times(4):panic' \
+    --fault 'serve.batch.panic=once:panic' \
     --fault 'extract.slow=prob(0.3,42):sleep(30)' >"$OUT" 2>&1 &
 SRV_PID=$!
 for _ in $(seq 1 50); do
@@ -96,6 +98,12 @@ RESPAWNS="$(sed -n 's|.*"respawns":\([0-9]*\).*|\1|p' "$WORK/metrics.txt" | head
 echo "worker respawns: ${RESPAWNS:-0}"
 [ -n "$RESPAWNS" ] && [ "$RESPAWNS" -ge 1 ] || { echo "expected >=1 respawn"; cat "$WORK/metrics.txt"; exit 1; }
 grep -q '"failpoints":\[' "$WORK/metrics.txt" || { echo "failpoint stats missing from /metrics"; exit 1; }
+# The once-armed mid-batch panic must have been absorbed as a single 503
+# (client-visible, retried above), never a dropped request or dead worker.
+BATCH_FIRES="$(sed -n 's|.*"name":"serve\.batch\.panic","evals":[0-9]*,"fires":\([0-9]*\).*|\1|p' "$WORK/metrics.txt" | head -1)"
+echo "mid-batch panics absorbed: ${BATCH_FIRES:-0}"
+[ -n "$BATCH_FIRES" ] && [ "$BATCH_FIRES" -eq 1 ] \
+    || { echo "expected exactly one serve.batch.panic fire"; cat "$WORK/metrics.txt"; exit 1; }
 
 echo "== chaos smoke: graceful shutdown =="
 http POST /shutdown | grep -q '"draining":true'

@@ -60,6 +60,27 @@ http POST '/extract?wrapper=smoke' "$WORK/page.html" | tee "$WORK/extract.txt"
 grep -q '200 OK' "$WORK/extract.txt"
 grep -q '"position":' "$WORK/extract.txt"
 
+echo "== serve smoke: pipelined pair (two requests, one write) =="
+# Stage both requests in a file and `cat` it to the socket: bash's
+# printf can split its output across several write(2) calls, which
+# would de-pipeline the pair into separate segments.
+printf 'GET /healthz HTTP/1.1\r\nHost: smoke\r\n\r\nGET /metrics HTTP/1.1\r\nHost: smoke\r\nConnection: close\r\n\r\n' \
+    >"$WORK/pipeline.req"
+exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+cat "$WORK/pipeline.req" >&3
+tr -d '\r' <&3 >"$WORK/pipeline.txt"
+exec 3<&- 3>&-
+OKS="$(grep -o 'HTTP/1.1 200 OK' "$WORK/pipeline.txt" | wc -l)"
+[ "$OKS" -eq 2 ] || { echo "expected 2 pipelined responses, got $OKS"; cat "$WORK/pipeline.txt"; exit 1; }
+# The first response must be the healthz body, the second the metrics
+# body — in-order responses are the pipelining contract.
+awk '/"status"/{h=NR} /"pipelined_requests"/{m=NR} END{exit !(h && m && h<m)}' "$WORK/pipeline.txt" \
+    || { echo "pipelined responses out of order"; cat "$WORK/pipeline.txt"; exit 1; }
+PIPELINED="$(sed -n 's|.*"pipelined_requests":\([0-9]*\).*|\1|p' "$WORK/pipeline.txt" | head -1)"
+[ -n "$PIPELINED" ] && [ "$PIPELINED" -ge 1 ] \
+    || { echo "daemon did not count the pipelined pair"; cat "$WORK/pipeline.txt"; exit 1; }
+echo "both pipelined responses arrived in order ($PIPELINED pipelined requests counted)"
+
 echo "== serve smoke: graceful shutdown =="
 http POST /shutdown | grep -q '"draining":true'
 for _ in $(seq 1 50); do
