@@ -1,0 +1,190 @@
+//! Experiment E11 — corpus pipeline throughput.
+//!
+//! A load generator, not a criterion microbenchmark: build a synthetic
+//! in-memory catalog corpus (interleaved search-form and product-listing
+//! template families), train one wrapper per family, then sweep worker
+//! counts over `rextract_corpus::run_pipeline` and report pages/second.
+//!
+//! Two acceptance properties are asserted on **every** run, not sampled:
+//!
+//! * **Ground truth** — each page's expected tuple line is precomputed
+//!   from the generator's known target (token spans via
+//!   `tokenize_spanned`, formatted through the same `sink::tuple_line`),
+//!   and every emitted line must either equal its page's expected tuple
+//!   byte-for-byte or be an attributed error line for that page. At
+//!   least 90% of pages must produce tuples.
+//! * **Determinism** — the output stream is byte-identical across every
+//!   worker count in the sweep (the reorder buffer's ordering contract).
+//!
+//! Knobs (environment):
+//!   CORPUS_BENCH_PAGES     catalog size          (default 100_000)
+//!   CORPUS_BENCH_WORKERS   comma-separated sweep (default 1,2,4,8)
+//!   CORPUS_BENCH_FAST      1 = 2_000-page smoke  (for scripts/check.sh)
+
+use rextract_corpus::{run_pipeline, sink, CorpusSource, MemPage, PipelineConfig};
+use rextract_html::tokenize_spanned;
+use rextract_wrapper::persist::FORMAT_VERSION;
+use rextract_wrapper::site::{PageStyle, SiteConfig, SiteGenerator};
+use rextract_wrapper::wrapper::{TrainPage, Wrapper, WrapperConfig};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+struct Catalog {
+    corpus: Vec<MemPage>,
+    /// Per page: the exact tuple line a correct run emits for it.
+    expected: Vec<String>,
+    wrappers: Vec<(String, Arc<Wrapper>)>,
+}
+
+fn build_catalog(pages: usize) -> Catalog {
+    let mut g = SiteGenerator::new(SiteConfig {
+        seed: 1101,
+        ..SiteConfig::default()
+    });
+    let search: Vec<TrainPage> = [
+        PageStyle::Plain,
+        PageStyle::TableEmbedded,
+        PageStyle::Busy,
+        PageStyle::Busy,
+    ]
+    .iter()
+    .map(|&s| TrainPage::from(&g.page_with_style(s)))
+    .collect();
+    let listing: Vec<TrainPage> = (0..6).map(|_| TrainPage::from(&g.listing_page())).collect();
+    let trained = |p: &[TrainPage]| Arc::new(Wrapper::train(p, WrapperConfig::default()).unwrap());
+    let wrappers = vec![
+        ("search".to_string(), trained(&search)),
+        ("listing".to_string(), trained(&listing)),
+    ];
+
+    let mut corpus = Vec::with_capacity(pages);
+    let mut expected = Vec::with_capacity(pages);
+    for i in 0..pages {
+        let (page, family) = if i % 2 == 0 {
+            (g.page(), "search")
+        } else {
+            (g.listing_page(), "listing")
+        };
+        let html = page.html();
+        let name = format!("catalog/p{i:06}.html");
+        let (_, spans) = tokenize_spanned(&html);
+        let (s, e) = spans[page.target];
+        expected.push(sink::tuple_line(
+            &name,
+            family,
+            FORMAT_VERSION,
+            &[(s, e)],
+            &[&html[s..e]],
+        ));
+        corpus.push(MemPage { name, html });
+    }
+    Catalog {
+        corpus,
+        expected,
+        wrappers,
+    }
+}
+
+/// Check every output line against the catalog's ground truth; returns
+/// (tuples emitted, error lines). Panics on any divergence.
+fn cross_check(catalog: &Catalog, out: &str) -> (usize, usize) {
+    let lines: Vec<&str> = out.lines().collect();
+    assert_eq!(
+        lines.len(),
+        catalog.corpus.len(),
+        "line count != page count: a page was dropped or duplicated"
+    );
+    let mut tuples = 0;
+    let mut errors = 0;
+    for (i, line) in lines.iter().enumerate() {
+        if line.contains("\"fields\":") {
+            assert_eq!(
+                *line, catalog.expected[i],
+                "page {i}: tuple diverged from ground truth"
+            );
+            tuples += 1;
+        } else {
+            assert!(
+                line.contains(&format!("\"source\":{:?}", catalog.corpus[i].name))
+                    && line.contains("\"error\":"),
+                "page {i}: line is neither its tuple nor its error: {line}"
+            );
+            errors += 1;
+        }
+    }
+    (tuples, errors)
+}
+
+fn run_one(catalog: &Catalog, workers: usize) -> (Vec<u8>, f64) {
+    let cfg = PipelineConfig {
+        source: CorpusSource::Memory(catalog.corpus.clone()),
+        workers,
+        wrapper_override: None,
+    };
+    let mut out = Vec::new();
+    let started = Instant::now();
+    let report =
+        run_pipeline(&cfg, catalog.wrappers.clone(), &mut out, None).expect("pipeline run failed");
+    let wall = started.elapsed();
+
+    let pages = catalog.corpus.len();
+    assert_eq!(report.pages_total, pages as u64);
+    assert_eq!(report.accounted(), pages as u64, "accounting broke");
+    let (tuples, errors) = cross_check(catalog, &String::from_utf8_lossy(&out));
+    assert_eq!(tuples as u64, report.tuples_emitted);
+    assert!(
+        tuples * 10 >= pages * 9,
+        "only {tuples}/{pages} pages produced tuples"
+    );
+
+    let pps = pages as f64 / wall.as_secs_f64();
+    println!(
+        "workers {workers:>2} | {pages:>7} pages in {:>6.2}s | {pps:>9.0} pages/s | tuples {tuples:>7} | errors {errors:>5} | signatures {}",
+        wall.as_secs_f64(),
+        report.signatures_bound,
+    );
+    (out, pps)
+}
+
+fn main() {
+    let fast = env_usize("CORPUS_BENCH_FAST", 0) != 0;
+    let pages = if fast {
+        2_000
+    } else {
+        env_usize("CORPUS_BENCH_PAGES", 100_000)
+    };
+    let workers: Vec<usize> = std::env::var("CORPUS_BENCH_WORKERS")
+        .unwrap_or_else(|_| "1,2,4,8".into())
+        .split(',')
+        .filter_map(|v| v.trim().parse().ok())
+        .collect();
+
+    println!("corpus/throughput — {pages}-page synthetic catalog, every tuple cross-checked");
+    let built = Instant::now();
+    let catalog = build_catalog(pages);
+    println!(
+        "catalog built in {:.2}s ({} wrappers)",
+        built.elapsed().as_secs_f64(),
+        catalog.wrappers.len()
+    );
+
+    let mut reference: Option<Vec<u8>> = None;
+    for &w in &workers {
+        let (out, _) = run_one(&catalog, w);
+        match &reference {
+            Some(r) => assert_eq!(
+                *r, out,
+                "output bytes diverged between worker counts — ordering contract broken"
+            ),
+            None => reference = Some(out),
+        }
+    }
+    println!("deterministic: identical output bytes across worker counts {workers:?}");
+}

@@ -46,6 +46,20 @@ USAGE:
       Run a trained wrapper on a page; prints the token index and the
       located tag.
 
+  rextract pipeline --wrappers DIR (--corpus DIR | --manifest FILE)
+                    [--workers N] [--wrapper NAME] [--out FILE]
+                    [--unrouted FILE]
+      Batch-extract a corpus of pages. Loads every *.wrapper artifact
+      from --wrappers, routes each page to the wrapper whose site
+      signature (tag-skeleton hash) matches — or probes all wrappers on
+      first sight of a signature and binds the best match — and writes
+      one provenance-tagged NDJSON tuple per page to stdout (or --out)
+      in strict corpus order: {source, wrapper, wrapper_version,
+      byte_offsets, fields}. Pages no wrapper matched go to --unrouted
+      (or inline as error lines); nothing is silently dropped. --wrapper
+      forces every page through one wrapper; --workers (default 4) sets
+      the fan-out. The run summary prints to stderr.
+
   rextract serve [--addr HOST:PORT] [--workers N] [--queue N]
                  [--batch-max N] [--wrapper-dir DIR] [--op-cache-cap N|none]
                  [--keepalive-ms N] [--deadline-ms N]
@@ -235,6 +249,100 @@ pub fn wrapper_extract(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `rextract pipeline --wrappers DIR (--corpus DIR | --manifest FILE)
+/// [--workers N] [--wrapper NAME] [--out FILE] [--unrouted FILE]`
+pub fn pipeline(args: &[String]) -> Result<(), String> {
+    use rextract_corpus::{run_pipeline, CorpusSource, PipelineConfig};
+    use rextract_serve::Registry;
+    use std::io::Write;
+
+    let mut wrapper_dir: Option<String> = None;
+    let mut source: Option<CorpusSource> = None;
+    let mut workers = 4usize;
+    let mut wrapper_override: Option<String> = None;
+    let mut out_path: Option<String> = None;
+    let mut unrouted_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |what: &str| {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{flag} needs a value ({what})"))
+        };
+        match flag.as_str() {
+            "--wrappers" => wrapper_dir = Some(value("directory of *.wrapper artifacts")?.into()),
+            "--corpus" => source = Some(CorpusSource::Dir(value("directory of pages")?.into())),
+            "--manifest" => {
+                source = Some(CorpusSource::Manifest(
+                    value("newline-delimited file")?.into(),
+                ))
+            }
+            "--workers" => {
+                workers = value("thread count")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("--workers: {e}"))?
+                    .max(1)
+            }
+            "--wrapper" => wrapper_override = Some(value("wrapper name")?.into()),
+            "--out" => out_path = Some(value("output file")?.into()),
+            "--unrouted" => unrouted_path = Some(value("sidecar file")?.into()),
+            other => return Err(format!("unknown flag {other:?}; try `rextract help`")),
+        }
+    }
+    let wrapper_dir = wrapper_dir.ok_or_else(|| format!("missing --wrappers DIR\n\n{USAGE}"))?;
+    let source =
+        source.ok_or_else(|| format!("missing --corpus DIR or --manifest FILE\n\n{USAGE}"))?;
+
+    // Same loading path as the daemon: per-artifact validation, corrupt
+    // files quarantined and reported, the rest served.
+    let registry = Registry::new(Some(wrapper_dir.clone().into()));
+    let scan = registry
+        .load_dir()
+        .map_err(|e| format!("scanning {wrapper_dir}: {e}"))?;
+    for (file, err) in &scan.errors {
+        eprintln!("rextract: skipping {file}: {err}");
+    }
+    let wrappers = registry.entries();
+    if wrappers.is_empty() {
+        return Err(format!("no usable *.wrapper artifacts in {wrapper_dir}"));
+    }
+
+    let make_writer = |path: &str| -> Result<Box<dyn Write>, String> {
+        let f = std::fs::File::create(path).map_err(|e| format!("creating {path}: {e}"))?;
+        Ok(Box::new(std::io::BufWriter::new(f)))
+    };
+    let mut out: Box<dyn Write> = match &out_path {
+        Some(p) => make_writer(p)?,
+        None => Box::new(std::io::BufWriter::new(std::io::stdout())),
+    };
+    let mut sidecar: Option<Box<dyn Write>> = match &unrouted_path {
+        Some(p) => Some(make_writer(p)?),
+        None => None,
+    };
+
+    let cfg = PipelineConfig {
+        source,
+        workers,
+        wrapper_override,
+    };
+    // The `as` casts re-coerce the boxes' `dyn Write + 'static` objects
+    // down to the call's local lifetime (coercion does not see through
+    // `Option`, so the closure does it per-element).
+    let report = run_pipeline(
+        &cfg,
+        wrappers,
+        &mut *out as &mut dyn Write,
+        sidecar.as_deref_mut().map(|w| w as &mut dyn Write),
+    )
+    .map_err(|e| e.to_string())?;
+    out.flush().map_err(|e| format!("flushing output: {e}"))?;
+    if let Some(s) = &mut sidecar {
+        s.flush().map_err(|e| format!("flushing sidecar: {e}"))?;
+    }
+    eprintln!("rextract pipeline: {}", report.summary());
+    Ok(())
+}
+
 /// `rextract serve [--addr HOST:PORT] [--workers N] [--queue N]
 /// [--wrapper-dir DIR] [--op-cache-cap N|none] [--keepalive-ms N]`
 pub fn serve(args: &[String]) -> Result<(), String> {
@@ -418,6 +526,86 @@ mod tests {
         let err =
             wrapper_train(&[out.display().to_string(), bad.display().to_string()]).unwrap_err();
         assert!(err.contains("data-target"));
+    }
+
+    #[test]
+    fn pipeline_end_to_end_over_trained_wrapper() {
+        use rextract_wrapper::site::{SiteConfig, SiteGenerator};
+
+        let dir = std::env::temp_dir().join(format!("rextract-cli-pipe-{}", std::process::id()));
+        let wrappers = dir.join("wrappers");
+        let corpus = dir.join("corpus");
+        std::fs::create_dir_all(&wrappers).unwrap();
+        std::fs::create_dir_all(&corpus).unwrap();
+
+        // Train through the real wrapper-train path (data-target marks).
+        let mut g = SiteGenerator::new(SiteConfig {
+            seed: 7,
+            ..SiteConfig::default()
+        });
+        let mut train_args = vec![wrappers.join("search.wrapper").display().to_string()];
+        for i in 0..3 {
+            let p = g.page();
+            let mut html = p.html();
+            // Mark the target token by splicing data-target into it.
+            let (tokens, spans) = rextract_html::tokenize_spanned(&html);
+            assert_eq!(tokens.len(), p.tokens.len());
+            let (s, _) = spans[p.target];
+            let insert = html[s..]
+                .find(' ')
+                .map(|o| s + o)
+                .unwrap_or_else(|| html[s..].find('>').map(|o| s + o).unwrap());
+            html.insert_str(insert, " data-target");
+            let sample = dir.join(format!("sample{i}.html"));
+            std::fs::write(&sample, html).unwrap();
+            train_args.push(sample.display().to_string());
+        }
+        wrapper_train(&train_args).unwrap();
+
+        for i in 0..8 {
+            std::fs::write(corpus.join(format!("p{i}.html")), g.page().html()).unwrap();
+        }
+        let out = dir.join("tuples.ndjson");
+        let side = dir.join("unrouted.ndjson");
+        pipeline(&[
+            "--wrappers".into(),
+            wrappers.display().to_string(),
+            "--corpus".into(),
+            corpus.display().to_string(),
+            "--workers".into(),
+            "2".into(),
+            "--out".into(),
+            out.display().to_string(),
+            "--unrouted".into(),
+            side.display().to_string(),
+        ])
+        .unwrap();
+        let tuples = std::fs::read_to_string(&out).unwrap();
+        let side = std::fs::read_to_string(&side).unwrap();
+        assert_eq!(
+            tuples.lines().count() + side.lines().count(),
+            8,
+            "every page accounted: {tuples}{side}"
+        );
+        assert!(
+            tuples.contains("\"wrapper\":\"search\"") && tuples.contains("\"byte_offsets\":"),
+            "{tuples}"
+        );
+
+        // Flag errors fail before any I/O.
+        assert!(pipeline(&[]).is_err());
+        assert!(pipeline(&["--corpus".into(), corpus.display().to_string()]).is_err());
+        assert!(pipeline(&["--bogus".into()]).is_err());
+        let err = pipeline(&[
+            "--wrappers".into(),
+            corpus.display().to_string(), // no artifacts here
+            "--corpus".into(),
+            corpus.display().to_string(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("no usable"), "{err}");
+
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -40,6 +40,7 @@ fn main() -> ExitCode {
         "learn" => commands::learn(rest),
         "wrapper-train" => commands::wrapper_train(rest),
         "wrapper-extract" => commands::wrapper_extract(rest),
+        "pipeline" => commands::pipeline(rest),
         "serve" => commands::serve(rest),
         "demo" => commands::demo(rest),
         "help" | "--help" | "-h" => {

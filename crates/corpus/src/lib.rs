@@ -1,0 +1,400 @@
+//! # rextract-corpus
+//!
+//! The corpus pipeline: batch ingest, signature-based wrapper routing,
+//! and provenance-tagged tuple streams. This is the fleet-scale
+//! counterpart of the one-page extraction paths — a heterogeneous corpus
+//! of pages goes in, each page is matched to the wrapper trained for its
+//! template family, and what comes out is an auditable NDJSON tuple
+//! stream plus an exact accounting of every page that did *not* produce
+//! a tuple.
+//!
+//! ```text
+//!  CorpusSource ──enumerate──► jobs (seq-numbered, deterministic order)
+//!       │                         │ claimed by index (lock-free)
+//!       │                 ┌───────┴────────┐
+//!       │            worker 0 …       worker N-1      each owns one
+//!       │            read → tokenize → route → extract  WorkerScratch
+//!       │                 └───────┬────────┘
+//!       ▼                         ▼
+//!  sidecar (error lines)  ◄─ ReorderSink ─► out (tuple lines, NDJSON)
+//! ```
+//!
+//! * [`ingest`] — corpus enumeration (directory / manifest / in-memory)
+//!   and page reading, with the `pipeline.read` failpoint,
+//! * [`router`] — site signatures + probe-and-bind routing, with the
+//!   `pipeline.route` failpoint,
+//! * [`sink`] — tuple/error line formats and the seq-ordered reorder
+//!   buffer,
+//! * [`run_pipeline`] — the fan-out executor tying them together.
+//!
+//! Three invariants the tests pin down:
+//!
+//! 1. **Determinism** — output order equals ingest order for any worker
+//!    count (reorder buffer; byte-identical runs).
+//! 2. **Accounting** — `pages_total = pages_ok + pages_failed +
+//!    pages_unrouted + read_errors`; every non-tuple page produces an
+//!    error line. Nothing is silently dropped, even mid-corpus I/O
+//!    failures.
+//! 3. **Allocation discipline** — the per-page route + extract core
+//!    performs zero steady-state heap allocations (counting global
+//!    allocator, `tests/pipeline_alloc.rs`).
+
+pub mod ingest;
+pub mod router;
+pub mod sink;
+
+pub use ingest::{CorpusSource, MemPage};
+pub use router::{RouteOutcome, Router, RouterError, WorkerScratch, SIGNATURE_CFG};
+
+use rextract_html::tokenize_spanned;
+use rextract_wrapper::Wrapper;
+use sink::{error_line, tuple_line, PageLine, ReorderSink};
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+
+/// Pipeline run configuration.
+#[derive(Debug)]
+pub struct PipelineConfig {
+    /// Where pages come from.
+    pub source: CorpusSource,
+    /// Worker thread count; `0` behaves as `1`.
+    pub workers: usize,
+    /// Route every page to this wrapper instead of by signature.
+    pub wrapper_override: Option<String>,
+}
+
+/// Per-wrapper page and tuple tallies.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct WrapperTally {
+    /// Pages this wrapper extracted successfully.
+    pub pages_ok: u64,
+    /// Pages routed here whose extraction failed.
+    pub pages_failed: u64,
+    /// Tuples emitted (one per successful page today; kept separate so
+    /// multi-field wrappers can emit more than one).
+    pub tuples_emitted: u64,
+}
+
+/// What a pipeline run did, page by page. The accounting invariant
+/// `pages_total == pages_ok + pages_failed + pages_unrouted +
+/// read_errors` always holds — see [`PipelineReport::accounted`].
+#[derive(Debug, Default, Clone)]
+pub struct PipelineReport {
+    /// Pages enumerated from the source.
+    pub pages_total: u64,
+    /// Pages that produced a tuple.
+    pub pages_ok: u64,
+    /// Pages routed to a wrapper whose extraction failed.
+    pub pages_failed: u64,
+    /// Pages no wrapper matched (sidecar).
+    pub pages_unrouted: u64,
+    /// Pages whose body could not be read (sidecar).
+    pub read_errors: u64,
+    /// Total tuples written to the main stream.
+    pub tuples_emitted: u64,
+    /// Distinct site signatures bound during the run.
+    pub signatures_bound: u64,
+    /// Per-wrapper tallies, sorted by wrapper name.
+    pub per_wrapper: Vec<(String, WrapperTally)>,
+}
+
+impl PipelineReport {
+    /// Sum of the four per-page outcome counters; equals `pages_total`
+    /// on every completed run (asserted by the chaos tests).
+    pub fn accounted(&self) -> u64 {
+        self.pages_ok + self.pages_failed + self.pages_unrouted + self.read_errors
+    }
+
+    /// One-line human summary (CLI stderr, smoke scripts).
+    pub fn summary(&self) -> String {
+        format!(
+            "pages {} ok {} failed {} unrouted {} read-errors {} tuples {} signatures {}",
+            self.pages_total,
+            self.pages_ok,
+            self.pages_failed,
+            self.pages_unrouted,
+            self.read_errors,
+            self.tuples_emitted,
+            self.signatures_bound,
+        )
+    }
+}
+
+/// Pipeline setup or output errors.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// Router construction failed (no wrappers / unknown override).
+    Router(RouterError),
+    /// Enumerating the corpus or writing an output stream failed.
+    /// (Per-page read failures are *not* errors — they are counted and
+    /// land in the sidecar.)
+    Io(io::Error),
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::Router(e) => write!(f, "{e}"),
+            PipelineError::Io(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<RouterError> for PipelineError {
+    fn from(e: RouterError) -> Self {
+        PipelineError::Router(e)
+    }
+}
+
+impl From<io::Error> for PipelineError {
+    fn from(e: io::Error) -> Self {
+        PipelineError::Io(e)
+    }
+}
+
+/// Per-page outcome sent from a worker to the draining thread.
+enum Outcome {
+    Ok { wrapper: usize },
+    Failed { wrapper: usize },
+    Unrouted,
+    ReadError,
+}
+
+/// Run the full pipeline: enumerate `cfg.source`, fan pages out over
+/// `cfg.workers` threads (each owning one [`WorkerScratch`]), route each
+/// page through a probe-and-bind [`Router`] over `wrappers`, and write
+/// provenance tuple lines to `out` in strict ingest order. Error lines
+/// (unrouted / failed / unreadable pages) go to `sidecar`, or inline
+/// into `out` when `sidecar` is `None` — order is deterministic either
+/// way.
+pub fn run_pipeline<'a>(
+    cfg: &PipelineConfig,
+    wrappers: Vec<(String, Arc<Wrapper>)>,
+    out: &'a mut dyn Write,
+    sidecar: Option<&'a mut dyn Write>,
+) -> Result<PipelineReport, PipelineError> {
+    let router = Router::new(wrappers, cfg.wrapper_override.as_deref())?;
+    let jobs = ingest::enumerate(&cfg.source)?;
+    let workers = cfg.workers.max(1).min(jobs.len().max(1));
+
+    let mut report = PipelineReport {
+        pages_total: jobs.len() as u64,
+        per_wrapper: router
+            .wrappers()
+            .iter()
+            .map(|(n, _)| (n.clone(), WrapperTally::default()))
+            .collect(),
+        ..PipelineReport::default()
+    };
+    let mut sink = ReorderSink::new(out, sidecar);
+
+    let next_job = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(u64, Outcome, PageLine)>();
+    let mut write_err: Option<io::Error> = None;
+
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let jobs = &jobs;
+            let router = &router;
+            let next_job = &next_job;
+            s.spawn(move || {
+                let mut scratch = WorkerScratch::new(router.wrappers().len());
+                loop {
+                    let i = next_job.fetch_add(1, Ordering::Relaxed);
+                    let Some(job) = jobs.get(i) else { break };
+                    let msg = process_job(job, router, &mut scratch);
+                    if tx.send((i as u64, msg.0, msg.1)).is_err() {
+                        break; // drain thread gave up (write error)
+                    }
+                }
+            });
+        }
+        drop(tx);
+        for (seq, outcome, line) in rx {
+            match outcome {
+                Outcome::Ok { wrapper } => {
+                    report.pages_ok += 1;
+                    report.tuples_emitted += 1;
+                    let t = &mut report.per_wrapper[wrapper].1;
+                    t.pages_ok += 1;
+                    t.tuples_emitted += 1;
+                }
+                Outcome::Failed { wrapper } => {
+                    report.pages_failed += 1;
+                    report.per_wrapper[wrapper].1.pages_failed += 1;
+                }
+                Outcome::Unrouted => report.pages_unrouted += 1,
+                Outcome::ReadError => report.read_errors += 1,
+            }
+            if let Err(e) = sink.complete(seq, line) {
+                write_err = Some(e);
+                break; // dropping rx unblocks the workers' sends
+            }
+        }
+    });
+
+    if let Some(e) = write_err {
+        return Err(PipelineError::Io(e));
+    }
+    report.signatures_bound = router.binding_count() as u64;
+    Ok(report)
+}
+
+/// Process one page end to end on a worker: read, tokenize with spans,
+/// route + extract, format the output line. Every failure mode maps to
+/// an accounted outcome — this function cannot lose a page.
+fn process_job(
+    job: &ingest::PageJob,
+    router: &Router,
+    scratch: &mut WorkerScratch,
+) -> (Outcome, PageLine) {
+    let body = match ingest::read_page(job) {
+        Ok(b) => b,
+        Err(e) => {
+            return (
+                Outcome::ReadError,
+                PageLine::Error(error_line(&job.source, &format!("read: {e}"))),
+            )
+        }
+    };
+    let (tokens, spans) = tokenize_spanned(&body);
+    match router.route_and_extract(&tokens, scratch) {
+        RouteOutcome::Extracted { wrapper, target } => {
+            let (name, w) = &router.wrappers()[wrapper];
+            let (s, e) = spans[target];
+            let line = tuple_line(
+                &job.source,
+                name,
+                w.format_version(),
+                &[(s, e)],
+                &[&body[s..e]],
+            );
+            (Outcome::Ok { wrapper }, PageLine::Tuple(line))
+        }
+        RouteOutcome::Failed { wrapper, reason } => {
+            let name = &router.wrappers()[wrapper].0;
+            (
+                Outcome::Failed { wrapper },
+                PageLine::Error(error_line(
+                    &job.source,
+                    &format!("extract failed ({name}): {reason}"),
+                )),
+            )
+        }
+        RouteOutcome::Unrouted => (
+            Outcome::Unrouted,
+            PageLine::Error(error_line(&job.source, "unrouted")),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rextract_wrapper::{SiteConfig, SiteGenerator, TrainPage, WrapperConfig};
+
+    fn trained(pages: &[TrainPage]) -> Arc<Wrapper> {
+        Arc::new(Wrapper::train(pages, WrapperConfig::default()).unwrap())
+    }
+
+    fn wrappers_and_corpus(pages: usize) -> (Vec<(String, Arc<Wrapper>)>, Vec<MemPage>) {
+        let mut g = SiteGenerator::new(SiteConfig {
+            seed: 17,
+            ..SiteConfig::default()
+        });
+        let search: Vec<TrainPage> = (0..3).map(|_| TrainPage::from(&g.page())).collect();
+        let listing: Vec<TrainPage> = (0..4).map(|_| TrainPage::from(&g.listing_page())).collect();
+        let wrappers = vec![
+            ("search".to_string(), trained(&search)),
+            ("listing".to_string(), trained(&listing)),
+        ];
+        let corpus = (0..pages)
+            .map(|i| {
+                let p = if i % 2 == 0 {
+                    g.page()
+                } else {
+                    g.listing_page()
+                };
+                MemPage {
+                    name: format!("mem/p{i:04}.html"),
+                    html: p.html(),
+                }
+            })
+            .collect();
+        (wrappers, corpus)
+    }
+
+    #[test]
+    fn pipeline_runs_and_accounts_for_every_page() {
+        let (wrappers, corpus) = wrappers_and_corpus(24);
+        let cfg = PipelineConfig {
+            source: CorpusSource::Memory(corpus),
+            workers: 3,
+            wrapper_override: None,
+        };
+        let mut out = Vec::new();
+        let report = run_pipeline(&cfg, wrappers, &mut out, None).unwrap();
+        assert_eq!(report.pages_total, 24);
+        assert_eq!(report.accounted(), 24);
+        assert_eq!(report.read_errors, 0);
+        let lines = String::from_utf8(out).unwrap();
+        assert_eq!(lines.lines().count(), 24, "one line per page, no drops");
+        // Deterministic order: line i belongs to page i.
+        for (i, line) in lines.lines().enumerate() {
+            assert!(
+                line.contains(&format!("\"mem/p{i:04}.html\"")),
+                "line {i} out of order: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_output_bytes() {
+        let (wrappers, corpus) = wrappers_and_corpus(30);
+        let mut runs = Vec::new();
+        for workers in [1, 2, 7] {
+            let cfg = PipelineConfig {
+                source: CorpusSource::Memory(corpus.clone()),
+                workers,
+                wrapper_override: None,
+            };
+            let mut out = Vec::new();
+            run_pipeline(&cfg, wrappers.clone(), &mut out, None).unwrap();
+            runs.push(out);
+        }
+        assert_eq!(runs[0], runs[1]);
+        assert_eq!(runs[1], runs[2]);
+    }
+
+    #[test]
+    fn empty_corpus_is_a_clean_noop() {
+        let (wrappers, _) = wrappers_and_corpus(0);
+        let cfg = PipelineConfig {
+            source: CorpusSource::Memory(Vec::new()),
+            workers: 4,
+            wrapper_override: None,
+        };
+        let mut out = Vec::new();
+        let report = run_pipeline(&cfg, wrappers, &mut out, None).unwrap();
+        assert_eq!(report.pages_total, 0);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn no_wrappers_is_a_setup_error() {
+        let cfg = PipelineConfig {
+            source: CorpusSource::Memory(Vec::new()),
+            workers: 1,
+            wrapper_override: None,
+        };
+        let mut out = Vec::new();
+        match run_pipeline(&cfg, Vec::new(), &mut out, None) {
+            Err(PipelineError::Router(RouterError::Empty)) => {}
+            other => panic!("expected Router(Empty), got {other:?}"),
+        }
+    }
+}

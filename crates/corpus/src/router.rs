@@ -1,0 +1,400 @@
+//! Signature-based wrapper routing.
+//!
+//! Every page gets a **site signature** — the hash of its
+//! tag-abstraction skeleton, computed by
+//! [`WrapperScratch::skeleton_signature`] (content-text invariant,
+//! repeated-row invariant). The router keeps a signature → wrapper
+//! binding table:
+//!
+//! * **Bound signature**: the page goes straight to the bound wrapper —
+//!   one hash lookup, one extraction, no probing. This is the steady
+//!   state for template-generated corpora, where thousands of pages
+//!   share a handful of signatures.
+//! * **Unbound signature**: the router probes *every* installed wrapper
+//!   and binds the signature to the best structural fit among the
+//!   successful extractions — the wrapper whose training alphabet
+//!   covers the page with the fewest `#other` symbols, ties broken by
+//!   name order. Success alone is too weak a signal: a maximized
+//!   wrapper is deliberately permissive (that is the resilience story),
+//!   so a busy table-styled search page can *satisfy* a listing
+//!   wrapper's expression — but half its tags fall outside the listing
+//!   alphabet, and coverage exposes that. The probe is total and
+//!   deterministic regardless of which worker sees a signature first.
+//! * **No probe succeeds**: the page is *unrouted* — never dropped, it
+//!   lands in the sidecar and the counters (acceptance criterion).
+//!
+//! Signatures can also be **registered** up front from sample pages
+//! ([`Router::register`]; CLI `--route-sample NAME=FILE`), pinning a
+//! template family to a wrapper without spending a probe — and
+//! overriding what probing would have picked.
+//!
+//! An explicit override (`--wrapper NAME` / `?wrapper=NAME`) skips
+//! signatures entirely: every page is extracted with the named wrapper
+//! and failures count as failures, not unrouted pages.
+
+use rextract_html::seq::SeqConfig;
+use rextract_html::token::Token;
+use rextract_wrapper::{Wrapper, WrapperScratch};
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+use rextract_faults::fail_point;
+
+/// Where a page ended up after routing + extraction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteOutcome {
+    /// Routed and extracted: `wrapper` (index into the router's sorted
+    /// wrapper list) found the target at token index `target`.
+    Extracted { wrapper: usize, target: usize },
+    /// Routed — by binding or override — but extraction failed.
+    Failed { wrapper: usize, reason: String },
+    /// No binding and no probe succeeded (or the `pipeline.route`
+    /// failpoint forced a miss).
+    Unrouted,
+}
+
+/// Per-worker scratch: one [`WrapperScratch`] per wrapper (each wrapper
+/// has its own alphabet, and the tag memo inside a scratch is only valid
+/// for one alphabet at a time) plus one for signature hashing. Keeping
+/// them separate is what makes the steady-state page loop allocation-free
+/// even on a corpus that interleaves wrappers.
+pub struct WorkerScratch {
+    sig: WrapperScratch,
+    per_wrapper: Vec<WrapperScratch>,
+}
+
+impl WorkerScratch {
+    /// Scratch sized for a router over `wrapper_count` wrappers.
+    pub fn new(wrapper_count: usize) -> WorkerScratch {
+        WorkerScratch {
+            sig: WrapperScratch::new(),
+            per_wrapper: (0..wrapper_count).map(|_| WrapperScratch::new()).collect(),
+        }
+    }
+}
+
+/// The abstraction level signatures are computed under: text runs are
+/// part of the skeleton (as an anonymous marker — never their content),
+/// end tags too. Fixed router-wide so a page has *one* signature no
+/// matter which wrappers are installed.
+pub const SIGNATURE_CFG: SeqConfig = SeqConfig {
+    include_text: true,
+    include_end_tags: true,
+    refine_attrs: Vec::new(),
+};
+
+/// Routing errors at construction time.
+#[derive(Debug, PartialEq, Eq)]
+pub enum RouterError {
+    /// `--wrapper NAME` named a wrapper that is not installed.
+    UnknownOverride(String),
+    /// No wrappers installed at all.
+    Empty,
+}
+
+impl std::fmt::Display for RouterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouterError::UnknownOverride(name) => write!(f, "unknown wrapper {name:?}"),
+            RouterError::Empty => write!(f, "no wrappers installed"),
+        }
+    }
+}
+
+impl std::error::Error for RouterError {}
+
+/// The signature router. Shared (behind `&self`) by every worker.
+#[derive(Debug)]
+pub struct Router {
+    /// Installed wrappers, sorted by name — the probe order.
+    wrappers: Vec<(String, Arc<Wrapper>)>,
+    /// Forced wrapper index (`--wrapper` override), if any.
+    override_idx: Option<usize>,
+    /// signature → wrapper index, grown by probe-and-bind.
+    bindings: RwLock<HashMap<u64, usize>>,
+}
+
+impl Router {
+    /// Build a router over `wrappers` (sorted by name here; input order
+    /// does not matter). `override_name` forces every page to one
+    /// wrapper.
+    pub fn new(
+        mut wrappers: Vec<(String, Arc<Wrapper>)>,
+        override_name: Option<&str>,
+    ) -> Result<Router, RouterError> {
+        if wrappers.is_empty() {
+            return Err(RouterError::Empty);
+        }
+        wrappers.sort_by(|a, b| a.0.cmp(&b.0));
+        let override_idx = match override_name {
+            Some(name) => Some(
+                wrappers
+                    .iter()
+                    .position(|(n, _)| n == name)
+                    .ok_or_else(|| RouterError::UnknownOverride(name.to_string()))?,
+            ),
+            None => None,
+        };
+        Ok(Router {
+            wrappers,
+            override_idx,
+            bindings: RwLock::new(HashMap::new()),
+        })
+    }
+
+    /// The sorted wrapper list (index space of [`RouteOutcome`]).
+    pub fn wrappers(&self) -> &[(String, Arc<Wrapper>)] {
+        &self.wrappers
+    }
+
+    /// Signatures currently bound (observability / tests).
+    pub fn binding_count(&self) -> usize {
+        self.bindings
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .len()
+    }
+
+    /// Register a sample page's signature for `wrapper`: pages hashing
+    /// to the same tag skeleton route there directly, bypassing the
+    /// probe (and overriding any probe-and-bind result for that
+    /// signature). Returns the bound signature.
+    pub fn register(&self, wrapper: &str, tokens: &[Token]) -> Result<u64, RouterError> {
+        let idx = self
+            .wrappers
+            .iter()
+            .position(|(n, _)| n == wrapper)
+            .ok_or_else(|| RouterError::UnknownOverride(wrapper.to_string()))?;
+        let mut scratch = WrapperScratch::new();
+        let sig = scratch.skeleton_signature(&SIGNATURE_CFG, tokens);
+        self.bindings
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(sig, idx);
+        Ok(sig)
+    }
+
+    /// Route a tokenized page and extract its target. This is the worker
+    /// hot loop's core: at steady state — warmed scratch, signature
+    /// already bound — it performs zero heap allocations (proved by the
+    /// counting-allocator test in `tests/pipeline_alloc.rs`). Probing and
+    /// binding only happen the first time a signature is seen.
+    pub fn route_and_extract(&self, tokens: &[Token], scratch: &mut WorkerScratch) -> RouteOutcome {
+        fail_point!("pipeline.route", |_action| RouteOutcome::Unrouted);
+        if let Some(i) = self.override_idx {
+            return self.extract_with(i, tokens, scratch);
+        }
+        let sig = scratch.sig.skeleton_signature(&SIGNATURE_CFG, tokens);
+        let bound = self
+            .bindings
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&sig)
+            .copied();
+        if let Some(i) = bound {
+            return self.extract_with(i, tokens, scratch);
+        }
+        // Unbound: probe every wrapper; among the successes, bind the
+        // best alphabet coverage (strict `>` keeps the lowest name on
+        // ties). Total and order-independent, so two workers racing the
+        // same fresh signature bind the same winner.
+        let mut best: Option<(usize, usize, f64)> = None;
+        for (i, (_, w)) in self.wrappers.iter().enumerate() {
+            let sc = &mut scratch.per_wrapper[i];
+            if let Ok(target) = w.extract_target_with(tokens, sc) {
+                let cov = Self::coverage_of(w, sc);
+                if best.map_or(true, |(_, _, b)| cov > b) {
+                    best = Some((i, target, cov));
+                }
+            }
+        }
+        match best {
+            Some((i, target, _)) => {
+                self.bindings
+                    .write()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .insert(sig, i);
+                RouteOutcome::Extracted { wrapper: i, target }
+            }
+            None => RouteOutcome::Unrouted,
+        }
+    }
+
+    /// Fraction of the just-abstracted page (left in `sc` by
+    /// `extract_target_with`) that `w`'s training alphabet knows —
+    /// i.e. symbols that are not `#other`. The probe's structural-fit
+    /// score.
+    fn coverage_of(w: &Wrapper, sc: &WrapperScratch) -> f64 {
+        let other = w.alphabet().try_sym(rextract_wrapper::wrapper::OTHER);
+        let word = sc.word();
+        if word.is_empty() {
+            return 0.0;
+        }
+        let known = word.iter().filter(|&&s| Some(s) != other).count();
+        known as f64 / word.len() as f64
+    }
+
+    fn extract_with(
+        &self,
+        i: usize,
+        tokens: &[Token],
+        scratch: &mut WorkerScratch,
+    ) -> RouteOutcome {
+        match self.wrappers[i]
+            .1
+            .extract_target_with(tokens, &mut scratch.per_wrapper[i])
+        {
+            Ok(target) => RouteOutcome::Extracted { wrapper: i, target },
+            Err(e) => RouteOutcome::Failed {
+                wrapper: i,
+                reason: e.to_string(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rextract_wrapper::{SiteConfig, SiteGenerator, TrainPage, WrapperConfig};
+
+    fn trained(pages: &[TrainPage]) -> Arc<Wrapper> {
+        Arc::new(Wrapper::train(pages, WrapperConfig::default()).unwrap())
+    }
+
+    fn two_wrapper_router() -> (Router, SiteGenerator) {
+        use rextract_wrapper::PageStyle;
+        let mut g = SiteGenerator::new(SiteConfig {
+            seed: 41,
+            ..SiteConfig::default()
+        });
+        // One sample per style: the search wrapper must generalize
+        // across the whole family, or un-extractable variants inflate
+        // the unrouted count below.
+        let search: Vec<TrainPage> = [
+            PageStyle::Plain,
+            PageStyle::TableEmbedded,
+            PageStyle::Busy,
+            PageStyle::Busy,
+        ]
+        .iter()
+        .map(|&s| TrainPage::from(&g.page_with_style(s)))
+        .collect();
+        let listing: Vec<TrainPage> = (0..6).map(|_| TrainPage::from(&g.listing_page())).collect();
+        let router = Router::new(
+            vec![
+                ("search".to_string(), trained(&search)),
+                ("listing".to_string(), trained(&listing)),
+            ],
+            None,
+        )
+        .unwrap();
+        (router, g)
+    }
+
+    #[test]
+    fn probe_binds_and_routes_both_families() {
+        let (router, mut g) = two_wrapper_router();
+        // Wrapper indices follow sorted-name order.
+        assert_eq!(router.wrappers()[0].0, "listing");
+        let mut scratch = WorkerScratch::new(2);
+        let (mut ok, mut unrouted) = (0, 0);
+        let trials = 40;
+        for i in 0..trials {
+            let (p, family) = if i % 2 == 0 {
+                (g.listing_page(), "listing")
+            } else {
+                (g.page(), "search")
+            };
+            match router.route_and_extract(&p.tokens, &mut scratch) {
+                RouteOutcome::Extracted { wrapper, target } => {
+                    // An emitted tuple must never be a misroute or a
+                    // wrong target — failures are tolerated, lies not.
+                    assert_eq!(router.wrappers()[wrapper].0, family);
+                    assert_eq!(target, p.target);
+                    ok += 1;
+                }
+                RouteOutcome::Unrouted | RouteOutcome::Failed { .. } => unrouted += 1,
+            }
+        }
+        assert!(
+            ok >= trials * 9 / 10,
+            "routed only {ok}/{trials} ({unrouted} unrouted/failed)"
+        );
+        assert!(router.binding_count() >= 2);
+    }
+
+    #[test]
+    fn registered_signature_pins_a_template_family() {
+        let (router, mut g) = two_wrapper_router();
+        let sample = g.listing_page();
+        let sig = router.register("listing", &sample.tokens).unwrap();
+        // Same-signature pages go straight to the registered wrapper.
+        let mut scratch = WorkerScratch::new(2);
+        let mut probe_scratch = WrapperScratch::new();
+        let mut hits = 0;
+        for _ in 0..20 {
+            let p = g.listing_page();
+            if probe_scratch.skeleton_signature(&SIGNATURE_CFG, &p.tokens) != sig {
+                continue; // different variant (e.g. header row toggled)
+            }
+            hits += 1;
+            match router.route_and_extract(&p.tokens, &mut scratch) {
+                RouteOutcome::Extracted { wrapper, .. } => {
+                    assert_eq!(router.wrappers()[wrapper].0, "listing")
+                }
+                other => panic!("registered page not routed: {other:?}"),
+            }
+        }
+        assert!(hits > 0, "no generated page shared the sample signature");
+        assert!(
+            router.register("nope", &sample.tokens).is_err(),
+            "registering to an unknown wrapper must fail"
+        );
+    }
+
+    #[test]
+    fn unroutable_page_reports_unrouted() {
+        let (router, _) = two_wrapper_router();
+        let tokens = rextract_html::tokenize("<blink>nothing to see</blink>");
+        let mut scratch = WorkerScratch::new(2);
+        assert_eq!(
+            router.route_and_extract(&tokens, &mut scratch),
+            RouteOutcome::Unrouted
+        );
+    }
+
+    #[test]
+    fn override_skips_routing_and_surfaces_failures() {
+        let (router_base, mut g) = two_wrapper_router();
+        let wrappers = router_base.wrappers().to_vec();
+        let router = Router::new(wrappers, Some("listing")).unwrap();
+        let mut scratch = WorkerScratch::new(2);
+        // A plain search page (no tables, so no TD for the listing
+        // wrapper to find) forced through the listing wrapper must fail
+        // loudly, not fall back to routing.
+        let p = g.page_with_style(rextract_wrapper::PageStyle::Plain);
+        match router.route_and_extract(&p.tokens, &mut scratch) {
+            RouteOutcome::Failed { wrapper, .. } => {
+                assert_eq!(router.wrappers()[wrapper].0, "listing");
+            }
+            other => panic!("expected Failed, got {other:?}"),
+        }
+        let p = g.listing_page();
+        assert!(matches!(
+            router.route_and_extract(&p.tokens, &mut scratch),
+            RouteOutcome::Extracted { .. }
+        ));
+    }
+
+    #[test]
+    fn unknown_override_is_rejected() {
+        let (router_base, _) = two_wrapper_router();
+        let err = Router::new(router_base.wrappers().to_vec(), Some("nope")).unwrap_err();
+        assert_eq!(err, RouterError::UnknownOverride("nope".to_string()));
+        assert!(matches!(
+            Router::new(Vec::new(), None),
+            Err(RouterError::Empty)
+        ));
+    }
+}

@@ -1,0 +1,159 @@
+//! Pipeline chaos tests: arm the `pipeline.read` / `pipeline.route`
+//! failpoints over a real file-backed corpus and verify the accounting
+//! invariant holds under mid-corpus failure — the run completes, every
+//! page is accounted for exactly once across the tuple stream and the
+//! sidecar, and the injected failures show up as counted error lines,
+//! never as silent drops.
+//!
+//! The failpoint registry is process-global, so every test takes one
+//! mutex and clears the registry on entry and (via drop guard) on exit —
+//! same idiom as `crates/serve/tests/chaos.rs`.
+#![cfg(feature = "failpoints")]
+
+use rextract_corpus::{run_pipeline, CorpusSource, PipelineConfig};
+use rextract_faults as faults;
+use rextract_wrapper::site::{SiteConfig, SiteGenerator};
+use rextract_wrapper::{TrainPage, Wrapper, WrapperConfig};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+struct FaultGuard(#[allow(dead_code)] MutexGuard<'static, ()>);
+
+impl Drop for FaultGuard {
+    fn drop(&mut self) {
+        faults::clear_all();
+    }
+}
+
+fn arm_faults() -> FaultGuard {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    let guard = match LOCK.get_or_init(|| Mutex::new(())).lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    };
+    faults::clear_all();
+    FaultGuard(guard)
+}
+
+const PAGES: usize = 30;
+
+/// Write a 30-page single-family corpus to a temp dir and train its
+/// wrapper. Returns (corpus dir, wrappers, expected source names in
+/// ingest order).
+#[allow(clippy::type_complexity)]
+fn corpus_on_disk(tag: &str) -> (PathBuf, Vec<(String, Arc<Wrapper>)>, Vec<String>) {
+    let dir = std::env::temp_dir().join(format!("rextract-chaos-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut g = SiteGenerator::new(SiteConfig {
+        seed: 4242,
+        ..SiteConfig::default()
+    });
+    let samples: Vec<TrainPage> = (0..4).map(|_| TrainPage::from(&g.page())).collect();
+    let wrapper = Arc::new(Wrapper::train(&samples, WrapperConfig::default()).unwrap());
+    let mut sources = Vec::with_capacity(PAGES);
+    for i in 0..PAGES {
+        let path = dir.join(format!("p{i:04}.html"));
+        std::fs::write(&path, g.page().html()).unwrap();
+        sources.push(path.to_string_lossy().into_owned());
+    }
+    (dir, vec![("search".to_string(), wrapper)], sources)
+}
+
+fn fires_of(name: &str) -> u64 {
+    faults::snapshot()
+        .iter()
+        .find(|s| s.name == name)
+        .map_or(0, |s| s.fires)
+}
+
+/// Every expected source appears exactly once across out + sidecar.
+fn assert_every_page_accounted(sources: &[String], out: &str, side: &str) {
+    for src in sources {
+        let needle = format!("\"source\":{src:?}");
+        let n = out.matches(&needle).count() + side.matches(&needle).count();
+        assert_eq!(n, 1, "page {src} appears {n} times across out+sidecar");
+    }
+    assert_eq!(
+        out.lines().count() + side.lines().count(),
+        sources.len(),
+        "stray lines beyond one per page"
+    );
+}
+
+#[test]
+fn mid_corpus_read_errors_complete_and_account_for_every_page() {
+    let _guard = arm_faults();
+    let (dir, wrappers, sources) = corpus_on_disk("read");
+
+    faults::configure_spec("pipeline.read=every(7):return").unwrap();
+
+    let cfg = PipelineConfig {
+        source: CorpusSource::Dir(dir.clone()),
+        workers: 3,
+        wrapper_override: None,
+    };
+    let (mut out, mut side) = (Vec::new(), Vec::new());
+    let report = run_pipeline(&cfg, wrappers, &mut out, Some(&mut side))
+        .expect("injected read errors must not abort the run");
+
+    let fired = fires_of("pipeline.read");
+    assert!(fired > 0, "failpoint never fired");
+    assert_eq!(report.pages_total, PAGES as u64);
+    assert_eq!(
+        report.accounted(),
+        report.pages_total,
+        "pages lost under I/O faults"
+    );
+    assert_eq!(
+        report.read_errors, fired,
+        "every fire must surface as a read error"
+    );
+    assert_eq!(report.pages_ok, report.tuples_emitted);
+
+    let out = String::from_utf8(out).unwrap();
+    let side = String::from_utf8(side).unwrap();
+    assert_every_page_accounted(&sources, &out, &side);
+    // The injected failures are visible, attributed error lines.
+    assert_eq!(
+        side.matches("read: injected corpus read failure").count() as u64,
+        fired
+    );
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn route_faults_surface_as_counted_unrouted_pages() {
+    let _guard = arm_faults();
+    let (dir, wrappers, sources) = corpus_on_disk("route");
+
+    faults::configure_spec("pipeline.route=every(5):return").unwrap();
+
+    let cfg = PipelineConfig {
+        source: CorpusSource::Dir(dir.clone()),
+        workers: 2,
+        wrapper_override: None,
+    };
+    let (mut out, mut side) = (Vec::new(), Vec::new());
+    let report = run_pipeline(&cfg, wrappers, &mut out, Some(&mut side)).unwrap();
+
+    let fired = fires_of("pipeline.route");
+    assert!(fired > 0, "failpoint never fired");
+    assert_eq!(report.pages_total, PAGES as u64);
+    assert_eq!(report.accounted(), report.pages_total);
+    assert!(
+        report.pages_unrouted >= fired,
+        "route faults must be counted as unrouted ({} < {fired})",
+        report.pages_unrouted
+    );
+
+    let out = String::from_utf8(out).unwrap();
+    let side = String::from_utf8(side).unwrap();
+    assert_every_page_accounted(&sources, &out, &side);
+    assert_eq!(
+        side.matches("\"error\":\"unrouted\"").count() as u64,
+        report.pages_unrouted
+    );
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -1,0 +1,134 @@
+//! Router site-signature properties (satellite of the corpus pipeline):
+//!
+//! * **content invariance** — rewriting every text run and attribute
+//!   value on a page leaves the signature unchanged (the signature sees
+//!   the tag skeleton, never the content);
+//! * **skeleton tracking** — under the `learn` crate's structural
+//!   perturbations, the signature changes *exactly when* the collapsed
+//!   tag skeleton changes, cross-checked against an independent
+//!   string-level reimplementation of the tandem-repeat collapse (an
+//!   `InsertRow` next to an identical row collapses away and must keep
+//!   the signature; any surviving structural edit must change it);
+//! * **novel tags** — inserting a tag the page has never seen always
+//!   changes the signature (collapse can dedup repeats, never erase a
+//!   tag name entirely).
+
+use proptest::prelude::*;
+use rextract_corpus::SIGNATURE_CFG;
+use rextract_html::token::Token;
+use rextract_learn::perturb::Perturber;
+use rextract_wrapper::site::{SiteConfig, SiteGenerator};
+use rextract_wrapper::WrapperScratch;
+
+fn sig(tokens: &[Token]) -> u64 {
+    WrapperScratch::new().skeleton_signature(&SIGNATURE_CFG, tokens)
+}
+
+fn generator(seed: usize) -> SiteGenerator {
+    SiteGenerator::new(SiteConfig {
+        seed: seed as u64 + 1,
+        ..SiteConfig::default()
+    })
+}
+
+/// Independent reference: the page's skeleton as (kind, name) strings
+/// under [`SIGNATURE_CFG`], tandem-collapsed by the same smallest-block
+/// fixpoint rule the router hashes with — but over strings, so a
+/// disagreement can't be blamed on hash collisions.
+fn collapsed_skeleton(tokens: &[Token]) -> Vec<(u8, String)> {
+    let mut skel: Vec<(u8, String)> = Vec::new();
+    for t in tokens {
+        match t {
+            Token::StartTag { name, .. } => skel.push((0, name.clone())),
+            Token::EndTag { name } => skel.push((1, name.clone())),
+            Token::Text(_) if !t.is_blank_text() => skel.push((2, String::new())),
+            _ => {}
+        }
+    }
+    loop {
+        let mut out: Vec<(u8, String)> = Vec::new();
+        let mut changed = false;
+        let mut i = 0;
+        while i < skel.len() {
+            let max_l = ((skel.len() - i) / 2).min(32);
+            let rep = (1..=max_l).find(|&l| skel[i..i + l] == skel[i + l..i + 2 * l]);
+            match rep {
+                Some(l) => {
+                    out.extend_from_slice(&skel[i..i + l]);
+                    i += 2 * l;
+                    changed = true;
+                }
+                None => {
+                    out.push(skel[i].clone());
+                    i += 1;
+                }
+            }
+        }
+        skel = out;
+        if !changed {
+            return skel;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn content_text_perturbations_keep_the_signature(
+        seed in 0usize..1_000_000,
+        listing in 0usize..2,
+    ) {
+        let mut g = generator(seed);
+        let page = if listing == 1 { g.listing_page() } else { g.page() };
+        let base = sig(&page.tokens);
+        let mut mutated = page.tokens.clone();
+        for (i, t) in mutated.iter_mut().enumerate() {
+            match t {
+                // Non-blank text stays non-blank (blank runs are not
+                // part of the skeleton and must stay out of it).
+                Token::Text(s) if !s.trim().is_empty() => {
+                    *s = format!("totally different content {i}");
+                }
+                Token::StartTag { attrs, .. } => {
+                    for a in attrs.iter_mut() {
+                        a.value = format!("other-value-{i}");
+                    }
+                }
+                _ => {}
+            }
+        }
+        prop_assert_eq!(sig(&mutated), base, "content rewrite moved the signature");
+    }
+
+    #[test]
+    fn signature_tracks_the_collapsed_skeleton(
+        seed in 0usize..1_000_000,
+        edits in 1usize..4,
+    ) {
+        let mut g = generator(seed);
+        let page = g.page();
+        let mut p = Perturber::new(seed as u64 ^ 0xabcd);
+        let edited = p.perturb(&page.tokens, page.target, edits);
+        let sig_moved = sig(&edited.tokens) != sig(&page.tokens);
+        let skel_moved = collapsed_skeleton(&edited.tokens) != collapsed_skeleton(&page.tokens);
+        prop_assert_eq!(
+            sig_moved, skel_moved,
+            "signature and reference skeleton disagree after {} structural edits", edits
+        );
+    }
+
+    #[test]
+    fn novel_tag_always_changes_the_signature(
+        seed in 0usize..1_000_000,
+        pos_percent in 0usize..101,
+    ) {
+        let mut g = generator(seed);
+        let page = g.page();
+        let base = sig(&page.tokens);
+        let mut tokens = page.tokens.clone();
+        let pos = pos_percent * tokens.len() / 100;
+        tokens.insert(pos, Token::start("blink"));
+        prop_assert_ne!(sig(&tokens), base);
+    }
+}

@@ -36,4 +36,4 @@ pub mod xml;
 
 pub use seq::{SeqConfig, SeqEntry};
 pub use token::{Attribute, Token};
-pub use tokenizer::tokenize;
+pub use tokenizer::{tokenize, tokenize_spanned, Span};

@@ -9,20 +9,64 @@
 use crate::entities::decode;
 use crate::token::{Attribute, Token};
 
+/// A token's extent in the source document: byte offsets `[start, end)`.
+///
+/// Spans are measured on the **raw input** (before entity decoding), so
+/// they always index into the original page — which is what provenance
+/// records need. Consecutive spans tile the input exactly: trailing junk
+/// that the permissive tokenizer swallows (unterminated attributes, the
+/// `>` of an end tag, inter-construct whitespace consumed during attr
+/// scanning) is attributed to the token that swallowed it.
+pub type Span = (usize, usize);
+
 /// Tokenize an HTML document into a token stream.
 pub fn tokenize(input: &str) -> Vec<Token> {
     Tokenizer {
         input,
         pos: 0,
         out: Vec::new(),
+        starts: Vec::new(),
     }
     .run()
+}
+
+/// Tokenize, additionally reporting each token's byte [`Span`].
+///
+/// The token stream is identical to [`tokenize`]'s; `spans[i]` is the
+/// extent of `tokens[i]`. Spans are non-overlapping, sorted, and cover
+/// `0..input.len()` exactly (the tokenizer never skips a byte without
+/// charging it to some token).
+pub fn tokenize_spanned(input: &str) -> (Vec<Token>, Vec<Span>) {
+    let mut t = Tokenizer {
+        input,
+        pos: 0,
+        out: Vec::new(),
+        starts: Vec::new(),
+    };
+    while t.pos < t.input.len() {
+        if t.rest().starts_with('<') {
+            t.lex_angle();
+        } else {
+            t.lex_text();
+        }
+    }
+    let spans = t
+        .starts
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| (s, t.starts.get(i + 1).copied().unwrap_or(input.len())))
+        .collect();
+    (t.out, spans)
 }
 
 struct Tokenizer<'a> {
     input: &'a str,
     pos: usize,
     out: Vec<Token>,
+    /// Start offset of each token in `out`, recorded at every push site.
+    /// A token's extent ends where the next token begins (or at EOF), so
+    /// starts alone determine the full span vector.
+    starts: Vec<usize>,
 }
 
 impl<'a> Tokenizer<'a> {
@@ -37,6 +81,11 @@ impl<'a> Tokenizer<'a> {
         self.out
     }
 
+    fn emit(&mut self, start: usize, tok: Token) {
+        self.starts.push(start);
+        self.out.push(tok);
+    }
+
     fn rest(&self) -> &'a str {
         &self.input[self.pos..]
     }
@@ -49,7 +98,8 @@ impl<'a> Tokenizer<'a> {
             .unwrap_or(self.input.len());
         let raw = &self.input[self.pos..end];
         if !raw.is_empty() {
-            self.out.push(Token::Text(decode(raw)));
+            let start = self.pos;
+            self.emit(start, Token::Text(decode(raw)));
         }
         self.pos = end;
     }
@@ -66,45 +116,49 @@ impl<'a> Tokenizer<'a> {
             self.lex_start_tag();
         } else {
             // Stray '<': emit as text and move on.
-            self.out.push(Token::Text("<".to_string()));
+            let start = self.pos;
+            self.emit(start, Token::Text("<".to_string()));
             self.pos += 1;
         }
     }
 
     fn lex_comment(&mut self) {
+        let start = self.pos;
         let body_start = self.pos + 4;
         match self.input[body_start..].find("-->") {
             Some(off) => {
-                self.out.push(Token::Comment(
-                    self.input[body_start..body_start + off].to_string(),
-                ));
+                self.emit(
+                    start,
+                    Token::Comment(self.input[body_start..body_start + off].to_string()),
+                );
                 self.pos = body_start + off + 3;
             }
             None => {
                 // Unclosed comment swallows the rest of the document.
-                self.out
-                    .push(Token::Comment(self.input[body_start..].to_string()));
+                self.emit(start, Token::Comment(self.input[body_start..].to_string()));
                 self.pos = self.input.len();
             }
         }
     }
 
     fn lex_declaration(&mut self) {
+        let start = self.pos;
         // <!DOCTYPE …> or <?xml …?> — capture up to '>'.
         match self.rest().find('>') {
             Some(off) => {
                 let body = &self.input[self.pos + 2..self.pos + off];
-                self.out.push(Token::Doctype(body.trim().to_string()));
+                self.emit(start, Token::Doctype(body.trim().to_string()));
                 self.pos += off + 1;
             }
             None => {
-                self.out.push(Token::Text(self.rest().to_string()));
+                self.emit(start, Token::Text(self.rest().to_string()));
                 self.pos = self.input.len();
             }
         }
     }
 
     fn lex_end_tag(&mut self) {
+        let start = self.pos;
         let name_start = self.pos + 2;
         let name_end = self.input[name_start..]
             .find(|c: char| !is_tag_name_char(c))
@@ -112,18 +166,19 @@ impl<'a> Tokenizer<'a> {
             .unwrap_or(self.input.len());
         let name = &self.input[name_start..name_end];
         if name.is_empty() {
-            self.out.push(Token::Text("</".to_string()));
+            self.emit(start, Token::Text("</".to_string()));
             self.pos += 2;
             return;
         }
         // Skip to '>' (ignoring junk in between, e.g. attributes on an
         // end tag).
         let close = self.input[name_end..].find('>').map(|o| name_end + o);
-        self.out.push(Token::end(name));
+        self.emit(start, Token::end(name));
         self.pos = close.map(|c| c + 1).unwrap_or(self.input.len());
     }
 
     fn lex_start_tag(&mut self) {
+        let start = self.pos;
         let name_start = self.pos + 1;
         let name_end = self.input[name_start..]
             .find(|c: char| !is_tag_name_char(c))
@@ -133,11 +188,14 @@ impl<'a> Tokenizer<'a> {
         self.pos = name_end;
         let (attrs, self_closing) = self.lex_attrs();
         let name_upper = name.to_ascii_uppercase();
-        self.out.push(Token::StartTag {
-            name: name_upper.clone(),
-            attrs,
-            self_closing,
-        });
+        self.emit(
+            start,
+            Token::StartTag {
+                name: name_upper.clone(),
+                attrs,
+                self_closing,
+            },
+        );
         // Raw-text elements: consume body verbatim until the matching
         // close tag.
         if !self_closing && matches!(name_upper.as_str(), "SCRIPT" | "STYLE" | "TEXTAREA") {
@@ -161,15 +219,16 @@ impl<'a> Tokenizer<'a> {
         match end {
             Some(e) => {
                 if e > self.pos {
-                    self.out
-                        .push(Token::Text(self.input[self.pos..e].to_string()));
+                    let start = self.pos;
+                    self.emit(start, Token::Text(self.input[self.pos..e].to_string()));
                 }
                 self.pos = e;
                 self.lex_end_tag();
             }
             None => {
                 if !self.rest().is_empty() {
-                    self.out.push(Token::Text(self.rest().to_string()));
+                    let start = self.pos;
+                    self.emit(start, Token::Text(self.rest().to_string()));
                 }
                 self.pos = self.input.len();
             }
@@ -383,5 +442,41 @@ mod tests {
         let toks = tokenize("<input type=");
         assert_eq!(toks.len(), 1);
         assert_eq!(toks[0].tag_name(), Some("INPUT"));
+    }
+
+    #[test]
+    fn spanned_matches_tokenize_and_tiles_input() {
+        let docs = [
+            "<p><h1>Shop &amp; Save</h1></p>",
+            "<table><tr><td>Widget</td><td>$9.99</td></tr></table>",
+            "<script>if (a<b) {}</script><p>done",
+            "a < b </> <!-- c --> <!DOCTYPE html><input type= ",
+            "",
+        ];
+        for doc in docs {
+            let (toks, spans) = tokenize_spanned(doc);
+            assert_eq!(toks, tokenize(doc), "token stream diverged on {doc:?}");
+            assert_eq!(toks.len(), spans.len());
+            let mut cursor = 0;
+            for &(s, e) in &spans {
+                assert_eq!(s, cursor, "gap/overlap at byte {cursor} in {doc:?}");
+                assert!(e > s, "empty span in {doc:?}");
+                cursor = e;
+            }
+            if !spans.is_empty() {
+                assert_eq!(cursor, doc.len(), "spans do not cover {doc:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn spans_slice_back_to_source_tags() {
+        let doc = "<td>Black &amp; Decker</td>";
+        let (toks, spans) = tokenize_spanned(doc);
+        assert_eq!(&doc[spans[0].0..spans[0].1], "<td>");
+        // The text token's span covers the *raw* (undecoded) source bytes.
+        assert_eq!(&doc[spans[1].0..spans[1].1], "Black &amp; Decker");
+        assert_eq!(toks[1], Token::Text("Black & Decker".to_string()));
+        assert_eq!(&doc[spans[2].0..spans[2].1], "</td>");
     }
 }

@@ -31,7 +31,8 @@
 //! * **Live metrics.** `GET /metrics` reports per-endpoint request
 //!   counts, latency histograms with p50/p90/p99, queue depth, rejected
 //!   connections, epoll wakeups, pipelined requests, the batch-size
-//!   histogram, and the full `StoreStats` (hits, misses, evictions).
+//!   histogram, per-wrapper page/tuple tallies (shared by `/extract` and
+//!   `/pipeline`), and the full `StoreStats` (hits, misses, evictions).
 //! * **Graceful shutdown.** `POST /shutdown` (or
 //!   [`server::ServerHandle::shutdown`]) closes the accept gate, drains
 //!   admitted jobs, and lets in-flight requests finish — up to
@@ -56,6 +57,7 @@
 //! | `POST /extract?wrapper=NAME` | HTML body → tag sequence → extraction; JSON result with positions and timing |
 //! | `POST /wrappers/{name}` | install/replace a wrapper from an artifact body |
 //! | `GET /wrappers` | list installed wrapper names |
+//! | `POST /pipeline?wrapper=NAME&workers=N` | manifest of server-local page paths → NDJSON tuple stream in manifest order (corpus pipeline) |
 //! | `POST /reload` | rescan the wrapper directory |
 //! | `GET /healthz` | liveness + wrapper count |
 //! | `GET /metrics` | counters, histograms, queue depth, store stats |

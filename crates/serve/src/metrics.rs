@@ -1,11 +1,14 @@
 //! Live daemon metrics: per-endpoint request counts and latency
 //! histograms, queue depth, backpressure rejections, and the language
-//! store's counters — all lock-free atomics, snapshotted by `GET
-//! /metrics` without pausing workers.
+//! store's counters — lock-free atomics (plus one short-critical-section
+//! mutex for the dynamically-keyed per-wrapper tallies), snapshotted by
+//! `GET /metrics` without pausing workers.
 
 use crate::json::{num_array, Obj};
 use rextract_automata::StoreStats;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Upper bounds (µs) of the latency histogram buckets; one implicit
@@ -140,6 +143,7 @@ pub enum Endpoint {
     Extract,
     InstallWrapper,
     ListWrappers,
+    Pipeline,
     Healthz,
     Metrics,
     Reload,
@@ -153,6 +157,7 @@ impl Endpoint {
             Endpoint::Extract => "extract",
             Endpoint::InstallWrapper => "install_wrapper",
             Endpoint::ListWrappers => "list_wrappers",
+            Endpoint::Pipeline => "pipeline",
             Endpoint::Healthz => "healthz",
             Endpoint::Metrics => "metrics",
             Endpoint::Reload => "reload",
@@ -165,11 +170,12 @@ impl Endpoint {
         self as usize
     }
 
-    pub fn all() -> [Endpoint; 8] {
+    pub fn all() -> [Endpoint; 9] {
         [
             Endpoint::Extract,
             Endpoint::InstallWrapper,
             Endpoint::ListWrappers,
+            Endpoint::Pipeline,
             Endpoint::Healthz,
             Endpoint::Metrics,
             Endpoint::Reload,
@@ -187,13 +193,25 @@ struct EndpointMetrics {
     latency: Histogram,
 }
 
+/// Per-wrapper page and tuple tallies, shared by `/extract` (one page
+/// per request) and `/pipeline` (a whole corpus per request).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct WrapperCounters {
+    /// Pages this wrapper extracted successfully.
+    pub pages_ok: u64,
+    /// Pages routed to this wrapper whose extraction failed.
+    pub pages_failed: u64,
+    /// Tuples emitted under this wrapper's name.
+    pub tuples_emitted: u64,
+}
+
 /// Sentinel for [`Metrics::last_worker_death_ms`]: no worker has died.
 const NEVER: u64 = u64::MAX;
 
 /// Shared, lock-free metrics hub.
 pub struct Metrics {
     started: Instant,
-    endpoints: [EndpointMetrics; 8],
+    endpoints: [EndpointMetrics; 9],
     /// Connections refused with 503 at the accept gate (queue full).
     rejected: AtomicU64,
     /// Connections currently waiting in the job queue.
@@ -237,6 +255,16 @@ pub struct Metrics {
     batches_dispatched: AtomicU64,
     /// Distribution of dispatched batch sizes.
     batch_size: SizeHistogram,
+    /// Per-wrapper page/tuple tallies keyed by wrapper name — the one
+    /// dynamically-keyed dimension, so it sits behind a mutex (taken for
+    /// a few map operations per *page*, not per connection event).
+    wrappers: Mutex<BTreeMap<String, WrapperCounters>>,
+    /// Pages enumerated by `/pipeline` runs.
+    pipeline_pages: AtomicU64,
+    /// `/pipeline` pages no wrapper matched.
+    pipeline_unrouted: AtomicU64,
+    /// `/pipeline` pages whose body could not be read.
+    pipeline_read_errors: AtomicU64,
 }
 
 impl Metrics {
@@ -262,6 +290,10 @@ impl Metrics {
             pipelined_requests: AtomicU64::new(0),
             batches_dispatched: AtomicU64::new(0),
             batch_size: SizeHistogram::default(),
+            wrappers: Mutex::new(BTreeMap::new()),
+            pipeline_pages: AtomicU64::new(0),
+            pipeline_unrouted: AtomicU64::new(0),
+            pipeline_read_errors: AtomicU64::new(0),
         }
     }
 
@@ -428,6 +460,46 @@ impl Metrics {
         &self.batch_size
     }
 
+    fn wrappers_lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, WrapperCounters>> {
+        self.wrappers.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// One page's extraction outcome under `name` (the `/extract` path:
+    /// one page, zero or one tuple).
+    pub fn record_wrapper_page(&self, name: &str, ok: bool, tuples: u64) {
+        self.record_wrapper_tallies(name, u64::from(ok), u64::from(!ok), tuples);
+    }
+
+    /// Fold a batch of per-wrapper tallies in (the `/pipeline` path: a
+    /// whole corpus per call).
+    pub fn record_wrapper_tallies(&self, name: &str, ok: u64, failed: u64, tuples: u64) {
+        if ok == 0 && failed == 0 && tuples == 0 {
+            return; // don't mint zero rows for wrappers no page touched
+        }
+        let mut map = self.wrappers_lock();
+        let c = map.entry(name.to_string()).or_default();
+        c.pages_ok += ok;
+        c.pages_failed += failed;
+        c.tuples_emitted += tuples;
+    }
+
+    pub fn wrapper_counters(&self, name: &str) -> WrapperCounters {
+        self.wrappers_lock().get(name).copied().unwrap_or_default()
+    }
+
+    /// Corpus-level counters from one `/pipeline` run.
+    pub fn record_pipeline_run(&self, pages: u64, unrouted: u64, read_errors: u64) {
+        self.pipeline_pages.fetch_add(pages, Ordering::Relaxed);
+        self.pipeline_unrouted
+            .fetch_add(unrouted, Ordering::Relaxed);
+        self.pipeline_read_errors
+            .fetch_add(read_errors, Ordering::Relaxed);
+    }
+
+    pub fn pipeline_pages(&self) -> u64 {
+        self.pipeline_pages.load(Ordering::Relaxed)
+    }
+
     /// The full `/metrics` document.
     pub fn render_json(&self, store: &StoreStats) -> String {
         let mut endpoints = String::from("{");
@@ -444,6 +516,27 @@ impl Metrics {
             endpoints.push_str(&format!("\"{}\":{}", e.name(), body));
         }
         endpoints.push('}');
+        let mut wrappers = String::from("{");
+        for (i, (name, c)) in self.wrappers_lock().iter().enumerate() {
+            if i > 0 {
+                wrappers.push(',');
+            }
+            let body = Obj::new()
+                .num("pages_ok", c.pages_ok)
+                .num("pages_failed", c.pages_failed)
+                .num("tuples_emitted", c.tuples_emitted)
+                .finish();
+            wrappers.push_str(&format!("{:?}:{}", name, body));
+        }
+        wrappers.push('}');
+        let pipeline = Obj::new()
+            .num("pages", self.pipeline_pages())
+            .num("unrouted", self.pipeline_unrouted.load(Ordering::Relaxed))
+            .num(
+                "read_errors",
+                self.pipeline_read_errors.load(Ordering::Relaxed),
+            )
+            .finish();
         let workers = Obj::new()
             .num("configured", self.workers_configured() as u64)
             .num("alive", self.workers_alive() as u64)
@@ -475,6 +568,8 @@ impl Metrics {
                 &num_array(LATENCY_BOUNDS_US.iter().copied()),
             )
             .raw("endpoints", &endpoints)
+            .raw("wrappers", &wrappers)
+            .raw("pipeline", &pipeline)
             .raw("store", &store_stats_json(store));
         #[cfg(feature = "failpoints")]
         {
@@ -585,6 +680,11 @@ mod tests {
         m.record_pipelined_request();
         m.record_batch(1);
         m.record_batch(7);
+        m.record_wrapper_page("demo", true, 1);
+        m.record_wrapper_page("demo", false, 0);
+        m.record_wrapper_tallies("demo", 3, 1, 3);
+        m.record_wrapper_tallies("idle", 0, 0, 0);
+        m.record_pipeline_run(10, 2, 1);
         let json = m.render_json(&StoreStats::default());
         assert!(json.contains("\"queue_depth\":3"), "{json}");
         assert!(json.contains("\"rejected_total\":1"));
@@ -600,6 +700,27 @@ mod tests {
             "{json}"
         );
         assert_eq!(m.requests(Endpoint::Extract), 2);
+        // /extract and /pipeline tallies share one per-wrapper row;
+        // untouched wrappers mint no row at all.
+        assert!(
+            json.contains("\"demo\":{\"pages_ok\":4,\"pages_failed\":2,\"tuples_emitted\":4}"),
+            "{json}"
+        );
+        assert!(!json.contains("\"idle\""), "{json}");
+        assert!(
+            json.contains("\"pipeline\":{\"pages\":10,\"unrouted\":2,\"read_errors\":1}"),
+            "{json}"
+        );
+        assert_eq!(
+            m.wrapper_counters("demo"),
+            WrapperCounters {
+                pages_ok: 4,
+                pages_failed: 2,
+                tuples_emitted: 4
+            }
+        );
+        assert_eq!(m.wrapper_counters("missing"), WrapperCounters::default());
+        assert_eq!(m.pipeline_pages(), 10);
     }
 
     #[test]

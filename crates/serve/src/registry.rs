@@ -374,6 +374,20 @@ impl Registry {
         names
     }
 
+    /// Every installed wrapper as `(name, wrapper)` pairs, sorted by
+    /// name — the corpus pipeline's routing set. Each wrapper carries its
+    /// persist format version ([`Wrapper::format_version`]), which the
+    /// pipeline stamps into every emitted tuple's provenance.
+    pub fn entries(&self) -> Vec<(String, Arc<Wrapper>)> {
+        let mut entries: Vec<(String, Arc<Wrapper>)> = self
+            .read()
+            .iter()
+            .map(|(n, w)| (n.clone(), Arc::clone(w)))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        entries
+    }
+
     pub fn len(&self) -> usize {
         self.read().len()
     }

@@ -51,6 +51,7 @@ use crate::pool::{Batch, Completion, CompletionQueue, JobQueue, WorkItem};
 use crate::registry::{InstallError, LoadReport, Registry, ResolveError};
 use crate::ServeConfig;
 use rextract_automata::Store;
+use rextract_corpus::{run_pipeline, CorpusSource, PipelineConfig};
 use rextract_faults::fail_point;
 use rextract_html::tokenizer::tokenize;
 use rextract_wrapper::wrapper::{Wrapper, WrapperError, WrapperScratch};
@@ -1000,12 +1001,17 @@ fn route(
             let name = path.strip_prefix("/wrappers/").unwrap_or_default();
             (Endpoint::InstallWrapper, handle_install(name, req, ctx))
         }
+        ("POST", "/pipeline") => (Endpoint::Pipeline, handle_pipeline(req, ctx)),
         ("POST", "/reload") => (Endpoint::Reload, handle_reload(ctx)),
         ("POST", "/shutdown") => (
             Endpoint::Shutdown,
             Response::json(200, Obj::new().bool("draining", true).finish()).closing(),
         ),
-        (_, "/healthz" | "/metrics" | "/extract" | "/wrappers" | "/reload" | "/shutdown") => (
+        (
+            _,
+            "/healthz" | "/metrics" | "/extract" | "/wrappers" | "/pipeline" | "/reload"
+            | "/shutdown",
+        ) => (
             Endpoint::Other,
             Response::json(405, Obj::new().str("error", "method not allowed").finish()),
         ),
@@ -1141,6 +1147,8 @@ fn handle_extract_resolved(
     let extract_started = Instant::now();
     let result = wrapper.extract_target_with(&tokens, scratch);
     let extract_us = extract_started.elapsed().as_micros() as u64;
+    ctx.metrics
+        .record_wrapper_page(name, result.is_ok(), u64::from(result.is_ok()));
     match result {
         Ok(idx) => {
             let tag = tokens[idx].tag_name().unwrap_or("#text").to_string();
@@ -1184,6 +1192,85 @@ fn handle_extract_resolved(
                 .str("error", &e.to_string())
                 .finish(),
         ),
+    }
+}
+
+/// How many corpus worker threads one `/pipeline` request may spawn.
+/// The request already occupies a daemon worker; this bounds its fan-out
+/// so one batch job cannot starve interactive `/extract` traffic.
+const PIPELINE_MAX_WORKERS: usize = 4;
+
+/// `POST /pipeline?wrapper=NAME&workers=N`: body is a newline-delimited
+/// manifest of server-local page paths (blank lines and `#` comments
+/// ignored); the response streams the pipeline's NDJSON tuple lines in
+/// strict manifest order, with error lines (unrouted / failed /
+/// unreadable pages) inline — every manifest entry yields exactly one
+/// line. Counters land in `/metrics` under `wrappers` and `pipeline`.
+fn handle_pipeline(req: &Request, ctx: &Ctx) -> Response {
+    let body = req.body_utf8();
+    if body.trim().is_empty() {
+        return Response::json(
+            400,
+            Obj::new()
+                .str(
+                    "error",
+                    "empty body: POST a newline-delimited manifest of page paths",
+                )
+                .finish(),
+        );
+    }
+    let wrappers = ctx.registry.entries();
+    if wrappers.is_empty() {
+        return Response::json(
+            409,
+            Obj::new()
+                .str(
+                    "error",
+                    "no wrappers installed; train and install one first",
+                )
+                .finish(),
+        );
+    }
+    let workers = req
+        .query_param("workers")
+        .and_then(|w| w.parse::<usize>().ok())
+        .unwrap_or(1)
+        .clamp(1, PIPELINE_MAX_WORKERS);
+    let cfg = PipelineConfig {
+        source: CorpusSource::Paths(
+            body.lines()
+                .map(str::trim)
+                .filter(|l| !l.is_empty() && !l.starts_with('#'))
+                .map(str::to_string)
+                .collect(),
+        ),
+        workers,
+        wrapper_override: req.query_param("wrapper").map(str::to_string),
+    };
+    let mut out = Vec::new();
+    match run_pipeline(&cfg, wrappers, &mut out, None) {
+        Ok(report) => {
+            for (name, t) in &report.per_wrapper {
+                ctx.metrics.record_wrapper_tallies(
+                    name,
+                    t.pages_ok,
+                    t.pages_failed,
+                    t.tuples_emitted,
+                );
+            }
+            ctx.metrics.record_pipeline_run(
+                report.pages_total,
+                report.pages_unrouted,
+                report.read_errors,
+            );
+            Response {
+                status: 200,
+                content_type: "application/x-ndjson",
+                body: String::from_utf8_lossy(&out).into_owned(),
+                close: false,
+            }
+        }
+        Err(e) => Response::json(400, Obj::new().str("error", &e.to_string()).finish()),
     }
 }
 

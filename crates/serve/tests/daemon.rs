@@ -466,3 +466,81 @@ fn pipelined_requests_answered_in_order() {
     handle.shutdown();
     handle.join();
 }
+
+#[test]
+fn pipeline_endpoint_streams_tuples_and_feeds_metrics() {
+    let handle = boot(test_config());
+    let addr = handle.addr();
+
+    // Setup errors are clean JSON, not stream output.
+    let (status, body) = request(addr, "POST", "/pipeline", "");
+    assert_eq!(status, 400, "{body}");
+    let (status, body) = request(addr, "POST", "/pipeline", "/tmp/nope.html");
+    assert_eq!(status, 409, "no wrappers installed yet: {body}");
+
+    let (artifact, mut g) = trained_artifact(99);
+    let (status, _) = request(addr, "POST", "/wrappers/search", &artifact);
+    assert_eq!(status, 201);
+
+    // A small on-disk corpus plus a manifest naming it — with a comment
+    // line and one nonexistent path, which must surface as an inline
+    // error line, not abort the run.
+    let dir = std::env::temp_dir().join(format!("rextract-serve-pipe-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let pages = 6;
+    let mut manifest = String::new();
+    for i in 0..pages {
+        let path = dir.join(format!("p{i}.html"));
+        std::fs::write(&path, g.page().html()).unwrap();
+        manifest.push_str(&format!("{}\n", path.display()));
+    }
+    manifest.push_str("# not a page\n");
+    manifest.push_str(&format!("{}\n", dir.join("missing.html").display()));
+
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/pipeline?wrapper=search&workers=2",
+        &manifest,
+    );
+    assert_eq!(status, 200, "{body}");
+    let lines: Vec<&str> = body.lines().collect();
+    assert_eq!(lines.len(), pages + 1, "one line per manifest page: {body}");
+    for (i, line) in lines.iter().take(pages).enumerate() {
+        assert!(
+            line.contains(&format!("p{i}.html")),
+            "line {i} out of manifest order: {line}"
+        );
+    }
+    let tuples = lines.iter().filter(|l| l.contains("\"fields\":")).count();
+    assert!(
+        tuples >= 4,
+        "only {tuples}/{pages} pages produced tuples: {body}"
+    );
+    assert!(
+        body.contains("\"wrapper\":\"search\"") && body.contains("\"wrapper_version\":"),
+        "tuples lack provenance: {body}"
+    );
+    assert!(
+        lines.last().unwrap().contains("\"error\":\"read:"),
+        "missing page must yield a read-error line: {}",
+        lines.last().unwrap()
+    );
+
+    let (status, m) = request(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert!(m.contains("\"search\":{\"pages_ok\":"), "{m}");
+    assert!(
+        m.contains(&format!("\"pipeline\":{{\"pages\":{}", pages + 1)),
+        "{m}"
+    );
+    assert!(
+        m.contains("\"pipeline\":{\"requests\":3"),
+        "endpoint counter should see all three /pipeline calls: {m}"
+    );
+
+    let (status, _) = request(addr, "POST", "/shutdown", "");
+    assert_eq!(status, 200);
+    handle.join();
+    std::fs::remove_dir_all(&dir).unwrap();
+}

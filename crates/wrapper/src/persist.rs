@@ -281,7 +281,12 @@ impl Wrapper {
             .map_err(|e| PersistError::Expr(e.to_string()))?;
         let extractor = Extractor::compile(&expr);
         Ok(Wrapper::from_parts(
-            alphabet, expr, extractor, seq, maximized,
+            alphabet,
+            expr,
+            extractor,
+            seq,
+            maximized,
+            FORMAT_VERSION,
         ))
     }
 

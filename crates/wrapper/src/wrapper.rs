@@ -102,6 +102,7 @@ pub struct Wrapper {
     extractor: Extractor,
     seq_cfg: SeqConfig,
     maximized: bool,
+    format_version: u32,
     train_stats: StoreStats,
 }
 
@@ -150,18 +151,24 @@ impl Wrapper {
             extractor,
             seq_cfg: cfg.seq,
             maximized,
+            format_version: crate::persist::FORMAT_VERSION,
             train_stats: Store::stats().since(&stats_before),
         })
     }
 
     /// Assemble a wrapper from pre-built parts (the import path of
     /// [`crate::persist`]; training is bypassed entirely).
+    /// `format_version` is the artifact format the wrapper was parsed
+    /// from (today always [`crate::persist::FORMAT_VERSION`] — the strict
+    /// importer rejects anything else — but provenance records carry it
+    /// so a future v3 reader can tell the two apart).
     pub(crate) fn from_parts(
         alphabet: Alphabet,
         expr: ExtractionExpr,
         extractor: Extractor,
         seq_cfg: SeqConfig,
         maximized: bool,
+        format_version: u32,
     ) -> Wrapper {
         Wrapper {
             alphabet,
@@ -169,6 +176,7 @@ impl Wrapper {
             extractor,
             seq_cfg,
             maximized,
+            format_version,
             train_stats: StoreStats::default(),
         }
     }
@@ -191,6 +199,15 @@ impl Wrapper {
     /// Whether the wrapper holds a maximized expression.
     pub fn is_maximized(&self) -> bool {
         self.maximized
+    }
+
+    /// The artifact format version this wrapper was trained at or loaded
+    /// from (see [`crate::persist::FORMAT_VERSION`]). Provenance records
+    /// emit this alongside the wrapper name so downstream consumers can
+    /// audit which on-disk format produced a tuple without reparsing the
+    /// artifact.
+    pub fn format_version(&self) -> u32 {
+        self.format_version
     }
 
     /// Language-store counter deltas accumulated while this wrapper was
@@ -253,6 +270,10 @@ pub struct WrapperScratch {
     extract: ExtractScratch,
     /// Tuple positions for [`TupleWrapper`](crate::tuple::TupleWrapper).
     pub(crate) positions: Vec<usize>,
+    /// Per-token hash sequence for [`WrapperScratch::skeleton_signature`].
+    sig: Vec<u64>,
+    /// Double buffer for the signature's tandem-repeat collapse passes.
+    sig_tmp: Vec<u64>,
 }
 
 impl WrapperScratch {
@@ -272,6 +293,63 @@ impl WrapperScratch {
         &self.back
     }
 
+    /// A structural fingerprint of a page: the hash of its
+    /// **tag-abstraction skeleton** under `cfg`, invariant to content
+    /// text and to how many times a repeating block (e.g. a table row)
+    /// repeats.
+    ///
+    /// This is the corpus router's site signature (after Ferrara &
+    /// Baumgartner's adaptable-wrapper fingerprints): two pages produced
+    /// from the same template hash equal even when their text differs
+    /// and their result tables have different row counts, while any
+    /// change to the tag skeleton itself — a new tag name, a reordered
+    /// construct — changes the hash.
+    ///
+    /// Mechanics: each token maps to a `u64` — start tags hash their
+    /// name (salted), end tags likewise when `cfg.include_end_tags`,
+    /// non-blank text maps to one fixed marker when `cfg.include_text`
+    /// (content invariance by construction), comments/doctypes are
+    /// skipped, and `cfg.refine_attrs` is deliberately ignored
+    /// (attribute values vary per page). Adjacent duplicated blocks
+    /// (`s[i..i+L] == s[i+L..i+2L]`) are then collapsed to one copy
+    /// until fixpoint — so `k ≥ 1` repetitions of a row all produce the
+    /// same collapsed skeleton — and the collapsed sequence is FNV-1a
+    /// hashed. Deterministic, wrapper-independent, and allocation-free
+    /// at steady state (the hash sequence lives in reusable scratch
+    /// buffers).
+    pub fn skeleton_signature(&mut self, cfg: &SeqConfig, tokens: &[Token]) -> u64 {
+        // Distinct salts keep `<p>` and `</p>` (and a text run) from
+        // colliding; arbitrary odd 64-bit constants.
+        const START_SALT: u64 = 0x9e37_79b9_7f4a_7c15;
+        const END_SALT: u64 = 0xc2b2_ae3d_27d4_eb4f;
+        const TEXT_MARK: u64 = 0x1656_67b1_9e37_79f9;
+        self.sig.clear();
+        for tok in tokens {
+            let h = match tok {
+                Token::StartTag { name, .. } => {
+                    crate::persist::fnv1a_64(name.as_bytes()) ^ START_SALT
+                }
+                Token::EndTag { name } if cfg.include_end_tags => {
+                    crate::persist::fnv1a_64(name.as_bytes()) ^ END_SALT
+                }
+                Token::Text(_) if cfg.include_text && !tok.is_blank_text() => TEXT_MARK,
+                _ => continue,
+            };
+            self.sig.push(h);
+        }
+        collapse_tandem_repeats(&mut self.sig, &mut self.sig_tmp);
+        // FNV-1a over the collapsed sequence's little-endian bytes,
+        // folded incrementally so no byte buffer is materialized.
+        let mut acc: u64 = 0xcbf2_9ce4_8422_2325;
+        for &h in &self.sig {
+            for b in h.to_le_bytes() {
+                acc ^= u64::from(b);
+                acc = acc.wrapping_mul(0x100_0000_01b3);
+            }
+        }
+        acc
+    }
+
     /// Disjoint borrows for tuple extraction: read the abstracted word
     /// and back-map while writing the scan buffers and tuple positions.
     #[allow(clippy::type_complexity)]
@@ -284,6 +362,45 @@ impl WrapperScratch {
             &mut self.extract,
             &mut self.positions,
         )
+    }
+}
+
+/// Repeat blocks longer than this are not collapsed; real templates
+/// repeat short constructs (table rows, list items), and an uncollapsed
+/// long block merely yields a more specific — still deterministic —
+/// signature.
+const MAX_REPEAT_BLOCK: usize = 32;
+
+/// Collapse adjacent duplicated blocks (`seq[i..i+L] == seq[i+L..i+2L]`,
+/// smallest `L` first) to one copy, repeating the pass until a fixpoint:
+/// `k` back-to-back repetitions of a block reduce to a single copy for
+/// every `k ≥ 1`. `tmp` is the double buffer; both vectors only ever
+/// grow, so a warmed scratch collapses without allocating.
+fn collapse_tandem_repeats(seq: &mut Vec<u64>, tmp: &mut Vec<u64>) {
+    loop {
+        let mut changed = false;
+        tmp.clear();
+        let mut i = 0;
+        while i < seq.len() {
+            let max_l = ((seq.len() - i) / 2).min(MAX_REPEAT_BLOCK);
+            let repeat = (1..=max_l).find(|&l| seq[i..i + l] == seq[i + l..i + 2 * l]);
+            match repeat {
+                Some(l) => {
+                    // Keep the first copy, drop the duplicate.
+                    tmp.extend_from_slice(&seq[i..i + l]);
+                    i += 2 * l;
+                    changed = true;
+                }
+                None => {
+                    tmp.push(seq[i]);
+                    i += 1;
+                }
+            }
+        }
+        std::mem::swap(seq, tmp);
+        if !changed {
+            return;
+        }
     }
 }
 
@@ -611,6 +728,75 @@ mod tests {
                 w.extract_target(&p.tokens)
             );
         }
+    }
+
+    #[test]
+    fn tandem_collapse_reduces_repeats_to_one_copy() {
+        let cases: [(&[u64], &[u64]); 5] = [
+            (&[1, 2, 1, 2, 1, 2], &[1, 2]),          // 3 reps of a pair
+            (&[7, 7, 7, 9], &[7, 9]),                // run of singles
+            (&[1, 2, 3], &[1, 2, 3]),                // no repeats
+            (&[], &[]),                              // empty
+            (&[5, 1, 2, 1, 2, 6, 6], &[5, 1, 2, 6]), // interior repeats
+        ];
+        let mut tmp = Vec::new();
+        for (input, want) in cases {
+            let mut seq = input.to_vec();
+            collapse_tandem_repeats(&mut seq, &mut tmp);
+            assert_eq!(seq, want, "collapse of {input:?}");
+        }
+    }
+
+    #[test]
+    fn skeleton_signature_invariants() {
+        let cfg = SeqConfig::with_text();
+        let mut scratch = WrapperScratch::new();
+        let listing = |rows: usize, label: &str| -> Vec<Token> {
+            let mut toks = vec![Token::start("table")];
+            for i in 0..rows {
+                toks.push(Token::start("tr"));
+                toks.push(Token::start("td"));
+                toks.push(Token::Text(format!("{label} #{i}")));
+                toks.push(Token::end("td"));
+                toks.push(Token::end("tr"));
+            }
+            toks.push(Token::end("table"));
+            toks
+        };
+        let base = scratch.skeleton_signature(&cfg, &listing(1, "Widget"));
+        // Row-count invariance: k repeated rows collapse to one.
+        for rows in 2..=6 {
+            assert_eq!(
+                scratch.skeleton_signature(&cfg, &listing(rows, "Widget")),
+                base,
+                "{rows}-row listing diverged"
+            );
+        }
+        // Content invariance: text, attributes, comments don't matter.
+        let mut restyled = listing(3, "Completely different text!");
+        restyled.insert(0, Token::Comment("generated".into()));
+        restyled[1] = Token::start_with(
+            "table",
+            vec![rextract_html::token::Attribute::new("border", "1")],
+        );
+        assert_eq!(scratch.skeleton_signature(&cfg, &restyled), base);
+        // Skeleton sensitivity: a novel tag changes the hash.
+        let mut novel = listing(2, "Widget");
+        novel.insert(1, Token::start("blink"));
+        assert_ne!(scratch.skeleton_signature(&cfg, &novel), base);
+        // Start and end tags of the same name must not collide.
+        let open_only = vec![Token::start("p"), Token::start("p")];
+        let balanced = vec![Token::start("p"), Token::end("p")];
+        assert_ne!(
+            scratch.skeleton_signature(&cfg, &open_only),
+            scratch.skeleton_signature(&cfg, &balanced)
+        );
+    }
+
+    #[test]
+    fn trained_wrapper_reports_current_format_version() {
+        let w = Wrapper::train(&train_pages(2), WrapperConfig::default()).unwrap();
+        assert_eq!(w.format_version(), crate::persist::FORMAT_VERSION);
     }
 
     #[test]

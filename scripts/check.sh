@@ -5,7 +5,9 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "== cargo build --release =="
-cargo build --release
+# --workspace matters: the root package alone does not cover the
+# `rextract` binary the smoke tests below drive.
+cargo build --release --workspace
 
 echo "== cargo test (workspace) =="
 cargo test -q --workspace
@@ -31,8 +33,16 @@ echo "== extraction engine smoke (fast profile) =="
 EXTRACT_BENCH_FAST=1 BENCH_WARMUP_MS=5 BENCH_MEASURE_MS=40 \
   cargo bench -q -p bench --bench extract_throughput
 
+echo "== corpus pipeline smoke (fast profile) =="
+# 2 000-page catalog, every tuple cross-checked against ground truth,
+# output bytes asserted identical across the worker sweep.
+CORPUS_BENCH_FAST=1 cargo bench -q -p bench --bench corpus_throughput
+
 echo "== daemon smoke test =="
 scripts/serve_smoke.sh
+
+echo "== pipeline smoke test =="
+scripts/pipeline_smoke.sh
 
 echo "== chaos smoke test =="
 scripts/chaos_smoke.sh

@@ -11,10 +11,13 @@
 //! * [`html`] — HTML tokenization and tag-sequence abstraction
 //! * [`learn`] — merging heuristic, perturbations, disambiguation
 //! * [`wrapper`] — end-to-end train→maximize→extract pipeline
+//! * [`corpus`] — batch ingest, signature routing, provenance-tagged
+//!   tuple streams
 //! * [`serve`] — multi-threaded extraction daemon (wrapper registry,
 //!   bounded store, live metrics)
 
 pub use rextract_automata as automata;
+pub use rextract_corpus as corpus;
 pub use rextract_extraction as extraction;
 pub use rextract_faults as faults;
 pub use rextract_html as html;
