@@ -80,6 +80,7 @@ fn build_catalog(pages: usize) -> Catalog {
             &name,
             family,
             FORMAT_VERSION,
+            1,
             &[(s, e)],
             &[&html[s..e]],
         ));
@@ -127,6 +128,7 @@ fn run_one(catalog: &Catalog, workers: usize) -> (Vec<u8>, f64) {
         source: CorpusSource::Memory(catalog.corpus.clone()),
         workers,
         wrapper_override: None,
+        route_samples: Vec::new(),
     };
     let mut out = Vec::new();
     let started = Instant::now();

@@ -47,7 +47,8 @@ USAGE:
       located tag.
 
   rextract pipeline --wrappers DIR (--corpus DIR | --manifest FILE)
-                    [--workers N] [--wrapper NAME] [--out FILE]
+                    [--workers N] [--wrapper NAME]
+                    [--route-sample NAME=FILE]... [--out FILE]
                     [--unrouted FILE]
       Batch-extract a corpus of pages. Loads every *.wrapper artifact
       from --wrappers, routes each page to the wrapper whose site
@@ -55,24 +56,36 @@ USAGE:
       first sight of a signature and binds the best match — and writes
       one provenance-tagged NDJSON tuple per page to stdout (or --out)
       in strict corpus order: {source, wrapper, wrapper_version,
-      byte_offsets, fields}. Pages no wrapper matched go to --unrouted
-      (or inline as error lines); nothing is silently dropped. --wrapper
-      forces every page through one wrapper; --workers (default 4) sets
-      the fan-out. The run summary prints to stderr.
+      wrapper_revision, byte_offsets, fields}. Pages no wrapper matched
+      go to --unrouted (or inline as error lines); nothing is silently
+      dropped. --wrapper forces every page through one wrapper;
+      --route-sample pins the sample FILE's signature to wrapper NAME
+      up front (repeatable), bypassing the probe for that template
+      family; --workers (default 4) sets the fan-out. The run summary
+      prints to stderr.
 
   rextract serve [--addr HOST:PORT] [--workers N] [--queue N]
                  [--batch-max N] [--wrapper-dir DIR] [--op-cache-cap N|none]
                  [--keepalive-ms N] [--deadline-ms N]
-                 [--drain-timeout-ms N] [--fault NAME=SPEC]...
+                 [--drain-timeout-ms N] [--drift-window N]
+                 [--drift-threshold RATE] [--drift-strict]
+                 [--repair-backoff-ms N] [--fault NAME=SPEC]...
       Run the extraction daemon: POST /extract, POST /wrappers/{name},
       GET /healthz, GET /metrics, POST /shutdown. Loads *.wrapper
       artifacts from --wrapper-dir at boot and on POST /reload.
       The core is an epoll readiness loop: pipelined HTTP/1.1 requests
       are parsed together and same-wrapper /extract requests coalesce
       into batches of up to --batch-max documents per worker trip.
+      Each wrapper's failure and empty-result rates are watched over a
+      sliding window of --drift-window pages (0 disables); past
+      --drift-threshold the wrapper is flagged Degraded and the daemon
+      retrains it online from retained evidence pages, retrying with
+      exponential backoff from --repair-backoff-ms. --drift-strict
+      turns best-effort serving of a drifted wrapper into 503s.
       Defaults: 127.0.0.1:7878, workers = min(cores, 8), queue 128,
       batch max 32, op cache bounded at 16384 entries, keep-alive
-      5000 ms, request deadline 10000 ms, drain timeout 5000 ms.
+      5000 ms, request deadline 10000 ms, drain timeout 5000 ms,
+      drift window 32, drift threshold 0.9, repair backoff 200 ms.
       --fault arms a failpoint (e.g. 'extract.slow=prob(0.3,42):sleep(30)';
       repeatable) and needs a binary built with --features failpoints.
 
@@ -250,7 +263,8 @@ pub fn wrapper_extract(args: &[String]) -> Result<(), String> {
 }
 
 /// `rextract pipeline --wrappers DIR (--corpus DIR | --manifest FILE)
-/// [--workers N] [--wrapper NAME] [--out FILE] [--unrouted FILE]`
+/// [--workers N] [--wrapper NAME] [--route-sample NAME=FILE]...
+/// [--out FILE] [--unrouted FILE]`
 pub fn pipeline(args: &[String]) -> Result<(), String> {
     use rextract_corpus::{run_pipeline, CorpusSource, PipelineConfig};
     use rextract_serve::Registry;
@@ -260,6 +274,7 @@ pub fn pipeline(args: &[String]) -> Result<(), String> {
     let mut source: Option<CorpusSource> = None;
     let mut workers = 4usize;
     let mut wrapper_override: Option<String> = None;
+    let mut route_samples: Vec<(String, std::path::PathBuf)> = Vec::new();
     let mut out_path: Option<String> = None;
     let mut unrouted_path: Option<String> = None;
     let mut it = args.iter();
@@ -284,6 +299,16 @@ pub fn pipeline(args: &[String]) -> Result<(), String> {
                     .max(1)
             }
             "--wrapper" => wrapper_override = Some(value("wrapper name")?.into()),
+            "--route-sample" => {
+                let spec = value("NAME=FILE")?;
+                let (name, file) = spec
+                    .split_once('=')
+                    .ok_or_else(|| format!("--route-sample {spec:?}: expected NAME=FILE"))?;
+                if name.is_empty() || file.is_empty() {
+                    return Err(format!("--route-sample {spec:?}: expected NAME=FILE"));
+                }
+                route_samples.push((name.to_string(), file.into()));
+            }
             "--out" => out_path = Some(value("output file")?.into()),
             "--unrouted" => unrouted_path = Some(value("sidecar file")?.into()),
             other => return Err(format!("unknown flag {other:?}; try `rextract help`")),
@@ -324,6 +349,7 @@ pub fn pipeline(args: &[String]) -> Result<(), String> {
         source,
         workers,
         wrapper_override,
+        route_samples,
     };
     // The `as` casts re-coerce the boxes' `dyn Write + 'static` objects
     // down to the call's local lifetime (coercion does not see through
@@ -396,6 +422,28 @@ pub fn serve(args: &[String]) -> Result<(), String> {
                     value("milliseconds")?
                         .parse()
                         .map_err(|e| format!("--deadline-ms: {e}"))?,
+                )
+            }
+            "--drift-window" => {
+                config.drift_window = value("page count (0 disables)")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("--drift-window: {e}"))?
+            }
+            "--drift-threshold" => {
+                let t = value("rate in (0,1]")?
+                    .parse::<f64>()
+                    .map_err(|e| format!("--drift-threshold: {e}"))?;
+                if !(t > 0.0 && t <= 1.0) {
+                    return Err(format!("--drift-threshold: {t} not in (0,1]"));
+                }
+                config.drift_threshold = t;
+            }
+            "--drift-strict" => config.drift_strict = true,
+            "--repair-backoff-ms" => {
+                config.repair_backoff = std::time::Duration::from_millis(
+                    value("milliseconds")?
+                        .parse()
+                        .map_err(|e| format!("--repair-backoff-ms: {e}"))?,
                 )
             }
             "--drain-timeout-ms" => {

@@ -32,9 +32,9 @@
 //! 1. **Determinism** — output order equals ingest order for any worker
 //!    count (reorder buffer; byte-identical runs).
 //! 2. **Accounting** — `pages_total = pages_ok + pages_failed +
-//!    pages_unrouted + read_errors`; every non-tuple page produces an
-//!    error line. Nothing is silently dropped, even mid-corpus I/O
-//!    failures.
+//!    results_empty + pages_unrouted + read_errors`; every non-tuple
+//!    page produces an error line. Nothing is silently dropped, even
+//!    mid-corpus I/O failures.
 //! 3. **Allocation discipline** — the per-page route + extract core
 //!    performs zero steady-state heap allocations (counting global
 //!    allocator, `tests/pipeline_alloc.rs`).
@@ -62,6 +62,10 @@ pub struct PipelineConfig {
     pub workers: usize,
     /// Route every page to this wrapper instead of by signature.
     pub wrapper_override: Option<String>,
+    /// Sample pages registered up front (`--route-sample NAME=FILE`):
+    /// each file's signature is pinned to the named wrapper via
+    /// [`Router::register`] before any page is routed.
+    pub route_samples: Vec<(String, std::path::PathBuf)>,
 }
 
 /// Per-wrapper page and tuple tallies.
@@ -69,24 +73,31 @@ pub struct PipelineConfig {
 pub struct WrapperTally {
     /// Pages this wrapper extracted successfully.
     pub pages_ok: u64,
-    /// Pages routed here whose extraction failed.
+    /// Pages routed here whose extraction failed hard (e.g. ambiguous).
     pub pages_failed: u64,
+    /// Pages routed here on which the wrapper matched no position at
+    /// all — the empty-result drift symptom, counted apart from hard
+    /// failures so the daemon's drift detector can watch both rates.
+    pub results_empty: u64,
     /// Tuples emitted (one per successful page today; kept separate so
     /// multi-field wrappers can emit more than one).
     pub tuples_emitted: u64,
 }
 
 /// What a pipeline run did, page by page. The accounting invariant
-/// `pages_total == pages_ok + pages_failed + pages_unrouted +
-/// read_errors` always holds — see [`PipelineReport::accounted`].
+/// `pages_total == pages_ok + pages_failed + results_empty +
+/// pages_unrouted + read_errors` always holds — see
+/// [`PipelineReport::accounted`].
 #[derive(Debug, Default, Clone)]
 pub struct PipelineReport {
     /// Pages enumerated from the source.
     pub pages_total: u64,
     /// Pages that produced a tuple.
     pub pages_ok: u64,
-    /// Pages routed to a wrapper whose extraction failed.
+    /// Pages routed to a wrapper whose extraction failed hard.
     pub pages_failed: u64,
+    /// Pages routed to a wrapper that matched no position (sidecar).
+    pub results_empty: u64,
     /// Pages no wrapper matched (sidecar).
     pub pages_unrouted: u64,
     /// Pages whose body could not be read (sidecar).
@@ -100,19 +111,24 @@ pub struct PipelineReport {
 }
 
 impl PipelineReport {
-    /// Sum of the four per-page outcome counters; equals `pages_total`
+    /// Sum of the five per-page outcome counters; equals `pages_total`
     /// on every completed run (asserted by the chaos tests).
     pub fn accounted(&self) -> u64 {
-        self.pages_ok + self.pages_failed + self.pages_unrouted + self.read_errors
+        self.pages_ok
+            + self.pages_failed
+            + self.results_empty
+            + self.pages_unrouted
+            + self.read_errors
     }
 
     /// One-line human summary (CLI stderr, smoke scripts).
     pub fn summary(&self) -> String {
         format!(
-            "pages {} ok {} failed {} unrouted {} read-errors {} tuples {} signatures {}",
+            "pages {} ok {} failed {} empty {} unrouted {} read-errors {} tuples {} signatures {}",
             self.pages_total,
             self.pages_ok,
             self.pages_failed,
+            self.results_empty,
             self.pages_unrouted,
             self.read_errors,
             self.tuples_emitted,
@@ -159,6 +175,7 @@ impl From<io::Error> for PipelineError {
 enum Outcome {
     Ok { wrapper: usize },
     Failed { wrapper: usize },
+    Empty { wrapper: usize },
     Unrouted,
     ReadError,
 }
@@ -177,6 +194,11 @@ pub fn run_pipeline<'a>(
     sidecar: Option<&'a mut dyn Write>,
 ) -> Result<PipelineReport, PipelineError> {
     let router = Router::new(wrappers, cfg.wrapper_override.as_deref())?;
+    for (name, path) in &cfg.route_samples {
+        let html = std::fs::read_to_string(path)?;
+        let tokens = rextract_html::tokenize(&html);
+        router.register(name, &tokens)?;
+    }
     let jobs = ingest::enumerate(&cfg.source)?;
     let workers = cfg.workers.max(1).min(jobs.len().max(1));
 
@@ -227,6 +249,10 @@ pub fn run_pipeline<'a>(
                     report.pages_failed += 1;
                     report.per_wrapper[wrapper].1.pages_failed += 1;
                 }
+                Outcome::Empty { wrapper } => {
+                    report.results_empty += 1;
+                    report.per_wrapper[wrapper].1.results_empty += 1;
+                }
                 Outcome::Unrouted => report.pages_unrouted += 1,
                 Outcome::ReadError => report.read_errors += 1,
             }
@@ -270,18 +296,28 @@ fn process_job(
                 &job.source,
                 name,
                 w.format_version(),
+                w.revision(),
                 &[(s, e)],
                 &[&body[s..e]],
             );
             (Outcome::Ok { wrapper }, PageLine::Tuple(line))
         }
-        RouteOutcome::Failed { wrapper, reason } => {
+        RouteOutcome::Failed {
+            wrapper,
+            reason,
+            empty,
+        } => {
             let name = &router.wrappers()[wrapper].0;
+            let (outcome, verb) = if empty {
+                (Outcome::Empty { wrapper }, "extract empty")
+            } else {
+                (Outcome::Failed { wrapper }, "extract failed")
+            };
             (
-                Outcome::Failed { wrapper },
+                outcome,
                 PageLine::Error(error_line(
                     &job.source,
-                    &format!("extract failed ({name}): {reason}"),
+                    &format!("{verb} ({name}): {reason}"),
                 )),
             )
         }
@@ -335,6 +371,7 @@ mod tests {
             source: CorpusSource::Memory(corpus),
             workers: 3,
             wrapper_override: None,
+            route_samples: Vec::new(),
         };
         let mut out = Vec::new();
         let report = run_pipeline(&cfg, wrappers, &mut out, None).unwrap();
@@ -361,6 +398,7 @@ mod tests {
                 source: CorpusSource::Memory(corpus.clone()),
                 workers,
                 wrapper_override: None,
+                route_samples: Vec::new(),
             };
             let mut out = Vec::new();
             run_pipeline(&cfg, wrappers.clone(), &mut out, None).unwrap();
@@ -377,6 +415,7 @@ mod tests {
             source: CorpusSource::Memory(Vec::new()),
             workers: 4,
             wrapper_override: None,
+            route_samples: Vec::new(),
         };
         let mut out = Vec::new();
         let report = run_pipeline(&cfg, wrappers, &mut out, None).unwrap();
@@ -390,6 +429,7 @@ mod tests {
             source: CorpusSource::Memory(Vec::new()),
             workers: 1,
             wrapper_override: None,
+            route_samples: Vec::new(),
         };
         let mut out = Vec::new();
         match run_pipeline(&cfg, Vec::new(), &mut out, None) {

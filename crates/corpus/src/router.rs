@@ -47,7 +47,14 @@ pub enum RouteOutcome {
     /// wrapper list) found the target at token index `target`.
     Extracted { wrapper: usize, target: usize },
     /// Routed — by binding or override — but extraction failed.
-    Failed { wrapper: usize, reason: String },
+    /// `empty` distinguishes a clean no-match (the wrapper ran but no
+    /// position satisfied it — the classic drift symptom) from a hard
+    /// failure such as an ambiguous match.
+    Failed {
+        wrapper: usize,
+        reason: String,
+        empty: bool,
+    },
     /// No binding and no probe succeeded (or the `pipeline.route`
     /// failpoint forced a miss).
     Unrouted,
@@ -247,6 +254,7 @@ impl Router {
             Ok(target) => RouteOutcome::Extracted { wrapper: i, target },
             Err(e) => RouteOutcome::Failed {
                 wrapper: i,
+                empty: e.is_no_match(),
                 reason: e.to_string(),
             },
         }

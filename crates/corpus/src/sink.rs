@@ -12,7 +12,8 @@
 //!
 //! ```json
 //! {"source":"pages/p07.html","wrapper":"search","wrapper_version":2,
-//!  "byte_offsets":[[212,258]],"fields":["<input type=\"text\" ...>"]}
+//!  "wrapper_revision":1,"byte_offsets":[[212,258]],
+//!  "fields":["<input type=\"text\" ...>"]}
 //! ```
 //!
 //! `byte_offsets` are spans into the **raw source bytes** (from
@@ -46,10 +47,15 @@ fn push_json_str(out: &mut String, s: &str) {
 }
 
 /// Format one provenance tuple line (no trailing newline).
+/// `wrapper_revision` is the install generation of the wrapper that
+/// produced the tuple — it climbs every time the daemon hot-installs a
+/// replacement (manual or self-repair), so a healed wrapper's tuples are
+/// distinguishable from its pre-drift output.
 pub fn tuple_line(
     source: &str,
     wrapper: &str,
     wrapper_version: u32,
+    wrapper_revision: u32,
     byte_offsets: &[(usize, usize)],
     fields: &[&str],
 ) -> String {
@@ -61,6 +67,8 @@ pub fn tuple_line(
     push_json_str(&mut out, wrapper);
     out.push_str(",\"wrapper_version\":");
     out.push_str(&wrapper_version.to_string());
+    out.push_str(",\"wrapper_revision\":");
+    out.push_str(&wrapper_revision.to_string());
     out.push_str(",\"byte_offsets\":[");
     for (i, (s, e)) in byte_offsets.iter().enumerate() {
         if i > 0 {
@@ -162,10 +170,10 @@ mod tests {
 
     #[test]
     fn tuple_line_escapes_and_formats() {
-        let line = tuple_line("a\"b.html", "search", 2, &[(3, 9)], &["<x \"q\">"]);
+        let line = tuple_line("a\"b.html", "search", 2, 3, &[(3, 9)], &["<x \"q\">"]);
         assert_eq!(
             line,
-            r#"{"source":"a\"b.html","wrapper":"search","wrapper_version":2,"byte_offsets":[[3,9]],"fields":["<x \"q\">"]}"#
+            r#"{"source":"a\"b.html","wrapper":"search","wrapper_version":2,"wrapper_revision":3,"byte_offsets":[[3,9]],"fields":["<x \"q\">"]}"#
         );
         assert_eq!(
             error_line("p.html", "unrouted"),

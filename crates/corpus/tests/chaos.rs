@@ -91,6 +91,7 @@ fn mid_corpus_read_errors_complete_and_account_for_every_page() {
         source: CorpusSource::Dir(dir.clone()),
         workers: 3,
         wrapper_override: None,
+        route_samples: Vec::new(),
     };
     let (mut out, mut side) = (Vec::new(), Vec::new());
     let report = run_pipeline(&cfg, wrappers, &mut out, Some(&mut side))
@@ -133,6 +134,7 @@ fn route_faults_surface_as_counted_unrouted_pages() {
         source: CorpusSource::Dir(dir.clone()),
         workers: 2,
         wrapper_override: None,
+        route_samples: Vec::new(),
     };
     let (mut out, mut side) = (Vec::new(), Vec::new());
     let report = run_pipeline(&cfg, wrappers, &mut out, Some(&mut side)).unwrap();

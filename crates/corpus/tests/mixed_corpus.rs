@@ -80,6 +80,7 @@ fn run(
         source: CorpusSource::Dir(dir.to_path_buf()),
         workers,
         wrapper_override: None,
+        route_samples: Vec::new(),
     };
     let (mut out, mut side) = (Vec::new(), Vec::new());
     let report = run_pipeline(&cfg, wrappers, &mut out, Some(&mut side)).unwrap();
@@ -130,6 +131,7 @@ fn hundred_page_mixed_corpus_cross_checks_against_ground_truth() {
             &gt.source,
             gt.family,
             rextract_wrapper::persist::FORMAT_VERSION,
+            1, // freshly trained wrappers start at revision 1
             &[gt.span],
             &[&gt.field],
         );
@@ -139,14 +141,16 @@ fn hundred_page_mixed_corpus_cross_checks_against_ground_truth() {
     assert_eq!(emitted as u64, report.tuples_emitted);
 
     // Per-wrapper tallies add up to the totals.
-    let (mut ok, mut failed, mut tuples) = (0, 0, 0);
+    let (mut ok, mut failed, mut empty, mut tuples) = (0, 0, 0, 0);
     for (_, t) in &report.per_wrapper {
         ok += t.pages_ok;
         failed += t.pages_failed;
+        empty += t.results_empty;
         tuples += t.tuples_emitted;
     }
     assert_eq!(ok, report.pages_ok);
     assert_eq!(failed, report.pages_failed);
+    assert_eq!(empty, report.results_empty);
     assert_eq!(tuples, report.tuples_emitted);
 
     // Ordering guarantee: identical bytes for any worker count.

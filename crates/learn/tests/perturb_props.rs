@@ -1,0 +1,124 @@
+//! Property tests for the perturbation engine — the drift simulator the
+//! daemon's detector and repair loop are exercised against. Two families
+//! of guarantees:
+//!
+//! 1. **Well-formedness**: however many edits are applied, the perturbed
+//!    stream keeps the target token intact and — once rendered —
+//!    re-tokenizes to the same tag skeleton (the abstraction wrappers
+//!    consume). A drift simulator that emitted broken HTML would test
+//!    the tokenizer, not wrapper resilience. Any *single* edit also
+//!    preserves per-name tag balance on well-nested input; composed
+//!    edits may cross element boundaries (`WrapRegion` then
+//!    `DeleteElement`), which mirrors the tag soup of real drifted
+//!    sites and is deliberately allowed.
+//! 2. **Determinism**: a seed fully determines the edit sequence, so
+//!    every drift experiment is reproducible.
+
+use proptest::collection;
+use proptest::prelude::*;
+use rextract_html::token::Token;
+use rextract_html::tokenizer::tokenize;
+use rextract_html::writer::write;
+use rextract_learn::perturb::Perturber;
+use std::collections::BTreeMap;
+
+const CONTAINERS: [&str; 9] = ["p", "div", "table", "tr", "td", "form", "b", "ul", "li"];
+
+/// Random well-nested documents: containers from a small tag pool over
+/// text and void-element leaves.
+fn doc_strategy() -> impl Strategy<Value = String> {
+    let leaf = prop_oneof![
+        Just("price $9.99".to_string()),
+        Just("<input>".to_string()),
+        Just("<hr>".to_string()),
+        "[a-z][a-z ]{0,11}",
+    ];
+    leaf.prop_recursive(4, 48, 5, |inner| {
+        (0usize..CONTAINERS.len(), collection::vec(inner, 0..5)).prop_map(|(tag, kids)| {
+            let tag = CONTAINERS[tag];
+            format!("<{tag}>{}</{tag}>", kids.concat())
+        })
+    })
+}
+
+/// Per-name start/end imbalance, ignoring void and self-closing
+/// elements (they have no end tag by construction).
+fn tag_balance(tokens: &[Token]) -> BTreeMap<String, i64> {
+    let mut m: BTreeMap<String, i64> = BTreeMap::new();
+    for t in tokens {
+        match t {
+            Token::StartTag {
+                name, self_closing, ..
+            } if !*self_closing && !t.is_void_element() => {
+                *m.entry(name.clone()).or_insert(0) += 1;
+            }
+            Token::EndTag { name } => *m.entry(name.clone()).or_insert(0) -= 1,
+            _ => {}
+        }
+    }
+    m.retain(|_, v| *v != 0);
+    m
+}
+
+/// The non-text token sequence — what tag-level abstractions see.
+fn tag_skeleton(tokens: &[Token]) -> Vec<Token> {
+    tokens
+        .iter()
+        .filter(|t| !matches!(t, Token::Text(_)))
+        .cloned()
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn perturbation_preserves_wellformedness(
+        doc in doc_strategy(),
+        seed in 1usize..10_000,
+        target_pick in 0usize..4096,
+        edits in 0usize..16,
+    ) {
+        let tokens = tokenize(&doc);
+        prop_assume!(!tokens.is_empty());
+        let target = target_pick % tokens.len();
+
+        let got = Perturber::new(seed as u64).perturb(&tokens, target, edits);
+
+        // The object of interest survives every edit, verbatim.
+        prop_assert!(got.target < got.tokens.len());
+        prop_assert_eq!(&got.tokens[got.target], &tokens[target]);
+        // The edit count is honest (infeasible edits degrade, not skip).
+        prop_assert_eq!(got.edits.len(), edits);
+        // Rendering the drifted page and re-tokenizing reproduces the
+        // same tag skeleton (adjacent text runs may merge; tags do not).
+        let rendered = tokenize(&write(&got.tokens));
+        prop_assert_eq!(tag_skeleton(&rendered), tag_skeleton(&got.tokens));
+    }
+
+    #[test]
+    fn single_edit_preserves_tag_balance(
+        doc in doc_strategy(),
+        seed in 1usize..10_000,
+        target_pick in 0usize..4096,
+    ) {
+        let tokens = tokenize(&doc);
+        prop_assume!(!tokens.is_empty());
+        let target = target_pick % tokens.len();
+        let got = Perturber::new(seed as u64).perturb(&tokens, target, 1);
+        prop_assert_eq!(tag_balance(&got.tokens), tag_balance(&tokens));
+    }
+
+    #[test]
+    fn perturbation_is_deterministic_per_seed(
+        doc in doc_strategy(),
+        seed in 1usize..10_000,
+        edits in 0usize..12,
+    ) {
+        let tokens = tokenize(&doc);
+        prop_assume!(!tokens.is_empty());
+        let a = Perturber::new(seed as u64).perturb(&tokens, 0, edits);
+        let b = Perturber::new(seed as u64).perturb(&tokens, 0, edits);
+        prop_assert_eq!(a.tokens, b.tokens);
+        prop_assert_eq!(a.target, b.target);
+        prop_assert_eq!(a.edits, b.edits);
+    }
+}

@@ -44,11 +44,20 @@
 //!   while the pool is short-handed or within
 //!   [`ServeConfig::degraded_window`] of the last death, and `/metrics`
 //!   counts respawns.
+//! * **Drift detection + online self-repair.** Per-wrapper sliding
+//!   windows over `/extract` and `/pipeline` outcomes flag a wrapper
+//!   `Degraded` when its failure or empty-result rate crosses
+//!   [`ServeConfig::drift_threshold`]; the supervisor then retrains it
+//!   online from retained evidence pages ([`drift`]) and hot-installs
+//!   the healed artifact through the crash-safe install path, bumping
+//!   its revision — all without a restart. `--drift-strict` turns
+//!   best-effort serving of a drifted wrapper into `503`s.
 //! * **Fault injection.** Built with `--features failpoints`, the daemon
 //!   compiles in named failpoints (`worker.panic.escape`, `extract.slow`,
-//!   `registry.read.transient`, and the persistence layer's
-//!   `persist.write.*`) that tests and `rextract serve --fault` can arm;
-//!   without the feature they compile to nothing.
+//!   `registry.read.transient`, `serve.drift.detect`,
+//!   `serve.repair.train`, `serve.repair.install`, and the persistence
+//!   layer's `persist.write.*`) that tests and `rextract serve --fault`
+//!   can arm; without the feature they compile to nothing.
 //!
 //! ## Endpoints
 //!
@@ -76,6 +85,7 @@
 //! handle.join(); // blocks until POST /shutdown
 //! ```
 
+pub mod drift;
 pub mod epoll;
 pub mod http;
 pub mod json;
@@ -126,6 +136,18 @@ pub struct ServeConfig {
     /// `"degraded"`. Respawn takes single-digit milliseconds; the window
     /// keeps the incident observable to a poller.
     pub degraded_window: Duration,
+    /// Sliding-window size (pages) for per-wrapper drift detection; `0`
+    /// disables detection entirely.
+    pub drift_window: usize,
+    /// Failure or empty-result rate over the window that flags a wrapper
+    /// as Degraded and starts the online repair loop.
+    pub drift_threshold: f64,
+    /// With `true`, a Degraded/Repairing/Quarantined wrapper answers
+    /// `503` instead of serving best-effort.
+    pub drift_strict: bool,
+    /// Base backoff between failed repair attempts (doubles per attempt
+    /// up to [`drift::MAX_REPAIR_ATTEMPTS`] attempts).
+    pub repair_backoff: Duration,
 }
 
 impl Default for ServeConfig {
@@ -143,6 +165,13 @@ impl Default for ServeConfig {
             request_deadline: Duration::from_secs(10),
             drain_timeout: Duration::from_millis(5000),
             degraded_window: Duration::from_secs(1),
+            // Conservative defaults: a wrapper has to fail (or match
+            // nothing on) ≥ 90% of its last 32 pages before the daemon
+            // declares drift and starts repairing.
+            drift_window: 32,
+            drift_threshold: 0.9,
+            drift_strict: false,
+            repair_backoff: Duration::from_millis(200),
         }
     }
 }

@@ -6,7 +6,8 @@
 
 use crate::json::{num_array, Obj};
 use rextract_automata::StoreStats;
-use std::collections::BTreeMap;
+use rextract_faults::fail_point;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -199,10 +200,81 @@ struct EndpointMetrics {
 pub struct WrapperCounters {
     /// Pages this wrapper extracted successfully.
     pub pages_ok: u64,
-    /// Pages routed to this wrapper whose extraction failed.
+    /// Pages routed to this wrapper whose extraction failed (ambiguous
+    /// match or other hard error — empty results are counted separately).
     pub pages_failed: u64,
+    /// Pages where the wrapper parsed but matched nothing (`NoMatch`) —
+    /// the paper's primary drift symptom, disjoint from `pages_failed`.
+    pub results_empty: u64,
     /// Tuples emitted under this wrapper's name.
     pub tuples_emitted: u64,
+}
+
+/// One page's extraction outcome, as the drift detector sees it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PageOutcome {
+    /// Target located.
+    Ok,
+    /// Wrapper ran but matched nothing (`NoMatch`) — the paper's primary
+    /// drift symptom.
+    Empty,
+    /// Extraction failed hard (ambiguous match, bad page).
+    Failed,
+}
+
+/// A wrapper's serving health in the drift/repair lifecycle:
+/// `Healthy → Degraded → Repairing → Healthy` on a successful repair,
+/// or `→ Quarantined` when repair attempts are exhausted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WrapperHealth {
+    /// Failure rates below threshold; serving normally.
+    Healthy,
+    /// Drift flagged: a sliding-window failure or empty-result rate
+    /// crossed the threshold. Still serving best-effort (or 503 under
+    /// `--drift-strict`) while repair evidence accumulates.
+    Degraded,
+    /// A supervisor-owned repair thread is retraining the wrapper.
+    Repairing,
+    /// Repair attempts exhausted; the wrapper stays installed (and keeps
+    /// serving best-effort) but no further repairs are tried until a
+    /// manual install resets it.
+    Quarantined,
+}
+
+impl WrapperHealth {
+    pub fn name(self) -> &'static str {
+        match self {
+            WrapperHealth::Healthy => "healthy",
+            WrapperHealth::Degraded => "degraded",
+            WrapperHealth::Repairing => "repairing",
+            WrapperHealth::Quarantined => "quarantined",
+        }
+    }
+}
+
+/// Per-wrapper drift detector state: a sliding window of recent page
+/// outcomes plus the wrapper's health.
+#[derive(Debug)]
+struct DriftState {
+    recent: VecDeque<PageOutcome>,
+    health: WrapperHealth,
+}
+
+impl Default for DriftState {
+    fn default() -> Self {
+        DriftState {
+            recent: VecDeque::new(),
+            health: WrapperHealth::Healthy,
+        }
+    }
+}
+
+/// Forced-detection hook: the `serve.drift.detect` failpoint (action
+/// `return`) flags drift regardless of observed rates, making the
+/// detect → repair path testable without minting hundreds of bad pages.
+fn drift_detect_forced() -> bool {
+    fail_point!("serve.drift.detect", |_action| true);
+    false
 }
 
 /// Sentinel for [`Metrics::last_worker_death_ms`]: no worker has died.
@@ -259,6 +331,23 @@ pub struct Metrics {
     /// dynamically-keyed dimension, so it sits behind a mutex (taken for
     /// a few map operations per *page*, not per connection event).
     wrappers: Mutex<BTreeMap<String, WrapperCounters>>,
+    /// Per-wrapper drift detector windows + health, fed by the same
+    /// `/extract` and `/pipeline` outcome stream as the tallies above.
+    drift: Mutex<BTreeMap<String, DriftState>>,
+    /// Sliding-window size for drift detection (0 disables detection).
+    drift_window: AtomicUsize,
+    /// Failure/empty-rate threshold that flags drift, stored as `f64`
+    /// bits so the hot path stays lock-free.
+    drift_threshold_bits: AtomicU64,
+    /// Wrappers flagged Degraded by the detector (counts transitions,
+    /// not bad pages).
+    drift_flagged: AtomicU64,
+    /// Online repair attempts started by the supervisor.
+    repairs_attempted: AtomicU64,
+    /// Repairs that validated and hot-installed a healed wrapper.
+    repairs_succeeded: AtomicU64,
+    /// Repairs that failed (training error, validation miss, or panic).
+    repairs_failed: AtomicU64,
     /// Pages enumerated by `/pipeline` runs.
     pipeline_pages: AtomicU64,
     /// `/pipeline` pages no wrapper matched.
@@ -291,6 +380,13 @@ impl Metrics {
             batches_dispatched: AtomicU64::new(0),
             batch_size: SizeHistogram::default(),
             wrappers: Mutex::new(BTreeMap::new()),
+            drift: Mutex::new(BTreeMap::new()),
+            drift_window: AtomicUsize::new(0),
+            drift_threshold_bits: AtomicU64::new(1.0f64.to_bits()),
+            drift_flagged: AtomicU64::new(0),
+            repairs_attempted: AtomicU64::new(0),
+            repairs_succeeded: AtomicU64::new(0),
+            repairs_failed: AtomicU64::new(0),
             pipeline_pages: AtomicU64::new(0),
             pipeline_unrouted: AtomicU64::new(0),
             pipeline_read_errors: AtomicU64::new(0),
@@ -465,26 +561,196 @@ impl Metrics {
     }
 
     /// One page's extraction outcome under `name` (the `/extract` path:
-    /// one page, zero or one tuple).
-    pub fn record_wrapper_page(&self, name: &str, ok: bool, tuples: u64) {
-        self.record_wrapper_tallies(name, u64::from(ok), u64::from(!ok), tuples);
+    /// one page, zero or one tuple). Feeds both the per-wrapper tallies
+    /// and the drift detector window; returns `true` when this page
+    /// newly flagged the wrapper as Degraded.
+    pub fn record_wrapper_outcome(&self, name: &str, outcome: PageOutcome, tuples: u64) -> bool {
+        {
+            let mut map = self.wrappers_lock();
+            let c = map.entry(name.to_string()).or_default();
+            match outcome {
+                PageOutcome::Ok => c.pages_ok += 1,
+                PageOutcome::Empty => c.results_empty += 1,
+                PageOutcome::Failed => c.pages_failed += 1,
+            }
+            c.tuples_emitted += tuples;
+        }
+        self.drift_observe(name, &[(outcome, 1)])
     }
 
     /// Fold a batch of per-wrapper tallies in (the `/pipeline` path: a
-    /// whole corpus per call).
-    pub fn record_wrapper_tallies(&self, name: &str, ok: u64, failed: u64, tuples: u64) {
-        if ok == 0 && failed == 0 && tuples == 0 {
-            return; // don't mint zero rows for wrappers no page touched
+    /// whole corpus per call). The aggregate outcomes feed the same drift
+    /// windows as `/extract` traffic; returns `true` when the batch newly
+    /// flagged the wrapper as Degraded.
+    pub fn record_wrapper_tallies(
+        &self,
+        name: &str,
+        ok: u64,
+        failed: u64,
+        empty: u64,
+        tuples: u64,
+    ) -> bool {
+        if ok == 0 && failed == 0 && empty == 0 && tuples == 0 {
+            return false; // don't mint zero rows for wrappers no page touched
         }
-        let mut map = self.wrappers_lock();
-        let c = map.entry(name.to_string()).or_default();
-        c.pages_ok += ok;
-        c.pages_failed += failed;
-        c.tuples_emitted += tuples;
+        {
+            let mut map = self.wrappers_lock();
+            let c = map.entry(name.to_string()).or_default();
+            c.pages_ok += ok;
+            c.pages_failed += failed;
+            c.results_empty += empty;
+            c.tuples_emitted += tuples;
+        }
+        self.drift_observe(
+            name,
+            &[
+                (PageOutcome::Ok, ok),
+                (PageOutcome::Failed, failed),
+                (PageOutcome::Empty, empty),
+            ],
+        )
     }
 
     pub fn wrapper_counters(&self, name: &str) -> WrapperCounters {
         self.wrappers_lock().get(name).copied().unwrap_or_default()
+    }
+
+    fn drift_lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, DriftState>> {
+        self.drift.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Configure drift detection: flag a wrapper Degraded when, over the
+    /// last `window` pages, the hard-failure rate or the empty-result
+    /// rate reaches `threshold`. `window == 0` disables detection.
+    pub fn configure_drift(&self, window: usize, threshold: f64) {
+        self.drift_window.store(window, Ordering::Relaxed);
+        self.drift_threshold_bits
+            .store(threshold.to_bits(), Ordering::Relaxed);
+    }
+
+    pub fn drift_window(&self) -> usize {
+        self.drift_window.load(Ordering::Relaxed)
+    }
+
+    pub fn drift_threshold(&self) -> f64 {
+        f64::from_bits(self.drift_threshold_bits.load(Ordering::Relaxed))
+    }
+
+    /// Push page outcomes into `name`'s sliding window and re-evaluate
+    /// the drift predicate. Detection only ever *flags* (Healthy →
+    /// Degraded); recovery goes through a successful repair or a manual
+    /// install, never through the window quietly refilling with
+    /// successes — a wrapper that was drifting stays visible until acted
+    /// on. Returns `true` on a new flag.
+    fn drift_observe(&self, name: &str, outcomes: &[(PageOutcome, u64)]) -> bool {
+        let window = self.drift_window();
+        if window == 0 {
+            return false;
+        }
+        let mut map = self.drift_lock();
+        let st = map.entry(name.to_string()).or_default();
+        for &(outcome, n) in outcomes {
+            // Only the last `window` entries matter; cap the pushes so a
+            // million-page pipeline batch does O(window) work here.
+            for _ in 0..n.min(window as u64) {
+                if st.recent.len() == window {
+                    st.recent.pop_front();
+                }
+                st.recent.push_back(outcome);
+            }
+        }
+        if st.health != WrapperHealth::Healthy {
+            return false;
+        }
+        let flagged = if drift_detect_forced() {
+            !st.recent.is_empty()
+        } else if st.recent.len() == window {
+            let failed = st
+                .recent
+                .iter()
+                .filter(|o| **o == PageOutcome::Failed)
+                .count() as f64;
+            let empty = st
+                .recent
+                .iter()
+                .filter(|o| **o == PageOutcome::Empty)
+                .count() as f64;
+            let n = window as f64;
+            let threshold = self.drift_threshold();
+            failed / n >= threshold || empty / n >= threshold
+        } else {
+            false
+        };
+        if flagged {
+            st.health = WrapperHealth::Degraded;
+            self.drift_flagged.fetch_add(1, Ordering::Relaxed);
+        }
+        flagged
+    }
+
+    /// The wrapper's current health (Healthy if never observed).
+    pub fn wrapper_health(&self, name: &str) -> WrapperHealth {
+        self.drift_lock()
+            .get(name)
+            .map(|s| s.health)
+            .unwrap_or(WrapperHealth::Healthy)
+    }
+
+    /// Transition a wrapper's health (the repair supervisor's lever);
+    /// returns the previous state.
+    pub fn set_wrapper_health(&self, name: &str, health: WrapperHealth) -> WrapperHealth {
+        let mut map = self.drift_lock();
+        let st = map.entry(name.to_string()).or_default();
+        std::mem::replace(&mut st.health, health)
+    }
+
+    /// Reset a wrapper's drift state to Healthy with an empty window —
+    /// called after a successful repair install or a manual
+    /// `POST /wrappers/{name}`, both of which replace the wrapper the
+    /// evidence was collected against.
+    pub fn reset_wrapper_drift(&self, name: &str) {
+        let mut map = self.drift_lock();
+        let st = map.entry(name.to_string()).or_default();
+        st.recent.clear();
+        st.health = WrapperHealth::Healthy;
+    }
+
+    /// Every wrapper whose health is not Healthy, sorted by name — the
+    /// repair supervisor's worklist and `/healthz`'s degradation signal.
+    pub fn unhealthy_wrappers(&self) -> Vec<(String, WrapperHealth)> {
+        self.drift_lock()
+            .iter()
+            .filter(|(_, s)| s.health != WrapperHealth::Healthy)
+            .map(|(n, s)| (n.clone(), s.health))
+            .collect()
+    }
+
+    pub fn drift_flagged(&self) -> u64 {
+        self.drift_flagged.load(Ordering::Relaxed)
+    }
+
+    pub fn record_repair_attempted(&self) {
+        self.repairs_attempted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn repairs_attempted(&self) -> u64 {
+        self.repairs_attempted.load(Ordering::Relaxed)
+    }
+
+    pub fn record_repair_succeeded(&self) {
+        self.repairs_succeeded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn repairs_succeeded(&self) -> u64 {
+        self.repairs_succeeded.load(Ordering::Relaxed)
+    }
+
+    pub fn record_repair_failed(&self) {
+        self.repairs_failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn repairs_failed(&self) -> u64 {
+        self.repairs_failed.load(Ordering::Relaxed)
     }
 
     /// Corpus-level counters from one `/pipeline` run.
@@ -524,11 +790,21 @@ impl Metrics {
             let body = Obj::new()
                 .num("pages_ok", c.pages_ok)
                 .num("pages_failed", c.pages_failed)
+                .num("results_empty", c.results_empty)
                 .num("tuples_emitted", c.tuples_emitted)
+                .str("health", self.wrapper_health(name).name())
                 .finish();
             wrappers.push_str(&format!("{:?}:{}", name, body));
         }
         wrappers.push('}');
+        let drift = Obj::new()
+            .num("window", self.drift_window() as u64)
+            .float("threshold", self.drift_threshold())
+            .num("flagged", self.drift_flagged())
+            .num("repairs_attempted", self.repairs_attempted())
+            .num("repairs_succeeded", self.repairs_succeeded())
+            .num("repairs_failed", self.repairs_failed())
+            .finish();
         let pipeline = Obj::new()
             .num("pages", self.pipeline_pages())
             .num("unrouted", self.pipeline_unrouted.load(Ordering::Relaxed))
@@ -569,6 +845,7 @@ impl Metrics {
             )
             .raw("endpoints", &endpoints)
             .raw("wrappers", &wrappers)
+            .raw("drift", &drift)
             .raw("pipeline", &pipeline)
             .raw("store", &store_stats_json(store));
         #[cfg(feature = "failpoints")]
@@ -680,10 +957,11 @@ mod tests {
         m.record_pipelined_request();
         m.record_batch(1);
         m.record_batch(7);
-        m.record_wrapper_page("demo", true, 1);
-        m.record_wrapper_page("demo", false, 0);
-        m.record_wrapper_tallies("demo", 3, 1, 3);
-        m.record_wrapper_tallies("idle", 0, 0, 0);
+        m.record_wrapper_outcome("demo", PageOutcome::Ok, 1);
+        m.record_wrapper_outcome("demo", PageOutcome::Failed, 0);
+        m.record_wrapper_outcome("demo", PageOutcome::Empty, 0);
+        m.record_wrapper_tallies("demo", 3, 1, 0, 3);
+        m.record_wrapper_tallies("idle", 0, 0, 0, 0);
         m.record_pipeline_run(10, 2, 1);
         let json = m.render_json(&StoreStats::default());
         assert!(json.contains("\"queue_depth\":3"), "{json}");
@@ -703,10 +981,15 @@ mod tests {
         // /extract and /pipeline tallies share one per-wrapper row;
         // untouched wrappers mint no row at all.
         assert!(
-            json.contains("\"demo\":{\"pages_ok\":4,\"pages_failed\":2,\"tuples_emitted\":4}"),
+            json.contains(
+                "\"demo\":{\"pages_ok\":4,\"pages_failed\":2,\"results_empty\":1,\
+                 \"tuples_emitted\":4,\"health\":\"healthy\"}"
+            ),
             "{json}"
         );
         assert!(!json.contains("\"idle\""), "{json}");
+        assert!(json.contains("\"drift\":{\"window\":0"), "{json}");
+        assert!(json.contains("\"repairs_attempted\":0"), "{json}");
         assert!(
             json.contains("\"pipeline\":{\"pages\":10,\"unrouted\":2,\"read_errors\":1}"),
             "{json}"
@@ -716,11 +999,104 @@ mod tests {
             WrapperCounters {
                 pages_ok: 4,
                 pages_failed: 2,
+                results_empty: 1,
                 tuples_emitted: 4
             }
         );
         assert_eq!(m.wrapper_counters("missing"), WrapperCounters::default());
         assert_eq!(m.pipeline_pages(), 10);
+    }
+
+    #[test]
+    fn drift_flags_on_empty_rate_over_full_window() {
+        let m = Metrics::new();
+        m.configure_drift(4, 0.5);
+        // Window not yet full: no flag even at 100% empty.
+        assert!(!m.record_wrapper_outcome("w", PageOutcome::Empty, 0));
+        assert!(!m.record_wrapper_outcome("w", PageOutcome::Empty, 0));
+        assert!(!m.record_wrapper_outcome("w", PageOutcome::Ok, 1));
+        assert_eq!(m.wrapper_health("w"), WrapperHealth::Healthy);
+        // Fourth page fills the window at 3/4 empty ≥ 0.5: flag.
+        assert!(m.record_wrapper_outcome("w", PageOutcome::Empty, 0));
+        assert_eq!(m.wrapper_health("w"), WrapperHealth::Degraded);
+        assert_eq!(m.drift_flagged(), 1);
+        // Already flagged: no double count.
+        assert!(!m.record_wrapper_outcome("w", PageOutcome::Empty, 0));
+        assert_eq!(m.drift_flagged(), 1);
+        assert_eq!(
+            m.unhealthy_wrappers(),
+            vec![("w".to_string(), WrapperHealth::Degraded)]
+        );
+    }
+
+    #[test]
+    fn drift_flags_on_failure_rate_and_resets_on_reinstall() {
+        let m = Metrics::new();
+        m.configure_drift(2, 1.0);
+        m.record_wrapper_outcome("w", PageOutcome::Failed, 0);
+        assert!(m.record_wrapper_outcome("w", PageOutcome::Failed, 0));
+        assert_eq!(m.wrapper_health("w"), WrapperHealth::Degraded);
+        m.reset_wrapper_drift("w");
+        assert_eq!(m.wrapper_health("w"), WrapperHealth::Healthy);
+        assert!(m.unhealthy_wrappers().is_empty());
+        // The window was cleared too: one more failure is not enough.
+        assert!(!m.record_wrapper_outcome("w", PageOutcome::Failed, 0));
+    }
+
+    #[test]
+    fn flagged_health_is_sticky_under_later_successes() {
+        let m = Metrics::new();
+        m.configure_drift(2, 1.0);
+        m.record_wrapper_outcome("w", PageOutcome::Empty, 0);
+        m.record_wrapper_outcome("w", PageOutcome::Empty, 0);
+        assert_eq!(m.wrapper_health("w"), WrapperHealth::Degraded);
+        for _ in 0..8 {
+            m.record_wrapper_outcome("w", PageOutcome::Ok, 1);
+        }
+        assert_eq!(
+            m.wrapper_health("w"),
+            WrapperHealth::Degraded,
+            "recovery goes through repair, not through the window refilling"
+        );
+    }
+
+    #[test]
+    fn pipeline_tallies_feed_drift_window() {
+        let m = Metrics::new();
+        m.configure_drift(4, 0.5);
+        assert!(m.record_wrapper_tallies("w", 1, 0, 100, 1));
+        assert_eq!(m.wrapper_health("w"), WrapperHealth::Degraded);
+    }
+
+    #[test]
+    fn drift_disabled_with_zero_window() {
+        let m = Metrics::new();
+        for _ in 0..100 {
+            m.record_wrapper_outcome("w", PageOutcome::Failed, 0);
+        }
+        assert_eq!(m.wrapper_health("w"), WrapperHealth::Healthy);
+        assert_eq!(m.drift_flagged(), 0);
+    }
+
+    #[test]
+    fn health_transitions_and_repair_counters() {
+        let m = Metrics::new();
+        m.configure_drift(1, 1.0);
+        m.record_wrapper_outcome("w", PageOutcome::Empty, 0);
+        assert_eq!(
+            m.set_wrapper_health("w", WrapperHealth::Repairing),
+            WrapperHealth::Degraded
+        );
+        m.record_repair_attempted();
+        m.record_repair_failed();
+        m.record_repair_attempted();
+        m.record_repair_succeeded();
+        assert_eq!(m.repairs_attempted(), 2);
+        assert_eq!(m.repairs_succeeded(), 1);
+        assert_eq!(m.repairs_failed(), 1);
+        // While Repairing, new bad pages don't re-flag.
+        assert!(!m.record_wrapper_outcome("w", PageOutcome::Empty, 0));
+        assert_eq!(m.drift_flagged(), 1);
     }
 
     #[test]

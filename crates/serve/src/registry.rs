@@ -176,6 +176,11 @@ pub struct Registry {
     /// to skip unchanged artifacts. Entries for vanished files are pruned
     /// at the end of each scan.
     seen: Mutex<HashMap<PathBuf, FileSig>>,
+    /// name → install generation. Every install of a name (boot load,
+    /// reload, hot install, online repair) bumps the counter and stamps it
+    /// into the wrapper as [`Wrapper::revision`], so provenance records can
+    /// distinguish tuples produced before and after a hot swap.
+    generations: Mutex<HashMap<String, u32>>,
 }
 
 /// The `(mtime, len)` signature of `path`, if statable.
@@ -202,7 +207,17 @@ impl Registry {
             wrappers: RwLock::new(HashMap::new()),
             dir,
             seen: Mutex::new(HashMap::new()),
+            generations: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Bump and return the install generation for `name` (1 for the first
+    /// install).
+    fn next_generation(&self, name: &str) -> u32 {
+        let mut guard = self.generations.lock().unwrap_or_else(|e| e.into_inner());
+        let gen = guard.entry(name.to_string()).or_insert(0);
+        *gen += 1;
+        *gen
     }
 
     fn seen(&self) -> std::sync::MutexGuard<'_, HashMap<PathBuf, FileSig>> {
@@ -272,7 +287,8 @@ impl Registry {
                 }
             };
             match Wrapper::import(&text) {
-                Ok(w) => {
+                Ok(mut w) => {
+                    w.set_revision(self.next_generation(&name));
                     self.write().insert(name.clone(), Arc::new(w));
                     match sig {
                         Some(sig) => {
@@ -317,8 +333,10 @@ impl Registry {
                 "invalid wrapper name {name:?} (want [A-Za-z0-9._-]+, no leading dot)"
             )));
         }
-        let wrapper =
-            Arc::new(Wrapper::import(artifact).map_err(|e| InstallError::Invalid(e.to_string()))?);
+        let mut wrapper =
+            Wrapper::import(artifact).map_err(|e| InstallError::Invalid(e.to_string()))?;
+        wrapper.set_revision(self.next_generation(name));
+        let wrapper = Arc::new(wrapper);
         if let Some(dir) = &self.dir {
             let path = dir.join(format!("{name}.wrapper"));
             rextract_wrapper::persist::save_artifact(&path, artifact)
@@ -451,6 +469,35 @@ mod tests {
         assert_eq!(r.names(), vec!["demo".to_string(), "two".to_string()]);
         assert!(r.install("bad name", &artifact(5)).is_err());
         assert!(r.install("x", "garbage").is_err());
+    }
+
+    #[test]
+    fn install_bumps_revision_per_name() {
+        let r = Registry::new(None);
+        assert_eq!(r.install("demo", &artifact(3)).unwrap().revision(), 1);
+        assert_eq!(r.install("demo", &artifact(4)).unwrap().revision(), 2);
+        assert_eq!(
+            r.install("other", &artifact(5)).unwrap().revision(),
+            1,
+            "generations are per name"
+        );
+        assert_eq!(r.get("demo").unwrap().revision(), 2);
+    }
+
+    #[test]
+    fn load_dir_assigns_and_bumps_revisions() {
+        let dir = temp_dir("revisions");
+        std::fs::write(dir.join("site.wrapper"), artifact(8)).unwrap();
+        let r = Registry::new(Some(dir.clone()));
+        r.load_dir().unwrap();
+        assert_eq!(r.get("site").unwrap().revision(), 1);
+        // A rewrite re-imports and bumps; an unchanged rescan does not.
+        std::fs::write(dir.join("site.wrapper"), artifact(9)).unwrap();
+        r.load_dir().unwrap();
+        assert_eq!(r.get("site").unwrap().revision(), 2);
+        r.load_dir().unwrap();
+        assert_eq!(r.get("site").unwrap().revision(), 2, "skip keeps revision");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -43,10 +43,11 @@
 //! request is ever silently dropped. `/healthz` reports `"degraded"`
 //! while short-handed or shortly after a death.
 
+use crate::drift::{run_repair, RepairHub};
 use crate::epoll::{self, Epoll, Waker, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
 use crate::http::{parse_request, Parse, ParseError, Request, Response};
 use crate::json::{str_array, Obj};
-use crate::metrics::{Endpoint, Metrics};
+use crate::metrics::{Endpoint, Metrics, PageOutcome, WrapperHealth};
 use crate::pool::{Batch, Completion, CompletionQueue, JobQueue, WorkItem};
 use crate::registry::{InstallError, LoadReport, Registry, ResolveError};
 use crate::ServeConfig;
@@ -107,9 +108,12 @@ struct Ctx {
     registry: Arc<Registry>,
     metrics: Arc<Metrics>,
     shutdown: Arc<Shutdown>,
+    repair: Arc<RepairHub>,
     keepalive: Duration,
     request_deadline: Duration,
     degraded_window: Duration,
+    /// 503 drifted wrappers instead of serving best-effort.
+    drift_strict: bool,
 }
 
 /// A running daemon. Dropping the handle does **not** stop the server;
@@ -176,6 +180,7 @@ pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
     }
 
     let metrics = Arc::new(Metrics::new());
+    metrics.configure_drift(config.drift_window, config.drift_threshold);
     record_scan(&metrics, &boot_report);
 
     let epoll = Epoll::new()?;
@@ -193,9 +198,11 @@ pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
         registry: Arc::clone(&registry),
         metrics: Arc::clone(&metrics),
         shutdown: Arc::clone(&shutdown),
+        repair: Arc::new(RepairHub::new(config.repair_backoff)),
         keepalive: config.keepalive_timeout,
         request_deadline: config.request_deadline,
         degraded_window: config.degraded_window,
+        drift_strict: config.drift_strict,
     });
 
     let pool_size = config.workers.max(1);
@@ -264,8 +271,8 @@ fn spawn_worker(id: usize, queue: &Arc<JobQueue<Batch>>, ctx: &Arc<Ctx>) -> Join
 }
 
 /// Keep the pool at strength: reap dead workers (join to collect the
-/// panic), respawn replacements while serving, and enforce the drain
-/// deadline during shutdown.
+/// panic), respawn replacements while serving, run the drift-repair
+/// state machine, and enforce the drain deadline during shutdown.
 fn supervisor_loop(
     queue: &Arc<JobQueue<Batch>>,
     ctx: &Arc<Ctx>,
@@ -273,8 +280,13 @@ fn supervisor_loop(
     drain_timeout: Duration,
 ) {
     let mut next_id = workers.len();
+    // At most one repair runs at a time: repairs retrain whole wrappers,
+    // and serializing them keeps the CPU cost bounded no matter how many
+    // wrappers drift at once.
+    let mut repair: Option<(String, JoinHandle<bool>)> = None;
     while !ctx.shutdown.draining() {
         std::thread::sleep(SUPERVISE_EVERY);
+        repair = supervise_repair(ctx, repair);
         let mut i = 0;
         while i < workers.len() {
             if !workers[i].is_finished() {
@@ -320,6 +332,97 @@ fn supervisor_loop(
     );
     // The threads are detached by dropping their handles; the process is
     // exiting anyway once the caller's join() returns.
+}
+
+/// One tick of the repair state machine: harvest a finished repair
+/// thread (success, rejection, or panic) and, when idle, start the next
+/// attempt for a Degraded wrapper with enough evidence.
+fn supervise_repair(
+    ctx: &Arc<Ctx>,
+    repair: Option<(String, JoinHandle<bool>)>,
+) -> Option<(String, JoinHandle<bool>)> {
+    // Harvest a finished attempt. A panicked thread joins to Err — the
+    // mid-repair crash case: the old wrapper was never swapped out, so
+    // it just counts as a failed attempt and the backoff retries.
+    let repair = match repair {
+        Some((name, handle)) if handle.is_finished() => {
+            let healed = handle.join().unwrap_or(false);
+            if healed {
+                ctx.metrics.record_repair_succeeded();
+                ctx.metrics.reset_wrapper_drift(&name);
+                ctx.repair.reset(&name);
+            } else {
+                ctx.metrics.record_repair_failed();
+                let quarantined = ctx.repair.exhausted(&name);
+                ctx.metrics.set_wrapper_health(
+                    &name,
+                    if quarantined {
+                        WrapperHealth::Quarantined
+                    } else {
+                        WrapperHealth::Degraded
+                    },
+                );
+                eprintln!(
+                    "rextract-serve: repair of wrapper {name:?} failed (attempt {}{})",
+                    ctx.repair.attempts(&name),
+                    if quarantined {
+                        "; quarantined, serving best-effort until reinstalled"
+                    } else {
+                        "; will retry with backoff"
+                    }
+                );
+            }
+            None
+        }
+        busy_or_idle => busy_or_idle,
+    };
+    if repair.is_some() {
+        return repair;
+    }
+    // Start the next attempt: first Degraded wrapper that is still
+    // installed, under its attempt budget, past its backoff, and holding
+    // enough evidence.
+    for (name, health) in ctx.metrics.unhealthy_wrappers() {
+        if health != WrapperHealth::Degraded || !ctx.repair.ready(&name) {
+            continue;
+        }
+        let Some(wrapper) = ctx.registry.get(&name) else {
+            continue;
+        };
+        ctx.metrics
+            .set_wrapper_health(&name, WrapperHealth::Repairing);
+        ctx.metrics.record_repair_attempted();
+        ctx.repair.note_attempt(&name);
+        eprintln!(
+            "rextract-serve: drift repair of wrapper {name:?} starting (attempt {})",
+            ctx.repair.attempts(&name)
+        );
+        let thread_ctx = Arc::clone(ctx);
+        let thread_name = name.clone();
+        let handle = std::thread::Builder::new()
+            .name("rextract-repair".into())
+            .spawn(move || {
+                run_repair(
+                    &thread_name,
+                    &wrapper,
+                    &thread_ctx.repair,
+                    &thread_ctx.registry,
+                )
+            });
+        match handle {
+            Ok(handle) => return Some((name, handle)),
+            Err(e) => {
+                // Could not even spawn the thread: count it as a failed
+                // attempt and fall back to Degraded for the next tick.
+                eprintln!("rextract-serve: could not spawn repair thread: {e}");
+                ctx.metrics.record_repair_failed();
+                ctx.metrics
+                    .set_wrapper_health(&name, WrapperHealth::Degraded);
+                return None;
+            }
+        }
+    }
+    None
 }
 
 /// Post-accept admission gate. `accept()` succeeding does not mean the
@@ -1034,7 +1137,8 @@ fn handle_healthz(ctx: &Ctx) -> Response {
         .metrics
         .last_worker_death_age()
         .is_some_and(|age| age <= ctx.degraded_window);
-    let status = if alive < configured || recent_death {
+    let drifted = ctx.metrics.unhealthy_wrappers();
+    let status = if alive < configured || recent_death || !drifted.is_empty() {
         "degraded"
     } else {
         "ok"
@@ -1044,6 +1148,14 @@ fn handle_healthz(ctx: &Ctx) -> Response {
         .num("alive", alive as u64)
         .num("respawns", ctx.metrics.worker_respawns())
         .finish();
+    let mut drift = String::from("{");
+    for (i, (name, health)) in drifted.iter().enumerate() {
+        if i > 0 {
+            drift.push(',');
+        }
+        drift.push_str(&format!("{:?}:{:?}", name, health.name()));
+    }
+    drift.push('}');
     Response::json(
         200,
         Obj::new()
@@ -1051,6 +1163,7 @@ fn handle_healthz(ctx: &Ctx) -> Response {
             .num("wrappers", ctx.registry.len() as u64)
             .bool("draining", ctx.shutdown.draining())
             .raw("workers", &workers)
+            .raw("drifted_wrappers", &drift)
             .finish(),
     )
 }
@@ -1129,6 +1242,19 @@ fn handle_extract_resolved(
     if arrived.elapsed() >= ctx.request_deadline {
         return deadline_response(ctx);
     }
+    if ctx.drift_strict {
+        let health = ctx.metrics.wrapper_health(name);
+        if health != WrapperHealth::Healthy {
+            return Response::json(
+                503,
+                Obj::new()
+                    .str("wrapper", name)
+                    .str("error", "wrapper drifted; refusing best-effort extraction")
+                    .str("health", health.name())
+                    .finish(),
+            );
+        }
+    }
     if req.body.is_empty() {
         return Response::json(
             400,
@@ -1147,13 +1273,29 @@ fn handle_extract_resolved(
     let extract_started = Instant::now();
     let result = wrapper.extract_target_with(&tokens, scratch);
     let extract_us = extract_started.elapsed().as_micros() as u64;
-    ctx.metrics
-        .record_wrapper_page(name, result.is_ok(), u64::from(result.is_ok()));
+    let outcome = match &result {
+        Ok(_) => PageOutcome::Ok,
+        Err(WrapperError::Extract(rextract_extraction::extract::ExtractFailure::NoMatch)) => {
+            PageOutcome::Empty
+        }
+        Err(_) => PageOutcome::Failed,
+    };
+    if ctx
+        .metrics
+        .record_wrapper_outcome(name, outcome, u64::from(result.is_ok()))
+    {
+        eprintln!(
+            "rextract-serve: drift flagged on wrapper {name:?} (window {}, threshold {:.2}); collecting repair evidence",
+            ctx.metrics.drift_window(),
+            ctx.metrics.drift_threshold(),
+        );
+    }
     match result {
         Ok(idx) => {
             let tag = tokens[idx].tag_name().unwrap_or("#text").to_string();
             let body = Obj::new()
                 .str("wrapper", name)
+                .num("wrapper_revision", u64::from(wrapper.revision()))
                 .num("position", idx as u64)
                 .raw("positions", &crate::json::num_array([idx as u64]))
                 .str("tag", &tag)
@@ -1162,6 +1304,9 @@ fn handle_extract_resolved(
                 .num("tokenize_us", tokenize_us)
                 .num("extract_us", extract_us)
                 .finish();
+            // Self-labeling: a page the wrapper parses, with the position
+            // it served, is a training sample for a future repair.
+            ctx.repair.record_success(name, &tokens, idx);
             Response::json(200, body)
         }
         Err(WrapperError::Extract(failure)) => {
@@ -1183,6 +1328,8 @@ fn handle_extract_resolved(
                 .num("tokenize_us", tokenize_us)
                 .num("extract_us", extract_us)
                 .finish();
+            // Failing pages are the drift witnesses a repair retrains on.
+            ctx.repair.record_failure(name, tokens);
             Response::json(422, body)
         }
         Err(e) => Response::json(
@@ -1246,17 +1393,23 @@ fn handle_pipeline(req: &Request, ctx: &Ctx) -> Response {
         ),
         workers,
         wrapper_override: req.query_param("wrapper").map(str::to_string),
+        route_samples: Vec::new(),
     };
     let mut out = Vec::new();
     match run_pipeline(&cfg, wrappers, &mut out, None) {
         Ok(report) => {
             for (name, t) in &report.per_wrapper {
-                ctx.metrics.record_wrapper_tallies(
+                if ctx.metrics.record_wrapper_tallies(
                     name,
                     t.pages_ok,
                     t.pages_failed,
+                    t.results_empty,
                     t.tuples_emitted,
-                );
+                ) {
+                    eprintln!(
+                        "rextract-serve: drift flagged on wrapper {name:?} by pipeline traffic"
+                    );
+                }
             }
             ctx.metrics.record_pipeline_run(
                 report.pages_total,
@@ -1286,15 +1439,22 @@ fn handle_install(name: &str, req: &Request, ctx: &Ctx) -> Response {
         );
     }
     match ctx.registry.install(name, &artifact) {
-        Ok(wrapper) => Response::json(
-            201,
-            Obj::new()
-                .str("installed", name)
-                .bool("maximized", wrapper.is_maximized())
-                .str("expr", &wrapper.expr().to_text())
-                .num("wrappers", ctx.registry.len() as u64)
-                .finish(),
-        ),
+        Ok(wrapper) => {
+            // A manual install supersedes any drift verdict: the evidence
+            // and window described the replaced wrapper.
+            ctx.metrics.reset_wrapper_drift(name);
+            ctx.repair.reset(name);
+            Response::json(
+                201,
+                Obj::new()
+                    .str("installed", name)
+                    .num("revision", u64::from(wrapper.revision()))
+                    .bool("maximized", wrapper.is_maximized())
+                    .str("expr", &wrapper.expr().to_text())
+                    .num("wrappers", ctx.registry.len() as u64)
+                    .finish(),
+            )
+        }
         // The client sent a bad artifact vs. the server failed to persist
         // a good one: different status, different party to page.
         Err(InstallError::Invalid(e)) => Response::json(400, Obj::new().str("error", &e).finish()),

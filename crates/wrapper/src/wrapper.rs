@@ -95,6 +95,18 @@ impl fmt::Display for WrapperError {
 
 impl std::error::Error for WrapperError {}
 
+impl WrapperError {
+    /// True when extraction ran to completion but matched no position —
+    /// the *empty result* outcome. Consumers (the daemon's drift
+    /// detector, the corpus pipeline) count it separately from hard
+    /// failures like ambiguous matches: an empty result is the classic
+    /// symptom of a drifted page that the wrapper's language no longer
+    /// covers.
+    pub fn is_no_match(&self) -> bool {
+        matches!(self, WrapperError::Extract(ExtractFailure::NoMatch))
+    }
+}
+
 /// A trained wrapper.
 pub struct Wrapper {
     alphabet: Alphabet,
@@ -103,6 +115,7 @@ pub struct Wrapper {
     seq_cfg: SeqConfig,
     maximized: bool,
     format_version: u32,
+    revision: u32,
     train_stats: StoreStats,
 }
 
@@ -152,6 +165,7 @@ impl Wrapper {
             seq_cfg: cfg.seq,
             maximized,
             format_version: crate::persist::FORMAT_VERSION,
+            revision: 1,
             train_stats: Store::stats().since(&stats_before),
         })
     }
@@ -177,6 +191,7 @@ impl Wrapper {
             seq_cfg,
             maximized,
             format_version,
+            revision: 1,
             train_stats: StoreStats::default(),
         }
     }
@@ -208,6 +223,23 @@ impl Wrapper {
     /// artifact.
     pub fn format_version(&self) -> u32 {
         self.format_version
+    }
+
+    /// The runtime install revision of this wrapper instance. Starts at 1
+    /// for a freshly trained or imported wrapper; a serving registry bumps
+    /// it on every hot install of the same name (including online repairs)
+    /// so provenance records can tell which generation of a wrapper
+    /// produced a tuple. Not persisted in the artifact — it is a property
+    /// of the running process, not of the on-disk format.
+    pub fn revision(&self) -> u32 {
+        self.revision
+    }
+
+    /// Set the install revision (see [`Wrapper::revision`]). Takes
+    /// `&mut self`, so it can only be applied before the wrapper is
+    /// shared (e.g. by a registry just before wrapping it in an `Arc`).
+    pub fn set_revision(&mut self, revision: u32) {
+        self.revision = revision;
     }
 
     /// Language-store counter deltas accumulated while this wrapper was
@@ -797,6 +829,14 @@ mod tests {
     fn trained_wrapper_reports_current_format_version() {
         let w = Wrapper::train(&train_pages(2), WrapperConfig::default()).unwrap();
         assert_eq!(w.format_version(), crate::persist::FORMAT_VERSION);
+    }
+
+    #[test]
+    fn revision_defaults_to_one_and_is_settable() {
+        let mut w = Wrapper::train(&train_pages(2), WrapperConfig::default()).unwrap();
+        assert_eq!(w.revision(), 1);
+        w.set_revision(4);
+        assert_eq!(w.revision(), 4);
     }
 
     #[test]

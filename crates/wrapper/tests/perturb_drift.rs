@@ -1,0 +1,71 @@
+//! Perturbation severity as a drift dial: the more edits a page
+//! absorbs, the lower a fixed wrapper's exact-extraction rate — the
+//! degradation curve the daemon's drift detector watches for. A
+//! maximized wrapper shrugs off light perturbation (the resilience
+//! guarantee) but degrades monotonically as the edits pile up, which is
+//! exactly what makes `learn::perturb` a usable drift simulator.
+
+use rextract_learn::perturb::Perturber;
+use rextract_wrapper::site::{PageStyle, SiteConfig, SiteGenerator};
+use rextract_wrapper::{TrainPage, Wrapper, WrapperConfig};
+
+/// Fraction of `pages` perturbed Plain pages whose ground-truth target
+/// the wrapper still extracts exactly.
+fn extraction_rate(
+    w: &Wrapper,
+    g: &mut SiteGenerator,
+    perturber: &mut Perturber,
+    edits: usize,
+    pages: usize,
+) -> f64 {
+    let mut ok = 0;
+    for _ in 0..pages {
+        let p = g.page_with_style(PageStyle::Plain);
+        let e = perturber.perturb(&p.tokens, p.target, edits);
+        if w.extract_target(&e.tokens) == Ok(e.target) {
+            ok += 1;
+        }
+    }
+    ok as f64 / pages as f64
+}
+
+#[test]
+fn severity_monotonically_degrades_extraction_rate() {
+    for perturb_seed in [7u64, 29] {
+        let mut g = SiteGenerator::new(SiteConfig {
+            seed: 61,
+            ..SiteConfig::default()
+        });
+        let train = vec![
+            TrainPage::from(&g.page_with_style(PageStyle::Plain)),
+            TrainPage::from(&g.page_with_style(PageStyle::TableEmbedded)),
+            TrainPage::from(&g.page_with_style(PageStyle::Plain)),
+        ];
+        let w = Wrapper::train(&train, WrapperConfig::default()).unwrap();
+
+        let severities = [0usize, 2, 6, 12, 24];
+        let mut perturber = Perturber::new(perturb_seed);
+        let rates: Vec<f64> = severities
+            .iter()
+            .map(|&edits| extraction_rate(&w, &mut g, &mut perturber, edits, 150))
+            .collect();
+
+        // Unperturbed in-family pages always extract exactly.
+        assert!(
+            rates[0] >= 0.99,
+            "seed {perturb_seed}: clean rate {rates:?}"
+        );
+        // Rates fall (within sampling jitter) as severity climbs…
+        for i in 1..rates.len() {
+            assert!(
+                rates[i] <= rates[i - 1] + 0.05,
+                "seed {perturb_seed}: rate rose with severity: {rates:?}"
+            );
+        }
+        // …and heavy drift genuinely breaks the wrapper.
+        assert!(
+            rates[rates.len() - 1] < 0.8,
+            "seed {perturb_seed}: heavy drift barely degraded: {rates:?}"
+        );
+    }
+}

@@ -47,4 +47,7 @@ scripts/pipeline_smoke.sh
 echo "== chaos smoke test =="
 scripts/chaos_smoke.sh
 
+echo "== drift smoke test =="
+scripts/drift_smoke.sh
+
 echo "All checks passed."
