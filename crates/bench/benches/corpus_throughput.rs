@@ -125,10 +125,8 @@ fn cross_check(catalog: &Catalog, out: &str) -> (usize, usize) {
 
 fn run_one(catalog: &Catalog, workers: usize) -> (Vec<u8>, f64) {
     let cfg = PipelineConfig {
-        source: CorpusSource::Memory(catalog.corpus.clone()),
         workers,
-        wrapper_override: None,
-        route_samples: Vec::new(),
+        ..PipelineConfig::new(CorpusSource::Memory(catalog.corpus.clone()))
     };
     let mut out = Vec::new();
     let started = Instant::now();

@@ -22,9 +22,10 @@
 
 use bench::{alphabet_of, anchored_document, anchored_expr};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use rextract_automata::Symbol;
+use rextract_automata::{Regex, Symbol};
 use rextract_extraction::{
-    ExtractScratch, ExtractionExpr, Extractor, NaiveExtractor, TwoPassExtractor,
+    ExtractScratch, ExtractionExpr, Extractor, JoinStrategy, NaiveExtractor, SpanRelation,
+    TwoPassExtractor,
 };
 use std::hint::black_box;
 
@@ -167,6 +168,92 @@ fn bench_linear_vs_naive_baseline(c: &mut Criterion) {
     group.finish();
 }
 
+/// `.* [anchors] <p> .*` — every position right after one of `anchors`
+/// is a valid split, so the extractor yields a many-row span relation.
+fn follows_expr(alphabet: &rextract_automata::Alphabet, anchors: &[&str]) -> ExtractionExpr {
+    let p = alphabet.sym("p");
+    let mut set = alphabet.empty_set();
+    for a in anchors {
+        set.insert(alphabet.sym(a));
+    }
+    ExtractionExpr::new(
+        alphabet,
+        Regex::concat([Regex::any(alphabet).star(), Regex::class(set)]),
+        p,
+        Regex::universe(alphabet),
+    )
+}
+
+/// Every `stride`-th row — bounds the nested-loop baseline's quadratic
+/// cost so both strategies bench the same bounded relations.
+fn subsample(rel: &SpanRelation, max_rows: usize) -> SpanRelation {
+    let stride = rel.len().div_ceil(max_rows).max(1);
+    SpanRelation::from_rows(
+        rel.vars().iter().cloned(),
+        rel.rows().iter().step_by(stride).cloned(),
+    )
+}
+
+fn bench_join(c: &mut Criterion) {
+    // Two-expression join over one document: x = markers right after
+    // t0, joined (shared variable) with markers after t0-or-t1. The
+    // narrow set is a subset of the wide one, which gives an exact
+    // ground truth for the join result before any timing. The document
+    // alternates noise and markers so the candidate relations grow with
+    // the document (anchored_document's single marker region would cap
+    // them at a few dozen rows).
+    let alphabet = alphabet_of(16);
+    let doc_len = if fast_mode() { 10_000 } else { 100_000 };
+    let p = alphabet.sym("p");
+    let noise: Vec<Symbol> = alphabet.symbols().filter(|&s| s != p).collect();
+    let mut state = 42u64;
+    let mut next = move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state.wrapping_mul(0x2545F4914F6CDD1D)
+    };
+    let mut doc = Vec::with_capacity(doc_len);
+    while doc.len() + 2 <= doc_len {
+        doc.push(noise[(next() % noise.len() as u64) as usize]);
+        doc.push(p);
+    }
+    let narrow = Extractor::compile(&follows_expr(&alphabet, &["t0"]));
+    let wide = Extractor::compile(&follows_expr(&alphabet, &["t0", "t1"]));
+    let r = SpanRelation::unary("x", narrow.spans(&doc));
+    let s = SpanRelation::unary("x", wide.spans(&doc));
+    // Ground truth on the full relations: both strategies byte-identical,
+    // and the natural join of a subset with its superset is the subset.
+    let merged = r.join(&s, &[], JoinStrategy::SortMerge).unwrap();
+    assert_eq!(
+        merged,
+        r.join(&s, &[], JoinStrategy::NestedLoop).unwrap(),
+        "strategies disagree on the bench relations"
+    );
+    assert_eq!(merged, r, "narrow ⋈ wide must equal narrow");
+    // Bench on bounded relations (the nested-loop baseline is quadratic);
+    // both strategies see the same rows, so the comparison stays fair.
+    let rb = subsample(&r, 2_048);
+    let sb = subsample(&s, 4_096);
+    eprintln!(
+        "extract/join: doc {} tokens, |R|={} |S|={} (benched at {}x{})",
+        doc.len(),
+        r.len(),
+        s.len(),
+        rb.len(),
+        sb.len()
+    );
+    let mut group = c.benchmark_group("extract/join");
+    group.throughput(Throughput::Elements((rb.len() + sb.len()) as u64));
+    group.bench_with_input(BenchmarkId::new("sort-merge", rb.len()), &(), |b, _| {
+        b.iter(|| black_box(rb.join(&sb, &[], JoinStrategy::SortMerge).unwrap()))
+    });
+    group.bench_with_input(BenchmarkId::new("nested-loop", rb.len()), &(), |b, _| {
+        b.iter(|| black_box(rb.join(&sb, &[], JoinStrategy::NestedLoop).unwrap()))
+    });
+    group.finish();
+}
+
 fn bench_compile_vs_extract(c: &mut Criterion) {
     let alphabet = alphabet_of(16);
     let expr = anchored_expr(&alphabet, 8);
@@ -211,6 +298,7 @@ criterion_group!(
     bench_throughput,
     bench_class_collapse,
     bench_scratch_reuse,
+    bench_join,
     bench_linear_vs_naive_baseline,
     bench_compile_vs_extract,
     bench_alphabet_scaling

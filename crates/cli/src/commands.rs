@@ -36,11 +36,14 @@ USAGE:
       brackets, e.g. \"P FORM INPUT <INPUT>\") into a pivot-form
       expression, then maximize it. The alphabet is inferred.
 
-  rextract wrapper-train <out.wrapper> <sample.html>...
+  rextract wrapper-train [--tuple] <out.wrapper> <sample.html>...
       Train a resilient wrapper from HTML sample files and write it to
       <out.wrapper> (a small auditable text artifact). Mark the target
       element in each sample with a data-target attribute, e.g.
-      <input type=\"text\" data-target>.
+      <input type=\"text\" data-target>. With --tuple, mark SEVERAL
+      elements per sample (the same record in each — e.g. the form AND
+      its text input) and a multi-marker tuple wrapper is trained
+      instead, extracting all fields of the record per page.
 
   rextract wrapper-extract <in.wrapper> <page.html>
       Run a trained wrapper on a page; prints the token index and the
@@ -48,8 +51,9 @@ USAGE:
 
   rextract pipeline --wrappers DIR (--corpus DIR | --manifest FILE)
                     [--workers N] [--wrapper NAME]
-                    [--route-sample NAME=FILE]... [--out FILE]
-                    [--unrouted FILE]
+                    [--route-sample NAME=FILE]...
+                    [--tuple-wrapper NAME=FILE]... [--signatures FILE]
+                    [--out FILE] [--unrouted FILE]
       Batch-extract a corpus of pages. Loads every *.wrapper artifact
       from --wrappers, routes each page to the wrapper whose site
       signature (tag-skeleton hash) matches — or probes all wrappers on
@@ -61,8 +65,31 @@ USAGE:
       dropped. --wrapper forces every page through one wrapper;
       --route-sample pins the sample FILE's signature to wrapper NAME
       up front (repeatable), bypassing the probe for that template
-      family; --workers (default 4) sets the fan-out. The run summary
+      family; --workers (default 4) sets the fan-out. --tuple-wrapper
+      adds a trained tuple wrapper (from wrapper-train --tuple) to the
+      routing pool under NAME (repeatable); pages it wins emit arity-k
+      records with one byte-offset/field pair per marker. --signatures
+      persists the router's probe-and-bind table: bindings load from
+      FILE when it exists (skipping the probe for known page families)
+      and the table is written back after the run. The run summary
       prints to stderr.
+
+  rextract query <query.json> <page.html>... [--wrappers DIR]
+                 [--strategy sort-merge|nested-loop] [--out FILE]
+      Evaluate a span-relational query against pages. The query file
+      names sources — installed wrappers (\"wrapper\": NAME, resolved
+      from --wrappers) or inline expressions (\"alphabet\" + \"expr\")
+      — and an algebra plan of project/union/join over them, e.g.
+        {\"sources\":[{\"var\":\"field\",\"wrapper\":\"search\"},
+          {\"var\":\"form\",\"alphabet\":\"FORM /FORM\",
+           \"expr\":\"[^FORM]* <FORM> .*\"}],
+         \"plan\":{\"op\":\"join\",\"left\":{\"op\":\"leaf\",\"var\":\"form\"},
+           \"right\":{\"op\":\"leaf\",\"var\":\"field\"},
+           \"preds\":[{\"pred\":\"before\",\"left\":\"form\",\"right\":\"field\"}]}}
+      Each result row prints as one NDJSON record to stdout (or --out)
+      with byte-offset provenance per variable; failed pages yield
+      inline error lines. --strategy picks the join algorithm (the two
+      produce byte-identical output; nested-loop is the oracle).
 
   rextract serve [--addr HOST:PORT] [--workers N] [--queue N]
                  [--batch-max N] [--wrapper-dir DIR] [--op-cache-cap N|none]
@@ -215,9 +242,14 @@ pub fn learn(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `rextract wrapper-train <out.wrapper> <sample.html>...`
+/// `rextract wrapper-train [--tuple] <out.wrapper> <sample.html>...`
 pub fn wrapper_train(args: &[String]) -> Result<(), String> {
     use rextract_wrapper::wrapper::{TrainPage, Wrapper, WrapperConfig};
+    use rextract_wrapper::{MultiTrainPage, TupleWrapper};
+    let (tuple, args) = match args.first().map(String::as_str) {
+        Some("--tuple") => (true, &args[1..]),
+        _ => (false, args),
+    };
     let out_path = need(args, 0, "<out.wrapper>")?;
     let sample_paths = &args[1..];
     if sample_paths.is_empty() {
@@ -227,20 +259,72 @@ pub fn wrapper_train(args: &[String]) -> Result<(), String> {
     for path in sample_paths {
         let html = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
         let tokens = html_tokenize(&html);
-        let target = tokens
+        let targets: Vec<usize> = tokens
             .iter()
-            .position(|t| t.attr("data-target").is_some())
-            .ok_or_else(|| format!("{path}: no element carries a data-target attribute"))?;
-        pages.push(TrainPage { tokens, target });
+            .enumerate()
+            .filter(|(_, t)| t.attr("data-target").is_some())
+            .map(|(i, _)| i)
+            .collect();
+        if targets.is_empty() {
+            return Err(format!(
+                "{path}: no element carries a data-target attribute"
+            ));
+        }
+        if tuple {
+            pages.push(MultiTrainPage { tokens, targets });
+        } else {
+            // Single-target training reads the first mark, as always.
+            let target = targets[0];
+            pages.push(MultiTrainPage {
+                tokens,
+                targets: vec![target],
+            });
+        }
     }
-    let wrapper = Wrapper::train(&pages, WrapperConfig::default())
-        .map_err(|e| format!("training failed: {e}"))?;
-    rextract_wrapper::persist::save_artifact(std::path::Path::new(out_path), &wrapper.export())
-        .map_err(|e| format!("writing {out_path}: {e}"))?;
-    println!("trained on {} samples", pages.len());
-    println!("maximized : {}", wrapper.is_maximized());
-    println!("expression: {}", wrapper.expr().to_text());
-    println!("saved to  : {out_path}");
+    let out = std::path::Path::new(out_path);
+    if tuple {
+        let arity = pages[0].targets.len();
+        if let Some((i, p)) = pages
+            .iter()
+            .enumerate()
+            .find(|(_, p)| p.targets.len() != arity)
+        {
+            return Err(format!(
+                "{}: {} data-target marks, but {} has {arity} — every sample must mark the same record",
+                sample_paths[i],
+                p.targets.len(),
+                sample_paths[0],
+            ));
+        }
+        let wrapper = TupleWrapper::train(&pages, WrapperConfig::default())
+            .map_err(|e| format!("training failed: {e}"))?;
+        rextract_wrapper::persist::save_artifact(out, &wrapper.export())
+            .map_err(|e| format!("writing {out_path}: {e}"))?;
+        println!(
+            "trained on {} samples (arity {})",
+            pages.len(),
+            wrapper.arity()
+        );
+        println!("maximized : {}", wrapper.is_maximized());
+        println!("expression: {}", wrapper.expr().to_text());
+        println!("saved to  : {out_path}");
+    } else {
+        let pages: Vec<TrainPage> = pages
+            .into_iter()
+            .map(|p| TrainPage {
+                tokens: p.tokens,
+                target: p.targets[0],
+            })
+            .collect();
+        let wrapper = Wrapper::train(&pages, WrapperConfig::default())
+            .map_err(|e| format!("training failed: {e}"))?;
+        rextract_wrapper::persist::save_artifact(out, &wrapper.export())
+            .map_err(|e| format!("writing {out_path}: {e}"))?;
+        println!("trained on {} samples", pages.len());
+        println!("maximized : {}", wrapper.is_maximized());
+        println!("expression: {}", wrapper.expr().to_text());
+        println!("saved to  : {out_path}");
+    }
     Ok(())
 }
 
@@ -264,17 +348,22 @@ pub fn wrapper_extract(args: &[String]) -> Result<(), String> {
 
 /// `rextract pipeline --wrappers DIR (--corpus DIR | --manifest FILE)
 /// [--workers N] [--wrapper NAME] [--route-sample NAME=FILE]...
+/// [--tuple-wrapper NAME=FILE]... [--signatures FILE]
 /// [--out FILE] [--unrouted FILE]`
 pub fn pipeline(args: &[String]) -> Result<(), String> {
     use rextract_corpus::{run_pipeline, CorpusSource, PipelineConfig};
     use rextract_serve::Registry;
+    use rextract_wrapper::TupleWrapper;
     use std::io::Write;
+    use std::sync::Arc;
 
     let mut wrapper_dir: Option<String> = None;
     let mut source: Option<CorpusSource> = None;
     let mut workers = 4usize;
     let mut wrapper_override: Option<String> = None;
     let mut route_samples: Vec<(String, std::path::PathBuf)> = Vec::new();
+    let mut tuple_wrappers: Vec<(String, Arc<TupleWrapper>)> = Vec::new();
+    let mut signatures: Option<std::path::PathBuf> = None;
     let mut out_path: Option<String> = None;
     let mut unrouted_path: Option<String> = None;
     let mut it = args.iter();
@@ -309,6 +398,17 @@ pub fn pipeline(args: &[String]) -> Result<(), String> {
                 }
                 route_samples.push((name.to_string(), file.into()));
             }
+            "--tuple-wrapper" => {
+                let spec = value("NAME=FILE")?;
+                let (name, file) = spec
+                    .split_once('=')
+                    .filter(|(n, f)| !n.is_empty() && !f.is_empty())
+                    .ok_or_else(|| format!("--tuple-wrapper {spec:?}: expected NAME=FILE"))?;
+                let tw = TupleWrapper::load(std::path::Path::new(file))
+                    .map_err(|e| format!("--tuple-wrapper {name}: {e}"))?;
+                tuple_wrappers.push((name.to_string(), Arc::new(tw)));
+            }
+            "--signatures" => signatures = Some(value("signature bindings file")?.into()),
             "--out" => out_path = Some(value("output file")?.into()),
             "--unrouted" => unrouted_path = Some(value("sidecar file")?.into()),
             other => return Err(format!("unknown flag {other:?}; try `rextract help`")),
@@ -328,7 +428,7 @@ pub fn pipeline(args: &[String]) -> Result<(), String> {
         eprintln!("rextract: skipping {file}: {err}");
     }
     let wrappers = registry.entries();
-    if wrappers.is_empty() {
+    if wrappers.is_empty() && tuple_wrappers.is_empty() {
         return Err(format!("no usable *.wrapper artifacts in {wrapper_dir}"));
     }
 
@@ -346,10 +446,12 @@ pub fn pipeline(args: &[String]) -> Result<(), String> {
     };
 
     let cfg = PipelineConfig {
-        source,
         workers,
         wrapper_override,
         route_samples,
+        tuple_wrappers,
+        signatures,
+        ..PipelineConfig::new(source)
     };
     // The `as` casts re-coerce the boxes' `dyn Write + 'static` objects
     // down to the call's local lifetime (coercion does not see through
@@ -366,6 +468,127 @@ pub fn pipeline(args: &[String]) -> Result<(), String> {
         s.flush().map_err(|e| format!("flushing sidecar: {e}"))?;
     }
     eprintln!("rextract pipeline: {}", report.summary());
+    Ok(())
+}
+
+/// `rextract query <query.json> <page.html>... [--wrappers DIR]
+/// [--strategy sort-merge|nested-loop] [--out FILE]`
+pub fn query(args: &[String]) -> Result<(), String> {
+    use rextract_corpus::sink::{error_line, query_line};
+    use rextract_extraction::{JoinStrategy, QueryDef};
+    use rextract_serve::Registry;
+    use rextract_wrapper::evaluate_query;
+    use std::io::Write;
+
+    let mut wrapper_dir: Option<String> = None;
+    let mut strategy = JoinStrategy::SortMerge;
+    let mut strategy_name = "sort-merge";
+    let mut out_path: Option<String> = None;
+    let mut positional: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |what: &str| {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{arg} needs a value ({what})"))
+        };
+        match arg.as_str() {
+            "--wrappers" => wrapper_dir = Some(value("directory of *.wrapper artifacts")?.into()),
+            "--strategy" => {
+                strategy = match value("sort-merge or nested-loop")? {
+                    "sort-merge" => JoinStrategy::SortMerge,
+                    "nested-loop" => {
+                        strategy_name = "nested-loop";
+                        JoinStrategy::NestedLoop
+                    }
+                    other => return Err(format!("--strategy: unknown strategy {other:?}")),
+                }
+            }
+            "--out" => out_path = Some(value("output file")?.into()),
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag {flag:?}; try `rextract help`"))
+            }
+            path => positional.push(path),
+        }
+    }
+    let (&query_path, page_paths) = positional
+        .split_first()
+        .ok_or_else(|| format!("missing <query.json>\n\n{USAGE}"))?;
+    if page_paths.is_empty() {
+        return Err(format!("need at least one <page.html>\n\n{USAGE}"));
+    }
+    let text =
+        std::fs::read_to_string(query_path).map_err(|e| format!("reading {query_path}: {e}"))?;
+    let def = QueryDef::parse(&text).map_err(|e| format!("{query_path}: {e}"))?;
+    let query_name = std::path::Path::new(query_path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or(query_path);
+
+    // Wrapper sources bind against the same registry scan the daemon and
+    // pipeline use; expression-only queries need no --wrappers at all.
+    let registry = Registry::new(wrapper_dir.as_ref().map(Into::into));
+    if let Some(dir) = &wrapper_dir {
+        let scan = registry
+            .load_dir()
+            .map_err(|e| format!("scanning {dir}: {e}"))?;
+        for (file, err) in &scan.errors {
+            eprintln!("rextract: skipping {file}: {err}");
+        }
+    }
+    let lookup = |n: &str| registry.get(n);
+
+    let mut out: Box<dyn Write> = match &out_path {
+        Some(p) => {
+            let f = std::fs::File::create(p).map_err(|e| format!("creating {p}: {e}"))?;
+            Box::new(std::io::BufWriter::new(f))
+        }
+        None => Box::new(std::io::BufWriter::new(std::io::stdout())),
+    };
+    let (mut records, mut failures) = (0usize, 0usize);
+    for &path in page_paths {
+        // A bad page yields an inline error line, never a silent drop —
+        // the pipeline's contract, kept for ad-hoc query runs.
+        let html = match std::fs::read_to_string(path) {
+            Ok(h) => h,
+            Err(e) => {
+                failures += 1;
+                writeln!(out, "{}", error_line(path, &format!("read: {e}")))
+                    .map_err(|e| format!("writing output: {e}"))?;
+                continue;
+            }
+        };
+        let (tokens, spans) = rextract_html::tokenize_spanned(&html);
+        match evaluate_query(&def, &tokens, &lookup, strategy) {
+            Ok(rel) => {
+                let vars: Vec<&str> = rel.vars().iter().map(String::as_str).collect();
+                for row in rel.rows() {
+                    let offsets: Vec<(usize, usize)> = row
+                        .iter()
+                        .map(|s| (spans[s.start].0, spans[s.end - 1].1))
+                        .collect();
+                    let fields: Vec<&str> = offsets.iter().map(|&(s, e)| &html[s..e]).collect();
+                    writeln!(
+                        out,
+                        "{}",
+                        query_line(path, query_name, &vars, &offsets, &fields)
+                    )
+                    .map_err(|e| format!("writing output: {e}"))?;
+                    records += 1;
+                }
+            }
+            Err(e) => {
+                failures += 1;
+                writeln!(out, "{}", error_line(path, &e.to_string()))
+                    .map_err(|e| format!("writing output: {e}"))?;
+            }
+        }
+    }
+    out.flush().map_err(|e| format!("flushing output: {e}"))?;
+    eprintln!(
+        "rextract query: {} pages, {records} records, {failures} failures ({strategy_name} join)",
+        page_paths.len(),
+    );
     Ok(())
 }
 
@@ -652,6 +875,177 @@ mod tests {
         ])
         .unwrap_err();
         assert!(err.contains("no usable"), "{err}");
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Splice `data-target` marks into the page bytes at `targets`.
+    fn marked(html: &str, targets: &[usize]) -> String {
+        let mut html = html.to_string();
+        let (_, spans) = rextract_html::tokenize_spanned(&html);
+        let mut idxs: Vec<usize> = targets.to_vec();
+        idxs.sort_unstable_by(|a, b| b.cmp(a)); // splice back-to-front
+        for &t in &idxs {
+            let (s, _) = spans[t];
+            let end = s + html[s..].find('>').unwrap();
+            let insert = html[s..end].find(' ').map(|o| s + o).unwrap_or(end);
+            html.insert_str(insert, " data-target");
+        }
+        html
+    }
+
+    #[test]
+    fn tuple_train_signature_dump_and_query_end_to_end() {
+        use rextract_wrapper::site::{PageStyle, SiteConfig, SiteGenerator};
+        let dir = std::env::temp_dir().join(format!("rextract-cli-query-{}", std::process::id()));
+        let wrappers = dir.join("wrappers");
+        let corpus = dir.join("corpus");
+        let empty = dir.join("no-artifacts");
+        for d in [&wrappers, &corpus, &empty] {
+            std::fs::create_dir_all(d).unwrap();
+        }
+        let mut g = SiteGenerator::new(SiteConfig {
+            seed: 31,
+            ..SiteConfig::default()
+        });
+
+        // Train a tuple wrapper (FORM + INPUT marked) and a single-target
+        // wrapper from the same pages, both through the real CLI path.
+        let tuple_artifact = dir.join("record.tuple");
+        let mut tuple_args = vec!["--tuple".to_string(), tuple_artifact.display().to_string()];
+        let mut single_args = vec![wrappers.join("search.wrapper").display().to_string()];
+        for (i, &style) in [PageStyle::Plain, PageStyle::TableEmbedded, PageStyle::Busy]
+            .iter()
+            .enumerate()
+        {
+            let p = g.page_with_style(style);
+            let form = p
+                .tokens
+                .iter()
+                .position(|t| t.tag_name() == Some("FORM"))
+                .unwrap();
+            let two = dir.join(format!("two{i}.html"));
+            std::fs::write(&two, marked(&p.html(), &[form, p.target])).unwrap();
+            tuple_args.push(two.display().to_string());
+            let one = dir.join(format!("one{i}.html"));
+            std::fs::write(&one, marked(&p.html(), &[p.target])).unwrap();
+            single_args.push(one.display().to_string());
+        }
+        wrapper_train(&tuple_args).unwrap();
+        wrapper_train(&single_args).unwrap();
+
+        // Inconsistent mark counts across samples are rejected up front.
+        let err = wrapper_train(&[
+            "--tuple".into(),
+            tuple_artifact.display().to_string(),
+            tuple_args[2].clone(),
+            single_args[1].clone(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("data-target marks"), "{err}");
+
+        // Pipeline with the tuple wrapper alone: arity-2 records, and the
+        // probe-and-bind table dumped to --signatures.
+        let mut page_paths = Vec::new();
+        for i in 0..6 {
+            let path = corpus.join(format!("p{i}.html"));
+            std::fs::write(&path, g.page().html()).unwrap();
+            page_paths.push(path.display().to_string());
+        }
+        let sigs = dir.join("bindings.sig");
+        let out = dir.join("tuples.ndjson");
+        let run = |out: &std::path::Path| {
+            pipeline(&[
+                "--wrappers".into(),
+                empty.display().to_string(),
+                "--tuple-wrapper".into(),
+                format!("record={}", tuple_artifact.display()),
+                "--signatures".into(),
+                sigs.display().to_string(),
+                "--corpus".into(),
+                corpus.display().to_string(),
+                "--out".into(),
+                out.display().to_string(),
+            ])
+            .unwrap();
+            std::fs::read_to_string(out).unwrap()
+        };
+        let tuples = run(&out);
+        assert!(
+            tuples.contains("\"wrapper\":\"record\"") && tuples.contains("],["),
+            "expected arity-2 records: {tuples}"
+        );
+        let dump = std::fs::read_to_string(&sigs).unwrap();
+        assert!(dump.starts_with("rextract-signatures v1"), "{dump}");
+        assert!(dump.contains("record"), "{dump}");
+        // Warm start from the dump: byte-identical output.
+        assert_eq!(tuples, run(&dir.join("tuples2.ndjson")));
+
+        // A missing tuple artifact fails at flag-parse time.
+        let err = pipeline(&[
+            "--tuple-wrapper".into(),
+            format!("ghost={}", dir.join("nope.tuple").display()),
+        ])
+        .unwrap_err();
+        assert!(err.contains("--tuple-wrapper ghost"), "{err}");
+
+        // Query: wrapper source + inline expression joined by document
+        // order, evaluated over the corpus pages via the CLI.
+        let qfile = dir.join("pair.json");
+        std::fs::write(
+            &qfile,
+            r#"{
+              "sources": [
+                {"var": "field", "wrapper": "search"},
+                {"var": "form", "alphabet": "FORM /FORM", "expr": "[^FORM]* <FORM> .*"}
+              ],
+              "plan": {
+                "op": "join",
+                "left": {"op": "leaf", "var": "form"},
+                "right": {"op": "leaf", "var": "field"},
+                "preds": [{"pred": "before", "left": "form", "right": "field"}]
+              }
+            }"#,
+        )
+        .unwrap();
+        let qout = dir.join("records.ndjson");
+        let mut qargs = vec![
+            qfile.display().to_string(),
+            "--wrappers".into(),
+            wrappers.display().to_string(),
+            "--out".into(),
+            qout.display().to_string(),
+        ];
+        qargs.extend(page_paths.iter().cloned());
+        qargs.push(dir.join("missing.html").display().to_string());
+        query(&qargs).unwrap();
+        let records = std::fs::read_to_string(&qout).unwrap();
+        let rows: Vec<&str> = records.lines().collect();
+        assert_eq!(rows.len(), 7, "6 pages + 1 read error: {records}");
+        assert!(
+            rows[0].contains("\"query\":\"pair\"")
+                && rows[0].contains("\"vars\":[\"form\",\"field\"]")
+                && rows[0].contains("<form"),
+            "{records}"
+        );
+        assert!(rows[6].contains("\"error\":\"read:"), "{records}");
+
+        // The nested-loop oracle renders byte-identical records.
+        let oracle_out = dir.join("oracle.ndjson");
+        let mut oargs = qargs.clone();
+        let at = oargs.iter().position(|a| a == "--out").unwrap();
+        oargs[at + 1] = oracle_out.display().to_string();
+        oargs.push("--strategy".into());
+        oargs.push("nested-loop".into());
+        query(&oargs).unwrap();
+        assert_eq!(records, std::fs::read_to_string(&oracle_out).unwrap());
+
+        // Flag and argument errors.
+        assert!(query(&[]).is_err());
+        assert!(query(&[qfile.display().to_string()]).is_err(), "no pages");
+        assert!(query(&["--strategy".into(), "zigzag".into()]).is_err());
+        assert!(query(&["--bogus".into()]).is_err());
+        assert!(query(&["/nonexistent.json".into(), "p.html".into()]).is_err());
 
         std::fs::remove_dir_all(&dir).unwrap();
     }

@@ -6,6 +6,7 @@
 //! rextract maximize <alphabet> <expression>          Algorithm 6.2 / mirror
 //! rextract extract  <alphabet> <expression> <doc>    locate the marker
 //! rextract learn    <sample>...                      merge marked samples
+//! rextract query    <query.json> <page.html>...      span-relational query
 //! rextract serve    [--addr HOST:PORT] [...]         extraction daemon
 //! rextract demo                                      the Figure 1 pipeline
 //! ```
@@ -41,6 +42,7 @@ fn main() -> ExitCode {
         "wrapper-train" => commands::wrapper_train(rest),
         "wrapper-extract" => commands::wrapper_extract(rest),
         "pipeline" => commands::pipeline(rest),
+        "query" => commands::query(rest),
         "serve" => commands::serve(rest),
         "demo" => commands::demo(rest),
         "help" | "--help" | "-h" => {

@@ -44,17 +44,51 @@ pub mod router;
 pub mod sink;
 
 pub use ingest::{CorpusSource, MemPage};
-pub use router::{RouteOutcome, Router, RouterError, WorkerScratch, SIGNATURE_CFG};
+pub use router::{AnyWrapper, RouteOutcome, Router, RouterError, WorkerScratch, SIGNATURE_CFG};
 
+use rextract_html::token::Token;
 use rextract_html::tokenize_spanned;
-use rextract_wrapper::Wrapper;
+use rextract_wrapper::{TupleWrapper, Wrapper};
 use sink::{error_line, tuple_line, PageLine, ReorderSink};
 use std::io::{self, Write};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 
-/// Pipeline run configuration.
+/// What the pipeline observed on one routed page — the hook through
+/// which a host (the daemon's drift-repair loop) self-labels corpus
+/// pages as wrapper evidence. Unrouted and unreadable pages produce no
+/// event: there is no wrapper to attribute them to.
 #[derive(Debug)]
+pub enum PageEvent<'a> {
+    /// Extraction succeeded. `targets` are token indices in page order
+    /// (one for a single-target wrapper, `k` for a tuple wrapper).
+    Extracted {
+        /// Wrapper name.
+        wrapper: &'a str,
+        /// The page's token stream.
+        tokens: &'a [Token],
+        /// Extracted token indices.
+        targets: &'a [usize],
+    },
+    /// Routed — by binding or override — but extraction failed; `empty`
+    /// flags a clean no-match (the drift symptom) as opposed to a hard
+    /// failure.
+    Failed {
+        /// Wrapper name.
+        wrapper: &'a str,
+        /// The page's token stream.
+        tokens: &'a [Token],
+        /// True on a clean no-match.
+        empty: bool,
+    },
+}
+
+/// Per-page labeling hook (see [`PageEvent`]). Called on worker threads,
+/// so it must be `Send + Sync`; it should be cheap — anything expensive
+/// belongs behind a queue on the host side.
+pub type PageObserver = dyn Fn(PageEvent<'_>) + Send + Sync;
+
+/// Pipeline run configuration.
 pub struct PipelineConfig {
     /// Where pages come from.
     pub source: CorpusSource,
@@ -66,6 +100,51 @@ pub struct PipelineConfig {
     /// each file's signature is pinned to the named wrapper via
     /// [`Router::register`] before any page is routed.
     pub route_samples: Vec<(String, std::path::PathBuf)>,
+    /// Tuple wrappers joining the routing pool alongside the
+    /// single-target set; pages routed here emit arity-k records.
+    pub tuple_wrappers: Vec<(String, Arc<TupleWrapper>)>,
+    /// Binding-table persistence (`--signatures FILE`): the dump is
+    /// loaded before the run (if the file exists) and rewritten
+    /// atomically after it, so repeated runs skip the probe entirely.
+    pub signatures: Option<std::path::PathBuf>,
+    /// Per-page labeling hook; see [`PageObserver`].
+    pub observer: Option<Arc<PageObserver>>,
+}
+
+impl PipelineConfig {
+    /// Minimal single-worker config over `source`; everything else off.
+    pub fn new(source: CorpusSource) -> PipelineConfig {
+        PipelineConfig {
+            source,
+            workers: 1,
+            wrapper_override: None,
+            route_samples: Vec::new(),
+            tuple_wrappers: Vec::new(),
+            signatures: None,
+            observer: None,
+        }
+    }
+}
+
+impl std::fmt::Debug for PipelineConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PipelineConfig")
+            .field("source", &self.source)
+            .field("workers", &self.workers)
+            .field("wrapper_override", &self.wrapper_override)
+            .field("route_samples", &self.route_samples)
+            .field(
+                "tuple_wrappers",
+                &self
+                    .tuple_wrappers
+                    .iter()
+                    .map(|(n, _)| n.as_str())
+                    .collect::<Vec<_>>(),
+            )
+            .field("signatures", &self.signatures)
+            .field("observer", &self.observer.as_ref().map(|_| "<hook>"))
+            .finish()
+    }
 }
 
 /// Per-wrapper page and tuple tallies.
@@ -193,11 +272,29 @@ pub fn run_pipeline<'a>(
     out: &'a mut dyn Write,
     sidecar: Option<&'a mut dyn Write>,
 ) -> Result<PipelineReport, PipelineError> {
-    let router = Router::new(wrappers, cfg.wrapper_override.as_deref())?;
+    let mut entries: Vec<(String, AnyWrapper)> = wrappers
+        .into_iter()
+        .map(|(n, w)| (n, AnyWrapper::Single(w)))
+        .collect();
+    entries.extend(
+        cfg.tuple_wrappers
+            .iter()
+            .map(|(n, w)| (n.clone(), AnyWrapper::Tuple(Arc::clone(w)))),
+    );
+    let router = Router::from_entries(entries, cfg.wrapper_override.as_deref())?;
     for (name, path) in &cfg.route_samples {
         let html = std::fs::read_to_string(path)?;
         let tokens = rextract_html::tokenize(&html);
         router.register(name, &tokens)?;
+    }
+    if let Some(path) = &cfg.signatures {
+        match std::fs::read_to_string(path) {
+            Ok(text) => {
+                router.import_bindings(&text)?;
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(PipelineError::Io(e)),
+        }
     }
     let jobs = ingest::enumerate(&cfg.source)?;
     let workers = cfg.workers.max(1).min(jobs.len().max(1));
@@ -217,6 +314,7 @@ pub fn run_pipeline<'a>(
     let (tx, rx) = mpsc::channel::<(u64, Outcome, PageLine)>();
     let mut write_err: Option<io::Error> = None;
 
+    let observer: Option<&PageObserver> = cfg.observer.as_deref();
     std::thread::scope(|s| {
         for _ in 0..workers {
             let tx = tx.clone();
@@ -228,7 +326,7 @@ pub fn run_pipeline<'a>(
                 loop {
                     let i = next_job.fetch_add(1, Ordering::Relaxed);
                     let Some(job) = jobs.get(i) else { break };
-                    let msg = process_job(job, router, &mut scratch);
+                    let msg = process_job(job, router, &mut scratch, observer);
                     if tx.send((i as u64, msg.0, msg.1)).is_err() {
                         break; // drain thread gave up (write error)
                     }
@@ -267,6 +365,9 @@ pub fn run_pipeline<'a>(
         return Err(PipelineError::Io(e));
     }
     report.signatures_bound = router.binding_count() as u64;
+    if let Some(path) = &cfg.signatures {
+        rextract_wrapper::persist::save_artifact(path, &router.export_bindings())?;
+    }
     Ok(report)
 }
 
@@ -277,6 +378,7 @@ fn process_job(
     job: &ingest::PageJob,
     router: &Router,
     scratch: &mut WorkerScratch,
+    observer: Option<&PageObserver>,
 ) -> (Outcome, PageLine) {
     let body = match ingest::read_page(job) {
         Ok(b) => b,
@@ -291,6 +393,13 @@ fn process_job(
     match router.route_and_extract(&tokens, scratch) {
         RouteOutcome::Extracted { wrapper, target } => {
             let (name, w) = &router.wrappers()[wrapper];
+            if let Some(obs) = observer {
+                obs(PageEvent::Extracted {
+                    wrapper: name,
+                    tokens: &tokens,
+                    targets: &[target],
+                });
+            }
             let (s, e) = spans[target];
             let line = tuple_line(
                 &job.source,
@@ -302,12 +411,40 @@ fn process_job(
             );
             (Outcome::Ok { wrapper }, PageLine::Tuple(line))
         }
+        RouteOutcome::ExtractedTuple { wrapper, targets } => {
+            let (name, w) = &router.wrappers()[wrapper];
+            if let Some(obs) = observer {
+                obs(PageEvent::Extracted {
+                    wrapper: name,
+                    tokens: &tokens,
+                    targets: &targets,
+                });
+            }
+            let offsets: Vec<(usize, usize)> = targets.iter().map(|&t| spans[t]).collect();
+            let fields: Vec<&str> = offsets.iter().map(|&(s, e)| &body[s..e]).collect();
+            let line = tuple_line(
+                &job.source,
+                name,
+                w.format_version(),
+                w.revision(),
+                &offsets,
+                &fields,
+            );
+            (Outcome::Ok { wrapper }, PageLine::Tuple(line))
+        }
         RouteOutcome::Failed {
             wrapper,
             reason,
             empty,
         } => {
             let name = &router.wrappers()[wrapper].0;
+            if let Some(obs) = observer {
+                obs(PageEvent::Failed {
+                    wrapper: name,
+                    tokens: &tokens,
+                    empty,
+                });
+            }
             let (outcome, verb) = if empty {
                 (Outcome::Empty { wrapper }, "extract empty")
             } else {
@@ -368,10 +505,8 @@ mod tests {
     fn pipeline_runs_and_accounts_for_every_page() {
         let (wrappers, corpus) = wrappers_and_corpus(24);
         let cfg = PipelineConfig {
-            source: CorpusSource::Memory(corpus),
             workers: 3,
-            wrapper_override: None,
-            route_samples: Vec::new(),
+            ..PipelineConfig::new(CorpusSource::Memory(corpus))
         };
         let mut out = Vec::new();
         let report = run_pipeline(&cfg, wrappers, &mut out, None).unwrap();
@@ -395,10 +530,8 @@ mod tests {
         let mut runs = Vec::new();
         for workers in [1, 2, 7] {
             let cfg = PipelineConfig {
-                source: CorpusSource::Memory(corpus.clone()),
                 workers,
-                wrapper_override: None,
-                route_samples: Vec::new(),
+                ..PipelineConfig::new(CorpusSource::Memory(corpus.clone()))
             };
             let mut out = Vec::new();
             run_pipeline(&cfg, wrappers.clone(), &mut out, None).unwrap();
@@ -412,10 +545,8 @@ mod tests {
     fn empty_corpus_is_a_clean_noop() {
         let (wrappers, _) = wrappers_and_corpus(0);
         let cfg = PipelineConfig {
-            source: CorpusSource::Memory(Vec::new()),
             workers: 4,
-            wrapper_override: None,
-            route_samples: Vec::new(),
+            ..PipelineConfig::new(CorpusSource::Memory(Vec::new()))
         };
         let mut out = Vec::new();
         let report = run_pipeline(&cfg, wrappers, &mut out, None).unwrap();
@@ -425,16 +556,145 @@ mod tests {
 
     #[test]
     fn no_wrappers_is_a_setup_error() {
-        let cfg = PipelineConfig {
-            source: CorpusSource::Memory(Vec::new()),
-            workers: 1,
-            wrapper_override: None,
-            route_samples: Vec::new(),
-        };
+        let cfg = PipelineConfig::new(CorpusSource::Memory(Vec::new()));
         let mut out = Vec::new();
         match run_pipeline(&cfg, Vec::new(), &mut out, None) {
             Err(PipelineError::Router(RouterError::Empty)) => {}
             other => panic!("expected Router(Empty), got {other:?}"),
         }
+    }
+
+    /// Arity-2 tuple wrapper (FORM + INPUT) over search pages.
+    fn tuple_trained(g: &mut SiteGenerator) -> Arc<TupleWrapper> {
+        use rextract_wrapper::{MultiTrainPage, PageStyle};
+        let pages: Vec<MultiTrainPage> = [PageStyle::Plain, PageStyle::TableEmbedded]
+            .iter()
+            .map(|&s| {
+                let p = g.page_with_style(s);
+                let form = p
+                    .tokens
+                    .iter()
+                    .position(|t| t.tag_name() == Some("FORM"))
+                    .unwrap();
+                MultiTrainPage {
+                    tokens: p.tokens.clone(),
+                    targets: vec![form, p.target],
+                }
+            })
+            .collect();
+        Arc::new(TupleWrapper::train(&pages, WrapperConfig::default()).unwrap())
+    }
+
+    #[test]
+    fn tuple_wrapper_emits_arity_2_records_with_offsets() {
+        use rextract_wrapper::PageStyle;
+        let mut g = SiteGenerator::new(SiteConfig {
+            seed: 23,
+            ..SiteConfig::default()
+        });
+        let tuple = tuple_trained(&mut g);
+        let corpus: Vec<MemPage> = (0..6)
+            .map(|i| MemPage {
+                name: format!("mem/t{i}.html"),
+                html: g.page_with_style(PageStyle::Plain).html(),
+            })
+            .collect();
+        let cfg = PipelineConfig {
+            workers: 2,
+            tuple_wrappers: vec![("record".to_string(), tuple)],
+            ..PipelineConfig::new(CorpusSource::Memory(corpus.clone()))
+        };
+        // The tuple pool alone carries the run: no single-target
+        // wrappers are installed at all.
+        let mut out = Vec::new();
+        let report = run_pipeline(&cfg, Vec::new(), &mut out, None).unwrap();
+        assert_eq!(report.pages_ok, 6);
+        assert_eq!(report.tuples_emitted, 6);
+        let text = String::from_utf8(out).unwrap();
+        for (i, line) in text.lines().enumerate() {
+            assert!(line.contains("\"wrapper\":\"record\""), "line {i}: {line}");
+            // Two byte-offset pairs and two fields: an arity-2 record.
+            let offsets = line.split("\"byte_offsets\":[[").nth(1).unwrap();
+            assert!(offsets.contains("],["), "single offset on line {i}: {line}");
+            // Both fields carry the page's bytes at the offsets: the
+            // form tag and its text input.
+            assert!(line.contains("<form"), "no form field on line {i}: {line}");
+            assert!(
+                line.contains("<input"),
+                "no input field on line {i}: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn signatures_file_round_trips_across_runs() {
+        let (wrappers, corpus) = wrappers_and_corpus(12);
+        let dir = std::env::temp_dir().join(format!("rextract-sigs-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bindings.sigs");
+        let _ = std::fs::remove_file(&path);
+
+        let cfg = PipelineConfig {
+            signatures: Some(path.clone()),
+            ..PipelineConfig::new(CorpusSource::Memory(corpus.clone()))
+        };
+        let mut out = Vec::new();
+        let first = run_pipeline(&cfg, wrappers.clone(), &mut out, None).unwrap();
+        assert!(first.signatures_bound >= 2);
+        let dump = std::fs::read_to_string(&path).unwrap();
+        assert!(dump.starts_with(router::BINDINGS_HEADER));
+
+        // Second run warm-starts from the dump: bindings are present
+        // before any page routes, and the output is byte-identical.
+        let mut out2 = Vec::new();
+        let second = run_pipeline(&cfg, wrappers, &mut out2, None).unwrap();
+        assert_eq!(second.signatures_bound, first.signatures_bound);
+        assert_eq!(out, out2);
+
+        // A corrupt dump is a loud setup error.
+        std::fs::write(&path, "garbage\n").unwrap();
+        let (wrappers, corpus) = wrappers_and_corpus(2);
+        let cfg = PipelineConfig {
+            signatures: Some(path.clone()),
+            ..PipelineConfig::new(CorpusSource::Memory(corpus))
+        };
+        let mut out3 = Vec::new();
+        match run_pipeline(&cfg, wrappers, &mut out3, None) {
+            Err(PipelineError::Router(RouterError::BadBindings(_))) => {}
+            other => panic!("expected BadBindings, got {other:?}"),
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn observer_sees_every_routed_page() {
+        use std::sync::Mutex;
+        let (wrappers, corpus) = wrappers_and_corpus(10);
+        let events: Arc<Mutex<Vec<(String, usize, usize)>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&events);
+        let observer: Arc<PageObserver> = Arc::new(move |ev: PageEvent<'_>| {
+            if let PageEvent::Extracted {
+                wrapper,
+                tokens,
+                targets,
+            } = ev
+            {
+                sink.lock()
+                    .unwrap()
+                    .push((wrapper.to_string(), tokens.len(), targets[0]));
+            }
+        });
+        let cfg = PipelineConfig {
+            workers: 2,
+            observer: Some(observer),
+            ..PipelineConfig::new(CorpusSource::Memory(corpus))
+        };
+        let mut out = Vec::new();
+        let report = run_pipeline(&cfg, wrappers, &mut out, None).unwrap();
+        let events = events.lock().unwrap();
+        assert_eq!(events.len() as u64, report.pages_ok);
+        assert!(events.iter().all(|(_, n_tokens, t)| t < n_tokens));
+        assert!(events.iter().any(|(w, _, _)| w == "search"));
+        assert!(events.iter().any(|(w, _, _)| w == "listing"));
     }
 }

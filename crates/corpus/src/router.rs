@@ -32,20 +32,93 @@
 //! signatures entirely: every page is extracted with the named wrapper
 //! and failures count as failures, not unrouted pages.
 
+use rextract_automata::Alphabet;
 use rextract_html::seq::SeqConfig;
 use rextract_html::token::Token;
-use rextract_wrapper::{Wrapper, WrapperScratch};
+use rextract_wrapper::{TupleWrapper, Wrapper, WrapperError, WrapperScratch};
 use std::collections::HashMap;
 use std::sync::{Arc, RwLock};
 
 use rextract_faults::fail_point;
 
+/// An installed wrapper of either kind. Single-target wrappers emit one
+/// field per page; tuple wrappers emit arity-k records. Both participate
+/// identically in signature routing and probing.
+#[derive(Debug, Clone)]
+pub enum AnyWrapper {
+    /// A single-target [`Wrapper`].
+    Single(Arc<Wrapper>),
+    /// A multi-marker [`TupleWrapper`] (arity-k records).
+    Tuple(Arc<TupleWrapper>),
+}
+
+impl AnyWrapper {
+    /// The training alphabet (both kinds include `#other`).
+    pub fn alphabet(&self) -> &Alphabet {
+        match self {
+            AnyWrapper::Single(w) => w.alphabet(),
+            AnyWrapper::Tuple(w) => w.alphabet(),
+        }
+    }
+
+    /// Fields per record: 1 for a single-target wrapper, `k` for a tuple
+    /// wrapper.
+    pub fn arity(&self) -> usize {
+        match self {
+            AnyWrapper::Single(_) => 1,
+            AnyWrapper::Tuple(w) => w.arity(),
+        }
+    }
+
+    /// Artifact format version for provenance lines. Tuple wrappers use
+    /// the same text format, so both kinds report the build's version.
+    pub fn format_version(&self) -> u32 {
+        match self {
+            AnyWrapper::Single(w) => w.format_version(),
+            AnyWrapper::Tuple(_) => rextract_wrapper::persist::FORMAT_VERSION,
+        }
+    }
+
+    /// Wrapper revision for provenance lines (tuple wrappers do not
+    /// track revisions yet and always report `1`).
+    pub fn revision(&self) -> u32 {
+        match self {
+            AnyWrapper::Single(w) => w.revision(),
+            AnyWrapper::Tuple(_) => 1,
+        }
+    }
+
+    /// Extract this wrapper's targets into `targets` (cleared first),
+    /// reusing `scratch`. Uniform over both kinds so the router's probe
+    /// and bound paths need no per-kind branches at the call sites.
+    fn extract_targets_into(
+        &self,
+        tokens: &[Token],
+        scratch: &mut WrapperScratch,
+        targets: &mut Vec<usize>,
+    ) -> Result<(), WrapperError> {
+        targets.clear();
+        match self {
+            AnyWrapper::Single(w) => {
+                targets.push(w.extract_target_with(tokens, scratch)?);
+            }
+            AnyWrapper::Tuple(w) => {
+                targets.extend(w.extract_targets_with(tokens, scratch)?);
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Where a page ended up after routing + extraction.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RouteOutcome {
     /// Routed and extracted: `wrapper` (index into the router's sorted
-    /// wrapper list) found the target at token index `target`.
+    /// wrapper list) found the target at token index `target`. Emitted
+    /// by single-target wrappers — the allocation-free steady state.
     Extracted { wrapper: usize, target: usize },
+    /// Routed to a tuple wrapper and extracted an arity-k record.
+    ExtractedTuple { wrapper: usize, targets: Vec<usize> },
     /// Routed — by binding or override — but extraction failed.
     /// `empty` distinguishes a clean no-match (the wrapper ran but no
     /// position satisfied it — the classic drift symptom) from a hard
@@ -97,6 +170,8 @@ pub enum RouterError {
     UnknownOverride(String),
     /// No wrappers installed at all.
     Empty,
+    /// A bindings dump ([`Router::import_bindings`]) was malformed.
+    BadBindings(String),
 }
 
 impl std::fmt::Display for RouterError {
@@ -104,17 +179,21 @@ impl std::fmt::Display for RouterError {
         match self {
             RouterError::UnknownOverride(name) => write!(f, "unknown wrapper {name:?}"),
             RouterError::Empty => write!(f, "no wrappers installed"),
+            RouterError::BadBindings(why) => write!(f, "bad bindings dump: {why}"),
         }
     }
 }
 
 impl std::error::Error for RouterError {}
 
+/// Header line of the bindings dump format (`--signatures FILE`).
+pub const BINDINGS_HEADER: &str = "rextract-signatures v1";
+
 /// The signature router. Shared (behind `&self`) by every worker.
 #[derive(Debug)]
 pub struct Router {
     /// Installed wrappers, sorted by name — the probe order.
-    wrappers: Vec<(String, Arc<Wrapper>)>,
+    wrappers: Vec<(String, AnyWrapper)>,
     /// Forced wrapper index (`--wrapper` override), if any.
     override_idx: Option<usize>,
     /// signature → wrapper index, grown by probe-and-bind.
@@ -122,11 +201,26 @@ pub struct Router {
 }
 
 impl Router {
-    /// Build a router over `wrappers` (sorted by name here; input order
-    /// does not matter). `override_name` forces every page to one
-    /// wrapper.
+    /// Build a router over single-target `wrappers` (sorted by name here;
+    /// input order does not matter). `override_name` forces every page to
+    /// one wrapper.
     pub fn new(
-        mut wrappers: Vec<(String, Arc<Wrapper>)>,
+        wrappers: Vec<(String, Arc<Wrapper>)>,
+        override_name: Option<&str>,
+    ) -> Result<Router, RouterError> {
+        Router::from_entries(
+            wrappers
+                .into_iter()
+                .map(|(n, w)| (n, AnyWrapper::Single(w)))
+                .collect(),
+            override_name,
+        )
+    }
+
+    /// Build a router over a mixed wrapper set — single-target and tuple
+    /// wrappers share one name space and one binding table.
+    pub fn from_entries(
+        mut wrappers: Vec<(String, AnyWrapper)>,
         override_name: Option<&str>,
     ) -> Result<Router, RouterError> {
         if wrappers.is_empty() {
@@ -150,7 +244,7 @@ impl Router {
     }
 
     /// The sorted wrapper list (index space of [`RouteOutcome`]).
-    pub fn wrappers(&self) -> &[(String, Arc<Wrapper>)] {
+    pub fn wrappers(&self) -> &[(String, AnyWrapper)] {
         &self.wrappers
     }
 
@@ -204,34 +298,44 @@ impl Router {
         // Unbound: probe every wrapper; among the successes, bind the
         // best alphabet coverage (strict `>` keeps the lowest name on
         // ties). Total and order-independent, so two workers racing the
-        // same fresh signature bind the same winner.
-        let mut best: Option<(usize, usize, f64)> = None;
+        // same fresh signature bind the same winner. The probe path may
+        // allocate (it runs once per fresh signature, not per page).
+        let mut best: Option<(usize, Vec<usize>, f64)> = None;
+        let mut targets = Vec::new();
         for (i, (_, w)) in self.wrappers.iter().enumerate() {
             let sc = &mut scratch.per_wrapper[i];
-            if let Ok(target) = w.extract_target_with(tokens, sc) {
+            if w.extract_targets_into(tokens, sc, &mut targets).is_ok() {
                 let cov = Self::coverage_of(w, sc);
-                if best.map_or(true, |(_, _, b)| cov > b) {
-                    best = Some((i, target, cov));
+                if best.as_ref().map_or(true, |(_, _, b)| cov > *b) {
+                    best = Some((i, std::mem::take(&mut targets), cov));
                 }
             }
         }
         match best {
-            Some((i, target, _)) => {
+            Some((i, targets, _)) => {
                 self.bindings
                     .write()
                     .unwrap_or_else(|e| e.into_inner())
                     .insert(sig, i);
-                RouteOutcome::Extracted { wrapper: i, target }
+                match &self.wrappers[i].1 {
+                    AnyWrapper::Single(_) => RouteOutcome::Extracted {
+                        wrapper: i,
+                        target: targets[0],
+                    },
+                    AnyWrapper::Tuple(_) => RouteOutcome::ExtractedTuple {
+                        wrapper: i,
+                        targets,
+                    },
+                }
             }
             None => RouteOutcome::Unrouted,
         }
     }
 
-    /// Fraction of the just-abstracted page (left in `sc` by
-    /// `extract_target_with`) that `w`'s training alphabet knows —
-    /// i.e. symbols that are not `#other`. The probe's structural-fit
-    /// score.
-    fn coverage_of(w: &Wrapper, sc: &WrapperScratch) -> f64 {
+    /// Fraction of the just-abstracted page (left in `sc` by the
+    /// extraction) that `w`'s training alphabet knows — i.e. symbols
+    /// that are not `#other`. The probe's structural-fit score.
+    fn coverage_of(w: &AnyWrapper, sc: &WrapperScratch) -> f64 {
         let other = w.alphabet().try_sym(rextract_wrapper::wrapper::OTHER);
         let word = sc.word();
         if word.is_empty() {
@@ -247,17 +351,84 @@ impl Router {
         tokens: &[Token],
         scratch: &mut WorkerScratch,
     ) -> RouteOutcome {
-        match self.wrappers[i]
-            .1
-            .extract_target_with(tokens, &mut scratch.per_wrapper[i])
-        {
-            Ok(target) => RouteOutcome::Extracted { wrapper: i, target },
-            Err(e) => RouteOutcome::Failed {
-                wrapper: i,
-                empty: e.is_no_match(),
-                reason: e.to_string(),
+        let sc = &mut scratch.per_wrapper[i];
+        match &self.wrappers[i].1 {
+            AnyWrapper::Single(w) => match w.extract_target_with(tokens, sc) {
+                Ok(target) => RouteOutcome::Extracted { wrapper: i, target },
+                Err(e) => RouteOutcome::Failed {
+                    wrapper: i,
+                    empty: e.is_no_match(),
+                    reason: e.to_string(),
+                },
+            },
+            AnyWrapper::Tuple(w) => match w.extract_targets_with(tokens, sc) {
+                Ok(targets) => RouteOutcome::ExtractedTuple {
+                    wrapper: i,
+                    targets,
+                },
+                Err(e) => RouteOutcome::Failed {
+                    wrapper: i,
+                    empty: e.is_no_match(),
+                    reason: e.to_string(),
+                },
             },
         }
+    }
+
+    /// Serialize the binding table as a line-oriented dump:
+    /// a header line, then `<signature-hex> <wrapper-name>` per binding,
+    /// sorted by signature. Names — not indices — so the dump survives a
+    /// changed wrapper set.
+    pub fn export_bindings(&self) -> String {
+        let map = self.bindings.read().unwrap_or_else(|e| e.into_inner());
+        let mut rows: Vec<(u64, &str)> = map
+            .iter()
+            .map(|(&sig, &i)| (sig, self.wrappers[i].0.as_str()))
+            .collect();
+        rows.sort_unstable();
+        let mut out = String::with_capacity(24 + rows.len() * 32);
+        out.push_str(BINDINGS_HEADER);
+        out.push('\n');
+        for (sig, name) in rows {
+            out.push_str(&format!("{sig:016x} {name}\n"));
+        }
+        out
+    }
+
+    /// Load a binding dump produced by [`Router::export_bindings`].
+    /// Bindings naming wrappers that are no longer installed are skipped
+    /// (stale entries from a previous run — the probe will re-bind);
+    /// anything malformed is an error. Returns how many bindings loaded.
+    pub fn import_bindings(&self, text: &str) -> Result<usize, RouterError> {
+        let mut lines = text.lines();
+        match lines.next() {
+            Some(h) if h.trim_end() == BINDINGS_HEADER => {}
+            other => {
+                return Err(RouterError::BadBindings(format!(
+                    "expected header {BINDINGS_HEADER:?}, got {:?}",
+                    other.unwrap_or_default()
+                )))
+            }
+        }
+        let mut loaded = 0;
+        let mut map = self.bindings.write().unwrap_or_else(|e| e.into_inner());
+        for (n, line) in lines.enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (sig_hex, name) = line.split_once(' ').ok_or_else(|| {
+                RouterError::BadBindings(format!("line {}: missing separator", n + 2))
+            })?;
+            let sig = u64::from_str_radix(sig_hex, 16).map_err(|_| {
+                RouterError::BadBindings(format!("line {}: bad signature {sig_hex:?}", n + 2))
+            })?;
+            if let Some(idx) = self.wrappers.iter().position(|(w, _)| w == name) {
+                map.insert(sig, idx);
+                loaded += 1;
+            }
+        }
+        Ok(loaded)
     }
 }
 
@@ -322,6 +493,9 @@ mod tests {
                     assert_eq!(target, p.target);
                     ok += 1;
                 }
+                RouteOutcome::ExtractedTuple { .. } => {
+                    panic!("single-target router produced a tuple outcome")
+                }
                 RouteOutcome::Unrouted | RouteOutcome::Failed { .. } => unrouted += 1,
             }
         }
@@ -376,7 +550,7 @@ mod tests {
     fn override_skips_routing_and_surfaces_failures() {
         let (router_base, mut g) = two_wrapper_router();
         let wrappers = router_base.wrappers().to_vec();
-        let router = Router::new(wrappers, Some("listing")).unwrap();
+        let router = Router::from_entries(wrappers, Some("listing")).unwrap();
         let mut scratch = WorkerScratch::new(2);
         // A plain search page (no tables, so no TD for the listing
         // wrapper to find) forced through the listing wrapper must fail
@@ -398,11 +572,131 @@ mod tests {
     #[test]
     fn unknown_override_is_rejected() {
         let (router_base, _) = two_wrapper_router();
-        let err = Router::new(router_base.wrappers().to_vec(), Some("nope")).unwrap_err();
+        let err = Router::from_entries(router_base.wrappers().to_vec(), Some("nope")).unwrap_err();
         assert_eq!(err, RouterError::UnknownOverride("nope".to_string()));
         assert!(matches!(
             Router::new(Vec::new(), None),
             Err(RouterError::Empty)
+        ));
+    }
+
+    /// Train an arity-2 tuple wrapper (FORM + INPUT) on search pages.
+    fn tuple_trained(g: &mut SiteGenerator) -> Arc<TupleWrapper> {
+        use rextract_wrapper::{MultiTrainPage, PageStyle};
+        let pages: Vec<MultiTrainPage> = [PageStyle::Plain, PageStyle::TableEmbedded]
+            .iter()
+            .map(|&s| {
+                let p = g.page_with_style(s);
+                let form = p
+                    .tokens
+                    .iter()
+                    .position(|t| t.tag_name() == Some("FORM"))
+                    .unwrap();
+                MultiTrainPage {
+                    tokens: p.tokens.clone(),
+                    targets: vec![form, p.target],
+                }
+            })
+            .collect();
+        Arc::new(TupleWrapper::train(&pages, WrapperConfig::default()).unwrap())
+    }
+
+    #[test]
+    fn tuple_wrapper_routes_and_emits_arity_2_records() {
+        use rextract_wrapper::PageStyle;
+        let mut g = SiteGenerator::new(SiteConfig {
+            seed: 77,
+            ..SiteConfig::default()
+        });
+        let listing: Vec<TrainPage> = (0..6).map(|_| TrainPage::from(&g.listing_page())).collect();
+        let tuple = tuple_trained(&mut g);
+        let router = Router::from_entries(
+            vec![
+                ("listing".to_string(), AnyWrapper::Single(trained(&listing))),
+                ("record".to_string(), AnyWrapper::Tuple(tuple)),
+            ],
+            None,
+        )
+        .unwrap();
+        assert_eq!(router.wrappers()[1].1.arity(), 2);
+        let mut scratch = WorkerScratch::new(2);
+        let mut ok = 0;
+        for _ in 0..10 {
+            let p = g.page_with_style(PageStyle::Plain);
+            let form = p
+                .tokens
+                .iter()
+                .position(|t| t.tag_name() == Some("FORM"))
+                .unwrap();
+            match router.route_and_extract(&p.tokens, &mut scratch) {
+                RouteOutcome::ExtractedTuple { wrapper, targets } => {
+                    assert_eq!(router.wrappers()[wrapper].0, "record");
+                    assert_eq!(targets, vec![form, p.target]);
+                    ok += 1;
+                }
+                other => panic!("search page not tuple-routed: {other:?}"),
+            }
+        }
+        assert_eq!(ok, 10);
+        // Listing pages still go to the single-target wrapper.
+        let p = g.listing_page();
+        match router.route_and_extract(&p.tokens, &mut scratch) {
+            RouteOutcome::Extracted { wrapper, target } => {
+                assert_eq!(router.wrappers()[wrapper].0, "listing");
+                assert_eq!(target, p.target);
+            }
+            other => panic!("listing page misrouted: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bindings_round_trip_by_name() {
+        let (router, mut g) = two_wrapper_router();
+        let mut scratch = WorkerScratch::new(2);
+        for _ in 0..6 {
+            let p = g.listing_page();
+            router.route_and_extract(&p.tokens, &mut scratch);
+            let p = g.page();
+            router.route_and_extract(&p.tokens, &mut scratch);
+        }
+        let dump = router.export_bindings();
+        assert!(dump.starts_with(BINDINGS_HEADER));
+        let bound = router.binding_count();
+        assert!(bound >= 2);
+
+        // A fresh router over the same wrappers starts cold and warms
+        // entirely from the dump.
+        let fresh = Router::from_entries(router.wrappers().to_vec(), None).unwrap();
+        assert_eq!(fresh.binding_count(), 0);
+        assert_eq!(fresh.import_bindings(&dump).unwrap(), bound);
+        assert_eq!(fresh.binding_count(), bound);
+        assert_eq!(fresh.export_bindings(), dump);
+
+        // Dumps are name-keyed: a router missing one wrapper skips its
+        // stale bindings instead of mis-binding by index.
+        let only_listing = Router::from_entries(
+            router
+                .wrappers()
+                .iter()
+                .filter(|(n, _)| n == "listing")
+                .cloned()
+                .collect(),
+            None,
+        )
+        .unwrap();
+        let loaded = only_listing.import_bindings(&dump).unwrap();
+        assert!(loaded < bound);
+        assert_eq!(only_listing.binding_count(), loaded);
+
+        // Malformed dumps are loud errors, not silent cold starts.
+        assert!(matches!(
+            router.import_bindings("not a dump\n"),
+            Err(RouterError::BadBindings(_))
+        ));
+        let garbled = format!("{BINDINGS_HEADER}\nzzzz listing\n");
+        assert!(matches!(
+            router.import_bindings(&garbled),
+            Err(RouterError::BadBindings(_))
         ));
     }
 }

@@ -87,6 +87,49 @@ pub fn tuple_line(
     out
 }
 
+/// Format one joined query record line (no trailing newline): a row of
+/// a span relation rendered with the same byte-offset provenance as
+/// [`tuple_line`] — `vars[i]` names the value at `byte_offsets[i]` /
+/// `fields[i]`, so an arity-k join yields k parallel entries.
+pub fn query_line(
+    source: &str,
+    query: &str,
+    vars: &[&str],
+    byte_offsets: &[(usize, usize)],
+    fields: &[&str],
+) -> String {
+    debug_assert_eq!(byte_offsets.len(), fields.len());
+    debug_assert_eq!(vars.len(), fields.len());
+    let mut out = String::with_capacity(96);
+    out.push_str("{\"source\":");
+    push_json_str(&mut out, source);
+    out.push_str(",\"query\":");
+    push_json_str(&mut out, query);
+    out.push_str(",\"vars\":[");
+    for (i, v) in vars.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_json_str(&mut out, v);
+    }
+    out.push_str("],\"byte_offsets\":[");
+    for (i, (s, e)) in byte_offsets.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("[{s},{e}]"));
+    }
+    out.push_str("],\"fields\":[");
+    for (i, f) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_json_str(&mut out, f);
+    }
+    out.push_str("]}");
+    out
+}
+
 /// Format one error line (unrouted / read failure / failed extraction).
 pub fn error_line(source: &str, error: &str) -> String {
     let mut out = String::with_capacity(64);
@@ -178,6 +221,21 @@ mod tests {
         assert_eq!(
             error_line("p.html", "unrouted"),
             r#"{"source":"p.html","error":"unrouted"}"#
+        );
+    }
+
+    #[test]
+    fn query_line_pairs_vars_with_provenance() {
+        let line = query_line(
+            "p.html",
+            "pair",
+            &["form", "field"],
+            &[(3, 9), (12, 20)],
+            &["<form>", "<input>"],
+        );
+        assert_eq!(
+            line,
+            r#"{"source":"p.html","query":"pair","vars":["form","field"],"byte_offsets":[[3,9],[12,20]],"fields":["<form>","<input>"]}"#
         );
     }
 

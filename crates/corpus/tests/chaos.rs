@@ -88,10 +88,8 @@ fn mid_corpus_read_errors_complete_and_account_for_every_page() {
     faults::configure_spec("pipeline.read=every(7):return").unwrap();
 
     let cfg = PipelineConfig {
-        source: CorpusSource::Dir(dir.clone()),
         workers: 3,
-        wrapper_override: None,
-        route_samples: Vec::new(),
+        ..PipelineConfig::new(CorpusSource::Dir(dir.clone()))
     };
     let (mut out, mut side) = (Vec::new(), Vec::new());
     let report = run_pipeline(&cfg, wrappers, &mut out, Some(&mut side))
@@ -131,10 +129,8 @@ fn route_faults_surface_as_counted_unrouted_pages() {
     faults::configure_spec("pipeline.route=every(5):return").unwrap();
 
     let cfg = PipelineConfig {
-        source: CorpusSource::Dir(dir.clone()),
         workers: 2,
-        wrapper_override: None,
-        route_samples: Vec::new(),
+        ..PipelineConfig::new(CorpusSource::Dir(dir.clone()))
     };
     let (mut out, mut side) = (Vec::new(), Vec::new());
     let report = run_pipeline(&cfg, wrappers, &mut out, Some(&mut side)).unwrap();

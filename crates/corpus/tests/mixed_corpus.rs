@@ -77,10 +77,8 @@ fn run(
     workers: usize,
 ) -> (PipelineReport, String, String) {
     let cfg = PipelineConfig {
-        source: CorpusSource::Dir(dir.to_path_buf()),
         workers,
-        wrapper_override: None,
-        route_samples: Vec::new(),
+        ..PipelineConfig::new(CorpusSource::Dir(dir.to_path_buf()))
     };
     let (mut out, mut side) = (Vec::new(), Vec::new());
     let report = run_pipeline(&cfg, wrappers, &mut out, Some(&mut side)).unwrap();

@@ -37,6 +37,7 @@
 //! `extract_throughput` bench and the minimization-equivalence tests.
 
 use crate::expr::ExtractionExpr;
+use crate::span::Span;
 use rextract_automata::dfa::dense::{DenseDfa, SymbolClasses};
 use rextract_automata::dfa::Dfa;
 use rextract_automata::nfa::Nfa;
@@ -59,7 +60,12 @@ pub struct ExtractScratch {
     /// collected by the forward pass so the backward pass can stop at
     /// the earliest one.
     candidates: Vec<usize>,
-    /// Valid split positions, in increasing order after a scan.
+    /// The canonical scan output: valid splits as unit spans, in
+    /// document order. Single-marker extractions are unit spans today;
+    /// the representation leaves room for region-valued extractors.
+    spans: Vec<Span>,
+    /// Marker indices derived from `spans` on the position-oriented
+    /// entry points ([`Extractor::positions_into`]).
     positions: Vec<usize>,
 }
 
@@ -161,8 +167,8 @@ impl Extractor {
         self.classes.num_classes()
     }
 
-    /// The fused two-pass scan. Fills `scratch.positions` (increasing
-    /// order); allocation-free once the scratch has warmed up.
+    /// The fused two-pass scan. Fills `scratch.spans` (unit spans, in
+    /// increasing order); allocation-free once the scratch has warmed up.
     ///
     /// Pass 1 classifies the document through the shared class table
     /// *while* running `E1` forward, filling the `prefix_ok` bitset one
@@ -175,7 +181,7 @@ impl Extractor {
     /// entry a pass reads is written first, including on the early-exit
     /// paths.
     fn scan(&self, doc: &[Symbol], scratch: &mut ExtractScratch) {
-        scratch.positions.clear();
+        scratch.spans.clear();
         scratch.candidates.clear();
         let n = doc.len();
         if n == 0 {
@@ -247,22 +253,37 @@ impl Extractor {
                 && bwd.is_accepting(r)
                 && scratch.prefix_ok[i / 64] >> (i % 64) & 1 == 1
             {
-                scratch.positions.push(i);
+                scratch.spans.push(Span::unit(i));
             }
             r = bwd.next(r, u32::from(class));
         }
-        scratch.positions.reverse();
+        scratch.spans.reverse();
+    }
+
+    /// All valid splits in `doc` as unit spans, in document order,
+    /// written into `scratch` and returned as a slice. O(|doc|),
+    /// allocation-free at steady state. This is the span-relational
+    /// layer's entry point: wrap the slice in a
+    /// [`crate::span::SpanRelation`] to feed [`crate::algebra`].
+    pub fn spans_into<'s>(&self, doc: &[Symbol], scratch: &'s mut ExtractScratch) -> &'s [Span] {
+        self.scan(doc, scratch);
+        &scratch.spans
     }
 
     /// All valid split positions in `doc`, in increasing order, written
     /// into `scratch` and returned as a slice. O(|doc|), allocation-free
-    /// at steady state.
+    /// at steady state. Positions are the `start`s of the unit spans the
+    /// scan produces ([`Extractor::spans_into`]).
     pub fn positions_into<'s>(
         &self,
         doc: &[Symbol],
         scratch: &'s mut ExtractScratch,
     ) -> &'s [usize] {
         self.scan(doc, scratch);
+        scratch.positions.clear();
+        scratch
+            .positions
+            .extend(scratch.spans.iter().map(|s| s.start));
         &scratch.positions
     }
 
@@ -275,18 +296,30 @@ impl Extractor {
         scratch: &mut ExtractScratch,
     ) -> Result<Extraction, ExtractFailure> {
         self.scan(doc, scratch);
-        match scratch.positions.as_slice() {
+        match scratch.spans.as_slice() {
             [] => Err(ExtractFailure::NoMatch),
-            [pos] => Ok(Extraction { position: *pos }),
-            many => Err(ExtractFailure::AmbiguousMatch(many.to_vec())),
+            [span] => Ok(Extraction {
+                position: span.start,
+            }),
+            many => Err(ExtractFailure::AmbiguousMatch(
+                many.iter().map(|s| s.start).collect(),
+            )),
         }
+    }
+
+    /// All valid splits as unit spans, in document order. O(|doc|).
+    /// Allocating convenience wrapper over [`Extractor::spans_into`].
+    pub fn spans(&self, doc: &[Symbol]) -> Vec<Span> {
+        let mut scratch = ExtractScratch::new();
+        self.scan(doc, &mut scratch);
+        scratch.spans
     }
 
     /// All valid split positions in `doc`, in increasing order. O(|doc|).
     /// Allocating convenience wrapper over [`Extractor::positions_into`].
     pub fn positions(&self, doc: &[Symbol]) -> Vec<usize> {
         let mut scratch = ExtractScratch::new();
-        self.scan(doc, &mut scratch);
+        self.positions_into(doc, &mut scratch);
         scratch.positions
     }
 
@@ -627,6 +660,48 @@ mod tests {
         assert_eq!(
             naive.extract(&a.str_to_syms("q q").unwrap()),
             Err(ExtractFailure::NoMatch)
+        );
+    }
+
+    #[test]
+    fn spans_are_unit_spans_of_positions() {
+        // The span surface and the position surface are two views of one
+        // scan: spans must be exactly the unit spans of the positions,
+        // for members and non-members alike, across all four engines.
+        let a = ab();
+        for s in ["[^p]* <p> .*", "(q p)* <p> q*", "p* <p> p* q"] {
+            let ex = e(s);
+            let x = Extractor::compile(&ex);
+            let two_pass = TwoPassExtractor::compile(&ex);
+            let naive = NaiveExtractor::compile(&ex);
+            let mut scratch = ExtractScratch::new();
+            for w in enumerate_upto(&rextract_automata::Lang::universe(&a), 7) {
+                let spans = x.spans_into(&w, &mut scratch).to_vec();
+                let from_spans: Vec<usize> = spans.iter().map(|sp| sp.start).collect();
+                assert!(spans.iter().all(|sp| sp.len() == 1), "{s}: non-unit span");
+                assert_eq!(from_spans, x.positions(&w), "{s}");
+                assert_eq!(from_spans, brute_split_positions(&ex, &w), "{s}");
+                assert_eq!(from_spans, two_pass.positions(&w), "{s}");
+                assert_eq!(from_spans, naive.positions(&w), "{s}");
+            }
+        }
+    }
+
+    #[test]
+    fn positions_into_matches_spans_into_after_interleaved_calls() {
+        // positions_into derives from the span buffer; interleaving the
+        // two entry points across documents must never cross wires.
+        let a = ab();
+        let x = Extractor::compile(&e("p* <p> p* q"));
+        let mut scratch = ExtractScratch::new();
+        let d1 = a.str_to_syms("p p p q").unwrap();
+        let d2 = a.str_to_syms("q q").unwrap();
+        assert_eq!(x.spans_into(&d1, &mut scratch).len(), 3);
+        assert_eq!(x.positions_into(&d2, &mut scratch), &[] as &[usize]);
+        assert_eq!(x.positions_into(&d1, &mut scratch), [0, 1, 2]);
+        assert_eq!(
+            x.spans_into(&d1, &mut scratch),
+            [Span::unit(0), Span::unit(1), Span::unit(2)]
         );
     }
 

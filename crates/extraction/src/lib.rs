@@ -20,6 +20,13 @@
 //! EXPERIMENTS.md cross-validation; they enumerate small languages and
 //! should not be used on production-sized inputs.
 //!
+//! Beyond the paper, the **span-relational layer** ([`span`], [`algebra`],
+//! [`query`]) recasts extraction results as document spanners in the sense
+//! of Freydenberger–Kimelfeld–Peterfreund: every engine result is a
+//! [`SpanRelation`], and projection/union/natural-join (with `before` /
+//! `contains` ordering predicates) assemble multi-field records from
+//! independent expressions over the same document.
+//!
 //! ## Example: the paper's running `p`/`q` expressions
 //!
 //! ```
@@ -38,6 +45,7 @@
 //! assert!(m.is_maximal());
 //! ```
 
+pub mod algebra;
 pub mod ambiguity;
 pub mod error;
 pub mod expr;
@@ -49,12 +57,17 @@ pub mod multi;
 pub mod oracle;
 pub mod order;
 pub mod pivot;
+pub mod query;
 pub mod refine;
 pub mod right_filter;
+pub mod span;
 
+pub use algebra::{AlgebraError, JoinStrategy, Plan, Pred, PredOp};
 pub use error::ExtractionError;
 pub use expr::ExtractionExpr;
 pub use extract::{ExtractScratch, Extractor, NaiveExtractor, TwoPassExtractor};
 pub use multi::{MultiExtractionExpr, MultiExtractor};
 pub use pivot::segment_ok;
 pub use pivot::PivotExpr;
+pub use query::{QueryDef, QueryError, QuerySource, SourceKind};
+pub use span::{Span, SpanRelation};

@@ -1,0 +1,294 @@
+//! Document spans and span relations — the currency of the relational
+//! extraction layer.
+//!
+//! The paper's engine answers "where is the marker?" with a position;
+//! Freydenberger, Kimelfeld & Peterfreund's document-spanner reading of
+//! the same workload answers with a **span** — a half-open interval of
+//! token positions — and treats each extraction expression as a *span
+//! extractor* producing a relation of named spans. That shift is what
+//! makes extractions composable: once every engine result is a
+//! [`SpanRelation`], projection, union, and natural join
+//! ([`crate::algebra`]) assemble multi-field records from independent
+//! expressions over the same document.
+//!
+//! A single-marker extraction at position `i` is the unit span
+//! `[i, i+1)`; the representation deliberately carries the end too, so
+//! region-valued extractors (and the `contains` ordering predicate) fit
+//! without another refactor.
+
+use std::fmt;
+
+/// A half-open interval `[start, end)` of token positions in one
+/// document. Ordered by `(start, end)`, so sorted span rows merge in
+/// document order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Span {
+    /// First token position covered.
+    pub start: usize,
+    /// One past the last token position covered.
+    pub end: usize,
+}
+
+impl Span {
+    /// A span covering `[start, end)`. `start > end` is a caller bug.
+    pub fn new(start: usize, end: usize) -> Span {
+        assert!(start <= end, "span start {start} past end {end}");
+        Span { start, end }
+    }
+
+    /// The unit span `[pos, pos+1)` of a single marked occurrence — how
+    /// the engine's split positions enter span space.
+    pub fn unit(pos: usize) -> Span {
+        Span {
+            start: pos,
+            end: pos + 1,
+        }
+    }
+
+    /// Tokens covered.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the span covers no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Strict precedence: `self` ends at or before `other` starts
+    /// (spanner-algebra `before`; adjacent spans count).
+    pub fn before(&self, other: &Span) -> bool {
+        self.end <= other.start
+    }
+
+    /// Containment: `other` lies entirely inside `self` (inclusive).
+    pub fn contains(&self, other: &Span) -> bool {
+        self.start <= other.start && other.end <= self.end
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end)
+    }
+}
+
+/// A relation of named spans over one document: a schema of variable
+/// names plus a set of rows, one span per variable per row.
+///
+/// Canonical form is an invariant, not a convention: rows are always
+/// sorted lexicographically by their spans and deduplicated, so two
+/// relations are equal iff they contain the same tuples — which is what
+/// lets the sort-merge join be checked byte-for-byte against the
+/// nested-loop oracle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRelation {
+    vars: Vec<String>,
+    rows: Vec<Vec<Span>>,
+}
+
+impl SpanRelation {
+    /// An empty relation with the given schema. Variable names must be
+    /// non-empty and distinct.
+    pub fn empty(vars: impl IntoIterator<Item = impl Into<String>>) -> SpanRelation {
+        let vars: Vec<String> = vars.into_iter().map(Into::into).collect();
+        for (i, v) in vars.iter().enumerate() {
+            assert!(!v.is_empty(), "empty variable name in schema");
+            assert!(!vars[..i].contains(v), "duplicate variable {v:?} in schema");
+        }
+        SpanRelation {
+            vars,
+            rows: Vec::new(),
+        }
+    }
+
+    /// A unary relation binding every span in `spans` to `var`.
+    pub fn unary(var: impl Into<String>, spans: impl IntoIterator<Item = Span>) -> SpanRelation {
+        let mut rel = SpanRelation::empty([var.into()]);
+        rel.rows = spans.into_iter().map(|s| vec![s]).collect();
+        rel.canonicalize();
+        rel
+    }
+
+    /// Build from explicit rows. Every row must match the schema arity.
+    pub fn from_rows(
+        vars: impl IntoIterator<Item = impl Into<String>>,
+        rows: impl IntoIterator<Item = Vec<Span>>,
+    ) -> SpanRelation {
+        let mut rel = SpanRelation::empty(vars);
+        rel.rows = rows.into_iter().collect();
+        for row in &rel.rows {
+            assert_eq!(
+                row.len(),
+                rel.vars.len(),
+                "row arity {} does not match schema arity {}",
+                row.len(),
+                rel.vars.len()
+            );
+        }
+        rel.canonicalize();
+        rel
+    }
+
+    /// The schema, in column order.
+    pub fn vars(&self) -> &[String] {
+        &self.vars
+    }
+
+    /// The rows, sorted and deduplicated.
+    pub fn rows(&self) -> &[Vec<Span>] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the relation has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Column index of `var`, if in the schema.
+    pub fn column(&self, var: &str) -> Option<usize> {
+        self.vars.iter().position(|v| v == var)
+    }
+
+    /// Append a row (arity-checked) and restore canonical form. For bulk
+    /// construction prefer [`SpanRelation::from_rows`], which sorts once.
+    pub fn insert(&mut self, row: Vec<Span>) {
+        assert_eq!(row.len(), self.vars.len(), "row arity mismatch");
+        self.rows.push(row);
+        self.canonicalize();
+    }
+
+    /// Restore the sorted/deduplicated invariant after direct row edits
+    /// (module-internal: every public constructor already ends here).
+    pub(crate) fn canonicalize(&mut self) {
+        self.rows.sort_unstable();
+        self.rows.dedup();
+    }
+
+    /// Adopt rows wholesale (arity unchecked by construction at call
+    /// sites inside the crate) and canonicalize.
+    pub(crate) fn set_rows(&mut self, rows: Vec<Vec<Span>>) {
+        self.rows = rows;
+        self.canonicalize();
+    }
+}
+
+impl fmt::Display for SpanRelation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.vars.join(", "))?;
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "⟨")?;
+            for (j, s) in row.iter().enumerate() {
+                if j > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{s}")?;
+            }
+            write!(f, "⟩")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_basics() {
+        let s = Span::new(2, 5);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert!(Span::new(2, 2).is_empty());
+        assert_eq!(Span::unit(4), Span::new(4, 5));
+        assert_eq!(format!("{s}"), "[2, 5)");
+    }
+
+    #[test]
+    fn span_ordering_predicates() {
+        let a = Span::new(0, 2);
+        let b = Span::new(2, 4);
+        assert!(a.before(&b), "adjacent counts as before");
+        assert!(!b.before(&a));
+        assert!(!a.before(&a));
+        let outer = Span::new(1, 9);
+        let inner = Span::new(3, 5);
+        assert!(outer.contains(&inner));
+        assert!(outer.contains(&outer), "containment is reflexive");
+        assert!(!inner.contains(&outer));
+    }
+
+    #[test]
+    #[should_panic(expected = "span start")]
+    fn inverted_span_panics() {
+        let _ = Span::new(5, 2);
+    }
+
+    #[test]
+    fn relation_is_sorted_and_deduped() {
+        let rel = SpanRelation::unary(
+            "x",
+            [Span::unit(5), Span::unit(1), Span::unit(5), Span::unit(3)],
+        );
+        assert_eq!(rel.vars(), ["x".to_string()]);
+        assert_eq!(
+            rel.rows(),
+            [
+                vec![Span::unit(1)],
+                vec![Span::unit(3)],
+                vec![Span::unit(5)]
+            ]
+        );
+        assert_eq!(rel.len(), 3);
+    }
+
+    #[test]
+    fn from_rows_and_insert_keep_canonical_form() {
+        let mut rel = SpanRelation::from_rows(
+            ["x", "y"],
+            [
+                vec![Span::unit(3), Span::unit(4)],
+                vec![Span::unit(1), Span::unit(2)],
+                vec![Span::unit(3), Span::unit(4)],
+            ],
+        );
+        assert_eq!(rel.len(), 2);
+        rel.insert(vec![Span::unit(0), Span::unit(9)]);
+        rel.insert(vec![Span::unit(0), Span::unit(9)]);
+        assert_eq!(rel.len(), 3);
+        assert_eq!(rel.rows()[0], vec![Span::unit(0), Span::unit(9)]);
+        assert_eq!(rel.column("y"), Some(1));
+        assert_eq!(rel.column("z"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate variable")]
+    fn duplicate_vars_panic() {
+        let _ = SpanRelation::empty(["x", "x"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_mismatch_panics() {
+        let _ = SpanRelation::from_rows(["x", "y"], [vec![Span::unit(1)]]);
+    }
+
+    #[test]
+    fn display_renders_rows() {
+        let rel = SpanRelation::unary("x", [Span::unit(1)]);
+        assert_eq!(format!("{rel}"), "x(⟨[1, 2)⟩)");
+    }
+}

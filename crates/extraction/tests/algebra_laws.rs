@@ -1,0 +1,179 @@
+//! Property tests for the span-relational algebra.
+//!
+//! Two pillars: the sort-merge join must be **byte-identical** to the
+//! nested-loop oracle on arbitrary relations and predicates (canonical
+//! form makes `assert_eq!` exactly that check), and the algebraic laws a
+//! query planner would lean on — join commutativity/associativity,
+//! projection pushdown, union laws — must hold on random inputs, not
+//! just the unit-test examples.
+
+use proptest::prelude::*;
+use rextract_extraction::{JoinStrategy, Pred, PredOp, Span, SpanRelation};
+
+/// A random span with start in `0..n` and a small width — mixes unit
+/// spans (the engine's output) with wider regions (the representation's
+/// headroom), so `before`/`contains` see both.
+fn arb_span(n: usize) -> impl Strategy<Value = Span> {
+    (0..n, 0usize..3).prop_map(|(start, w)| Span::new(start, start + w))
+}
+
+/// A random relation over `vars` with up to `max_rows` rows.
+fn arb_relation(
+    vars: &'static [&'static str],
+    max_rows: usize,
+) -> impl Strategy<Value = SpanRelation> {
+    proptest::collection::vec(
+        proptest::collection::vec(arb_span(8), vars.len()..=vars.len()),
+        0..=max_rows,
+    )
+    .prop_map(move |rows| SpanRelation::from_rows(vars.iter().copied(), rows))
+}
+
+/// A random predicate set over `vars` (0–2 preds, both operators).
+fn arb_preds(vars: &'static [&'static str]) -> impl Strategy<Value = Vec<Pred>> {
+    let one = (
+        prop_oneof![Just(PredOp::Before), Just(PredOp::Contains)],
+        0..vars.len(),
+        0..vars.len(),
+    )
+        .prop_map(move |(op, l, r)| Pred::new(op, vars[l], vars[r]));
+    proptest::collection::vec(one, 0..=2)
+}
+
+/// Compare two relations that should hold the same tuples, possibly
+/// with differently-ordered schemas: project both onto a fixed order.
+fn same_tuples(a: &SpanRelation, b: &SpanRelation, order: &[&str]) {
+    assert_eq!(
+        a.project(order).unwrap(),
+        b.project(order).unwrap(),
+        "tuple sets differ\n  left : {a}\n  right: {b}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Sort-merge ≡ nested-loop on arbitrary relations sharing one
+    /// variable, under arbitrary ordering predicates. Canonical form
+    /// makes this a byte-for-byte comparison.
+    #[test]
+    fn sort_merge_matches_nested_loop_oracle(
+        r in arb_relation(&["a", "b"], 8),
+        s in arb_relation(&["b", "c"], 8),
+        preds in arb_preds(&["a", "b", "c"]),
+    ) {
+        let merged = r.join(&s, &preds, JoinStrategy::SortMerge).unwrap();
+        let oracle = r.join(&s, &preds, JoinStrategy::NestedLoop).unwrap();
+        prop_assert_eq!(merged, oracle);
+    }
+
+    /// Same check with a two-variable shared key (the group-wise merge
+    /// path) and with no shared variables at all (pure cross product).
+    #[test]
+    fn sort_merge_matches_oracle_on_wide_and_empty_keys(
+        r in arb_relation(&["a", "b", "c"], 6),
+        s in arb_relation(&["b", "c", "d"], 6),
+        t in arb_relation(&["e"], 6),
+    ) {
+        prop_assert_eq!(
+            r.join(&s, &[], JoinStrategy::SortMerge).unwrap(),
+            r.join(&s, &[], JoinStrategy::NestedLoop).unwrap(),
+        );
+        prop_assert_eq!(
+            r.join(&t, &[], JoinStrategy::SortMerge).unwrap(),
+            r.join(&t, &[], JoinStrategy::NestedLoop).unwrap(),
+        );
+    }
+
+    /// ⋈ is commutative up to column order.
+    #[test]
+    fn join_commutes(
+        r in arb_relation(&["a", "b"], 8),
+        s in arb_relation(&["b", "c"], 8),
+    ) {
+        let rs = r.join(&s, &[], JoinStrategy::SortMerge).unwrap();
+        let sr = s.join(&r, &[], JoinStrategy::SortMerge).unwrap();
+        same_tuples(&rs, &sr, &["a", "b", "c"]);
+    }
+
+    /// ⋈ is associative up to column order.
+    #[test]
+    fn join_associates(
+        r in arb_relation(&["a", "b"], 6),
+        s in arb_relation(&["b", "c"], 6),
+        t in arb_relation(&["c", "d"], 6),
+    ) {
+        let left = r
+            .join(&s, &[], JoinStrategy::SortMerge).unwrap()
+            .join(&t, &[], JoinStrategy::SortMerge).unwrap();
+        let right = r
+            .join(&s.join(&t, &[], JoinStrategy::SortMerge).unwrap(), &[], JoinStrategy::SortMerge)
+            .unwrap();
+        same_tuples(&left, &right, &["a", "b", "c", "d"]);
+    }
+
+    /// Projection pushdown: narrowing the operands to the kept variables
+    /// plus the join key before joining changes nothing —
+    /// π_{a,c}(R ⋈ S) = π_{a,c}(π_{a,b}(R) ⋈ π_{b,c}(S)).
+    #[test]
+    fn projection_pushes_through_join(
+        r in arb_relation(&["a", "b", "x"], 6),
+        s in arb_relation(&["b", "c", "y"], 6),
+    ) {
+        let full = r
+            .join(&s, &[], JoinStrategy::SortMerge).unwrap()
+            .project(&["a", "c"]).unwrap();
+        let pushed = r
+            .project(&["a", "b"]).unwrap()
+            .join(&s.project(&["b", "c"]).unwrap(), &[], JoinStrategy::SortMerge)
+            .unwrap()
+            .project(&["a", "c"]).unwrap();
+        prop_assert_eq!(full, pushed);
+    }
+
+    /// ∪ is commutative, associative, idempotent; π distributes over ∪.
+    #[test]
+    fn union_laws(
+        r in arb_relation(&["a", "b"], 8),
+        s in arb_relation(&["a", "b"], 8),
+        t in arb_relation(&["a", "b"], 8),
+    ) {
+        prop_assert_eq!(r.union(&s).unwrap(), s.union(&r).unwrap());
+        prop_assert_eq!(
+            r.union(&s).unwrap().union(&t).unwrap(),
+            r.union(&s.union(&t).unwrap()).unwrap(),
+        );
+        prop_assert_eq!(r.union(&r).unwrap(), r.clone());
+        prop_assert_eq!(
+            r.union(&s).unwrap().project(&["b"]).unwrap(),
+            r.project(&["b"]).unwrap().union(&s.project(&["b"]).unwrap()).unwrap(),
+        );
+    }
+
+    /// Join with predicates equals the predicate-free join filtered
+    /// after the fact — predicates are a filter, never a generator.
+    #[test]
+    fn predicates_only_filter(
+        r in arb_relation(&["a", "b"], 8),
+        s in arb_relation(&["b", "c"], 8),
+        preds in arb_preds(&["a", "b", "c"]),
+    ) {
+        let with = r.join(&s, &preds, JoinStrategy::SortMerge).unwrap();
+        let without = r.join(&s, &[], JoinStrategy::SortMerge).unwrap();
+        let filtered: Vec<Vec<Span>> = without
+            .rows()
+            .iter()
+            .filter(|row| {
+                preds.iter().all(|p| {
+                    let col = |v: &str| without.column(v).unwrap();
+                    p.holds(&row[col(&p.left)], &row[col(&p.right)])
+                })
+            })
+            .cloned()
+            .collect();
+        prop_assert_eq!(
+            with,
+            SpanRelation::from_rows(without.vars().iter().cloned(), filtered)
+        );
+    }
+}

@@ -12,7 +12,7 @@ use proptest::prelude::*;
 use rextract_automata::{Alphabet, Lang, Regex, Symbol};
 use rextract_extraction::oracle::brute_split_positions;
 use rextract_extraction::{
-    ExtractScratch, ExtractionExpr, Extractor, NaiveExtractor, TwoPassExtractor,
+    ExtractScratch, ExtractionExpr, Extractor, NaiveExtractor, Span, SpanRelation, TwoPassExtractor,
 };
 
 const SIGMA2: &[&str] = &["p", "q"];
@@ -83,6 +83,22 @@ fn check_agreement(names: &'static [&'static str], left: &Regex, right: &Regex, 
     // The Result-typed APIs must map identically too.
     assert_eq!(dense.extract_with(w, &mut scratch), two_pass.extract(w));
     assert_eq!(two_pass.extract(w), naive.extract(w));
+    // Span agreement: every engine's positions, lifted to unit spans,
+    // must produce the same span relation the dense span scan does —
+    // the contract the whole span-relational layer rests on.
+    let unit_spans: Vec<Span> = oracle.iter().map(|&p| Span::unit(p)).collect();
+    assert_eq!(
+        dense.spans_into(w, &mut scratch),
+        unit_spans.as_slice(),
+        "dense span scan disagrees with the unit spans of the oracle"
+    );
+    assert_eq!(dense.spans(w), unit_spans, "allocating span path disagrees");
+    let as_relation =
+        |positions: Vec<usize>| SpanRelation::unary("x", positions.into_iter().map(Span::unit));
+    let dense_rel = SpanRelation::unary("x", dense.spans(w));
+    assert_eq!(dense_rel, as_relation(two_pass.positions(w)));
+    assert_eq!(dense_rel, as_relation(naive.positions(w)));
+    assert_eq!(dense_rel, as_relation(oracle));
 }
 
 proptest! {

@@ -91,10 +91,12 @@ pub mod http;
 pub mod json;
 pub mod metrics;
 pub mod pool;
+pub mod queries;
 pub mod registry;
 pub mod server;
 
 pub use metrics::{Endpoint, Metrics};
+pub use queries::QueryStore;
 pub use registry::Registry;
 pub use server::ServerHandle;
 

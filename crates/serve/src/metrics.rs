@@ -149,6 +149,9 @@ pub enum Endpoint {
     Metrics,
     Reload,
     Shutdown,
+    InstallQuery,
+    ListQueries,
+    Query,
     Other,
 }
 
@@ -163,6 +166,9 @@ impl Endpoint {
             Endpoint::Metrics => "metrics",
             Endpoint::Reload => "reload",
             Endpoint::Shutdown => "shutdown",
+            Endpoint::InstallQuery => "install_query",
+            Endpoint::ListQueries => "list_queries",
+            Endpoint::Query => "query",
             Endpoint::Other => "other",
         }
     }
@@ -171,7 +177,7 @@ impl Endpoint {
         self as usize
     }
 
-    pub fn all() -> [Endpoint; 9] {
+    pub fn all() -> [Endpoint; 12] {
         [
             Endpoint::Extract,
             Endpoint::InstallWrapper,
@@ -181,6 +187,9 @@ impl Endpoint {
             Endpoint::Metrics,
             Endpoint::Reload,
             Endpoint::Shutdown,
+            Endpoint::InstallQuery,
+            Endpoint::ListQueries,
+            Endpoint::Query,
             Endpoint::Other,
         ]
     }
@@ -208,6 +217,18 @@ pub struct WrapperCounters {
     pub results_empty: u64,
     /// Tuples emitted under this wrapper's name.
     pub tuples_emitted: u64,
+}
+
+/// Per-query evaluation tallies (the `POST /query` path), keyed by
+/// installed query name.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct QueryCounters {
+    /// Evaluations that produced a (possibly empty) result relation.
+    pub evaluations: u64,
+    /// Joined records emitted across those evaluations.
+    pub records_emitted: u64,
+    /// Evaluations that errored (unknown wrapper, bad page, plan error).
+    pub failures: u64,
 }
 
 /// One page's extraction outcome, as the drift detector sees it.
@@ -283,7 +304,7 @@ const NEVER: u64 = u64::MAX;
 /// Shared, lock-free metrics hub.
 pub struct Metrics {
     started: Instant,
-    endpoints: [EndpointMetrics; 9],
+    endpoints: [EndpointMetrics; 12],
     /// Connections refused with 503 at the accept gate (queue full).
     rejected: AtomicU64,
     /// Connections currently waiting in the job queue.
@@ -331,6 +352,9 @@ pub struct Metrics {
     /// dynamically-keyed dimension, so it sits behind a mutex (taken for
     /// a few map operations per *page*, not per connection event).
     wrappers: Mutex<BTreeMap<String, WrapperCounters>>,
+    /// Per-query evaluation tallies keyed by query name (same dynamic-key
+    /// rationale as `wrappers`; touched once per `/query` request).
+    queries: Mutex<BTreeMap<String, QueryCounters>>,
     /// Per-wrapper drift detector windows + health, fed by the same
     /// `/extract` and `/pipeline` outcome stream as the tallies above.
     drift: Mutex<BTreeMap<String, DriftState>>,
@@ -380,6 +404,7 @@ impl Metrics {
             batches_dispatched: AtomicU64::new(0),
             batch_size: SizeHistogram::default(),
             wrappers: Mutex::new(BTreeMap::new()),
+            queries: Mutex::new(BTreeMap::new()),
             drift: Mutex::new(BTreeMap::new()),
             drift_window: AtomicUsize::new(0),
             drift_threshold_bits: AtomicU64::new(1.0f64.to_bits()),
@@ -558,6 +583,29 @@ impl Metrics {
 
     fn wrappers_lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, WrapperCounters>> {
         self.wrappers.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn queries_lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, QueryCounters>> {
+        self.queries.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// One `POST /query` evaluation under `name`: `Some(n)` emitted `n`
+    /// joined records, `None` errored.
+    pub fn record_query(&self, name: &str, records: Option<u64>) {
+        let mut map = self.queries_lock();
+        let c = map.entry(name.to_string()).or_default();
+        match records {
+            Some(n) => {
+                c.evaluations += 1;
+                c.records_emitted += n;
+            }
+            None => c.failures += 1,
+        }
+    }
+
+    /// Snapshot of one query's counters (tests / observability).
+    pub fn query_counters(&self, name: &str) -> QueryCounters {
+        self.queries_lock().get(name).cloned().unwrap_or_default()
     }
 
     /// One page's extraction outcome under `name` (the `/extract` path:
@@ -797,6 +845,19 @@ impl Metrics {
             wrappers.push_str(&format!("{:?}:{}", name, body));
         }
         wrappers.push('}');
+        let mut queries = String::from("{");
+        for (i, (name, c)) in self.queries_lock().iter().enumerate() {
+            if i > 0 {
+                queries.push(',');
+            }
+            let body = Obj::new()
+                .num("evaluations", c.evaluations)
+                .num("records_emitted", c.records_emitted)
+                .num("failures", c.failures)
+                .finish();
+            queries.push_str(&format!("{name:?}:{body}"));
+        }
+        queries.push('}');
         let drift = Obj::new()
             .num("window", self.drift_window() as u64)
             .float("threshold", self.drift_threshold())
@@ -845,6 +906,7 @@ impl Metrics {
             )
             .raw("endpoints", &endpoints)
             .raw("wrappers", &wrappers)
+            .raw("queries", &queries)
             .raw("drift", &drift)
             .raw("pipeline", &pipeline)
             .raw("store", &store_stats_json(store));

@@ -49,12 +49,16 @@ use crate::http::{parse_request, Parse, ParseError, Request, Response};
 use crate::json::{str_array, Obj};
 use crate::metrics::{Endpoint, Metrics, PageOutcome, WrapperHealth};
 use crate::pool::{Batch, Completion, CompletionQueue, JobQueue, WorkItem};
+use crate::queries::{QueryInstallError, QueryStore};
 use crate::registry::{InstallError, LoadReport, Registry, ResolveError};
 use crate::ServeConfig;
 use rextract_automata::Store;
-use rextract_corpus::{run_pipeline, CorpusSource, PipelineConfig};
+use rextract_corpus::{run_pipeline, CorpusSource, PageEvent, PageObserver, PipelineConfig};
+use rextract_extraction::JoinStrategy;
 use rextract_faults::fail_point;
+use rextract_html::tokenize_spanned;
 use rextract_html::tokenizer::tokenize;
+use rextract_wrapper::evaluate_query;
 use rextract_wrapper::wrapper::{Wrapper, WrapperError, WrapperScratch};
 use std::collections::{BTreeMap, HashMap};
 use std::io::{self, Read, Write};
@@ -106,6 +110,7 @@ impl Shutdown {
 /// Everything a worker needs, shared and immutable.
 struct Ctx {
     registry: Arc<Registry>,
+    queries: Arc<QueryStore>,
     metrics: Arc<Metrics>,
     shutdown: Arc<Shutdown>,
     repair: Arc<RepairHub>,
@@ -178,6 +183,13 @@ pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
     for (file, err) in &boot_report.errors {
         eprintln!("rextract-serve: skipping {file}: {err}");
     }
+    let queries = Arc::new(QueryStore::new(config.wrapper_dir.clone()));
+    let (_, query_errors) = queries
+        .load_dir()
+        .map_err(|e| io::Error::new(e.kind(), format!("scanning query dir: {e}")))?;
+    for (name, err) in &query_errors {
+        eprintln!("rextract-serve: skipping query {name}: {err}");
+    }
 
     let metrics = Arc::new(Metrics::new());
     metrics.configure_drift(config.drift_window, config.drift_threshold);
@@ -196,6 +208,7 @@ pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
     });
     let ctx = Arc::new(Ctx {
         registry: Arc::clone(&registry),
+        queries: Arc::clone(&queries),
         metrics: Arc::clone(&metrics),
         shutdown: Arc::clone(&shutdown),
         repair: Arc::new(RepairHub::new(config.repair_backoff)),
@@ -1104,6 +1117,23 @@ fn route(
             let name = path.strip_prefix("/wrappers/").unwrap_or_default();
             (Endpoint::InstallWrapper, handle_install(name, req, ctx))
         }
+        ("GET", "/queries") => (
+            Endpoint::ListQueries,
+            Response::json(
+                200,
+                Obj::new()
+                    .raw(
+                        "queries",
+                        &str_array(ctx.queries.names().iter().map(String::as_str)),
+                    )
+                    .finish(),
+            ),
+        ),
+        ("POST", path) if path.strip_prefix("/queries/").is_some() => {
+            let name = path.strip_prefix("/queries/").unwrap_or_default();
+            (Endpoint::InstallQuery, handle_install_query(name, req, ctx))
+        }
+        ("POST", "/query") => (Endpoint::Query, handle_query(req, ctx)),
         ("POST", "/pipeline") => (Endpoint::Pipeline, handle_pipeline(req, ctx)),
         ("POST", "/reload") => (Endpoint::Reload, handle_reload(ctx)),
         ("POST", "/shutdown") => (
@@ -1113,7 +1143,7 @@ fn route(
         (
             _,
             "/healthz" | "/metrics" | "/extract" | "/wrappers" | "/pipeline" | "/reload"
-            | "/shutdown",
+            | "/shutdown" | "/queries" | "/query",
         ) => (
             Endpoint::Other,
             Response::json(405, Obj::new().str("error", "method not allowed").finish()),
@@ -1383,17 +1413,37 @@ fn handle_pipeline(req: &Request, ctx: &Ctx) -> Response {
         .and_then(|w| w.parse::<usize>().ok())
         .unwrap_or(1)
         .clamp(1, PIPELINE_MAX_WORKERS);
+    // Self-labeling: every page the pipeline routes becomes repair
+    // evidence for its wrapper — successes are future training samples,
+    // failures are the drift witnesses — exactly as `/extract` records.
+    let repair = Arc::clone(&ctx.repair);
+    let observer: Arc<PageObserver> = Arc::new(move |ev: PageEvent<'_>| match ev {
+        PageEvent::Extracted {
+            wrapper,
+            tokens,
+            targets,
+        } => {
+            if let Some(&target) = targets.first() {
+                repair.record_success(wrapper, tokens, target);
+            }
+        }
+        PageEvent::Failed {
+            wrapper, tokens, ..
+        } => {
+            repair.record_failure(wrapper, tokens.to_vec());
+        }
+    });
     let cfg = PipelineConfig {
-        source: CorpusSource::Paths(
+        workers,
+        wrapper_override: req.query_param("wrapper").map(str::to_string),
+        observer: Some(observer),
+        ..PipelineConfig::new(CorpusSource::Paths(
             body.lines()
                 .map(str::trim)
                 .filter(|l| !l.is_empty() && !l.starts_with('#'))
                 .map(str::to_string)
                 .collect(),
-        ),
-        workers,
-        wrapper_override: req.query_param("wrapper").map(str::to_string),
-        route_samples: Vec::new(),
+        ))
     };
     let mut out = Vec::new();
     match run_pipeline(&cfg, wrappers, &mut out, None) {
@@ -1459,6 +1509,147 @@ fn handle_install(name: &str, req: &Request, ctx: &Ctx) -> Response {
         // a good one: different status, different party to page.
         Err(InstallError::Invalid(e)) => Response::json(400, Obj::new().str("error", &e).finish()),
         Err(InstallError::Io(e)) => Response::json(500, Obj::new().str("error", &e).finish()),
+    }
+}
+
+/// `POST /queries/{name}`: install or replace a span-relational query
+/// from its JSON definition (sources + algebra plan). Wrapper references
+/// are *not* resolved here — they bind at evaluation time, so a query
+/// may be installed before the wrappers it names.
+fn handle_install_query(name: &str, req: &Request, ctx: &Ctx) -> Response {
+    let text = req.body_utf8();
+    if text.trim().is_empty() {
+        return Response::json(
+            400,
+            Obj::new()
+                .str("error", "empty body: POST the query definition JSON")
+                .finish(),
+        );
+    }
+    match ctx.queries.install(name, &text) {
+        Ok(def) => Response::json(
+            201,
+            Obj::new()
+                .str("installed", name)
+                .num("sources", def.sources.len() as u64)
+                .raw(
+                    "vars",
+                    &str_array(def.sources.iter().map(|s| s.var.as_str())),
+                )
+                .num("queries", ctx.queries.len() as u64)
+                .finish(),
+        ),
+        Err(QueryInstallError::Invalid(e)) => {
+            Response::json(400, Obj::new().str("error", &e).finish())
+        }
+        Err(QueryInstallError::Io(e)) => Response::json(500, Obj::new().str("error", &e).finish()),
+    }
+}
+
+/// `POST /query?query=NAME[&strategy=nested-loop]`: evaluate an
+/// installed query against the HTML body. Sources ground on the posted
+/// page (wrapper sources against the live registry), the plan joins
+/// them, and each result row reports, per variable, the token position
+/// plus the byte offsets and text it covers — a multi-field record with
+/// provenance. Strategies render byte-identically (canonical relations),
+/// so `?strategy=nested-loop` doubles as the sort-merge oracle check.
+fn handle_query(req: &Request, ctx: &Ctx) -> Response {
+    let installed = || str_array(ctx.queries.names().iter().map(String::as_str));
+    let Some(name) = req.query_param("query") else {
+        return Response::json(
+            400,
+            Obj::new()
+                .str("error", "no query selected: pass ?query=NAME")
+                .raw("queries", &installed())
+                .finish(),
+        );
+    };
+    let Some(def) = ctx.queries.get(name) else {
+        return Response::json(
+            404,
+            Obj::new()
+                .str("error", &format!("unknown query {name:?}"))
+                .raw("queries", &installed())
+                .finish(),
+        );
+    };
+    if req.body.is_empty() {
+        return Response::json(
+            400,
+            Obj::new()
+                .str("error", "empty body: POST the HTML page")
+                .finish(),
+        );
+    }
+    let strategy_name = req.query_param("strategy").unwrap_or("sort-merge");
+    let strategy = match strategy_name {
+        "sort-merge" => JoinStrategy::SortMerge,
+        "nested-loop" => JoinStrategy::NestedLoop,
+        other => {
+            return Response::json(
+                400,
+                Obj::new()
+                    .str(
+                        "error",
+                        &format!("unknown strategy {other:?} (want sort-merge or nested-loop)"),
+                    )
+                    .finish(),
+            )
+        }
+    };
+    let html = req.body_utf8();
+    let started = Instant::now();
+    let (tokens, byte_spans) = tokenize_spanned(&html);
+    let lookup = |n: &str| ctx.registry.get(n);
+    match evaluate_query(&def, &tokens, &lookup, strategy) {
+        Ok(rel) => {
+            ctx.metrics.record_query(name, Some(rel.len() as u64));
+            let mut records = String::from("[");
+            for (i, row) in rel.rows().iter().enumerate() {
+                if i > 0 {
+                    records.push(',');
+                }
+                let mut rec = Obj::new();
+                for (var, span) in rel.vars().iter().zip(row) {
+                    // Token-index span → byte extent on the posted page.
+                    let lo = byte_spans[span.start].0;
+                    let hi = byte_spans[span.end - 1].1;
+                    rec = rec.raw(
+                        var,
+                        &Obj::new()
+                            .num("token", span.start as u64)
+                            .num("start", lo as u64)
+                            .num("end", hi as u64)
+                            .str("text", html[lo..hi].trim())
+                            .finish(),
+                    );
+                }
+                records.push_str(&rec.finish());
+            }
+            records.push(']');
+            Response::json(
+                200,
+                Obj::new()
+                    .str("query", name)
+                    .str("strategy", strategy_name)
+                    .raw("vars", &str_array(rel.vars().iter().map(String::as_str)))
+                    .num("rows", rel.len() as u64)
+                    .raw("records", &records)
+                    .num("tokens", tokens.len() as u64)
+                    .num("eval_us", started.elapsed().as_micros() as u64)
+                    .finish(),
+            )
+        }
+        Err(e) => {
+            ctx.metrics.record_query(name, None);
+            Response::json(
+                422,
+                Obj::new()
+                    .str("query", name)
+                    .str("error", &e.to_string())
+                    .finish(),
+            )
+        }
     }
 }
 

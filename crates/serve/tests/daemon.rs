@@ -544,3 +544,105 @@ fn pipeline_endpoint_streams_tuples_and_feeds_metrics() {
     handle.join();
     std::fs::remove_dir_all(&dir).unwrap();
 }
+
+/// The `records` array of a `/query` response body — the part that must
+/// be byte-identical across join strategies.
+fn records_of(body: &str) -> &str {
+    let at = body.find("\"records\":").expect("records field") + "\"records\":".len();
+    let end = body[at..].find(",\"tokens\"").expect("tokens field");
+    &body[at..at + end]
+}
+
+#[test]
+fn query_endpoint_joins_sources_with_strategy_agreement() {
+    let handle = boot(test_config());
+    let addr = handle.addr();
+
+    // Install the wrapper the query will reference.
+    let (artifact, mut g) = trained_artifact(7);
+    let (status, _) = request(addr, "POST", "/wrappers/search", &artifact);
+    assert_eq!(status, 201);
+
+    // Install a two-source query: the wrapper's candidates joined (by
+    // document order) with an inline expression locating the FORM tag.
+    let def = r#"{
+      "sources": [
+        {"var": "field", "wrapper": "search"},
+        {"var": "form", "alphabet": "FORM /FORM", "expr": "[^FORM]* <FORM> .*"}
+      ],
+      "plan": {
+        "op": "join",
+        "left": {"op": "leaf", "var": "form"},
+        "right": {"op": "leaf", "var": "field"},
+        "preds": [{"pred": "before", "left": "form", "right": "field"}]
+      }
+    }"#;
+    let (status, body) = request(addr, "POST", "/queries/pair", def);
+    assert_eq!(status, 201, "{body}");
+    assert!(body.contains("\"sources\":2"), "{body}");
+    let (status, body) = request(addr, "GET", "/queries", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"pair\""), "{body}");
+
+    // Guard rails: bad definition, missing/unknown query, empty page.
+    let (status, _) = request(addr, "POST", "/queries/broken", "{");
+    assert_eq!(status, 400);
+    let (status, _) = request(addr, "POST", "/query", "<p>x</p>");
+    assert_eq!(status, 400, "no ?query=NAME");
+    let (status, body) = request(addr, "POST", "/query?query=ghost", "<p>x</p>");
+    assert_eq!(status, 404);
+    assert!(body.contains("\"pair\""), "404 should list queries: {body}");
+    let (status, _) = request(addr, "POST", "/query?query=pair", "");
+    assert_eq!(status, 400, "empty body");
+
+    // Evaluate over the wire; the joined record carries both fields with
+    // byte-offset provenance into the posted page.
+    let page = g.page_with_style(PageStyle::Plain);
+    let html = page.html();
+    let (status, body) = request(addr, "POST", "/query?query=pair", &html);
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(json_num(&body, "rows"), Some(1), "{body}");
+    assert!(body.contains("\"strategy\":\"sort-merge\""), "{body}");
+    let records = records_of(&body);
+    assert!(
+        records.contains("\"form\":{") && records.contains("\"field\":{"),
+        "{body}"
+    );
+    // Provenance check: the reported byte spans must slice the posted
+    // HTML back to the tags the spans name.
+    assert!(records.contains("<form"), "{body}");
+    assert!(records.contains("<input"), "{body}");
+
+    // The sort-merge result is byte-identical to the nested-loop oracle.
+    let (status, oracle) = request(
+        addr,
+        "POST",
+        "/query?query=pair&strategy=nested-loop",
+        &html,
+    );
+    assert_eq!(status, 200, "{oracle}");
+    assert_eq!(records, records_of(&oracle), "strategies disagree");
+    let (status, _) = request(addr, "POST", "/query?query=pair&strategy=zigzag", &html);
+    assert_eq!(status, 400, "unknown strategy");
+
+    // A query naming a missing wrapper fails at evaluation, not install.
+    let ghost = r#"{"sources":[{"var":"x","wrapper":"ghost"}],"plan":{"op":"leaf","var":"x"}}"#;
+    let (status, _) = request(addr, "POST", "/queries/orphan", ghost);
+    assert_eq!(status, 201, "wrappers bind at evaluation time");
+    let (status, body) = request(addr, "POST", "/query?query=orphan", &html);
+    assert_eq!(status, 422, "{body}");
+    assert!(body.contains("unknown wrapper"), "{body}");
+
+    // Per-query counters surface in /metrics.
+    let (status, m) = request(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    let pair = m.split("\"pair\":").nth(1).expect("pair counters");
+    assert_eq!(json_num(pair, "evaluations"), Some(2), "{m}");
+    assert_eq!(json_num(pair, "records_emitted"), Some(2), "{m}");
+    let orphan = m.split("\"orphan\":").nth(1).expect("orphan counters");
+    assert_eq!(json_num(orphan, "failures"), Some(1), "{m}");
+
+    let (status, _) = request(addr, "POST", "/shutdown", "");
+    assert_eq!(status, 200);
+    handle.join();
+}

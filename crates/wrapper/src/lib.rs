@@ -23,12 +23,14 @@
 
 pub mod locator;
 pub mod persist;
+pub mod query;
 pub mod report;
 pub mod site;
 pub mod tuple;
 pub mod wrapper;
 
 pub use locator::{LrLocator, TargetLocator};
+pub use query::{evaluate_query, QueryEvalError};
 pub use site::{PageStyle, SiteConfig, SiteGenerator};
 pub use tuple::{MultiTrainPage, TupleWrapper};
 pub use wrapper::{TrainPage, Wrapper, WrapperConfig, WrapperError, WrapperScratch};

@@ -27,10 +27,11 @@
 //! file at the destination path: it writes a hidden temp file in the same
 //! directory, fsyncs it, and atomically renames it into place.
 
+use crate::tuple::TupleWrapper;
 use crate::wrapper::{Wrapper, WrapperError};
 use rextract_automata::Alphabet;
 use rextract_extraction::extract::Extractor;
-use rextract_extraction::ExtractionExpr;
+use rextract_extraction::{ExtractionExpr, MultiExtractionExpr};
 use rextract_faults::fail_point;
 use rextract_html::seq::SeqConfig;
 use std::fmt;
@@ -164,128 +165,166 @@ fn split_checksum(text: &str) -> Result<(&str, u64), PersistError> {
     Err(PersistError::Truncated)
 }
 
+/// Artifact kind tags — the word after `rextract-` in the header line.
+/// Single-target and tuple wrappers share the body format; the header
+/// keeps a registry scan from compiling a tuple expression as a
+/// single-marker one (or vice versa).
+const KIND_SINGLE: &str = "wrapper";
+const KIND_TUPLE: &str = "tuple-wrapper";
+
+/// The shared body sections of both artifact kinds, parsed but not yet
+/// compiled (the expression text is interpreted per kind).
+struct ArtifactBody {
+    seq: SeqConfig,
+    alphabet: Alphabet,
+    maximized: bool,
+    expr_text: String,
+}
+
+/// Render the shared artifact layout: header, sections, checksum trailer.
+fn render_artifact(
+    kind: &str,
+    cfg: &SeqConfig,
+    alphabet: &Alphabet,
+    maximized: bool,
+    expr_text: &str,
+) -> String {
+    let mut out = format!("rextract-{kind} v{FORMAT_VERSION}\n");
+    out.push_str(&format!(
+        "seq include_text={} include_end_tags={}\n",
+        cfg.include_text, cfg.include_end_tags
+    ));
+    for (tag, attr) in &cfg.refine_attrs {
+        out.push_str(&format!("refine {tag} {attr}\n"));
+    }
+    let names: Vec<&str> = alphabet.symbols().map(|s| alphabet.name(s)).collect();
+    out.push_str("alphabet ");
+    out.push_str(&names.join(" "));
+    out.push('\n');
+    out.push_str(&format!("maximized {maximized}\n"));
+    out.push_str("expr ");
+    out.push_str(expr_text);
+    out.push('\n');
+    let sum = fnv1a_64(out.as_bytes());
+    out.push_str(&format!("checksum fnv1a {sum:016x}\n"));
+    out
+}
+
+/// Validate header + checksum and parse the shared sections.
+///
+/// The checksum trailer is verified before any section is parsed, so an
+/// artifact cut short at *any* byte offset reports
+/// [`PersistError::Truncated`] (or `BadHeader` if the cut falls inside the
+/// first line) rather than importing a silently different wrapper.
+fn parse_artifact(text: &str, kind: &str) -> Result<ArtifactBody, PersistError> {
+    // Header first: version diagnosis beats checksum diagnosis, so a
+    // stale v1 artifact reports VersionMismatch, not Truncated.
+    let header_end = text.find('\n').unwrap_or(text.len());
+    let header = text[..header_end].trim();
+    let prefix = format!("rextract-{kind} v");
+    match header.strip_prefix(&prefix) {
+        Some(v) => {
+            let found: u32 = v.trim().parse().map_err(|_| PersistError::BadHeader)?;
+            if found != FORMAT_VERSION {
+                return Err(PersistError::VersionMismatch { found });
+            }
+        }
+        None => return Err(PersistError::BadHeader),
+    }
+    let (covered, stored) = split_checksum(text)?;
+    let found = fnv1a_64(covered.as_bytes());
+    if found != stored {
+        return Err(PersistError::Corrupt {
+            expected: stored,
+            found,
+        });
+    }
+    let mut lines = covered.lines();
+    lines.next(); // header, validated above
+    let mut seq: Option<SeqConfig> = None;
+    let mut refines: Vec<(String, String)> = Vec::new();
+    let mut alphabet: Option<Alphabet> = None;
+    let mut expr_text: Option<String> = None;
+    let mut maximized = false;
+    for line in lines {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (tag, rest) = line.split_once(' ').unwrap_or((line, ""));
+        match tag {
+            "seq" => {
+                let mut include_text = None;
+                let mut include_end_tags = None;
+                for kv in rest.split_whitespace() {
+                    match kv.split_once('=') {
+                        Some(("include_text", v)) => include_text = v.parse().ok(),
+                        Some(("include_end_tags", v)) => include_end_tags = v.parse().ok(),
+                        _ => return Err(PersistError::BadSection("seq")),
+                    }
+                }
+                seq = Some(SeqConfig {
+                    include_text: include_text.ok_or(PersistError::BadSection("seq"))?,
+                    include_end_tags: include_end_tags.ok_or(PersistError::BadSection("seq"))?,
+                    refine_attrs: Vec::new(),
+                });
+            }
+            "refine" => {
+                let mut it = rest.split_whitespace();
+                match (it.next(), it.next()) {
+                    (Some(t), Some(a)) => refines.push((t.to_string(), a.to_string())),
+                    _ => return Err(PersistError::BadSection("refine")),
+                }
+            }
+            "alphabet" => {
+                alphabet = Some(Alphabet::new(rest.split_whitespace().map(String::from)));
+            }
+            "maximized" => {
+                maximized = rest
+                    .trim()
+                    .parse()
+                    .map_err(|_| PersistError::BadSection("maximized"))?;
+            }
+            "expr" => expr_text = Some(rest.to_string()),
+            _ => return Err(PersistError::BadSection("unknown")),
+        }
+    }
+    let mut seq = seq.ok_or(PersistError::BadSection("seq"))?;
+    seq.refine_attrs = refines;
+    Ok(ArtifactBody {
+        seq,
+        alphabet: alphabet.ok_or(PersistError::BadSection("alphabet"))?,
+        maximized,
+        expr_text: expr_text.ok_or(PersistError::BadSection("expr"))?,
+    })
+}
+
 impl Wrapper {
     /// Serialize to the current text format (see [`FORMAT_VERSION`]).
     pub fn export(&self) -> String {
-        let mut out = format!("rextract-wrapper v{FORMAT_VERSION}\n");
-        let cfg = self.seq_config();
-        out.push_str(&format!(
-            "seq include_text={} include_end_tags={}\n",
-            cfg.include_text, cfg.include_end_tags
-        ));
-        for (tag, attr) in &cfg.refine_attrs {
-            out.push_str(&format!("refine {tag} {attr}\n"));
-        }
-        let names: Vec<&str> = self
-            .alphabet()
-            .symbols()
-            .map(|s| self.alphabet().name(s))
-            .collect();
-        out.push_str("alphabet ");
-        out.push_str(&names.join(" "));
-        out.push('\n');
-        out.push_str(&format!("maximized {}\n", self.is_maximized()));
-        out.push_str("expr ");
-        out.push_str(&self.expr().to_text());
-        out.push('\n');
-        let sum = fnv1a_64(out.as_bytes());
-        out.push_str(&format!("checksum fnv1a {sum:016x}\n"));
-        out
+        render_artifact(
+            KIND_SINGLE,
+            self.seq_config(),
+            self.alphabet(),
+            self.is_maximized(),
+            &self.expr().to_text(),
+        )
     }
 
     /// Deserialize from the v2 text format. The resulting wrapper skips
-    /// retraining entirely (the stored expression is recompiled).
-    ///
-    /// The checksum trailer is verified before any section is parsed, so
-    /// an artifact cut short at *any* byte offset reports
-    /// [`PersistError::Truncated`] (or `BadHeader` if the cut falls inside
-    /// the first line) rather than importing a silently different wrapper.
+    /// retraining entirely (the stored expression is recompiled). See
+    /// [`parse_artifact`] for the torn-write guarantees.
     pub fn import(text: &str) -> Result<Wrapper, PersistError> {
-        // Header first: version diagnosis beats checksum diagnosis, so a
-        // stale v1 artifact reports VersionMismatch, not Truncated.
-        let header_end = text.find('\n').unwrap_or(text.len());
-        let header = text[..header_end].trim();
-        match header.strip_prefix("rextract-wrapper v") {
-            Some(v) => {
-                let found: u32 = v.trim().parse().map_err(|_| PersistError::BadHeader)?;
-                if found != FORMAT_VERSION {
-                    return Err(PersistError::VersionMismatch { found });
-                }
-            }
-            None => return Err(PersistError::BadHeader),
-        }
-        let (covered, stored) = split_checksum(text)?;
-        let found = fnv1a_64(covered.as_bytes());
-        if found != stored {
-            return Err(PersistError::Corrupt {
-                expected: stored,
-                found,
-            });
-        }
-        let mut lines = covered.lines();
-        lines.next(); // header, validated above
-        let mut seq: Option<SeqConfig> = None;
-        let mut refines: Vec<(String, String)> = Vec::new();
-        let mut alphabet: Option<Alphabet> = None;
-        let mut expr_text: Option<String> = None;
-        let mut maximized = false;
-        for line in lines {
-            let line = line.trim();
-            if line.is_empty() {
-                continue;
-            }
-            let (tag, rest) = line.split_once(' ').unwrap_or((line, ""));
-            match tag {
-                "seq" => {
-                    let mut include_text = None;
-                    let mut include_end_tags = None;
-                    for kv in rest.split_whitespace() {
-                        match kv.split_once('=') {
-                            Some(("include_text", v)) => include_text = v.parse().ok(),
-                            Some(("include_end_tags", v)) => include_end_tags = v.parse().ok(),
-                            _ => return Err(PersistError::BadSection("seq")),
-                        }
-                    }
-                    seq = Some(SeqConfig {
-                        include_text: include_text.ok_or(PersistError::BadSection("seq"))?,
-                        include_end_tags: include_end_tags
-                            .ok_or(PersistError::BadSection("seq"))?,
-                        refine_attrs: Vec::new(),
-                    });
-                }
-                "refine" => {
-                    let mut it = rest.split_whitespace();
-                    match (it.next(), it.next()) {
-                        (Some(t), Some(a)) => refines.push((t.to_string(), a.to_string())),
-                        _ => return Err(PersistError::BadSection("refine")),
-                    }
-                }
-                "alphabet" => {
-                    alphabet = Some(Alphabet::new(rest.split_whitespace().map(String::from)));
-                }
-                "maximized" => {
-                    maximized = rest
-                        .trim()
-                        .parse()
-                        .map_err(|_| PersistError::BadSection("maximized"))?;
-                }
-                "expr" => expr_text = Some(rest.to_string()),
-                _ => return Err(PersistError::BadSection("unknown")),
-            }
-        }
-        let mut seq = seq.ok_or(PersistError::BadSection("seq"))?;
-        seq.refine_attrs = refines;
-        let alphabet = alphabet.ok_or(PersistError::BadSection("alphabet"))?;
-        let expr_text = expr_text.ok_or(PersistError::BadSection("expr"))?;
-        let expr = ExtractionExpr::parse(&alphabet, &expr_text)
+        let body = parse_artifact(text, KIND_SINGLE)?;
+        let expr = ExtractionExpr::parse(&body.alphabet, &body.expr_text)
             .map_err(|e| PersistError::Expr(e.to_string()))?;
         let extractor = Extractor::compile(&expr);
         Ok(Wrapper::from_parts(
-            alphabet,
+            body.alphabet,
             expr,
             extractor,
-            seq,
-            maximized,
+            body.seq,
+            body.maximized,
             FORMAT_VERSION,
         ))
     }
@@ -300,6 +339,51 @@ impl Wrapper {
     pub fn load(path: &Path) -> Result<Wrapper, LoadError> {
         let text = std::fs::read_to_string(path).map_err(LoadError::Io)?;
         Wrapper::import(&text).map_err(LoadError::Persist)
+    }
+}
+
+impl TupleWrapper {
+    /// Serialize to the tuple-wrapper text format: the same v2 layout as
+    /// [`Wrapper::export`] with an `rextract-tuple-wrapper` header and a
+    /// multi-marker `expr` line, so the two kinds can never be confused
+    /// by a directory scan.
+    pub fn export(&self) -> String {
+        render_artifact(
+            KIND_TUPLE,
+            self.seq_config(),
+            self.alphabet(),
+            self.is_maximized(),
+            &self.expr().to_text(),
+        )
+    }
+
+    /// Deserialize a tuple-wrapper artifact (the stored multi-marker
+    /// expression is recompiled; training is bypassed). Same torn-write
+    /// guarantees as [`Wrapper::import`].
+    pub fn import(text: &str) -> Result<TupleWrapper, PersistError> {
+        let body = parse_artifact(text, KIND_TUPLE)?;
+        let expr = MultiExtractionExpr::parse(&body.alphabet, &body.expr_text)
+            .map_err(|e| PersistError::Expr(e.to_string()))?;
+        let extractor = expr.compile();
+        Ok(TupleWrapper::from_parts(
+            body.alphabet,
+            expr,
+            extractor,
+            body.seq,
+            body.maximized,
+        ))
+    }
+
+    /// Atomically persist the exported artifact at `path` via
+    /// [`save_artifact`].
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        save_artifact(path, &self.export())
+    }
+
+    /// Read and import a tuple-wrapper artifact from `path`.
+    pub fn load(path: &Path) -> Result<TupleWrapper, LoadError> {
+        let text = std::fs::read_to_string(path).map_err(LoadError::Io)?;
+        TupleWrapper::import(&text).map_err(LoadError::Persist)
     }
 }
 
@@ -602,6 +686,62 @@ mod tests {
             w.extract_target(&p.tokens).ok(),
             w2.extract_target(&p.tokens).ok()
         );
+    }
+
+    #[test]
+    fn tuple_wrapper_round_trips_and_kinds_do_not_cross() {
+        use crate::tuple::{MultiTrainPage, TupleWrapper};
+        let mut g = SiteGenerator::new(SiteConfig {
+            seed: 23,
+            ..SiteConfig::default()
+        });
+        let multi = |p: &crate::site::Page| {
+            let form = p
+                .tokens
+                .iter()
+                .position(|t| t.tag_name() == Some("FORM"))
+                .unwrap();
+            MultiTrainPage {
+                tokens: p.tokens.clone(),
+                targets: vec![form, p.target],
+            }
+        };
+        let pages = vec![
+            multi(&g.page_with_style(PageStyle::Plain)),
+            multi(&g.page_with_style(PageStyle::TableEmbedded)),
+        ];
+        let tw = TupleWrapper::train(&pages, WrapperConfig::default()).unwrap();
+        let artifact = tw.export();
+        assert!(artifact.starts_with("rextract-tuple-wrapper v2\n"));
+        let tw2 = TupleWrapper::import(&artifact).expect("import succeeds");
+        assert_eq!(tw2.arity(), 2);
+        assert_eq!(tw2.is_maximized(), tw.is_maximized());
+        for p in &pages {
+            assert_eq!(
+                tw.extract_targets(&p.tokens).ok(),
+                tw2.extract_targets(&p.tokens).ok()
+            );
+        }
+        // A tuple artifact is not a single-target artifact and vice versa.
+        assert_eq!(
+            Wrapper::import(&artifact).unwrap_err(),
+            PersistError::BadHeader
+        );
+        let (single, _) = trained();
+        assert_eq!(
+            TupleWrapper::import(&single.export()).unwrap_err(),
+            PersistError::BadHeader
+        );
+        // Save/load through the atomic writer.
+        let dir = scratch_dir("tuple");
+        let path = dir.join("record.tuple-wrapper");
+        tw.save(&path).unwrap();
+        let tw3 = TupleWrapper::load(&path).unwrap();
+        assert_eq!(
+            tw.extract_targets(&pages[0].tokens).ok(),
+            tw3.extract_targets(&pages[0].tokens).ok()
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -12,7 +12,7 @@ use crate::wrapper::{
     abstract_page_into, TrainPage, WrapperConfig, WrapperError, WrapperScratch, OTHER,
 };
 use rextract_automata::Alphabet;
-use rextract_extraction::{MultiExtractionExpr, MultiExtractor};
+use rextract_extraction::{MultiExtractionExpr, MultiExtractor, Span, SpanRelation};
 use rextract_html::seq::{to_names, SeqConfig, Vocabulary};
 use rextract_html::token::Token;
 use rextract_learn::multi_merge::{merge_multi, MultiMarkedSeq};
@@ -94,9 +94,42 @@ impl TupleWrapper {
         })
     }
 
+    /// Assemble a tuple wrapper from pre-built parts (the import path of
+    /// [`crate::persist`]; training is bypassed entirely).
+    pub(crate) fn from_parts(
+        alphabet: Alphabet,
+        expr: MultiExtractionExpr,
+        extractor: MultiExtractor,
+        seq_cfg: SeqConfig,
+        maximized: bool,
+    ) -> TupleWrapper {
+        TupleWrapper {
+            alphabet,
+            expr,
+            extractor,
+            seq_cfg,
+            maximized,
+        }
+    }
+
     /// The learned multi-marker expression.
     pub fn expr(&self) -> &MultiExtractionExpr {
         &self.expr
+    }
+
+    /// The training alphabet (includes `#other`).
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    /// The abstraction configuration this wrapper applies to pages.
+    pub fn seq_config(&self) -> &SeqConfig {
+        &self.seq_cfg
+    }
+
+    /// Number of markers `k` (fields per record).
+    pub fn arity(&self) -> usize {
+        self.expr.arity()
     }
 
     /// Whether componentwise maximization succeeded.
@@ -127,6 +160,28 @@ impl TupleWrapper {
     /// [`TupleWrapper::extract_targets_with`].
     pub fn extract_targets(&self, tokens: &[Token]) -> Result<Vec<usize>, WrapperError> {
         self.extract_targets_with(tokens, &mut WrapperScratch::new())
+    }
+
+    /// Extract the tuple as a single-row [`SpanRelation`] binding `vars`
+    /// (one per marker, in marker order) in **token-index** space — the
+    /// tuple wrapper's entry into the span-relational algebra.
+    pub fn span_relation_with(
+        &self,
+        vars: impl IntoIterator<Item = impl Into<String>>,
+        tokens: &[Token],
+        scratch: &mut WrapperScratch,
+    ) -> Result<SpanRelation, WrapperError> {
+        let mut rel = SpanRelation::empty(vars);
+        assert_eq!(
+            rel.arity(),
+            self.arity(),
+            "need one variable per marker ({} markers, {} variables)",
+            self.arity(),
+            rel.arity()
+        );
+        let positions = self.extract_targets_with(tokens, scratch)?;
+        rel.insert(positions.into_iter().map(Span::unit).collect());
+        Ok(rel)
     }
 }
 
@@ -255,6 +310,28 @@ mod tests {
         let tw = TupleWrapper::train(&multis, WrapperConfig::default()).unwrap();
         for p in [&p1, &p2] {
             assert_eq!(tw.extract_targets(&p.tokens).unwrap(), vec![p.target]);
+        }
+    }
+
+    #[test]
+    fn span_relation_is_the_tuple_as_one_row() {
+        use rextract_extraction::Span;
+        let mut g = gen(5);
+        let pages = vec![
+            multi_page(&g.page_with_style(PageStyle::Plain)),
+            multi_page(&g.page_with_style(PageStyle::TableEmbedded)),
+        ];
+        let w = TupleWrapper::train(&pages, WrapperConfig::default()).unwrap();
+        let mut scratch = WrapperScratch::new();
+        for p in &pages {
+            let rel = w
+                .span_relation_with(["form", "field"], &p.tokens, &mut scratch)
+                .unwrap();
+            assert_eq!(rel.vars(), ["form".to_string(), "field".to_string()]);
+            assert_eq!(
+                rel.rows(),
+                [p.targets.iter().map(|&t| Span::unit(t)).collect::<Vec<_>>()]
+            );
         }
     }
 

@@ -15,7 +15,7 @@
 use crate::site::Page;
 use rextract_automata::{Alphabet, Store, StoreStats, Symbol};
 use rextract_extraction::extract::{ExtractFailure, ExtractScratch, Extractor};
-use rextract_extraction::{ExtractionError, ExtractionExpr};
+use rextract_extraction::{ExtractionError, ExtractionExpr, Span, SpanRelation};
 use rextract_html::seq::{SeqConfig, Vocabulary};
 use rextract_html::token::Token;
 use rextract_learn::disambiguate::learn_unambiguous;
@@ -273,6 +273,29 @@ impl Wrapper {
     /// [`Wrapper::extract_target_with`].
     pub fn extract_target(&self, tokens: &[Token]) -> Result<usize, WrapperError> {
         self.extract_target_with(tokens, &mut WrapperScratch::new())
+    }
+
+    /// All candidate target positions on a page as a unary
+    /// [`SpanRelation`] binding `var`, in **token-index** space (unit
+    /// spans mapped through the abstraction's back-map).
+    ///
+    /// This is the wrapper's entry into the span-relational algebra:
+    /// unlike [`Wrapper::extract_target_with`] it does not demand
+    /// uniqueness — zero candidates yield an empty relation and several
+    /// candidates several rows — because a query join is itself the
+    /// disambiguating step (Freydenberger–Kimelfeld–Peterfreund's
+    /// reading, where each expression is a span extractor whose results
+    /// compose relationally).
+    pub fn span_relation_with(
+        &self,
+        var: impl Into<String>,
+        tokens: &[Token],
+        scratch: &mut WrapperScratch,
+    ) -> SpanRelation {
+        abstract_page_into(&self.alphabet, &self.seq_cfg, tokens, scratch);
+        let (word, back, extract, _) = scratch.tuple_parts();
+        let spans = self.extractor.spans_into(word, extract);
+        SpanRelation::unary(var, spans.iter().map(|s| Span::unit(back[s.start])))
     }
 }
 
@@ -745,6 +768,28 @@ mod tests {
             assert_eq!((scratch.word.clone(), scratch.back.clone()), want);
             assert_eq!(abstract_page_with(&alphabet, cfg, &tokens), want);
         }
+    }
+
+    #[test]
+    fn span_relation_reports_all_candidates_in_token_space() {
+        let pages = train_pages(19);
+        let w = Wrapper::train(&pages, WrapperConfig::default()).unwrap();
+        let mut scratch = WrapperScratch::new();
+        for p in &pages {
+            let rel = w.span_relation_with("target", &p.tokens, &mut scratch);
+            assert_eq!(rel.vars(), ["target".to_string()]);
+            // The unique-extraction path and the relation must agree:
+            // exactly one candidate, at the target's token index.
+            assert_eq!(
+                rel.rows(),
+                [vec![rextract_extraction::Span::unit(p.target)]]
+            );
+        }
+        // A page the wrapper cannot parse yields an empty relation, not
+        // an error.
+        let junk = rextract_html::tokenizer::tokenize("<blink>nothing</blink>");
+        let rel = w.span_relation_with("target", &junk, &mut scratch);
+        assert!(rel.is_empty());
     }
 
     #[test]

@@ -44,6 +44,9 @@ scripts/serve_smoke.sh
 echo "== pipeline smoke test =="
 scripts/pipeline_smoke.sh
 
+echo "== query smoke test =="
+scripts/query_smoke.sh
+
 echo "== chaos smoke test =="
 scripts/chaos_smoke.sh
 
