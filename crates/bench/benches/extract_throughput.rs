@@ -15,19 +15,26 @@
 //! * the one-shot compile cost, so compile-once/extract-many stays
 //!   visible.
 //!
+//! Experiment E13 rides in the same binary ([`bench_scan_modes`]): the
+//! fused scan under both classification kernels versus the one-pass
+//! product sweep versus the two-pass baseline, on a 10⁵…10⁷-token sweep
+//! with absolute tokens/sec, bytes/sec, and per-token cycle-budget
+//! columns.
+//!
 //! Every benched document is first cross-checked: dense and two-pass
 //! positions must agree (and match the quadratic naive engine on small
 //! documents). `EXTRACT_BENCH_FAST=1` trims the sweep to make that
 //! agreement check a cheap CI smoke (`scripts/check.sh`).
 
-use bench::{alphabet_of, anchored_document, anchored_expr};
+use bench::{alphabet_of, anchored_document, anchored_expr, print_table};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rextract_automata::{Regex, Symbol};
 use rextract_extraction::{
-    ExtractScratch, ExtractionExpr, Extractor, JoinStrategy, NaiveExtractor, SpanRelation,
-    TwoPassExtractor,
+    CompileOptions, ExtractScratch, ExtractionExpr, Extractor, JoinStrategy, ModeChoice,
+    NaiveExtractor, SpanRelation, TwoPassExtractor,
 };
 use std::hint::black_box;
+use std::time::{Duration, Instant};
 
 fn fast_mode() -> bool {
     std::env::var("EXTRACT_BENCH_FAST").is_ok_and(|v| v == "1")
@@ -65,7 +72,7 @@ fn bench_throughput(c: &mut Criterion) {
     let lens: &[usize] = if fast_mode() {
         &[100, 10_000, 100_000]
     } else {
-        &[100, 1_000, 10_000, 100_000, 1_000_000]
+        &[100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000]
     };
     let mut group = c.benchmark_group("extract/throughput");
     for &len in lens {
@@ -293,6 +300,175 @@ fn bench_alphabet_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+/// Rough effective clock estimate for the cycle-budget column: six
+/// dependent ~1-cycle ops per iteration (an xorshift64 step) form a
+/// chain the compiler cannot fold across iterations, so wall time
+/// ≈ 6·iters cycles. Good to maybe ±15% on a shared vCPU — it backs an
+/// order-of-magnitude *estimate*, not a perf-counter reading.
+fn estimate_ghz() -> f64 {
+    let iters: u64 = if fast_mode() { 5_000_000 } else { 50_000_000 };
+    let mut x = 0x9E37_79B9_7F4A_7C15u64;
+    let t = Instant::now();
+    for _ in 0..iters {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+    }
+    let ns = t.elapsed().as_nanos().max(1) as f64;
+    black_box(x);
+    6.0 * iters as f64 / ns
+}
+
+/// Mean ns/token over whole-document scans: one untimed warm-up, then
+/// repeat until the budget is spent (≥3 reps so one scheduler hiccup
+/// cannot own the row).
+fn time_scan(tokens: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let budget = Duration::from_millis(if fast_mode() { 40 } else { 250 });
+    let mut reps = 0u32;
+    let t = Instant::now();
+    while t.elapsed() < budget || reps < 3 {
+        f();
+        reps += 1;
+    }
+    t.elapsed().as_nanos() as f64 / f64::from(reps) / tokens as f64
+}
+
+/// Experiment E13 — scan modes and classifier kernels, with absolute
+/// throughput columns.
+///
+/// The criterion stand-in reports only ns/iter, so this experiment times
+/// manually and prints a table: ns/token, tokens/sec, bytes/sec (4-byte
+/// symbols), and an estimated per-token cycle budget (ns/token × the
+/// [`estimate_ghz`] calibration). Engines compared on the same documents:
+///
+/// * `fused-scalar` — two-pass fused scan, scalar classification (the
+///   always-compiled oracle configuration),
+/// * `fused-auto` — fused scan with the best available kernel (the SSSE3
+///   shuffle kernel under `--features simd`, else identical to scalar;
+///   the printed header names which one was selected),
+/// * `product` — the one-pass product sweep,
+/// * `two-pass` — the previous-generation engine as the baseline.
+///
+/// Every engine is cross-checked against the two-pass ground truth on
+/// every document BEFORE timing. Two workloads: the standard anchored
+/// expression (single match, E2 = Σ* so the product is small — the shape
+/// product mode is selected for), and a dense-match expression where
+/// every other position is a valid split (worst case for the product
+/// sweep's bucket arena and the fused scan's backward pass alike).
+fn bench_scan_modes(_c: &mut Criterion) {
+    let alphabet = alphabet_of(16);
+    let opts = |mode: ModeChoice, force_scalar_classify: bool| CompileOptions {
+        mode,
+        force_scalar_classify,
+        ..CompileOptions::default()
+    };
+
+    let anchored = anchored_expr(&alphabet, 4);
+    let p = alphabet.sym("p");
+    let dense_match = follows_expr(&alphabet, &["t0", "t1"]);
+    let noise: Vec<Symbol> = alphabet.symbols().filter(|&s| s != p).collect();
+
+    let lens: &[usize] = if fast_mode() {
+        &[10_000]
+    } else {
+        &[100_000, 1_000_000, 10_000_000]
+    };
+    let ghz = estimate_ghz();
+    let mut rows: Vec<Vec<String>> = Vec::new();
+
+    for (workload, expr) in [("anchored", &anchored), ("dense-match", &dense_match)] {
+        let fused_scalar = Extractor::compile_with(expr, &opts(ModeChoice::Fused, true));
+        let fused_auto = Extractor::compile_with(expr, &opts(ModeChoice::Fused, false));
+        let product = Extractor::compile_with(expr, &opts(ModeChoice::Product, false));
+        let two_pass = TwoPassExtractor::compile(expr);
+        eprintln!(
+            "extract/scan-modes: {workload}: auto kernel = {}, product size = {:?}",
+            fused_auto.engine_info().classifier,
+            product.engine_info().product_states,
+        );
+        for &len in lens {
+            let doc: Vec<Symbol> = if workload == "anchored" {
+                anchored_document(&alphabet, 4, len / 6, 42)
+            } else {
+                // Alternate noise and markers: ~half the positions split.
+                let mut state = 42u64;
+                let mut next = move || {
+                    state ^= state >> 12;
+                    state ^= state << 25;
+                    state ^= state >> 27;
+                    state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+                };
+                let mut d = Vec::with_capacity(len);
+                while d.len() + 2 <= len {
+                    d.push(noise[(next() % noise.len() as u64) as usize]);
+                    d.push(p);
+                }
+                d
+            };
+            // Ground truth BEFORE timing: a fast wrong engine would
+            // otherwise win every row.
+            let want = two_pass.positions(&doc);
+            let mut scratch = ExtractScratch::new();
+            for (name, x) in [
+                ("fused-scalar", &fused_scalar),
+                ("fused-auto", &fused_auto),
+                ("product", &product),
+            ] {
+                assert_eq!(
+                    x.positions_into(&doc, &mut scratch),
+                    want.as_slice(),
+                    "{name} disagrees with ground truth on {workload}/{len}"
+                );
+            }
+            let n = doc.len();
+            let mut push_row = |name: &str, ns_per_tok: f64| {
+                let toks_per_s = 1e9 / ns_per_tok;
+                rows.push(vec![
+                    format!("{workload}/{name}"),
+                    format!("{n}"),
+                    format!("{ns_per_tok:.3}"),
+                    format!("{:.1}", toks_per_s / 1e6),
+                    format!(
+                        "{:.1}",
+                        toks_per_s * std::mem::size_of::<Symbol>() as f64 / 1e6
+                    ),
+                    format!("{:.1}", ns_per_tok * ghz),
+                ]);
+            };
+            push_row(
+                "fused-scalar",
+                time_scan(n, || {
+                    black_box(fused_scalar.positions_into(&doc, &mut scratch));
+                }),
+            );
+            push_row(
+                "fused-auto",
+                time_scan(n, || {
+                    black_box(fused_auto.positions_into(&doc, &mut scratch));
+                }),
+            );
+            push_row(
+                "product",
+                time_scan(n, || {
+                    black_box(product.positions_into(&doc, &mut scratch));
+                }),
+            );
+            push_row(
+                "two-pass",
+                time_scan(n, || {
+                    black_box(two_pass.positions(&doc));
+                }),
+            );
+        }
+    }
+    print_table(
+        &format!("E13: scan modes + kernels (est clock {ghz:.2} GHz, budget column ≈ ns/tok × clock — an estimate, not a counter reading)"),
+        &["engine", "tokens", "ns/tok", "Mtok/s", "MB/s", "≈cyc/tok"],
+        &rows,
+    );
+}
+
 criterion_group!(
     benches,
     bench_throughput,
@@ -301,6 +477,7 @@ criterion_group!(
     bench_join,
     bench_linear_vs_naive_baseline,
     bench_compile_vs_extract,
-    bench_alphabet_scaling
+    bench_alphabet_scaling,
+    bench_scan_modes
 );
 criterion_main!(benches);

@@ -8,6 +8,35 @@ use rextract_html::seq::{to_names, SeqConfig, Vocabulary};
 use rextract_html::tokenizer::tokenize as html_tokenize;
 use rextract_learn::merge::merge_samples;
 use rextract_learn::MarkedSeq;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Set by `main` when `--stats` is passed: commands that compile an
+/// extraction engine also print its configuration (scan mode, product
+/// size, classification kernel) to stderr.
+static SHOW_STATS: AtomicBool = AtomicBool::new(false);
+
+/// Record whether `--stats` was requested (called once by `main`).
+pub fn set_show_stats(on: bool) {
+    SHOW_STATS.store(on, Ordering::Relaxed);
+}
+
+/// `--stats` line for a compiled engine: `rextract: engine mode=product
+/// product_states=6 classifier=scalar classes=3`.
+fn eprint_engine_info(info: rextract_extraction::EngineInfo) {
+    if !SHOW_STATS.load(Ordering::Relaxed) {
+        return;
+    }
+    let product = match info.product_states {
+        Some(states) => format!(" product_states={states}"),
+        None => String::new(),
+    };
+    eprintln!(
+        "rextract: engine mode={}{product} classifier={} classes={}",
+        info.mode.name(),
+        info.classifier,
+        info.num_classes,
+    );
+}
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -200,6 +229,7 @@ pub fn extract(args: &[String]) -> Result<(), String> {
         .str_to_syms(doc_text)
         .map_err(|bad| format!("unknown document symbol {bad:?}"))?;
     let extractor = Extractor::compile(&expr);
+    eprint_engine_info(extractor.engine_info());
     match extractor.extract_with(&doc, &mut ExtractScratch::new()) {
         Ok(hit) => {
             println!("{}", hit.position);
@@ -336,6 +366,7 @@ pub fn wrapper_extract(args: &[String]) -> Result<(), String> {
     let artifact = std::fs::read_to_string(wrapper_path)
         .map_err(|e| format!("reading {wrapper_path}: {e}"))?;
     let wrapper = Wrapper::import(&artifact).map_err(|e| e.to_string())?;
+    eprint_engine_info(wrapper.engine_info());
     let html =
         std::fs::read_to_string(page_path).map_err(|e| format!("reading {page_path}: {e}"))?;
     let tokens = html_tokenize(&html);
@@ -477,7 +508,7 @@ pub fn query(args: &[String]) -> Result<(), String> {
     use rextract_corpus::sink::{error_line, query_line};
     use rextract_extraction::{JoinStrategy, QueryDef};
     use rextract_serve::Registry;
-    use rextract_wrapper::evaluate_query;
+    use rextract_wrapper::{evaluate_query_with, WrapperScratch};
     use std::io::Write;
 
     let mut wrapper_dir: Option<String> = None;
@@ -546,6 +577,9 @@ pub fn query(args: &[String]) -> Result<(), String> {
         None => Box::new(std::io::BufWriter::new(std::io::stdout())),
     };
     let (mut records, mut failures) = (0usize, 0usize);
+    // One scratch across the whole page set: buffers and the tag memo
+    // warm up on the first page and stay off the allocator after.
+    let mut scratch = WrapperScratch::new();
     for &path in page_paths {
         // A bad page yields an inline error line, never a silent drop —
         // the pipeline's contract, kept for ad-hoc query runs.
@@ -559,7 +593,7 @@ pub fn query(args: &[String]) -> Result<(), String> {
             }
         };
         let (tokens, spans) = rextract_html::tokenize_spanned(&html);
-        match evaluate_query(&def, &tokens, &lookup, strategy) {
+        match evaluate_query_with(&def, &tokens, &lookup, strategy, &mut scratch) {
             Ok(rel) => {
                 let vars: Vec<&str> = rel.vars().iter().map(String::as_str).collect();
                 for row in rel.rows() {

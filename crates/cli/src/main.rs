@@ -29,6 +29,7 @@ fn main() -> ExitCode {
         args.retain(|a| a != "--stats");
         args.len() != before
     };
+    commands::set_show_stats(show_stats);
     let (cmd, rest) = match args.split_first() {
         Some((c, r)) => (c.as_str(), r),
         None => ("help", &[][..]),

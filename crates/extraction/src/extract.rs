@@ -21,6 +21,9 @@
 //! * both DFAs are compiled against one **joint symbol-class partition**,
 //!   so the document is classified once and each scan step is a single
 //!   premultiplied table load;
+//! * classification runs through a chunked [`DenseClassifier`] — a
+//!   vectorized shuffle kernel when compiled with the `simd` feature on a
+//!   capable CPU, the scalar oracle kernel otherwise;
 //! * the reversed-`E2` DFA is **minimized** (subset construction alone
 //!   can leave it far larger than necessary);
 //! * `prefix_ok` is a `u64` bitset, and the forward pass short-circuits
@@ -31,6 +34,21 @@
 //!   allocations** (property-tested with a counting allocator in
 //!   `tests/zero_alloc.rs`).
 //!
+//! ## Scan modes
+//!
+//! The fused scan above is the general engine. When the `E1 × E2`
+//! product automaton is small — the common case for hand-written wrapper
+//! expressions — [`Extractor::compile`] instead selects **product mode**
+//! ([`ScanMode::Product`]): a single forward sweep that runs `E1` and,
+//! for every surviving candidate split, the *forward* `E2` DFA over the
+//! candidate's suffix, grouping candidates into per-state buckets with
+//! O(1) linked-list merging. One pass over the document, no backward
+//! pass, no `prefix_ok` bitset, no classified-document buffer — and the
+//! same zero-steady-state-allocation contract. Mode selection is a
+//! compile-time probe ([`Dfa::product_reachable_size`]) against a cutoff
+//! ([`CompileOptions`], `REXTRACT_PRODUCT_CUTOFF`); either mode can be
+//! forced for benches and differential tests.
+//!
 //! [`TwoPassExtractor`] preserves the previous generation of the engine
 //! (per-call `Vec<bool>` flags, raw subset-construction reversed DFA,
 //! generic `Dfa::next` stepping) as the ablation baseline for the
@@ -38,10 +56,14 @@
 
 use crate::expr::ExtractionExpr;
 use crate::span::Span;
+use rextract_automata::dfa::classify::DenseClassifier;
 use rextract_automata::dfa::dense::{DenseDfa, SymbolClasses};
 use rextract_automata::dfa::Dfa;
 use rextract_automata::nfa::Nfa;
 use rextract_automata::Symbol;
+
+/// Sentinel for "no next candidate" in the product-mode linked lists.
+const NIL: u32 = u32::MAX;
 
 /// Reusable buffers for allocation-free extraction.
 ///
@@ -67,6 +89,26 @@ pub struct ExtractScratch {
     /// Marker indices derived from `spans` on the position-oriented
     /// entry points ([`Extractor::positions_into`]).
     positions: Vec<usize>,
+    /// Product mode: arena of candidate split positions, one entry per
+    /// surviving candidate seen this scan.
+    cand_pos: Vec<usize>,
+    /// Product mode: parallel arena of intra-bucket links ([`NIL`]
+    /// terminates a list).
+    cand_next: Vec<u32>,
+    /// Product mode: double-buffered per-`E2`-state bucket heads/tails
+    /// (arena indices). Validity is gated by `bucket_stamp`, so contents
+    /// never need clearing.
+    bucket_head: [Vec<u32>; 2],
+    bucket_tail: [Vec<u32>; 2],
+    /// Product mode: the epoch at which each bucket slot was last
+    /// written. A slot is live iff its stamp equals the current epoch.
+    bucket_stamp: [Vec<u64>; 2],
+    /// Product mode: the occupied bucket states of each buffer, for
+    /// O(live) iteration instead of O(|Q2|).
+    occupied: [Vec<u32>; 2],
+    /// Monotone epoch counter (one tick per scanned token, never reset),
+    /// so stale stamps from earlier documents can never read as live.
+    epoch: u64,
 }
 
 impl ExtractScratch {
@@ -96,13 +138,95 @@ impl ExtractScratch {
 /// ```
 pub struct Extractor {
     classes: SymbolClasses,
+    classifier: DenseClassifier,
     fwd_left: DenseDfa,
-    bwd_right: DenseDfa,
+    backend: Backend,
     marker: Symbol,
-    /// The marker's (singleton, see compile) class: lets the backward
-    /// pass test "is this position the marker?" against the already-hot
-    /// class buffer instead of re-streaming the document.
+    /// The marker's (singleton, see compile) class: both scans test "is
+    /// this position the marker?" against class ids, never raw symbols.
     marker_class: u16,
+}
+
+/// The per-mode half of a compiled extractor.
+enum Backend {
+    /// Fused two-pass scan: forward `E1` + backward minimized
+    /// reversed-`E2` over the recorded class buffer.
+    Fused { bwd_right: DenseDfa },
+    /// One-pass product sweep: forward `E1` + per-candidate forward `E2`
+    /// bucket simulation. `product_states` is the reachable
+    /// `E1 × E2` product size the selection probe measured.
+    Product {
+        fwd_right: DenseDfa,
+        product_states: usize,
+    },
+}
+
+/// Which scan algorithm a compiled [`Extractor`] ended up with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanMode {
+    /// Fused forward-`E1` + backward-reversed-`E2` two-pass scan.
+    Fused,
+    /// Single forward sweep over the `E1 × E2` candidate buckets.
+    Product,
+}
+
+impl ScanMode {
+    /// Stable lowercase name for stats surfaces (`--stats`, `/metrics`).
+    pub fn name(self) -> &'static str {
+        match self {
+            ScanMode::Fused => "fused",
+            ScanMode::Product => "product",
+        }
+    }
+}
+
+/// Scan-mode selection policy for [`Extractor::compile_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ModeChoice {
+    /// Probe the reachable `E1 × E2` product and pick product mode iff
+    /// it has at most `cutoff` states (`None` → the
+    /// `REXTRACT_PRODUCT_CUTOFF` env var, else
+    /// [`DEFAULT_PRODUCT_CUTOFF`]; a cutoff of 0 disables product mode).
+    #[default]
+    Auto,
+    /// Force the fused two-pass scan.
+    Fused,
+    /// Force the one-pass product sweep regardless of product size.
+    Product,
+}
+
+/// Options for [`Extractor::compile_with`]. `Default` is what
+/// [`Extractor::compile`] uses: auto mode selection, best available
+/// classifier kernel.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CompileOptions {
+    /// Scan-mode selection policy.
+    pub mode: ModeChoice,
+    /// Auto-mode product cutoff override (states). `None` defers to the
+    /// `REXTRACT_PRODUCT_CUTOFF` env var, then [`DEFAULT_PRODUCT_CUTOFF`].
+    pub product_cutoff: Option<usize>,
+    /// Force the scalar classification kernel even when a vectorized one
+    /// is available — the differential-testing oracle switch.
+    pub force_scalar_classify: bool,
+}
+
+/// Default product-mode cutoff: product automata up to this many states
+/// scan one-pass. Wrapper-grade expressions land well under it; the
+/// fused scan keeps pathological products linear in two passes.
+pub const DEFAULT_PRODUCT_CUTOFF: usize = 128;
+
+/// A compiled extractor's observable engine configuration, for `--stats`
+/// and `/metrics`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineInfo {
+    /// Selected scan mode.
+    pub mode: ScanMode,
+    /// Reachable `E1 × E2` product size, when product mode is active.
+    pub product_states: Option<usize>,
+    /// Classification kernel name (`"scalar"` / `"simd-ssse3"`).
+    pub classifier: &'static str,
+    /// Size of the joint symbol-class partition.
+    pub num_classes: usize,
 }
 
 /// Result of a successful unambiguous extraction.
@@ -130,27 +254,104 @@ fn raw_reversed_right(expr: &ExtractionExpr) -> Dfa {
     Dfa::from_nfa(&Nfa::from_dfa(expr.right().dfa()).reversed())
 }
 
+/// `REXTRACT_PRODUCT_CUTOFF` env override for auto mode selection
+/// (`0` disables product mode; unparsable values are ignored).
+fn env_product_cutoff() -> Option<usize> {
+    std::env::var("REXTRACT_PRODUCT_CUTOFF")
+        .ok()?
+        .trim()
+        .parse()
+        .ok()
+}
+
 impl Extractor {
-    /// Compile `expr` for repeated extraction.
+    /// Compile `expr` for repeated extraction with default options
+    /// (auto mode selection, best available classification kernel).
     pub fn compile(expr: &ExtractionExpr) -> Extractor {
+        Extractor::compile_with(expr, &CompileOptions::default())
+    }
+
+    /// Compile `expr` under an explicit [`CompileOptions`] policy.
+    pub fn compile_with(expr: &ExtractionExpr, options: &CompileOptions) -> Extractor {
         let fwd = expr.left().dfa().clone();
-        // Subset construction of the reversal can be exponentially larger
-        // than the minimal automaton; minimize before building tables
-        // (positions are unchanged — tested against the oracle corpus).
-        let bwd = raw_reversed_right(expr).minimized();
         let marker = expr.marker();
-        let mut classes = SymbolClasses::compute(&[&fwd, &bwd]);
-        // A singleton marker class makes the backward pass's marker test
-        // a class-id compare against the (already-classified) document.
-        classes.isolate(marker);
+        let product = match options.mode {
+            ModeChoice::Fused => None,
+            ModeChoice::Product => {
+                // Forced: still walk the product (capless — the pair
+                // product is |Q1|·|Q2|-bounded) so stats stay honest.
+                let size = fwd
+                    .product_reachable_size(expr.right().dfa(), usize::MAX)
+                    .expect("capless product probe cannot bail");
+                Some(size)
+            }
+            ModeChoice::Auto => {
+                let cutoff = options
+                    .product_cutoff
+                    .or_else(env_product_cutoff)
+                    .unwrap_or(DEFAULT_PRODUCT_CUTOFF);
+                if cutoff == 0 {
+                    None
+                } else {
+                    // Probe the *forward* E1 × E2 pair product: both DFAs
+                    // are the store's canonical minimal automata (free),
+                    // and |Q2 forward| is exactly what bounds the live
+                    // bucket count the one-pass sweep pays per token.
+                    fwd.product_reachable_size(expr.right().dfa(), cutoff)
+                }
+            }
+        };
+        match product {
+            Some(product_states) => {
+                let fwd_right = expr.right().dfa().clone();
+                let mut classes = SymbolClasses::compute(&[&fwd, &fwd_right]);
+                classes.isolate(marker);
+                Extractor::assemble(classes, &fwd, marker, options, |classes| Backend::Product {
+                    fwd_right: DenseDfa::compile(&fwd_right, classes),
+                    product_states,
+                })
+            }
+            None => {
+                // Subset construction of the reversal can be
+                // exponentially larger than the minimal automaton;
+                // minimize before building tables (positions are
+                // unchanged — tested against the oracle corpus).
+                let bwd = raw_reversed_right(expr).minimized();
+                let mut classes = SymbolClasses::compute(&[&fwd, &bwd]);
+                classes.isolate(marker);
+                Extractor::assemble(classes, &fwd, marker, options, |classes| Backend::Fused {
+                    bwd_right: DenseDfa::compile(&bwd, classes),
+                })
+            }
+        }
+    }
+
+    /// Shared tail of both compile paths: check the partition fits the
+    /// u16 scratch encoding, pick the classification kernel, build the
+    /// dense tables.
+    fn assemble(
+        classes: SymbolClasses,
+        fwd: &Dfa,
+        marker: Symbol,
+        options: &CompileOptions,
+        backend: impl FnOnce(&SymbolClasses) -> Backend,
+    ) -> Extractor {
+        // A singleton marker class (isolated by both callers) makes the
+        // marker test a class-id compare against classifier output.
         assert!(
             classes.num_classes() <= usize::from(u16::MAX) + 1,
             "class partition exceeds the u16 scratch encoding"
         );
+        let classifier = if options.force_scalar_classify {
+            DenseClassifier::scalar(&classes)
+        } else {
+            DenseClassifier::new(&classes)
+        };
         Extractor {
-            fwd_left: DenseDfa::compile(&fwd, &classes),
-            bwd_right: DenseDfa::compile(&bwd, &classes),
+            fwd_left: DenseDfa::compile(fwd, &classes),
+            backend: backend(&classes),
             marker_class: classes.class_of(marker) as u16,
+            classifier,
             classes,
             marker,
         }
@@ -167,26 +368,56 @@ impl Extractor {
         self.classes.num_classes()
     }
 
-    /// The fused two-pass scan. Fills `scratch.spans` (unit spans, in
+    /// The scan mode compilation selected.
+    pub fn mode(&self) -> ScanMode {
+        match self.backend {
+            Backend::Fused { .. } => ScanMode::Fused,
+            Backend::Product { .. } => ScanMode::Product,
+        }
+    }
+
+    /// The engine configuration this extractor runs with.
+    pub fn engine_info(&self) -> EngineInfo {
+        EngineInfo {
+            mode: self.mode(),
+            product_states: match &self.backend {
+                Backend::Fused { .. } => None,
+                Backend::Product { product_states, .. } => Some(*product_states),
+            },
+            classifier: self.classifier.kind(),
+            num_classes: self.num_classes(),
+        }
+    }
+
+    /// Run the selected scan, filling `scratch.spans` (unit spans, in
     /// increasing order); allocation-free once the scratch has warmed up.
-    ///
-    /// Pass 1 classifies the document through the shared class table
-    /// *while* running `E1` forward, filling the `prefix_ok` bitset one
-    /// whole `u64` at a time (`prefix_ok[i]` ⇔ `doc[..i] ∈ L(E1)`; a
-    /// split at `i` consumes `doc[i]`, so `i = n` is never a split).
-    /// Pass 2 runs reversed-`E2` over the recorded classes backward:
-    /// before consuming position `i` the state has read `doc[i+1..]`
-    /// reversed, so acceptance there ⇔ `doc[i+1..] ∈ L(E2)`. Neither
-    /// `resize` writes at steady state (same-length documents): every
-    /// entry a pass reads is written first, including on the early-exit
-    /// paths.
     fn scan(&self, doc: &[Symbol], scratch: &mut ExtractScratch) {
         scratch.spans.clear();
-        scratch.candidates.clear();
-        let n = doc.len();
-        if n == 0 {
+        if doc.is_empty() {
             return;
         }
+        match &self.backend {
+            Backend::Fused { bwd_right } => self.scan_fused(bwd_right, doc, scratch),
+            Backend::Product { fwd_right, .. } => self.scan_product(fwd_right, doc, scratch),
+        }
+    }
+
+    /// The fused two-pass scan.
+    ///
+    /// Pass 1 classifies the document chunkwise through the
+    /// [`DenseClassifier`] *while* running `E1` forward, filling the
+    /// `prefix_ok` bitset one whole `u64` at a time (`prefix_ok[i]` ⇔
+    /// `doc[..i] ∈ L(E1)`; a split at `i` consumes `doc[i]`, so `i = n`
+    /// is never a split); candidate splits fall out of one word-AND of
+    /// the accepting bits with the classifier's marker mask. Pass 2 runs
+    /// reversed-`E2` over the recorded classes backward: before
+    /// consuming position `i` the state has read `doc[i+1..]` reversed,
+    /// so acceptance there ⇔ `doc[i+1..] ∈ L(E2)`. Neither `resize`
+    /// writes at steady state (same-length documents): every entry a
+    /// pass reads is written first, including on the early-exit paths.
+    fn scan_fused(&self, bwd: &DenseDfa, doc: &[Symbol], scratch: &mut ExtractScratch) {
+        scratch.candidates.clear();
+        let n = doc.len();
         scratch.classes.resize(n, 0);
         scratch.prefix_ok.resize(n.div_ceil(64), 0);
 
@@ -207,19 +438,23 @@ impl Extractor {
                 unreached = w * 64;
                 break;
             }
+            let marker_mask =
+                self.classifier
+                    .classify_chunk(doc_chunk, cls_chunk, self.marker_class);
             let mut bits = 0u64;
-            for (bit, (&sym, cl_out)) in doc_chunk.iter().zip(cls_chunk.iter_mut()).enumerate() {
-                let accepting = fwd.is_accepting(q);
-                bits |= u64::from(accepting) << bit;
-                let class = self.classes.class_of(sym) as u16;
-                *cl_out = class;
-                if class == self.marker_class && accepting {
-                    // Candidate split: marker with its prefix bit set.
-                    scratch.candidates.push(w * 64 + bit);
-                }
+            for (bit, &class) in cls_chunk.iter().enumerate() {
+                bits |= u64::from(fwd.is_accepting(q)) << bit;
                 q = fwd.next(q, u32::from(class));
             }
             scratch.prefix_ok[w] = bits;
+            // Candidate splits: marker positions with the prefix bit set.
+            let mut cands = bits & marker_mask;
+            while cands != 0 {
+                scratch
+                    .candidates
+                    .push(w * 64 + cands.trailing_zeros() as usize);
+                cands &= cands - 1;
+            }
         }
         let Some(&earliest) = scratch.candidates.first() else {
             // Short-circuit: no split can survive, skip the backward pass.
@@ -232,16 +467,16 @@ impl Extractor {
                 *word = 0;
             }
             let tail = doc[unreached..]
-                .iter()
-                .zip(&mut scratch.classes[unreached..]);
-            for (&sym, cl_out) in tail {
-                *cl_out = self.classes.class_of(sym) as u16;
+                .chunks(64)
+                .zip(scratch.classes[unreached..].chunks_mut(64));
+            for (doc_chunk, cls_chunk) in tail {
+                self.classifier
+                    .classify_chunk(doc_chunk, cls_chunk, self.marker_class);
             }
         }
 
         // The backward pass only needs reversed-E2's verdict at candidate
         // positions, so it stops once it walks past the earliest one.
-        let bwd = &self.bwd_right;
         let mut r = bwd.start();
         for (off, &class) in scratch.classes[earliest..].iter().enumerate().rev() {
             if bwd.is_dead(r) {
@@ -258,6 +493,231 @@ impl Extractor {
             r = bwd.next(r, u32::from(class));
         }
         scratch.spans.reverse();
+    }
+
+    /// The one-pass product sweep.
+    ///
+    /// One forward walk runs `E1` and simulates, for every surviving
+    /// candidate split, the *forward* `E2` DFA over that candidate's
+    /// suffix. Candidates whose `E2` runs coincide are grouped into one
+    /// **bucket** per dense `E2` state, stored as linked lists in an
+    /// arena so two buckets stepping into the same state merge in O(1);
+    /// buckets stepping into the dead state drop their candidates
+    /// wholesale. Per token the work is `O(live buckets) ≤ O(|Q2|)` —
+    /// the compile-time product probe is what keeps that small.
+    ///
+    /// Sequencing per position `i` (class `c`):
+    /// 1. `E1` acceptance is read *before* stepping, so it reflects
+    ///    `doc[..i]`;
+    /// 2. existing buckets step by `c` (their suffixes contain `doc[i]`);
+    /// 3. a marker at `i` with the prefix ok becomes a new candidate in
+    ///    the (post-step) start-state bucket — its suffix starts at
+    ///    `i+1`, so it must *not* consume `doc[i]`;
+    /// 4. `E1` steps.
+    ///
+    /// At end of document a candidate's bucket state has consumed
+    /// exactly `doc[i+1..]`, so acceptance there ⇔ `doc[i+1..] ∈ L(E2)`:
+    /// accepting buckets' candidates are the valid splits. Lists carry
+    /// no ordering guarantee across merges, so the collected positions
+    /// are sorted in place (allocation-free) at the end.
+    ///
+    /// Bucket slots are validated by epoch stamps (`epoch` ticks once
+    /// per token and never resets), so neither buffer is ever cleared —
+    /// a scan touches only the slots it writes.
+    fn scan_product(&self, fwd_right: &DenseDfa, doc: &[Symbol], scratch: &mut ExtractScratch) {
+        let fwd = &self.fwd_left;
+        // Dense states are premultiplied row offsets; sizing the bucket
+        // arrays to the full table height lets them index directly (the
+        // product probe keeps |Q2| small, so the slack is trivial).
+        let slots = fwd_right.num_states() * fwd_right.num_classes();
+        for b in 0..2 {
+            scratch.bucket_head[b].resize(slots, NIL);
+            scratch.bucket_tail[b].resize(slots, NIL);
+            scratch.bucket_stamp[b].resize(slots, 0);
+            scratch.occupied[b].clear();
+        }
+        scratch.cand_pos.clear();
+        scratch.cand_next.clear();
+
+        let start2 = fwd_right.start();
+        let start2_dead = fwd_right.is_dead(start2);
+        let mut q = fwd.start();
+        let mut cur = 0usize;
+        // Live-bucket population regimes. Documents spend nearly every
+        // token with zero or one live bucket, so k ∈ {0, 1} runs out of
+        // registers — no epoch ticks, no double buffering (a lone bucket
+        // cannot collide with anything but a freshly minted candidate,
+        // which is an O(1) list append). The general arena engages only
+        // while k ≥ 2 and demotes itself as soon as the population
+        // collapses again.
+        let mut single: Option<(u32, u32, u32)> = None; // (E2 state, head, tail)
+        let mut general = false;
+        let mut cls_chunk = [0u16; 64];
+        'sweep: for (w, doc_chunk) in doc.chunks(64).enumerate() {
+            let cls_chunk = &mut cls_chunk[..doc_chunk.len()];
+            let marker_mask =
+                self.classifier
+                    .classify_chunk(doc_chunk, cls_chunk, self.marker_class);
+            for (bit, &class) in cls_chunk.iter().enumerate() {
+                if !general {
+                    // (1) E1 acceptance read before stepping (step 3's
+                    // candidate needs the prefix strictly before `i`).
+                    let minting = class == self.marker_class && !start2_dead && fwd.is_accepting(q);
+                    debug_assert!(!minting || marker_mask >> bit & 1 == 1);
+                    match single.take() {
+                        None => {
+                            if fwd.is_dead(q) {
+                                // No candidate exists and none can ever
+                                // be created.
+                                break 'sweep;
+                            }
+                            if minting {
+                                let id = scratch.cand_pos.len() as u32;
+                                scratch.cand_pos.push(w * 64 + bit);
+                                scratch.cand_next.push(NIL);
+                                single = Some((start2, id, id));
+                            }
+                        }
+                        Some((s, head, tail)) => {
+                            // (2) step the lone bucket.
+                            let ns = fwd_right.next(s, u32::from(class));
+                            let ns_dead = fwd_right.is_dead(ns);
+                            if !minting {
+                                if !ns_dead {
+                                    single = Some((ns, head, tail));
+                                }
+                            } else {
+                                // (3) new candidate at E2's (post-step)
+                                // start state.
+                                let id = scratch.cand_pos.len() as u32;
+                                scratch.cand_pos.push(w * 64 + bit);
+                                scratch.cand_next.push(NIL);
+                                if ns_dead {
+                                    single = Some((start2, id, id));
+                                } else if ns == start2 {
+                                    // Collision: append (lists are
+                                    // unordered; harvest sorts).
+                                    scratch.cand_next[tail as usize] = id;
+                                    single = Some((ns, head, id));
+                                } else {
+                                    // Two distinct buckets: spill into
+                                    // the arena's current buffer and
+                                    // promote to the general regime.
+                                    scratch.bucket_head[cur][ns as usize] = head;
+                                    scratch.bucket_tail[cur][ns as usize] = tail;
+                                    scratch.occupied[cur].push(ns);
+                                    scratch.bucket_head[cur][start2 as usize] = id;
+                                    scratch.bucket_tail[cur][start2 as usize] = id;
+                                    scratch.occupied[cur].push(start2);
+                                    general = true;
+                                }
+                            }
+                        }
+                    }
+                    // (4) step E1.
+                    q = fwd.next(q, u32::from(class));
+                    continue;
+                }
+                let nxt = 1 - cur;
+                scratch.epoch += 1;
+                let epoch = scratch.epoch;
+                // Split the double buffers into (cur, nxt) halves; the
+                // destructuring keeps the borrows disjoint.
+                let [h0, h1] = &mut scratch.bucket_head;
+                let [t0, t1] = &mut scratch.bucket_tail;
+                let [s0, s1] = &mut scratch.bucket_stamp;
+                let [o0, o1] = &mut scratch.occupied;
+                let (head_c, head_n, tail_c, tail_n, stamp_n, occ_c, occ_n) = if cur == 0 {
+                    (&*h0, h1, &*t0, t1, s1, &*o0, o1)
+                } else {
+                    (&*h1, h0, &*t1, t0, s0, &*o1, o0)
+                };
+                // (2) step live buckets, merging collisions in O(1).
+                for &s in occ_c {
+                    let s = s as usize;
+                    let ns = fwd_right.next(s as u32, u32::from(class)) as usize;
+                    if fwd_right.is_dead(ns as u32) {
+                        continue; // the whole bucket can never match
+                    }
+                    if stamp_n[ns] == epoch {
+                        scratch.cand_next[tail_n[ns] as usize] = head_c[s];
+                        tail_n[ns] = tail_c[s];
+                    } else {
+                        stamp_n[ns] = epoch;
+                        head_n[ns] = head_c[s];
+                        tail_n[ns] = tail_c[s];
+                        occ_n.push(ns as u32);
+                    }
+                }
+                // (3) marker with prefix ok: new candidate at E2's start.
+                if class == self.marker_class && fwd.is_accepting(q) && !start2_dead {
+                    debug_assert_eq!(marker_mask >> bit & 1, 1);
+                    let s = start2 as usize;
+                    let id = scratch.cand_pos.len() as u32;
+                    scratch.cand_pos.push(w * 64 + bit);
+                    scratch.cand_next.push(NIL);
+                    if stamp_n[s] == epoch {
+                        scratch.cand_next[tail_n[s] as usize] = id;
+                        tail_n[s] = id;
+                    } else {
+                        stamp_n[s] = epoch;
+                        head_n[s] = id;
+                        tail_n[s] = id;
+                        occ_n.push(s as u32);
+                    }
+                }
+                // (4) step E1; the cur list is spent.
+                q = fwd.next(q, u32::from(class));
+                if cur == 0 {
+                    scratch.occupied[0].clear();
+                } else {
+                    scratch.occupied[1].clear();
+                }
+                cur = nxt;
+                // Demote as soon as the population collapses back to ≤1.
+                let k = scratch.occupied[cur].len();
+                if k <= 1 {
+                    if k == 1 {
+                        let s = scratch.occupied[cur][0];
+                        single = Some((
+                            s,
+                            scratch.bucket_head[cur][s as usize],
+                            scratch.bucket_tail[cur][s as usize],
+                        ));
+                        scratch.occupied[cur].clear();
+                    }
+                    general = false;
+                }
+            }
+        }
+        // Harvest: candidates sitting in accepting buckets are the valid
+        // splits; restore document order in place.
+        if general {
+            for i in 0..scratch.occupied[cur].len() {
+                let s = scratch.occupied[cur][i];
+                if !fwd_right.is_accepting(s) {
+                    continue;
+                }
+                let mut id = scratch.bucket_head[cur][s as usize];
+                while id != NIL {
+                    scratch
+                        .spans
+                        .push(Span::unit(scratch.cand_pos[id as usize]));
+                    id = scratch.cand_next[id as usize];
+                }
+            }
+        } else if let Some((s, head, _)) = single {
+            if fwd_right.is_accepting(s) {
+                let mut id = head;
+                while id != NIL {
+                    scratch
+                        .spans
+                        .push(Span::unit(scratch.cand_pos[id as usize]));
+                    id = scratch.cand_next[id as usize];
+                }
+            }
+        }
+        scratch.spans.sort_unstable_by_key(|sp| sp.start);
     }
 
     /// All valid splits in `doc` as unit spans, in document order,
@@ -711,5 +1171,122 @@ mod tests {
         let ex = e("[^p]* <p> .*");
         let doc = a.str_to_syms("q p q").unwrap();
         assert_eq!(ex.extract(&doc), Extractor::compile(&ex).extract(&doc));
+    }
+
+    fn compile_mode(ex: &ExtractionExpr, mode: ModeChoice) -> Extractor {
+        Extractor::compile_with(
+            ex,
+            &CompileOptions {
+                mode,
+                ..CompileOptions::default()
+            },
+        )
+    }
+
+    #[test]
+    fn auto_mode_selects_product_for_small_products() {
+        let x = Extractor::compile(&e("[^p]* <p> .*"));
+        assert_eq!(x.mode(), ScanMode::Product);
+        let info = x.engine_info();
+        assert!(info.product_states.unwrap() <= DEFAULT_PRODUCT_CUTOFF);
+        // Forcing fused on the same expression works and reports itself.
+        let f = compile_mode(&e("[^p]* <p> .*"), ModeChoice::Fused);
+        assert_eq!(f.mode(), ScanMode::Fused);
+        assert_eq!(f.engine_info().product_states, None);
+    }
+
+    #[test]
+    fn cutoff_boundaries_flip_the_mode() {
+        // Measure the real product size, then pin the cutoff around it:
+        // cutoff = size−1 → fused, cutoff = size and size+1 → product.
+        let ex = e("(q p)* <p> (p q)* q");
+        let size = ex
+            .left()
+            .dfa()
+            .product_reachable_size(ex.right().dfa(), usize::MAX)
+            .unwrap();
+        assert!(size > 1, "need a multi-state product to probe boundaries");
+        for (cutoff, want) in [
+            (size - 1, ScanMode::Fused),
+            (size, ScanMode::Product),
+            (size + 1, ScanMode::Product),
+        ] {
+            let x = Extractor::compile_with(
+                &ex,
+                &CompileOptions {
+                    product_cutoff: Some(cutoff),
+                    ..CompileOptions::default()
+                },
+            );
+            assert_eq!(x.mode(), want, "cutoff {cutoff} (product size {size})");
+        }
+        // Cutoff 0 disables product mode outright.
+        let x = Extractor::compile_with(
+            &ex,
+            &CompileOptions {
+                product_cutoff: Some(0),
+                ..CompileOptions::default()
+            },
+        );
+        assert_eq!(x.mode(), ScanMode::Fused);
+    }
+
+    #[test]
+    fn product_and_fused_agree_on_oracle_corpus() {
+        // Both scan modes, forced, against the definitional oracle on
+        // every word up to length 8 — members and non-members.
+        let a = ab();
+        let exprs = [
+            "[^p]* <p> .*",
+            "(q p)* <p> q*",
+            "p* <p> p* q",
+            ".* <p> (q q | p)*",
+            "q* <p> (p q)* q",
+            "q <p> .*",
+            ".* <p> q",
+        ];
+        let mut scratch = ExtractScratch::new();
+        for s in exprs {
+            let ex = e(s);
+            let product = compile_mode(&ex, ModeChoice::Product);
+            let fused = compile_mode(&ex, ModeChoice::Fused);
+            assert_eq!(product.mode(), ScanMode::Product);
+            assert_eq!(fused.mode(), ScanMode::Fused);
+            for w in enumerate_upto(&rextract_automata::Lang::universe(&a), 8) {
+                let oracle = brute_split_positions(&ex, &w);
+                assert_eq!(product.positions_into(&w, &mut scratch), oracle, "{s}");
+                assert_eq!(fused.positions_into(&w, &mut scratch), oracle, "{s}");
+            }
+        }
+    }
+
+    #[test]
+    fn product_mode_scratch_survives_interleaving_with_fused() {
+        // One scratch alternating between modes and document lengths:
+        // stale bucket stamps or class buffers must never leak.
+        let a = ab();
+        let ex = e("p* <p> p* q");
+        let product = compile_mode(&ex, ModeChoice::Product);
+        let fused = compile_mode(&ex, ModeChoice::Fused);
+        let mut scratch = ExtractScratch::new();
+        let docs = ["p p p q", "q", "p q", "p p p p p p p p p q", "p p p q"];
+        for d in docs {
+            let doc = a.str_to_syms(d).unwrap();
+            let oracle = brute_split_positions(&ex, &doc);
+            assert_eq!(product.positions_into(&doc, &mut scratch), oracle, "{d}");
+            assert_eq!(fused.positions_into(&doc, &mut scratch), oracle, "{d}");
+        }
+    }
+
+    #[test]
+    fn scalar_classifier_option_is_honored() {
+        let x = Extractor::compile_with(
+            &e("[^p]* <p> .*"),
+            &CompileOptions {
+                force_scalar_classify: true,
+                ..CompileOptions::default()
+            },
+        );
+        assert_eq!(x.engine_info().classifier, "scalar");
     }
 }

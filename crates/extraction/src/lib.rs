@@ -65,7 +65,10 @@ pub mod span;
 pub use algebra::{AlgebraError, JoinStrategy, Plan, Pred, PredOp};
 pub use error::ExtractionError;
 pub use expr::ExtractionExpr;
-pub use extract::{ExtractScratch, Extractor, NaiveExtractor, TwoPassExtractor};
+pub use extract::{
+    CompileOptions, EngineInfo, ExtractScratch, Extractor, ModeChoice, NaiveExtractor, ScanMode,
+    TwoPassExtractor, DEFAULT_PRODUCT_CUTOFF,
+};
 pub use multi::{MultiExtractionExpr, MultiExtractor};
 pub use pivot::segment_ok;
 pub use pivot::PivotExpr;

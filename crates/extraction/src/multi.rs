@@ -29,7 +29,7 @@
 
 use crate::error::ExtractionError;
 use crate::expr::ExtractionExpr;
-use crate::extract::{ExtractFailure, ExtractScratch, Extractor};
+use crate::extract::{CompileOptions, ExtractFailure, ExtractScratch, Extractor};
 use crate::left_filter::left_filter_maximize_lang;
 use crate::span::{Span, SpanRelation};
 use rextract_automata::{Alphabet, Lang, Symbol};
@@ -274,13 +274,20 @@ pub struct MultiExtractor {
 
 impl MultiExtractor {
     /// Compile all collapsed expressions (O(k) language operations via
-    /// [`MultiExtractionExpr::collapsed_all`]).
+    /// [`MultiExtractionExpr::collapsed_all`]) under default options.
     pub fn compile(expr: &MultiExtractionExpr) -> MultiExtractor {
+        MultiExtractor::compile_with(expr, &CompileOptions::default())
+    }
+
+    /// Compile all collapsed expressions under one shared
+    /// [`CompileOptions`] policy — each per-marker extractor still makes
+    /// its own auto mode decision against its own product.
+    pub fn compile_with(expr: &MultiExtractionExpr, options: &CompileOptions) -> MultiExtractor {
         MultiExtractor {
             extractors: expr
                 .collapsed_all()
                 .iter()
-                .map(Extractor::compile)
+                .map(|c| Extractor::compile_with(c, options))
                 .collect(),
         }
     }

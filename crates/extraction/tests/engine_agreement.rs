@@ -1,18 +1,25 @@
-//! Four-way engine agreement under random expressions and documents.
+//! Five-way engine agreement under random expressions and documents.
 //!
-//! The dense engine ([`Extractor`]) must agree with the previous-generation
-//! two-pass engine ([`TwoPassExtractor`]), the paper's operational
-//! baseline ([`NaiveExtractor`]), and the definitional oracle
-//! (`brute_split_positions`) on every word — members and non-members alike
-//! — over both a tiny alphabet (Σ = {p, q}, maximal class collapse) and a
-//! wider one (|Σ| = 8, where class compression and the `#other`-style
-//! column sharing actually kick in).
+//! The dense engine ([`Extractor`]) in its default configuration (auto
+//! scan-mode selection, best available classification kernel — the SIMD
+//! shuffle kernel when built with `--features simd`) must agree with the
+//! forced scalar-classified dense engine in **both** scan modes (fused
+//! two-pass and one-pass product), the previous-generation two-pass
+//! engine ([`TwoPassExtractor`]), the paper's operational baseline
+//! ([`NaiveExtractor`]), and the definitional oracle
+//! (`brute_split_positions`) on every word — members and non-members
+//! alike — over both a tiny alphabet (Σ = {p, q}, maximal class
+//! collapse) and a wider one (|Σ| = 8, where class compression and the
+//! `#other`-style column sharing actually kick in). Run with and without
+//! `--features simd`, this pins SIMD-vs-scalar classification and
+//! product-vs-fused scanning to the same oracle.
 
 use proptest::prelude::*;
 use rextract_automata::{Alphabet, Lang, Regex, Symbol};
 use rextract_extraction::oracle::brute_split_positions;
 use rextract_extraction::{
-    ExtractScratch, ExtractionExpr, Extractor, NaiveExtractor, Span, SpanRelation, TwoPassExtractor,
+    CompileOptions, ExtractScratch, ExtractionExpr, Extractor, ModeChoice, NaiveExtractor,
+    ScanMode, Span, SpanRelation, TwoPassExtractor,
 };
 
 const SIGMA2: &[&str] = &["p", "q"];
@@ -53,7 +60,21 @@ fn arb_word(n: usize, max_len: usize) -> impl Strategy<Value = Vec<Symbol>> {
         .prop_map(|ixs| ixs.into_iter().map(Symbol::from_index).collect())
 }
 
-/// Assert all four engines agree on `w` (panics report through proptest).
+/// Compile a dense extractor with the scalar classification kernel and a
+/// forced scan mode — the cross-check rails the auto-configured engine
+/// (SIMD kernel under `--features simd`, auto mode selection) must match.
+fn scalar_dense(expr: &ExtractionExpr, mode: ModeChoice) -> Extractor {
+    Extractor::compile_with(
+        expr,
+        &CompileOptions {
+            mode,
+            force_scalar_classify: true,
+            ..CompileOptions::default()
+        },
+    )
+}
+
+/// Assert all five engines agree on `w` (panics report through proptest).
 fn check_agreement(names: &'static [&'static str], left: &Regex, right: &Regex, w: &[Symbol]) {
     let a = Alphabet::new(names.iter().copied());
     let expr = ExtractionExpr::from_langs(
@@ -64,6 +85,10 @@ fn check_agreement(names: &'static [&'static str], left: &Regex, right: &Regex, 
     let oracle = brute_split_positions(&expr, w);
 
     let dense = Extractor::compile(&expr);
+    let scalar_fused = scalar_dense(&expr, ModeChoice::Fused);
+    let scalar_product = scalar_dense(&expr, ModeChoice::Product);
+    assert_eq!(scalar_fused.mode(), ScanMode::Fused);
+    assert_eq!(scalar_product.mode(), ScanMode::Product);
     let two_pass = TwoPassExtractor::compile(&expr);
     let naive = NaiveExtractor::compile(&expr);
 
@@ -74,6 +99,16 @@ fn check_agreement(names: &'static [&'static str], left: &Regex, right: &Regex, 
         "dense engine disagrees with oracle"
     );
     assert_eq!(
+        scalar_fused.positions_into(w, &mut scratch),
+        oracle.as_slice(),
+        "scalar-classified fused engine disagrees with oracle"
+    );
+    assert_eq!(
+        scalar_product.positions_into(w, &mut scratch),
+        oracle.as_slice(),
+        "scalar-classified product engine disagrees with oracle"
+    );
+    assert_eq!(
         dense.positions(w),
         oracle,
         "dense allocating path disagrees"
@@ -82,6 +117,10 @@ fn check_agreement(names: &'static [&'static str], left: &Regex, right: &Regex, 
     assert_eq!(naive.positions(w), oracle, "naive engine disagrees");
     // The Result-typed APIs must map identically too.
     assert_eq!(dense.extract_with(w, &mut scratch), two_pass.extract(w));
+    assert_eq!(
+        scalar_fused.extract_with(w, &mut scratch),
+        scalar_product.extract_with(w, &mut scratch)
+    );
     assert_eq!(two_pass.extract(w), naive.extract(w));
     // Span agreement: every engine's positions, lifted to unit spans,
     // must produce the same span relation the dense span scan does —
@@ -91,6 +130,16 @@ fn check_agreement(names: &'static [&'static str], left: &Regex, right: &Regex, 
         dense.spans_into(w, &mut scratch),
         unit_spans.as_slice(),
         "dense span scan disagrees with the unit spans of the oracle"
+    );
+    assert_eq!(
+        scalar_fused.spans_into(w, &mut scratch),
+        unit_spans.as_slice(),
+        "scalar-classified fused span scan disagrees"
+    );
+    assert_eq!(
+        scalar_product.spans_into(w, &mut scratch),
+        unit_spans.as_slice(),
+        "scalar-classified product span scan disagrees"
     );
     assert_eq!(dense.spans(w), unit_spans, "allocating span path disagrees");
     let as_relation =

@@ -9,7 +9,7 @@
 //! allocate, e.g. for progress output — are invisible to it).
 
 use rextract_automata::Alphabet;
-use rextract_extraction::{ExtractScratch, ExtractionExpr, Extractor};
+use rextract_extraction::{CompileOptions, ExtractScratch, ExtractionExpr, Extractor, ModeChoice};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -56,6 +56,14 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static ALLOCATOR: CountingAlloc = CountingAlloc;
 
+fn mode_name(mode: ModeChoice) -> &'static str {
+    match mode {
+        ModeChoice::Fused => "fused",
+        ModeChoice::Product => "product",
+        ModeChoice::Auto => unreachable!("tests force a concrete mode"),
+    }
+}
+
 #[test]
 fn steady_state_extraction_does_not_allocate() {
     let a = Alphabet::new(["p", "q", "r"]);
@@ -63,7 +71,26 @@ fn steady_state_extraction_does_not_allocate() {
         ExtractionExpr::parse(&a, "[^p]* <p> .*").unwrap(),
         ExtractionExpr::parse(&a, "(q r)* <p> q*").unwrap(),
     ];
-    let extractors: Vec<Extractor> = exprs.iter().map(Extractor::compile).collect();
+    // Cover BOTH scan modes explicitly: auto selection may pick the
+    // product sweep for these small expressions, which would otherwise
+    // leave the fused path's scratch discipline unproven (and vice
+    // versa). The contract must hold regardless of mode.
+    let extractors: Vec<Extractor> = exprs
+        .iter()
+        .flat_map(|e| {
+            [ModeChoice::Fused, ModeChoice::Product].map(|mode| {
+                let x = Extractor::compile_with(
+                    e,
+                    &CompileOptions {
+                        mode,
+                        ..CompileOptions::default()
+                    },
+                );
+                assert_eq!(x.mode().name(), mode_name(mode));
+                x
+            })
+        })
+        .collect();
 
     // Documents exercising the success path, the dead-state early exit,
     // and the plain no-match path — none of which may allocate. (The

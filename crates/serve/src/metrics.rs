@@ -814,8 +814,17 @@ impl Metrics {
         self.pipeline_pages.load(Ordering::Relaxed)
     }
 
-    /// The full `/metrics` document.
+    /// The full `/metrics` document with an empty `engines` section.
     pub fn render_json(&self, store: &StoreStats) -> String {
+        self.render_json_with(store, "{}")
+    }
+
+    /// The full `/metrics` document. `engines` is a pre-rendered JSON
+    /// object mapping wrapper name → extraction-engine configuration
+    /// (scan mode, product size, classifier kernel); the server builds
+    /// it from the live registry so mode selection is observable without
+    /// a restart.
+    pub fn render_json_with(&self, store: &StoreStats, engines: &str) -> String {
         let mut endpoints = String::from("{");
         for (i, e) in Endpoint::all().into_iter().enumerate() {
             let m = &self.endpoints[e.index()];
@@ -909,6 +918,7 @@ impl Metrics {
             .raw("queries", &queries)
             .raw("drift", &drift)
             .raw("pipeline", &pipeline)
+            .raw("engines", engines)
             .raw("store", &store_stats_json(store));
         #[cfg(feature = "failpoints")]
         {

@@ -58,7 +58,7 @@ use rextract_extraction::JoinStrategy;
 use rextract_faults::fail_point;
 use rextract_html::tokenize_spanned;
 use rextract_html::tokenizer::tokenize;
-use rextract_wrapper::evaluate_query;
+use rextract_wrapper::evaluate_query_with;
 use rextract_wrapper::wrapper::{Wrapper, WrapperError, WrapperScratch};
 use std::collections::{BTreeMap, HashMap};
 use std::io::{self, Read, Write};
@@ -1095,7 +1095,11 @@ fn route(
         ("GET", "/healthz") => (Endpoint::Healthz, handle_healthz(ctx)),
         ("GET", "/metrics") => (
             Endpoint::Metrics,
-            Response::json(200, ctx.metrics.render_json(&Store::stats())),
+            Response::json(
+                200,
+                ctx.metrics
+                    .render_json_with(&Store::stats(), &engines_json(ctx)),
+            ),
         ),
         ("POST", "/extract") => (
             Endpoint::Extract,
@@ -1133,7 +1137,7 @@ fn route(
             let name = path.strip_prefix("/queries/").unwrap_or_default();
             (Endpoint::InstallQuery, handle_install_query(name, req, ctx))
         }
-        ("POST", "/query") => (Endpoint::Query, handle_query(req, ctx)),
+        ("POST", "/query") => (Endpoint::Query, handle_query(req, ctx, scratch)),
         ("POST", "/pipeline") => (Endpoint::Pipeline, handle_pipeline(req, ctx)),
         ("POST", "/reload") => (Endpoint::Reload, handle_reload(ctx)),
         ("POST", "/shutdown") => (
@@ -1158,6 +1162,29 @@ fn route(
             ),
         ),
     }
+}
+
+/// Per-wrapper extraction-engine configuration for `/metrics`: which
+/// scan mode each installed wrapper compiled to, the product size when
+/// one-pass mode is active, and the classification kernel in use.
+fn engines_json(ctx: &Ctx) -> String {
+    let mut out = String::from("{");
+    for (i, (name, wrapper)) in ctx.registry.entries().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let info = wrapper.engine_info();
+        let mut obj = Obj::new()
+            .str("mode", info.mode.name())
+            .str("classifier", info.classifier)
+            .num("classes", info.num_classes as u64);
+        if let Some(states) = info.product_states {
+            obj = obj.num("product_states", states as u64);
+        }
+        out.push_str(&format!("{:?}:{}", name, obj.finish()));
+    }
+    out.push('}');
+    out
 }
 
 fn handle_healthz(ctx: &Ctx) -> Response {
@@ -1553,7 +1580,7 @@ fn handle_install_query(name: &str, req: &Request, ctx: &Ctx) -> Response {
 /// plus the byte offsets and text it covers — a multi-field record with
 /// provenance. Strategies render byte-identically (canonical relations),
 /// so `?strategy=nested-loop` doubles as the sort-merge oracle check.
-fn handle_query(req: &Request, ctx: &Ctx) -> Response {
+fn handle_query(req: &Request, ctx: &Ctx, scratch: &mut WrapperScratch) -> Response {
     let installed = || str_array(ctx.queries.names().iter().map(String::as_str));
     let Some(name) = req.query_param("query") else {
         return Response::json(
@@ -1601,7 +1628,9 @@ fn handle_query(req: &Request, ctx: &Ctx) -> Response {
     let started = Instant::now();
     let (tokens, byte_spans) = tokenize_spanned(&html);
     let lookup = |n: &str| ctx.registry.get(n);
-    match evaluate_query(&def, &tokens, &lookup, strategy) {
+    // The worker's long-lived scratch: repeated queries reuse the page
+    // abstraction and scan buffers instead of reallocating per request.
+    match evaluate_query_with(&def, &tokens, &lookup, strategy, scratch) {
         Ok(rel) => {
             ctx.metrics.record_query(name, Some(rel.len() as u64));
             let mut records = String::from("[");

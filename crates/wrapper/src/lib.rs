@@ -30,7 +30,7 @@ pub mod tuple;
 pub mod wrapper;
 
 pub use locator::{LrLocator, TargetLocator};
-pub use query::{evaluate_query, QueryEvalError};
+pub use query::{evaluate_query, evaluate_query_with, QueryEvalError};
 pub use site::{PageStyle, SiteConfig, SiteGenerator};
 pub use tuple::{MultiTrainPage, TupleWrapper};
 pub use wrapper::{TrainPage, Wrapper, WrapperConfig, WrapperError, WrapperScratch};

@@ -54,22 +54,41 @@ impl std::error::Error for QueryEvalError {}
 /// daemon passes its registry; the CLI a loaded file set). The result
 /// relation is in token-index space, canonical (rows sorted, deduped) —
 /// so two strategies evaluating the same query render byte-identically.
+///
+/// Allocating convenience wrapper over [`evaluate_query_with`]: builds a
+/// fresh [`WrapperScratch`] per call. Repeated evaluation (the daemon's
+/// `POST /query`, `rextract query` over a page set) should hold one
+/// scratch and call [`evaluate_query_with`] instead.
 pub fn evaluate_query(
     def: &QueryDef,
     tokens: &[Token],
     lookup: &dyn Fn(&str) -> Option<Arc<Wrapper>>,
     strategy: JoinStrategy,
 ) -> Result<SpanRelation, QueryEvalError> {
-    let mut scratch = WrapperScratch::new();
+    evaluate_query_with(def, tokens, lookup, strategy, &mut WrapperScratch::new())
+}
+
+/// [`evaluate_query`] with a caller-owned scratch: page abstraction, the
+/// tag memo, and every extractor scan reuse `scratch`'s buffers, so
+/// steady-state evaluation of wrapper sources stays off the allocator
+/// (inline-expression sources still compile per call by design — they
+/// are ad-hoc by nature; the relation building also allocates).
+pub fn evaluate_query_with(
+    def: &QueryDef,
+    tokens: &[Token],
+    lookup: &dyn Fn(&str) -> Option<Arc<Wrapper>>,
+    strategy: JoinStrategy,
+    scratch: &mut WrapperScratch,
+) -> Result<SpanRelation, QueryEvalError> {
     let mut inputs: HashMap<String, SpanRelation> = HashMap::new();
     for src in &def.sources {
         let rel = match &src.kind {
             SourceKind::Wrapper(name) => {
                 let w = lookup(name).ok_or_else(|| QueryEvalError::UnknownWrapper(name.clone()))?;
-                w.span_relation_with(src.var.clone(), tokens, &mut scratch)
+                w.span_relation_with(src.var.clone(), tokens, scratch)
             }
             SourceKind::Expr { alphabet, expr } => {
-                expr_relation(&src.var, alphabet, expr, tokens, &mut scratch)?
+                expr_relation(&src.var, alphabet, expr, tokens, scratch)?
             }
         };
         inputs.insert(src.var.clone(), rel);
@@ -169,6 +188,45 @@ mod tests {
             let nested =
                 evaluate_query(&def, &p.tokens, &lookup, JoinStrategy::NestedLoop).unwrap();
             assert_eq!(rel.rows(), nested.rows());
+        }
+    }
+
+    #[test]
+    fn reused_scratch_matches_fresh_scratch_across_pages() {
+        let mut g = gen(11);
+        let w = trained_search(&mut g);
+        let def = QueryDef::parse(
+            r#"{
+              "sources": [
+                {"var": "field", "wrapper": "search"},
+                {"var": "form", "alphabet": "FORM /FORM", "expr": "[^FORM]* <FORM> .*"}
+              ],
+              "plan": {
+                "op": "join",
+                "left": {"op": "leaf", "var": "form"},
+                "right": {"op": "leaf", "var": "field"},
+                "preds": [{"pred": "before", "left": "form", "right": "field"}]
+              }
+            }"#,
+        )
+        .unwrap();
+        let lookup = move |name: &str| (name == "search").then(|| Arc::clone(&w));
+        // One long-lived scratch across pages of varying shape must give
+        // byte-identical relations to a fresh scratch per page.
+        let mut scratch = WrapperScratch::new();
+        for style in [PageStyle::Plain, PageStyle::TableEmbedded, PageStyle::Plain] {
+            let p = g.page_with_style(style);
+            let reused = evaluate_query_with(
+                &def,
+                &p.tokens,
+                &lookup,
+                JoinStrategy::SortMerge,
+                &mut scratch,
+            )
+            .unwrap();
+            let fresh = evaluate_query(&def, &p.tokens, &lookup, JoinStrategy::SortMerge).unwrap();
+            assert_eq!(reused.vars(), fresh.vars());
+            assert_eq!(reused.rows(), fresh.rows());
         }
     }
 

@@ -248,6 +248,13 @@ impl Wrapper {
         &self.train_stats
     }
 
+    /// The compiled extraction engine's configuration (scan mode, product
+    /// size, classification kernel) — surfaced by `--stats` and
+    /// `/metrics` so mode selection is observable in production.
+    pub fn engine_info(&self) -> rextract_extraction::EngineInfo {
+        self.extractor.engine_info()
+    }
+
     /// Locate the target on a page, reusing `scratch` for the abstracted
     /// word, back-map, tag memo, and the extractor's scan buffers; returns
     /// the target's **token index**. This is the serve hot path: the tag
